@@ -1,0 +1,25 @@
+# Convenience targets for the repro workflow.
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+experiments-quick:
+	python -m repro.experiments --quick
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f; echo; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's figures or tables at a
+reduced-but-representative scale (full-scale runs are recorded in
+EXPERIMENTS.md via ``python -m repro.experiments``).  Benchmarks also
+sanity-check their output shape, so ``pytest benchmarks/
+--benchmark-only`` doubles as an end-to-end smoke of the harness.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench_ns() -> tuple[int, ...]:
+    """Population sizes used by the sweep benchmarks."""
+    return (5_000, 20_000)
+
+
+@pytest.fixture
+def bench_runs() -> int:
+    """Simulation runs per point in benchmarks (paper: 100)."""
+    return 3

@@ -1,0 +1,35 @@
+"""Ablation benchmarks: the design-choice sweeps DESIGN.md calls out."""
+
+import pytest
+
+from repro.experiments import (
+    ablate_ecpp_clustering,
+    ablate_ehpp_subset_size,
+    ablate_mic_hash_count,
+    ablate_tpp_index_policy,
+)
+
+
+def test_ablate_tpp_index_policy(benchmark):
+    r = benchmark(lambda: ablate_tpp_index_policy(n=10_000, n_runs=3))
+    values = {s.label: s.y[0] for s in r.series}
+    assert values["eq15 (λ≈ln2)"] <= min(values.values()) * 1.02
+
+
+def test_ablate_ehpp_subset_size(benchmark):
+    r = benchmark(lambda: ablate_ehpp_subset_size(n=10_000, n_runs=3))
+    xs, ys = r.series_by_label("EHPP").as_arrays()
+    assert ys[0] > ys.min() and ys[-1] > ys.min()
+
+
+def test_ablate_mic_hash_count(benchmark):
+    r = benchmark(lambda: ablate_mic_hash_count(n=10_000, n_runs=3))
+    waste = r.series_by_label("wasted_slot_frac").y
+    assert waste[0] == pytest.approx(0.632, abs=0.02)
+    assert waste[-2] == pytest.approx(0.139, abs=0.02)  # k = 7
+
+
+def test_ablate_ecpp_clustering(benchmark):
+    r = benchmark(lambda: ablate_ecpp_clustering(n=3_000, n_runs=3))
+    ys = r.series_by_label("eCPP_clustered").y
+    assert ys == sorted(ys)

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the building blocks (planning and DES throughput).
+
+Not paper artifacts — these track the cost of the library's own hot
+paths so performance regressions in the planner or the event engine
+surface in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mic import MIC
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.polling_tree import segment_lengths
+from repro.core.tpp import TPP
+from repro.hashing.universal import hash_indices
+from repro.sim.executor import simulate
+from repro.workloads.tagsets import uniform_tagset
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def big_tags():
+    return uniform_tagset(N, np.random.default_rng(1))
+
+
+def test_hashing_throughput(benchmark, big_tags):
+    benchmark(lambda: hash_indices(big_tags.id_words, 7, 16))
+
+
+def test_hpp_planning(benchmark, big_tags):
+    plan = benchmark(lambda: HPP().plan(big_tags, np.random.default_rng(2)))
+    assert plan.n_polls == N
+
+
+def test_tpp_planning(benchmark, big_tags):
+    plan = benchmark(lambda: TPP().plan(big_tags, np.random.default_rng(3)))
+    assert plan.n_polls == N
+
+
+def test_ehpp_planning(benchmark, big_tags):
+    plan = benchmark(lambda: EHPP().plan(big_tags, np.random.default_rng(4)))
+    assert plan.n_polls == N
+
+
+def test_mic_planning(benchmark, big_tags):
+    plan = benchmark(lambda: MIC().plan(big_tags, np.random.default_rng(5)))
+    assert plan.n_polls == N
+
+
+def test_segment_lengths_closed_form(benchmark):
+    rng = np.random.default_rng(6)
+    idx = np.sort(rng.choice(1 << 17, size=40_000, replace=False))
+    lengths = benchmark(lambda: segment_lengths(idx, 17))
+    assert lengths.sum() >= 40_000
+
+
+def test_des_execution_throughput(benchmark):
+    tags = uniform_tagset(500, np.random.default_rng(7))
+    result = benchmark(
+        lambda: simulate(TPP(), tags, info_bits=1, seed=1, keep_trace=False)
+    )
+    assert result.all_read

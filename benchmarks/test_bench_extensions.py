@@ -1,0 +1,32 @@
+"""Benchmarks for the extension experiments (beyond the paper)."""
+
+import pytest
+
+from repro.experiments import ext_energy, ext_lossy_channel, ext_multi_reader
+
+
+def test_ext_lossy_channel(benchmark):
+    r = benchmark(lambda: ext_lossy_channel(n=300, bers=(0.0, 0.002),
+                                            n_runs=1))
+    clean = r.series_by_label("TPP_time_s").y[0]
+    lossy = r.series_by_label("TPP_time_s").y[-1]
+    assert lossy > clean
+    assert r.series_by_label("TPP_retries").y[-1] > 0
+
+
+def test_ext_energy(benchmark):
+    r = benchmark(lambda: ext_energy(n=3_000, n_runs=2))
+    labels = r.notes["protocols"]
+    reader = dict(zip(labels, r.series_by_label("reader_mj").y))
+    listen = dict(zip(labels, r.series_by_label("tag_listen_mj").y))
+    # shorter interrogations save energy on both sides
+    assert reader["TPP"] < reader["CPP"]
+    assert listen["TPP"] < listen["CPP"]
+
+
+def test_ext_multi_reader(benchmark):
+    r = benchmark(lambda: ext_multi_reader(n=1_000,
+                                           grids=((1, 1), (2, 2), (2, 3))))
+    speedups = r.series_by_label("speedup").y
+    assert speedups[0] == pytest.approx(1.0, abs=0.05)
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,61 @@
+"""One benchmark per paper figure: regenerate the figure's data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig3, fig4, fig5, fig8, fig9, fig10
+
+
+def test_fig1_exec_time_curve(benchmark):
+    result = benchmark(fig1)
+    x, y = result.series_by_label("exec_time_ms").as_arrays()
+    assert y[-1] > y[0]
+    assert np.allclose(np.diff(y), 37.45e-3)
+
+
+def test_fig3_hpp_analysis(benchmark):
+    result = benchmark(lambda: fig3(n_values=tuple(range(10_000, 100_001, 10_000))))
+    w = result.series_by_label("HPP_w").y
+    # "almost monotonously increases with n" (paper): small dips below
+    # powers of two are expected from the stepwise index length
+    assert all(b > a - 0.2 for a, b in zip(w, w[1:]))
+    assert w[-1] > w[0]
+    assert w[-1] == pytest.approx(16, abs=0.8)
+
+
+def test_fig4_subset_size_bounds(benchmark):
+    result = benchmark(lambda: fig4(lc_values=tuple(range(50, 501, 50))))
+    lo = result.series_by_label("lower_bound").y
+    hi = result.series_by_label("upper_bound").y
+    opt = result.series_by_label("optimal").y
+    assert all(a <= o <= b for a, o, b in zip(lo, opt, hi))
+
+
+def test_fig5_ehpp_analysis(benchmark):
+    result = benchmark(
+        lambda: fig5(n_values=(20_000, 60_000, 100_000), lc_values=(100, 200, 400))
+    )
+    w200 = result.series_by_label("l_c=200").y
+    assert w200[-1] == pytest.approx(7.94, abs=0.15)
+
+
+def test_fig8_mu_curve(benchmark):
+    result = benchmark(fig8)
+    x, y = result.series_by_label("mu").as_arrays()
+    assert y.max() == pytest.approx(np.exp(-1), abs=1e-3)
+
+
+def test_fig9_tpp_analysis(benchmark):
+    result = benchmark(lambda: fig9(n_values=tuple(range(10_000, 100_001, 10_000))))
+    for w in result.series_by_label("TPP_w_worst_case").y:
+        assert w == pytest.approx(3.38, abs=0.08)
+
+
+def test_fig10_simulated_vectors(benchmark, bench_ns, bench_runs):
+    result = benchmark(lambda: fig10(n_values=bench_ns, n_runs=bench_runs, seed=1))
+    tpp = result.series_by_label("TPP").y
+    ehpp = result.series_by_label("EHPP").y
+    hpp = result.series_by_label("HPP").y
+    assert tpp[-1] == pytest.approx(3.1, abs=0.15)
+    assert ehpp[-1] == pytest.approx(9.0, abs=0.3)
+    assert tpp[-1] < ehpp[-1] < hpp[-1]

@@ -1,0 +1,45 @@
+"""One benchmark per paper table: execution-time comparisons."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3
+
+#: reduced table columns for benching (full columns in EXPERIMENTS.md)
+_NS = (1_000, 10_000)
+
+
+def _check_ordering(table, n):
+    row = {k: table.cell(k, n) for k in table.seconds}
+    assert (
+        row["LowerBound"]
+        < row["TPP"]
+        < row["MIC, k=7"]
+        < row["EHPP"]
+        < row["HPP"]
+        < row["CPP"]
+    )
+    return row
+
+
+def test_table1_1bit(benchmark, bench_runs):
+    t = benchmark(lambda: table1(n_values=_NS, n_runs=bench_runs, seed=1))
+    row = _check_ordering(t, 10_000)
+    assert row["CPP"] == pytest.approx(37.70, abs=0.02)
+    assert row["TPP"] == pytest.approx(4.39, abs=0.10)
+    assert row["MIC, k=7"] == pytest.approx(5.15, abs=0.20)
+
+
+def test_table2_16bit(benchmark, bench_runs):
+    t = benchmark(lambda: table2(n_values=_NS, n_runs=bench_runs, seed=2))
+    row = _check_ordering(t, 10_000)
+    # Table II's quoted ratios at n = 1e4
+    assert row["TPP"] / row["MIC, k=7"] == pytest.approx(0.857, abs=0.03)
+    assert row["TPP"] / row["CPP"] == pytest.approx(0.196, abs=0.01)
+
+
+def test_table3_32bit(benchmark, bench_runs):
+    t = benchmark(lambda: table3(n_values=_NS, n_runs=bench_runs, seed=3))
+    row = _check_ordering(t, 10_000)
+    lb = row["LowerBound"]
+    assert row["TPP"] / lb == pytest.approx(1.10, abs=0.03)
+    assert row["CPP"] / lb == pytest.approx(4.14, abs=0.05)

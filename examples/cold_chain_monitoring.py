@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cold-chain monitoring: collect 16-bit temperature words, verified.
+
+Sensor-augmented tags (the paper's §I motivation) each hold a
+temperature reading.  This example runs TPP through the **discrete-event
+simulator** — real tag state machines answer real polls — and checks the
+collected readings bit-for-bit against ground truth, then flags every
+crate whose reading breaches the cold-chain threshold.
+
+Run:  python examples/cold_chain_monitoring.py
+"""
+
+import numpy as np
+
+from repro import MIC, TPP, cold_chain_scenario, collect_information
+
+THRESHOLD_C = 8.0
+
+
+def to_celsius(word: int) -> float:
+    """Decode a 16-bit sensor word as fixed-point Celsius in [-40, 87.96]."""
+    return word / 512.0 - 40.0
+
+
+def main() -> None:
+    scenario = cold_chain_scenario(n=2_000, seed=42, info_bits=16)
+    rng = np.random.default_rng(42)
+    # ground truth: mostly cold, a few crates warming up
+    readings_c = rng.normal(4.0, 1.5, size=scenario.n_known)
+    warm = rng.choice(scenario.n_known, size=12, replace=False)
+    readings_c[warm] += rng.uniform(5.0, 10.0, size=12)
+    payloads = np.round((readings_c + 40.0) * 512).astype(np.int64)
+
+    print(f"Scenario: {scenario.description} ({scenario.n_known:,} crates)")
+    for proto in (TPP(), MIC()):
+        rep = collect_information(
+            proto,
+            scenario.tags,
+            info_bits=16,
+            use_des=True,
+            payloads=payloads,
+            seed=7,
+        )
+        assert rep.collected is not None and len(rep.collected) == scenario.n_known
+        # verify against ground truth, crate by crate
+        mismatches = [
+            i for i, v in rep.collected.items() if v != int(payloads[i])
+        ]
+        alarms = sorted(
+            i for i, v in rep.collected.items() if to_celsius(v) > THRESHOLD_C
+        )
+        print(
+            f"  {rep.protocol:<4} collected in {rep.mean_time_s:6.2f}s air time "
+            f"({rep.ratio_to_lower_bound:.2f}x bound), "
+            f"{len(mismatches)} mismatches, {len(alarms)} alarms"
+        )
+        assert not mismatches, "collected values must equal ground truth"
+        assert set(alarms) == set(
+            i for i in range(scenario.n_known) if to_celsius(int(payloads[i])) > THRESHOLD_C
+        )
+    print(f"\nAll readings verified; crates above {THRESHOLD_C:.0f} °C flagged.")
+
+
+if __name__ == "__main__":
+    main()

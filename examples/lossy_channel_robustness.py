@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Robustness extension: polling under bit errors.
+
+The paper assumes an error-free channel. This example exercises the
+library's retransmission extension: each protocol is executed in the
+discrete-event simulator over channels of increasing bit-error rate;
+escalating retries (re-poll → re-send round init → re-send circle
+command) guarantee every tag is still read, at a measurable time cost.
+
+TPP gets a dedicated recovery message — a full-length tree segment that
+rewrites the whole tag register — because a lost segment desynchronises
+the shared register state that the tree encoding relies on.
+
+Run:  python examples/lossy_channel_robustness.py
+"""
+
+import numpy as np
+
+from repro import CPP, EHPP, HPP, TPP, BitErrorChannel, simulate, uniform_tagset
+
+N = 1_000
+BERS = (0.0, 0.0005, 0.002, 0.005)
+
+
+def main() -> None:
+    tags = uniform_tagset(N, np.random.default_rng(13))
+    print(f"Collecting 16-bit info from {N:,} tags over lossy channels\n")
+    header = f"{'BER':>8} | " + " | ".join(
+        f"{name:>18}" for name in ("CPP", "HPP", "EHPP", "TPP")
+    )
+    print(header)
+    print("-" * len(header))
+    for ber in BERS:
+        channel = None if ber == 0.0 else BitErrorChannel(ber)
+        cells = []
+        for proto in (CPP(), HPP(), EHPP(), TPP()):
+            result = simulate(
+                proto, tags, info_bits=16, seed=3, channel=channel,
+                keep_trace=False,
+            )
+            assert result.all_read, "retransmission must recover every tag"
+            cells.append(
+                f"{result.time_us / 1e6:6.2f}s /{result.n_retries:4d} rtx"
+            )
+        print(f"{ber:>8.4f} | " + " | ".join(f"{c:>18}" for c in cells))
+
+    print(
+        "\nEvery run reads all tags. CPP retries are the most expensive "
+        "(each re-poll re-broadcasts a 96-bit ID); the hash protocols "
+        "recover with a few cheap index or segment re-sends."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Theft watch: identify exactly which tags are missing, deterministically.
+
+Polling's advantage for missing-tag identification (paper §I): because
+every poll maps one-to-one to a known tag, a silent poll *identifies*
+the missing tag with certainty — no probabilistic detection. This
+example removes 2% of a 3,000-tag population, sweeps the field with
+HPP and TPP, and recovers the exact stolen set; it then repeats the
+sweep on a noisy channel where the retransmission extension keeps the
+false-positive rate at zero.
+
+Run:  python examples/missing_tag_watch.py
+"""
+
+from repro import (
+    HPP,
+    TPP,
+    BitErrorChannel,
+    detect_missing_tags,
+    theft_watch_scenario,
+)
+
+
+def main() -> None:
+    scenario = theft_watch_scenario(n=3_000, missing_fraction=0.02, seed=23)
+    print(f"Scenario: {scenario.description}\n")
+
+    for proto in (HPP(), TPP()):
+        report = detect_missing_tags(proto, scenario, seed=5)
+        assert report.exact
+        print(
+            f"{report.protocol:<4} ideal channel : found all "
+            f"{len(report.detected_missing)} missing tags in "
+            f"{report.time_s:.2f}s — exact"
+        )
+
+    # noisy channel: each poll may be lost; 5 silent attempts before a
+    # tag is declared missing bounds P[false alarm] <= p_loss^5
+    report = detect_missing_tags(
+        HPP(),
+        scenario,
+        seed=5,
+        channel=BitErrorChannel(0.002),
+        missing_attempts=5,
+    )
+    print(
+        f"\nHPP  BER=0.2%     : {len(report.detected_missing)} flagged, "
+        f"{len(report.false_positives)} false alarms, "
+        f"{len(report.false_negatives)} misses, "
+        f"{report.n_retries} retransmissions, {report.time_s:.2f}s"
+    )
+    assert report.false_negatives == []  # a stolen tag can never answer
+    first = report.detected_missing[:6]
+    print(f"First flagged tag indices: {first} ...")
+
+
+if __name__ == "__main__":
+    main()

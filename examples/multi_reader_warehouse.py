@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Multi-reader deployment: schedule six readers over one floor.
+
+The paper's protocols are single-reader but extend directly once a
+collision-free schedule among readers exists (§II-A). This example
+builds a 2×3 reader grid whose interrogation zones overlap, colours the
+interference graph, assigns tags to readers, and runs TPP concurrently
+within each colour class — cutting the sweep time well below a single
+reader's.
+
+Run:  python examples/multi_reader_warehouse.py
+"""
+
+import numpy as np
+
+from repro import TPP, CPP, uniform_tagset
+from repro.apps.multi_reader import grid_deployment, simulate_deployment
+
+N_TAGS = 6_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    deployment = grid_deployment(N_TAGS, rng, rows=2, cols=3,
+                                 spacing_m=8.0, range_m=6.0)
+    tags = uniform_tagset(N_TAGS, rng)
+
+    g = deployment.interference_graph()
+    print(f"{len(deployment.readers)} readers, {N_TAGS:,} tags; "
+          f"interference graph has {g.number_of_edges()} overlapping pairs")
+
+    for proto in (TPP(), CPP()):
+        result = simulate_deployment(proto, deployment, tags, info_bits=1, seed=5)
+        print(f"\n{result.protocol}: schedule uses {result.n_colors} colour "
+              f"classes {result.schedule}")
+        for rid in sorted(result.per_reader_time_us):
+            print(f"  reader {rid}: {result.per_reader_tags[rid]:>5} tags, "
+                  f"{result.per_reader_time_us[rid] / 1e6:6.2f}s")
+        print(f"  scheduled total: {result.total_time_us / 1e6:6.2f}s "
+              f"(single reader: {result.single_reader_time_us / 1e6:6.2f}s, "
+              f"speed-up {result.speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: poll 10,000 tags with every protocol and compare.
+
+Reproduces the headline comparison of the paper (Table I, n = 10⁴,
+1-bit information): TPP collects from ten thousand tags in ~4.4 s of
+air time versus ~37.7 s for conventional 96-bit-ID polling.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CPP,
+    EHPP,
+    HPP,
+    MIC,
+    TPP,
+    CodedPolling,
+    collect_information,
+    lower_bound_us,
+    uniform_tagset,
+)
+
+N_TAGS = 10_000
+INFO_BITS = 1
+
+
+def main() -> None:
+    tags = uniform_tagset(N_TAGS, np.random.default_rng(7))
+    protocols = [CPP(), CodedPolling(), HPP(), EHPP(), MIC(), TPP()]
+
+    print(f"Collecting {INFO_BITS}-bit information from {N_TAGS:,} tags "
+          f"(C1G2 timing, 10 runs each)\n")
+    print(f"{'protocol':<8} {'vector bits':>12} {'rounds':>8} "
+          f"{'air time':>10} {'vs lower bound':>15}")
+    lb_s = lower_bound_us(N_TAGS, INFO_BITS) / 1e6
+    for proto in protocols:
+        rep = collect_information(proto, tags, INFO_BITS, n_runs=10, seed=0)
+        print(
+            f"{rep.protocol:<8} {rep.mean_vector_bits:>12.2f} "
+            f"{rep.mean_rounds:>8.1f} {rep.mean_time_s:>9.2f}s "
+            f"{rep.ratio_to_lower_bound:>14.2f}x"
+        )
+    print(f"{'(bound)':<8} {'-':>12} {'-':>8} {lb_s:>9.2f}s {'1.00x':>15}")
+
+    print(
+        "\nTPP's polling vector is ~3 bits — about 31x shorter than the "
+        "96-bit tag IDs\nconventional polling broadcasts, and every slot "
+        "carries a useful reply."
+    )
+
+
+if __name__ == "__main__":
+    main()

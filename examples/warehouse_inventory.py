@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Warehouse inventory: presence polling over per-SKU clustered EPCs.
+
+Items of the same SKU share a 32-bit category prefix, so this example
+also shows the *enhanced CPP* of the paper's §II-B: masking the shared
+prefix helps conventional polling (96 → ~64+ bits per poll) but is still
+an order of magnitude behind the hash-index protocols, whose cost does
+not depend on the ID distribution at all.
+
+Run:  python examples/warehouse_inventory.py
+"""
+
+import numpy as np
+
+from repro import (
+    CPP,
+    EHPP,
+    HPP,
+    TPP,
+    EnhancedCPP,
+    collect_information,
+    warehouse_scenario,
+)
+
+
+def main() -> None:
+    scenario = warehouse_scenario(n=5_000, seed=3)
+    tags = scenario.tags
+    shared = tags.category_prefix_bits()
+    print(f"Scenario: {scenario.description}")
+    print(f"{scenario.n_known:,} tags, globally shared ID prefix: {shared} bits\n")
+
+    protocols = [
+        CPP(),
+        EnhancedCPP(category_bits=32),
+        HPP(),
+        EHPP(),
+        TPP(),
+    ]
+    print(f"{'protocol':<8} {'vector bits':>12} {'air time':>10}")
+    results = {}
+    for proto in protocols:
+        rep = collect_information(proto, tags, scenario.info_bits, n_runs=5, seed=1)
+        results[rep.protocol] = rep
+        print(f"{rep.protocol:<8} {rep.mean_vector_bits:>12.2f} "
+              f"{rep.mean_time_s:>9.2f}s")
+
+    ecpp, tpp = results["eCPP"], results["TPP"]
+    print(
+        f"\nPrefix masking saves CPP "
+        f"{results['CPP'].mean_time_s - ecpp.mean_time_s:.1f}s, but TPP is "
+        f"still {ecpp.mean_time_s / tpp.mean_time_s:.1f}x faster — and would "
+        "be unaffected if the SKU structure disappeared."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for editable installs on environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+from setuptools import setup
+
+setup()

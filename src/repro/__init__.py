@@ -1,0 +1,120 @@
+"""repro — Fast RFID Polling Protocols (Liu, Xiao, Liu, Chen; ICPP 2016).
+
+A complete reproduction of the paper's system: the HPP / EHPP / TPP
+polling protocols, the CPP / CP / MIC baselines, an EPC C1G2 link-timing
+substrate, a discrete-event simulator with independent tag state
+machines, the paper's analytical models, and a benchmark harness that
+regenerates every figure and table of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TPP, uniform_tagset, collect_information
+
+    tags = uniform_tagset(10_000, np.random.default_rng(7))
+    report = collect_information(TPP(), tags, info_bits=16, n_runs=10)
+    print(f"{report.mean_time_s:.2f}s, "
+          f"{report.mean_vector_bits:.2f} bits per polling vector")
+
+Package map
+-----------
+- :mod:`repro.core` — the paper's protocols (CPP, eCPP, CP, HPP, EHPP, TPP)
+- :mod:`repro.baselines` — MIC, framed-slotted ALOHA, query tree
+- :mod:`repro.phy` — C1G2 timing, command sizes, wire-time costing, channels
+- :mod:`repro.sim` — discrete-event executor with tag state machines
+- :mod:`repro.analysis` — the paper's closed-form models (eqs. 1–16)
+- :mod:`repro.workloads` — tag populations and scenarios
+- :mod:`repro.apps` — information collection, missing-tag detection
+- :mod:`repro.experiments` — regenerators for every figure and table
+"""
+
+from repro.apps import (
+    CollectionReport,
+    MissingTagReport,
+    collect_information,
+    compare_protocols,
+    detect_missing_tags,
+)
+from repro.baselines import DFSA, MIC, FramedSlottedAloha, simulate_query_tree
+from repro.core import (
+    CPP,
+    EHPP,
+    HPP,
+    TPP,
+    CodedPolling,
+    EnhancedCPP,
+    InterrogationPlan,
+    PollingProtocol,
+    PollingTree,
+    RoundPlan,
+)
+from repro.phy import (
+    BitErrorChannel,
+    C1G2Timing,
+    CommandSizes,
+    IdealChannel,
+    LinkBudget,
+    PAPER_TIMING,
+    lower_bound_us,
+    plan_wire_time,
+)
+from repro.sim import DESResult, execute_plan, simulate
+from repro.workloads import (
+    Scenario,
+    TagSet,
+    clustered_tagset,
+    cold_chain_scenario,
+    sequential_tagset,
+    theft_watch_scenario,
+    uniform_tagset,
+    warehouse_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # protocols
+    "CPP",
+    "EnhancedCPP",
+    "CodedPolling",
+    "HPP",
+    "EHPP",
+    "TPP",
+    "MIC",
+    "DFSA",
+    "FramedSlottedAloha",
+    "simulate_query_tree",
+    "PollingProtocol",
+    "InterrogationPlan",
+    "RoundPlan",
+    "PollingTree",
+    # phy
+    "C1G2Timing",
+    "PAPER_TIMING",
+    "CommandSizes",
+    "LinkBudget",
+    "IdealChannel",
+    "BitErrorChannel",
+    "plan_wire_time",
+    "lower_bound_us",
+    # sim
+    "DESResult",
+    "execute_plan",
+    "simulate",
+    # workloads
+    "TagSet",
+    "uniform_tagset",
+    "clustered_tagset",
+    "sequential_tagset",
+    "Scenario",
+    "warehouse_scenario",
+    "cold_chain_scenario",
+    "theft_watch_scenario",
+    # apps
+    "CollectionReport",
+    "collect_information",
+    "compare_protocols",
+    "MissingTagReport",
+    "detect_missing_tags",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Closed-form analytical models from the paper.
+
+These mirror the evaluation's theory curves (Figs. 1, 3, 4, 5, 8, 9) and
+serve as oracles for the simulators: every protocol's integration tests
+compare the measured per-tag vector length against the matching model.
+"""
+
+from repro.analysis import ehpp_model, exec_time, hpp_model, lower_bound, mic_model, tpp_model
+
+__all__ = [
+    "ehpp_model",
+    "exec_time",
+    "hpp_model",
+    "lower_bound",
+    "mic_model",
+    "tpp_model",
+]

@@ -1,0 +1,61 @@
+"""Execution-time model — paper §V-A and Fig. 1.
+
+Per-tag collection time with a ``w``-bit polling vector and ``l``-bit
+information under the C1G2 timing constants:
+
+    ``t(w, l) = 37.45·(4 + w) + T1 + 25·l + T2``  µs,
+
+and CPP's variant without the 4-bit framing (the reader broadcasts the
+raw 96-bit ID): ``t_CPP(l) = 37.45·96 + T1 + 25·l + T2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+
+__all__ = [
+    "per_tag_time_us",
+    "cpp_per_tag_time_us",
+    "execution_time_curve",
+]
+
+
+def per_tag_time_us(
+    vector_bits: float | np.ndarray,
+    info_bits: float = 1,
+    timing: C1G2Timing = PAPER_TIMING,
+    framing_bits: float = 4,
+) -> float | np.ndarray:
+    """The paper's per-poll formula; vectorised over ``vector_bits``."""
+    w = np.asarray(vector_bits, dtype=np.float64)
+    t = (
+        timing.reader_bit_us * (framing_bits + w)
+        + timing.t1_us
+        + timing.tag_bit_us * info_bits
+        + timing.t2_us
+    )
+    return float(t) if np.ndim(vector_bits) == 0 else t
+
+
+def cpp_per_tag_time_us(
+    info_bits: float = 1,
+    id_bits: int = 96,
+    timing: C1G2Timing = PAPER_TIMING,
+) -> float:
+    """CPP's per-tag time: bare ID broadcast, no framing command."""
+    return float(per_tag_time_us(id_bits, info_bits, timing, framing_bits=0))
+
+
+def execution_time_curve(
+    max_vector_bits: int = 96,
+    info_bits: int = 1,
+    timing: C1G2Timing = PAPER_TIMING,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 1's series: (vector length, per-tag execution time in ms)."""
+    if max_vector_bits < 0:
+        raise ValueError("max_vector_bits must be non-negative")
+    w = np.arange(max_vector_bits + 1, dtype=np.float64)
+    t_ms = per_tag_time_us(w, info_bits, timing) / 1e3
+    return w, t_ms

@@ -1,0 +1,118 @@
+"""Analytical model of HPP — paper eqs. (1)–(5).
+
+With ``n_i`` unread tags and frame ``f_i = 2**h_i`` in round ``i``:
+
+- singleton probability per index (eq. 1):
+  ``p_i ≈ e^{-(n_i - 1)/f_i} · n_i / f_i``,
+- expected singletons (eq. 2): ``n_si = n_i · e^{-(n_i - 1)/f_i}``,
+- survivor recursion (eq. 3): ``n_{i+1} = n_i · (1 - e^{-(n_i-1)/f_i})``,
+- average vector length (eq. 4): ``w = Σ h_i · n_si / n``,
+- rough upper bound (eq. 5): ``w⁺ = ⌈log₂ n⌉``.
+
+The recursion is evaluated in continuous ``n_i`` exactly as the paper's
+Fig. 3 does.  ``expected_total_bits`` additionally charges the per-round
+initiation command so the EHPP optimiser can reason about full HPP cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.planner import IndexLengthPolicy, hpp_index_length
+
+__all__ = [
+    "HPPRoundModel",
+    "hpp_round_trace",
+    "expected_vector_length",
+    "expected_total_bits",
+    "expected_rounds",
+    "vector_length_upper_bound",
+    "singleton_fraction",
+]
+
+#: stop the continuous recursion once fewer than this many tags remain.
+_EPS_TAGS = 1e-9
+_MAX_MODEL_ROUNDS = 10_000
+
+
+def singleton_fraction(n: float, f: float) -> float:
+    """Fraction of the ``n`` unread tags read this round (eq. 1/2 ÷ n).
+
+    Equals ``e^{-(n-1)/f}``; the paper's 36.8 %–60.7 % band corresponds
+    to λ = n/f ∈ (0.5, 1].
+    """
+    if n <= 0 or f <= 0:
+        raise ValueError("n and f must be positive")
+    return math.exp(-(n - 1.0) / f)
+
+
+@dataclass(frozen=True)
+class HPPRoundModel:
+    """One round of the continuous recursion."""
+
+    round_no: int
+    n_unread: float
+    h: int
+    n_singletons: float
+
+    @property
+    def frame(self) -> int:
+        return 1 << self.h
+
+
+def hpp_round_trace(
+    n: int | float,
+    policy: IndexLengthPolicy | None = None,
+) -> list[HPPRoundModel]:
+    """Evaluate the recursion (eq. 3) until the population is exhausted."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    choose_h = policy if policy is not None else hpp_index_length
+    rounds: list[HPPRoundModel] = []
+    n_i = float(n)
+    for round_no in range(_MAX_MODEL_ROUNDS):
+        if n_i < _EPS_TAGS:
+            return rounds
+        h = choose_h(max(int(math.ceil(n_i)), 1))
+        f = float(1 << h)
+        n_si = n_i * singleton_fraction(n_i, f)
+        if n_i <= 1.0:
+            # a lone tag is always a singleton; close the recursion
+            rounds.append(HPPRoundModel(round_no, n_i, h, n_i))
+            return rounds
+        rounds.append(HPPRoundModel(round_no, n_i, h, n_si))
+        n_i -= n_si
+    raise RuntimeError("HPP model recursion did not converge")
+
+
+def expected_vector_length(n: int | float, policy: IndexLengthPolicy | None = None) -> float:
+    """The paper's eq. (4): average per-tag polling-vector length."""
+    trace = hpp_round_trace(n, policy)
+    return sum(r.h * r.n_singletons for r in trace) / float(n)
+
+
+def expected_total_bits(
+    n: int | float,
+    round_init_bits: int = 0,
+    policy: IndexLengthPolicy | None = None,
+) -> float:
+    """Expected total reader polling bits for an ``n``-tag HPP run.
+
+    ``Σ h_i·n_si`` plus ``round_init_bits`` per round — the cost term the
+    EHPP subset-size optimiser minimises per circle.
+    """
+    trace = hpp_round_trace(n, policy)
+    return sum(r.h * r.n_singletons for r in trace) + round_init_bits * len(trace)
+
+
+def expected_rounds(n: int | float, policy: IndexLengthPolicy | None = None) -> int:
+    """Number of rounds until the continuous recursion exhausts ``n``."""
+    return len(hpp_round_trace(n, policy))
+
+
+def vector_length_upper_bound(n: int | float) -> float:
+    """Eq. (5): ``w⁺ = ⌈log₂ n⌉``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return float(math.ceil(math.log2(n))) if n > 1 else 1.0

@@ -1,0 +1,33 @@
+"""The per-protocol execution-time lower bound — paper §V-C.
+
+Any C1G2-compliant information-collection protocol must, per tag, at
+least transmit a minimal 4-bit framing command, pay both turnarounds and
+carry the ``l``-bit reply:
+
+    ``LB(n, l) = (37.45·4 + T1 + 25·l + T2) · n``  µs.
+
+Re-exported thinly around :func:`repro.phy.link.lower_bound_us` with the
+ratio helpers the tables use.
+"""
+
+from __future__ import annotations
+
+from repro.phy.link import lower_bound_us
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+
+__all__ = ["lower_bound_us", "lower_bound_s", "ratio_to_lower_bound"]
+
+
+def lower_bound_s(n_tags: int, info_bits: int, timing: C1G2Timing = PAPER_TIMING) -> float:
+    """Lower bound in seconds (the unit of the paper's tables)."""
+    return lower_bound_us(n_tags, info_bits, timing) / 1e6
+
+
+def ratio_to_lower_bound(
+    time_s: float, n_tags: int, info_bits: int, timing: C1G2Timing = PAPER_TIMING
+) -> float:
+    """How many times over the lower bound a measured run is."""
+    lb = lower_bound_s(n_tags, info_bits, timing)
+    if lb <= 0:
+        raise ValueError("lower bound is non-positive; check inputs")
+    return time_s / lb

@@ -1,0 +1,84 @@
+"""Analytical model of the MIC baseline (Chen et al., INFOCOM 2011).
+
+MIC is an ALOHA-frame protocol with ``k`` hash functions: in each frame
+of ``f`` slots the reader greedily turns as many slots as possible into
+singletons by letting each still-unassigned tag fall back through its
+``k`` hash choices, then broadcasts an indicator vector
+(⌈log₂(k+1)⌉ bits per slot) telling each slot which hash it serves.
+
+The useful-slot fraction at load λ = n/f follows the pass recursion
+
+    pass j:  the ``u_j`` unassigned tags hash uniformly over the whole
+             frame, so each of the ``s_j`` still-free slots becomes a
+             singleton with probability λ_j·e^{−λ_j}, λ_j = u_j / f,
+
+with ``u_1 = n``, ``s_1 = f``.  At λ = 1 and k = 7 the model yields
+≈ 86 % useful slots — matching the MIC paper's "wasted slots drop from
+63.2 % to 13.9 %" claim and the greedy simulator in
+:mod:`repro.baselines.mic` (integration-tested against each other).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "useful_slot_fraction",
+    "tag_resolution_fraction",
+    "wasted_slot_fraction",
+    "indicator_bits_per_slot",
+    "expected_total_slots_per_tag",
+]
+
+
+def useful_slot_fraction(k: int, load: float = 1.0) -> float:
+    """Fraction of frame *slots* made singleton after ``k`` greedy passes."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if load <= 0:
+        raise ValueError("load must be positive")
+    free = 1.0  # free slots, as a fraction of the frame
+    unassigned = load  # unassigned tags, per frame slot
+    useful = 0.0
+    for _ in range(k):
+        if free <= 1e-12 or unassigned <= 1e-12:
+            break
+        # each unassigned tag hashes uniformly over the WHOLE frame, so a
+        # free slot is singleton w.p. λe^{−λ} with λ = unassigned / f
+        lam = unassigned
+        singles = free * lam * math.exp(-lam)
+        useful += singles
+        free -= singles
+        unassigned -= singles
+    return useful
+
+
+def tag_resolution_fraction(k: int, load: float = 1.0) -> float:
+    """Fraction of the frame's *tags* resolved (one per useful slot)."""
+    return useful_slot_fraction(k, load) / load
+
+
+def wasted_slot_fraction(k: int, load: float = 1.0) -> float:
+    """1 − useful slot fraction; the MIC paper reports 13.9 % at k = 7."""
+    return 1.0 - useful_slot_fraction(k, load)
+
+
+def indicator_bits_per_slot(k: int) -> int:
+    """⌈log₂(k+1)⌉ bits: hash id 1..k or 0 = useless slot."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return max(1, math.ceil(math.log2(k + 1)))
+
+
+def expected_total_slots_per_tag(k: int, load: float = 1.0) -> float:
+    """Total frame slots walked per tag across all frames.
+
+    With frames sized ``f_i = n_i / load`` each frame resolves a
+    fraction ρ of its tags, so the geometric series of frame sizes sums
+    to ``(1/load) / ρ`` slots per tag.  At load 1 and k = 7 this is
+    ≈ 1.16 — the multiplier behind the paper's Table I–III MIC rows.
+    """
+    rho = tag_resolution_fraction(k, load)
+    if rho <= 0:
+        raise ValueError("degenerate parameters: no tag is ever resolved")
+    return (1.0 / load) / rho

@@ -1,0 +1,183 @@
+"""Analytical model of TPP — paper §IV-D, eqs. (6)–(16).
+
+Per round with ``n_i`` unread tags:
+
+- optimal index length ``h_i`` (eq. 15): λ = n_i/2^{h_i} ∈ [ln 2, 2·ln 2);
+- expected singletons (eq. 11): ``m_i = n_i · e^{-n_i/2^{h_i}}``;
+- worst-case tree size for ``m_i`` leaves of depth ``h_i`` (eq. 7, the
+  tree bifurcates as early as possible):
+  ``L_i⁺ = 2^{k+1} − 2 + (h_i − k)·m_i`` with ``2^k < m_i <= 2^{k+1}``;
+- per-poll upper bound (eq. 8): ``w_i⁺ = L_i⁺ / m_i``;
+- global bound (eq. 16): ``w⁺ < 2/(µ·2) + 2 = 2·e^{ln2·?}`` … numerically
+  **3.44 bits** at the worst feasible µ = ln2/e^{ln2} ≈ 0.49.
+
+Besides the paper's worst-case tree, :func:`expected_tree_nodes` gives
+the *exact* expectation of the trie size over a uniformly random
+``m``-subset of the ``2^h`` leaves — a sharper model matching the
+simulated ≈3.06 bits (computed with hypergeometric survival
+probabilities per level, in log space for numerical stability).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.core.planner import tpp_index_length
+
+__all__ = [
+    "singleton_probability",
+    "optimal_h",
+    "worst_case_tree_nodes",
+    "worst_case_vector_length_round",
+    "expected_tree_nodes",
+    "tpp_round_trace",
+    "expected_vector_length",
+    "global_upper_bound",
+    "TPPRoundModel",
+]
+
+_LN2 = math.log(2.0)
+_MAX_MODEL_ROUNDS = 10_000
+_EPS_TAGS = 1e-9
+
+
+def singleton_probability(lam: float) -> float:
+    """µ(λ) = λ·e^{−λ} — probability an index is a singleton (eq. 12).
+
+    Peaks at 1/e for λ = 1 (paper Fig. 8).
+    """
+    if lam < 0:
+        raise ValueError("λ must be non-negative")
+    return lam * math.exp(-lam)
+
+
+def optimal_h(n_unread: int) -> int:
+    """Eq. (15): the integer ``h`` maximising µ (λ ∈ [ln 2, 2 ln 2))."""
+    return tpp_index_length(n_unread)
+
+
+def worst_case_tree_nodes(m: float, h: int) -> float:
+    """Eq. (7): max nodes of a binary trie with ``m`` depth-``h`` leaves.
+
+    The maximum is reached when the tree bifurcates as early as
+    possible: a complete binary top of depth ``k`` (``2^k < m <= 2^{k+1}``)
+    contributing ``2^{k+1} − 2`` nodes, then ``m`` disjoint tails of
+    length ``h − k``.
+    """
+    if m <= 0:
+        return 0.0
+    if m > float(1 << h) + 1e-9:
+        raise ValueError(f"cannot place {m} leaves at depth {h}")
+    if m <= 1:
+        return float(h)
+    k = math.ceil(math.log2(m)) - 1  # 2^k < m <= 2^{k+1}
+    if (1 << k) >= m:
+        k -= 1
+    if m > (1 << (k + 1)):
+        k += 1
+    return float((1 << (k + 1)) - 2 + (h - k) * m)
+
+
+def worst_case_vector_length_round(m: float, h: int) -> float:
+    """Eq. (8): ``w_i⁺ = L_i⁺ / m_i``."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return worst_case_tree_nodes(m, h) / m
+
+
+def expected_tree_nodes(m: int, h: int) -> float:
+    """Exact E[#nodes] of a trie over a uniform random ``m``-subset.
+
+    A depth-``d`` node exists iff at least one of its ``2^{h-d}``
+    descendant leaves is selected:
+
+        ``E = Σ_{d=1..h} 2^d · (1 − C(2^h − 2^{h−d}, m) / C(2^h, m))``.
+
+    Evaluated with log-gamma to stay stable for ``h`` up to ~60.
+    """
+    if not 0 <= m <= (1 << h):
+        raise ValueError("m must be in [0, 2^h]")
+    if m == 0:
+        return 0.0
+    total_leaves = float(1 << h)
+    d = np.arange(1, h + 1, dtype=np.float64)
+    absent = total_leaves - total_leaves / np.exp2(d)  # 2^h − 2^{h−d}
+    # log C(absent, m) − log C(2^h, m); C(a, m) = Γ(a+1)/(Γ(m+1)Γ(a−m+1))
+    with np.errstate(invalid="ignore"):
+        log_ratio = (
+            gammaln(absent + 1.0)
+            - gammaln(absent - m + 1.0)
+            - gammaln(total_leaves + 1.0)
+            + gammaln(total_leaves - m + 1.0)
+        )
+    p_empty = np.where(absent >= m, np.exp(log_ratio), 0.0)
+    return float(np.sum(np.exp2(d) * (1.0 - p_empty)))
+
+
+@dataclass(frozen=True)
+class TPPRoundModel:
+    """One round of the TPP recursion."""
+
+    round_no: int
+    n_unread: float
+    h: int
+    m_singletons: float
+    tree_nodes: float  # expected or worst-case broadcast bits
+
+
+def tpp_round_trace(n: int | float, exact: bool = False) -> list[TPPRoundModel]:
+    """Run the round recursion with eq. (11)/(15).
+
+    Args:
+        n: population size.
+        exact: if True use :func:`expected_tree_nodes` (sharp model);
+            otherwise the paper's worst-case eq. (7) — Fig. 9's series.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rounds: list[TPPRoundModel] = []
+    n_i = float(n)
+    for round_no in range(_MAX_MODEL_ROUNDS):
+        if n_i < _EPS_TAGS:
+            return rounds
+        if n_i <= 1.0:
+            rounds.append(TPPRoundModel(round_no, n_i, 1, n_i, n_i))
+            return rounds
+        h = optimal_h(max(int(math.ceil(n_i)), 1))
+        m_i = n_i * math.exp(-n_i / float(1 << h))  # eq. (11)
+        if exact:
+            nodes = expected_tree_nodes(max(int(round(m_i)), 1), h)
+        else:
+            nodes = worst_case_tree_nodes(m_i, h)
+        rounds.append(TPPRoundModel(round_no, n_i, h, m_i, nodes))
+        n_i -= m_i
+    raise RuntimeError("TPP model recursion did not converge")
+
+
+def expected_vector_length(
+    n: int | float,
+    exact: bool = False,
+    round_init_bits: int = 0,
+) -> float:
+    """Eq. (6): per-tag vector bits ``w = Σ L_i / n`` (+ optional inits)."""
+    trace = tpp_round_trace(n, exact=exact)
+    total = sum(r.tree_nodes for r in trace) + round_init_bits * len(trace)
+    return total / float(n)
+
+
+def global_upper_bound() -> float:
+    """Eq. (16): the n-independent bound on the per-round vector length.
+
+    Eq. (13): the minimax singleton probability under the optimal-h
+    policy is attained where µ(λ₁) = µ(2λ₁), i.e. λ₁ = ln 2, giving
+    µ = ln 2 · e^{−ln 2} = ln 2 / 2 ≈ 0.3466.  Then m = µ·2^h implies
+    k = h − 2 in eq. (8) and
+
+        ``w⁺ = (2^{h−1} − 2)/(µ·2^h) + 2 < 1/(2µ) + 2 ≈ 3.44``.
+    """
+    mu = singleton_probability(_LN2)  # ln2/2
+    return 1.0 / (2.0 * mu) + 2.0

@@ -1,0 +1,39 @@
+"""Applications built on the polling protocols.
+
+The paper motivates polling with two system-level tasks (§I):
+
+- :mod:`repro.apps.information_collection` — collect ``m``-bit
+  information (sensor readings, battery level, product data) from every
+  tag: the task of the paper's Tables I–III.
+- :mod:`repro.apps.missing_tag` — 1-bit presence polling of a known
+  population, flagging tags that fail to answer (theft detection).
+- :mod:`repro.apps.multi_reader` — interference-graph colouring that
+  extends every protocol to multi-reader deployments (§II-A's remark).
+"""
+
+from repro.apps.information_collection import (
+    CollectionReport,
+    collect_information,
+    compare_protocols,
+)
+from repro.apps.missing_tag import MissingTagReport, detect_missing_tags
+from repro.apps.multi_reader import (
+    Deployment,
+    MultiReaderResult,
+    Reader,
+    grid_deployment,
+    simulate_deployment,
+)
+
+__all__ = [
+    "CollectionReport",
+    "collect_information",
+    "compare_protocols",
+    "MissingTagReport",
+    "detect_missing_tags",
+    "Reader",
+    "Deployment",
+    "grid_deployment",
+    "MultiReaderResult",
+    "simulate_deployment",
+]

@@ -1,0 +1,31 @@
+"""Baseline protocols the paper compares against (or motivates from).
+
+- :class:`~repro.baselines.mic.MIC` — the state-of-the-art multi-hash
+  information-collection protocol (Chen et al., INFOCOM 2011), the
+  paper's head-to-head competitor in Tables I–III.
+- :class:`~repro.baselines.aloha.DFSA` — dynamic framed-slotted ALOHA,
+  the classic anti-collision family whose wasted slots motivate polling.
+- :mod:`repro.baselines.query_tree` — binary query-tree identification,
+  the classic deterministic anti-collision alternative.
+"""
+
+from repro.baselines.aloha import DFSA, FramedSlottedAloha
+from repro.baselines.estimation import estimate_cardinality
+from repro.baselines.iip import IIPResult, simulate_iip
+from repro.baselines.mic import MIC
+from repro.baselines.query_tree import QueryTreeResult, simulate_query_tree
+from repro.baselines.trp import TRPResult, simulate_trp, trp_required_rounds
+
+__all__ = [
+    "MIC",
+    "DFSA",
+    "FramedSlottedAloha",
+    "QueryTreeResult",
+    "simulate_query_tree",
+    "TRPResult",
+    "simulate_trp",
+    "trp_required_rounds",
+    "IIPResult",
+    "simulate_iip",
+    "estimate_cardinality",
+]

@@ -1,0 +1,103 @@
+"""Framed-slotted ALOHA baselines.
+
+The classic anti-collision family the paper's introduction contrasts
+polling against: tags pick frame slots at random, so the reader must
+walk *every* slot, and ~63.2 % of slots are wasted (empty or collision)
+at the optimal load.  Two variants:
+
+- :class:`FramedSlottedAloha` — a single fixed frame size repeated until
+  all tags are read.
+- :class:`DFSA` — dynamic frame sizing: since this library's system
+  model gives the reader the exact backlog (it knows all IDs and counts
+  reads), each frame is sized ``round(backlog / load)`` with the
+  throughput-optimal default load 1.
+
+Unlike the hash-index protocols, the tag's slot choice here is *not*
+predictable by the reader (that unpredictability is exactly why ALOHA
+wastes slots), so plans draw slots from the experiment RNG directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["FramedSlottedAloha", "DFSA"]
+
+_MAX_FRAMES = 100_000
+
+
+def _aloha_frame(
+    active: np.ndarray, f: int, rng: np.random.Generator
+) -> tuple[np.ndarray, int, int, np.ndarray]:
+    """One random frame: (read tags, empty slots, collision slots, rest)."""
+    slots = rng.integers(0, f, size=active.size)
+    counts = np.bincount(slots, minlength=f)
+    singleton = counts[slots] == 1
+    read = active[singleton]
+    order = np.argsort(slots[singleton], kind="stable")
+    n_empty = int(np.count_nonzero(counts == 0))
+    n_collision = int(np.count_nonzero(counts > 1))
+    return read[order], n_empty, n_collision, active[~singleton]
+
+
+class FramedSlottedAloha(PollingProtocol):
+    """Fixed-frame slotted ALOHA repeated to exhaustion."""
+
+    name = "FSA"
+
+    def __init__(self, frame_size: int, frame_init_bits: int = 32):
+        if frame_size < 1:
+            raise ValueError("frame_size must be positive")
+        if frame_init_bits < 0:
+            raise ValueError("frame_init_bits must be non-negative")
+        self.frame_size = frame_size
+        self.frame_init_bits = frame_init_bits
+
+    def _frame_size(self, backlog: int) -> int:
+        return self.frame_size
+
+    def plan(self, tags: TagSet, rng: np.random.Generator) -> InterrogationPlan:
+        n = len(tags)
+        if n == 0:
+            return InterrogationPlan(protocol=self.name, n_tags=0, rounds=[])
+        rounds: list[RoundPlan] = []
+        active = np.arange(n, dtype=np.int64)
+        for frame_no in range(_MAX_FRAMES):
+            if active.size == 0:
+                return InterrogationPlan(protocol=self.name, n_tags=n, rounds=rounds)
+            f = self._frame_size(int(active.size))
+            read, n_empty, n_collision, active = _aloha_frame(active, f, rng)
+            rounds.append(
+                RoundPlan(
+                    label=f"{self.name.lower()}-frame-{frame_no}",
+                    init_bits=self.frame_init_bits,
+                    poll_vector_bits=np.zeros(read.size, dtype=np.int64),
+                    poll_tag_idx=read,
+                    poll_overhead_bits=4,
+                    empty_slots=n_empty,
+                    collision_slots=n_collision,
+                    slot_overhead_bits=4,
+                    extra={"frame_size": f},
+                )
+            )
+        raise RuntimeError(f"{self.name} did not converge within {_MAX_FRAMES} frames")
+
+
+class DFSA(FramedSlottedAloha):
+    """Dynamic framed-slotted ALOHA: frame sized to the known backlog."""
+
+    name = "DFSA"
+
+    def __init__(self, load: float = 1.0, frame_init_bits: int = 32):
+        if load <= 0:
+            raise ValueError("load must be positive")
+        super().__init__(frame_size=1, frame_init_bits=frame_init_bits)
+        self.load = load
+
+    def _frame_size(self, backlog: int) -> int:
+        # frame floor: a 1-slot frame can never resolve 2+ tags
+        floor = 1 if backlog == 1 else 2
+        return max(int(round(backlog / self.load)), floor)

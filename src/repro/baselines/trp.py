@@ -1,0 +1,146 @@
+"""TRP — the Trusted Reader Protocol for missing-tag *detection*.
+
+Tan, Sheng and Li ("How to monitor for missing RFID tags", ICDCS 2008),
+cited by the reproduced paper as the probabilistic alternative to
+polling: the reader broadcasts ``⟨f, r⟩``; every present tag answers
+with one bit in slot ``H(r, id) mod f``.  Knowing all IDs, the reader
+precomputes the *expected* bitmap; a slot that should contain exactly
+one tag (an expected singleton) but stays silent proves a missing-tag
+event.  TRP detects the event with a target probability α — it does not
+say *which* tags are missing, which is exactly the gap the paper's
+polling protocols fill (they identify every missing tag with
+certainty).
+
+Detection analysis: a particular missing tag is caught in one round iff
+its slot is an expected singleton, probability
+``p₁ = (1 − 1/f)^(n−1) ≈ e^{−(n−1)/f}``; over ``k`` independent rounds
+``P[detect] = 1 − (1 − p₁)^k``, so ``k = ⌈ln(1−α)/ln(1−p₁)⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rounds import fresh_seed
+from repro.hashing.universal import hash_mod
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "trp_singleton_probability",
+    "trp_required_rounds",
+    "TRPResult",
+    "simulate_trp",
+]
+
+
+def trp_singleton_probability(n: int, f: int) -> float:
+    """P[a given tag lands in an expected-singleton slot]."""
+    if n < 1 or f < 1:
+        raise ValueError("n and f must be positive")
+    return (1.0 - 1.0 / f) ** (n - 1)
+
+
+def trp_required_rounds(n: int, f: int, alpha: float) -> int:
+    """Rounds needed to detect one missing tag with probability ≥ α."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    p1 = trp_singleton_probability(n, f)
+    if p1 >= 1.0:
+        return 1
+    return max(1, math.ceil(math.log(1.0 - alpha) / math.log(1.0 - p1)))
+
+
+@dataclass(frozen=True)
+class TRPResult:
+    """Outcome of a TRP monitoring run."""
+
+    n_known: int
+    n_missing: int
+    rounds_run: int
+    detected: bool
+    first_detection_round: int | None
+    wire_time_us: float
+
+    @property
+    def time_s(self) -> float:
+        return self.wire_time_us / 1e6
+
+
+def _round_time_us(f: int, init_bits: int, timing: C1G2Timing) -> float:
+    """One TRP round: frame announce + f one-bit reply slots.
+
+    Every slot is walked (the reader cannot skip: silence is the
+    signal); each costs a 4-bit QueryRep, T1, a 1-bit reply window, T2.
+    """
+    slot_us = timing.reader_tx_us(4) + timing.t1_us + timing.tag_tx_us(1) + timing.t2_us
+    return timing.reader_tx_us(init_bits) + f * slot_us
+
+
+def simulate_trp(
+    tags: TagSet,
+    present: np.ndarray,
+    rng: np.random.Generator,
+    load: float = 1.0,
+    alpha: float = 0.99,
+    max_rounds: int | None = None,
+    init_bits: int = 32,
+    timing: C1G2Timing = PAPER_TIMING,
+    stop_on_detection: bool = True,
+) -> TRPResult:
+    """Run TRP monitoring rounds until detection (or the α-round budget).
+
+    Args:
+        tags: the known population (reader side).
+        present: indices of tags physically in the field.
+        load: frame load factor; ``f = n / load``.
+        alpha: target detection probability (sets the round budget).
+        max_rounds: override the α-derived budget.
+        stop_on_detection: stop at the first missing-slot evidence (the
+            monitoring use case); if False run the whole budget.
+    """
+    n = len(tags)
+    if n == 0:
+        raise ValueError("population must be non-empty")
+    f = max(int(round(n / load)), 1)
+    budget = max_rounds if max_rounds is not None else trp_required_rounds(n, f, alpha)
+
+    present = np.asarray(present, dtype=np.int64)
+    present_mask = np.zeros(n, dtype=bool)
+    present_mask[present] = True
+    n_missing = int(n - present.size)
+
+    detected = False
+    first_round: int | None = None
+    time_us = 0.0
+    for round_no in range(budget):
+        seed = fresh_seed(rng)
+        slots = hash_mod(tags.id_words, seed, f)
+        expected = np.bincount(slots, minlength=f)
+        observed = np.bincount(slots[present_mask], minlength=f)
+        time_us += _round_time_us(f, init_bits, timing)
+        # an expected singleton that stays silent is proof
+        if np.any((expected == 1) & (observed == 0)):
+            detected = True
+            if first_round is None:
+                first_round = round_no
+            if stop_on_detection:
+                return TRPResult(
+                    n_known=n,
+                    n_missing=n_missing,
+                    rounds_run=round_no + 1,
+                    detected=True,
+                    first_detection_round=round_no,
+                    wire_time_us=time_us,
+                )
+    return TRPResult(
+        n_known=n,
+        n_missing=n_missing,
+        rounds_run=budget,
+        detected=detected,
+        first_detection_round=first_round,
+        wire_time_us=time_us,
+    )

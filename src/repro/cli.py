@@ -1,0 +1,156 @@
+"""Command-line interface: ``repro-rfid`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+- ``compare``  — run several protocols on one population and print the
+  execution-time / vector-length comparison (the paper's Table view).
+- ``missing``  — theft-watch sweep: plant missing tags, detect them.
+- ``estimate`` — cardinality estimation demo (zero / vogt / lof).
+- ``experiments`` — forwards to ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOLS = ("CPP", "CP", "HPP", "EHPP", "TPP", "MIC")
+
+
+def _make_protocol(name: str):
+    from repro.baselines.mic import MIC
+    from repro.core.coded_polling import CodedPolling
+    from repro.core.cpp import CPP
+    from repro.core.ehpp import EHPP
+    from repro.core.hpp import HPP
+    from repro.core.tpp import TPP
+
+    return {
+        "CPP": CPP,
+        "CP": CodedPolling,
+        "HPP": HPP,
+        "EHPP": EHPP,
+        "TPP": TPP,
+        "MIC": MIC,
+    }[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rfid",
+        description="Fast RFID polling protocols (ICPP 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser("compare", help="compare protocols on one population")
+    cmp_p.add_argument("-n", "--tags", type=int, default=10_000)
+    cmp_p.add_argument("-l", "--info-bits", type=int, default=1)
+    cmp_p.add_argument("-r", "--runs", type=int, default=10)
+    cmp_p.add_argument("-s", "--seed", type=int, default=0)
+    cmp_p.add_argument(
+        "-p", "--protocols", nargs="+", choices=_PROTOCOLS,
+        default=list(_PROTOCOLS),
+    )
+
+    miss_p = sub.add_parser("missing", help="missing-tag detection sweep")
+    miss_p.add_argument("-n", "--tags", type=int, default=2_000)
+    miss_p.add_argument("-m", "--missing-fraction", type=float, default=0.02)
+    miss_p.add_argument("-s", "--seed", type=int, default=0)
+    miss_p.add_argument("-p", "--protocol", choices=_PROTOCOLS, default="TPP")
+    miss_p.add_argument("--ber", type=float, default=0.0,
+                        help="bit error rate of the channel")
+
+    est_p = sub.add_parser("estimate", help="cardinality estimation demo")
+    est_p.add_argument("-n", "--tags", type=int, default=5_000)
+    est_p.add_argument("--method", choices=("zero", "vogt", "lof"), default="zero")
+    est_p.add_argument("--rounds", type=int, default=16)
+    est_p.add_argument("-s", "--seed", type=int, default=0)
+
+    exp_p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    exp_p.add_argument("names", nargs="*")
+    exp_p.add_argument("--quick", action="store_true")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.apps.information_collection import collect_information
+    from repro.phy.link import lower_bound_us
+    from repro.workloads.tagsets import uniform_tagset
+
+    tags = uniform_tagset(args.tags, np.random.default_rng(args.seed))
+    print(f"{args.tags:,} tags, {args.info_bits}-bit information, "
+          f"{args.runs} runs\n")
+    print(f"{'protocol':<8} {'vector bits':>12} {'rounds':>8} "
+          f"{'time':>10} {'x bound':>9}")
+    for name in args.protocols:
+        rep = collect_information(
+            _make_protocol(name), tags, args.info_bits,
+            n_runs=args.runs, seed=args.seed,
+        )
+        print(f"{rep.protocol:<8} {rep.mean_vector_bits:>12.2f} "
+              f"{rep.mean_rounds:>8.1f} {rep.mean_time_s:>9.2f}s "
+              f"{rep.ratio_to_lower_bound:>8.2f}x")
+    lb = lower_bound_us(args.tags, args.info_bits) / 1e6
+    print(f"{'(bound)':<8} {'-':>12} {'-':>8} {lb:>9.2f}s {'1.00x':>9}")
+    return 0
+
+
+def _cmd_missing(args: argparse.Namespace) -> int:
+    from repro.apps.missing_tag import detect_missing_tags
+    from repro.phy.channel import BitErrorChannel
+    from repro.workloads.scenarios import theft_watch_scenario
+
+    scenario = theft_watch_scenario(
+        n=args.tags, missing_fraction=args.missing_fraction, seed=args.seed
+    )
+    channel = BitErrorChannel(args.ber) if args.ber > 0 else None
+    report = detect_missing_tags(
+        _make_protocol(args.protocol), scenario, seed=args.seed,
+        channel=channel, missing_attempts=5,
+    )
+    print(f"{report.protocol}: {report.n_known:,} known tags, "
+          f"{len(report.true_missing)} actually missing")
+    print(f"detected {len(report.detected_missing)} in {report.time_s:.2f}s "
+          f"({report.n_retries} retransmissions)")
+    print(f"false positives: {len(report.false_positives)}, "
+          f"false negatives: {len(report.false_negatives)}"
+          f"{' — exact' if report.exact else ''}")
+    return 0 if report.exact else 1
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.baselines.estimation import estimate_cardinality
+
+    rng = np.random.default_rng(args.seed)
+    est = estimate_cardinality(args.tags, rng, method=args.method,
+                               n_rounds=args.rounds)
+    err = abs(est - args.tags) / args.tags * 100
+    print(f"true n = {args.tags:,}; {args.method} estimate over "
+          f"{args.rounds} frames: {est:,.0f} ({err:.1f}% error)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "missing":
+        return _cmd_missing(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "experiments":
+        from repro.experiments.__main__ import main as exp_main
+
+        forwarded = list(args.names)
+        if args.quick:
+            forwarded.append("--quick")
+        return exp_main(forwarded)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's polling protocols and their shared machinery.
+
+Protocol classes (all :class:`~repro.core.base.PollingProtocol`):
+
+- :class:`~repro.core.cpp.CPP` — conventional polling (96-bit IDs).
+- :class:`~repro.core.cpp.EnhancedCPP` — category-prefix masking CPP.
+- :class:`~repro.core.coded_polling.CodedPolling` — 48-bit coded frames.
+- :class:`~repro.core.hpp.HPP` — hash polling (§III).
+- :class:`~repro.core.ehpp.EHPP` — circle-partitioned HPP (§III-D).
+- :class:`~repro.core.tpp.TPP` — tree-based polling (§IV).
+"""
+
+from repro.core.base import (
+    InterrogationPlan,
+    PollingProtocol,
+    ProtocolStats,
+    RoundPlan,
+)
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.planner import (
+    CoveringPolicy,
+    FixedLoadPolicy,
+    IndexLengthPolicy,
+    SingletonMaxPolicy,
+    hpp_index_length,
+    tpp_index_length,
+)
+from repro.core.polling_tree import PollingTree, Segment, decode_segments
+from repro.core.rounds import RoundDraw, draw_round
+from repro.core.tpp import TPP
+
+__all__ = [
+    "InterrogationPlan",
+    "PollingProtocol",
+    "ProtocolStats",
+    "RoundPlan",
+    "CPP",
+    "EnhancedCPP",
+    "CodedPolling",
+    "HPP",
+    "EHPP",
+    "TPP",
+    "CoveringPolicy",
+    "FixedLoadPolicy",
+    "IndexLengthPolicy",
+    "SingletonMaxPolicy",
+    "hpp_index_length",
+    "tpp_index_length",
+    "PollingTree",
+    "Segment",
+    "decode_segments",
+    "RoundDraw",
+    "draw_round",
+]

@@ -1,0 +1,223 @@
+"""Protocol base classes and the interrogation-plan data model.
+
+Every polling protocol in this library is a *reader-side planner*: given
+the known tag population and a random seed it produces an
+:class:`InterrogationPlan` — the exact sequence of rounds the reader
+would execute, with per-poll bit counts and the identity of the tag that
+answers each poll.  The plan is the single source of truth consumed by
+
+- :func:`repro.phy.link.plan_wire_time` to compute air time,
+- the discrete-event simulator (:mod:`repro.sim`) which *independently*
+  re-executes the protocol with genuine tag state machines and checks
+  that reality matches the plan,
+- the experiment harness, which aggregates plan metrics over many runs.
+
+Plans keep per-round data in numpy arrays so that planning and costing
+stay vectorised even at 10^5 tags (see the HPC guide: avoid per-item
+Python objects in hot paths).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "RoundPlan",
+    "InterrogationPlan",
+    "PollingProtocol",
+    "ProtocolStats",
+]
+
+
+@dataclass
+class RoundPlan:
+    """One reader round (or EHPP circle segment, or MIC frame).
+
+    Attributes:
+        label: human-readable round tag, e.g. ``"hpp-round-3"``.
+        init_bits: reader bits broadcast once at the start of the round
+            (round-initiation command, circle command, indicator vector).
+            Charged as pure downlink transmission time — no turnaround,
+            because the reader keeps talking.
+        poll_vector_bits: array, payload bits of each polling vector.
+        poll_tag_idx: array, global index (into the tag population) of
+            the unique tag that replies to each poll.  Aligned with
+            ``poll_vector_bits``.
+        poll_overhead_bits: command-framing bits charged per poll (the
+            4-bit QueryRep for the paper's protocols; 0 for bare-ID CPP).
+        empty_slots: wasted slots with no reply (ALOHA baselines).
+        collision_slots: wasted slots in which ≥2 tags garble a reply of
+            the full payload length (ALOHA baselines, MIC).
+        slot_overhead_bits: framing bits charged per wasted slot.
+        extra: free-form per-round diagnostics (``h``, seed, ...).
+    """
+
+    label: str
+    init_bits: int
+    poll_vector_bits: np.ndarray
+    poll_tag_idx: np.ndarray
+    poll_overhead_bits: int = 4
+    empty_slots: int = 0
+    collision_slots: int = 0
+    slot_overhead_bits: int = 4
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.poll_vector_bits = np.asarray(self.poll_vector_bits, dtype=np.int64)
+        self.poll_tag_idx = np.asarray(self.poll_tag_idx, dtype=np.int64)
+        if self.poll_vector_bits.shape != self.poll_tag_idx.shape:
+            raise ValueError(
+                "poll_vector_bits and poll_tag_idx must be aligned: "
+                f"{self.poll_vector_bits.shape} vs {self.poll_tag_idx.shape}"
+            )
+        if self.poll_vector_bits.ndim != 1:
+            raise ValueError("poll arrays must be one-dimensional")
+        if self.init_bits < 0 or self.empty_slots < 0 or self.collision_slots < 0:
+            raise ValueError("counts must be non-negative")
+        if self.poll_vector_bits.size and self.poll_vector_bits.min() < 0:
+            raise ValueError("poll_vector_bits must be non-negative")
+
+    @property
+    def n_polls(self) -> int:
+        """Number of polls (useful singleton interrogations) in the round."""
+        return int(self.poll_vector_bits.size)
+
+    @property
+    def reader_bits(self) -> int:
+        """Total downlink bits the reader transmits during this round."""
+        return int(
+            self.init_bits
+            + self.poll_vector_bits.sum()
+            + self.poll_overhead_bits * self.n_polls
+            + self.slot_overhead_bits * (self.empty_slots + self.collision_slots)
+        )
+
+    @property
+    def vector_bits(self) -> int:
+        """Round-attributable polling-vector bits (init + per-poll payload).
+
+        This is the quantity the paper's Fig. 10 averages per tag: the
+        per-poll QueryRep framing is excluded, broadcast overhead (round
+        init / circle command / indicator vector) is included.
+        """
+        return int(self.init_bits + self.poll_vector_bits.sum())
+
+
+@dataclass
+class InterrogationPlan:
+    """A complete interrogation of a tag population by one protocol."""
+
+    protocol: str
+    n_tags: int
+    rounds: list[RoundPlan]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_tags < 0:
+            raise ValueError("n_tags must be non-negative")
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def n_polls(self) -> int:
+        return sum(r.n_polls for r in self.rounds)
+
+    @property
+    def reader_bits(self) -> int:
+        return sum(r.reader_bits for r in self.rounds)
+
+    @property
+    def wasted_slots(self) -> int:
+        return sum(r.empty_slots + r.collision_slots for r in self.rounds)
+
+    @property
+    def avg_vector_bits(self) -> float:
+        """Average polling-vector length per tag (paper's Fig. 10 metric)."""
+        if self.n_tags == 0:
+            return 0.0
+        return sum(r.vector_bits for r in self.rounds) / self.n_tags
+
+    def polled_tags(self) -> np.ndarray:
+        """Global indices of all tags polled, in interrogation order."""
+        if not self.rounds:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([r.poll_tag_idx for r in self.rounds])
+
+    def iter_rounds(self) -> Iterator[RoundPlan]:
+        return iter(self.rounds)
+
+    def validate_complete(self) -> None:
+        """Check the plan polls every tag exactly once.
+
+        Raises:
+            ValueError: if any tag is missed or polled more than once.
+        """
+        polled = self.polled_tags()
+        if polled.size != self.n_tags:
+            raise ValueError(
+                f"plan polls {polled.size} tags but population has {self.n_tags}"
+            )
+        if polled.size and (
+            np.unique(polled).size != polled.size
+            or polled.min() < 0
+            or polled.max() >= self.n_tags
+        ):
+            raise ValueError("plan polls a tag more than once or out of range")
+
+
+@dataclass(frozen=True)
+class ProtocolStats:
+    """Flat summary of one interrogation, convenient for aggregation."""
+
+    protocol: str
+    n_tags: int
+    n_rounds: int
+    n_polls: int
+    reader_bits: int
+    wasted_slots: int
+    avg_vector_bits: float
+    wire_time_us: float
+
+    @property
+    def time_per_tag_us(self) -> float:
+        return self.wire_time_us / self.n_tags if self.n_tags else 0.0
+
+
+class PollingProtocol(ABC):
+    """Interface implemented by every polling protocol.
+
+    Subclasses are stateless value objects: configuration lives in the
+    constructor, every :meth:`plan` call is independent and driven solely
+    by the passed RNG, so experiments stay reproducible.
+    """
+
+    #: short identifier used in reports ("CPP", "HPP", "TPP", ...)
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan(self, tags: "TagSet", rng: np.random.Generator) -> InterrogationPlan:
+        """Plan a complete interrogation of ``tags``.
+
+        Args:
+            tags: the known tag population (the reader has every ID in
+                advance — the paper's system model, §II-A).
+            rng: seeded random generator; the only source of randomness.
+
+        Returns:
+            A plan that polls every tag exactly once.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,124 @@
+"""Conventional Polling Protocol (CPP) and its prefix-masking variant.
+
+CPP (paper §II-B) is the baseline every improvement is measured against:
+the reader broadcasts each tag's full 96-bit EPC and waits for that tag's
+reply — a 96-bit polling vector per tag, no framing command.
+
+The *enhanced* CPP exploits ID structure when it exists: if all tags (or
+each category of tags) share an ID prefix, the reader broadcasts the
+prefix once per group in a Select-style mask and then polls each group
+member with only the differential suffix bits.  The paper notes this
+"relies on the specific distribution of tag IDs" — with a 32-bit shared
+category ID the vector is still ≥ 64 bits, far from efficient; our
+implementation quantifies exactly that on clustered populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
+from repro.phy.commands import DEFAULT_COMMAND_SIZES, EPC_ID_BITS, CommandSizes
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["CPP", "EnhancedCPP"]
+
+
+class CPP(PollingProtocol):
+    """Conventional polling: one bare 96-bit ID broadcast per tag."""
+
+    name = "CPP"
+
+    def __init__(self, id_bits: int = EPC_ID_BITS, shuffle: bool = True):
+        if id_bits <= 0:
+            raise ValueError("id_bits must be positive")
+        self.id_bits = id_bits
+        #: poll tags in random order (matches a reader walking its
+        #: inventory list in no particular order); disable for
+        #: deterministic traces in tests.
+        self.shuffle = shuffle
+
+    def plan(self, tags: TagSet, rng: np.random.Generator) -> InterrogationPlan:
+        n = len(tags)
+        order = np.arange(n, dtype=np.int64)
+        if self.shuffle and n > 1:
+            rng.shuffle(order)
+        round_plan = RoundPlan(
+            label="cpp",
+            init_bits=0,
+            poll_vector_bits=np.full(n, self.id_bits, dtype=np.int64),
+            poll_tag_idx=order,
+            poll_overhead_bits=0,  # CPP broadcasts the raw ID, unframed
+        )
+        return InterrogationPlan(
+            protocol=self.name,
+            n_tags=n,
+            rounds=[round_plan],
+            meta={"id_bits": self.id_bits},
+        )
+
+
+class EnhancedCPP(PollingProtocol):
+    """Prefix-masking CPP (paper §II-B).
+
+    Groups tags by their top ``category_bits`` ID bits; per group the
+    reader broadcasts one Select mask carrying the shared prefix, then
+    polls each member with the remaining ``96 - category_bits``
+    differential bits.  Degenerates to (slightly worse than) CPP when IDs
+    share no structure, and caps the per-tag vector at 64 bits for a
+    32-bit category — exactly the paper's criticism.
+    """
+
+    name = "eCPP"
+
+    def __init__(
+        self,
+        category_bits: int = 32,
+        id_bits: int = EPC_ID_BITS,
+        commands: CommandSizes = DEFAULT_COMMAND_SIZES,
+    ):
+        if not 0 < category_bits < id_bits:
+            raise ValueError("category_bits must be in (0, id_bits)")
+        self.category_bits = category_bits
+        self.id_bits = id_bits
+        self.commands = commands
+
+    def plan(self, tags: TagSet, rng: np.random.Generator) -> InterrogationPlan:
+        n = len(tags)
+        if n == 0:
+            return InterrogationPlan(protocol=self.name, n_tags=0, rounds=[])
+        # top `category_bits` of the 96-bit ID live in id_hi (32 bits)
+        # and possibly spill into id_lo for category_bits > 32.
+        hi_bits = EPC_ID_BITS - 64
+        if self.category_bits <= hi_bits:
+            shift = np.uint64(hi_bits - self.category_bits)
+            keys = (tags.id_hi >> shift).astype(np.int64)
+        else:
+            spill = self.category_bits - hi_bits
+            keys_hi = tags.id_hi.astype(np.int64) << np.int64(spill)
+            keys_lo = (tags.id_lo >> np.uint64(64 - spill)).astype(np.int64)
+            keys = keys_hi | keys_lo
+
+        suffix_bits = self.id_bits - self.category_bits
+        mask_bits = self.commands.select_bits(self.category_bits)
+
+        rounds: list[RoundPlan] = []
+        for key in np.unique(keys):
+            members = np.flatnonzero(keys == key).astype(np.int64)
+            rng.shuffle(members)
+            rounds.append(
+                RoundPlan(
+                    label=f"ecpp-category-{key:x}",
+                    init_bits=mask_bits,
+                    poll_vector_bits=np.full(members.size, suffix_bits, dtype=np.int64),
+                    poll_tag_idx=members,
+                    poll_overhead_bits=0,
+                    extra={"category": int(key)},
+                )
+            )
+        return InterrogationPlan(
+            protocol=self.name,
+            n_tags=n,
+            rounds=rounds,
+            meta={"category_bits": self.category_bits, "id_bits": self.id_bits},
+        )

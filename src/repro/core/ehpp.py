@@ -1,0 +1,148 @@
+"""Enhanced Hash Polling Protocol (EHPP) — paper §III-D.
+
+HPP's polling vector grows like log₂ n.  EHPP caps it by splitting the
+population into subsets of (near-)optimal size ``n*`` and interrogating
+each subset with HPP in its own *circle*:
+
+- The reader opens a circle by broadcasting ``⟨f, F, r⟩`` (the *circle
+  command*, ``l_c`` bits); each still-unread tag joins the circle iff
+  ``H(r, ID) mod F <= f``.  Choosing ``f ≈ F·n*/n_remaining`` yields an
+  expected ``n*`` participants — the paper's probability-based subset
+  selection, which (unlike C1G2 Select masks) needs no assumption on the
+  ID distribution.
+- Within the circle, plain HPP runs to completion over the joiners.
+- Circles repeat until every tag is read.  Once the remainder is no
+  larger than ``n*``, EHPP "just executes HPP as-is" (paper §V-C) with
+  no further circle command.
+
+Theorem 1 bounds the optimal subset size: ``n* ∈ [l_c·ln2, e·l_c·ln2]``;
+:func:`repro.analysis.ehpp_model.optimal_subset_size` searches the exact
+minimiser numerically, and this class uses it by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
+from repro.core.hpp import MAX_ROUNDS, hpp_rounds
+from repro.core.planner import CoveringPolicy, IndexLengthPolicy
+from repro.core.rounds import fresh_seed
+from repro.hashing.universal import hash_mod
+from repro.phy.commands import DEFAULT_COMMAND_SIZES, CommandSizes
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["EHPP"]
+
+#: modulus of the circle-selection hash; 2^16 gives fine-grained control
+#: of the join probability f/F.
+DEFAULT_F = 1 << 16
+
+
+class EHPP(PollingProtocol):
+    """Enhanced HPP: optimal-size circles, each resolved by HPP."""
+
+    name = "EHPP"
+
+    def __init__(
+        self,
+        commands: CommandSizes = DEFAULT_COMMAND_SIZES,
+        subset_size: int | None = None,
+        selection_modulus: int = DEFAULT_F,
+        policy: IndexLengthPolicy | None = None,
+    ):
+        """
+        Args:
+            commands: command sizes; ``commands.circle_command`` is the
+                ``l_c`` of the paper, ``commands.round_init`` the per-HPP
+                round initiation charge.
+            subset_size: target tags per circle; ``None`` (default) uses
+                the numerically optimal ``n*`` for ``l_c`` (Theorem 1).
+            selection_modulus: the ``F`` of the circle command.
+            policy: index-length policy for the inner HPP rounds.
+        """
+        self.commands = commands
+        if selection_modulus < 2:
+            raise ValueError("selection_modulus must be >= 2")
+        self.selection_modulus = selection_modulus
+        if subset_size is not None and subset_size < 1:
+            raise ValueError("subset_size must be positive")
+        self._subset_size = subset_size
+        self.policy = policy if policy is not None else CoveringPolicy()
+
+    @property
+    def subset_size(self) -> int:
+        if self._subset_size is None:
+            # imported lazily: repro.analysis depends on repro.core for
+            # the planner policies, so a module-level import would cycle
+            from repro.analysis.ehpp_model import optimal_subset_size
+
+            self._subset_size = optimal_subset_size(
+                self.commands.circle_command, self.commands.round_init
+            )
+        return self._subset_size
+
+    # ------------------------------------------------------------------
+    def plan(self, tags: TagSet, rng: np.random.Generator) -> InterrogationPlan:
+        n = len(tags)
+        if n == 0:
+            return InterrogationPlan(protocol=self.name, n_tags=0, rounds=[])
+        n_star = self.subset_size
+        big_f = self.selection_modulus
+        rounds: list[RoundPlan] = []
+        remaining = np.arange(n, dtype=np.int64)
+        n_circles = 0
+        guard = 0
+        while remaining.size:
+            guard += 1
+            if guard > MAX_ROUNDS:
+                raise RuntimeError("EHPP did not converge")
+            if remaining.size <= n_star:
+                # small remainder: plain HPP, no circle command (§V-C)
+                rounds.extend(
+                    hpp_rounds(
+                        tags.id_words,
+                        remaining,
+                        rng,
+                        self.policy,
+                        self.commands.round_init,
+                        label_prefix=f"ehpp-tail",
+                    )
+                )
+                break
+            seed = fresh_seed(rng)
+            # join iff H(r, ID) mod F <= f ; (f+1)/F ≈ n*/n_remaining
+            f = max(int(round(big_f * n_star / remaining.size)) - 1, 0)
+            sel = hash_mod(tags.id_words[remaining], seed, big_f)
+            joined = remaining[sel <= f]
+            rounds.append(
+                RoundPlan(
+                    label=f"ehpp-circle-{n_circles}",
+                    init_bits=self.commands.circle_command,
+                    poll_vector_bits=np.empty(0, dtype=np.int64),
+                    poll_tag_idx=np.empty(0, dtype=np.int64),
+                    extra={"seed": seed, "f": f, "F": big_f,
+                           "n_joined": int(joined.size),
+                           "n_remaining": int(remaining.size)},
+                )
+            )
+            if joined.size:
+                rounds.extend(
+                    hpp_rounds(
+                        tags.id_words,
+                        joined,
+                        rng,
+                        self.policy,
+                        self.commands.round_init,
+                        label_prefix=f"ehpp-circle-{n_circles}",
+                    )
+                )
+                keep = sel > f
+                remaining = remaining[keep]
+            n_circles += 1
+        return InterrogationPlan(
+            protocol=self.name,
+            n_tags=n,
+            rounds=rounds,
+            meta={"subset_size": n_star, "n_circles": n_circles},
+        )

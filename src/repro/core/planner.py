@@ -1,0 +1,123 @@
+"""Index-length policies — how long should a round's hash index be?
+
+Two policies appear in the paper:
+
+- **HPP** (§III-B): the smallest power of two covering the unread tags,
+  ``2**(h-1) < n <= 2**h``, i.e. a load factor λ = n/2^h in (0.5, 1].
+- **TPP** (§IV-D, eq. 15): the ``h`` that maximises the singleton
+  probability µ = λ·e^{-λ} over integers, which lands the load factor in
+  ``[ln 2, 2 ln 2)`` — the tree protocol prefers λ ≈ ln 2 because the
+  wire cost is tree *nodes*, not raw index bits.
+
+Both are exposed as pure functions plus small strategy objects so the
+ablation benchmarks can swap policies between protocols.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "hpp_index_length",
+    "tpp_index_length",
+    "IndexLengthPolicy",
+    "CoveringPolicy",
+    "SingletonMaxPolicy",
+    "FixedLoadPolicy",
+]
+
+_LN2 = math.log(2.0)
+_MAX_H = 62  # indices are int64 on the wire-model side
+
+
+def hpp_index_length(n_unread: int) -> int:
+    """HPP's policy: smallest ``h`` with ``n <= 2**h`` (and ``h >= 1``).
+
+    >>> hpp_index_length(4)
+    2
+    >>> hpp_index_length(5)
+    3
+    """
+    if n_unread < 1:
+        raise ValueError("n_unread must be positive")
+    return min(max(1, math.ceil(math.log2(n_unread))), _MAX_H)
+
+
+def tpp_index_length(n_unread: int) -> int:
+    """TPP's policy (eq. 15): the integer ``h`` with λ = n/2^h ∈ [ln2, 2·ln2).
+
+    Derivation: µ(λ) = λe^{-λ} is maximised over the feasible integer
+    grid exactly when λ ∈ [ln 2, 2 ln 2) (paper eq. 13–15).
+
+    >>> import math
+    >>> h = tpp_index_length(1000)
+    >>> math.log(2) <= 1000 / 2**h < 2 * math.log(2)
+    True
+    """
+    if n_unread < 1:
+        raise ValueError("n_unread must be positive")
+    # ln2 <= n / 2^h  < 2 ln2   <=>   log2(n / (2 ln2)) < h <= log2(n / ln2)
+    h = math.floor(math.log2(n_unread / _LN2))
+    # guard float edges: enforce the defining inequality explicitly
+    while h > 1 and n_unread / (1 << h) < _LN2:
+        h -= 1
+    while h < _MAX_H and n_unread / (1 << h) >= 2 * _LN2:
+        h += 1
+    return min(max(1, h), _MAX_H)
+
+
+class IndexLengthPolicy:
+    """Strategy interface: pick the round index length from ``n_unread``."""
+
+    name = "abstract"
+
+    def __call__(self, n_unread: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CoveringPolicy(IndexLengthPolicy):
+    """HPP's covering policy, λ ∈ (0.5, 1]."""
+
+    name: str = "covering"
+
+    def __call__(self, n_unread: int) -> int:
+        return hpp_index_length(n_unread)
+
+
+@dataclass(frozen=True)
+class SingletonMaxPolicy(IndexLengthPolicy):
+    """TPP's singleton-maximising policy, λ ∈ [ln2, 2·ln2)."""
+
+    name: str = "singleton-max"
+
+    def __call__(self, n_unread: int) -> int:
+        return tpp_index_length(n_unread)
+
+
+@dataclass(frozen=True)
+class FixedLoadPolicy(IndexLengthPolicy):
+    """Ablation policy: target an arbitrary load factor λ* = n/2^h.
+
+    Picks the integer ``h`` whose load factor is closest to ``target`` in
+    log space.
+    """
+
+    target: float = 1.0
+    name: str = "fixed-load"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target:
+            raise ValueError("target load factor must be positive")
+
+    def __call__(self, n_unread: int) -> int:
+        if n_unread < 1:
+            raise ValueError("n_unread must be positive")
+        exact = math.log2(max(n_unread / self.target, 1.0))
+        candidates = {max(1, math.floor(exact)), max(1, math.ceil(exact))}
+        best = min(
+            candidates,
+            key=lambda h: abs(math.log(n_unread / (1 << h)) - math.log(self.target)),
+        )
+        return min(best, _MAX_H)

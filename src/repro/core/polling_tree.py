@@ -1,0 +1,199 @@
+"""The binary polling tree (paper §IV-C) and its wire encoding.
+
+TPP does not broadcast singleton indices verbatim.  The reader inserts
+every singleton index into a binary trie (left edge = bit 0, right edge
+= bit 1, virtual root), pre-order-traverses it, and slices the traversal
+at each leaf: segment ``Seq[j]`` contains the nodes strictly after leaf
+``j-1`` up to and including leaf ``j``.  Each node corresponds to one
+broadcast bit, so a round's wire cost equals the number of tree nodes
+(root excluded) — every common prefix is transmitted exactly once.
+
+Tag-side decoding (paper Fig. 7): each tag keeps an ``h``-bit register
+``A`` and, on receiving a ``k``-bit segment, overwrites the *last*
+``k`` bits of ``A`` with it.  After each segment, ``A`` equals the next
+singleton index, and the unique tag that picked it replies.
+
+Two implementations live here:
+
+- :class:`PollingTree` — an explicit node tree, used by the
+  discrete-event simulator and the tests (legible, O(m·h)).
+- :func:`segment_lengths` / :func:`segment_values` — closed-form
+  vectorised equivalents used by the planner at scale: for sorted
+  distinct indices the pre-order slice for leaf ``j`` has length
+  ``h − lcp(s_{j−1}, s_j)`` and its payload is the last
+  ``h − lcp`` bits of ``s_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hashing.bitops import common_prefix_len_array, index_to_bits
+
+__all__ = [
+    "TreeNode",
+    "PollingTree",
+    "Segment",
+    "segment_lengths",
+    "segment_values",
+    "decode_segments",
+]
+
+
+@dataclass
+class TreeNode:
+    """One node of the polling tree; ``bit`` is None only for the root."""
+
+    bit: int | None
+    children: list["TreeNode | None"] = field(default_factory=lambda: [None, None])
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children[0] is None and self.children[1] is None
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One wire segment ``Seq[j]``: ``length`` bits with value ``value``.
+
+    ``value`` holds the bits MSB-first, i.e. the segment for bit string
+    ``"101"`` is ``Segment(value=0b101, length=3)``.
+    """
+
+    value: int
+    length: int
+
+    def bits(self) -> str:
+        return index_to_bits(self.value, self.length)
+
+
+class PollingTree:
+    """Explicit binary polling tree built from singleton indices."""
+
+    def __init__(self, h: int):
+        if h < 0:
+            raise ValueError("h must be non-negative")
+        self.h = h
+        self.root = TreeNode(bit=None)
+        self._n_nodes = 0
+        self._n_leaves = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_indices(cls, indices: np.ndarray | list[int], h: int) -> "PollingTree":
+        """Insert every index (paper Fig. 6); duplicates are rejected."""
+        tree = cls(h)
+        seen: set[int] = set()
+        for raw in np.asarray(indices, dtype=np.int64).tolist():
+            if raw in seen:
+                raise ValueError(f"duplicate singleton index {raw}")
+            seen.add(raw)
+            tree.insert(int(raw))
+        return tree
+
+    def insert(self, index: int) -> None:
+        """Insert one ``h``-bit index, creating missing nodes on the path."""
+        if index < 0 or index >= (1 << self.h):
+            raise ValueError(f"index {index} does not fit in {self.h} bits")
+        node = self.root
+        for pos in range(self.h - 1, -1, -1):
+            bit = (index >> pos) & 1
+            child = node.children[bit]
+            if child is None:
+                child = TreeNode(bit=bit)
+                node.children[bit] = child
+                self._n_nodes += 1
+            node = child
+        self._n_leaves += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Nodes excluding the virtual root = total broadcast bits."""
+        return self._n_nodes
+
+    @property
+    def n_leaves(self) -> int:
+        return self._n_leaves
+
+    def preorder(self) -> list[TreeNode]:
+        """Pre-order traversal (root first, 0-child before 1-child)."""
+        out: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            # push right first so left is visited first
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(child)
+        return out
+
+    def segments(self) -> list[Segment]:
+        """The wire segments Seq[1..m], in poll order (ascending index)."""
+        segments: list[Segment] = []
+        value = 0
+        length = 0
+        for node in self.preorder():
+            if node.bit is None:
+                continue  # virtual root contributes no bits
+            value = (value << 1) | node.bit
+            length += 1
+            if node.is_leaf:
+                segments.append(Segment(value=value, length=length))
+                value = 0
+                length = 0
+        return segments
+
+    def leaf_indices(self) -> list[int]:
+        """All stored indices, in pre-order (= ascending) order."""
+        return decode_segments(self.segments(), self.h)
+
+
+# ----------------------------------------------------------------------
+# vectorised closed forms
+# ----------------------------------------------------------------------
+def segment_lengths(sorted_indices: np.ndarray, h: int) -> np.ndarray:
+    """Length (bits) of each pre-order segment for sorted distinct indices.
+
+    ``lengths[0] == h`` and ``lengths[j] == h - lcp(s[j-1], s[j])`` —
+    exactly the per-leaf node count of the trie, so
+    ``lengths.sum() == PollingTree.n_nodes``.
+    """
+    idx = np.asarray(sorted_indices, dtype=np.int64)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lcp = common_prefix_len_array(idx, h)
+    lengths = h - lcp
+    lengths[0] = h
+    return lengths
+
+
+def segment_values(sorted_indices: np.ndarray, h: int) -> np.ndarray:
+    """Payload of each segment: the last ``lengths[j]`` bits of ``s[j]``."""
+    idx = np.asarray(sorted_indices, dtype=np.int64)
+    lengths = segment_lengths(idx, h)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = (np.int64(1) << lengths) - np.int64(1)
+    # lengths may equal 64 never (h <= 62), so the shift is safe
+    return idx & mask
+
+
+def decode_segments(segments: list[Segment], h: int) -> list[int]:
+    """Tag-side decoding: replay the ``A``-register updates (Fig. 7)."""
+    out: list[int] = []
+    a = 0
+    full_mask = (1 << h) - 1
+    for seg in segments:
+        if not 0 <= seg.length <= h:
+            raise ValueError(f"segment length {seg.length} outside [0, {h}]")
+        if seg.length and not 0 <= seg.value < (1 << seg.length):
+            raise ValueError("segment value does not fit its length")
+        keep_mask = full_mask ^ ((1 << seg.length) - 1)
+        a = (a & keep_mask) | seg.value
+        out.append(a)
+    return out

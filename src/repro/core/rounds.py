@@ -1,0 +1,87 @@
+"""Shared round machinery: hashing a tag subset and sifting singletons.
+
+HPP, EHPP and TPP all start a round the same way (paper §III-B, §IV-C):
+the reader broadcasts ``⟨h, r⟩``, every active tag picks the index
+``H(r, id) mod 2**h``, and — because the reader knows all IDs — the
+reader precomputes which indices are *singletons* (picked by exactly one
+tag).  Only the encoding of those singleton indices on the wire differs
+between the protocols, so the draw itself lives here, vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.universal import hash_indices
+
+__all__ = ["RoundDraw", "draw_round", "fresh_seed"]
+
+
+@dataclass(frozen=True)
+class RoundDraw:
+    """Result of one index draw over the active tags.
+
+    Attributes:
+        h: index length used.
+        seed: the seed broadcast to the tags.
+        singleton_indices: sorted, distinct indices picked by exactly one
+            tag (the reader polls these, in ascending order).
+        singleton_tags: global tag indices aligned with
+            ``singleton_indices`` (the unique picker of each index).
+        remaining_tags: global indices of tags that picked collision
+            indices and stay active for the next round.
+    """
+
+    h: int
+    seed: int
+    singleton_indices: np.ndarray
+    singleton_tags: np.ndarray
+    remaining_tags: np.ndarray
+
+    @property
+    def n_singletons(self) -> int:
+        return int(self.singleton_indices.size)
+
+
+def fresh_seed(rng: np.random.Generator) -> int:
+    """A 63-bit round seed drawn from the experiment RNG."""
+    return int(rng.integers(0, 1 << 63))
+
+
+def draw_round(
+    id_words: np.ndarray,
+    active: np.ndarray,
+    seed: int,
+    h: int,
+) -> RoundDraw:
+    """Hash the active tags and classify indices.
+
+    Args:
+        id_words: uint64 identity words of the *whole* population.
+        active: global indices of tags participating in this round.
+        seed: round seed ``r``.
+        h: index length in bits.
+
+    Returns:
+        The singleton/collision split for this round.
+    """
+    active = np.asarray(active, dtype=np.int64)
+    if active.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return RoundDraw(h=h, seed=seed, singleton_indices=empty,
+                         singleton_tags=empty, remaining_tags=empty)
+    idx = hash_indices(id_words[active], seed, h)
+    counts = np.bincount(idx, minlength=1 << h)
+    is_singleton = counts[idx] == 1
+    singleton_tags = active[is_singleton]
+    singleton_idx = idx[is_singleton]
+    order = np.argsort(singleton_idx, kind="stable")
+    return RoundDraw(
+        h=h,
+        seed=seed,
+        singleton_indices=singleton_idx[order],
+        singleton_tags=singleton_tags[order],
+        remaining_tags=active[~is_singleton],
+    )

@@ -1,0 +1,49 @@
+"""Experiment regenerators: one callable per paper figure and table.
+
+Run ``python -m repro.experiments`` for the full evaluation (the rows
+recorded in EXPERIMENTS.md), or call the functions individually:
+
+>>> from repro.experiments import fig10, table1
+>>> print(fig10(n_values=[10_000], n_runs=5).render())  # doctest: +SKIP
+"""
+
+from repro.experiments.ablations import (
+    ablate_ecpp_clustering,
+    ablate_ehpp_subset_size,
+    ablate_mic_hash_count,
+    ablate_tpp_index_policy,
+)
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.extensions import ext_energy, ext_lossy_channel, ext_multi_reader
+from repro.experiments.figures import fig1, fig3, fig4, fig5, fig8, fig9, fig10
+from repro.experiments.tables import (
+    TableResult,
+    execution_time_table,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "TableResult",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "execution_time_table",
+    "table1",
+    "table2",
+    "table3",
+    "ablate_tpp_index_policy",
+    "ablate_ehpp_subset_size",
+    "ablate_mic_hash_count",
+    "ablate_ecpp_clustering",
+    "ext_lossy_channel",
+    "ext_energy",
+    "ext_multi_reader",
+]

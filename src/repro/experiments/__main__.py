@@ -1,0 +1,96 @@
+"""CLI: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro.experiments                # everything, full scale
+    python -m repro.experiments fig10 table1   # a subset
+    python -m repro.experiments --quick        # reduced runs (CI-sized)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablate_ecpp_clustering,
+    ablate_ehpp_subset_size,
+    ablate_mic_hash_count,
+    ablate_tpp_index_policy,
+    ext_energy,
+    ext_lossy_channel,
+    ext_multi_reader,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+    table3,
+)
+
+_FULL = {"n_runs": 100}
+_QUICK = {"n_runs": 10}
+
+_EXPERIMENTS = {
+    "fig1": lambda quick: fig1(),
+    "fig3": lambda quick: fig3(),
+    "fig4": lambda quick: fig4(),
+    "fig5": lambda quick: fig5(),
+    "fig8": lambda quick: fig8(),
+    "fig9": lambda quick: fig9(),
+    "fig10": lambda quick: fig10(**(_QUICK if quick else _FULL)),
+    "table1": lambda quick: table1(**(_QUICK if quick else _FULL)),
+    "table2": lambda quick: table2(**(_QUICK if quick else _FULL)),
+    "table3": lambda quick: table3(**(_QUICK if quick else _FULL)),
+    "ablate_tpp_policy": lambda quick: ablate_tpp_index_policy(),
+    "ablate_ehpp_subset": lambda quick: ablate_ehpp_subset_size(),
+    "ablate_mic_k": lambda quick: ablate_mic_hash_count(),
+    "ablate_ecpp": lambda quick: ablate_ecpp_clustering(),
+    "ext_lossy": lambda quick: ext_lossy_channel(n_runs=1 if quick else 3),
+    "ext_energy": lambda quick: ext_energy(n_runs=2 if quick else 5),
+    "ext_multi_reader": lambda quick: ext_multi_reader(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced run counts (10 instead of 100)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="additionally write a combined markdown report")
+    args = parser.parse_args(argv)
+
+    names = args.names or list(_EXPERIMENTS)
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"choose from {sorted(_EXPERIMENTS)}")
+    results = []
+    for name in names:
+        t0 = time.perf_counter()
+        result = _EXPERIMENTS[name](args.quick)
+        dt = time.perf_counter() - t0
+        results.append(result)
+        print(result.render())
+        print(f"# wall time: {dt:.1f}s")
+        print()
+    if args.markdown:
+        from repro.experiments.report import write_markdown_report
+
+        out = write_markdown_report(args.markdown, results,
+                                    title="Fast RFID polling — experiment report")
+        print(f"# markdown report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

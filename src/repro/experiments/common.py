@@ -1,0 +1,104 @@
+"""Shared experiment plumbing: sweeps, aggregation, text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import PollingProtocol
+from repro.phy.link import LinkBudget
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+__all__ = ["Series", "ExperimentResult", "sweep_protocol", "render_table"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: x values and y values."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.x, dtype=float), np.asarray(self.y, dtype=float)
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment outcome: curves plus free-form notes."""
+
+    name: str
+    title: str
+    series: list[Series]
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.name}")
+
+    def render(self, y_fmt: str = "{:10.3f}") -> str:
+        """Plain-text rendering: one column per series over a shared x."""
+        xs = self.series[0].x
+        header = ["x"] + [s.label for s in self.series]
+        lines = [f"== {self.name}: {self.title} ==", "\t".join(header)]
+        for i, x in enumerate(xs):
+            row = [f"{x:g}"]
+            for s in self.series:
+                row.append(y_fmt.format(s.y[i]) if i < len(s.y) else "-")
+            lines.append("\t".join(row))
+        for key, value in self.notes.items():
+            lines.append(f"# {key}: {value}")
+        return "\n".join(lines)
+
+
+def sweep_protocol(
+    protocol_factory: Callable[[], PollingProtocol],
+    n_values: Sequence[int],
+    n_runs: int = 20,
+    seed: int = 0,
+    metric: str = "avg_vector_bits",
+    info_bits: int = 1,
+    budget: LinkBudget | None = None,
+    tagset_factory: Callable[[int, np.random.Generator], TagSet] = uniform_tagset,
+) -> Series:
+    """Average a plan metric over ``n_runs`` fresh populations per n.
+
+    ``metric`` is either an :class:`InterrogationPlan` attribute name or
+    ``"time_us"`` (costed through the budget).
+    """
+    budget = budget if budget is not None else LinkBudget()
+    protocol = protocol_factory()
+    ys: list[float] = []
+    for n in n_values:
+        acc = 0.0
+        for run in range(n_runs):
+            rng = np.random.default_rng((seed, n, run))
+            tags = tagset_factory(n, rng)
+            plan = protocol.plan(tags, rng)
+            if metric == "time_us":
+                acc += budget.plan_us(plan, info_bits)
+            else:
+                acc += float(getattr(plan, metric))
+        ys.append(acc / n_runs)
+    return Series(label=protocol.name, x=list(map(float, n_values)), y=ys)
+
+
+def render_table(
+    title: str,
+    col_header: str,
+    columns: Sequence[int | str],
+    rows: dict[str, Sequence[float]],
+    fmt: str = "{:>10.2f}",
+) -> str:
+    """Render a paper-style table (protocol rows × population columns)."""
+    lines = [f"== {title} ==",
+             "\t".join([f"{col_header:12s}"] + [f"{c:>10}" for c in columns])]
+    for name, values in rows.items():
+        cells = [fmt.format(v) for v in values]
+        lines.append("\t".join([f"{name:12s}"] + cells))
+    return "\n".join(lines)

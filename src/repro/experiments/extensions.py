@@ -1,0 +1,130 @@
+"""Extension experiments beyond the paper's evaluation.
+
+- :func:`ext_lossy_channel` — execution time and retransmission count of
+  the polling protocols under increasing bit-error rates, exercising the
+  DES retransmission machinery (the paper assumes an error-free channel).
+- :func:`ext_energy` — reader and tag-side energy of each protocol under
+  the :mod:`repro.analysis.energy` model; shorter interrogations save
+  battery twice (less reader TX, less tag listening).
+- :func:`ext_multi_reader` — scheduled multi-reader speed-up as the
+  reader grid grows (§II-A's remark, quantified).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.energy import plan_energy
+from repro.apps.multi_reader import grid_deployment, simulate_deployment
+from repro.baselines.mic import MIC
+from repro.core.cpp import CPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments.common import ExperimentResult, Series
+from repro.phy.channel import BitErrorChannel
+from repro.sim.executor import simulate
+from repro.workloads.tagsets import uniform_tagset
+
+__all__ = ["ext_lossy_channel", "ext_energy", "ext_multi_reader"]
+
+
+def ext_lossy_channel(
+    n: int = 800,
+    info_bits: int = 16,
+    bers: Sequence[float] = (0.0, 0.0005, 0.001, 0.002, 0.005),
+    n_runs: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """DES execution under bit errors: time (s) and retries per protocol."""
+    protos = [CPP(), HPP(), EHPP(), TPP()]
+    time_series = {p.name: [] for p in protos}
+    retry_series = {p.name: [] for p in protos}
+    for ber in bers:
+        for proto in protos:
+            t_acc = r_acc = 0.0
+            for run in range(n_runs):
+                rng = np.random.default_rng((seed, run))
+                tags = uniform_tagset(n, rng)
+                channel = BitErrorChannel(ber) if ber else None
+                res = simulate(proto, tags, info_bits=info_bits,
+                               seed=seed + run, channel=channel,
+                               keep_trace=False)
+                if not res.all_read:  # pragma: no cover - invariant
+                    raise RuntimeError("lossy run failed to read all tags")
+                t_acc += res.time_us / 1e6
+                r_acc += res.n_retries
+            time_series[proto.name].append(t_acc / n_runs)
+            retry_series[proto.name].append(r_acc / n_runs)
+    xs = list(map(float, bers))
+    series = [Series(f"{name}_time_s", xs, ys) for name, ys in time_series.items()]
+    series += [Series(f"{name}_retries", xs, ys) for name, ys in retry_series.items()]
+    return ExperimentResult(
+        name="ext_lossy",
+        title=f"execution under bit errors (n={n}, {info_bits}-bit, DES)",
+        series=series,
+        notes={"invariant": "every run reads 100% of tags via retransmission"},
+    )
+
+
+def ext_energy(
+    n: int = 10_000,
+    info_bits: int = 16,
+    n_runs: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Per-protocol energy: reader TX, tag listening, tag TX (mJ)."""
+    protos = [CPP(), HPP(), EHPP(), MIC(), TPP()]
+    labels = [p.name for p in protos]
+    reader, listen, tag_tx = [], [], []
+    for proto in protos:
+        r = li = tx = 0.0
+        for run in range(n_runs):
+            rng = np.random.default_rng((seed, run))
+            tags = uniform_tagset(n, rng)
+            rep = plan_energy(proto.plan(tags, rng), info_bits)
+            r += rep.reader_mj
+            li += rep.tag_listen_mj
+            tx += rep.tag_tx_mj
+        reader.append(r / n_runs)
+        listen.append(li / n_runs)
+        tag_tx.append(tx / n_runs)
+    xs = list(range(len(labels)))
+    return ExperimentResult(
+        name="ext_energy",
+        title=f"energy per interrogation (n={n}, {info_bits}-bit)",
+        series=[
+            Series("reader_mj", xs, reader),
+            Series("tag_listen_mj", xs, listen),
+            Series("tag_tx_mj", xs, tag_tx),
+        ],
+        notes={"protocols": labels},
+    )
+
+
+def ext_multi_reader(
+    n: int = 3_000,
+    grids: Sequence[tuple[int, int]] = ((1, 1), (1, 2), (2, 2), (2, 3), (3, 3)),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Scheduled multi-reader speed-up as the reader grid grows."""
+    xs, speedups, colors = [], [], []
+    for rows, cols in grids:
+        rng = np.random.default_rng((seed, rows, cols))
+        deployment = grid_deployment(n, rng, rows=rows, cols=cols,
+                                     spacing_m=8.0, range_m=6.0)
+        tags = uniform_tagset(n, rng)
+        result = simulate_deployment(TPP(), deployment, tags, seed=seed)
+        xs.append(float(rows * cols))
+        speedups.append(result.speedup)
+        colors.append(float(result.n_colors))
+    return ExperimentResult(
+        name="ext_multi_reader",
+        title=f"multi-reader speed-up (TPP, n={n})",
+        series=[
+            Series("speedup", xs, speedups),
+            Series("n_colors", xs, colors),
+        ],
+    )

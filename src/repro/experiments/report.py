@@ -1,0 +1,87 @@
+"""Markdown report writer: render experiment results side by side with
+
+the paper's reported values.  Used to regenerate the body of
+EXPERIMENTS.md programmatically (``python -m repro.experiments`` prints
+plain text; :func:`write_markdown_report` produces the document form).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.tables import TableResult
+
+__all__ = [
+    "series_table_md",
+    "table_md",
+    "comparison_row_md",
+    "write_markdown_report",
+]
+
+
+def series_table_md(result: ExperimentResult, float_fmt: str = "{:.3f}") -> str:
+    """Render an ExperimentResult as a GitHub-flavoured markdown table."""
+    header = ["x"] + [s.label for s in result.series]
+    lines = [
+        f"### {result.name} — {result.title}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    xs = result.series[0].x
+    for i, x in enumerate(xs):
+        cells = [f"{x:g}"]
+        for s in result.series:
+            cells.append(float_fmt.format(s.y[i]) if i < len(s.y) else "—")
+        lines.append("| " + " | ".join(cells) + " |")
+    for key, value in result.notes.items():
+        lines.append(f"\n*{key}*: {value}")
+    return "\n".join(lines) + "\n"
+
+
+def table_md(table: TableResult, float_fmt: str = "{:.2f}") -> str:
+    """Render a TableResult (Tables I–III) as markdown."""
+    header = ["protocol"] + [f"n={n:,}" for n in table.n_values]
+    lines = [
+        f"### {table.name} — execution time (s), "
+        f"{table.info_bits}-bit information",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for name, values in table.seconds.items():
+        cells = [name] + [float_fmt.format(v) for v in values]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def comparison_row_md(
+    label: str, paper_value: float, measured: float, fmt: str = "{:.2f}"
+) -> str:
+    """One 'paper vs measured' bullet with the relative deviation."""
+    if paper_value == 0:
+        raise ValueError("paper_value must be non-zero for a relative check")
+    dev = (measured - paper_value) / paper_value * 100
+    return (
+        f"- **{label}**: paper {fmt.format(paper_value)}, "
+        f"measured {fmt.format(measured)} ({dev:+.1f} %)"
+    )
+
+
+def write_markdown_report(
+    path: str | Path,
+    results: Sequence[ExperimentResult | TableResult],
+    title: str = "Experiment report",
+) -> Path:
+    """Write all results into one markdown document."""
+    path = Path(path)
+    parts = [f"# {title}", ""]
+    for result in results:
+        if isinstance(result, TableResult):
+            parts.append(table_md(result))
+        else:
+            parts.append(series_table_md(result))
+    path.write_text("\n".join(parts), encoding="utf-8")
+    return path

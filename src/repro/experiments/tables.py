@@ -1,0 +1,118 @@
+"""Regenerators for Tables I–III: execution time of information collection.
+
+Each table compares CPP / HPP / EHPP / MIC(k=7) / TPP and the lower
+bound while collecting 1-, 16- and 32-bit information over populations
+of 100 … 100 000 tags, averaged over seeded runs (the paper uses 100
+runs; pass ``n_runs`` to trade precision for speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.mic import MIC
+from repro.core.base import PollingProtocol
+from repro.core.cpp import CPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments.common import render_table
+from repro.experiments.paper_values import TABLE_N_COLUMNS
+from repro.phy.commands import CommandSizes
+from repro.phy.link import LinkBudget, lower_bound_us
+from repro.workloads.tagsets import uniform_tagset
+
+__all__ = ["TableResult", "execution_time_table", "table1", "table2", "table3"]
+
+
+def paper_protocols() -> list[PollingProtocol]:
+    """The five protocols of Tables I–III, with the paper's parameters."""
+    commands = CommandSizes(round_init=32, circle_command=128)
+    return [
+        CPP(),
+        HPP(commands=commands),
+        EHPP(commands=commands),
+        MIC(k=7),
+        TPP(commands=commands),
+    ]
+
+
+@dataclass
+class TableResult:
+    """One reproduced table: seconds per protocol per population size."""
+
+    name: str
+    info_bits: int
+    n_values: tuple[int, ...]
+    seconds: dict[str, list[float]]  # protocol -> per-column times
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def row(self, protocol: str) -> list[float]:
+        return self.seconds[protocol]
+
+    def cell(self, protocol: str, n: int) -> float:
+        return self.seconds[protocol][self.n_values.index(n)]
+
+    def render(self) -> str:
+        return render_table(
+            f"{self.name} — execution time (s), {self.info_bits}-bit information",
+            "n =",
+            self.n_values,
+            self.seconds,
+        )
+
+
+def execution_time_table(
+    info_bits: int,
+    n_values: Sequence[int] = TABLE_N_COLUMNS,
+    n_runs: int = 20,
+    seed: int = 0,
+    budget: LinkBudget | None = None,
+    name: str = "table",
+) -> TableResult:
+    """Measure all five protocols plus the lower bound."""
+    budget = budget if budget is not None else LinkBudget()
+    protocols = paper_protocols()
+    seconds: dict[str, list[float]] = {p.name if p.name != "MIC" else "MIC, k=7": []
+                                       for p in protocols}
+    seconds["LowerBound"] = []
+    for n in n_values:
+        per_proto = {key: 0.0 for key in seconds if key != "LowerBound"}
+        for run in range(n_runs):
+            rng = np.random.default_rng((seed, n, run))
+            tags = uniform_tagset(n, rng)
+            for p in protocols:
+                key = p.name if p.name != "MIC" else "MIC, k=7"
+                plan = p.plan(tags, rng)
+                per_proto[key] += budget.plan_us(plan, info_bits) / 1e6
+        for key, total in per_proto.items():
+            seconds[key].append(total / n_runs)
+        seconds["LowerBound"].append(lower_bound_us(n, info_bits) / 1e6)
+    return TableResult(
+        name=name,
+        info_bits=info_bits,
+        n_values=tuple(n_values),
+        seconds=seconds,
+        notes={"n_runs": n_runs},
+    )
+
+
+def table1(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
+           seed: int = 0) -> TableResult:
+    """Table I: 1-bit information (presence against theft)."""
+    return execution_time_table(1, n_values, n_runs, seed, name="Table I")
+
+
+def table2(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
+           seed: int = 0) -> TableResult:
+    """Table II: 16-bit information."""
+    return execution_time_table(16, n_values, n_runs, seed, name="Table II")
+
+
+def table3(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
+           seed: int = 0) -> TableResult:
+    """Table III: 32-bit information."""
+    return execution_time_table(32, n_values, n_runs, seed, name="Table III")

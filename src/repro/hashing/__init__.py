@@ -1,0 +1,35 @@
+"""Seeded hashing and bit-string utilities.
+
+The protocols rely on a tag-side hash ``H(r, id) mod 2**h``.  The paper
+only requires uniformity; we implement the family with a splitmix64
+finaliser, vectorised over numpy ``uint64`` arrays so that planning at
+10^5 tags stays array-speed.
+"""
+
+from repro.hashing.universal import (
+    splitmix64,
+    hash_u64,
+    hash_indices,
+    hash_mod,
+    derive_seed,
+)
+from repro.hashing.bitops import (
+    index_to_bits,
+    bits_to_index,
+    common_prefix_len,
+    common_prefix_len_array,
+    bit_length_array,
+)
+
+__all__ = [
+    "splitmix64",
+    "hash_u64",
+    "hash_indices",
+    "hash_mod",
+    "derive_seed",
+    "index_to_bits",
+    "bits_to_index",
+    "common_prefix_len",
+    "common_prefix_len_array",
+    "bit_length_array",
+]

@@ -1,0 +1,109 @@
+"""Bit-string helpers for index encoding and prefix arithmetic.
+
+Indices are transmitted MSB-first and zero-padded on the left to the
+round's index length ``h`` (paper §III-B: "If the index is less than h
+bits, pad zeros in front of it").  The tree-based protocol's wire cost
+is governed by longest-common-prefix lengths between consecutive sorted
+indices, computed here both scalar and vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "index_to_bits",
+    "bits_to_index",
+    "common_prefix_len",
+    "common_prefix_len_array",
+    "bit_length_array",
+]
+
+
+def index_to_bits(index: int, h: int) -> str:
+    """Render ``index`` as an ``h``-bit MSB-first bit string.
+
+    >>> index_to_bits(5, 4)
+    '0101'
+    """
+    if h < 0:
+        raise ValueError("h must be non-negative")
+    if h == 0:
+        if index != 0:
+            raise ValueError(f"index {index} does not fit in 0 bits")
+        return ""
+    if not 0 <= index < (1 << h):
+        raise ValueError(f"index {index} does not fit in {h} bits")
+    return format(index, f"0{h}b")
+
+
+def bits_to_index(bits: str) -> int:
+    """Parse an MSB-first bit string back into an integer.
+
+    >>> bits_to_index('0101')
+    5
+    """
+    if bits == "":
+        return 0
+    if any(c not in "01" for c in bits):
+        raise ValueError(f"not a bit string: {bits!r}")
+    return int(bits, 2)
+
+
+def common_prefix_len(a: int, b: int, h: int) -> int:
+    """Longest common prefix (in bits) of two ``h``-bit indices.
+
+    >>> common_prefix_len(0b000, 0b010, 3)
+    1
+    >>> common_prefix_len(0b101, 0b111, 3)
+    1
+    >>> common_prefix_len(0b011, 0b101, 3)
+    0
+    """
+    if a == b:
+        return h
+    diff = a ^ b
+    return h - diff.bit_length()
+
+
+def bit_length_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``int.bit_length`` for a non-negative int64 array.
+
+    Exact for the full int64 range: smears the highest set bit downward,
+    then counts set bits — no float rounding involved.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("values must be non-negative")
+    v = values.astype(np.uint64)
+    for shift in (1, 2, 4, 8, 16, 32):
+        v = v | (v >> np.uint64(shift))
+    return np.bitwise_count(v).astype(np.int64)
+
+
+def common_prefix_len_array(sorted_indices: np.ndarray, h: int) -> np.ndarray:
+    """LCP length between each sorted index and its predecessor.
+
+    Args:
+        sorted_indices: strictly increasing int64 array of ``h``-bit
+            indices (distinct singleton indices, sorted).
+        h: index length in bits.
+
+    Returns:
+        int64 array ``lcp`` of the same length; ``lcp[0] == 0`` by
+        convention (the first index shares nothing with a predecessor).
+    """
+    idx = np.asarray(sorted_indices, dtype=np.int64)
+    if idx.ndim != 1:
+        raise ValueError("sorted_indices must be one-dimensional")
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or (h < 63 and idx.max() >= (1 << h))):
+        raise ValueError(f"indices do not fit in {h} bits")
+    if np.any(np.diff(idx) <= 0):
+        raise ValueError("indices must be strictly increasing")
+    lcp = np.zeros(idx.size, dtype=np.int64)
+    if idx.size > 1:
+        diff = idx[1:] ^ idx[:-1]
+        lcp[1:] = h - bit_length_array(diff)
+    return lcp

@@ -1,0 +1,147 @@
+"""JSON (de)serialisation of plans and experiment results.
+
+Lets a deployment archive the exact interrogation schedule a reader
+executed (for audit/replay) and lets the experiment harness persist
+sweep outputs without pickling.  Numpy arrays are stored as lists;
+round ``extra`` payloads keep only JSON-compatible values (arrays are
+converted, everything else must already be plain data).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, RoundPlan
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+# ----------------------------------------------------------------------
+# interrogation plans
+# ----------------------------------------------------------------------
+def plan_to_dict(plan: InterrogationPlan) -> dict[str, Any]:
+    """Lossless dict form of a plan (arrays become lists)."""
+    return {
+        "protocol": plan.protocol,
+        "n_tags": plan.n_tags,
+        "meta": _jsonable(plan.meta),
+        "rounds": [
+            {
+                "label": r.label,
+                "init_bits": r.init_bits,
+                "poll_vector_bits": r.poll_vector_bits.tolist(),
+                "poll_tag_idx": r.poll_tag_idx.tolist(),
+                "poll_overhead_bits": r.poll_overhead_bits,
+                "empty_slots": r.empty_slots,
+                "collision_slots": r.collision_slots,
+                "slot_overhead_bits": r.slot_overhead_bits,
+                "extra": _jsonable(r.extra),
+            }
+            for r in plan.rounds
+        ],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> InterrogationPlan:
+    """Rebuild a plan; integer-list extras become int64 arrays again
+    for the keys the executors consume."""
+    array_extras = {"singleton_indices", "assigned_slots", "assigned_passes"}
+    rounds = []
+    for rd in data["rounds"]:
+        extra = dict(rd.get("extra", {}))
+        for key in array_extras & extra.keys():
+            extra[key] = np.asarray(extra[key], dtype=np.int64)
+        rounds.append(
+            RoundPlan(
+                label=rd["label"],
+                init_bits=rd["init_bits"],
+                poll_vector_bits=np.asarray(rd["poll_vector_bits"], dtype=np.int64),
+                poll_tag_idx=np.asarray(rd["poll_tag_idx"], dtype=np.int64),
+                poll_overhead_bits=rd.get("poll_overhead_bits", 4),
+                empty_slots=rd.get("empty_slots", 0),
+                collision_slots=rd.get("collision_slots", 0),
+                slot_overhead_bits=rd.get("slot_overhead_bits", 4),
+                extra=extra,
+            )
+        )
+    return InterrogationPlan(
+        protocol=data["protocol"],
+        n_tags=data["n_tags"],
+        rounds=rounds,
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def save_plan(plan: InterrogationPlan, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(plan_to_dict(plan)), encoding="utf-8")
+    return path
+
+
+def load_plan(path: str | Path) -> InterrogationPlan:
+    return plan_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# experiment results
+# ----------------------------------------------------------------------
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    return {
+        "name": result.name,
+        "title": result.title,
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y)}
+            for s in result.series
+        ],
+        "notes": _jsonable(result.notes),
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    return ExperimentResult(
+        name=data["name"],
+        title=data["title"],
+        series=[
+            Series(label=s["label"], x=list(s["x"]), y=list(s["y"]))
+            for s in data["series"]
+        ],
+        notes=dict(data.get("notes", {})),
+    )
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result)), encoding="utf-8")
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

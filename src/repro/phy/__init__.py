@@ -1,0 +1,42 @@
+"""EPC Class-1 Generation-2 (C1G2) physical / link layer substrate.
+
+This package models everything the polling protocols need from the air
+interface:
+
+- :mod:`repro.phy.timing` — link timing constants (T1/T2 turnaround times,
+  reader→tag and tag→reader per-bit durations) following the C1G2
+  specification and the parameter choices of the reproduced paper.
+- :mod:`repro.phy.commands` — bit-accurate sizes of the C1G2 reader
+  commands (Query, QueryRep, Select, ACK, ...) used to cost protocol
+  messages.
+- :mod:`repro.phy.link` — wire-time accounting: converts an
+  :class:`~repro.core.base.InterrogationPlan` into microseconds on the air.
+- :mod:`repro.phy.channel` — channel models (ideal and bit-error-injected)
+  used by the discrete-event simulator.
+"""
+
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
+from repro.phy.link import LinkBudget, plan_wire_time, poll_time_us, lower_bound_us
+from repro.phy.channel import Channel, IdealChannel, BitErrorChannel
+from repro.phy.crc import crc5, crc16, crc16_check
+from repro.phy.encoding import LinkProfile, PAPER_PROFILE
+
+__all__ = [
+    "C1G2Timing",
+    "PAPER_TIMING",
+    "CommandSizes",
+    "DEFAULT_COMMAND_SIZES",
+    "LinkBudget",
+    "plan_wire_time",
+    "poll_time_us",
+    "lower_bound_us",
+    "Channel",
+    "IdealChannel",
+    "BitErrorChannel",
+    "crc5",
+    "crc16",
+    "crc16_check",
+    "LinkProfile",
+    "PAPER_PROFILE",
+]

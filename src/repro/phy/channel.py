@@ -1,0 +1,69 @@
+"""Channel models for the discrete-event simulator.
+
+The paper assumes an error-free channel (its evaluation is a timing
+model).  The discrete-event path additionally supports a bit-error
+channel so the robustness extensions (retransmission on missed polls)
+can be exercised: each transmitted frame is independently corrupted with
+probability ``1 - (1 - ber)**bits``.
+
+A corrupted downlink frame is *not decoded by any tag* (C1G2 commands
+carry a CRC, so a tag drops a frame that fails the check); a corrupted
+uplink frame reaches the reader as garbage and must be re-collected.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Channel", "IdealChannel", "BitErrorChannel"]
+
+
+class Channel(ABC):
+    """Decides, per frame, whether a transmission survives the air."""
+
+    @abstractmethod
+    def deliver(self, bits: int, rng: np.random.Generator) -> bool:
+        """True if a ``bits``-long frame arrives intact."""
+
+    def frame_loss_probability(self, bits: int) -> float:
+        """Probability a ``bits``-long frame is corrupted."""
+        raise NotImplementedError
+
+
+class IdealChannel(Channel):
+    """Loss-free channel (the paper's setting)."""
+
+    def deliver(self, bits: int, rng: np.random.Generator) -> bool:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return True
+
+    def frame_loss_probability(self, bits: int) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "IdealChannel()"
+
+
+class BitErrorChannel(Channel):
+    """Independent bit errors at rate ``ber`` per transmitted bit."""
+
+    def __init__(self, ber: float):
+        if not 0.0 <= ber < 1.0:
+            raise ValueError(f"ber must be in [0, 1), got {ber}")
+        self.ber = ber
+
+    def frame_loss_probability(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0.0
+        return 1.0 - (1.0 - self.ber) ** bits
+
+    def deliver(self, bits: int, rng: np.random.Generator) -> bool:
+        return rng.random() >= self.frame_loss_probability(bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitErrorChannel(ber={self.ber!r})"

@@ -1,0 +1,69 @@
+"""Bit-accurate sizes of C1G2 reader commands.
+
+Polling protocols are costed by the number of bits the reader puts on the
+air.  The sizes below follow the EPC C1G2 v1.2.0 air-interface layouts;
+the reproduced paper only relies on ``QueryRep`` (4 bits, used to frame
+each polling vector) and on abstract "round initiation" / "circle
+command" lengths, which are exposed as defaults here so every experiment
+pulls its constants from a single place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CommandSizes", "DEFAULT_COMMAND_SIZES", "EPC_ID_BITS"]
+
+#: Length of an EPC tag identifier (bits).  The paper uses 96-bit EPCs.
+EPC_ID_BITS = 96
+
+
+@dataclass(frozen=True)
+class CommandSizes:
+    """Sizes (in bits) of the reader commands used by the protocols.
+
+    Attributes:
+        query_rep: the 4-bit QueryRep command that frames each polling
+            vector transmitted by HPP/EHPP/TPP (§V-A of the paper).
+        query: full Query command (22 bits per C1G2: command code, DR, M,
+            TRext, Sel, Session, Target, Q, CRC-5).
+        ack: ACK command (18 bits: 2-bit code + 16-bit RN16).
+        select_header: fixed part of a Select command, excluding the mask
+            (about 45 bits: command code, target, action, membank,
+            pointer, length, truncate, CRC-16).
+        round_init: bits broadcast to start one HPP/TPP round — carries
+            the index length ``h`` and the random seed ``r``.  The paper's
+            simulation (§V-B) charges 32 bits.
+        circle_command: bits broadcast to open one EHPP circle — carries
+            ``(f, F, r)``.  The paper's simulation (§V-B) charges 128 bits.
+    """
+
+    query_rep: int = 4
+    query: int = 22
+    ack: int = 18
+    select_header: int = 45
+    round_init: int = 32
+    circle_command: int = 128
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "query_rep",
+            "query",
+            "ack",
+            "select_header",
+            "round_init",
+            "circle_command",
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(f"{field_name} must be a non-negative int, got {value!r}")
+
+    def select_bits(self, mask_bits: int) -> int:
+        """Total size of a Select command with a ``mask_bits``-long mask."""
+        if mask_bits < 0:
+            raise ValueError("mask_bits must be non-negative")
+        return self.select_header + mask_bits
+
+
+#: Command sizes used by the paper's evaluation.
+DEFAULT_COMMAND_SIZES = CommandSizes()

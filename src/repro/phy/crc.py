@@ -1,0 +1,59 @@
+"""C1G2 cyclic redundancy checks: CRC-5 and CRC-16 (CCITT).
+
+The C1G2 air interface protects Query commands with CRC-5
+(x⁵ + x³ + 1, preset 0b01001) and everything else — including the EPC a
+tag backscatters — with CRC-16/CCITT (x¹⁶ + x¹² + x⁵ + 1, preset 0xFFFF,
+inverted output).  The Coded Polling baseline relies on tags validating
+a received frame with their CRC-16 unit, so the frame construction in
+:mod:`repro.core.coded_polling` uses these implementations.
+
+Bit-level, MSB-first implementations over integers (``value`` holding
+``n_bits``), matching the standard's serialisation of commands.
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc5", "crc16", "crc16_check"]
+
+_CRC5_POLY = 0b01001  # x^5 + x^3 + 1 (low 5 bits)
+_CRC5_PRESET = 0b01001
+_CRC16_POLY = 0x1021  # x^16 + x^12 + x^5 + 1
+_CRC16_PRESET = 0xFFFF
+
+
+def _bits_msb_first(value: int, n_bits: int):
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    if value < 0 or (n_bits < value.bit_length()):
+        raise ValueError(f"value does not fit in {n_bits} bits")
+    for pos in range(n_bits - 1, -1, -1):
+        yield (value >> pos) & 1
+
+
+def crc5(value: int, n_bits: int) -> int:
+    """CRC-5 of an ``n_bits``-long message, per C1G2 Annex F."""
+    reg = _CRC5_PRESET
+    for bit in _bits_msb_first(value, n_bits):
+        msb = (reg >> 4) & 1
+        reg = (reg << 1) & 0x1F
+        if msb ^ bit:
+            reg ^= _CRC5_POLY
+    return reg
+
+
+def crc16(value: int, n_bits: int) -> int:
+    """CRC-16/CCITT of an ``n_bits``-long message (preset 0xFFFF,
+
+    output ones-complemented, per C1G2 Annex F)."""
+    reg = _CRC16_PRESET
+    for bit in _bits_msb_first(value, n_bits):
+        msb = (reg >> 15) & 1
+        reg = (reg << 1) & 0xFFFF
+        if msb ^ bit:
+            reg ^= _CRC16_POLY
+    return reg ^ 0xFFFF
+
+
+def crc16_check(value: int, n_bits: int, checksum: int) -> bool:
+    """True iff ``checksum`` is the CRC-16 of the message."""
+    return crc16(value, n_bits) == checksum

@@ -1,0 +1,168 @@
+"""C1G2 symbol-level encodings: PIE downlink, FM0 / Miller uplink.
+
+The timing constants the paper fixes (37.45 µs/bit down, 25 µs/bit up,
+T1 = 100 µs) are *derived* quantities of the C1G2 physical layer.  This
+module models that derivation so non-default link profiles can be
+explored:
+
+- **Downlink (reader→tag)** uses pulse-interval encoding (PIE): a data-0
+  symbol lasts ``Tari`` (6.25–25 µs) and a data-1 lasts 1.5–2 × Tari.
+  The average downlink bit time therefore depends on the data *content*;
+  the standard's reader-to-tag rate range (26.7–128 kbps) corresponds to
+  the extreme Tari/ratio choices.
+- **Uplink (tag→reader)** is FM0 baseband or Miller-modulated subcarrier
+  with ``M ∈ {1, 2, 4, 8}`` subcarrier cycles per symbol at the
+  backscatter link frequency ``BLF = DR / TRcal``: the bit rate is
+  ``BLF / M`` (FM0: M = 1 ⇒ 40–640 kbps; Miller M = 8 ⇒ down to 5 kbps).
+- **Turnarounds**: ``T1 = max(RTcal, 10/BLF)`` nominal per the standard
+  (the paper uses the ``max(RTcal, 20·Tpri)`` variant), ``T2 ∈
+  [3, 20] / BLF``.
+
+:class:`LinkProfile` packages one consistent choice and converts to the
+:class:`~repro.phy.timing.C1G2Timing` consumed by the rest of the
+library; :data:`PAPER_PROFILE` reproduces the paper's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.timing import C1G2Timing
+
+__all__ = [
+    "pie_symbol_us",
+    "pie_mean_bit_us",
+    "uplink_bit_us",
+    "LinkProfile",
+    "PAPER_PROFILE",
+]
+
+#: allowed Tari range per the standard (µs)
+TARI_MIN_US = 6.25
+TARI_MAX_US = 25.0
+#: Miller subcarrier cycles per symbol
+VALID_M = (1, 2, 4, 8)
+#: divide ratios DR
+VALID_DR = (8.0, 64.0 / 3.0)
+
+
+def pie_symbol_us(tari_us: float, bit: int, one_ratio: float = 2.0) -> float:
+    """Duration of one PIE downlink symbol.
+
+    Args:
+        tari_us: the data-0 reference interval.
+        bit: 0 or 1.
+        one_ratio: data-1 length as a multiple of Tari (1.5–2.0).
+    """
+    if not TARI_MIN_US <= tari_us <= TARI_MAX_US:
+        raise ValueError(f"Tari must be in [{TARI_MIN_US}, {TARI_MAX_US}] µs")
+    if not 1.5 <= one_ratio <= 2.0:
+        raise ValueError("data-1 symbol must be 1.5-2.0 Tari")
+    if bit not in (0, 1):
+        raise ValueError("bit must be 0 or 1")
+    return tari_us if bit == 0 else tari_us * one_ratio
+
+
+def pie_mean_bit_us(
+    tari_us: float, one_ratio: float = 2.0, p_one: float = 0.5
+) -> float:
+    """Average PIE bit duration for a stream with ones-density ``p_one``."""
+    if not 0.0 <= p_one <= 1.0:
+        raise ValueError("p_one must be in [0, 1]")
+    t0 = pie_symbol_us(tari_us, 0, one_ratio)
+    t1 = pie_symbol_us(tari_us, 1, one_ratio)
+    return (1.0 - p_one) * t0 + p_one * t1
+
+
+def uplink_bit_us(blf_khz: float, miller_m: int = 1) -> float:
+    """Uplink bit duration: ``M / BLF`` (FM0 when M = 1)."""
+    if blf_khz <= 0:
+        raise ValueError("BLF must be positive")
+    if miller_m not in VALID_M:
+        raise ValueError(f"M must be one of {VALID_M}")
+    return miller_m * 1e3 / blf_khz
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """One consistent C1G2 physical-layer configuration.
+
+    Attributes:
+        tari_us: downlink data-0 interval.
+        one_ratio: downlink data-1 length in Tari units.
+        dr: divide ratio (8 or 64/3).
+        trcal_us: tag-to-reader calibration interval; ``BLF = DR/TRcal``.
+        miller_m: uplink modulation depth (1 = FM0).
+        t2_tpri: receive-to-transmit turnaround in uplink bit periods.
+    """
+
+    tari_us: float = 25.0
+    one_ratio: float = 2.0
+    dr: float = 8.0
+    trcal_us: float = 200.0
+    miller_m: int = 1
+    t2_tpri: float = 3.0
+
+    def __post_init__(self) -> None:
+        # reuse the validating helpers
+        pie_symbol_us(self.tari_us, 0, self.one_ratio)
+        if self.dr not in VALID_DR:
+            raise ValueError(f"DR must be one of {VALID_DR}")
+        if self.miller_m not in VALID_M:
+            raise ValueError(f"M must be one of {VALID_M}")
+        rtcal = self.rtcal_us
+        if not 2.5 * self.tari_us <= rtcal <= 3.0 * self.tari_us:
+            raise ValueError("RTcal = (1 + ratio)·Tari must be 2.5-3.0 Tari")
+        if not 1.1 * rtcal <= self.trcal_us <= 3.0 * rtcal:
+            raise ValueError("TRcal must be within [1.1, 3.0] RTcal")
+        if not 2.0 <= self.t2_tpri <= 20.0:
+            raise ValueError("T2 must be 2-20 Tpri (3-20 nominal)")
+
+    # -- derived quantities -------------------------------------------
+    @property
+    def rtcal_us(self) -> float:
+        """Reader-to-tag calibration: data-0 + data-1 symbol lengths."""
+        return self.tari_us * (1.0 + self.one_ratio)
+
+    @property
+    def blf_khz(self) -> float:
+        """Backscatter link frequency in kHz."""
+        return self.dr / self.trcal_us * 1e3
+
+    @property
+    def downlink_bit_us(self) -> float:
+        """Mean downlink bit time (random payload)."""
+        return pie_mean_bit_us(self.tari_us, self.one_ratio)
+
+    @property
+    def uplink_bit_us(self) -> float:
+        return uplink_bit_us(self.blf_khz, self.miller_m)
+
+    @property
+    def t1_us(self) -> float:
+        """Transmit→receive turnaround: max(RTcal, 10 Tpri) nominal."""
+        return max(self.rtcal_us, 10.0 * self.uplink_bit_us / self.miller_m)
+
+    @property
+    def t2_us(self) -> float:
+        return self.t2_tpri * self.uplink_bit_us / self.miller_m
+
+    def to_timing(self) -> C1G2Timing:
+        """Collapse the profile into the library's timing constants."""
+        return C1G2Timing(
+            t1_us=self.t1_us,
+            t2_us=self.t2_us,
+            reader_bit_us=self.downlink_bit_us,
+            tag_bit_us=self.uplink_bit_us,
+        )
+
+
+#: A profile reproducing the paper's §V-A data rates (mean 37.5 µs/bit
+#: down ≈ 26.7 kbps, 25 µs/bit up = 40 kbps) and its T2 = 50 µs.  The
+#: standard's nominal T1 formula yields 250 µs at this slow BLF; the
+#: paper instead fixes T1 = 100 µs — use
+#: :data:`repro.phy.timing.PAPER_TIMING` for exact-paper runs.
+PAPER_PROFILE = LinkProfile(
+    tari_us=25.0, one_ratio=2.0, dr=8.0, trcal_us=200.0, miller_m=1,
+    t2_tpri=2.0,
+)

@@ -1,0 +1,148 @@
+"""Wire-time accounting: from interrogation plans to microseconds.
+
+The paper's cost model (§V-A): collecting ``l``-bit information from one
+tag with a ``w``-bit polling vector takes
+
+    ``37.45 * (4 + w) + T1 + 25 * l + T2``  microseconds,
+
+i.e. a 4-bit QueryRep framing the vector, the downlink payload, the
+transmit→receive turnaround, the tag's reply, and the receive→transmit
+turnaround.  Round-initiation broadcasts (round init, circle command,
+MIC indicator vector) are back-to-back reader transmissions and are
+charged downlink bit time only.
+
+Wasted slots (ALOHA baselines, MIC) are charged a slot-framing command
+plus turnarounds; collision slots additionally burn a garbled reply of
+the payload length.  An ``empty_reply_bits``-style short-circuit for
+empty slots is available through :class:`LinkBudget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import InterrogationPlan, RoundPlan
+
+__all__ = ["LinkBudget", "poll_time_us", "plan_wire_time", "lower_bound_us"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Costing policy binding a timing model to slot conventions.
+
+    Attributes:
+        timing: the C1G2 timing constants.
+        empty_slot_full_cost: if True (paper-matching default for the MIC
+            comparison), an empty wasted slot costs the same turnarounds
+            as a reply slot; if False, the reader only waits
+            ``T1 + T3`` before declaring the slot empty.
+        collision_reply_bits_factor: fraction of the payload length a
+            collision slot burns (1.0 = colliding tags talk over the full
+            reply; C1G2 readers typically cannot abort early).
+    """
+
+    timing: C1G2Timing = PAPER_TIMING
+    empty_slot_full_cost: bool = True
+    collision_reply_bits_factor: float = 1.0
+
+    # ------------------------------------------------------------------
+    def poll_us(self, vector_bits: float, overhead_bits: float, reply_bits: float) -> float:
+        """One request→response exchange."""
+        t = self.timing
+        return (
+            t.reader_tx_us(overhead_bits + vector_bits)
+            + t.t1_us
+            + t.tag_tx_us(reply_bits)
+            + t.t2_us
+        )
+
+    def broadcast_us(self, bits: float) -> float:
+        """A reader broadcast with no expected reply (back-to-back TX)."""
+        return self.timing.reader_tx_us(bits)
+
+    def empty_slot_us(self, overhead_bits: float) -> float:
+        t = self.timing
+        if self.empty_slot_full_cost:
+            return t.reader_tx_us(overhead_bits) + t.t1_us + t.t2_us
+        return t.reader_tx_us(overhead_bits) + t.t1_us + t.t3_us
+
+    def collision_slot_us(self, overhead_bits: float, reply_bits: float) -> float:
+        t = self.timing
+        return (
+            t.reader_tx_us(overhead_bits)
+            + t.t1_us
+            + t.tag_tx_us(reply_bits * self.collision_reply_bits_factor)
+            + t.t2_us
+        )
+
+    # ------------------------------------------------------------------
+    def round_us(self, round_plan: "RoundPlan", reply_bits: int) -> float:
+        """Wire time of one planned round collecting ``reply_bits``/tag."""
+        t = self.timing
+        n_polls = round_plan.n_polls
+        total = self.broadcast_us(round_plan.init_bits)
+        if n_polls:
+            payload = float(round_plan.poll_vector_bits.sum())
+            total += t.reader_tx_us(payload + round_plan.poll_overhead_bits * n_polls)
+            total += n_polls * (t.t1_us + t.tag_tx_us(reply_bits) + t.t2_us)
+        if round_plan.empty_slots:
+            total += round_plan.empty_slots * self.empty_slot_us(round_plan.slot_overhead_bits)
+        if round_plan.collision_slots:
+            total += round_plan.collision_slots * self.collision_slot_us(
+                round_plan.slot_overhead_bits, reply_bits
+            )
+        return total
+
+    def plan_us(self, plan: "InterrogationPlan", reply_bits: int) -> float:
+        """Total wire time of a complete interrogation plan."""
+        if reply_bits < 0:
+            raise ValueError("reply_bits must be non-negative")
+        return sum(self.round_us(r, reply_bits) for r in plan.rounds)
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences (paper-default budget)
+# ----------------------------------------------------------------------
+_DEFAULT = LinkBudget()
+
+
+def poll_time_us(
+    vector_bits: float,
+    reply_bits: float,
+    timing: C1G2Timing = PAPER_TIMING,
+    overhead_bits: float = 4,
+) -> float:
+    """The paper's per-poll formula ``37.45*(4+w) + T1 + 25*l + T2``."""
+    return LinkBudget(timing=timing).poll_us(vector_bits, overhead_bits, reply_bits)
+
+
+def plan_wire_time(
+    plan: "InterrogationPlan",
+    reply_bits: int,
+    timing: C1G2Timing = PAPER_TIMING,
+    budget: LinkBudget | None = None,
+) -> float:
+    """Wire time (µs) of ``plan`` when each tag replies ``reply_bits`` bits."""
+    if budget is None:
+        budget = _DEFAULT if timing is PAPER_TIMING else LinkBudget(timing=timing)
+    return budget.plan_us(plan, reply_bits)
+
+
+def lower_bound_us(n_tags: int, reply_bits: int, timing: C1G2Timing = PAPER_TIMING) -> float:
+    """The paper's per-protocol lower bound (§V-C).
+
+    Any C1G2 information-collection protocol must at least frame each
+    reply with a 4-bit command and pay both turnarounds:
+
+        ``(37.45 * 4 + T1 + 25*l + T2) * n``.
+    """
+    if n_tags < 0:
+        raise ValueError("n_tags must be non-negative")
+    per_tag = (
+        timing.reader_tx_us(4) + timing.t1_us + timing.tag_tx_us(reply_bits) + timing.t2_us
+    )
+    return per_tag * n_tags

@@ -1,0 +1,98 @@
+"""C1G2 link-timing model.
+
+The EPC C1G2 standard separates any two consecutive transmissions by
+turnaround intervals:
+
+- ``T1`` — transmit-to-receive turnaround: after the reader finishes a
+  command, tags wait ``T1 = max(RTcal, 20 * Tpri)`` before backscattering.
+- ``T2`` — receive-to-transmit turnaround: after a tag reply, the reader
+  waits ``T2 ∈ [3 * Tpri, 20 * Tpri]`` before the next command.
+
+The reproduced paper (§V-A) fixes ``T1 = 100 µs`` and ``T2 = 50 µs``, a
+reader→tag data rate of 26.7 kbps (the standard's lower bound, i.e.
+37.45 µs per bit) and a tag→reader rate of 40 kbps (25 µs per bit, the
+intersection lower bound of FM0 and Miller coding rates).
+
+:data:`PAPER_TIMING` is the exact configuration used throughout the
+paper's evaluation; other configurations can be built directly or with
+:meth:`C1G2Timing.from_rates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["C1G2Timing", "PAPER_TIMING"]
+
+
+@dataclass(frozen=True)
+class C1G2Timing:
+    """Link timing constants, all durations in microseconds.
+
+    Attributes:
+        t1_us: transmit-to-receive turnaround (reader done -> tag starts).
+        t2_us: receive-to-transmit turnaround (tag done -> reader starts).
+        t3_us: additional time a reader waits, after T1, before declaring
+            a slot empty (no reply).  The paper folds empty-slot handling
+            into its baselines' models; kept configurable here.
+        reader_bit_us: time for the reader to transmit one bit downlink.
+        tag_bit_us: time for a tag to backscatter one bit uplink.
+    """
+
+    t1_us: float = 100.0
+    t2_us: float = 50.0
+    t3_us: float = 0.0
+    reader_bit_us: float = 37.45
+    tag_bit_us: float = 25.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("t1_us", "t2_us", "t3_us", "reader_bit_us", "tag_bit_us"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} must be non-negative, got {value!r}")
+        if self.reader_bit_us == 0 or self.tag_bit_us == 0:
+            raise ValueError("per-bit durations must be positive")
+
+    @classmethod
+    def from_rates(
+        cls,
+        reader_kbps: float = 26.7,
+        tag_kbps: float = 40.0,
+        t1_us: float = 100.0,
+        t2_us: float = 50.0,
+        t3_us: float = 0.0,
+    ) -> "C1G2Timing":
+        """Build a timing model from data rates in kilobits per second."""
+        if reader_kbps <= 0 or tag_kbps <= 0:
+            raise ValueError("data rates must be positive")
+        return cls(
+            t1_us=t1_us,
+            t2_us=t2_us,
+            t3_us=t3_us,
+            reader_bit_us=1e3 / reader_kbps,
+            tag_bit_us=1e3 / tag_kbps,
+        )
+
+    def reader_tx_us(self, bits: float) -> float:
+        """Time for the reader to transmit ``bits`` downlink bits."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.reader_bit_us
+
+    def tag_tx_us(self, bits: float) -> float:
+        """Time for a tag to backscatter ``bits`` uplink bits."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.tag_bit_us
+
+    def turnaround_us(self) -> float:
+        """Total turnaround overhead for one request/response exchange."""
+        return self.t1_us + self.t2_us
+
+    def with_(self, **changes: float) -> "C1G2Timing":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Timing configuration used by the paper's evaluation (§V-A).
+PAPER_TIMING = C1G2Timing()

@@ -1,0 +1,46 @@
+"""Discrete-event execution of the polling protocols.
+
+The planners in :mod:`repro.core` are reader-side: they decide what the
+reader transmits and *predict* which tag answers.  This package is the
+other half of the validation story — it executes a plan on the air
+against **independent tag state machines** (each tag computes its own
+hashes, tracks its own TPP bit-register, decodes its own MIC indicator
+vector) through a real event-queue engine, and checks that:
+
+1. exactly one tag replies to every poll, and it is the predicted tag;
+2. every tag is read exactly once;
+3. the event clock agrees with :func:`repro.phy.link.plan_wire_time`.
+
+Under a lossy channel (:class:`repro.phy.channel.BitErrorChannel`) the
+executor additionally supports a retransmission policy for the polling
+protocols, an extension beyond the paper's error-free setting.
+"""
+
+from repro.sim.engine import Event, EventKind, EventQueue, Trace
+from repro.sim.tag import (
+    CPPTagMachine,
+    CPTagMachine,
+    HashTagMachine,
+    MICTagMachine,
+    TagMachine,
+    TagState,
+    TPPTagMachine,
+)
+from repro.sim.executor import DESResult, execute_plan, simulate
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Trace",
+    "TagMachine",
+    "TagState",
+    "CPPTagMachine",
+    "CPTagMachine",
+    "HashTagMachine",
+    "TPPTagMachine",
+    "MICTagMachine",
+    "DESResult",
+    "execute_plan",
+    "simulate",
+]

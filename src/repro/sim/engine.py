@@ -1,0 +1,110 @@
+"""A small discrete-event engine: clock, typed events, priority queue.
+
+The RFID air interface is reader-driven, so the schedule is mostly
+sequential — but modelling it as explicit timestamped events gives us an
+auditable trace (each turnaround, transmission and reply is an event)
+and a natural seam for failure injection.  The engine is deliberately
+generic: events carry a kind, a timestamp and a payload dict.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator
+
+__all__ = ["EventKind", "Event", "EventQueue", "Trace"]
+
+
+class EventKind(Enum):
+    """Everything that can happen on the air or in the reader."""
+
+    ROUND_START = "round_start"
+    READER_TX_START = "reader_tx_start"
+    READER_TX_END = "reader_tx_end"
+    TAG_REPLY_START = "tag_reply_start"
+    TAG_REPLY_END = "tag_reply_end"
+    REPLY_TIMEOUT = "reply_timeout"
+    COLLISION = "collision"
+    TAG_READ = "tag_read"
+    FRAME_LOST = "frame_lost"
+    RETRY = "retry"
+    DONE = "done"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped event; ordering is (time, seq) for stable replay."""
+
+    time_us: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    data: dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """Priority queue of future events plus the simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now_us: float = 0.0
+
+    def schedule(self, delay_us: float, kind: EventKind, **data: Any) -> Event:
+        """Schedule an event ``delay_us`` after the current clock."""
+        if delay_us < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self.now_us + delay_us, next(self._counter), kind, data)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Advance the clock to the next event and return it."""
+        if not self._heap:
+            raise IndexError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self.now_us = event.time_us
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, handler: Callable[[Event], None], max_events: int | None = None) -> int:
+        """Drain the queue through ``handler``; returns events processed."""
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            handler(self.pop())
+            processed += 1
+        return processed
+
+
+class Trace:
+    """An append-only record of processed events with query helpers."""
+
+    def __init__(self, keep: bool = True) -> None:
+        self.keep = keep
+        self.events: list[Event] = []
+
+    def record(self, event: Event) -> None:
+        if self.keep:
+            self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_us(self) -> float:
+        return self.events[-1].time_us if self.events else 0.0

@@ -1,0 +1,532 @@
+"""Plan executor: runs an interrogation plan against live tag machines.
+
+For every protocol the reader's script (the plan) is replayed message by
+message through the event engine; the tag machines independently decide
+whether to reply.  Under the ideal channel the executor *asserts* that
+exactly the predicted tag answers every poll and that every tag ends up
+read exactly once — the strongest correctness check in the repository,
+because the tag side shares no code path with the planner's
+singleton-sifting logic.
+
+Under a :class:`~repro.phy.channel.BitErrorChannel` the executor runs
+the retransmission extension for the polling protocols (CPP, eCPP, HPP,
+EHPP, TPP): a failed poll is retried with an escalating context re-send
+(poll → round-init + poll → circle-command + round-init + poll), with
+TPP recovering via a full-length segment that rewrites the whole tag
+register.  MIC and the ALOHA baselines are only executable on the ideal
+channel (their frame structure has no per-tag retry semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
+from repro.core.polling_tree import PollingTree
+from repro.phy.channel import Channel, IdealChannel
+from repro.phy.link import LinkBudget
+from repro.sim.engine import EventKind, EventQueue, Trace
+from repro.sim.tag import (
+    CPPTagMachine,
+    CPTagMachine,
+    HashTagMachine,
+    MICTagMachine,
+    Reply,
+    TagMachine,
+    TPPTagMachine,
+)
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["DESResult", "execute_plan", "simulate", "build_tag_machines"]
+
+#: per-poll retry ceiling under a lossy channel before giving up
+MAX_POLL_ATTEMPTS = 200
+
+
+@dataclass
+class DESResult:
+    """Outcome of a discrete-event execution."""
+
+    protocol: str
+    n_tags: int
+    time_us: float
+    reader_bits: int
+    tag_bits: int
+    polled_order: list[int]
+    n_retries: int
+    trace: Trace
+    missing: list[int]
+
+    @property
+    def all_read(self) -> bool:
+        return len(set(self.polled_order)) == self.n_tags
+
+
+class _Air:
+    """The half-duplex medium: broadcasts, replies, timing, trace."""
+
+    def __init__(
+        self,
+        machines: list[TagMachine],
+        budget: LinkBudget,
+        channel: Channel,
+        rng: np.random.Generator,
+        info_bits: int,
+        trace: Trace,
+        present: np.ndarray | None = None,
+    ):
+        self.machines = machines
+        self.budget = budget
+        self.channel = channel
+        self.rng = rng
+        self.info_bits = info_bits
+        self.trace = trace
+        self.queue = EventQueue()
+        self.reader_bits = 0
+        self.tag_bits = 0
+        self.n_retries = 0
+        self.read_order: list[int] = []
+        self.missing_found: list[int] = []
+        self.allow_missing = False
+        self.missing_attempts = 3
+        if present is None:
+            self.present = np.ones(len(machines), dtype=bool)
+        else:
+            self.present = np.zeros(len(machines), dtype=bool)
+            self.present[np.asarray(present, dtype=np.int64)] = True
+        self._awake: list[TagMachine] = [
+            m for m in machines if self.present[m.tag_index]
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def now_us(self) -> float:
+        return self.queue.now_us
+
+    def _advance(self, dt_us: float, kind: EventKind, **data: Any) -> None:
+        self.queue.schedule(dt_us, kind, **data)
+        self.trace.record(self.queue.pop())
+
+    def refresh_awake(self) -> None:
+        self._awake = [
+            m
+            for m in self.machines
+            if m.state.name != "ASLEEP" and self.present[m.tag_index]
+        ]
+
+    # ------------------------------------------------------------------
+    def broadcast(self, bits: int, msg: dict[str, Any]) -> list[Reply]:
+        """Transmit ``msg`` (costing ``bits``); collect replies."""
+        t = self.budget.timing
+        self.reader_bits += bits
+        self._advance(t.reader_tx_us(bits), EventKind.READER_TX_END,
+                      bits=bits, kind_str=msg["kind"])
+        if not self.channel.deliver(bits, self.rng):
+            self._advance(0.0, EventKind.FRAME_LOST, bits=bits)
+            return []
+        replies = []
+        for machine in self._awake:
+            reply = machine.on_message(msg)
+            if reply is not None:
+                replies.append(reply)
+        return replies
+
+    def poll(self, bits: int, msg: dict[str, Any]) -> tuple[Reply | None, bool]:
+        """A request/response exchange.
+
+        Returns ``(reply, collision)``: the unique successful reply (with
+        turnarounds and reply time charged), or ``None`` on silence /
+        collision / uplink loss.
+        """
+        t = self.budget.timing
+        replies = self.broadcast(bits, msg)
+        if len(replies) == 0:
+            # T1 wait, then the reader declares the slot empty
+            self._advance(t.t1_us + t.t3_us + t.t2_us, EventKind.REPLY_TIMEOUT)
+            return None, False
+        if len(replies) > 1:
+            # concurrent backscatter: garbled for the full reply length
+            self._advance(
+                t.t1_us + t.tag_tx_us(self.info_bits) + t.t2_us, EventKind.COLLISION,
+                tags=[r.tag_index for r in replies],
+            )
+            for r in replies:
+                self.machines[r.tag_index].revert_reply()
+            return None, True
+        reply = replies[0]
+        self._advance(t.t1_us, EventKind.TAG_REPLY_START, tag=reply.tag_index)
+        self._advance(t.tag_tx_us(self.info_bits), EventKind.TAG_REPLY_END,
+                      tag=reply.tag_index)
+        self._advance(t.t2_us, EventKind.READER_TX_START)
+        if not self.channel.deliver(self.info_bits, self.rng):
+            self.machines[reply.tag_index].revert_reply()
+            self._advance(0.0, EventKind.FRAME_LOST, uplink=True,
+                          tag=reply.tag_index)
+            return None, False
+        self.tag_bits += self.info_bits
+        self.machines[reply.tag_index].acknowledge()
+        self.read_order.append(reply.tag_index)
+        self._advance(0.0, EventKind.TAG_READ, tag=reply.tag_index)
+        return reply, False
+
+
+# ----------------------------------------------------------------------
+def build_tag_machines(
+    plan: InterrogationPlan,
+    tags: TagSet,
+    payloads: np.ndarray | None = None,
+) -> list[TagMachine]:
+    """Instantiate the right tag machine type for ``plan.protocol``."""
+    n = len(tags)
+    payloads = np.zeros(n, dtype=np.int64) if payloads is None else payloads
+    words = tags.id_words
+
+    def mk(cls, **kw) -> list[TagMachine]:
+        return [
+            cls(i, int(words[i]), tags.epc(i), int(payloads[i]), **kw)
+            for i in range(n)
+        ]
+
+    name = plan.protocol
+    if name in ("CPP", "eCPP"):
+        return mk(CPPTagMachine, id_bits=plan.meta.get("id_bits", 96))
+    if name == "CP":
+        return mk(CPTagMachine, id_bits=plan.meta.get("id_bits", 96))
+    if name in ("HPP", "EHPP"):
+        return mk(HashTagMachine)
+    if name == "TPP":
+        return mk(TPPTagMachine)
+    if name == "MIC":
+        return mk(MICTagMachine, k=plan.meta.get("k", 7))
+    raise NotImplementedError(
+        f"no tag state machine for protocol {name!r} "
+        "(the DES covers CPP/eCPP/CP/HPP/EHPP/TPP/MIC)"
+    )
+
+
+# ----------------------------------------------------------------------
+# per-protocol round execution
+# ----------------------------------------------------------------------
+def _poll_with_retry(
+    air: _Air,
+    poll_bits: int,
+    poll_msg: dict[str, Any],
+    expected_tag: int,
+    context: list[tuple[int, dict[str, Any]]],
+    recovery: tuple[int, dict[str, Any]] | None = None,
+) -> bool:
+    """Poll; on failure escalate by re-sending context, then retry.
+
+    Args:
+        context: [(bits, msg)] outer-to-inner prerequisite broadcasts
+            (circle command, round init) re-sent on escalating retries.
+        recovery: optional replacement poll used on retries (TPP's
+            full-register segment).
+        allow_missing: if the polled tag may be physically absent,
+            silence is a *detection*, not an error: after
+            ``missing_attempts`` silent polls the tag is declared
+            missing (one attempt suffices on the ideal channel).
+
+    Returns:
+        True if the expected tag was read, False if declared missing.
+    """
+    attempt = 0
+    bits, msg = poll_bits, poll_msg
+    ideal = isinstance(air.channel, IdealChannel)
+    allow_missing = air.allow_missing
+    give_up_after = (
+        (1 if ideal else air.missing_attempts)
+        if allow_missing
+        else MAX_POLL_ATTEMPTS
+    )
+    while True:
+        reply, _collision = air.poll(bits, msg)
+        if reply is not None and reply.tag_index == expected_tag:
+            return True
+        if reply is not None:
+            # a stale-register tag answered alone (possible only after
+            # frame loss); un-read it and fall through to the retry path
+            if ideal:
+                raise RuntimeError(
+                    f"poll answered by tag {reply.tag_index}, "
+                    f"expected {expected_tag} ({msg})"
+                )
+            air.machines[reply.tag_index].force_wake()
+            air.read_order.remove(reply.tag_index)
+        attempt += 1
+        if attempt >= give_up_after:
+            if allow_missing:
+                air.missing_found.append(expected_tag)
+                return False
+            raise RuntimeError(
+                f"tag {expected_tag} unreachable after {attempt} attempts"
+            )
+        if ideal:
+            raise RuntimeError(f"no/garbled reply on ideal channel for {msg}")
+        air.n_retries += 1
+        air._advance(0.0, EventKind.RETRY, attempt=attempt, tag=expected_tag)
+        # escalate: re-send the last `min(attempt, len(context))` context
+        # messages, outermost first
+        n_ctx = min(attempt, len(context))
+        for ctx_bits, ctx_msg in context[len(context) - n_ctx:]:
+            air.broadcast(ctx_bits, ctx_msg)
+        if recovery is not None:
+            bits, msg = recovery
+
+
+def _execute_cpp_round(air: _Air, rp: RoundPlan, tags: TagSet,
+                       plan: InterrogationPlan) -> None:
+    context: list[tuple[int, dict[str, Any]]] = []
+    if plan.protocol == "eCPP":
+        category_bits = plan.meta["category_bits"]
+        select_msg = {
+            "kind": "select",
+            "prefix": rp.extra["category"],
+            "prefix_bits": category_bits,
+        }
+        air.broadcast(rp.init_bits, select_msg)
+        context = [(rp.init_bits, select_msg)]
+        for tag_idx, bits in zip(rp.poll_tag_idx, rp.poll_vector_bits):
+            suffix_bits = int(bits)
+            suffix = tags.epc(int(tag_idx)) & ((1 << suffix_bits) - 1)
+            msg = {"kind": "suffix_poll", "suffix": suffix, "suffix_bits": suffix_bits}
+            _poll_with_retry(air, suffix_bits, msg, int(tag_idx), context)
+    else:
+        for tag_idx, bits in zip(rp.poll_tag_idx, rp.poll_vector_bits):
+            msg = {"kind": "cpp_poll", "epc": tags.epc(int(tag_idx))}
+            _poll_with_retry(air, int(bits), msg, int(tag_idx), context)
+
+
+def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
+                      plan: InterrogationPlan) -> None:
+    """Coded Polling: one frame per pair, two ordered replies.
+
+    A bystander tag false-positives on a frame with probability 2⁻¹⁶
+    (inherent to the 16-bit pair check), garbling a slot even on the
+    ideal channel; the reader recovers by re-polling the expected tag
+    with its bare ID, which only that tag can match.  The same bare-ID
+    fallback covers frame loss on noisy channels.
+    """
+    from repro.core.coded_polling import coded_frame
+
+    id_bits = plan.meta.get("id_bits", 96)
+    idx = rp.poll_tag_idx
+    for p in range(rp.extra["n_pairs"]):
+        a, b = int(idx[2 * p]), int(idx[2 * p + 1])
+        frame_msg = {"kind": "cp_frame",
+                     "frame": coded_frame(tags.epc(a), tags.epc(b), id_bits)}
+        air.broadcast(id_bits, frame_msg)
+        for rank, expected in enumerate((a, b)):
+            # the slot advance is implicit (rank derived tag-side), so the
+            # poll itself carries no reader bits beyond the shared frame
+            reply, _collision = air.poll(0, {"kind": "cp_slot", "rank": rank})
+            if reply is not None and reply.tag_index == expected:
+                continue
+            if reply is not None:
+                # a false-positive bystander answered alone: un-read it
+                air.machines[reply.tag_index].force_wake()
+                air.read_order.remove(reply.tag_index)
+            air.n_retries += 1
+            air._advance(0.0, EventKind.RETRY, tag=expected, cp_fallback=True)
+            _poll_with_retry(
+                air, id_bits,
+                {"kind": "cpp_poll", "epc": tags.epc(expected)}, expected, [],
+            )
+    if rp.extra["tail_tag"]:
+        tail = int(idx[-1])
+        _poll_with_retry(air, id_bits,
+                         {"kind": "cpp_poll", "epc": tags.epc(tail)}, tail, [])
+    air.refresh_awake()
+
+
+def _execute_hash_round(air: _Air, rp: RoundPlan, circle_ctx: list) -> None:
+    h, seed = rp.extra["h"], rp.extra["seed"]
+    init_msg = {
+        "kind": "round_init",
+        "h": h,
+        "seed": seed,
+        "global_scope": not circle_ctx,
+    }
+    air.broadcast(rp.init_bits, init_msg)
+    context = circle_ctx + [(rp.init_bits, init_msg)]
+    for tag_idx, index in zip(rp.poll_tag_idx, rp.extra["singleton_indices"]):
+        msg = {"kind": "poll_index", "index": int(index)}
+        _poll_with_retry(air, h + rp.poll_overhead_bits, msg, int(tag_idx), context)
+    air.refresh_awake()
+
+
+def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
+    h, seed = rp.extra["h"], rp.extra["seed"]
+    init_msg = {"kind": "round_init", "h": h, "seed": seed, "global_scope": True}
+    air.broadcast(rp.init_bits, init_msg)
+    context = [(rp.init_bits, init_msg)]
+    # the explicit tree cross-checks the planner's closed-form segments
+    tree = PollingTree.from_indices(rp.extra["singleton_indices"], h)
+    segments = tree.segments()
+    if [s.length for s in segments] != rp.poll_vector_bits.tolist():
+        raise RuntimeError("polling-tree segments disagree with the plan")
+    for seg, tag_idx, index in zip(
+        segments, rp.poll_tag_idx, rp.extra["singleton_indices"]
+    ):
+        msg = {"kind": "tpp_segment", "value": seg.value, "length": seg.length}
+        # recovery poll: a full-length segment rewriting the whole register
+        recovery = (
+            h + rp.poll_overhead_bits,
+            {"kind": "tpp_segment", "value": int(index), "length": h},
+        )
+        _poll_with_retry(
+            air, seg.length + rp.poll_overhead_bits, msg, int(tag_idx), context, recovery
+        )
+    air.refresh_awake()
+
+
+def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
+    if not isinstance(air.channel, IdealChannel):
+        raise NotImplementedError("MIC execution requires the ideal channel")
+    f = rp.extra["frame_size"]
+    seed = rp.extra["seed"]
+    slots = np.asarray(rp.extra["assigned_slots"], dtype=np.int64)
+    passes = np.asarray(rp.extra["assigned_passes"], dtype=np.int64)
+    vector = np.zeros(f, dtype=np.int64)
+    vector[slots] = passes
+    air.broadcast(rp.init_bits, {"kind": "mic_frame", "seed": seed, "vector": vector})
+    owner = dict(zip(slots.tolist(), rp.poll_tag_idx.tolist()))
+    t = air.budget.timing
+    for slot in range(f):
+        msg = {"kind": "mic_slot", "slot": slot}
+        if slot in owner:
+            reply, _ = air.poll(rp.slot_overhead_bits, msg)
+            if reply is None:
+                if air.allow_missing:
+                    air.missing_found.append(owner[slot])
+                else:
+                    raise RuntimeError(f"MIC slot {slot} silent unexpectedly")
+            elif reply.tag_index != owner[slot]:
+                raise RuntimeError(f"MIC slot {slot} answered unexpectedly")
+        else:
+            # wasted slot: reader transmits the slot command, nobody
+            # answers; charged per the plan's slot convention
+            replies = air.broadcast(rp.slot_overhead_bits, msg)
+            if replies:
+                raise RuntimeError(f"silent MIC slot {slot} drew a reply")
+            if mic_uniform:
+                air._advance(
+                    t.t1_us + t.tag_tx_us(air.info_bits) + t.t2_us,
+                    EventKind.REPLY_TIMEOUT, slot=slot,
+                )
+            else:
+                air._advance(t.t1_us + t.t3_us, EventKind.REPLY_TIMEOUT, slot=slot)
+    air.refresh_awake()
+
+
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: InterrogationPlan,
+    tags: TagSet,
+    info_bits: int = 1,
+    budget: LinkBudget | None = None,
+    channel: Channel | None = None,
+    rng: np.random.Generator | None = None,
+    payloads: np.ndarray | None = None,
+    keep_trace: bool = True,
+    present: np.ndarray | None = None,
+    missing_attempts: int = 3,
+) -> DESResult:
+    """Execute ``plan`` over the air against independent tag machines.
+
+    Args:
+        present: indices of tags physically in the field; ``None`` means
+            the whole known population.  When a subset is given, silent
+            polls *detect* missing tags instead of raising — the
+            missing-tag application of §I.
+        missing_attempts: silent polls before declaring a tag missing on
+            a lossy channel (1 is used on the ideal channel).
+    """
+    budget = budget if budget is not None else LinkBudget()
+    channel = channel if channel is not None else IdealChannel()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    trace = Trace(keep=keep_trace)
+    machines = build_tag_machines(plan, tags, payloads)
+    air = _Air(machines, budget, channel, rng, info_bits, trace, present=present)
+    if present is not None:
+        air.allow_missing = True
+        air.missing_attempts = missing_attempts
+
+    circle_ctx: list[tuple[int, dict[str, Any]]] = []
+    for rp in plan.rounds:
+        if plan.protocol in ("CPP", "eCPP"):
+            _execute_cpp_round(air, rp, tags, plan)
+        elif plan.protocol == "CP":
+            _execute_cp_round(air, rp, tags, plan)
+        elif plan.protocol in ("HPP", "EHPP"):
+            if rp.label.startswith("ehpp-circle") and rp.n_polls == 0 and "F" in rp.extra:
+                msg = {
+                    "kind": "circle_cmd",
+                    "seed": rp.extra["seed"],
+                    "f": rp.extra["f"],
+                    "F": rp.extra["F"],
+                }
+                air.broadcast(rp.init_bits, msg)
+                circle_ctx = [(rp.init_bits, msg)]
+                continue
+            if rp.label.startswith("ehpp-tail"):
+                circle_ctx = []
+            _execute_hash_round(air, rp, circle_ctx)
+        elif plan.protocol == "TPP":
+            _execute_tpp_round(air, rp)
+        elif plan.protocol == "MIC":
+            _execute_mic_frame(air, rp, plan.meta.get("uniform_slot_cost", True))
+        else:
+            raise NotImplementedError(f"no executor for protocol {plan.protocol!r}")
+
+    # final invariant: every present machine read exactly once
+    asleep = sorted(m.tag_index for m in machines if m.state.name == "ASLEEP")
+    expected = sorted(np.flatnonzero(air.present).tolist())
+    if asleep != expected:
+        raise RuntimeError(
+            f"{len(expected) - len(asleep)} present tag(s) were never read"
+        )
+    return DESResult(
+        protocol=plan.protocol,
+        n_tags=len(tags),
+        time_us=air.now_us,
+        reader_bits=air.reader_bits,
+        tag_bits=air.tag_bits,
+        polled_order=air.read_order,
+        n_retries=air.n_retries,
+        trace=trace,
+        missing=sorted(set(air.missing_found)),
+    )
+
+
+def simulate(
+    protocol: PollingProtocol,
+    tags: TagSet,
+    info_bits: int = 1,
+    seed: int = 0,
+    budget: LinkBudget | None = None,
+    channel: Channel | None = None,
+    keep_trace: bool = True,
+    present: np.ndarray | None = None,
+    payloads: np.ndarray | None = None,
+    missing_attempts: int = 3,
+) -> DESResult:
+    """Plan + execute in one call (plan RNG and channel RNG split)."""
+    plan_rng = np.random.default_rng(seed)
+    channel_rng = np.random.default_rng(seed + 0x9E3779B9)
+    plan = protocol.plan(tags, plan_rng)
+    return execute_plan(
+        plan,
+        tags,
+        info_bits=info_bits,
+        budget=budget,
+        channel=channel,
+        rng=channel_rng,
+        keep_trace=keep_trace,
+        present=present,
+        payloads=payloads,
+        missing_attempts=missing_attempts,
+    )

@@ -1,0 +1,263 @@
+"""Independent tag-side state machines.
+
+Each machine models one tag's on-chip protocol logic: it hears reader
+messages (dicts with a ``kind`` field), keeps its own state (awake /
+asleep, circle membership, TPP bit-register, MIC claimed slot) and
+decides on its own — from its own ID and the broadcast parameters —
+whether to backscatter a reply.  Nothing here peeks at the reader's
+plan; agreement between the two sides is what the executor verifies.
+
+Acknowledgement model: a tag that replied stays in REPLIED state until
+the executor delivers an (implicit C1G2-style) acknowledgement, then
+sleeps.  Under a lossy channel the reader withholds the ack and re-polls
+instead, so no tag is lost to a corrupted reply.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from repro.hashing.universal import derive_seed, hash_mod, hash_u64
+
+__all__ = [
+    "TagState",
+    "Reply",
+    "TagMachine",
+    "CPPTagMachine",
+    "HashTagMachine",
+    "TPPTagMachine",
+    "MICTagMachine",
+]
+
+Message = dict[str, Any]
+
+
+class TagState(Enum):
+    READY = "ready"  # awake, not yet read
+    REPLIED = "replied"  # reply sent, awaiting implicit ack
+    ASLEEP = "asleep"  # read and acknowledged; ignores everything
+
+
+class Reply:
+    """A backscattered reply: who and (optionally) what."""
+
+    __slots__ = ("tag_index", "payload")
+
+    def __init__(self, tag_index: int, payload: int = 0):
+        self.tag_index = tag_index
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reply(tag={self.tag_index})"
+
+
+class TagMachine:
+    """Base tag: identity, sleep/ack bookkeeping, message dispatch."""
+
+    def __init__(self, tag_index: int, id_word: int, epc: int, payload: int = 0):
+        self.tag_index = tag_index
+        self.id_word = np.uint64(id_word)
+        self.epc = epc
+        self.payload = payload
+        self.state = TagState.READY
+
+    # -- identity-derived hash draws (the tag's "hash hardware") -------
+    def hash_index(self, seed: int, h: int) -> int:
+        """``H(r, id) mod 2**h`` computed tag-side."""
+        word = int(hash_u64(np.asarray([self.id_word]), seed)[0])
+        return word & ((1 << h) - 1)
+
+    def hash_mod(self, seed: int, modulus: int) -> int:
+        return int(hash_mod(np.asarray([self.id_word]), seed, modulus)[0])
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def awake(self) -> bool:
+        return self.state is TagState.READY
+
+    def acknowledge(self) -> None:
+        """Implicit ack after a successful reply: go to sleep."""
+        if self.state is not TagState.REPLIED:
+            raise RuntimeError(f"tag {self.tag_index} acked in state {self.state}")
+        self.state = TagState.ASLEEP
+
+    def revert_reply(self) -> None:
+        """The reply was lost; stay awake for the reader's retry."""
+        if self.state is not TagState.REPLIED:
+            raise RuntimeError(f"tag {self.tag_index} reverted in state {self.state}")
+        self.state = TagState.READY
+
+    def force_wake(self) -> None:
+        """Reader-directed wake-up of a wrongly-read tag (lossy channels:
+
+        a stale-register tag may answer a poll meant for another tag; the
+        reader detects the wrong payload/ID and re-activates it)."""
+        self.state = TagState.READY
+
+    def _reply(self) -> Reply:
+        self.state = TagState.REPLIED
+        return Reply(self.tag_index, self.payload)
+
+    # -- protocol dispatch ----------------------------------------------
+    def on_message(self, msg: Message) -> Reply | None:
+        """Hear a reader message; return a Reply to backscatter, or None."""
+        if self.state is TagState.ASLEEP:
+            return None
+        handler = getattr(self, f"_on_{msg['kind']}", None)
+        if handler is None:
+            return None  # commands for other protocols are ignored
+        return handler(msg)
+
+
+class CPPTagMachine(TagMachine):
+    """CPP and enhanced-CPP logic: match the broadcast ID (or suffix)."""
+
+    def __init__(self, tag_index: int, id_word: int, epc: int,
+                 payload: int = 0, id_bits: int = 96):
+        super().__init__(tag_index, id_word, epc, payload)
+        self.id_bits = id_bits
+        self.selected = True  # full-population scope until a Select narrows it
+
+    def _on_cpp_poll(self, msg: Message) -> Reply | None:
+        if self.awake and msg["epc"] == self.epc:
+            return self._reply()
+        return None
+
+    def _on_select(self, msg: Message) -> None:
+        bits = msg["prefix_bits"]
+        self.selected = (self.epc >> (self.id_bits - bits)) == msg["prefix"]
+        return None
+
+    def _on_suffix_poll(self, msg: Message) -> Reply | None:
+        bits = msg["suffix_bits"]
+        if (
+            self.awake
+            and self.selected
+            and (self.epc & ((1 << bits) - 1)) == msg["suffix"]
+        ):
+            return self._reply()
+        return None
+
+
+class CPTagMachine(TagMachine):
+    """Coded Polling logic: XOR-recover the partner, validate its CRC.
+
+    Requires a CRC-embedded population
+    (:func:`repro.workloads.tagsets.crc_embedded_tagset`).  On a valid
+    frame the tag derives its reply rank from the EPC ordering within
+    the pair; it also answers bare-ID polls (the odd tail tag).
+    """
+
+    def __init__(self, tag_index: int, id_word: int, epc: int,
+                 payload: int = 0, id_bits: int = 96):
+        super().__init__(tag_index, id_word, epc, payload)
+        self.id_bits = id_bits
+        self._rank: int | None = None
+
+    def _on_cp_frame(self, msg: Message) -> None:
+        from repro.core.coded_polling import validate_coded_partner
+
+        partner_hi = validate_coded_partner(msg["frame"], self.epc, self.id_bits)
+        self._rank = None
+        if partner_hi is not None and self.awake:
+            self._rank = 0 if (self.epc >> 16) < partner_hi else 1
+        return None
+
+    def _on_cp_slot(self, msg: Message) -> Reply | None:
+        if self.awake and self._rank == msg["rank"]:
+            return self._reply()
+        return None
+
+    def _on_cpp_poll(self, msg: Message) -> Reply | None:
+        if self.awake and msg["epc"] == self.epc:
+            return self._reply()
+        return None
+
+
+class HashTagMachine(TagMachine):
+    """HPP / EHPP logic: pick an index per round, answer your own index."""
+
+    def __init__(self, tag_index: int, id_word: int, epc: int, payload: int = 0):
+        super().__init__(tag_index, id_word, epc, payload)
+        self.in_circle = True  # no circle command yet => global scope
+        self._index: int | None = None
+
+    def _on_circle_cmd(self, msg: Message) -> None:
+        # join iff H(r, ID) mod F <= f  (paper §III-D)
+        draw = self.hash_mod(msg["seed"], msg["F"])
+        self.in_circle = draw <= msg["f"]
+        self._index = None
+        return None
+
+    def _on_round_init(self, msg: Message) -> None:
+        if msg.get("global_scope", True) or self.in_circle:
+            self._index = self.hash_index(msg["seed"], msg["h"])
+        else:
+            self._index = None
+        return None
+
+    def _on_poll_index(self, msg: Message) -> Reply | None:
+        if self.awake and self._index is not None and msg["index"] == self._index:
+            return self._reply()
+        return None
+
+
+class TPPTagMachine(HashTagMachine):
+    """TPP logic: maintain the h-bit register A, reply when A matches."""
+
+    def __init__(self, tag_index: int, id_word: int, epc: int, payload: int = 0):
+        super().__init__(tag_index, id_word, epc, payload)
+        self._h = 0
+        self._a = 0
+
+    def _on_round_init(self, msg: Message) -> None:
+        super()._on_round_init(msg)
+        self._h = msg["h"]
+        self._a = 0
+        return None
+
+    def _on_tpp_segment(self, msg: Message) -> Reply | None:
+        if self._index is None:
+            return None
+        k = msg["length"]
+        if not 0 <= k <= self._h:
+            raise ValueError(f"segment length {k} outside [0, {self._h}]")
+        # overwrite the LAST k bits of A with the segment (paper Fig. 7)
+        keep = ((1 << self._h) - 1) ^ ((1 << k) - 1)
+        self._a = (self._a & keep) | msg["value"]
+        if self.awake and self._a == self._index:
+            return self._reply()
+        return None
+
+
+class MICTagMachine(TagMachine):
+    """MIC logic: decode the indicator vector, reply in the claimed slot."""
+
+    def __init__(self, tag_index: int, id_word: int, epc: int,
+                 payload: int = 0, k: int = 7):
+        super().__init__(tag_index, id_word, epc, payload)
+        self.k = k
+        self._claimed_slot: int | None = None
+
+    def _on_mic_frame(self, msg: Message) -> None:
+        vector = msg["vector"]
+        seed = msg["seed"]
+        f = int(len(vector))
+        self._claimed_slot = None
+        if not self.awake:
+            return None
+        # claim the first ascending hash number whose slot carries it
+        for j in range(1, self.k + 1):
+            slot = self.hash_mod(derive_seed(seed, j), f)
+            if vector[slot] == j:
+                self._claimed_slot = slot
+                break
+        return None
+
+    def _on_mic_slot(self, msg: Message) -> Reply | None:
+        if self.awake and self._claimed_slot == msg["slot"]:
+            return self._reply()
+        return None

@@ -1,0 +1,36 @@
+"""Tag populations and application scenarios.
+
+- :mod:`repro.workloads.tagsets` — the :class:`TagSet` container and
+  generators for realistic 96-bit EPC populations (uniform random,
+  category-clustered, sequential serial numbers, adversarial).
+- :mod:`repro.workloads.scenarios` — named application scenarios used
+  by the examples (warehouse inventory, cold-chain sensing, theft watch).
+"""
+
+from repro.workloads.tagsets import (
+    TagSet,
+    uniform_tagset,
+    clustered_tagset,
+    sequential_tagset,
+    adversarial_tagset,
+    crc_embedded_tagset,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    warehouse_scenario,
+    cold_chain_scenario,
+    theft_watch_scenario,
+)
+
+__all__ = [
+    "TagSet",
+    "uniform_tagset",
+    "clustered_tagset",
+    "sequential_tagset",
+    "adversarial_tagset",
+    "crc_embedded_tagset",
+    "Scenario",
+    "warehouse_scenario",
+    "cold_chain_scenario",
+    "theft_watch_scenario",
+]

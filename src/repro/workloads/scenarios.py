@@ -1,0 +1,122 @@
+"""Named application scenarios used by the examples and integration tests.
+
+Each scenario bundles a tag population generator with the payload length
+the application collects per tag, mirroring the use cases the paper's
+introduction motivates:
+
+- *warehouse inventory*: presence checking — 1-bit replies;
+- *cold chain*: sensor-augmented tags reporting temperature — 16/32-bit
+  replies;
+- *theft watch*: 1-bit presence polling of a known population, with a
+  configurable fraction of tags missing (stolen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.workloads.tagsets import TagSet, clustered_tagset, uniform_tagset
+
+__all__ = [
+    "Scenario",
+    "warehouse_scenario",
+    "cold_chain_scenario",
+    "theft_watch_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload: tag population + per-tag payload length."""
+
+    name: str
+    tags: TagSet
+    info_bits: int
+    #: indices of tags that are physically present (for missing-tag apps
+    #: this may be a strict subset of the known population).
+    present: np.ndarray
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        present = np.asarray(self.present, dtype=np.int64)
+        if present.size and (present.min() < 0 or present.max() >= len(self.tags)):
+            raise ValueError("present indices out of range")
+        if self.info_bits < 0:
+            raise ValueError("info_bits must be non-negative")
+        object.__setattr__(self, "present", present)
+
+    @property
+    def n_known(self) -> int:
+        return len(self.tags)
+
+    @property
+    def n_present(self) -> int:
+        return int(self.present.size)
+
+    @property
+    def missing(self) -> np.ndarray:
+        """Indices of known tags that are absent from the field."""
+        mask = np.ones(len(self.tags), dtype=bool)
+        mask[self.present] = False
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def payloads(self, rng: np.random.Generator) -> np.ndarray:
+        """Random per-tag payloads (the sensed information), int64."""
+        high = 1 << min(self.info_bits, 62)
+        return rng.integers(0, max(high, 1), size=len(self.tags), dtype=np.int64)
+
+
+def _all_present(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def warehouse_scenario(
+    n: int = 5000, seed: int = 7, info_bits: int = 1
+) -> Scenario:
+    """Inventory presence check over a clustered (per-SKU) population."""
+    rng = np.random.default_rng(seed)
+    tags = clustered_tagset(n, rng, n_categories=max(n // 500, 2))
+    return Scenario(
+        name="warehouse",
+        tags=tags,
+        info_bits=info_bits,
+        present=_all_present(n),
+        description="per-SKU clustered EPCs, 1-bit presence polling",
+    )
+
+
+def cold_chain_scenario(n: int = 2000, seed: int = 11, info_bits: int = 16) -> Scenario:
+    """Sensor-augmented tags reporting a temperature word."""
+    rng = np.random.default_rng(seed)
+    tags = uniform_tagset(n, rng)
+    return Scenario(
+        name="cold-chain",
+        tags=tags,
+        info_bits=info_bits,
+        present=_all_present(n),
+        description=f"uniform EPCs, {info_bits}-bit sensor reading per tag",
+    )
+
+
+def theft_watch_scenario(
+    n: int = 3000, missing_fraction: float = 0.02, seed: int = 23
+) -> Scenario:
+    """A known population with a fraction of tags stolen (absent)."""
+    if not 0.0 <= missing_fraction <= 1.0:
+        raise ValueError("missing_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    tags = uniform_tagset(n, rng)
+    n_missing = int(round(n * missing_fraction))
+    missing = rng.choice(n, size=n_missing, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[missing] = False
+    return Scenario(
+        name="theft-watch",
+        tags=tags,
+        info_bits=1,
+        present=np.flatnonzero(mask).astype(np.int64),
+        description=f"{n_missing} of {n} tags missing; 1-bit presence polling",
+    )

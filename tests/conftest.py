@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tags() -> TagSet:
+    """50 tags — sized for exhaustive / DES checks."""
+    return uniform_tagset(50, np.random.default_rng(11))
+
+
+@pytest.fixture
+def medium_tags() -> TagSet:
+    """1000 tags — sized for statistical checks."""
+    return uniform_tagset(1000, np.random.default_rng(12))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running statistical test")

@@ -1,0 +1,68 @@
+"""Unit + statistical tests for the framed-slotted ALOHA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aloha import DFSA, FramedSlottedAloha
+from repro.core.hpp import HPP
+from repro.phy.link import plan_wire_time
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestFSA:
+    def test_everyone_read(self, medium_tags, rng):
+        FramedSlottedAloha(frame_size=1024).plan(medium_tags, rng).validate_complete()
+
+    def test_slot_accounting(self, rng):
+        tags = uniform_tagset(500, rng)
+        plan = FramedSlottedAloha(frame_size=512).plan(tags, rng)
+        for r in plan.rounds:
+            assert r.n_polls + r.empty_slots + r.collision_slots == r.extra["frame_size"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FramedSlottedAloha(frame_size=0)
+        with pytest.raises(ValueError):
+            FramedSlottedAloha(frame_size=4, frame_init_bits=-1)
+
+
+class TestDFSA:
+    def test_everyone_read(self, medium_tags, rng):
+        DFSA().plan(medium_tags, rng).validate_complete()
+
+    def test_slot_type_fractions_at_load_one(self):
+        # classic ALOHA at λ=1: empty ≈ e^-1 ≈ 36.8%, singleton ≈ 36.8%,
+        # collision ≈ 26.4% of the first frame
+        rng = np.random.default_rng(6)
+        tags = uniform_tagset(30_000, rng)
+        plan = DFSA(load=1.0).plan(tags, rng)
+        first = plan.rounds[0]
+        f = first.extra["frame_size"]
+        assert first.n_polls / f == pytest.approx(np.exp(-1), abs=0.01)
+        assert first.empty_slots / f == pytest.approx(np.exp(-1), abs=0.01)
+        assert first.collision_slots / f == pytest.approx(1 - 2 * np.exp(-1), abs=0.01)
+
+    def test_wasted_slots_motivate_polling(self, rng):
+        # the paper's premise: ALOHA wastes ~63% of slots; HPP wastes none
+        tags = uniform_tagset(2000, rng)
+        aloha = DFSA().plan(tags, np.random.default_rng(0))
+        hpp = HPP().plan(tags, np.random.default_rng(0))
+        assert hpp.wasted_slots == 0
+        assert aloha.wasted_slots > 0.5 * 2000
+
+    def test_slower_than_hpp_for_collection(self, rng):
+        tags = uniform_tagset(2000, rng)
+        t_aloha = plan_wire_time(DFSA().plan(tags, np.random.default_rng(0)), 16)
+        t_hpp = plan_wire_time(HPP().plan(tags, np.random.default_rng(0)), 16)
+        assert t_hpp < t_aloha
+
+    def test_frame_shrinks_with_backlog(self, rng):
+        tags = uniform_tagset(4000, rng)
+        plan = DFSA().plan(tags, rng)
+        sizes = [r.extra["frame_size"] for r in plan.rounds]
+        assert sizes[0] == 4000
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFSA(load=0)

@@ -1,0 +1,111 @@
+"""Tests for the application layer (collection, missing-tag)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.information_collection import collect_information, compare_protocols
+from repro.apps.missing_tag import detect_missing_tags
+from repro.core.cpp import CPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.channel import BitErrorChannel
+from repro.workloads.scenarios import (
+    cold_chain_scenario,
+    theft_watch_scenario,
+    warehouse_scenario,
+)
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestCollection:
+    def test_report_fields(self, rng):
+        tags = uniform_tagset(300, rng)
+        rep = collect_information(TPP(), tags, info_bits=16, n_runs=5)
+        assert rep.protocol == "TPP"
+        assert rep.n_tags == 300
+        assert rep.mean_time_us > rep.lower_bound_us
+        assert rep.ratio_to_lower_bound > 1.0
+        assert rep.mean_time_s == pytest.approx(rep.mean_time_us / 1e6)
+        assert rep.collected is None
+
+    def test_des_mode_collects_ground_truth(self, rng):
+        tags = uniform_tagset(120, rng)
+        payloads = np.arange(120, dtype=np.int64)
+        rep = collect_information(
+            HPP(), tags, info_bits=8, use_des=True, payloads=payloads
+        )
+        assert rep.collected == {i: i for i in range(120)}
+        assert rep.n_runs == 1
+
+    def test_variance_across_runs(self, rng):
+        tags = uniform_tagset(400, rng)
+        rep = collect_information(HPP(), tags, info_bits=1, n_runs=8)
+        assert rep.std_time_us > 0  # hash draws differ per run
+
+    def test_cpp_deterministic_time(self, rng):
+        tags = uniform_tagset(100, rng)
+        rep = collect_information(CPP(), tags, info_bits=1, n_runs=4)
+        assert rep.std_time_us == pytest.approx(0.0)
+        assert rep.mean_time_us == pytest.approx(100 * 3770.2)
+
+    def test_compare_orders_protocols(self, rng):
+        tags = uniform_tagset(500, rng)
+        reports = compare_protocols([CPP(), HPP(), TPP()], tags, info_bits=1, n_runs=3)
+        times = {r.protocol: r.mean_time_us for r in reports}
+        assert times["TPP"] < times["HPP"] < times["CPP"]
+
+    def test_validation(self, rng):
+        tags = uniform_tagset(10, rng)
+        with pytest.raises(ValueError):
+            collect_information(TPP(), tags, info_bits=-1)
+        with pytest.raises(ValueError):
+            collect_information(TPP(), tags, info_bits=1, n_runs=0)
+
+
+class TestMissingTagApp:
+    def test_exact_detection(self):
+        scenario = theft_watch_scenario(n=300, missing_fraction=0.05, seed=4)
+        report = detect_missing_tags(HPP(), scenario, seed=1)
+        assert report.exact
+        assert report.detected_missing == scenario.missing.tolist()
+        assert report.n_known == 300
+        assert report.time_s > 0
+
+    def test_no_theft(self):
+        scenario = theft_watch_scenario(n=100, missing_fraction=0.0, seed=5)
+        report = detect_missing_tags(TPP(), scenario, seed=1)
+        assert report.exact
+        assert report.detected_missing == []
+
+    def test_lossy_channel_with_retries(self):
+        scenario = theft_watch_scenario(n=200, missing_fraction=0.03, seed=6)
+        report = detect_missing_tags(
+            HPP(), scenario, seed=2, channel=BitErrorChannel(0.001),
+            missing_attempts=6,
+        )
+        assert report.false_negatives == []  # can never miss a real theft
+        assert report.false_positives == []  # 6 attempts -> vanishing FP rate
+
+
+class TestScenarios:
+    def test_warehouse(self):
+        s = warehouse_scenario(n=500)
+        assert s.n_known == s.n_present == 500
+        assert s.info_bits == 1
+        assert s.missing.size == 0
+
+    def test_cold_chain_payloads(self, rng):
+        s = cold_chain_scenario(n=100, info_bits=16)
+        p = s.payloads(rng)
+        assert p.shape == (100,)
+        assert p.max() < (1 << 16)
+
+    def test_theft_watch_consistency(self):
+        s = theft_watch_scenario(n=200, missing_fraction=0.1, seed=1)
+        assert s.n_present == 180
+        assert s.missing.size == 20
+        assert np.intersect1d(s.present, s.missing).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theft_watch_scenario(missing_fraction=1.5)

@@ -1,0 +1,83 @@
+"""Unit tests for the plan data model (RoundPlan / InterrogationPlan)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InterrogationPlan, RoundPlan
+
+
+def _round(tags=(0, 1, 2), bits=(3, 3, 3), **kw):
+    return RoundPlan(
+        label="r",
+        init_bits=kw.pop("init_bits", 32),
+        poll_vector_bits=np.array(bits),
+        poll_tag_idx=np.array(tags),
+        **kw,
+    )
+
+
+class TestRoundPlan:
+    def test_reader_bits(self):
+        r = _round(bits=(3, 5, 2))
+        # init 32 + payload 10 + 3 polls * 4-bit framing
+        assert r.reader_bits == 32 + 10 + 12
+
+    def test_vector_bits_excludes_framing(self):
+        r = _round(bits=(3, 5, 2))
+        assert r.vector_bits == 32 + 10
+
+    def test_wasted_slots_counted(self):
+        r = _round(empty_slots=2, collision_slots=3)
+        assert r.reader_bits == 32 + 9 + 12 + 5 * 4
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            RoundPlan("r", 0, np.array([1, 2]), np.array([0]))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RoundPlan("r", 0, np.array([-1]), np.array([0]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            _round(empty_slots=-1)
+
+
+class TestInterrogationPlan:
+    def _plan(self, rounds=None, n=3):
+        return InterrogationPlan("P", n, rounds if rounds is not None else [_round()])
+
+    def test_aggregates(self):
+        plan = self._plan([_round((0, 1), (4, 4)), _round((2,), (2,), init_bits=0)])
+        assert plan.n_rounds == 2
+        assert plan.n_polls == 3
+        assert plan.reader_bits == (32 + 8 + 8) + (0 + 2 + 4)
+        assert plan.avg_vector_bits == pytest.approx((32 + 8 + 2) / 3)
+
+    def test_polled_tags_order(self):
+        plan = self._plan([_round((2, 0), (1, 1)), _round((1,), (1,), init_bits=0)])
+        assert plan.polled_tags().tolist() == [2, 0, 1]
+
+    def test_validate_complete_passes(self):
+        self._plan().validate_complete()
+
+    def test_validate_detects_missing(self):
+        plan = self._plan([_round((0, 1), (1, 1))], n=3)
+        with pytest.raises(ValueError):
+            plan.validate_complete()
+
+    def test_validate_detects_duplicates(self):
+        plan = self._plan([_round((0, 1, 1), (1, 1, 1))], n=3)
+        with pytest.raises(ValueError):
+            plan.validate_complete()
+
+    def test_validate_detects_out_of_range(self):
+        plan = self._plan([_round((0, 1, 7), (1, 1, 1))], n=3)
+        with pytest.raises(ValueError):
+            plan.validate_complete()
+
+    def test_empty_plan(self):
+        plan = InterrogationPlan("P", 0, [])
+        plan.validate_complete()
+        assert plan.avg_vector_bits == 0.0
+        assert plan.polled_tags().size == 0

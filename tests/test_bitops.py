@@ -1,0 +1,110 @@
+"""Unit + property tests for bit-string helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.bitops import (
+    bit_length_array,
+    bits_to_index,
+    common_prefix_len,
+    common_prefix_len_array,
+    index_to_bits,
+)
+
+
+class TestIndexBits:
+    def test_examples(self):
+        assert index_to_bits(5, 4) == "0101"
+        assert index_to_bits(0, 3) == "000"
+        assert index_to_bits(0, 0) == ""
+        assert bits_to_index("0101") == 5
+        assert bits_to_index("") == 0
+
+    def test_zero_padding(self):
+        # paper §III-B: pad zeros in front
+        assert index_to_bits(1, 5) == "00001"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            index_to_bits(1, 0)
+
+    def test_bad_bit_string(self):
+        with pytest.raises(ValueError):
+            bits_to_index("01x")
+
+    @given(st.integers(0, 20).flatmap(
+        lambda h: st.tuples(st.just(h), st.integers(0, max((1 << h) - 1, 0)))
+    ))
+    def test_roundtrip(self, h_index):
+        h, index = h_index
+        assert bits_to_index(index_to_bits(index, h)) == index
+        assert len(index_to_bits(index, h)) == h
+
+
+class TestCommonPrefix:
+    def test_paper_examples(self):
+        # Fig. 6 indices: 000, 010, 011, 101, 111
+        assert common_prefix_len(0b000, 0b010, 3) == 1
+        assert common_prefix_len(0b010, 0b011, 3) == 2
+        assert common_prefix_len(0b011, 0b101, 3) == 0
+        assert common_prefix_len(0b101, 0b111, 3) == 1
+
+    def test_equal_indices(self):
+        assert common_prefix_len(5, 5, 4) == 4
+
+    @given(st.integers(1, 30), st.data())
+    def test_against_string_lcp(self, h, data):
+        a = data.draw(st.integers(0, (1 << h) - 1))
+        b = data.draw(st.integers(0, (1 << h) - 1))
+        sa, sb = index_to_bits(a, h), index_to_bits(b, h)
+        lcp = 0
+        while lcp < h and sa[lcp] == sb[lcp]:
+            lcp += 1
+        assert common_prefix_len(a, b, h) == lcp
+
+
+class TestBitLengthArray:
+    @given(st.lists(st.integers(0, 2**62 - 1), min_size=1, max_size=50))
+    def test_matches_python_bit_length(self, values):
+        arr = np.array(values, dtype=np.int64)
+        expected = np.array([v.bit_length() for v in values], dtype=np.int64)
+        assert np.array_equal(bit_length_array(arr), expected)
+
+    def test_powers_of_two_edges(self):
+        vals = np.array([1, 2, 3, 4, 2**52, 2**52 + 1, 2**62 - 1], dtype=np.int64)
+        expected = np.array([v.bit_length() for v in vals.tolist()])
+        assert np.array_equal(bit_length_array(vals), expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length_array(np.array([-1]))
+
+
+class TestCommonPrefixArray:
+    def test_paper_sequence(self):
+        idx = np.array([0b000, 0b010, 0b011, 0b101, 0b111])
+        lcp = common_prefix_len_array(idx, 3)
+        assert lcp.tolist() == [0, 1, 2, 0, 1]
+
+    def test_requires_sorted_distinct(self):
+        with pytest.raises(ValueError):
+            common_prefix_len_array(np.array([3, 3]), 3)
+        with pytest.raises(ValueError):
+            common_prefix_len_array(np.array([4, 2]), 3)
+
+    def test_empty(self):
+        assert common_prefix_len_array(np.array([], dtype=np.int64), 5).size == 0
+
+    @given(st.integers(1, 24), st.data())
+    def test_matches_scalar(self, h, data):
+        values = data.draw(
+            st.sets(st.integers(0, (1 << h) - 1), min_size=1, max_size=40)
+        )
+        idx = np.array(sorted(values), dtype=np.int64)
+        lcp = common_prefix_len_array(idx, h)
+        assert lcp[0] == 0
+        for i in range(1, idx.size):
+            assert lcp[i] == common_prefix_len(int(idx[i - 1]), int(idx[i]), h)

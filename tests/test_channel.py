@@ -1,0 +1,54 @@
+"""Unit tests for the channel models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import BitErrorChannel, IdealChannel
+
+
+class TestIdealChannel:
+    def test_always_delivers(self, rng):
+        ch = IdealChannel()
+        assert all(ch.deliver(b, rng) for b in (0, 1, 96, 10_000))
+
+    def test_loss_probability_zero(self):
+        assert IdealChannel().frame_loss_probability(1000) == 0.0
+
+    def test_negative_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            IdealChannel().deliver(-1, rng)
+
+
+class TestBitErrorChannel:
+    def test_loss_probability_formula(self):
+        ch = BitErrorChannel(0.01)
+        assert ch.frame_loss_probability(1) == pytest.approx(0.01)
+        assert ch.frame_loss_probability(2) == pytest.approx(1 - 0.99**2)
+        assert ch.frame_loss_probability(0) == 0.0
+
+    def test_loss_increases_with_length(self):
+        ch = BitErrorChannel(0.001)
+        probs = [ch.frame_loss_probability(b) for b in (1, 10, 100, 1000)]
+        assert probs == sorted(probs)
+        assert probs[-1] > probs[0]
+
+    def test_empirical_loss_rate(self):
+        ch = BitErrorChannel(0.02)
+        rng = np.random.default_rng(5)
+        n = 20_000
+        losses = sum(not ch.deliver(10, rng) for _ in range(n))
+        expected = ch.frame_loss_probability(10)
+        assert losses / n == pytest.approx(expected, rel=0.1)
+
+    def test_zero_ber_never_loses(self, rng):
+        ch = BitErrorChannel(0.0)
+        assert all(ch.deliver(1000, rng) for _ in range(100))
+
+    @pytest.mark.parametrize("ber", [-0.1, 1.0, 1.5])
+    def test_invalid_ber(self, ber):
+        with pytest.raises(ValueError):
+            BitErrorChannel(ber)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitErrorChannel(0.1).frame_loss_probability(-5)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.tags == 10_000
+        assert args.info_bits == 1
+        assert set(args.protocols) == {"CPP", "CP", "HPP", "EHPP", "TPP", "MIC"}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "-p", "XYZ"])
+
+
+class TestCompare:
+    def test_small_run_output(self, capsys):
+        rc = main(["compare", "-n", "300", "-r", "2", "-p", "CPP", "TPP"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CPP" in out and "TPP" in out and "bound" in out
+
+    def test_ordering_visible(self, capsys):
+        main(["compare", "-n", "500", "-r", "2", "-p", "CPP", "TPP"])
+        out = capsys.readouterr().out
+        cpp_line = next(line for line in out.splitlines() if line.startswith("CPP"))
+        tpp_line = next(line for line in out.splitlines() if line.startswith("TPP"))
+        cpp_t = float(cpp_line.split()[3].rstrip("s"))
+        tpp_t = float(tpp_line.split()[3].rstrip("s"))
+        assert tpp_t < cpp_t
+
+
+class TestMissing:
+    def test_exact_detection_returns_zero(self, capsys):
+        rc = main(["missing", "-n", "400", "-m", "0.05", "-p", "HPP"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_lossy_channel_flag(self, capsys):
+        rc = main(["missing", "-n", "300", "-m", "0.03", "-p", "HPP",
+                   "--ber", "0.001"])
+        assert rc == 0
+
+
+class TestEstimate:
+    def test_zero_estimator_runs(self, capsys):
+        rc = main(["estimate", "-n", "2000", "--method", "zero", "--rounds", "8"])
+        assert rc == 0
+        assert "estimate" in capsys.readouterr().out
+
+    def test_lof_runs(self, capsys):
+        rc = main(["estimate", "-n", "1000", "--method", "lof"])
+        assert rc == 0
+
+
+class TestExperimentsForwarding:
+    def test_fig8_via_cli(self, capsys):
+        rc = main(["experiments", "fig8"])
+        assert rc == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig999"])

@@ -1,0 +1,117 @@
+"""Unit tests for Coded Polling: CRCs, frame code, and the CRC pitfall."""
+
+import numpy as np
+import pytest
+
+from repro.core.coded_polling import (
+    CodedPolling,
+    coded_frame,
+    pair_crc,
+    validate_coded_partner,
+    validate_epc_crc,
+)
+from repro.phy.crc import crc5, crc16, crc16_check
+from repro.workloads.tagsets import crc_embedded_tagset, uniform_tagset
+
+
+class TestCRC:
+    def test_ccitt_check_value(self):
+        # CRC-16/CCITT-FALSE("123456789") = 0x29B1; C1G2 inverts output
+        msg = int.from_bytes(b"123456789", "big")
+        assert crc16(msg, 72) ^ 0xFFFF == 0x29B1
+
+    def test_check_roundtrip(self):
+        assert crc16_check(0xDEADBEEF, 32, crc16(0xDEADBEEF, 32))
+        assert not crc16_check(0xDEADBEEF, 32, crc16(0xDEADBEEF, 32) ^ 1)
+
+    def test_single_bit_flip_detected(self):
+        msg = 0x123456789ABC
+        base = crc16(msg, 48)
+        for pos in (0, 7, 23, 47):
+            assert crc16(msg ^ (1 << pos), 48) != base
+
+    def test_crc5_width(self):
+        for v in (0, 1, 0x3FFFFF):
+            assert 0 <= crc5(v, 22) < 32
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            crc16(1 << 32, 32)
+        with pytest.raises(ValueError):
+            crc16(-1, 8)
+
+
+class TestCRCEmbeddedIds:
+    def test_every_epc_self_validates(self, rng):
+        tags = crc_embedded_tagset(100, rng)
+        for i in range(100):
+            assert validate_epc_crc(tags.epc(i))
+
+    def test_plain_epcs_rarely_validate(self, rng):
+        tags = uniform_tagset(500, rng)
+        hits = sum(validate_epc_crc(tags.epc(i)) for i in range(500))
+        assert hits <= 1  # expected 500 / 65536
+
+
+class TestCRCValidationIsBlind:
+    """Why CP cannot validate with the CRC unit alone (module docstring).
+
+    CRC-16 is affine over GF(2) and absorbs appended self-checksums, so
+    XOR-coded frames built from self-validating IDs look valid to every
+    listener.  These are regression tests for the design note.
+    """
+
+    def test_crc_xor_validation_is_blind_naive(self, rng):
+        # xor of two valid words is itself a valid word — for EVERY tag
+        tags = crc_embedded_tagset(32, rng)
+        a, b = tags.epc(0), tags.epc(1)
+        for i in range(2, 32):
+            assert validate_epc_crc(a ^ b ^ tags.epc(i))
+
+    def test_crc_xor_validation_is_blind_pair_crc(self, rng):
+        # even a CRC over the ordered pair concatenation collapses: the
+        # bystander's recomputation always matches
+        tags = crc_embedded_tagset(32, rng)
+        a, b = tags.epc(0), tags.epc(1)
+        v80 = (a >> 16) ^ (b >> 16)
+        sent = pair_crc(a, b)
+        for i in range(2, 32):
+            c = tags.epc(i)
+            cand_hi = v80 ^ (c >> 16)
+            cand = (cand_hi << 16) | crc16(cand_hi, 80)
+            assert pair_crc(c, cand) == sent  # blind!
+
+
+class TestCodedFrame:
+    def test_pair_members_recover_each_other(self, rng):
+        tags = uniform_tagset(2, rng)
+        a, b = tags.epc(0), tags.epc(1)
+        frame = coded_frame(a, b)
+        assert validate_coded_partner(frame, a) == b >> 16
+        assert validate_coded_partner(frame, b) == a >> 16
+
+    def test_identical_tops_rejected(self):
+        with pytest.raises(ValueError):
+            coded_frame(5 << 16 | 1, 5 << 16 | 2)
+
+    def test_third_party_false_positive_rate(self, rng):
+        # the hash-unit check makes bystander acceptance ~2^-16
+        tags = uniform_tagset(402, rng)
+        frame = coded_frame(tags.epc(0), tags.epc(1))
+        false_hits = sum(
+            validate_coded_partner(frame, tags.epc(i)) is not None
+            for i in range(2, 402)
+        )
+        assert false_hits <= 1
+
+    def test_frame_width_is_id_bits(self, rng):
+        tags = uniform_tagset(2, rng)
+        frame = coded_frame(tags.epc(0), tags.epc(1))
+        assert frame.bit_length() <= 96
+
+    def test_plan_orders_pairs_by_id_top(self, rng):
+        tags = uniform_tagset(40, rng)
+        plan = CodedPolling().plan(tags, rng)
+        idx = plan.rounds[0].poll_tag_idx
+        for p in range(20):
+            assert tags.epc(int(idx[2 * p])) >> 16 < tags.epc(int(idx[2 * p + 1])) >> 16

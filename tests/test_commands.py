@@ -1,0 +1,36 @@
+"""Unit tests for the C1G2 command-size table."""
+
+import pytest
+
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES, EPC_ID_BITS
+
+
+def test_epc_length_is_96():
+    assert EPC_ID_BITS == 96
+
+
+def test_paper_defaults():
+    c = DEFAULT_COMMAND_SIZES
+    assert c.query_rep == 4  # the framing charged per polling vector
+    assert c.round_init == 32  # §V-B: per-HPP-round initiation
+    assert c.circle_command == 128  # §V-B: EHPP circle command
+
+
+def test_select_bits_adds_mask():
+    c = CommandSizes()
+    assert c.select_bits(32) == c.select_header + 32
+    assert c.select_bits(0) == c.select_header
+
+
+def test_select_bits_negative_mask_rejected():
+    with pytest.raises(ValueError):
+        CommandSizes().select_bits(-1)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [("query_rep", -1), ("round_init", -4), ("circle_command", 1.5)],
+)
+def test_invalid_sizes_rejected(field, value):
+    with pytest.raises(ValueError):
+        CommandSizes(**{field: value})

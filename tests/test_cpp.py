@@ -1,0 +1,112 @@
+"""Unit tests for CPP, enhanced CPP and Coded Polling."""
+
+import numpy as np
+import pytest
+
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.phy.link import plan_wire_time
+from repro.workloads.tagsets import clustered_tagset, sequential_tagset, uniform_tagset
+
+
+class TestCPP:
+    def test_plan_polls_everyone_once(self, medium_tags, rng):
+        plan = CPP().plan(medium_tags, rng)
+        plan.validate_complete()
+        assert plan.n_rounds == 1
+
+    def test_vector_is_96_bits(self, small_tags, rng):
+        plan = CPP().plan(small_tags, rng)
+        assert plan.avg_vector_bits == 96.0
+
+    def test_no_framing_overhead(self, small_tags, rng):
+        plan = CPP().plan(small_tags, rng)
+        assert plan.reader_bits == 96 * len(small_tags)
+
+    def test_paper_execution_time(self, rng):
+        # Table I anchor: 37.70 s for n = 1e4, l = 1 — check per tag
+        tags = uniform_tagset(100, rng)
+        plan = CPP().plan(tags, rng)
+        assert plan_wire_time(plan, 1) / 100 == pytest.approx(3770.2)
+
+    def test_shuffle_off_is_identity_order(self, small_tags, rng):
+        plan = CPP(shuffle=False).plan(small_tags, rng)
+        assert plan.polled_tags().tolist() == list(range(len(small_tags)))
+
+    def test_empty_population(self, rng):
+        plan = CPP().plan(uniform_tagset(0, rng), rng)
+        assert plan.n_polls == 0
+
+    def test_invalid_id_bits(self):
+        with pytest.raises(ValueError):
+            CPP(id_bits=0)
+
+
+class TestEnhancedCPP:
+    def test_groups_by_category(self, rng):
+        tags = clustered_tagset(400, rng, n_categories=4, category_bits=32)
+        plan = EnhancedCPP(category_bits=32).plan(tags, rng)
+        plan.validate_complete()
+        assert plan.n_rounds <= 4  # one round per distinct category
+
+    def test_suffix_is_64_bits(self, rng):
+        tags = clustered_tagset(200, rng, n_categories=2, category_bits=32)
+        plan = EnhancedCPP(category_bits=32).plan(tags, rng)
+        for r in plan.rounds:
+            assert set(r.poll_vector_bits.tolist()) == {64}
+
+    def test_beats_cpp_on_clustered_ids(self, rng):
+        tags = clustered_tagset(1000, rng, n_categories=2, category_bits=32)
+        ecpp = EnhancedCPP(category_bits=32).plan(tags, rng)
+        cpp = CPP().plan(tags, rng)
+        assert ecpp.reader_bits < cpp.reader_bits
+
+    def test_degenerates_on_uniform_ids(self, rng):
+        # every tag its own category -> one Select per tag: worse than CPP
+        tags = uniform_tagset(300, rng)
+        ecpp = EnhancedCPP(category_bits=32).plan(tags, rng)
+        cpp = CPP().plan(tags, rng)
+        assert ecpp.reader_bits > cpp.reader_bits
+
+    def test_still_far_from_efficient(self, rng):
+        # the paper's §II-B point: >= 64-bit vectors even with 32-bit category
+        tags = clustered_tagset(500, rng, n_categories=1, category_bits=32)
+        plan = EnhancedCPP(category_bits=32).plan(tags, rng)
+        assert plan.avg_vector_bits >= 64
+
+    def test_category_spilling_into_low_word(self, rng):
+        tags = sequential_tagset(64)
+        plan = EnhancedCPP(category_bits=40).plan(tags, rng)
+        plan.validate_complete()
+
+    def test_invalid_category_bits(self):
+        with pytest.raises(ValueError):
+            EnhancedCPP(category_bits=0)
+        with pytest.raises(ValueError):
+            EnhancedCPP(category_bits=96)
+
+
+class TestCodedPolling:
+    def test_halves_the_vector(self, medium_tags, rng):
+        plan = CodedPolling().plan(medium_tags, rng)
+        plan.validate_complete()
+        assert plan.avg_vector_bits == pytest.approx(48.0)
+
+    def test_odd_population_tail_pays_full_id(self, rng):
+        tags = uniform_tagset(7, rng)
+        plan = CodedPolling().plan(tags, rng)
+        bits = plan.rounds[0].poll_vector_bits
+        assert bits[:-1].tolist() == [48] * 6
+        assert bits[-1] == 96
+
+    def test_between_cpp_and_hpp(self, medium_tags, rng):
+        from repro.core.hpp import HPP
+
+        cp = plan_wire_time(CodedPolling().plan(medium_tags, rng), 1)
+        cpp = plan_wire_time(CPP().plan(medium_tags, rng), 1)
+        hpp = plan_wire_time(HPP().plan(medium_tags, rng), 1)
+        assert hpp < cp < cpp
+
+    def test_odd_id_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CodedPolling(id_bits=95)

@@ -1,0 +1,118 @@
+"""Edge-case coverage: tiny populations, degenerate parameters, stats."""
+
+import numpy as np
+import pytest
+
+from repro.apps.information_collection import stats_from_report, collect_information
+from repro.baselines.mic import MIC
+from repro.core.base import ProtocolStats
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.link import plan_wire_time
+from repro.sim.executor import execute_plan
+from repro.workloads.tagsets import uniform_tagset
+
+ALL = [CPP, CodedPolling, HPP, EHPP, TPP, MIC]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+@pytest.mark.parametrize("proto_cls", ALL, ids=lambda c: c.__name__)
+def test_tiny_populations_complete(n, proto_cls):
+    tags = uniform_tagset(n, np.random.default_rng(n))
+    plan = proto_cls().plan(tags, np.random.default_rng(n + 1))
+    plan.validate_complete()
+    assert plan_wire_time(plan, 1) > 0
+
+
+@pytest.mark.parametrize("proto_cls", [CPP, HPP, EHPP, TPP, MIC],
+                         ids=lambda c: c.__name__)
+def test_single_tag_des(proto_cls):
+    tags = uniform_tagset(1, np.random.default_rng(9))
+    plan = proto_cls().plan(tags, np.random.default_rng(10))
+    result = execute_plan(plan, tags, info_bits=1)
+    assert result.all_read
+
+
+@pytest.mark.parametrize("proto_cls", ALL, ids=lambda c: c.__name__)
+def test_empty_population(proto_cls):
+    tags = uniform_tagset(0, np.random.default_rng(1))
+    plan = proto_cls().plan(tags, np.random.default_rng(2))
+    assert plan.n_polls == 0
+    assert plan_wire_time(plan, 1) == 0.0
+
+
+def test_zero_bit_information_collection():
+    """l = 0: pure presence ping (reply is an unmodulated burst)."""
+    tags = uniform_tagset(50, np.random.default_rng(3))
+    rep = collect_information(TPP(), tags, info_bits=0, n_runs=2)
+    assert rep.mean_time_us > 0
+
+
+def test_huge_info_payload():
+    tags = uniform_tagset(20, np.random.default_rng(4))
+    rep = collect_information(HPP(), tags, info_bits=1024, n_runs=1)
+    # uplink dominates: > 1024*25 µs per tag
+    assert rep.mean_time_us > 20 * 1024 * 25
+
+
+def test_ehpp_tiny_selection_modulus():
+    tags = uniform_tagset(500, np.random.default_rng(5))
+    plan = EHPP(subset_size=50, selection_modulus=2).plan(
+        tags, np.random.default_rng(6)
+    )
+    plan.validate_complete()
+
+
+def test_mic_overloaded_frame():
+    # load 4: tiny frames, heavy collisions — must still converge
+    tags = uniform_tagset(400, np.random.default_rng(7))
+    plan = MIC(k=2, load=4.0).plan(tags, np.random.default_rng(8))
+    plan.validate_complete()
+
+
+def test_protocol_stats_record():
+    stats = ProtocolStats(
+        protocol="X", n_tags=10, n_rounds=2, n_polls=10,
+        reader_bits=100, wasted_slots=0, avg_vector_bits=3.0,
+        wire_time_us=5000.0,
+    )
+    assert stats.time_per_tag_us == 500.0
+    empty = ProtocolStats("X", 0, 0, 0, 0, 0, 0.0, 0.0)
+    assert empty.time_per_tag_us == 0.0
+
+
+def test_stats_from_report_roundtrip():
+    tags = uniform_tagset(100, np.random.default_rng(9))
+    rep = collect_information(TPP(), tags, info_bits=4, n_runs=2)
+    stats = stats_from_report(rep)
+    assert stats.protocol == "TPP"
+    assert stats.n_polls == 100
+    assert stats.wire_time_us == rep.mean_time_us
+
+
+def test_markdown_flag_in_experiments_cli(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    out = tmp_path / "r.md"
+    assert main(["fig8", "--markdown", str(out)]) == 0
+    assert out.exists()
+    assert "fig8" in out.read_text()
+
+
+def test_dfsa_high_load_converges():
+    from repro.baselines.aloha import DFSA
+
+    tags = uniform_tagset(50, np.random.default_rng(11))
+    DFSA(load=8.0).plan(tags, np.random.default_rng(12)).validate_complete()
+
+
+def test_iip_high_load_converges():
+    from repro.baselines.iip import simulate_iip
+
+    tags = uniform_tagset(50, np.random.default_rng(13))
+    result = simulate_iip(tags, np.arange(50), np.random.default_rng(14),
+                          load=8.0)
+    assert len(result.present) == 50

@@ -1,0 +1,113 @@
+"""Unit + statistical tests for the Enhanced HPP (§III-D)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ehpp_model import optimal_subset_size, subset_size_bounds
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestSubsetSize:
+    def test_theorem1_bracket(self):
+        # the paper-default search stays inside Theorem 1's interval
+        for lc in (64, 128, 200, 400):
+            lo, hi = subset_size_bounds(lc)
+            n_star = optimal_subset_size(lc, 0)
+            assert lo <= n_star <= hi
+
+    def test_global_search_near_optimal_in_cost(self):
+        # the stepwise cost admits minima below the bracket, but the
+        # bracket-restricted choice is within 2% of the global optimum
+        from repro.analysis.ehpp_model import circle_cost_per_tag
+
+        for lc in (128, 200, 400):
+            bracketed = optimal_subset_size(lc, 0)
+            global_opt = optimal_subset_size(lc, 0, global_search=True)
+            c_b = circle_cost_per_tag(bracketed, lc, 0)
+            c_g = circle_cost_per_tag(global_opt, lc, 0)
+            assert c_g <= c_b <= c_g * 1.02
+
+    def test_grows_with_circle_command(self):
+        sizes = [optimal_subset_size(lc, 32) for lc in (50, 100, 200, 400)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_bounds_formula(self):
+        lo, hi = subset_size_bounds(200)
+        assert lo == pytest.approx(200 * math.log(2))
+        assert hi == pytest.approx(math.e * 200 * math.log(2))
+
+
+class TestEHPPPlan:
+    def test_everyone_polled_once(self, rng):
+        tags = uniform_tagset(3000, rng)
+        EHPP().plan(tags, rng).validate_complete()
+
+    def test_small_population_runs_plain_hpp(self, rng):
+        # paper §V-C: with 100 tags EHPP "just executes HPP as-is"
+        tags = uniform_tagset(100, rng)
+        plan = EHPP().plan(tags, np.random.default_rng(5))
+        assert plan.meta["n_circles"] == 0
+        assert all(r.init_bits == 32 for r in plan.rounds)  # no circle cmd
+        hpp = HPP().plan(tags, np.random.default_rng(5))
+        assert plan.reader_bits == hpp.reader_bits
+
+    def test_circle_sizes_near_target(self, rng):
+        tags = uniform_tagset(10_000, rng)
+        proto = EHPP()
+        plan = proto.plan(tags, rng)
+        joined = [
+            r.extra["n_joined"]
+            for r in plan.rounds
+            if "n_joined" in r.extra and r.extra["n_remaining"] > 2 * proto.subset_size
+        ]
+        assert len(joined) > 10
+        mean = np.mean(joined)
+        assert mean == pytest.approx(proto.subset_size, rel=0.2)
+
+    def test_flat_vector_length_in_n(self):
+        # the paper's selling point: w̄ stays put as n grows
+        w = []
+        for n in (5000, 20_000, 60_000):
+            rng = np.random.default_rng(n)
+            w.append(EHPP().plan(uniform_tagset(n, rng), rng).avg_vector_bits)
+        assert max(w) - min(w) < 0.4
+
+    def test_beats_hpp_at_scale(self):
+        rng = np.random.default_rng(4)
+        tags = uniform_tagset(30_000, rng)
+        e = EHPP().plan(tags, np.random.default_rng(1)).avg_vector_bits
+        h = HPP().plan(tags, np.random.default_rng(1)).avg_vector_bits
+        assert e < h - 3
+
+    def test_headline_nine_bits(self):
+        # Fig. 10 setting (l_c = 128, init 32): about 9.0 bits
+        vals = []
+        for run in range(5):
+            rng = np.random.default_rng(run)
+            tags = uniform_tagset(10_000, rng)
+            vals.append(EHPP().plan(tags, rng).avg_vector_bits)
+        assert np.mean(vals) == pytest.approx(9.0, abs=0.3)
+
+    def test_explicit_subset_size(self, rng):
+        tags = uniform_tagset(2000, rng)
+        plan = EHPP(subset_size=100).plan(tags, rng)
+        plan.validate_complete()
+        assert plan.meta["subset_size"] == 100
+
+    def test_circle_commands_charged(self, rng):
+        tags = uniform_tagset(3000, rng)
+        plan = EHPP().plan(tags, rng)
+        circle_cmds = [r for r in plan.rounds if "F" in r.extra]
+        assert len(circle_cmds) == plan.meta["n_circles"]
+        assert all(r.init_bits == 128 for r in circle_cmds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EHPP(subset_size=0)
+        with pytest.raises(ValueError):
+            EHPP(selection_modulus=1)

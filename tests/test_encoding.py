@@ -1,0 +1,108 @@
+"""Tests for the C1G2 symbol-encoding layer."""
+
+import pytest
+
+from repro.phy.encoding import (
+    PAPER_PROFILE,
+    LinkProfile,
+    pie_mean_bit_us,
+    pie_symbol_us,
+    uplink_bit_us,
+)
+
+
+class TestPIE:
+    def test_symbol_lengths(self):
+        assert pie_symbol_us(25.0, 0) == 25.0
+        assert pie_symbol_us(25.0, 1) == 50.0
+        assert pie_symbol_us(12.5, 1, one_ratio=1.5) == pytest.approx(18.75)
+
+    def test_mean_bit(self):
+        assert pie_mean_bit_us(25.0) == pytest.approx(37.5)
+        assert pie_mean_bit_us(25.0, p_one=0.0) == 25.0
+        assert pie_mean_bit_us(25.0, p_one=1.0) == 50.0
+
+    def test_standard_rate_extremes(self):
+        # the standard's quoted reader rate range is 26.7-128 kbps:
+        # slowest = Tari 25 µs ratio 2.0, fastest = Tari 6.25 µs ratio 1.5
+        fast = pie_mean_bit_us(6.25, one_ratio=1.5)
+        slow = pie_mean_bit_us(25.0, one_ratio=2.0)
+        assert 1e3 / fast == pytest.approx(128.0, abs=0.5)
+        assert 1e3 / slow == pytest.approx(26.7, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pie_symbol_us(5.0, 0)  # Tari too small
+        with pytest.raises(ValueError):
+            pie_symbol_us(25.0, 0, one_ratio=2.5)
+        with pytest.raises(ValueError):
+            pie_symbol_us(25.0, 2)
+        with pytest.raises(ValueError):
+            pie_mean_bit_us(25.0, p_one=1.5)
+
+
+class TestUplink:
+    def test_fm0_rates(self):
+        # FM0 at BLF 40-640 kHz -> 40-640 kbps
+        assert 1e3 / uplink_bit_us(40.0, 1) == pytest.approx(40.0)
+        assert 1e3 / uplink_bit_us(640.0, 1) == pytest.approx(640.0)
+
+    def test_miller_divides_rate(self):
+        assert uplink_bit_us(40.0, 8) == pytest.approx(8 * uplink_bit_us(40.0, 1))
+        # Miller-8 at the slowest BLF: the standard's 5 kbps floor
+        assert 1e3 / uplink_bit_us(40.0, 8) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uplink_bit_us(0.0, 1)
+        with pytest.raises(ValueError):
+            uplink_bit_us(40.0, 3)
+
+
+class TestLinkProfile:
+    def test_paper_profile_rates(self):
+        p = PAPER_PROFILE
+        assert p.downlink_bit_us == pytest.approx(37.5)
+        assert p.uplink_bit_us == pytest.approx(25.0)
+        assert p.blf_khz == pytest.approx(40.0)
+        assert p.t2_us == pytest.approx(50.0)
+
+    def test_to_timing_roundtrip(self):
+        t = PAPER_PROFILE.to_timing()
+        assert t.reader_bit_us == pytest.approx(37.5)
+        assert t.tag_bit_us == pytest.approx(25.0)
+        assert t.t2_us == pytest.approx(50.0)
+
+    def test_rtcal_definition(self):
+        # RTcal = data-0 + data-1 lengths
+        p = LinkProfile(tari_us=12.5, one_ratio=1.6, trcal_us=40.0)
+        assert p.rtcal_us == pytest.approx(12.5 * 2.6)
+
+    def test_t1_nominal_formula(self):
+        p = PAPER_PROFILE
+        assert p.t1_us == pytest.approx(max(p.rtcal_us, 10 * 1e3 / p.blf_khz))
+
+    def test_fast_profile_speeds_up_protocols(self):
+        from numpy.random import default_rng
+
+        from repro.core.tpp import TPP
+        from repro.phy.link import LinkBudget
+        from repro.workloads.tagsets import uniform_tagset
+
+        fast = LinkProfile(tari_us=6.25, one_ratio=1.5, dr=8.0,
+                           trcal_us=25.0, miller_m=1)
+        tags = uniform_tagset(500, default_rng(1))
+        plan = TPP().plan(tags, default_rng(2))
+        slow_t = LinkBudget(timing=PAPER_PROFILE.to_timing()).plan_us(plan, 1)
+        fast_t = LinkBudget(timing=fast.to_timing()).plan_us(plan, 1)
+        assert fast_t < slow_t / 4
+
+    def test_invalid_profiles(self):
+        with pytest.raises(ValueError):
+            LinkProfile(dr=10.0)
+        with pytest.raises(ValueError):
+            LinkProfile(miller_m=3)
+        with pytest.raises(ValueError):
+            LinkProfile(trcal_us=1000.0)  # outside [1.1, 3] RTcal
+        with pytest.raises(ValueError):
+            LinkProfile(t2_tpri=50.0)

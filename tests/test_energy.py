@@ -1,0 +1,67 @@
+"""Tests for the energy-accounting model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import EnergyModel, plan_energy
+from repro.core.cpp import CPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.link import LinkBudget
+from repro.workloads.tagsets import uniform_tagset
+
+
+@pytest.fixture
+def tags(rng):
+    return uniform_tagset(1000, rng)
+
+
+class TestEnergyModel:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(reader_tx_mw=-1)
+
+    def test_report_totals(self, tags, rng):
+        plan = TPP().plan(tags, rng)
+        rep = plan_energy(plan, reply_bits=16)
+        assert rep.total_mj == pytest.approx(rep.reader_mj + rep.tag_total_mj)
+        assert rep.tag_total_mj == pytest.approx(rep.tag_listen_mj + rep.tag_tx_mj)
+        assert rep.n_tags == 1000
+
+    def test_reader_energy_proportional_to_bits(self, tags, rng):
+        plan = CPP().plan(tags, rng)
+        base = plan_energy(plan, 1)
+        double = plan_energy(plan, 1, model=EnergyModel(reader_tx_mw=1650.0))
+        assert double.reader_mj == pytest.approx(2 * base.reader_mj)
+
+    def test_tpp_cheaper_than_cpp_everywhere(self, tags):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        cpp = plan_energy(CPP().plan(tags, rng1), 1)
+        tpp = plan_energy(TPP().plan(tags, rng2), 1)
+        # shorter interrogation: less reader TX AND less tag listening
+        assert tpp.reader_mj < cpp.reader_mj
+        assert tpp.tag_listen_mj < cpp.tag_listen_mj
+
+    def test_tag_tx_energy_scales_with_reply(self, tags, rng):
+        plan = HPP().plan(tags, rng)
+        e1 = plan_energy(plan, 1)
+        e32 = plan_energy(plan, 32)
+        assert e32.tag_tx_mj == pytest.approx(32 * e1.tag_tx_mj)
+
+    def test_listening_decreases_as_tags_sleep(self, tags, rng):
+        # per-tag listening must be well below "every tag listens to the
+        # whole interrogation" — tags sleep as rounds progress
+        plan = HPP().plan(tags, rng)
+        budget = LinkBudget()
+        total_us = budget.plan_us(plan, 1)
+        rep = plan_energy(plan, 1)
+        model = EnergyModel()
+        worst_case_mj = model.tag_rx_mw * total_us * 1e-6 * 1000
+        assert rep.tag_listen_mj < 0.8 * worst_case_mj
+
+    def test_empty_plan(self):
+        from repro.core.base import InterrogationPlan
+
+        rep = plan_energy(InterrogationPlan("X", 0, []), 1)
+        assert rep.total_mj == 0.0
+        assert rep.tag_listen_per_tag_mj == 0.0

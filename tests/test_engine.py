@@ -1,0 +1,80 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventKind, EventQueue, Trace
+
+
+class TestEventQueue:
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        q.schedule(5.0, EventKind.READER_TX_END)
+        q.schedule(2.0, EventKind.ROUND_START)
+        e1 = q.pop()
+        assert e1.kind is EventKind.ROUND_START
+        assert q.now_us == 2.0
+        e2 = q.pop()
+        assert e2.time_us == 5.0
+        assert q.now_us == 5.0
+
+    def test_stable_order_for_ties(self):
+        q = EventQueue()
+        a = q.schedule(1.0, EventKind.READER_TX_START, tag=1)
+        b = q.schedule(1.0, EventKind.READER_TX_START, tag=2)
+        assert q.pop() is a
+        assert q.pop() is b
+
+    def test_relative_scheduling(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.ROUND_START)
+        q.pop()
+        e = q.schedule(1.0, EventKind.DONE)
+        assert e.time_us == 2.0
+
+    def test_cannot_schedule_past(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-0.1, EventKind.DONE)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_run_drains(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), EventKind.TAG_READ, i=i)
+        seen = []
+        assert q.run(lambda e: seen.append(e.data["i"])) == 5
+        assert seen == [0, 1, 2, 3, 4]
+        assert len(q) == 0
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), EventKind.TAG_READ)
+        assert q.run(lambda e: None, max_events=3) == 3
+        assert len(q) == 2
+
+    def test_event_data_payload(self):
+        q = EventQueue()
+        q.schedule(0.0, EventKind.COLLISION, tags=[1, 2])
+        assert q.pop().data == {"tags": [1, 2]}
+
+
+class TestTrace:
+    def test_record_and_filter(self):
+        t = Trace()
+        t.record(Event(0.0, 0, EventKind.ROUND_START))
+        t.record(Event(1.0, 1, EventKind.TAG_READ, {"tag": 3}))
+        t.record(Event(2.0, 2, EventKind.TAG_READ, {"tag": 4}))
+        assert t.count(EventKind.TAG_READ) == 2
+        assert [e.data["tag"] for e in t.of_kind(EventKind.TAG_READ)] == [3, 4]
+        assert t.duration_us == 2.0
+        assert len(t) == 3
+
+    def test_disabled_trace_keeps_nothing(self):
+        t = Trace(keep=False)
+        t.record(Event(0.0, 0, EventKind.ROUND_START))
+        assert len(t) == 0
+        assert t.duration_us == 0.0

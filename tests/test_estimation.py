@@ -1,0 +1,123 @@
+"""Tests for the cardinality-estimation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.estimation import (
+    FrameObservation,
+    estimate_cardinality,
+    lottery_frame_estimator,
+    observe_frame,
+    observe_lottery_frame,
+    vogt_estimator,
+    zero_estimator,
+)
+
+
+class TestObservation:
+    def test_counts_sum_to_frame(self, rng):
+        obs = observe_frame(500, 512, rng)
+        assert obs.empty + obs.singleton + obs.collision == 512
+
+    def test_zero_tags_all_empty(self, rng):
+        obs = observe_frame(0, 64, rng)
+        assert obs.empty == 64
+        assert obs.singleton == obs.collision == 0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FrameObservation(frame_size=4, empty=1, singleton=1, collision=1)
+
+    def test_lottery_occupancy_geometric(self, rng):
+        occ = observe_lottery_frame(10_000, 32, rng)
+        # low slots certainly occupied, very high slots certainly not
+        assert occ[:8].all()
+        assert not occ[-4:].any()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            observe_frame(10, 0, rng)
+        with pytest.raises(ValueError):
+            observe_frame(-1, 10, rng)
+        with pytest.raises(ValueError):
+            observe_lottery_frame(10, 0, rng)
+
+
+class TestZeroEstimator:
+    def test_unbiased_at_load_one(self):
+        rng = np.random.default_rng(8)
+        n, f = 2000, 2000
+        est = np.mean([zero_estimator(observe_frame(n, f, rng)) for _ in range(50)])
+        assert est == pytest.approx(n, rel=0.05)
+
+    def test_saturated_frame_fallback(self):
+        obs = FrameObservation(frame_size=8, empty=0, singleton=2, collision=6)
+        assert zero_estimator(obs) > 8  # still a sane, finite guess
+
+
+class TestVogtEstimator:
+    def test_recovers_truth(self):
+        rng = np.random.default_rng(9)
+        n, f = 800, 1024
+        est = np.mean([vogt_estimator(observe_frame(n, f, rng)) for _ in range(30)])
+        assert est == pytest.approx(n, rel=0.07)
+
+    def test_zero_tags(self):
+        obs = FrameObservation(frame_size=64, empty=64, singleton=0, collision=0)
+        assert vogt_estimator(obs) == 0.0
+
+
+class TestLoF:
+    def test_log_scale_accuracy(self):
+        # LoF is coarse (powers of two) but must land within ~1.5x
+        rng = np.random.default_rng(10)
+        for n in (100, 1000, 10_000):
+            est = estimate_cardinality(n, rng, method="lof", n_rounds=64)
+            assert n / 1.6 < est < n * 1.6
+
+    def test_single_frame_estimator_is_power_of_two_scaled(self, rng):
+        occ = observe_lottery_frame(1000, 32, rng)
+        est = lottery_frame_estimator(occ)
+        assert est > 0
+
+
+class TestEstimateCardinality:
+    @pytest.mark.parametrize("method", ["zero", "vogt"])
+    def test_accuracy_with_bootstrap_sizing(self, method):
+        rng = np.random.default_rng(11)
+        for n in (300, 3000):
+            est = estimate_cardinality(n, rng, method=method, n_rounds=24)
+            assert est == pytest.approx(n, rel=0.15)
+
+    def test_more_rounds_less_variance(self):
+        n = 1000
+        few, many = [], []
+        for trial in range(12):
+            few.append(estimate_cardinality(
+                n, np.random.default_rng(trial), "zero", n_rounds=2,
+                frame_size=1000))
+            many.append(estimate_cardinality(
+                n, np.random.default_rng(trial), "zero", n_rounds=32,
+                frame_size=1000))
+        assert np.std(many) < np.std(few)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError):
+            estimate_cardinality(10, rng, method="magic")
+
+    def test_invalid_rounds(self, rng):
+        with pytest.raises(ValueError):
+            estimate_cardinality(10, rng, n_rounds=0)
+
+    def test_feeds_protocol_parameterisation(self):
+        """The use case: size EHPP's circles without knowing n exactly."""
+        from repro.core.ehpp import EHPP
+        from repro.workloads.tagsets import uniform_tagset
+
+        n = 2500
+        rng = np.random.default_rng(12)
+        n_hat = estimate_cardinality(n, rng, method="zero", n_rounds=16)
+        tags = uniform_tagset(n, rng)
+        plan = EHPP().plan(tags, rng)  # EHPP adapts to the real remainder
+        assert plan.n_polls == n
+        assert 0.8 * n < n_hat < 1.2 * n

@@ -1,0 +1,158 @@
+"""Integration tests: discrete-event execution vs the planner.
+
+The strongest checks in the repository: independent tag state machines
+must reproduce exactly the behaviour the reader-side planner predicted,
+and the event clock must agree with the closed-form wire-time model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mic import MIC
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.channel import BitErrorChannel
+from repro.phy.link import LinkBudget, plan_wire_time
+from repro.sim.executor import build_tag_machines, execute_plan, simulate
+from repro.workloads.tagsets import clustered_tagset, uniform_tagset
+
+PROTOCOLS = [CPP(), CodedPolling(), HPP(), EHPP(subset_size=60), TPP(), MIC()]
+
+
+@pytest.mark.parametrize("proto", PROTOCOLS, ids=lambda p: p.name)
+@pytest.mark.parametrize("info_bits", [1, 16])
+def test_des_time_matches_plan(proto, info_bits):
+    tags = uniform_tagset(200, np.random.default_rng(1))
+    plan = proto.plan(tags, np.random.default_rng(42))
+    result = execute_plan(plan, tags, info_bits=info_bits)
+    if result.n_retries == 0:
+        assert result.time_us == pytest.approx(
+            plan_wire_time(plan, info_bits), rel=1e-9
+        )
+        assert result.reader_bits == plan.reader_bits
+    else:
+        # only CP can retry on the ideal channel (2^-16 bystander false
+        # positives recovered via bare-ID polls) — costs extra air time
+        assert proto.name == "CP"
+        assert result.time_us > plan_wire_time(plan, info_bits)
+    assert result.all_read
+
+
+@pytest.mark.parametrize("proto", PROTOCOLS, ids=lambda p: p.name)
+def test_des_reads_each_tag_once(proto):
+    tags = uniform_tagset(150, np.random.default_rng(2))
+    result = simulate(proto, tags, info_bits=1, seed=7)
+    assert sorted(result.polled_order) == list(range(150))
+
+
+def test_ecpp_des_matches_plan():
+    tags = clustered_tagset(150, np.random.default_rng(3), n_categories=3)
+    plan = EnhancedCPP().plan(tags, np.random.default_rng(4))
+    result = execute_plan(plan, tags, info_bits=8)
+    assert result.time_us == pytest.approx(plan_wire_time(plan, 8), rel=1e-9)
+    assert result.all_read
+
+
+def test_mic_non_uniform_cost_matches_matching_budget():
+    tags = uniform_tagset(150, np.random.default_rng(5))
+    budget = LinkBudget(empty_slot_full_cost=False)
+    plan = MIC(uniform_slot_cost=False).plan(tags, np.random.default_rng(6))
+    result = execute_plan(plan, tags, info_bits=1, budget=budget)
+    assert result.time_us == pytest.approx(
+        plan_wire_time(plan, 1, budget=budget), rel=1e-9
+    )
+
+
+def test_trace_events_recorded():
+    tags = uniform_tagset(30, np.random.default_rng(7))
+    result = simulate(HPP(), tags, info_bits=1)
+    from repro.sim.engine import EventKind
+
+    assert result.trace.count(EventKind.TAG_READ) == 30
+    assert result.trace.count(EventKind.COLLISION) == 0
+    # clock is monotone
+    times = [e.time_us for e in result.trace]
+    assert times == sorted(times)
+
+
+def test_keep_trace_false_drops_events():
+    tags = uniform_tagset(20, np.random.default_rng(8))
+    result = simulate(TPP(), tags, keep_trace=False)
+    assert len(result.trace) == 0
+    assert result.all_read
+
+
+def test_coded_polling_des_matches_plan():
+    tags = uniform_tagset(101, np.random.default_rng(10))  # odd: tail tag
+    plan = CodedPolling().plan(tags, np.random.default_rng(11))
+    result = execute_plan(plan, tags, info_bits=4)
+    assert result.all_read
+    assert result.time_us == pytest.approx(plan_wire_time(plan, 4), rel=1e-9)
+    assert result.reader_bits == plan.reader_bits
+
+
+def test_dfsa_has_no_des():
+    from repro.baselines.aloha import DFSA
+
+    tags = uniform_tagset(10, np.random.default_rng(9))
+    plan = DFSA().plan(tags, np.random.default_rng(9))
+    with pytest.raises(NotImplementedError):
+        build_tag_machines(plan, tags)
+
+
+class TestLossyChannel:
+    @pytest.mark.parametrize(
+        "proto",
+        [CPP(), CodedPolling(), HPP(), EHPP(subset_size=60), TPP()],
+        ids=lambda p: p.name,
+    )
+    def test_retry_recovers_all_tags(self, proto):
+        tags = uniform_tagset(120, np.random.default_rng(10))
+        result = simulate(proto, tags, info_bits=8, seed=3,
+                          channel=BitErrorChannel(0.002))
+        assert result.all_read
+
+    def test_lossy_run_costs_more(self):
+        tags = uniform_tagset(200, np.random.default_rng(11))
+        clean = simulate(HPP(), tags, info_bits=8, seed=5)
+        lossy = simulate(HPP(), tags, info_bits=8, seed=5,
+                         channel=BitErrorChannel(0.004))
+        assert lossy.n_retries > 0
+        assert lossy.time_us > clean.time_us
+
+    def test_retries_grow_with_ber(self):
+        tags = uniform_tagset(200, np.random.default_rng(12))
+        r_low = simulate(TPP(), tags, seed=1, channel=BitErrorChannel(0.0005))
+        r_high = simulate(TPP(), tags, seed=1, channel=BitErrorChannel(0.005))
+        assert r_high.n_retries > r_low.n_retries
+
+    def test_mic_rejects_lossy_channel(self):
+        tags = uniform_tagset(50, np.random.default_rng(13))
+        with pytest.raises(NotImplementedError):
+            simulate(MIC(), tags, channel=BitErrorChannel(0.01))
+
+
+class TestMissingTags:
+    @pytest.mark.parametrize("proto", [CPP(), HPP(), TPP(), MIC()],
+                             ids=lambda p: p.name)
+    def test_exact_detection_ideal_channel(self, proto):
+        tags = uniform_tagset(150, np.random.default_rng(14))
+        present = np.setdiff1d(np.arange(150), np.array([3, 77, 149]))
+        result = simulate(proto, tags, present=present, seed=2)
+        assert result.missing == [3, 77, 149]
+        assert sorted(result.polled_order) == present.tolist()
+
+    def test_lossy_channel_detection(self):
+        tags = uniform_tagset(150, np.random.default_rng(15))
+        present = np.setdiff1d(np.arange(150), np.array([10, 20]))
+        result = simulate(HPP(), tags, present=present, seed=2,
+                          channel=BitErrorChannel(0.001), missing_attempts=6)
+        assert result.missing == [10, 20]
+
+    def test_nobody_missing(self):
+        tags = uniform_tagset(80, np.random.default_rng(16))
+        result = simulate(TPP(), tags, present=np.arange(80), seed=1)
+        assert result.missing == []

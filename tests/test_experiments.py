@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (reduced-scale shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablate_ecpp_clustering,
+    ablate_ehpp_subset_size,
+    ablate_mic_hash_count,
+    ablate_tpp_index_policy,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+)
+
+
+class TestFigures:
+    def test_fig1_linear_in_w(self):
+        r = fig1()
+        x, y = r.series_by_label("exec_time_ms").as_arrays()
+        assert np.allclose(np.diff(y), 37.45e-3)
+        assert y[0] == pytest.approx((37.45 * 4 + 175) / 1e3)
+
+    def test_fig3_growth_and_bound(self):
+        r = fig3(n_values=(1_000, 10_000, 100_000))
+        w = r.series_by_label("HPP_w").y
+        bound = r.series_by_label("upper_bound_log2n").y
+        assert w == sorted(w)
+        assert all(a <= b for a, b in zip(w, bound))
+
+    def test_fig4_optimal_sandwiched(self):
+        r = fig4(lc_values=(100, 200, 400))
+        lo = r.series_by_label("lower_bound").y
+        hi = r.series_by_label("upper_bound").y
+        opt = r.series_by_label("optimal").y
+        assert all(a <= o <= b for a, o, b in zip(lo, opt, hi))
+        assert opt == sorted(opt)  # bigger l_c, bigger n*
+
+    def test_fig5_flat_and_ordered_by_lc(self):
+        r = fig5(n_values=(20_000, 60_000, 100_000))
+        series = {s.label: s.y for s in r.series}
+        for ys in series.values():
+            assert max(ys) - min(ys) < 0.2  # flat in n
+        at_last = [series[f"l_c={lc}"][-1] for lc in (100, 200, 400)]
+        assert at_last == sorted(at_last)
+
+    def test_fig8_peak(self):
+        r = fig8()
+        x, y = r.series_by_label("mu").as_arrays()
+        peak = x[np.argmax(y)]
+        assert peak == pytest.approx(1.0, abs=0.05)
+        assert y.max() == pytest.approx(np.exp(-1), abs=1e-3)
+
+    def test_fig9_level(self):
+        r = fig9(n_values=(1_000, 50_000, 100_000))
+        for y in r.series_by_label("TPP_w_worst_case").y:
+            assert y == pytest.approx(3.38, abs=0.08)
+
+    def test_fig10_shapes(self):
+        r = fig10(n_values=(2_000, 20_000), n_runs=3, seed=1)
+        hpp = r.series_by_label("HPP").y
+        ehpp = r.series_by_label("EHPP").y
+        tpp = r.series_by_label("TPP").y
+        assert hpp[1] > hpp[0]  # HPP grows with n
+        assert abs(ehpp[1] - ehpp[0]) < 0.5  # EHPP flat
+        assert abs(tpp[1] - tpp[0]) < 0.3  # TPP flat
+        assert tpp[-1] < ehpp[-1] < hpp[-1]
+
+    def test_render_smoke(self):
+        text = fig8().render()
+        assert "fig8" in text and "mu" in text
+
+
+class TestTables:
+    def test_table1_reduced_matches_paper_ordering(self):
+        t = table1(n_values=(1_000,), n_runs=3, seed=2)
+        row = {k: v[0] for k, v in t.seconds.items()}
+        assert (
+            row["LowerBound"]
+            < row["TPP"]
+            < row["MIC, k=7"]
+            < row["EHPP"]
+            < row["HPP"]
+            < row["CPP"]
+        )
+
+    def test_table_cell_access(self):
+        t = table1(n_values=(500, 1_000), n_runs=2, seed=3)
+        assert t.cell("CPP", 1_000) == pytest.approx(2 * t.cell("CPP", 500), rel=0.01)
+        assert "Table I" in t.render()
+
+
+class TestAblations:
+    def test_tpp_policy_eq15_wins(self):
+        r = ablate_tpp_index_policy(n=4_000, n_runs=5)
+        values = {s.label: s.y[0] for s in r.series}
+        best = min(values.values())
+        assert values["eq15 (λ≈ln2)"] == pytest.approx(best, rel=0.02)
+
+    def test_ehpp_subset_sweep_dips_in_bracket(self):
+        r = ablate_ehpp_subset_size(n=4_000, n_runs=3,
+                                    subset_sizes=(30, 90, 160, 600, 1500))
+        xs, ys = r.series_by_label("EHPP").as_arrays()
+        # extremes are worse than the mid-range (convex-ish dip)
+        mid_best = ys[1:4].min()
+        assert ys[0] > mid_best and ys[-1] > mid_best
+
+    def test_mic_k_monotone(self):
+        r = ablate_mic_hash_count(n=4_000, n_runs=3, ks=(1, 3, 7))
+        waste = r.series_by_label("wasted_slot_frac").y
+        times = r.series_by_label("time_s").y
+        assert waste == sorted(waste, reverse=True)
+        assert times == sorted(times, reverse=True)
+        assert waste[0] == pytest.approx(0.632, abs=0.03)
+        assert waste[-1] == pytest.approx(0.139, abs=0.03)
+
+    def test_ecpp_needs_clustering(self):
+        r = ablate_ecpp_clustering(n=1_000, n_runs=3,
+                                   n_categories=(1, 8, 1024))
+        ys = r.series_by_label("eCPP_clustered").y
+        assert ys == sorted(ys)  # more categories -> less benefit
+        assert ys[0] >= 64.0  # paper: >= 64 bits even in the best case
+        assert r.notes["eCPP_on_uniform_ids"] > r.notes["CPP"]

@@ -1,0 +1,107 @@
+"""Unit and statistical tests for the seeded hash family."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.hashing.universal import (
+    derive_seed,
+    hash_indices,
+    hash_mod,
+    hash_u64,
+    splitmix64,
+)
+
+
+@pytest.fixture
+def words(rng) -> np.ndarray:
+    return rng.integers(0, 1 << 63, size=5000, dtype=np.uint64)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_scalar_matches_vector(self):
+        xs = np.array([0, 1, 2**40, 2**63], dtype=np.uint64)
+        vec = splitmix64(xs)
+        for x, v in zip(xs, vec):
+            assert splitmix64(int(x)) == v
+
+    def test_known_avalanche(self):
+        # flipping one input bit flips ~half the output bits
+        a = int(splitmix64(0))
+        b = int(splitmix64(1))
+        assert 20 <= bin(a ^ b).count("1") <= 44
+
+
+class TestHashU64:
+    def test_seed_changes_everything(self, words):
+        h1 = hash_u64(words, 1)
+        h2 = hash_u64(words, 2)
+        assert not np.any(h1 == h2) or np.count_nonzero(h1 == h2) < 3
+
+    def test_deterministic_per_seed(self, words):
+        assert np.array_equal(hash_u64(words, 99), hash_u64(words, 99))
+
+
+class TestHashIndices:
+    @pytest.mark.parametrize("h", [1, 4, 10, 30, 63])
+    def test_range(self, words, h):
+        idx = hash_indices(words, 7, h)
+        assert idx.min() >= 0
+        assert int(idx.max()) < (1 << h)
+
+    def test_invalid_h(self, words):
+        with pytest.raises(ValueError):
+            hash_indices(words, 1, -1)
+        with pytest.raises(ValueError):
+            hash_indices(words, 1, 64)
+
+    def test_uniformity_chi_square(self, words):
+        # 5000 draws into 64 buckets; chi-square should not reject
+        idx = hash_indices(words, seed=31337, h=6)
+        counts = np.bincount(idx, minlength=64)
+        _, p = stats.chisquare(counts)
+        assert p > 0.001
+
+    def test_independent_across_seeds(self, words):
+        # indices under two seeds should be uncorrelated
+        a = hash_indices(words, 1, 8).astype(float)
+        b = hash_indices(words, 2, 8).astype(float)
+        r = np.corrcoef(a, b)[0, 1]
+        assert abs(r) < 0.05
+
+
+class TestHashMod:
+    def test_range(self, words):
+        x = hash_mod(words, 3, 1000)
+        assert x.min() >= 0 and x.max() < 1000
+
+    def test_non_power_of_two_uniform(self, words):
+        x = hash_mod(words, 17, 10)
+        counts = np.bincount(x, minlength=10)
+        _, p = stats.chisquare(counts)
+        assert p > 0.001
+
+    def test_invalid_modulus(self, words):
+        with pytest.raises(ValueError):
+            hash_mod(words, 1, 0)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, 1, 2) == derive_seed(5, 1, 2)
+
+    def test_salts_matter(self):
+        seeds = {derive_seed(5, j) for j in range(50)}
+        assert len(seeds) == 50
+
+    def test_order_matters(self):
+        assert derive_seed(5, 1, 2) != derive_seed(5, 2, 1)
+
+    def test_derived_draws_independent(self, words):
+        # MIC relies on the k derived seeds giving independent mappings
+        a = hash_mod(words, derive_seed(9, 1), 256).astype(float)
+        b = hash_mod(words, derive_seed(9, 2), 256).astype(float)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05

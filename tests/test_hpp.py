@@ -1,0 +1,103 @@
+"""Unit + statistical tests for the Hash Polling Protocol (§III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hpp_model import expected_vector_length
+from repro.core.hpp import HPP
+from repro.core.rounds import draw_round
+from repro.hashing.universal import hash_indices
+from repro.workloads.tagsets import adversarial_tagset, uniform_tagset
+
+
+class TestDrawRound:
+    def test_singletons_are_singletons(self, medium_tags):
+        active = np.arange(len(medium_tags))
+        draw = draw_round(medium_tags.id_words, active, seed=7, h=10)
+        idx = hash_indices(medium_tags.id_words, 7, 10)
+        counts = np.bincount(idx, minlength=1 << 10)
+        assert np.all(counts[draw.singleton_indices] == 1)
+        # every singleton tag's index is its broadcast index
+        assert np.array_equal(idx[draw.singleton_tags], draw.singleton_indices)
+
+    def test_partition(self, medium_tags):
+        active = np.arange(len(medium_tags))
+        draw = draw_round(medium_tags.id_words, active, seed=3, h=10)
+        merged = np.sort(np.concatenate([draw.singleton_tags, draw.remaining_tags]))
+        assert np.array_equal(merged, active)
+
+    def test_indices_sorted_ascending(self, medium_tags):
+        draw = draw_round(medium_tags.id_words, np.arange(1000), seed=1, h=10)
+        assert np.all(np.diff(draw.singleton_indices) > 0)
+
+    def test_empty_active(self, medium_tags):
+        draw = draw_round(medium_tags.id_words, np.array([], dtype=np.int64), 1, 4)
+        assert draw.n_singletons == 0
+        assert draw.remaining_tags.size == 0
+
+
+class TestHPPPlan:
+    def test_everyone_polled_once(self, medium_tags, rng):
+        HPP().plan(medium_tags, rng).validate_complete()
+
+    def test_single_tag(self, rng):
+        plan = HPP().plan(uniform_tagset(1, rng), rng)
+        plan.validate_complete()
+        assert plan.n_rounds == 1
+
+    def test_vector_bits_bounded_by_log_n(self, rng):
+        # eq. (5): every vector <= ceil(log2 n) bits
+        tags = uniform_tagset(700, rng)
+        plan = HPP().plan(tags, rng)
+        h_max = int(np.ceil(np.log2(700)))
+        for r in plan.rounds:
+            assert r.extra["h"] <= h_max
+
+    def test_index_length_shrinks_with_population(self, medium_tags, rng):
+        plan = HPP().plan(medium_tags, rng)
+        hs = [r.extra["h"] for r in plan.rounds]
+        assert hs[0] == 10
+        assert all(a >= b for a, b in zip(hs, hs[1:]))  # non-increasing
+
+    def test_singleton_fraction_band(self, rng):
+        # paper §III-A: "about 36.8%-60.7% of tags are read" per round
+        tags = uniform_tagset(5000, rng)
+        plan = HPP().plan(tags, rng)
+        first = plan.rounds[0]
+        frac = first.n_polls / 5000
+        assert 0.33 <= frac <= 0.64
+
+    def test_matches_analytic_model(self, rng):
+        # eq. (4) vs simulation, averaged over runs
+        n = 4000
+        sims = []
+        for run in range(15):
+            r = np.random.default_rng(run)
+            tags = uniform_tagset(n, r)
+            plan = HPP().plan(tags, r)
+            # exclude the 32-bit round inits: eq. (4) counts index bits only
+            bits = sum(int(rp.poll_vector_bits.sum()) for rp in plan.rounds)
+            sims.append(bits / n)
+        model = expected_vector_length(n)
+        assert np.mean(sims) == pytest.approx(model, rel=0.03)
+
+    def test_seeds_fresh_each_round(self, medium_tags, rng):
+        plan = HPP().plan(medium_tags, rng)
+        seeds = [r.extra["seed"] for r in plan.rounds]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_adversarial_ids_harmless(self, rng):
+        # seeded hashing must not degrade on structured IDs
+        tags = adversarial_tagset(2000, rng)
+        plan = HPP().plan(tags, rng)
+        plan.validate_complete()
+        uni = HPP().plan(uniform_tagset(2000, rng), rng)
+        assert plan.n_rounds <= uni.n_rounds + 5
+
+    def test_empty_population(self, rng):
+        plan = HPP().plan(uniform_tagset(0, rng), rng)
+        assert plan.n_rounds == 0
+
+    def test_round_init_charged(self, medium_tags, rng):
+        plan = HPP().plan(medium_tags, rng)
+        assert all(r.init_bits == 32 for r in plan.rounds)

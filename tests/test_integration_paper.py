@@ -1,0 +1,151 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Every numbered claim from the abstract and §V is checked against this
+repository's implementation at reduced-but-sufficient scale.  Full-scale
+paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.information_collection import collect_information
+from repro.baselines.mic import MIC
+from repro.core.cpp import CPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.link import lower_bound_us
+from repro.workloads.tagsets import uniform_tagset
+
+N = 10_000
+RUNS = 5
+
+
+@pytest.fixture(scope="module")
+def table1_at_10k():
+    """Execution time (s) for 1-bit collection at n = 10⁴ (paper Table I)."""
+    out = {}
+    for proto in (CPP(), HPP(), EHPP(), MIC(), TPP()):
+        acc = 0.0
+        for run in range(RUNS):
+            rng = np.random.default_rng(run)
+            tags = uniform_tagset(N, rng)
+            rep = collect_information(proto, tags, info_bits=1, n_runs=1, seed=run)
+            acc += rep.mean_time_s
+        out[proto.name] = acc / RUNS
+    out["LB"] = lower_bound_us(N, 1) / 1e6
+    return out
+
+
+class TestTableIAnchors:
+    """The individually-quoted cells of Table I (n = 10⁴, l = 1)."""
+
+    def test_cpp_37_70s(self, table1_at_10k):
+        assert table1_at_10k["CPP"] == pytest.approx(37.70, abs=0.02)
+
+    def test_hpp_8_12s(self, table1_at_10k):
+        assert table1_at_10k["HPP"] == pytest.approx(8.12, abs=0.15)
+
+    def test_ehpp_6_63s(self, table1_at_10k):
+        assert table1_at_10k["EHPP"] == pytest.approx(6.63, abs=0.15)
+
+    def test_mic_5_15s(self, table1_at_10k):
+        assert table1_at_10k["MIC"] == pytest.approx(5.15, abs=0.20)
+
+    def test_tpp_4_39s(self, table1_at_10k):
+        assert table1_at_10k["TPP"] == pytest.approx(4.39, abs=0.10)
+
+    def test_lower_bound_3_25s(self, table1_at_10k):
+        assert table1_at_10k["LB"] == pytest.approx(3.248, abs=0.01)
+
+    def test_tpp_within_1_35x_of_lower_bound(self, table1_at_10k):
+        ratio = table1_at_10k["TPP"] / table1_at_10k["LB"]
+        assert ratio == pytest.approx(1.35, abs=0.03)
+
+    def test_tpp_beats_mic_by_about_14_8_percent(self, table1_at_10k):
+        improvement = 1 - table1_at_10k["TPP"] / table1_at_10k["MIC"]
+        assert improvement == pytest.approx(0.148, abs=0.03)
+
+    def test_full_ordering(self, table1_at_10k):
+        t = table1_at_10k
+        assert t["LB"] < t["TPP"] < t["MIC"] < t["EHPP"] < t["HPP"] < t["CPP"]
+
+
+class TestAbstractClaims:
+    def test_tpp_vector_28x_shorter_than_ids_analytically(self):
+        from repro.analysis.tpp_model import global_upper_bound
+
+        assert 96 / global_upper_bound() == pytest.approx(28, abs=0.5)
+
+    def test_tpp_vector_31x_shorter_in_simulation(self):
+        rng = np.random.default_rng(0)
+        tags = uniform_tagset(N, rng)
+        w = TPP().plan(tags, rng).avg_vector_bits
+        assert 96 / w == pytest.approx(31, abs=2.0)
+
+    def test_hpp_vector_under_log2n(self):
+        rng = np.random.default_rng(1)
+        tags = uniform_tagset(N, rng)
+        plan = HPP().plan(tags, rng)
+        # per-round index length never exceeds ceil(log2 n)
+        assert max(r.extra["h"] for r in plan.rounds) <= 14
+
+    def test_no_slot_waste_in_polling_protocols(self):
+        rng = np.random.default_rng(2)
+        tags = uniform_tagset(2_000, rng)
+        for proto in (HPP(), EHPP(), TPP()):
+            plan = proto.plan(tags, np.random.default_rng(3))
+            assert plan.wasted_slots == 0
+            assert plan.n_polls == 2_000  # number of polls == number of tags
+
+    def test_fewer_tag_hashes_than_mic(self):
+        # storage argument: our protocols need 1 hash draw per round; MIC
+        # requires k=7 hash units on the tag
+        assert MIC().k == 7
+
+
+class TestTableIIIRatios:
+    """Table III (l = 32): multiples of the lower bound at n = 10⁴."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        lb = lower_bound_us(N, 32) / 1e6
+        out = {}
+        for proto in (CPP(), HPP(), EHPP(), MIC(), TPP()):
+            rng = np.random.default_rng(11)
+            tags = uniform_tagset(N, rng)
+            rep = collect_information(proto, tags, info_bits=32, n_runs=3, seed=5)
+            out[proto.name] = rep.mean_time_s / lb
+        return out
+
+    def test_tpp_1_10x(self, ratios):
+        assert ratios["TPP"] == pytest.approx(1.10, abs=0.03)
+
+    def test_mic_1_28x(self, ratios):
+        assert ratios["MIC"] == pytest.approx(1.28, abs=0.05)
+
+    def test_ehpp_1_31x(self, ratios):
+        assert ratios["EHPP"] == pytest.approx(1.31, abs=0.04)
+
+    def test_hpp_1_45x(self, ratios):
+        assert ratios["HPP"] == pytest.approx(1.45, abs=0.04)
+
+    def test_cpp_4_14x(self, ratios):
+        assert ratios["CPP"] == pytest.approx(4.14, abs=0.05)
+
+
+class TestTableIIRatios:
+    """Table II (l = 16): TPP relative to the others at n = 10⁴."""
+
+    def test_quoted_percentages(self):
+        times = {}
+        for proto in (CPP(), HPP(), EHPP(), MIC(), TPP()):
+            rng = np.random.default_rng(21)
+            tags = uniform_tagset(N, rng)
+            times[proto.name] = collect_information(
+                proto, tags, info_bits=16, n_runs=3, seed=9
+            ).mean_time_s
+        assert times["TPP"] / times["MIC"] == pytest.approx(0.857, abs=0.03)
+        assert times["TPP"] / times["EHPP"] == pytest.approx(0.783, abs=0.03)
+        assert times["TPP"] / times["HPP"] == pytest.approx(0.686, abs=0.03)
+        assert times["TPP"] / times["CPP"] == pytest.approx(0.196, abs=0.01)

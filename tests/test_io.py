@@ -1,0 +1,100 @@
+"""Tests for JSON serialisation of plans and results."""
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.baselines.mic import MIC
+from repro.experiments import fig8
+from repro.io import (
+    load_plan,
+    load_result,
+    plan_from_dict,
+    plan_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_plan,
+    save_result,
+)
+from repro.phy.link import plan_wire_time
+from repro.sim.executor import execute_plan
+from repro.workloads.tagsets import uniform_tagset
+
+
+@pytest.fixture
+def tags():
+    return uniform_tagset(120, np.random.default_rng(1))
+
+
+class TestPlanRoundtrip:
+    @pytest.mark.parametrize("proto_cls", [HPP, TPP, MIC])
+    def test_metrics_preserved(self, tags, proto_cls):
+        plan = proto_cls().plan(tags, np.random.default_rng(2))
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.protocol == plan.protocol
+        assert clone.n_rounds == plan.n_rounds
+        assert clone.reader_bits == plan.reader_bits
+        assert clone.avg_vector_bits == plan.avg_vector_bits
+        assert plan_wire_time(clone, 8) == pytest.approx(plan_wire_time(plan, 8))
+        assert np.array_equal(clone.polled_tags(), plan.polled_tags())
+
+    @pytest.mark.parametrize("proto_cls", [HPP, TPP, MIC])
+    def test_reloaded_plan_is_executable(self, tags, proto_cls, tmp_path):
+        """The archived schedule can be replayed against live tags."""
+        plan = proto_cls().plan(tags, np.random.default_rng(3))
+        path = save_plan(plan, tmp_path / "plan.json")
+        clone = load_plan(path)
+        result = execute_plan(clone, tags, info_bits=4)
+        assert result.all_read
+        assert result.time_us == pytest.approx(plan_wire_time(plan, 4), rel=1e-9)
+
+    def test_json_is_plain_data(self, tags, tmp_path):
+        import json
+
+        plan = HPP().plan(tags, np.random.default_rng(4))
+        text = save_plan(plan, tmp_path / "p.json").read_text()
+        json.loads(text)  # valid JSON, no numpy leakage
+
+    def test_unserialisable_extra_rejected(self, tags):
+        plan = HPP().plan(tags, np.random.default_rng(5))
+        plan.rounds[0].extra["bad"] = object()
+        with pytest.raises(TypeError):
+            plan_to_dict(plan)
+
+
+class TestResultRoundtrip:
+    def test_fig8_roundtrip(self, tmp_path):
+        result = fig8(points=20)
+        clone = load_result(save_result(result, tmp_path / "r.json"))
+        assert clone.name == result.name
+        assert clone.series_by_label("mu").y == result.series_by_label("mu").y
+        assert clone.notes["peak_lambda"] == 1.0
+
+    def test_dict_roundtrip_pure(self):
+        result = fig8(points=5)
+        assert result_to_dict(result_from_dict(result_to_dict(result))) == (
+            result_to_dict(result)
+        )
+
+
+class TestMorePlanRoundtrips:
+    def test_ehpp_plan_with_circles_roundtrips(self, tags, tmp_path):
+        from repro.core.ehpp import EHPP
+
+        plan = EHPP(subset_size=40).plan(tags, np.random.default_rng(6))
+        clone = load_plan(save_plan(plan, tmp_path / "ehpp.json"))
+        result = execute_plan(clone, tags, info_bits=2)
+        assert result.all_read
+        assert result.time_us == pytest.approx(plan_wire_time(plan, 2), rel=1e-9)
+
+    def test_ecpp_plan_roundtrips(self, tmp_path):
+        from repro.core.cpp import EnhancedCPP
+        from repro.workloads.tagsets import clustered_tagset
+
+        ctags = clustered_tagset(90, np.random.default_rng(7), n_categories=3)
+        plan = EnhancedCPP().plan(ctags, np.random.default_rng(8))
+        clone = load_plan(save_plan(plan, tmp_path / "ecpp.json"))
+        result = execute_plan(clone, ctags, info_bits=2)
+        assert result.all_read
+        assert clone.meta["category_bits"] == 32

@@ -1,0 +1,114 @@
+"""Unit tests for wire-time costing (LinkBudget, paper §V-A formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InterrogationPlan, RoundPlan
+from repro.phy.link import LinkBudget, lower_bound_us, plan_wire_time, poll_time_us
+from repro.phy.timing import PAPER_TIMING
+
+
+class TestPollFormula:
+    def test_paper_per_poll_formula(self):
+        # 37.45*(4+w) + T1 + 25*l + T2  with w=3, l=1
+        expected = 37.45 * 7 + 100 + 25 + 50
+        assert poll_time_us(3, 1) == pytest.approx(expected)
+
+    def test_cpp_per_tag_time(self):
+        # bare 96-bit ID, 1-bit reply -> 3770.2 µs (Table I: 37.70 s / 1e4)
+        assert poll_time_us(96, 1, overhead_bits=0) == pytest.approx(3770.2)
+
+    def test_zero_vector(self):
+        assert poll_time_us(0, 1) == pytest.approx(37.45 * 4 + 175)
+
+
+class TestLowerBound:
+    def test_paper_lower_bound_1bit(self):
+        # (37.45*4 + T1 + 25 + T2) * 1e4 = 3.248 s
+        assert lower_bound_us(10_000, 1) / 1e6 == pytest.approx(3.248, abs=1e-3)
+
+    def test_paper_lower_bound_32bit(self):
+        assert lower_bound_us(10_000, 32) / 1e6 == pytest.approx(10.998, abs=1e-3)
+
+    def test_scales_linearly_with_n(self):
+        assert lower_bound_us(2000, 8) == pytest.approx(2 * lower_bound_us(1000, 8))
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_us(-1, 1)
+
+
+class TestLinkBudgetSlots:
+    def test_empty_slot_full_cost(self):
+        b = LinkBudget(empty_slot_full_cost=True)
+        assert b.empty_slot_us(4) == pytest.approx(4 * 37.45 + 150)
+
+    def test_empty_slot_short(self):
+        b = LinkBudget(empty_slot_full_cost=False)
+        assert b.empty_slot_us(4) == pytest.approx(4 * 37.45 + 100 + PAPER_TIMING.t3_us)
+
+    def test_collision_slot_burns_reply(self):
+        b = LinkBudget()
+        assert b.collision_slot_us(4, 16) == pytest.approx(4 * 37.45 + 150 + 400)
+
+    def test_collision_factor(self):
+        b = LinkBudget(collision_reply_bits_factor=0.5)
+        assert b.collision_slot_us(0, 16) == pytest.approx(150 + 200)
+
+    def test_broadcast_is_tx_only(self):
+        assert LinkBudget().broadcast_us(128) == pytest.approx(128 * 37.45)
+
+
+class TestPlanCosting:
+    def _plan(self) -> InterrogationPlan:
+        rounds = [
+            RoundPlan(
+                label="r0",
+                init_bits=32,
+                poll_vector_bits=np.array([3, 3, 5]),
+                poll_tag_idx=np.array([0, 1, 2]),
+                poll_overhead_bits=4,
+            ),
+            RoundPlan(
+                label="r1",
+                init_bits=0,
+                poll_vector_bits=np.array([2]),
+                poll_tag_idx=np.array([3]),
+                poll_overhead_bits=4,
+                empty_slots=2,
+                collision_slots=1,
+            ),
+        ]
+        return InterrogationPlan(protocol="X", n_tags=4, rounds=rounds)
+
+    def test_plan_wire_time_decomposes(self):
+        plan = self._plan()
+        b = LinkBudget()
+        by_rounds = sum(b.round_us(r, 8) for r in plan.rounds)
+        assert plan_wire_time(plan, 8) == pytest.approx(by_rounds)
+
+    def test_plan_wire_time_manual(self):
+        plan = self._plan()
+        t = PAPER_TIMING
+        expected = (
+            32 * t.reader_bit_us  # round-0 init
+            + (11 + 3 * 4) * t.reader_bit_us  # round-0 polls downlink
+            + 3 * (t.t1_us + 8 * t.tag_bit_us + t.t2_us)
+            + (2 + 4) * t.reader_bit_us  # round-1 poll
+            + (t.t1_us + 8 * t.tag_bit_us + t.t2_us)
+            + 2 * (4 * t.reader_bit_us + t.t1_us + t.t2_us)  # empty (full cost)
+            + 1 * (4 * t.reader_bit_us + t.t1_us + 8 * t.tag_bit_us + t.t2_us)
+        )
+        assert plan_wire_time(plan, 8) == pytest.approx(expected)
+
+    def test_negative_reply_bits_rejected(self):
+        with pytest.raises(ValueError):
+            plan_wire_time(self._plan(), -1)
+
+    def test_custom_timing_flows_through(self):
+        fast = PAPER_TIMING.with_(reader_bit_us=1.0, tag_bit_us=1.0,
+                                  t1_us=0.0, t2_us=0.0)
+        plan = self._plan()
+        t = plan_wire_time(plan, 0, timing=fast)
+        # pure bit count: 32 + 11+12 + 2+4 + 2*4 + 1*4 reader bits
+        assert t == pytest.approx(32 + 23 + 6 + 8 + 4)

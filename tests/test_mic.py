@@ -1,0 +1,173 @@
+"""Unit + statistical tests for the MIC baseline.
+
+Decode-rule soundness sketch (verified empirically below): the reader
+records, per useful slot, the pass number ``j`` at which the greedy
+assignment happened.  ``vector[s] == j`` therefore certifies "at pass
+``j`` slot ``s`` was free and exactly one then-unassigned tag hashed to
+it".  If any tag ``t`` (assigned later, or never) had ``H_j(t) == s``
+while still unassigned at pass ``j``, there would have been two
+candidates and the slot would not have been marked — so the first
+ascending match each tag finds is precisely its own assignment, and
+unresolved tags find none.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mic_model import (
+    expected_total_slots_per_tag,
+    indicator_bits_per_slot,
+    tag_resolution_fraction,
+    useful_slot_fraction,
+    wasted_slot_fraction,
+)
+from repro.baselines.mic import MIC
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestAssignment:
+    def test_everyone_polled_once(self, medium_tags, rng):
+        MIC().plan(medium_tags, rng).validate_complete()
+
+    def test_assignment_slots_unique(self, medium_tags, rng):
+        plan = MIC().plan(medium_tags, rng)
+        for r in plan.rounds:
+            slots = r.extra["assigned_slots"]
+            assert np.unique(slots).size == slots.size
+
+    def test_useful_fraction_matches_mic_paper(self):
+        # "wasted slots drop from 63.2% to 13.9%" at k = 7, load 1
+        rng = np.random.default_rng(2)
+        tags = uniform_tagset(20_000, rng)
+        plan = MIC(k=7).plan(tags, rng)
+        first = plan.rounds[0]
+        frac = first.extra["useful_slots"] / first.extra["frame_size"]
+        assert frac == pytest.approx(0.861, abs=0.01)
+
+    def test_k1_is_plain_aloha_hashing(self):
+        rng = np.random.default_rng(3)
+        tags = uniform_tagset(20_000, rng)
+        plan = MIC(k=1).plan(tags, rng)
+        first = plan.rounds[0]
+        frac = first.extra["useful_slots"] / first.extra["frame_size"]
+        assert frac == pytest.approx(np.exp(-1), abs=0.01)  # 36.8%
+
+    def test_more_hashes_fewer_frames(self, rng):
+        tags = uniform_tagset(5000, rng)
+        n1 = MIC(k=1).plan(tags, np.random.default_rng(0)).n_rounds
+        n7 = MIC(k=7).plan(tags, np.random.default_rng(0)).n_rounds
+        assert n7 < n1
+
+
+class TestDecoding:
+    def test_tag_side_decode_agrees_with_reader(self, rng):
+        """Every assigned tag claims exactly its slot; unresolved claim none."""
+        tags = uniform_tagset(800, rng)
+        mic = MIC(k=7)
+        active = np.arange(800, dtype=np.int64)
+        seed, f = 1234, 800
+        slots, owners, passes, deferred = mic.assign_frame(
+            tags.id_words, active, seed, f
+        )
+        vector = mic.indicator_vector(slots, passes, f)
+        for slot, owner in zip(slots.tolist(), owners.tolist()):
+            assert mic.decode_vector(tags.id_words, owner, vector, seed) == slot
+        for tag in deferred.tolist():
+            assert mic.decode_vector(tags.id_words, tag, vector, seed) == -1
+
+    def test_indicator_vector_validation(self):
+        mic = MIC(k=3)
+        with pytest.raises(ValueError):
+            mic.indicator_vector(np.array([0]), np.array([4]), 4)  # pass > k
+        with pytest.raises(ValueError):
+            mic.indicator_vector(np.array([0, 1]), np.array([1]), 4)
+
+    def test_indicator_bits(self):
+        assert MIC(k=7).indicator_bits_per_slot == 3
+        assert MIC(k=1).indicator_bits_per_slot == 1
+        assert MIC(k=8).indicator_bits_per_slot == 4
+
+
+class TestCosting:
+    def test_uniform_slot_convention(self, rng):
+        tags = uniform_tagset(500, rng)
+        plan = MIC(uniform_slot_cost=True).plan(tags, np.random.default_rng(1))
+        assert all(r.empty_slots == 0 for r in plan.rounds)
+        assert plan.wasted_slots > 0
+
+    def test_short_empty_convention(self, rng):
+        tags = uniform_tagset(500, rng)
+        plan = MIC(uniform_slot_cost=False).plan(tags, np.random.default_rng(1))
+        assert all(r.collision_slots == 0 for r in plan.rounds)
+
+    def test_vector_bits_charged_in_init(self, rng):
+        tags = uniform_tagset(300, rng)
+        plan = MIC(k=7, frame_init_bits=32).plan(tags, rng)
+        first = plan.rounds[0]
+        assert first.init_bits == 32 + first.extra["frame_size"] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MIC(k=0)
+        with pytest.raises(ValueError):
+            MIC(load=0)
+        with pytest.raises(ValueError):
+            MIC(frame_init_bits=-1)
+
+
+class TestAnalyticModel:
+    def test_matches_simulation(self):
+        rng = np.random.default_rng(5)
+        tags = uniform_tagset(30_000, rng)
+        for k in (1, 3, 7):
+            plan = MIC(k=k).plan(tags, np.random.default_rng(k))
+            first = plan.rounds[0]
+            sim = first.extra["useful_slots"] / first.extra["frame_size"]
+            assert useful_slot_fraction(k) == pytest.approx(sim, abs=0.012)
+
+    def test_published_waste_numbers(self):
+        assert wasted_slot_fraction(1) == pytest.approx(0.632, abs=0.002)
+        assert wasted_slot_fraction(7) == pytest.approx(0.139, abs=0.002)
+
+    def test_resolution_equals_useful_at_load_one(self):
+        assert tag_resolution_fraction(5, 1.0) == useful_slot_fraction(5, 1.0)
+
+    def test_slots_per_tag(self):
+        assert expected_total_slots_per_tag(7) == pytest.approx(1.162, abs=0.002)
+
+    def test_indicator_bits_formula(self):
+        assert indicator_bits_per_slot(7) == 3
+        assert indicator_bits_per_slot(15) == 4
+        with pytest.raises(ValueError):
+            indicator_bits_per_slot(0)
+
+
+class TestDecodingProperty:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 300),
+        k=st.integers(1, 8),
+        seed=st.integers(0, 2**31),
+        load=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_decode_sound_for_any_frame(self, n, k, seed, load):
+        """For random frames: every assigned tag claims exactly its slot,
+
+        every deferred tag claims nothing — the decode-rule soundness
+        argument, exercised adversarially."""
+        rng = np.random.default_rng(seed)
+        tags = uniform_tagset(n, rng)
+        mic = MIC(k=k, load=load)
+        f = max(int(round(n / load)), 2)
+        slots, owners, passes, deferred = mic.assign_frame(
+            tags.id_words, np.arange(n), seed, f
+        )
+        vector = mic.indicator_vector(slots, passes, f)
+        claimed = {}
+        for slot, owner in zip(slots.tolist(), owners.tolist()):
+            claimed[owner] = mic.decode_vector(tags.id_words, owner, vector, seed)
+        assert claimed == dict(zip(owners.tolist(), slots.tolist()))
+        for tag in deferred.tolist():
+            assert mic.decode_vector(tags.id_words, tag, vector, seed) == -1

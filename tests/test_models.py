@@ -1,0 +1,165 @@
+"""Tests of the analytical models (paper eqs. 1-16 and Theorems 1-2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import ehpp_model, exec_time, hpp_model, lower_bound, tpp_model
+
+
+class TestHPPModel:
+    def test_singleton_fraction_band(self):
+        # eq. (1): λ ∈ (0.5, 1] ⇒ e^{-λ} ∈ [e^-1, e^-0.5) ≈ [36.8%, 60.7%)
+        lo = hpp_model.singleton_fraction(1024, 1024)  # λ = 1
+        hi = hpp_model.singleton_fraction(513, 1024)  # λ ≈ 0.5
+        assert lo == pytest.approx(math.exp(-1023 / 1024), rel=1e-9)
+        assert 0.36 < lo < hi < 0.61
+
+    def test_fig3_anchor_points(self):
+        # paper: w ≈ 10 at n=1000, w ≈ 16 at n=1e5, all under 16.5
+        assert hpp_model.expected_vector_length(1_000) == pytest.approx(10, abs=0.8)
+        assert hpp_model.expected_vector_length(100_000) == pytest.approx(16, abs=0.8)
+
+    def test_monotone_growth(self):
+        w = [hpp_model.expected_vector_length(n) for n in (100, 1000, 10_000, 100_000)]
+        assert w == sorted(w)
+
+    def test_upper_bound_eq5(self):
+        for n in (10, 1000, 12_345):
+            assert hpp_model.expected_vector_length(n) <= hpp_model.vector_length_upper_bound(n)
+
+    def test_total_bits_includes_round_inits(self):
+        n = 1000
+        base = hpp_model.expected_total_bits(n, 0)
+        with_init = hpp_model.expected_total_bits(n, 32)
+        rounds = hpp_model.expected_rounds(n)
+        assert with_init == pytest.approx(base + 32 * rounds)
+
+    def test_round_trace_conserves_population(self):
+        trace = hpp_model.hpp_round_trace(5000)
+        assert sum(r.n_singletons for r in trace) == pytest.approx(5000, rel=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hpp_model.expected_vector_length(0)
+        with pytest.raises(ValueError):
+            hpp_model.singleton_fraction(0, 4)
+
+
+class TestEHPPModel:
+    def test_circle_cost_decomposition(self):
+        cost = ehpp_model.circle_cost_per_tag(100, 200, 0)
+        assert cost == pytest.approx(
+            (hpp_model.expected_total_bits(100) + 200) / 100
+        )
+
+    def test_fig5_anchor(self):
+        # paper: ≈7.94 bits at l_c = 200 for 1e5 tags
+        w = ehpp_model.expected_vector_length(100_000, 200)
+        assert w == pytest.approx(7.94, abs=0.15)
+
+    def test_flat_in_n(self):
+        w = [ehpp_model.expected_vector_length(n, 128) for n in (20_000, 100_000)]
+        assert abs(w[0] - w[1]) < 0.1
+
+    def test_increases_with_lc(self):
+        w = [ehpp_model.expected_vector_length(50_000, lc) for lc in (100, 200, 400)]
+        assert w == sorted(w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ehpp_model.circle_cost_per_tag(0, 100)
+        with pytest.raises(ValueError):
+            ehpp_model.subset_size_bounds(-1)
+        with pytest.raises(ValueError):
+            ehpp_model.expected_vector_length(0, 100)
+
+
+class TestTPPModel:
+    def test_mu_peak(self):
+        # Fig. 8: µ peaks at 1/e when λ = 1
+        assert tpp_model.singleton_probability(1.0) == pytest.approx(1 / math.e)
+        assert tpp_model.singleton_probability(0.5) < 1 / math.e
+        assert tpp_model.singleton_probability(2.0) < 1 / math.e
+
+    def test_theorem2_monotonicity(self):
+        # larger µ (at fixed h) gives a smaller bound
+        h = 10
+        w = [
+            tpp_model.worst_case_vector_length_round(mu * (1 << h), h)
+            for mu in (0.15, 0.25, 0.3466)
+        ]
+        assert w == sorted(w, reverse=True)
+
+    def test_global_bound_344(self):
+        assert tpp_model.global_upper_bound() == pytest.approx(3.4427, abs=1e-3)
+
+    def test_fig9_level(self):
+        # paper: stable at about 3.38
+        for n in (1000, 10_000, 100_000):
+            assert tpp_model.expected_vector_length(n) == pytest.approx(3.38, abs=0.1)
+
+    def test_exact_model_below_worst_case(self):
+        for n in (1000, 30_000):
+            exact = tpp_model.expected_vector_length(n, exact=True)
+            worst = tpp_model.expected_vector_length(n)
+            assert exact < worst <= tpp_model.global_upper_bound() + 0.05
+
+    def test_worst_case_tree_nodes_eq7(self):
+        # m=5, h=3: complete top of depth k=2 (2^2<5<=2^3): 2^3-2=6 nodes
+        # plus 5 tails of length h-k=1 -> 11
+        assert tpp_model.worst_case_tree_nodes(5, 3) == 11.0
+
+    def test_expected_tree_nodes_extremes(self):
+        # all leaves selected -> full tree; one leaf -> a path
+        assert tpp_model.expected_tree_nodes(8, 3) == pytest.approx(14.0)
+        assert tpp_model.expected_tree_nodes(1, 3) == pytest.approx(3.0)
+        assert tpp_model.expected_tree_nodes(0, 3) == 0.0
+
+    def test_expected_tree_nodes_matches_monte_carlo(self):
+        from repro.core.polling_tree import PollingTree
+
+        h, m = 8, 60
+        rng = np.random.default_rng(9)
+        sims = []
+        for _ in range(300):
+            leaves = rng.choice(1 << h, size=m, replace=False)
+            sims.append(PollingTree.from_indices(sorted(leaves), h).n_nodes)
+        assert tpp_model.expected_tree_nodes(m, h) == pytest.approx(
+            np.mean(sims), rel=0.02
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tpp_model.singleton_probability(-1)
+        with pytest.raises(ValueError):
+            tpp_model.worst_case_tree_nodes(9, 3)
+        with pytest.raises(ValueError):
+            tpp_model.expected_tree_nodes(9, 3)
+
+
+class TestExecTime:
+    def test_fig1_is_linear(self):
+        w, t_ms = exec_time.execution_time_curve(96, 1)
+        slopes = np.diff(t_ms)
+        assert np.allclose(slopes, 37.45e-3)
+        assert w.size == 97
+
+    def test_cpp_anchor(self):
+        assert exec_time.cpp_per_tag_time_us(1) == pytest.approx(3770.2)
+
+    def test_vectorised_matches_scalar(self):
+        ws = np.array([0.0, 3.0, 96.0])
+        vec = exec_time.per_tag_time_us(ws, 16)
+        for w, v in zip(ws, vec):
+            assert exec_time.per_tag_time_us(float(w), 16) == pytest.approx(v)
+
+
+class TestLowerBound:
+    def test_ratio_helper(self):
+        lb = lower_bound.lower_bound_s(10_000, 1)
+        assert lower_bound.ratio_to_lower_bound(lb * 1.35, 10_000, 1) == pytest.approx(1.35)
+
+    def test_table_anchor(self):
+        assert lower_bound.lower_bound_s(10_000, 32) == pytest.approx(10.998, abs=1e-2)

@@ -1,0 +1,138 @@
+"""Tests for the multi-reader scheduling subsystem."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.multi_reader import (
+    Deployment,
+    Reader,
+    grid_deployment,
+    simulate_deployment,
+)
+from repro.core.tpp import TPP
+from repro.workloads.tagsets import uniform_tagset
+
+
+@pytest.fixture
+def deployment(rng) -> Deployment:
+    return grid_deployment(400, rng, rows=2, cols=3, spacing_m=8.0, range_m=6.0)
+
+
+class TestReader:
+    def test_coverage_mask(self):
+        r = Reader(0, 0.0, 0.0, 5.0)
+        x = np.array([0.0, 3.0, 5.0, 5.1])
+        y = np.array([0.0, 4.0, 0.0, 0.0])
+        assert r.covers(x, y).tolist() == [True, True, True, False]
+
+    def test_interference_symmetric(self):
+        a = Reader(0, 0, 0, 5)
+        b = Reader(1, 9, 0, 5)  # zones overlap (distance 9 < 10)
+        c = Reader(2, 20, 0, 5)
+        assert a.interferes(b) and b.interferes(a)
+        assert not a.interferes(c)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Reader(0, 0, 0, 0)
+
+
+class TestDeployment:
+    def test_grid_shape(self, deployment):
+        assert len(deployment.readers) == 6
+        assert deployment.n_tags == 400
+
+    def test_assignment_partitions_tags(self, deployment):
+        assignment = deployment.assign_tags()
+        merged = np.sort(np.concatenate(list(assignment.values())))
+        assert np.array_equal(merged, np.arange(400))
+
+    def test_assignment_respects_coverage(self, deployment):
+        cover = deployment.coverage()
+        for rid, tag_idx in deployment.assign_tags().items():
+            assert np.isin(tag_idx, cover[rid]).all()
+
+    def test_assignment_is_balanced(self, deployment):
+        sizes = [v.size for v in deployment.assign_tags().values()]
+        assert max(sizes) <= 2.5 * max(min(sizes), 1)
+
+    def test_uncovered_tag_rejected(self):
+        d = Deployment([Reader(0, 0, 0, 1.0)], np.array([10.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            d.assign_tags()
+
+    def test_interference_graph_grid(self, deployment):
+        g = deployment.interference_graph()
+        assert g.number_of_nodes() == 6
+        # adjacent grid zones overlap (8 < 12); diagonal ones (11.3 < 12) too
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 5)  # distance sqrt(8^2+16^2) = 17.9 > 12
+
+    def test_schedule_is_proper_coloring(self, deployment):
+        g = deployment.interference_graph()
+        schedule = deployment.schedule()
+        color_of = {}
+        for color, group in enumerate(schedule):
+            for rid in group:
+                color_of[rid] = color
+        assert set(color_of) == set(g.nodes)
+        for u, v in g.edges:
+            assert color_of[u] != color_of[v]
+
+    def test_disjoint_readers_single_color(self):
+        readers = [Reader(i, 30.0 * i, 0, 5) for i in range(4)]
+        rng = np.random.default_rng(3)
+        xs = np.concatenate([rng.uniform(-4, 4, 10) + 30 * i for i in range(4)])
+        ys = np.tile(rng.uniform(-3, 3, 10), 4)
+        d = Deployment(readers, xs, ys)
+        assert len(d.schedule()) == 1
+
+    def test_duplicate_reader_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment(
+                [Reader(0, 0, 0, 1), Reader(0, 5, 0, 1)],
+                np.array([0.0]),
+                np.array([0.0]),
+            )
+
+
+class TestSimulateDeployment:
+    def test_speedup_over_single_reader(self, rng, deployment):
+        tags = uniform_tagset(400, rng)
+        result = simulate_deployment(TPP(), deployment, tags, info_bits=1, seed=2)
+        assert result.n_readers == 6
+        assert 1.0 < result.speedup <= 6.0
+        assert result.total_time_us < result.single_reader_time_us
+
+    def test_total_is_sum_of_class_maxima(self, rng, deployment):
+        tags = uniform_tagset(400, rng)
+        result = simulate_deployment(TPP(), deployment, tags, seed=2)
+        expected = sum(
+            max(result.per_reader_time_us[rid] for rid in group)
+            for group in result.schedule
+        )
+        assert result.total_time_us == pytest.approx(expected)
+
+    def test_tag_counts_match_assignment(self, rng, deployment):
+        tags = uniform_tagset(400, rng)
+        result = simulate_deployment(TPP(), deployment, tags, seed=2)
+        assert sum(result.per_reader_tags.values()) == 400
+
+    def test_misaligned_tags_rejected(self, rng, deployment):
+        tags = uniform_tagset(399, rng)
+        with pytest.raises(ValueError):
+            simulate_deployment(TPP(), deployment, tags)
+
+    def test_more_colors_less_speedup(self, rng):
+        # fully overlapping readers -> every reader its own colour ->
+        # no speedup over sequential operation
+        readers = [Reader(i, 0.0, 0.0, 10.0) for i in range(3)]
+        n = 90
+        xs = rng.uniform(-5, 5, n)
+        ys = rng.uniform(-5, 5, n)
+        d = Deployment(readers, xs, ys)
+        tags = uniform_tagset(n, rng)
+        result = simulate_deployment(TPP(), d, tags, seed=4)
+        assert result.n_colors == 3
+        assert result.speedup < 1.5

@@ -1,0 +1,76 @@
+"""Unit + property tests for the index-length policies."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.planner import (
+    CoveringPolicy,
+    FixedLoadPolicy,
+    SingletonMaxPolicy,
+    hpp_index_length,
+    tpp_index_length,
+)
+
+_LN2 = math.log(2.0)
+
+
+class TestHPPIndexLength:
+    @pytest.mark.parametrize(
+        "n,h", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+    )
+    def test_examples(self, n, h):
+        assert hpp_index_length(n) == h
+
+    @given(st.integers(2, 10**7))
+    def test_covering_invariant(self, n):
+        h = hpp_index_length(n)
+        # paper §III-B: 2^(h-1) < n <= 2^h
+        assert (1 << (h - 1)) < n <= (1 << h)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hpp_index_length(0)
+
+
+class TestTPPIndexLength:
+    @given(st.integers(2, 10**7))
+    def test_load_in_eq15_band(self, n):
+        h = tpp_index_length(n)
+        lam = n / (1 << h)
+        # eq. (15): ln2 <= n/2^h < 2 ln2
+        assert _LN2 <= lam < 2 * _LN2
+
+    @given(st.integers(2, 10**7))
+    def test_within_one_of_hpp(self, n):
+        # the bands (0.5, 1] and [ln2, 2ln2) overlap, so TPP's h is
+        # either HPP's h or one bit shorter (λ is allowed to exceed 1)
+        h_hpp = hpp_index_length(n)
+        h_tpp = tpp_index_length(n)
+        assert h_hpp - 1 <= h_tpp <= h_hpp
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tpp_index_length(0)
+
+
+class TestPolicies:
+    def test_policy_objects_delegate(self):
+        assert CoveringPolicy()(1000) == hpp_index_length(1000)
+        assert SingletonMaxPolicy()(1000) == tpp_index_length(1000)
+
+    @given(st.integers(2, 10**6), st.sampled_from([0.25, 0.5, 1.0, 2.0]))
+    def test_fixed_load_close_to_target(self, n, target):
+        h = FixedLoadPolicy(target=target)(n)
+        lam = n / (1 << h)
+        # within a factor sqrt(2) of the target (integer h granularity),
+        # except when clamped at h = 1
+        if h > 1:
+            assert target / 2 < lam < target * 2
+
+    def test_fixed_load_validation(self):
+        with pytest.raises(ValueError):
+            FixedLoadPolicy(target=0.0)
+        with pytest.raises(ValueError):
+            FixedLoadPolicy(target=1.0)(0)

@@ -1,0 +1,141 @@
+"""Unit + property tests for the binary polling tree (paper §IV-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.polling_tree import (
+    PollingTree,
+    Segment,
+    decode_segments,
+    segment_lengths,
+    segment_values,
+)
+
+#: the paper's running example (Fig. 6/7): five singleton indices, h = 3
+PAPER_INDICES = [0b000, 0b010, 0b011, 0b101, 0b111]
+
+
+class TestPaperExample:
+    def test_node_count_is_eleven(self):
+        # Fig. 7: "the reader in this round transmits only 11 bits"
+        tree = PollingTree.from_indices(PAPER_INDICES, 3)
+        assert tree.n_nodes == 11
+        assert tree.n_leaves == 5
+
+    def test_segments_match_fig7(self):
+        tree = PollingTree.from_indices(PAPER_INDICES, 3)
+        segs = tree.segments()
+        assert [s.bits() for s in segs] == ["000", "10", "1", "101", "11"]
+
+    def test_decode_recovers_indices(self):
+        tree = PollingTree.from_indices(PAPER_INDICES, 3)
+        assert tree.leaf_indices() == PAPER_INDICES
+
+    def test_closed_form_lengths(self):
+        lengths = segment_lengths(np.array(PAPER_INDICES), 3)
+        assert lengths.tolist() == [3, 2, 1, 3, 2]
+        assert lengths.sum() == 11
+
+    def test_closed_form_values(self):
+        values = segment_values(np.array(PAPER_INDICES), 3)
+        assert values.tolist() == [0b000, 0b10, 0b1, 0b101, 0b11]
+
+
+class TestTreeConstruction:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            PollingTree.from_indices([1, 1], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PollingTree.from_indices([4], 2)
+
+    def test_single_index_is_a_path(self):
+        tree = PollingTree.from_indices([0b1010], 4)
+        assert tree.n_nodes == 4
+        assert [s.bits() for s in tree.segments()] == ["1010"]
+
+    def test_full_tree(self):
+        h = 3
+        tree = PollingTree.from_indices(list(range(8)), h)
+        # complete binary tree: 2 + 4 + 8 = 14 nodes
+        assert tree.n_nodes == 14
+        assert tree.leaf_indices() == list(range(8))
+
+    def test_preorder_visits_root_first(self):
+        tree = PollingTree.from_indices([0, 3], 2)
+        order = tree.preorder()
+        assert order[0] is tree.root
+
+
+class TestDecodeSegments:
+    def test_register_update_rule(self):
+        # A starts anywhere; each segment overwrites the LAST k bits
+        segs = [Segment(0b000, 3), Segment(0b10, 2), Segment(0b1, 1)]
+        assert decode_segments(segs, 3) == [0b000, 0b010, 0b011]
+
+    def test_invalid_segment_length(self):
+        with pytest.raises(ValueError):
+            decode_segments([Segment(0, 4)], 3)
+
+    def test_value_too_wide(self):
+        with pytest.raises(ValueError):
+            decode_segments([Segment(0b111, 2)], 3)
+
+
+@st.composite
+def index_sets(draw):
+    h = draw(st.integers(1, 16))
+    count = draw(st.integers(1, min(1 << h, 64)))
+    values = draw(
+        st.sets(st.integers(0, (1 << h) - 1), min_size=count, max_size=count)
+    )
+    return h, sorted(values)
+
+
+class TestProperties:
+    @given(index_sets())
+    def test_total_bits_equals_node_count(self, case):
+        """Σ segment lengths == trie node count (the eq.-6 identity)."""
+        h, indices = case
+        tree = PollingTree.from_indices(indices, h)
+        lengths = segment_lengths(np.array(indices), h)
+        assert int(lengths.sum()) == tree.n_nodes
+
+    @given(index_sets())
+    def test_explicit_tree_matches_closed_form(self, case):
+        h, indices = case
+        tree = PollingTree.from_indices(indices, h)
+        segs = tree.segments()
+        assert [s.length for s in segs] == segment_lengths(
+            np.array(indices), h
+        ).tolist()
+        assert [s.value for s in segs] == segment_values(
+            np.array(indices), h
+        ).tolist()
+
+    @given(index_sets())
+    def test_roundtrip_through_register(self, case):
+        """Broadcast + tag-register decoding recovers every index."""
+        h, indices = case
+        tree = PollingTree.from_indices(indices, h)
+        assert decode_segments(tree.segments(), h) == indices
+
+    @given(index_sets())
+    def test_tree_never_beats_lower_bound_nor_naive(self, case):
+        """m <= nodes <= m*h: the tree saves vs naive h*m broadcasting."""
+        h, indices = case
+        tree = PollingTree.from_indices(indices, h)
+        m = len(indices)
+        assert m <= tree.n_nodes <= m * h
+
+    @given(index_sets())
+    def test_insertion_order_invariance(self, case):
+        """The trie (hence wire cost) is independent of insertion order."""
+        h, indices = case
+        shuffled = list(reversed(indices))
+        a = PollingTree.from_indices(indices, h)
+        b = PollingTree.from_indices(shuffled, h)
+        assert a.n_nodes == b.n_nodes
+        assert a.leaf_indices() == b.leaf_indices()

@@ -1,0 +1,70 @@
+"""Unit tests for the binary query-tree baseline."""
+
+import pytest
+
+from repro.baselines.query_tree import simulate_query_tree
+from repro.workloads.tagsets import sequential_tagset, uniform_tagset
+
+
+class TestQueryTree:
+    def test_identifies_everyone(self, rng):
+        tags = uniform_tagset(200, rng)
+        result = simulate_query_tree(tags)
+        assert result.n_singleton == 200
+        assert result.n_tags == 200
+
+    def test_query_count_structure(self, rng):
+        # a binary splitting tree over n leaves has n-1 internal
+        # (collision) nodes at minimum; empties only appear where a split
+        # goes one-sided
+        tags = uniform_tagset(128, rng)
+        r = simulate_query_tree(tags)
+        assert r.n_collision >= 127
+        assert r.n_queries == r.n_singleton + r.n_collision + r.n_empty
+
+    def test_sequential_ids_are_pathological(self):
+        # consecutive serials share 90 bits: the tree must descend a
+        # 90-level one-sided chain before any split resolves, so query
+        # trees do WORSE on sequential IDs than on uniform ones — the
+        # classic argument against prefix-splitting identification
+        seq = simulate_query_tree(sequential_tagset(64))
+        rng_tags = uniform_tagset(64, __import__("numpy").random.default_rng(1))
+        uni = simulate_query_tree(rng_tags)
+        assert seq.n_queries > uni.n_queries
+        assert seq.n_empty > uni.n_empty
+
+    def test_single_tag(self, rng):
+        r = simulate_query_tree(uniform_tagset(1, rng))
+        assert r.n_queries == 1
+        assert r.n_collision == 0
+
+    def test_per_tag_time_positive(self, rng):
+        r = simulate_query_tree(uniform_tagset(10, rng), info_bits=8)
+        assert r.time_per_tag_us > 0
+        assert r.wire_time_us == pytest.approx(r.time_per_tag_us * 10)
+
+    def test_info_bits_increase_uplink(self, rng):
+        tags = uniform_tagset(50, rng)
+        r0 = simulate_query_tree(tags, info_bits=0)
+        r32 = simulate_query_tree(tags, info_bits=32)
+        assert r32.tag_bits == r0.tag_bits + 32 * 50
+        assert r32.wire_time_us > r0.wire_time_us
+
+    def test_duplicate_ids_rejected(self):
+        import numpy as np
+
+        from repro.workloads.tagsets import TagSet
+
+        tags = TagSet(np.zeros(2, dtype=np.uint64), np.array([7, 7], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            simulate_query_tree(tags)
+
+    def test_slower_than_known_id_polling(self, rng):
+        # knowing IDs in advance (polling regime) beats discovering them
+        from repro.core.hpp import HPP
+        from repro.phy.link import plan_wire_time
+
+        tags = uniform_tagset(500, rng)
+        qt = simulate_query_tree(tags, info_bits=1)
+        hpp = plan_wire_time(HPP().plan(tags, rng), 1)
+        assert hpp < qt.wire_time_us

@@ -1,0 +1,74 @@
+"""Tests for the markdown report writer."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.report import (
+    comparison_row_md,
+    series_table_md,
+    table_md,
+    write_markdown_report,
+)
+from repro.experiments.tables import table1
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        name="demo",
+        title="a demo curve",
+        series=[
+            Series("a", [1.0, 2.0], [0.5, 0.25]),
+            Series("b", [1.0, 2.0], [1.5, 2.5]),
+        ],
+        notes={"k": "v"},
+    )
+
+
+class TestSeriesTable:
+    def test_markdown_structure(self, result):
+        md = series_table_md(result)
+        assert "### demo" in md
+        assert "| x | a | b |" in md
+        assert "| 1 | 0.500 | 1.500 |" in md
+        assert "*k*: v" in md
+
+    def test_ragged_series_render_dash(self):
+        r = ExperimentResult(
+            name="r", title="t",
+            series=[Series("a", [1.0, 2.0], [1.0, 2.0]),
+                    Series("b", [1.0, 2.0], [3.0])],
+        )
+        assert "—" in series_table_md(r)
+
+
+class TestTableMd:
+    def test_table1_renders(self):
+        t = table1(n_values=(200,), n_runs=2, seed=1)
+        md = table_md(t)
+        assert "Table I" in md
+        assert "| CPP |" in md
+        assert "n=200" in md
+
+
+class TestComparisonRow:
+    def test_deviation_computed(self):
+        row = comparison_row_md("TPP @1e4", 4.39, 4.42)
+        assert "paper 4.39" in row
+        assert "measured 4.42" in row
+        assert "+0.7 %" in row
+
+    def test_zero_paper_value_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_row_md("x", 0.0, 1.0)
+
+
+class TestWriteReport:
+    def test_writes_combined_document(self, tmp_path, result):
+        t = table1(n_values=(200,), n_runs=1, seed=2)
+        out = write_markdown_report(tmp_path / "report.md", [result, t],
+                                    title="Combined")
+        text = out.read_text()
+        assert text.startswith("# Combined")
+        assert "### demo" in text
+        assert "Table I" in text

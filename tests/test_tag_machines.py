@@ -1,0 +1,186 @@
+"""Unit tests for the tag-side state machines."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.universal import derive_seed, hash_mod, hash_u64
+from repro.sim.tag import (
+    CPPTagMachine,
+    HashTagMachine,
+    MICTagMachine,
+    TagState,
+    TPPTagMachine,
+)
+
+
+def _hash_tag(idx=0, word=12345, epc=999):
+    return HashTagMachine(idx, word, epc)
+
+
+class TestLifecycle:
+    def test_reply_then_ack_sleeps(self):
+        tag = CPPTagMachine(0, 1, 42)
+        reply = tag.on_message({"kind": "cpp_poll", "epc": 42})
+        assert reply is not None and reply.tag_index == 0
+        assert tag.state is TagState.REPLIED
+        tag.acknowledge()
+        assert tag.state is TagState.ASLEEP
+
+    def test_asleep_ignores_everything(self):
+        tag = CPPTagMachine(0, 1, 42)
+        tag.on_message({"kind": "cpp_poll", "epc": 42})
+        tag.acknowledge()
+        assert tag.on_message({"kind": "cpp_poll", "epc": 42}) is None
+
+    def test_revert_reply_stays_awake(self):
+        tag = CPPTagMachine(0, 1, 42)
+        tag.on_message({"kind": "cpp_poll", "epc": 42})
+        tag.revert_reply()
+        assert tag.state is TagState.READY
+        assert tag.on_message({"kind": "cpp_poll", "epc": 42}) is not None
+
+    def test_ack_in_wrong_state_raises(self):
+        with pytest.raises(RuntimeError):
+            CPPTagMachine(0, 1, 42).acknowledge()
+
+    def test_unknown_message_ignored(self):
+        assert _hash_tag().on_message({"kind": "mystery"}) is None
+
+
+class TestCPPTag:
+    def test_only_matching_id_replies(self):
+        tag = CPPTagMachine(0, 1, 42)
+        assert tag.on_message({"kind": "cpp_poll", "epc": 43}) is None
+        assert tag.on_message({"kind": "cpp_poll", "epc": 42}) is not None
+
+    def test_select_then_suffix(self):
+        epc = (0xAB << 64) | 0x1234
+        tag = CPPTagMachine(0, 1, epc, id_bits=96)
+        tag.on_message({"kind": "select", "prefix": 0xAB >> 24, "prefix_bits": 8})
+        # matching prefix (top 8 bits of 96 = 0x00): epc >> 88 = 0
+        tag2 = CPPTagMachine(1, 2, epc)
+        tag2.on_message({"kind": "select", "prefix": epc >> 64, "prefix_bits": 32})
+        assert tag2.selected
+        r = tag2.on_message(
+            {"kind": "suffix_poll", "suffix": epc & ((1 << 64) - 1), "suffix_bits": 64}
+        )
+        assert r is not None
+
+    def test_unselected_tag_silent(self):
+        epc = (0xAB << 64) | 0x1234
+        tag = CPPTagMachine(0, 1, epc)
+        tag.on_message({"kind": "select", "prefix": 0xCD, "prefix_bits": 32})
+        assert not tag.selected
+        r = tag.on_message(
+            {"kind": "suffix_poll", "suffix": epc & ((1 << 64) - 1), "suffix_bits": 64}
+        )
+        assert r is None
+
+
+class TestHashTag:
+    def test_index_matches_reader_computation(self):
+        word = 98765
+        tag = _hash_tag(word=word)
+        tag.on_message({"kind": "round_init", "h": 8, "seed": 77})
+        expected = int(hash_u64(np.array([word], dtype=np.uint64), 77)[0]) & 0xFF
+        assert tag._index == expected
+
+    def test_replies_only_to_own_index(self):
+        tag = _hash_tag()
+        tag.on_message({"kind": "round_init", "h": 6, "seed": 5})
+        own = tag._index
+        assert tag.on_message({"kind": "poll_index", "index": (own + 1) % 64}) is None
+        assert tag.on_message({"kind": "poll_index", "index": own}) is not None
+
+    def test_circle_membership(self):
+        word = 555
+        tag = _hash_tag(word=word)
+        draw = int(hash_mod(np.array([word], dtype=np.uint64), 9, 100)[0])
+        tag.on_message({"kind": "circle_cmd", "seed": 9, "f": draw, "F": 100})
+        assert tag.in_circle  # boundary inclusive
+        tag.on_message({"kind": "circle_cmd", "seed": 9, "f": draw - 1, "F": 100})
+        assert not tag.in_circle
+
+    def test_non_member_ignores_scoped_round(self):
+        tag = _hash_tag()
+        tag.in_circle = False
+        tag.on_message({"kind": "round_init", "h": 4, "seed": 1, "global_scope": False})
+        assert tag._index is None
+        assert tag.on_message({"kind": "poll_index", "index": 0}) is None
+
+    def test_global_scope_overrides_circle(self):
+        tag = _hash_tag()
+        tag.in_circle = False
+        tag.on_message({"kind": "round_init", "h": 4, "seed": 1, "global_scope": True})
+        assert tag._index is not None
+
+
+class TestTPPTag:
+    def test_register_update_paper_fig7(self):
+        """Replay Fig. 7 against a tag whose index is 011 (tag C)."""
+        tag = TPPTagMachine(0, 1, 2)
+        tag.on_message({"kind": "round_init", "h": 3, "seed": 0})
+        tag._index = 0b011  # force the paper's index for tag C
+        assert tag.on_message({"kind": "tpp_segment", "value": 0b000, "length": 3}) is None
+        assert tag.on_message({"kind": "tpp_segment", "value": 0b10, "length": 2}) is None
+        # Seq[3] = '1' completes 011 -> C replies
+        assert tag.on_message({"kind": "tpp_segment", "value": 0b1, "length": 1}) is not None
+
+    def test_full_length_segment_rewrites_register(self):
+        tag = TPPTagMachine(0, 1, 2)
+        tag.on_message({"kind": "round_init", "h": 4, "seed": 3})
+        tag._index = 0b1010
+        tag._a = 0b1111  # stale junk
+        assert tag.on_message(
+            {"kind": "tpp_segment", "value": 0b1010, "length": 4}
+        ) is not None
+
+    def test_round_init_resets_register(self):
+        tag = TPPTagMachine(0, 1, 2)
+        tag.on_message({"kind": "round_init", "h": 3, "seed": 0})
+        tag._a = 0b111
+        tag.on_message({"kind": "round_init", "h": 3, "seed": 1})
+        assert tag._a == 0
+
+    def test_invalid_segment_length(self):
+        tag = TPPTagMachine(0, 1, 2)
+        tag.on_message({"kind": "round_init", "h": 3, "seed": 0})
+        with pytest.raises(ValueError):
+            tag.on_message({"kind": "tpp_segment", "value": 0, "length": 4})
+
+
+class TestMICTag:
+    def test_claims_assigned_slot(self):
+        word, seed, f, k = 424242, 88, 64, 7
+        tag = MICTagMachine(0, word, 1, k=k)
+        # find this tag's hash-1 slot and build a vector marking it
+        slot = int(
+            hash_mod(np.array([word], dtype=np.uint64), derive_seed(seed, 1), f)[0]
+        )
+        vector = np.zeros(f, dtype=np.int64)
+        vector[slot] = 1
+        tag.on_message({"kind": "mic_frame", "seed": seed, "vector": vector})
+        assert tag._claimed_slot == slot
+        assert tag.on_message({"kind": "mic_slot", "slot": slot}) is not None
+
+    def test_no_claim_when_vector_empty(self):
+        tag = MICTagMachine(0, 7, 1, k=3)
+        vector = np.zeros(32, dtype=np.int64)
+        tag.on_message({"kind": "mic_frame", "seed": 1, "vector": vector})
+        assert tag._claimed_slot is None
+        assert tag.on_message({"kind": "mic_slot", "slot": 0}) is None
+
+    def test_wrong_pass_number_not_claimed(self):
+        word, seed, f = 424242, 88, 64
+        tag = MICTagMachine(0, word, 1, k=2)
+        slot = int(
+            hash_mod(np.array([word], dtype=np.uint64), derive_seed(seed, 1), f)[0]
+        )
+        vector = np.zeros(f, dtype=np.int64)
+        vector[slot] = 2  # marked for hash 2, but tag's hash-2 slot differs
+        slot2 = int(
+            hash_mod(np.array([word], dtype=np.uint64), derive_seed(seed, 2), f)[0]
+        )
+        if slot2 != slot:  # overwhelmingly likely
+            tag.on_message({"kind": "mic_frame", "seed": seed, "vector": vector})
+            assert tag._claimed_slot is None

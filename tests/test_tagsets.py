@@ -1,0 +1,118 @@
+"""Unit tests for tag populations."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tagsets import (
+    TagSet,
+    adversarial_tagset,
+    clustered_tagset,
+    sequential_tagset,
+    uniform_tagset,
+)
+
+
+class TestTagSet:
+    def test_epc_reconstruction(self):
+        ts = TagSet(np.array([0xABCD], dtype=np.uint64),
+                    np.array([0x1122334455667788], dtype=np.uint64))
+        assert ts.epc(0) == (0xABCD << 64) | 0x1122334455667788
+
+    def test_len_and_words(self, rng):
+        ts = uniform_tagset(100, rng)
+        assert len(ts) == ts.n == 100
+        assert ts.id_words.dtype == np.uint64
+        assert ts.id_words.shape == (100,)
+
+    def test_subset_preserves_identity(self, rng):
+        ts = uniform_tagset(20, rng)
+        sub = ts.subset(np.array([3, 7, 11]))
+        assert len(sub) == 3
+        assert sub.epc(1) == ts.epc(7)
+        assert sub.id_words[2] == ts.id_words[11]
+
+    def test_hi_bits_validated(self):
+        with pytest.raises(ValueError):
+            TagSet(np.array([1 << 33], dtype=np.uint64),
+                   np.array([0], dtype=np.uint64))
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            TagSet(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    def test_duplicate_detection(self):
+        ts = TagSet(np.zeros(2, dtype=np.uint64), np.array([5, 5], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            ts.assert_unique()
+
+
+class TestUniform:
+    def test_unique_ids(self, rng):
+        ts = uniform_tagset(5000, rng)
+        ts.assert_unique()
+
+    def test_ids_span_full_width(self, rng):
+        ts = uniform_tagset(2000, rng)
+        # with 2000 uniform 96-bit draws, both halves must vary
+        assert np.unique(ts.id_hi).size > 1900
+        assert np.unique(ts.id_lo).size == 2000
+
+    def test_zero_tags(self, rng):
+        assert len(uniform_tagset(0, rng)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_tagset(-1, rng)
+
+
+class TestClustered:
+    def test_category_count(self, rng):
+        ts = clustered_tagset(1000, rng, n_categories=4, category_bits=16)
+        prefixes = np.unique(ts.id_hi >> np.uint64(16))
+        assert 1 <= prefixes.size <= 4
+
+    def test_unique(self, rng):
+        clustered_tagset(2000, rng, n_categories=3).assert_unique()
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError):
+            clustered_tagset(10, rng, category_bits=0)
+        with pytest.raises(ValueError):
+            clustered_tagset(10, rng, n_categories=0)
+
+
+class TestSequential:
+    def test_consecutive(self):
+        ts = sequential_tagset(10, base=100)
+        assert [ts.epc(i) for i in range(10)] == list(range(100, 110))
+
+    def test_carry_into_high_word(self):
+        base = (5 << 64) | 0xFFFFFFFFFFFFFFFE
+        ts = sequential_tagset(4, base=base)
+        assert ts.epc(0) == base
+        assert ts.epc(2) == base + 2  # crosses the 64-bit boundary
+        assert int(ts.id_hi[2]) == 6
+
+    def test_maximal_shared_prefix(self):
+        ts = sequential_tagset(4, base=1 << 80)
+        # four consecutive serials differ only in the last 2 bits
+        assert ts.category_prefix_bits() >= 94
+
+
+class TestAdversarial:
+    def test_low_bits_fixed(self, rng):
+        ts = adversarial_tagset(500, rng)
+        low16 = ts.id_lo & np.uint64(0xFFFF)
+        assert np.unique(low16).size == 1
+
+    def test_unique(self, rng):
+        adversarial_tagset(500, rng).assert_unique()
+
+
+class TestCategoryPrefix:
+    def test_uniform_shares_little(self, rng):
+        ts = uniform_tagset(100, rng)
+        assert ts.category_prefix_bits() <= 10
+
+    def test_single_tag_full_prefix(self, rng):
+        assert uniform_tagset(1, rng).category_prefix_bits() == 96

@@ -1,0 +1,69 @@
+"""Unit tests for the C1G2 timing model."""
+
+import math
+
+import pytest
+
+from repro.phy.timing import C1G2Timing, PAPER_TIMING
+
+
+class TestPaperTiming:
+    def test_paper_constants(self):
+        assert PAPER_TIMING.t1_us == 100.0
+        assert PAPER_TIMING.t2_us == 50.0
+        assert PAPER_TIMING.reader_bit_us == 37.45
+        assert PAPER_TIMING.tag_bit_us == 25.0
+
+    def test_turnaround(self):
+        assert PAPER_TIMING.turnaround_us() == 150.0
+
+    def test_reader_tx(self):
+        # 96-bit ID: the paper's CPP payload duration
+        assert PAPER_TIMING.reader_tx_us(96) == pytest.approx(3595.2)
+
+    def test_tag_tx(self):
+        assert PAPER_TIMING.tag_tx_us(32) == pytest.approx(800.0)
+
+
+class TestFromRates:
+    def test_paper_rates_recovered(self):
+        t = C1G2Timing.from_rates(reader_kbps=26.7, tag_kbps=40.0)
+        assert t.reader_bit_us == pytest.approx(37.453, abs=1e-3)
+        assert t.tag_bit_us == pytest.approx(25.0)
+
+    def test_fast_rates(self):
+        t = C1G2Timing.from_rates(reader_kbps=128.0, tag_kbps=640.0)
+        assert t.reader_bit_us == pytest.approx(1e3 / 128)
+        assert t.tag_bit_us == pytest.approx(1e3 / 640)
+
+    @pytest.mark.parametrize("reader,tag", [(0, 40), (-1, 40), (26.7, 0)])
+    def test_invalid_rates(self, reader, tag):
+        with pytest.raises(ValueError):
+            C1G2Timing.from_rates(reader_kbps=reader, tag_kbps=tag)
+
+
+class TestValidation:
+    def test_negative_t1_rejected(self):
+        with pytest.raises(ValueError):
+            C1G2Timing(t1_us=-1.0)
+
+    def test_zero_bit_time_rejected(self):
+        with pytest.raises(ValueError):
+            C1G2Timing(reader_bit_us=0.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_TIMING.reader_tx_us(-1)
+        with pytest.raises(ValueError):
+            PAPER_TIMING.tag_tx_us(-1)
+
+    def test_with_replaces_fields(self):
+        t = PAPER_TIMING.with_(t1_us=200.0)
+        assert t.t1_us == 200.0
+        assert t.t2_us == PAPER_TIMING.t2_us
+        # original untouched (frozen)
+        assert PAPER_TIMING.t1_us == 100.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_TIMING.t1_us = 1.0  # type: ignore[misc]

@@ -1,0 +1,88 @@
+"""Unit + statistical tests for the Tree-based Polling Protocol (§IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.tpp_model import global_upper_bound
+from repro.core.hpp import HPP
+from repro.core.planner import CoveringPolicy
+from repro.core.polling_tree import PollingTree
+from repro.core.tpp import TPP
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestTPPPlan:
+    def test_everyone_polled_once(self, medium_tags, rng):
+        TPP().plan(medium_tags, rng).validate_complete()
+
+    def test_round_bits_equal_tree_nodes(self, medium_tags, rng):
+        plan = TPP().plan(medium_tags, rng)
+        for r in plan.rounds:
+            tree = PollingTree.from_indices(r.extra["singleton_indices"], r.extra["h"])
+            assert int(r.poll_vector_bits.sum()) == tree.n_nodes == r.extra["tree_nodes"]
+
+    def test_load_factor_band(self, medium_tags, rng):
+        plan = TPP().plan(medium_tags, rng)
+        for r in plan.rounds:
+            lam = r.extra["n_active"] / (1 << r.extra["h"])
+            assert math.log(2) <= lam < 2 * math.log(2)
+
+    def test_per_round_vector_under_bound(self, rng):
+        # eq. (16): per-poll average bits < 3.443 in EVERY round with
+        # enough singletons for the asymptotics to hold
+        tags = uniform_tagset(20_000, rng)
+        plan = TPP().plan(tags, rng)
+        bound = global_upper_bound()
+        for r in plan.rounds:
+            if r.n_polls >= 64:
+                assert r.poll_vector_bits.mean() < bound + 0.25
+
+    def test_headline_three_bits(self, rng):
+        # paper Fig. 10: levels off around 3.06 bits (incl. round inits)
+        vals = []
+        for run in range(10):
+            r = np.random.default_rng(run)
+            tags = uniform_tagset(10_000, r)
+            vals.append(TPP().plan(tags, r).avg_vector_bits)
+        assert np.mean(vals) == pytest.approx(3.1, abs=0.15)
+
+    def test_beats_hpp(self, rng):
+        tags = uniform_tagset(5000, rng)
+        tpp = TPP().plan(tags, np.random.default_rng(1)).avg_vector_bits
+        hpp = HPP().plan(tags, np.random.default_rng(1)).avg_vector_bits
+        assert tpp < hpp / 3
+
+    def test_stable_across_population_sizes(self, rng):
+        # the paper's headline: w̄ independent of n
+        w = []
+        for n in (2000, 8000, 32_000):
+            tags = uniform_tagset(n, np.random.default_rng(n))
+            w.append(TPP().plan(tags, np.random.default_rng(n)).avg_vector_bits)
+        assert max(w) - min(w) < 0.35
+
+    def test_segments_never_longer_than_h(self, medium_tags, rng):
+        plan = TPP().plan(medium_tags, rng)
+        for r in plan.rounds:
+            if r.n_polls:
+                assert r.poll_vector_bits.max() <= r.extra["h"]
+                assert r.poll_vector_bits[0] == r.extra["h"]  # first leaf: full path
+
+    def test_single_tag(self, rng):
+        plan = TPP().plan(uniform_tagset(1, rng), rng)
+        plan.validate_complete()
+
+    def test_empty_population(self, rng):
+        assert TPP().plan(uniform_tagset(0, rng), rng).n_rounds == 0
+
+
+class TestPolicyAblation:
+    def test_covering_policy_is_worse(self, rng):
+        """The eq.-15 index length beats HPP's covering length for TPP."""
+        tags = uniform_tagset(8000, rng)
+        opt = TPP().plan(tags, np.random.default_rng(3)).avg_vector_bits
+        cov = TPP(policy=CoveringPolicy()).plan(
+            tags, np.random.default_rng(3)
+        ).avg_vector_bits
+        assert opt < cov

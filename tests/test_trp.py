@@ -1,0 +1,112 @@
+"""Tests for the TRP probabilistic missing-tag detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trp import (
+    simulate_trp,
+    trp_required_rounds,
+    trp_singleton_probability,
+)
+from repro.workloads.tagsets import uniform_tagset
+
+
+@pytest.fixture
+def tags():
+    return uniform_tagset(1000, np.random.default_rng(1))
+
+
+class TestAnalysis:
+    def test_singleton_probability_limits(self):
+        assert trp_singleton_probability(1, 100) == 1.0
+        p = trp_singleton_probability(1000, 1000)
+        assert p == pytest.approx(np.exp(-1), abs=0.01)
+
+    def test_required_rounds_grow_with_alpha(self):
+        r90 = trp_required_rounds(1000, 1000, 0.90)
+        r99 = trp_required_rounds(1000, 1000, 0.99)
+        r999 = trp_required_rounds(1000, 1000, 0.999)
+        assert r90 < r99 < r999
+
+    def test_required_rounds_formula(self):
+        # p1 = e^-1-ish; k rounds give 1-(1-p1)^k >= alpha
+        n = f = 1000
+        p1 = trp_singleton_probability(n, f)
+        k = trp_required_rounds(n, f, 0.99)
+        assert 1 - (1 - p1) ** k >= 0.99
+        assert 1 - (1 - p1) ** (k - 1) < 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trp_required_rounds(10, 10, 1.0)
+        with pytest.raises(ValueError):
+            trp_singleton_probability(0, 10)
+
+
+class TestSimulation:
+    def test_no_missing_no_detection(self, tags):
+        rng = np.random.default_rng(2)
+        result = simulate_trp(tags, np.arange(1000), rng, alpha=0.99)
+        assert not result.detected
+        assert result.n_missing == 0
+        assert result.rounds_run == trp_required_rounds(1000, 1000, 0.99)
+
+    def test_detects_single_missing_within_budget(self, tags):
+        hits = 0
+        trials = 30
+        for trial in range(trials):
+            rng = np.random.default_rng(100 + trial)
+            present = np.delete(np.arange(1000), 123)
+            result = simulate_trp(tags, present, rng, alpha=0.99)
+            hits += result.detected
+        # alpha = 0.99: expect ~29.7/30; allow slack
+        assert hits >= trials - 2
+
+    def test_many_missing_detected_fast(self, tags):
+        rng = np.random.default_rng(3)
+        present = np.arange(1000)[50:]  # 50 missing
+        result = simulate_trp(tags, present, rng, alpha=0.99)
+        assert result.detected
+        assert result.first_detection_round == 0  # 50 chances in round 1
+
+    def test_detection_vs_identification_tradeoff(self, tags):
+        """The paper's positioning: TRP detects an event, polling names
+        every missing tag.
+
+        With many tags missing TRP fires in its first frame, which is
+        cheaper than a full identification sweep; with few missing tags
+        it may need several full frames and TPP's complete sweep can
+        actually be *cheaper* — polling vectors are that short.
+        """
+        from repro.apps.missing_tag import detect_missing_tags
+        from repro.core.tpp import TPP
+        from repro.workloads.scenarios import Scenario
+
+        present = np.arange(1000)[50:]  # 50 missing: detection is instant
+        rng = np.random.default_rng(4)
+        trp = simulate_trp(tags, present, rng, alpha=0.99)
+        scenario = Scenario(name="x", tags=tags, info_bits=1, present=present)
+        polled = detect_missing_tags(TPP(), scenario, seed=5)
+        assert trp.detected and trp.first_detection_round == 0
+        assert trp.wire_time_us < polled.time_us  # one frame < full sweep
+        assert polled.exact  # ...but only polling names the missing tags
+        assert trp.n_missing == len(polled.detected_missing) == 50
+
+    def test_stop_on_detection_false_runs_budget(self, tags):
+        rng = np.random.default_rng(6)
+        present = np.arange(1000)[10:]
+        result = simulate_trp(tags, present, rng, alpha=0.9,
+                              stop_on_detection=False)
+        assert result.rounds_run == trp_required_rounds(1000, 1000, 0.9)
+        assert result.detected
+
+    def test_time_accounting_positive(self, tags):
+        rng = np.random.default_rng(7)
+        result = simulate_trp(tags, np.arange(1000), rng, max_rounds=2)
+        assert result.wire_time_us > 0
+        assert result.time_s == pytest.approx(result.wire_time_us / 1e6)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trp(uniform_tagset(0, np.random.default_rng(0)),
+                         np.array([]), np.random.default_rng(0))
