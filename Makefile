@@ -9,7 +9,7 @@ test:
 	pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_engine.json
 
 experiments:
 	python -m repro.experiments

@@ -62,3 +62,26 @@ def test_des_execution_throughput(benchmark):
         lambda: simulate(TPP(), tags, info_bits=1, seed=1, keep_trace=False)
     )
     assert result.all_read
+
+
+SWEEP_GRID = (500, 1_000, 2_000, 4_000)
+
+
+def test_sweep_engine_serial(benchmark):
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(jobs=1, cache=None)
+    series = benchmark(
+        lambda: runner.sweep(HPP(), SWEEP_GRID, n_runs=3, seed=0)
+    )
+    assert len(series.y) == len(SWEEP_GRID)
+
+
+def test_sweep_engine_parallel_4(benchmark):
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(jobs=4, cache=None)
+    series = benchmark(
+        lambda: runner.sweep(HPP(), SWEEP_GRID, n_runs=3, seed=0)
+    )
+    assert len(series.y) == len(SWEEP_GRID)

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiments", help="regenerate paper artifacts")
     exp_p.add_argument("names", nargs="*")
     exp_p.add_argument("--quick", action="store_true")
+    exp_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for Monte-Carlo sweeps")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="disable the per-cell sweep result cache")
+    exp_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist the sweep cache to DIR")
     return parser
 
 
@@ -148,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
         forwarded = list(args.names)
         if args.quick:
             forwarded.append("--quick")
+        if args.jobs != 1:
+            forwarded.extend(["--jobs", str(args.jobs)])
+        if args.no_cache:
+            forwarded.append("--no-cache")
+        if args.cache_dir:
+            forwarded.extend(["--cache-dir", args.cache_dir])
         return exp_main(forwarded)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -106,7 +106,7 @@ class EHPP(PollingProtocol):
                         rng,
                         self.policy,
                         self.commands.round_init,
-                        label_prefix=f"ehpp-tail",
+                        label_prefix="ehpp-tail",
                     )
                 )
                 break

@@ -16,6 +16,13 @@ from repro.experiments.ablations import (
 from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.extensions import ext_energy, ext_lossy_channel, ext_multi_reader
 from repro.experiments.figures import fig1, fig3, fig4, fig5, fig8, fig9, fig10
+from repro.experiments.runner import (
+    ResultCache,
+    SweepRunner,
+    configure_default_runner,
+    get_default_runner,
+    set_default_runner,
+)
 from repro.experiments.tables import (
     TableResult,
     execution_time_table,
@@ -26,8 +33,13 @@ from repro.experiments.tables import (
 
 __all__ = [
     "ExperimentResult",
+    "ResultCache",
     "Series",
+    "SweepRunner",
     "TableResult",
+    "configure_default_runner",
+    "get_default_runner",
+    "set_default_runner",
     "fig1",
     "fig3",
     "fig4",

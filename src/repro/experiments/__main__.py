@@ -2,9 +2,16 @@
 
 Usage::
 
-    python -m repro.experiments                # everything, full scale
-    python -m repro.experiments fig10 table1   # a subset
-    python -m repro.experiments --quick        # reduced runs (CI-sized)
+    python -m repro.experiments                 # everything, full scale
+    python -m repro.experiments fig10 table1    # a subset
+    python -m repro.experiments --quick         # reduced runs (CI-sized)
+    python -m repro.experiments --jobs 4        # 4 sweep worker processes
+    python -m repro.experiments --no-cache      # recompute every cell
+    python -m repro.experiments --cache-dir X   # persist cells across runs
+
+Sweeps run through :mod:`repro.experiments.runner`: results are
+bit-identical for any ``--jobs`` value, and cached per trial cell so
+re-rendering a figure or table skips already-computed work.
 """
 
 from __future__ import annotations
@@ -67,7 +74,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced run counts (10 instead of 100)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="additionally write a combined markdown report")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for Monte-Carlo sweeps "
+                             "(default 1; results are identical for any N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-cell sweep result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist the sweep cache to DIR (JSON lines), "
+                             "so later runs skip already-computed cells")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+
+    from repro.experiments.runner import configure_default_runner
+
+    runner = configure_default_runner(
+        jobs=args.jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
+    )
 
     names = args.names or list(_EXPERIMENTS)
     unknown = [n for n in names if n not in _EXPERIMENTS]
@@ -83,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         print(f"# wall time: {dt:.1f}s")
         print()
+    if runner.cache is not None and (runner.cache.hits or runner.cache.misses):
+        print(f"# sweep cache: {runner.cache.hits} hits, "
+              f"{runner.cache.misses} misses"
+              + (f" (persisted to {runner.cache.path})"
+                 if runner.cache.path else ""))
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 

@@ -16,6 +16,7 @@ decision matters:
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -39,12 +40,23 @@ __all__ = [
 
 def _mean_vector_bits(protocol, n: int, n_runs: int, seed: int,
                       tagset_factory=uniform_tagset) -> float:
-    acc = 0.0
-    for run in range(n_runs):
-        rng = np.random.default_rng((seed, n, run))
-        tags = tagset_factory(n, rng)
-        acc += protocol.plan(tags, rng).avg_vector_bits
-    return acc / n_runs
+    from repro.experiments.runner import get_default_runner
+
+    means = get_default_runner().sweep_values(
+        protocol, [n], n_runs=n_runs, seed=seed,
+        metric="avg_vector_bits", tagset_factory=tagset_factory,
+    )
+    return float(means[0, 0])
+
+
+def _mic_time_and_waste(protocol, tags, seed_seq, budget, info_bits):
+    """Trial metric for the MIC ablation: [time (s), wasted-slot frac]."""
+    plan = protocol.plan(tags, np.random.default_rng(seed_seq))
+    total_slots = sum(r.extra["frame_size"] for r in plan.rounds)
+    return [
+        budget.plan_us(plan, info_bits) / 1e6,
+        plan.wasted_slots / total_slots,
+    ]
 
 
 def ablate_tpp_index_policy(
@@ -94,20 +106,19 @@ def ablate_mic_hash_count(
     ks: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
 ) -> ExperimentResult:
     """MIC execution time and slot waste as k grows."""
+    from repro.experiments.runner import get_default_runner
+
     budget = LinkBudget()
+    runner = get_default_runner()
     xs = [float(k) for k in ks]
     times, waste = [], []
     for k in ks:
-        t_acc = w_acc = 0.0
-        for run in range(n_runs):
-            rng = np.random.default_rng((seed, k, run))
-            tags = uniform_tagset(n, rng)
-            plan = MIC(k=k).plan(tags, rng)
-            t_acc += budget.plan_us(plan, info_bits) / 1e6
-            total_slots = sum(r.extra["frame_size"] for r in plan.rounds)
-            w_acc += plan.wasted_slots / total_slots
-        times.append(t_acc / n_runs)
-        waste.append(w_acc / n_runs)
+        means = runner.sweep_values(
+            MIC(k=k), [n], n_runs=n_runs, seed=seed,
+            metric=_mic_time_and_waste, info_bits=info_bits, budget=budget,
+        )
+        times.append(float(means[0, 0]))
+        waste.append(float(means[0, 1]))
     return ExperimentResult(
         name="ablate_mic_k",
         title=f"MIC vs hash count k (n={n}, {info_bits}-bit)",
@@ -131,8 +142,10 @@ def ablate_ecpp_clustering(
                 n,
                 n_runs,
                 seed,
-                tagset_factory=lambda m, rng, c=cats: clustered_tagset(
-                    m, rng, n_categories=c
+                # partial (not a lambda) keeps the factory picklable for
+                # the process pool and stable in the cache key
+                tagset_factory=functools.partial(
+                    clustered_tagset, n_categories=cats
                 ),
             )
         )

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.base import PollingProtocol
 from repro.phy.link import LinkBudget
 from repro.workloads.tagsets import TagSet, uniform_tagset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepRunner
 
 __all__ = ["Series", "ExperimentResult", "sweep_protocol", "render_table"]
 
@@ -42,14 +45,29 @@ class ExperimentResult:
         raise KeyError(f"no series {label!r} in {self.name}")
 
     def render(self, y_fmt: str = "{:10.3f}") -> str:
-        """Plain-text rendering: one column per series over a shared x."""
-        xs = self.series[0].x
+        """Plain-text rendering: one column per series, rows aligned by x.
+
+        Series may sit on different x grids: each row is keyed by the x
+        value itself (the sorted union of all grids), and a series with
+        no sample at that x renders ``-``.  The old renderer indexed
+        every series by ``series[0].x``'s positions, silently misaligning
+        series whose grids differed.
+        """
+        grids = []
+        for s in self.series:
+            if len(s.x) != len(s.y):
+                raise ValueError(
+                    f"series {s.label!r} has {len(s.x)} x values "
+                    f"but {len(s.y)} y values"
+                )
+            grids.append({float(x): y for x, y in zip(s.x, s.y)})
+        xs = sorted({x for grid in grids for x in grid})
         header = ["x"] + [s.label for s in self.series]
         lines = [f"== {self.name}: {self.title} ==", "\t".join(header)]
-        for i, x in enumerate(xs):
+        for x in xs:
             row = [f"{x:g}"]
-            for s in self.series:
-                row.append(y_fmt.format(s.y[i]) if i < len(s.y) else "-")
+            for grid in grids:
+                row.append(y_fmt.format(grid[x]) if x in grid else "-")
             lines.append("\t".join(row))
         for key, value in self.notes.items():
             lines.append(f"# {key}: {value}")
@@ -57,7 +75,7 @@ class ExperimentResult:
 
 
 def sweep_protocol(
-    protocol_factory: Callable[[], PollingProtocol],
+    protocol_factory: Callable[[], PollingProtocol] | PollingProtocol,
     n_values: Sequence[int],
     n_runs: int = 20,
     seed: int = 0,
@@ -65,27 +83,32 @@ def sweep_protocol(
     info_bits: int = 1,
     budget: LinkBudget | None = None,
     tagset_factory: Callable[[int, np.random.Generator], TagSet] = uniform_tagset,
+    runner: "SweepRunner | None" = None,
 ) -> Series:
     """Average a plan metric over ``n_runs`` fresh populations per n.
 
     ``metric`` is either an :class:`InterrogationPlan` attribute name or
-    ``"time_us"`` (costed through the budget).
+    ``"time_us"`` (costed through the budget).  Execution is delegated to
+    the :mod:`repro.experiments.runner` engine: each ``(n, run)`` cell
+    draws its tag population and its plan seeds from *independent*
+    ``SeedSequence`` children (the old implementation fed one shared
+    generator to both, correlating plan randomness with the tagset
+    draw), results are cached per cell, and ``runner.jobs`` worker
+    processes shard the grid with bit-identical output.
     """
-    budget = budget if budget is not None else LinkBudget()
-    protocol = protocol_factory()
-    ys: list[float] = []
-    for n in n_values:
-        acc = 0.0
-        for run in range(n_runs):
-            rng = np.random.default_rng((seed, n, run))
-            tags = tagset_factory(n, rng)
-            plan = protocol.plan(tags, rng)
-            if metric == "time_us":
-                acc += budget.plan_us(plan, info_bits)
-            else:
-                acc += float(getattr(plan, metric))
-        ys.append(acc / n_runs)
-    return Series(label=protocol.name, x=list(map(float, n_values)), y=ys)
+    from repro.experiments.runner import get_default_runner
+
+    runner = runner if runner is not None else get_default_runner()
+    return runner.sweep(
+        protocol_factory,
+        n_values,
+        n_runs=n_runs,
+        seed=seed,
+        metric=metric,
+        info_bits=info_bits,
+        budget=budget,
+        tagset_factory=tagset_factory,
+    )
 
 
 def render_table(

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -24,11 +25,37 @@ from repro.core.ehpp import EHPP
 from repro.core.hpp import HPP
 from repro.core.tpp import TPP
 from repro.experiments.common import ExperimentResult, Series
-from repro.phy.channel import BitErrorChannel
-from repro.sim.executor import simulate
+from repro.phy.channel import BitErrorChannel, IdealChannel
+from repro.sim.executor import execute_plan
 from repro.workloads.tagsets import uniform_tagset
 
 __all__ = ["ext_lossy_channel", "ext_energy", "ext_multi_reader"]
+
+
+def _lossy_trial(protocol, tags, seed_seq, budget, info_bits, ber=0.0):
+    """Trial metric: DES run under bit errors → [time (s), retries].
+
+    The plan and the channel draw from independent seed streams, and
+    the trace is never kept — sweep-driven DES runs only need the
+    counters.
+    """
+    plan_ss, channel_ss = seed_seq.spawn(2)
+    plan = protocol.plan(tags, np.random.default_rng(plan_ss))
+    channel = BitErrorChannel(ber) if ber else IdealChannel()
+    res = execute_plan(
+        plan, tags, info_bits=info_bits, budget=budget, channel=channel,
+        rng=np.random.default_rng(channel_ss), keep_trace=False,
+    )
+    if not res.all_read:  # pragma: no cover - invariant
+        raise RuntimeError("lossy run failed to read all tags")
+    return [res.time_us / 1e6, float(res.n_retries)]
+
+
+def _energy_trial(protocol, tags, seed_seq, budget, info_bits):
+    """Trial metric: [reader_mj, tag_listen_mj, tag_tx_mj] of one plan."""
+    plan = protocol.plan(tags, np.random.default_rng(seed_seq))
+    rep = plan_energy(plan, info_bits)
+    return [rep.reader_mj, rep.tag_listen_mj, rep.tag_tx_mj]
 
 
 def ext_lossy_channel(
@@ -39,25 +66,21 @@ def ext_lossy_channel(
     seed: int = 0,
 ) -> ExperimentResult:
     """DES execution under bit errors: time (s) and retries per protocol."""
+    from repro.experiments.runner import get_default_runner
+
+    runner = get_default_runner()
     protos = [CPP(), HPP(), EHPP(), TPP()]
     time_series = {p.name: [] for p in protos}
     retry_series = {p.name: [] for p in protos}
     for ber in bers:
         for proto in protos:
-            t_acc = r_acc = 0.0
-            for run in range(n_runs):
-                rng = np.random.default_rng((seed, run))
-                tags = uniform_tagset(n, rng)
-                channel = BitErrorChannel(ber) if ber else None
-                res = simulate(proto, tags, info_bits=info_bits,
-                               seed=seed + run, channel=channel,
-                               keep_trace=False)
-                if not res.all_read:  # pragma: no cover - invariant
-                    raise RuntimeError("lossy run failed to read all tags")
-                t_acc += res.time_us / 1e6
-                r_acc += res.n_retries
-            time_series[proto.name].append(t_acc / n_runs)
-            retry_series[proto.name].append(r_acc / n_runs)
+            means = runner.sweep_values(
+                proto, [n], n_runs=n_runs, seed=seed,
+                metric=functools.partial(_lossy_trial, ber=ber),
+                info_bits=info_bits,
+            )
+            time_series[proto.name].append(float(means[0, 0]))
+            retry_series[proto.name].append(float(means[0, 1]))
     xs = list(map(float, bers))
     series = [Series(f"{name}_time_s", xs, ys) for name, ys in time_series.items()]
     series += [Series(f"{name}_retries", xs, ys) for name, ys in retry_series.items()]
@@ -76,21 +99,20 @@ def ext_energy(
     seed: int = 0,
 ) -> ExperimentResult:
     """Per-protocol energy: reader TX, tag listening, tag TX (mJ)."""
+    from repro.experiments.runner import get_default_runner
+
+    runner = get_default_runner()
     protos = [CPP(), HPP(), EHPP(), MIC(), TPP()]
     labels = [p.name for p in protos]
     reader, listen, tag_tx = [], [], []
     for proto in protos:
-        r = li = tx = 0.0
-        for run in range(n_runs):
-            rng = np.random.default_rng((seed, run))
-            tags = uniform_tagset(n, rng)
-            rep = plan_energy(proto.plan(tags, rng), info_bits)
-            r += rep.reader_mj
-            li += rep.tag_listen_mj
-            tx += rep.tag_tx_mj
-        reader.append(r / n_runs)
-        listen.append(li / n_runs)
-        tag_tx.append(tx / n_runs)
+        means = runner.sweep_values(
+            proto, [n], n_runs=n_runs, seed=seed,
+            metric=_energy_trial, info_bits=info_bits,
+        )
+        reader.append(float(means[0, 0]))
+        listen.append(float(means[0, 1]))
+        tag_tx.append(float(means[0, 2]))
     xs = list(range(len(labels)))
     return ExperimentResult(
         name="ext_energy",

@@ -9,9 +9,12 @@ stays fast, and EXPERIMENTS.md records a full-scale run.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepRunner
 
 from repro.analysis import ehpp_model, exec_time, hpp_model, tpp_model
 from repro.core.ehpp import EHPP
@@ -139,17 +142,23 @@ def fig10(
     n_values: Sequence[int] = _DEFAULT_NS,
     n_runs: int = 100,
     seed: int = 0,
+    runner: "SweepRunner | None" = None,
 ) -> ExperimentResult:
     """Fig. 10: *simulated* average vector length of HPP / EHPP / TPP.
 
     Paper setting: EHPP circle command 128 bits, per-round initiation
-    32 bits, 100 runs per point.
+    32 bits, 100 runs per point.  Trials run through the parallel,
+    cached sweep engine (``runner``; the CLI-configured default when
+    ``None``).
     """
     commands = CommandSizes(round_init=32, circle_command=128)
     series = [
-        sweep_protocol(lambda: HPP(commands=commands), n_values, n_runs, seed),
-        sweep_protocol(lambda: EHPP(commands=commands), n_values, n_runs, seed),
-        sweep_protocol(lambda: TPP(commands=commands), n_values, n_runs, seed),
+        sweep_protocol(HPP(commands=commands), n_values, n_runs, seed,
+                       runner=runner),
+        sweep_protocol(EHPP(commands=commands), n_values, n_runs, seed,
+                       runner=runner),
+        sweep_protocol(TPP(commands=commands), n_values, n_runs, seed,
+                       runner=runner),
     ]
     return ExperimentResult(
         name="fig10",

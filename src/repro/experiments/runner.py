@@ -1,0 +1,420 @@
+"""Parallel, cached Monte-Carlo sweep engine.
+
+Every figure and table averages a per-trial metric over a grid of
+``(n, run)`` cells.  This module is the single execution engine for
+those sweeps:
+
+- **Seed-stable sharding.** Each cell derives its randomness from
+  ``np.random.SeedSequence((seed, n, run)).spawn(2)`` — one child for
+  the tagset draw, one for the protocol's plan seeds.  Because the
+  derivation depends only on the cell coordinates, serial and parallel
+  execution produce *bit-identical* averages, and the tagset draw can
+  never bleed entropy into (or steal entropy from) the plan — the
+  correlated-RNG bug the old shared-generator sweep had.
+- **Parallelism.** Cells are sharded round-robin across a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers).  The
+  parent reassembles values by cell index and reduces them in a fixed
+  order, so the result is independent of worker scheduling.  Anything
+  unpicklable silently falls back to in-process execution.
+- **Caching.** Finished cells are memoised under a structural key
+  ``(protocol description, n, run, metric, info bits, link profile,
+  tagset factory, seed)`` — in memory always, and on disk
+  (JSON-lines) when a cache directory is configured — so re-rendering
+  a figure or table skips every already-computed cell.
+
+The engine is metric-agnostic: a metric is either the name of an
+:class:`~repro.core.base.InterrogationPlan` attribute, the string
+``"time_us"`` (costed through the :class:`~repro.phy.link.LinkBudget`),
+or a picklable callable ``metric(protocol, tags, seed_seq, budget,
+info_bits) -> float | list[float]`` for trials that need more than a
+plan (DES execution, energy models, ...).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import pickle
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import PollingProtocol
+from repro.phy.link import LinkBudget
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+__all__ = [
+    "Metric",
+    "ResultCache",
+    "SweepRunner",
+    "cell_seed_children",
+    "describe",
+    "evaluate_cell",
+    "get_default_runner",
+    "set_default_runner",
+    "configure_default_runner",
+]
+
+Metric = str | Callable[..., Any]
+
+#: streams spawned per cell: child 0 draws the tagset, child 1 feeds the
+#: protocol's plan (callable metrics may spawn further streams from it).
+_CELL_STREAMS = 2
+
+
+# ----------------------------------------------------------------------
+# structural descriptions (cache keys)
+# ----------------------------------------------------------------------
+def describe(obj: Any) -> str:
+    """A stable, structure-revealing description of ``obj``.
+
+    Used to build cache keys, so it must be deterministic across
+    processes and runs: frozen dataclasses use their field values,
+    protocols use their configuration, functions their qualified name.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return repr(obj)
+    if isinstance(obj, PollingProtocol):
+        parts = []
+        for attr in sorted(vars(obj)):
+            # prefer the public property over a lazily-filled private
+            # slot (EHPP resolves `_subset_size` on first access, and the
+            # key must not depend on whether that happened yet)
+            value = getattr(obj, attr.lstrip("_"), vars(obj)[attr])
+            parts.append(f"{attr.lstrip('_')}={describe(value)}")
+        return f"{type(obj).__name__}({', '.join(parts)})"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        inner = ", ".join(
+            f"{f.name}={describe(getattr(obj, f.name))}" for f in fields(obj)
+        )
+        return f"{type(obj).__name__}({inner})"
+    if isinstance(obj, functools.partial):
+        kw = ", ".join(f"{k}={describe(v)}" for k, v in sorted(obj.keywords.items()))
+        args = ", ".join(describe(a) for a in obj.args)
+        inner = ", ".join(x for x in (args, kw) if x)
+        return f"partial({describe(obj.func)}, {inner})"
+    if callable(obj):
+        return getattr(obj, "__qualname__", repr(obj))
+    if isinstance(obj, (tuple, list)):
+        return "[" + ", ".join(describe(v) for v in obj) + "]"
+    return repr(obj)
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+def cell_seed_children(
+    seed: int, n: int, run: int, streams: int = _CELL_STREAMS
+) -> list[np.random.SeedSequence]:
+    """Independent seed streams for one ``(n, run)`` trial cell.
+
+    Child 0 draws the tag population, child 1 drives the protocol plan;
+    the split guarantees plan randomness is statistically independent of
+    the tagset draw while staying a pure function of the coordinates.
+    """
+    root = np.random.SeedSequence((int(seed), int(n), int(run)))
+    return root.spawn(streams)
+
+
+#: process-local memo of drawn populations.  The tag child depends only
+#: on ``(seed, n, run)`` — never the protocol — so sweeping six protocols
+#: over one grid redraws nothing.  TagSet is frozen, so sharing is safe.
+_tagset_memo: OrderedDict[tuple, TagSet] = OrderedDict()
+_TAGSET_MEMO_MAX_TAGS = 2_000_000
+
+
+def _memoised_tagset(
+    seed: int,
+    n: int,
+    run: int,
+    tag_child: np.random.SeedSequence,
+    tagset_factory: Callable[[int, np.random.Generator], TagSet],
+) -> TagSet:
+    key = (int(seed), int(n), int(run), describe(tagset_factory))
+    tags = _tagset_memo.get(key)
+    if tags is not None:
+        _tagset_memo.move_to_end(key)
+        return tags
+    tags = tagset_factory(int(n), np.random.default_rng(tag_child))
+    _tagset_memo[key] = tags
+    total = sum(len(t) for t in _tagset_memo.values())
+    while len(_tagset_memo) > 1 and total > _TAGSET_MEMO_MAX_TAGS:
+        _, evicted = _tagset_memo.popitem(last=False)
+        total -= len(evicted)
+    return tags
+
+
+def evaluate_cell(
+    protocol: PollingProtocol,
+    n: int,
+    run: int,
+    seed: int,
+    metric: Metric,
+    info_bits: int,
+    budget: LinkBudget,
+    tagset_factory: Callable[[int, np.random.Generator], TagSet],
+) -> float | list[float]:
+    """Compute one trial cell's metric value (pure function of inputs)."""
+    tag_child, plan_child = cell_seed_children(seed, n, run)
+    tags = _memoised_tagset(seed, n, run, tag_child, tagset_factory)
+    if callable(metric):
+        return metric(protocol, tags, plan_child, budget, info_bits)
+    plan = protocol.plan(tags, np.random.default_rng(plan_child))
+    if metric == "time_us":
+        return float(budget.plan_us(plan, info_bits))
+    return float(getattr(plan, metric))
+
+
+def _evaluate_chunk(args: tuple) -> list[float | list[float]]:
+    """Worker entry point: evaluate a batch of cells, preserving order."""
+    protocol, cells, seed, metric, info_bits, budget, tagset_factory = args
+    return [
+        evaluate_cell(protocol, n, run, seed, metric, info_bits, budget,
+                      tagset_factory)
+        for n, run in cells
+    ]
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Memoises per-cell metric values, optionally persisted to disk.
+
+    The in-memory map always participates; when ``directory`` is given,
+    entries are appended to ``cells.jsonl`` inside it and reloaded on
+    construction, so a re-render in a fresh process skips every cell it
+    has seen before.  Only the parent process writes — workers return
+    values and the runner stores them — so no cross-process locking is
+    needed.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, float | list[float]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load_disk()
+
+    @property
+    def path(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / "cells.jsonl"
+
+    def _load_disk(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    self._memory[entry["key"]] = entry["value"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # a torn write never poisons the cache
+
+    def get(self, key: str) -> float | list[float] | None:
+        value = self._memory.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: float | list[float]) -> None:
+        self._memory[key] = value
+        if self.path is not None:
+            with self.path.open("a") as fh:
+                fh.write(json.dumps({"key": key, "value": value}) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+@dataclass
+class SweepRunner:
+    """Executes Monte-Carlo sweeps: sharded across processes, cached.
+
+    Attributes:
+        jobs: worker processes; 1 executes in-process (no pool).
+        cache: the cell cache, or ``None`` to recompute everything.
+    """
+
+    jobs: int = 1
+    cache: ResultCache | None = field(default_factory=ResultCache)
+
+    # ------------------------------------------------------------------
+    def _cell_key(
+        self,
+        protocol_desc: str,
+        n: int,
+        run: int,
+        seed: int,
+        metric: Metric,
+        info_bits: int,
+        budget: LinkBudget,
+        tagset_factory: Callable,
+    ) -> str:
+        return "|".join([
+            protocol_desc,
+            f"n={int(n)}",
+            f"run={int(run)}",
+            f"seed={int(seed)}",
+            f"metric={describe(metric)}",
+            f"info_bits={int(info_bits)}",
+            f"budget={describe(budget)}",
+            f"tagset={describe(tagset_factory)}",
+        ])
+
+    def _compute(
+        self,
+        protocol: PollingProtocol,
+        cells: Sequence[tuple[int, int]],
+        seed: int,
+        metric: Metric,
+        info_bits: int,
+        budget: LinkBudget,
+        tagset_factory: Callable,
+    ) -> list[float | list[float]]:
+        """Evaluate ``cells`` in order, using the process pool if asked."""
+        if not cells:
+            return []
+        payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
+        use_pool = self.jobs > 1 and len(cells) > 1
+        if use_pool:
+            try:  # unpicklable configurations degrade to in-process
+                pickle.dumps(payload)
+            except Exception:
+                use_pool = False
+        if not use_pool:
+            return _evaluate_chunk((protocol, list(cells), seed, metric,
+                                    info_bits, budget, tagset_factory))
+        n_workers = min(self.jobs, len(cells))
+        # round-robin sharding balances small and large n across workers
+        shards = [list(cells[w::n_workers]) for w in range(n_workers)]
+        args = [(protocol, shard, seed, metric, info_bits, budget,
+                 tagset_factory) for shard in shards]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            shard_values = list(pool.map(_evaluate_chunk, args))
+        # reassemble by original cell index (inverse of the round-robin)
+        values: list[Any] = [None] * len(cells)
+        for w, chunk in enumerate(shard_values):
+            for j, value in enumerate(chunk):
+                values[w + j * n_workers] = value
+        return values
+
+    # ------------------------------------------------------------------
+    def sweep_values(
+        self,
+        protocol: PollingProtocol,
+        n_values: Sequence[int],
+        n_runs: int = 20,
+        seed: int = 0,
+        metric: Metric = "avg_vector_bits",
+        info_bits: int = 1,
+        budget: LinkBudget | None = None,
+        tagset_factory: Callable[[int, np.random.Generator], TagSet] = uniform_tagset,
+    ) -> np.ndarray:
+        """Per-``n`` trial means, shape ``(len(n_values), n_components)``.
+
+        Scalar metrics yield one component; callable metrics returning a
+        list yield one column per element.  The reduction always sums in
+        ``run`` order, so the output is bit-identical for any ``jobs``.
+        """
+        budget = budget if budget is not None else LinkBudget()
+        proto_desc = describe(protocol)
+        grid = [(int(n), run) for n in n_values for run in range(n_runs)]
+        keys = [
+            self._cell_key(proto_desc, n, run, seed, metric, info_bits,
+                           budget, tagset_factory)
+            for n, run in grid
+        ]
+        values: list[float | list[float] | None]
+        if self.cache is not None:
+            values = [self.cache.get(key) for key in keys]
+        else:
+            values = [None] * len(grid)
+        missing = [i for i, v in enumerate(values) if v is None]
+        computed = self._compute(
+            protocol, [grid[i] for i in missing], seed, metric, info_bits,
+            budget, tagset_factory,
+        )
+        for i, value in zip(missing, computed):
+            values[i] = value
+            if self.cache is not None:
+                self.cache.put(keys[i], value)
+        table = np.asarray(
+            [np.atleast_1d(np.asarray(v, dtype=float)) for v in values]
+        ).reshape(len(n_values), n_runs, -1)
+        return table.sum(axis=1) / n_runs
+
+    def sweep(
+        self,
+        protocol_or_factory: PollingProtocol | Callable[[], PollingProtocol],
+        n_values: Sequence[int],
+        n_runs: int = 20,
+        seed: int = 0,
+        metric: Metric = "avg_vector_bits",
+        info_bits: int = 1,
+        budget: LinkBudget | None = None,
+        tagset_factory: Callable[[int, np.random.Generator], TagSet] = uniform_tagset,
+    ):
+        """Average a scalar metric over the grid; returns a ``Series``."""
+        from repro.experiments.common import Series
+
+        protocol = (
+            protocol_or_factory
+            if isinstance(protocol_or_factory, PollingProtocol)
+            else protocol_or_factory()
+        )
+        means = self.sweep_values(
+            protocol, n_values, n_runs=n_runs, seed=seed, metric=metric,
+            info_bits=info_bits, budget=budget, tagset_factory=tagset_factory,
+        )
+        return Series(
+            label=protocol.name,
+            x=list(map(float, n_values)),
+            y=[float(v) for v in means[:, 0]],
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide default (configured by the experiments CLI)
+# ----------------------------------------------------------------------
+_default_runner = SweepRunner()
+
+
+def get_default_runner() -> SweepRunner:
+    """The runner experiment functions use when none is passed."""
+    return _default_runner
+
+
+def set_default_runner(runner: SweepRunner) -> SweepRunner:
+    global _default_runner
+    _default_runner = runner
+    return _default_runner
+
+
+def configure_default_runner(
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+) -> SweepRunner:
+    """Build and install the default runner (the CLI's entry point)."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache = ResultCache(cache_dir) if use_cache else None
+    return set_default_runner(SweepRunner(jobs=jobs, cache=cache))

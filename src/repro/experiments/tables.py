@@ -9,9 +9,7 @@ runs; pass ``n_runs`` to trade precision for speed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Sequence
 
 from repro.baselines.mic import MIC
 from repro.core.base import PollingProtocol
@@ -23,7 +21,9 @@ from repro.experiments.common import render_table
 from repro.experiments.paper_values import TABLE_N_COLUMNS
 from repro.phy.commands import CommandSizes
 from repro.phy.link import LinkBudget, lower_bound_us
-from repro.workloads.tagsets import uniform_tagset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepRunner
 
 __all__ = ["TableResult", "execution_time_table", "table1", "table2", "table3"]
 
@@ -72,25 +72,31 @@ def execution_time_table(
     seed: int = 0,
     budget: LinkBudget | None = None,
     name: str = "table",
+    runner: "SweepRunner | None" = None,
 ) -> TableResult:
-    """Measure all five protocols plus the lower bound."""
+    """Measure all five protocols plus the lower bound.
+
+    Each protocol sweeps through the parallel, cached engine.  Every
+    ``(n, run)`` cell draws its tag population from a ``SeedSequence``
+    child that depends only on the cell coordinates, so all protocols
+    see the *same* population per cell (a paired comparison, as in the
+    paper) while their plan seeds stay independent of the tagset draw.
+    """
+    from repro.experiments.runner import get_default_runner
+
     budget = budget if budget is not None else LinkBudget()
+    runner = runner if runner is not None else get_default_runner()
     protocols = paper_protocols()
-    seconds: dict[str, list[float]] = {p.name if p.name != "MIC" else "MIC, k=7": []
-                                       for p in protocols}
-    seconds["LowerBound"] = []
-    for n in n_values:
-        per_proto = {key: 0.0 for key in seconds if key != "LowerBound"}
-        for run in range(n_runs):
-            rng = np.random.default_rng((seed, n, run))
-            tags = uniform_tagset(n, rng)
-            for p in protocols:
-                key = p.name if p.name != "MIC" else "MIC, k=7"
-                plan = p.plan(tags, rng)
-                per_proto[key] += budget.plan_us(plan, info_bits) / 1e6
-        for key, total in per_proto.items():
-            seconds[key].append(total / n_runs)
-        seconds["LowerBound"].append(lower_bound_us(n, info_bits) / 1e6)
+    seconds: dict[str, list[float]] = {}
+    for p in protocols:
+        key = p.name if p.name != "MIC" else "MIC, k=7"
+        series = runner.sweep(p, n_values, n_runs=n_runs, seed=seed,
+                              metric="time_us", info_bits=info_bits,
+                              budget=budget)
+        seconds[key] = [us / 1e6 for us in series.y]
+    seconds["LowerBound"] = [
+        lower_bound_us(n, info_bits) / 1e6 for n in n_values
+    ]
     return TableResult(
         name=name,
         info_bits=info_bits,
@@ -101,18 +107,21 @@ def execution_time_table(
 
 
 def table1(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
-           seed: int = 0) -> TableResult:
+           seed: int = 0, runner: "SweepRunner | None" = None) -> TableResult:
     """Table I: 1-bit information (presence against theft)."""
-    return execution_time_table(1, n_values, n_runs, seed, name="Table I")
+    return execution_time_table(1, n_values, n_runs, seed, name="Table I",
+                                runner=runner)
 
 
 def table2(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
-           seed: int = 0) -> TableResult:
+           seed: int = 0, runner: "SweepRunner | None" = None) -> TableResult:
     """Table II: 16-bit information."""
-    return execution_time_table(16, n_values, n_runs, seed, name="Table II")
+    return execution_time_table(16, n_values, n_runs, seed, name="Table II",
+                                runner=runner)
 
 
 def table3(n_values: Sequence[int] = TABLE_N_COLUMNS, n_runs: int = 20,
-           seed: int = 0) -> TableResult:
+           seed: int = 0, runner: "SweepRunner | None" = None) -> TableResult:
     """Table III: 32-bit information."""
-    return execution_time_table(32, n_values, n_runs, seed, name="Table III")
+    return execution_time_table(32, n_values, n_runs, seed, name="Table III",
+                                runner=runner)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterator
@@ -53,7 +54,15 @@ class EventQueue:
         self.now_us: float = 0.0
 
     def schedule(self, delay_us: float, kind: EventKind, **data: Any) -> Event:
-        """Schedule an event ``delay_us`` after the current clock."""
+        """Schedule an event ``delay_us`` after the current clock.
+
+        The delay must be finite and non-negative: a negative delay
+        schedules into the past, and a ``NaN``/``inf`` delay would
+        corrupt both the heap ordering (NaN compares false against
+        everything) and the simulation clock.
+        """
+        if not math.isfinite(delay_us):
+            raise ValueError(f"delay must be finite, got {delay_us!r}")
         if delay_us < 0:
             raise ValueError("cannot schedule into the past")
         event = Event(self.now_us + delay_us, next(self._counter), kind, data)

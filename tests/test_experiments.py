@@ -76,6 +76,55 @@ class TestFigures:
         assert "fig8" in text and "mu" in text
 
 
+class TestRenderGridAlignment:
+    """`render` must align series by x value, not by series[0] position."""
+
+    def test_mismatched_grids_align_by_x(self):
+        from repro.experiments.common import ExperimentResult, Series
+
+        r = ExperimentResult(
+            name="mixed",
+            title="series on different x grids",
+            series=[
+                Series("coarse", [10.0, 30.0], [1.0, 3.0]),
+                Series("fine", [10.0, 20.0, 30.0], [1.5, 2.5, 3.5]),
+            ],
+        )
+        lines = r.render(y_fmt="{:.1f}").splitlines()
+        rows = {line.split("\t")[0]: line.split("\t")[1:] for line in lines[2:]}
+        # x=20 exists only in the fine series: coarse renders "-" there,
+        # and the fine series' y values stay attached to their own x
+        assert rows["20"] == ["-", "2.5"]
+        assert rows["10"] == ["1.0", "1.5"]
+        assert rows["30"] == ["3.0", "3.5"]
+
+    def test_shorter_first_series_does_not_hide_rows(self):
+        from repro.experiments.common import ExperimentResult, Series
+
+        r = ExperimentResult(
+            name="mixed",
+            title="first series shorter than the second",
+            series=[
+                Series("short", [1.0], [10.0]),
+                Series("long", [1.0, 2.0], [10.0, 20.0]),
+            ],
+        )
+        lines = r.render(y_fmt="{:.0f}").splitlines()
+        # the old renderer iterated series[0].x and dropped x=2 entirely
+        assert any(line.startswith("2\t") for line in lines)
+
+    def test_x_y_length_mismatch_raises(self):
+        from repro.experiments.common import ExperimentResult, Series
+
+        r = ExperimentResult(
+            name="bad",
+            title="ragged series",
+            series=[Series("s", [1.0, 2.0], [1.0])],
+        )
+        with pytest.raises(ValueError, match="x values"):
+            r.render()
+
+
 class TestTables:
     def test_table1_reduced_matches_paper_ordering(self):
         t = table1(n_values=(1_000,), n_runs=3, seed=2)

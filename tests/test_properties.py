@@ -122,13 +122,14 @@ def test_turnaround_cost_scales_per_poll(n, seed, t1, t2):
 
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
-@given(n=st.integers(64, 400), seed=st.integers(0, 2**31))
+@given(n=st.integers(128, 400), seed=st.integers(0, 2**31))
 def test_protocol_ordering_holds_pointwise(n, seed):
     """TPP < HPP < CP < CPP in reader bits, once n amortises round inits.
 
-    (Below ~64 tags the 32-bit round-init commands dominate and the
-    ordering between TPP and HPP can flip — that regime is covered by
-    the statistical tests instead.)
+    (Below ~100 tags the 32-bit round-init commands dominate and the
+    ordering between TPP and HPP can flip — measured flip rates: ~8% of
+    seeds at n=64, ~2% at n=80, none observed from n=96 on; 128 leaves
+    margin.  That regime is covered by the statistical tests instead.)
     """
     rng = np.random.default_rng(seed)
     tags = uniform_tagset(n, rng)
