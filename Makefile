@@ -6,10 +6,10 @@ install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_engine.json
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_engine.json
 
 experiments:
 	python -m repro.experiments

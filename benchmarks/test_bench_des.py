@@ -1,0 +1,53 @@
+"""DES backend benchmarks: machines (oracle) vs array (vectorised).
+
+The numbers recorded here back the dispatch-complexity argument of
+``docs/SIMULATOR.md``: the machines backend pays a Python loop over the
+awake set for every broadcast (O(n·polls) interpreter work per run),
+while the array backend resolves each poll from per-round lookups
+(O(polls)).  The gap therefore *grows* with n — the acceptance bar is
+>= 5x at n = 10_000, and in practice it is two orders of magnitude.
+
+The machines backend at n = 10_000 takes tens of seconds per run, so
+those cases use ``pedantic`` with a single round; benchmark precision
+matters less than having the baseline on record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.sim.executor import simulate
+from repro.workloads.tagsets import uniform_tagset
+
+PROTOCOLS = {"TPP": TPP, "HPP": HPP}
+
+
+@pytest.fixture(scope="module")
+def tagsets():
+    return {n: uniform_tagset(n, np.random.default_rng(1)) for n in (1_000, 10_000)}
+
+
+def _run(proto_name, tags, backend):
+    result = simulate(PROTOCOLS[proto_name](), tags, info_bits=1, seed=1,
+                      keep_trace=False, backend=backend)
+    assert result.all_read
+    return result
+
+
+@pytest.mark.parametrize("proto", list(PROTOCOLS), ids=str)
+@pytest.mark.parametrize("n", [1_000, 10_000], ids=lambda n: f"n{n}")
+def test_des_machines_backend(benchmark, tagsets, proto, n):
+    if n >= 10_000:  # ~30 s per run: one round keeps `make bench` sane
+        if benchmark.disabled:  # CI smoke runs skip the slow baseline
+            pytest.skip("machines backend at n=10k only timed in real runs")
+        benchmark.pedantic(_run, args=(proto, tagsets[n], "machines"),
+                           rounds=1, iterations=1)
+    else:
+        benchmark(_run, proto, tagsets[n], "machines")
+
+
+@pytest.mark.parametrize("proto", list(PROTOCOLS), ids=str)
+@pytest.mark.parametrize("n", [1_000, 10_000], ids=lambda n: f"n{n}")
+def test_des_array_backend(benchmark, tagsets, proto, n):
+    benchmark(_run, proto, tagsets[n], "array")

@@ -59,6 +59,7 @@ def collect_information(
     budget: LinkBudget | None = None,
     use_des: bool = False,
     payloads: np.ndarray | None = None,
+    backend: str = "machines",
 ) -> CollectionReport:
     """Collect ``info_bits`` from every tag, averaged over ``n_runs``.
 
@@ -67,6 +68,8 @@ def collect_information(
             the collected payload values (forces ``n_runs == 1``).
         payloads: ground-truth per-tag information (DES mode); random
             values are drawn when omitted.
+        backend: DES population backend (``"machines"`` or ``"array"``;
+            only used with ``use_des=True``).
     """
     if info_bits < 0:
         raise ValueError("info_bits must be non-negative")
@@ -83,7 +86,8 @@ def collect_information(
             )
         plan = protocol.plan(tags, rng)
         result = execute_plan(
-            plan, tags, info_bits=info_bits, budget=budget, payloads=payloads
+            plan, tags, info_bits=info_bits, budget=budget, payloads=payloads,
+            backend=backend,
         )
         collected = {
             int(i): int(payloads[i]) for i in result.polled_order

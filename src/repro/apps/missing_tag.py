@@ -65,6 +65,7 @@ def detect_missing_tags(
     budget: LinkBudget | None = None,
     channel: Channel | None = None,
     missing_attempts: int = 3,
+    backend: str = "machines",
 ) -> MissingTagReport:
     """Poll the known population for presence and flag the silent tags.
 
@@ -75,6 +76,8 @@ def detect_missing_tags(
             :func:`repro.workloads.scenarios.theft_watch_scenario`).
         missing_attempts: silent polls before a tag is declared missing
             on a lossy channel (1 poll suffices on the ideal channel).
+        backend: DES population backend (``"machines"`` or ``"array"``;
+            use ``"array"`` for large inventories).
     """
     result = simulate(
         protocol,
@@ -86,6 +89,7 @@ def detect_missing_tags(
         present=scenario.present,
         missing_attempts=missing_attempts,
         keep_trace=False,
+        backend=backend,
     )
     return MissingTagReport(
         protocol=protocol.name,

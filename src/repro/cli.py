@@ -63,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     miss_p.add_argument("-p", "--protocol", choices=_PROTOCOLS, default="TPP")
     miss_p.add_argument("--ber", type=float, default=0.0,
                         help="bit error rate of the channel")
+    miss_p.add_argument("--backend", choices=("machines", "array"),
+                        default="machines",
+                        help="DES population backend (array scales to 10^5 tags)")
 
     est_p = sub.add_parser("estimate", help="cardinality estimation demo")
     est_p.add_argument("-n", "--tags", type=int, default=5_000)
@@ -116,7 +119,7 @@ def _cmd_missing(args: argparse.Namespace) -> int:
     channel = BitErrorChannel(args.ber) if args.ber > 0 else None
     report = detect_missing_tags(
         _make_protocol(args.protocol), scenario, seed=args.seed,
-        channel=channel, missing_attempts=5,
+        channel=channel, missing_attempts=5, backend=args.backend,
     )
     print(f"{report.protocol}: {report.n_known:,} known tags, "
           f"{len(report.true_missing)} actually missing")

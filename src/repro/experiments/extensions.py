@@ -32,7 +32,8 @@ from repro.workloads.tagsets import uniform_tagset
 __all__ = ["ext_lossy_channel", "ext_energy", "ext_multi_reader"]
 
 
-def _lossy_trial(protocol, tags, seed_seq, budget, info_bits, ber=0.0):
+def _lossy_trial(protocol, tags, seed_seq, budget, info_bits, ber=0.0,
+                 backend="machines"):
     """Trial metric: DES run under bit errors → [time (s), retries].
 
     The plan and the channel draw from independent seed streams, and
@@ -45,6 +46,7 @@ def _lossy_trial(protocol, tags, seed_seq, budget, info_bits, ber=0.0):
     res = execute_plan(
         plan, tags, info_bits=info_bits, budget=budget, channel=channel,
         rng=np.random.default_rng(channel_ss), keep_trace=False,
+        backend=backend,
     )
     if not res.all_read:  # pragma: no cover - invariant
         raise RuntimeError("lossy run failed to read all tags")
@@ -64,8 +66,14 @@ def ext_lossy_channel(
     bers: Sequence[float] = (0.0, 0.0005, 0.001, 0.002, 0.005),
     n_runs: int = 3,
     seed: int = 0,
+    backend: str = "machines",
 ) -> ExperimentResult:
-    """DES execution under bit errors: time (s) and retries per protocol."""
+    """DES execution under bit errors: time (s) and retries per protocol.
+
+    Args:
+        backend: DES population backend; ``"array"`` makes large-``n``
+            sweeps tractable with bit-identical counters.
+    """
     from repro.experiments.runner import get_default_runner
 
     runner = get_default_runner()
@@ -76,7 +84,8 @@ def ext_lossy_channel(
         for proto in protos:
             means = runner.sweep_values(
                 proto, [n], n_runs=n_runs, seed=seed,
-                metric=functools.partial(_lossy_trial, ber=ber),
+                metric=functools.partial(_lossy_trial, ber=ber,
+                                         backend=backend),
                 info_bits=info_bits,
             )
             time_series[proto.name].append(float(means[0, 0]))

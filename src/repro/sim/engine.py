@@ -77,6 +77,21 @@ class EventQueue:
         self.now_us = event.time_us
         return event
 
+    def advance(self, delay_us: float) -> None:
+        """Advance the clock without materialising an event.
+
+        The trace-free fast path: semantically equivalent to
+        ``schedule(delay_us, ...)`` immediately followed by ``pop()``
+        when nothing else is pending, minus the Event allocation and the
+        heap round-trip.  Validation matches :meth:`schedule` so the two
+        paths reject exactly the same inputs.
+        """
+        if not math.isfinite(delay_us):
+            raise ValueError(f"delay must be finite, got {delay_us!r}")
+        if delay_us < 0:
+            raise ValueError("cannot schedule into the past")
+        self.now_us += delay_us
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -92,21 +107,34 @@ class EventQueue:
 
 
 class Trace:
-    """An append-only record of processed events with query helpers."""
+    """An append-only record of processed events with query helpers.
+
+    Per-kind counters are maintained incrementally in :meth:`record` /
+    :meth:`tally`, so :meth:`count` is O(1) instead of a full event
+    scan — and keeps working when ``keep=False`` (reporting what *would*
+    have been recorded, which is what the fast-clock execution path
+    feeds it through :meth:`tally`).
+    """
 
     def __init__(self, keep: bool = True) -> None:
         self.keep = keep
         self.events: list[Event] = []
+        self._counts: dict[EventKind, int] = {}
 
     def record(self, event: Event) -> None:
+        self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
         if self.keep:
             self.events.append(event)
+
+    def tally(self, kind: EventKind) -> None:
+        """Count an event that is not materialised (trace-free fast clock)."""
+        self._counts[kind] = self._counts.get(kind, 0) + 1
 
     def of_kind(self, kind: EventKind) -> list[Event]:
         return [e for e in self.events if e.kind is kind]
 
     def count(self, kind: EventKind) -> int:
-        return sum(1 for e in self.events if e.kind is kind)
+        return self._counts.get(kind, 0)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)

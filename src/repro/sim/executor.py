@@ -25,7 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
-from repro.core.polling_tree import PollingTree
+from repro.core.polling_tree import PollingTree, Segment, segment_values
 from repro.phy.channel import Channel, IdealChannel
 from repro.phy.link import LinkBudget
 from repro.sim.engine import EventKind, EventQueue, Trace
@@ -33,17 +33,24 @@ from repro.sim.tag import (
     CPPTagMachine,
     CPTagMachine,
     HashTagMachine,
+    MachinePopulation,
     MICTagMachine,
     Reply,
     TagMachine,
     TPPTagMachine,
 )
+from repro.sim.tagarray import build_array_population
 from repro.workloads.tagsets import TagSet
 
-__all__ = ["DESResult", "execute_plan", "simulate", "build_tag_machines"]
+__all__ = ["DESResult", "execute_plan", "simulate", "build_tag_machines",
+           "BACKENDS"]
 
 #: per-poll retry ceiling under a lossy channel before giving up
 MAX_POLL_ATTEMPTS = 200
+
+#: simulation backends: per-tag Python objects (the legible oracle) vs
+#: numpy state arrays (O(1) Python work per poll, scales to 10^5 tags)
+BACKENDS = ("machines", "array")
 
 
 @dataclass
@@ -65,20 +72,44 @@ class DESResult:
         return len(set(self.polled_order)) == self.n_tags
 
 
+class _ReadOrder:
+    """The reader's log of acknowledged reads, with O(1) un-read.
+
+    Behaves like the plain list it replaces, except that ``remove``
+    (the lossy retry path un-reading a wrongly-read tag) is a dict
+    lookup plus a tombstone instead of an O(n) scan-and-shift.  A tag
+    is asleep while logged, so it appears at most once between its
+    ``append`` and any ``remove``.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[int | None] = []
+        self._pos: dict[int, int] = {}
+
+    def append(self, tag_index: int) -> None:
+        self._pos[tag_index] = len(self._entries)
+        self._entries.append(tag_index)
+
+    def remove(self, tag_index: int) -> None:
+        self._entries[self._pos.pop(tag_index)] = None
+
+    def to_list(self) -> list[int]:
+        return [t for t in self._entries if t is not None]
+
+
 class _Air:
     """The half-duplex medium: broadcasts, replies, timing, trace."""
 
     def __init__(
         self,
-        machines: list[TagMachine],
+        population: Any,
         budget: LinkBudget,
         channel: Channel,
         rng: np.random.Generator,
         info_bits: int,
         trace: Trace,
-        present: np.ndarray | None = None,
     ):
-        self.machines = machines
+        self.pop = population
         self.budget = budget
         self.channel = channel
         self.rng = rng
@@ -88,42 +119,33 @@ class _Air:
         self.reader_bits = 0
         self.tag_bits = 0
         self.n_retries = 0
-        self.read_order: list[int] = []
+        self.read_order = _ReadOrder()
         self.missing_found: list[int] = []
         self.allow_missing = False
         self.missing_attempts = 3
-        if present is None:
-            self.present = np.ones(len(machines), dtype=bool)
-        else:
-            self.present = np.zeros(len(machines), dtype=bool)
-            self.present[np.asarray(present, dtype=np.int64)] = True
-        # the awake set is maintained *incrementally* (keyed and ordered
-        # by tag index): a machine leaves when its read is acknowledged
-        # and re-enters via wake(); the old per-round full rebuild was an
-        # O(n) scan per call and left already-read tags in the broadcast
-        # loop for the remainder of their round
-        self._awake: dict[int, TagMachine] = {
-            m.tag_index: m for m in machines if self.present[m.tag_index]
-        }
 
     # ------------------------------------------------------------------
+    @property
+    def present(self) -> np.ndarray:
+        return self.pop.present
+
     @property
     def now_us(self) -> float:
         return self.queue.now_us
 
     def _advance(self, dt_us: float, kind: EventKind, **data: Any) -> None:
-        self.queue.schedule(dt_us, kind, **data)
-        self.trace.record(self.queue.pop())
+        if self.trace.keep:
+            self.queue.schedule(dt_us, kind, **data)
+            self.trace.record(self.queue.pop())
+        else:
+            # trace-free fast clock: same validation and same time
+            # arithmetic, no Event allocation / heap round-trip
+            self.queue.advance(dt_us)
+            self.trace.tally(kind)
 
     def wake(self, tag_index: int) -> None:
         """Reader-directed wake-up of a wrongly-read tag (lossy channels)."""
-        self.machines[tag_index].force_wake()
-        if tag_index not in self._awake:
-            self._awake[tag_index] = self.machines[tag_index]
-            # keep broadcast order == tag-index order, as the full
-            # rebuild produced; wakes only happen on lossy channels, so
-            # the re-sort is rare
-            self._awake = dict(sorted(self._awake.items()))
+        self.pop.force_wake(tag_index)
 
     # ------------------------------------------------------------------
     def broadcast(self, bits: int, msg: dict[str, Any]) -> list[Reply]:
@@ -135,12 +157,7 @@ class _Air:
         if not self.channel.deliver(bits, self.rng):
             self._advance(0.0, EventKind.FRAME_LOST, bits=bits)
             return []
-        replies = []
-        for machine in self._awake.values():
-            reply = machine.on_message(msg)
-            if reply is not None:
-                replies.append(reply)
-        return replies
+        return self.pop.dispatch(msg)
 
     def poll(self, bits: int, msg: dict[str, Any]) -> tuple[Reply | None, bool]:
         """A request/response exchange.
@@ -162,7 +179,7 @@ class _Air:
                 tags=[r.tag_index for r in replies],
             )
             for r in replies:
-                self.machines[r.tag_index].revert_reply()
+                self.pop.revert_reply(r.tag_index)
             return None, True
         reply = replies[0]
         self._advance(t.t1_us, EventKind.TAG_REPLY_START, tag=reply.tag_index)
@@ -170,13 +187,12 @@ class _Air:
                       tag=reply.tag_index)
         self._advance(t.t2_us, EventKind.READER_TX_START)
         if not self.channel.deliver(self.info_bits, self.rng):
-            self.machines[reply.tag_index].revert_reply()
+            self.pop.revert_reply(reply.tag_index)
             self._advance(0.0, EventKind.FRAME_LOST, uplink=True,
                           tag=reply.tag_index)
             return None, False
         self.tag_bits += self.info_bits
-        self.machines[reply.tag_index].acknowledge()
-        self._awake.pop(reply.tag_index, None)
+        self.pop.acknowledge(reply.tag_index)
         self.read_order.append(reply.tag_index)
         self._advance(0.0, EventKind.TAG_READ, tag=reply.tag_index)
         return reply, False
@@ -370,11 +386,21 @@ def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
     init_msg = {"kind": "round_init", "h": h, "seed": seed, "global_scope": True}
     air.broadcast(rp.init_bits, init_msg)
     context = [(rp.init_bits, init_msg)]
-    # the explicit tree cross-checks the planner's closed-form segments
-    tree = PollingTree.from_indices(rp.extra["singleton_indices"], h)
-    segments = tree.segments()
-    if [s.length for s in segments] != rp.poll_vector_bits.tolist():
-        raise RuntimeError("polling-tree segments disagree with the plan")
+    if getattr(air.pop, "vectorized", False):
+        # the array backend's whole point is scale, so use the planner's
+        # closed-form segments directly; the machines backend keeps the
+        # explicit-tree cross-check below as the independent oracle
+        values = segment_values(rp.extra["singleton_indices"], h)
+        segments = [
+            Segment(value=int(v), length=int(k))
+            for v, k in zip(values, rp.poll_vector_bits)
+        ]
+    else:
+        # the explicit tree cross-checks the planner's closed-form segments
+        tree = PollingTree.from_indices(rp.extra["singleton_indices"], h)
+        segments = tree.segments()
+        if [s.length for s in segments] != rp.poll_vector_bits.tolist():
+            raise RuntimeError("polling-tree segments disagree with the plan")
     for seg, tag_idx, index in zip(
         segments, rp.poll_tag_idx, rp.extra["singleton_indices"]
     ):
@@ -439,8 +465,9 @@ def execute_plan(
     keep_trace: bool = True,
     present: np.ndarray | None = None,
     missing_attempts: int = 3,
+    backend: str = "machines",
 ) -> DESResult:
-    """Execute ``plan`` over the air against independent tag machines.
+    """Execute ``plan`` over the air against a live tag population.
 
     Args:
         present: indices of tags physically in the field; ``None`` means
@@ -449,13 +476,27 @@ def execute_plan(
             missing-tag application of §I.
         missing_attempts: silent polls before declaring a tag missing on
             a lossy channel (1 is used on the ideal channel).
+        backend: ``"machines"`` runs one Python state machine per tag
+            (the legible oracle); ``"array"`` runs the vectorized
+            numpy-state-array population (:mod:`repro.sim.tagarray`),
+            bit-identical counters at a fraction of the Python work.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     budget = budget if budget is not None else LinkBudget()
     channel = channel if channel is not None else IdealChannel()
     rng = rng if rng is not None else np.random.default_rng(0)
     trace = Trace(keep=keep_trace)
-    machines = build_tag_machines(plan, tags, payloads)
-    air = _Air(machines, budget, channel, rng, info_bits, trace, present=present)
+    present_mask = np.ones(len(tags), dtype=bool)
+    if present is not None:
+        present_mask = np.zeros(len(tags), dtype=bool)
+        present_mask[np.asarray(present, dtype=np.int64)] = True
+    if backend == "array":
+        pop = build_array_population(plan, tags, payloads, present_mask)
+    else:
+        machines = build_tag_machines(plan, tags, payloads)
+        pop = MachinePopulation(machines, present_mask)
+    air = _Air(pop, budget, channel, rng, info_bits, trace)
     if present is not None:
         air.allow_missing = True
         air.missing_attempts = missing_attempts
@@ -487,8 +528,8 @@ def execute_plan(
         else:
             raise NotImplementedError(f"no executor for protocol {plan.protocol!r}")
 
-    # final invariant: every present machine read exactly once
-    asleep = sorted(m.tag_index for m in machines if m.state.name == "ASLEEP")
+    # final invariant: every present tag read exactly once
+    asleep = pop.asleep_indices()
     expected = sorted(np.flatnonzero(air.present).tolist())
     if asleep != expected:
         raise RuntimeError(
@@ -500,7 +541,7 @@ def execute_plan(
         time_us=air.now_us,
         reader_bits=air.reader_bits,
         tag_bits=air.tag_bits,
-        polled_order=air.read_order,
+        polled_order=air.read_order.to_list(),
         n_retries=air.n_retries,
         trace=trace,
         missing=sorted(set(air.missing_found)),
@@ -518,6 +559,7 @@ def simulate(
     present: np.ndarray | None = None,
     payloads: np.ndarray | None = None,
     missing_attempts: int = 3,
+    backend: str = "machines",
 ) -> DESResult:
     """Plan + execute in one call (plan RNG and channel RNG split)."""
     plan_rng = np.random.default_rng(seed)
@@ -534,4 +576,5 @@ def simulate(
         present=present,
         payloads=payloads,
         missing_attempts=missing_attempts,
+        backend=backend,
     )

@@ -30,6 +30,7 @@ __all__ = [
     "HashTagMachine",
     "TPPTagMachine",
     "MICTagMachine",
+    "MachinePopulation",
 ]
 
 Message = dict[str, Any]
@@ -231,6 +232,66 @@ class TPPTagMachine(HashTagMachine):
         if self.awake and self._a == self._index:
             return self._reply()
         return None
+
+
+class MachinePopulation:
+    """The per-tag-object simulation backend: one machine per tag.
+
+    Implements the population interface the executor's ``_Air`` speaks —
+    :meth:`dispatch`, :meth:`acknowledge`, :meth:`revert_reply`,
+    :meth:`force_wake`, :meth:`asleep_indices` — by looping over live
+    :class:`TagMachine` objects.  This is the *oracle* backend: legible,
+    one state machine per tag, O(awake) Python dispatch per broadcast.
+    The vectorised array backend (:mod:`repro.sim.tagarray`) must match
+    its counters bit for bit.
+
+    The awake set is maintained *incrementally*: a machine leaves when
+    its read is acknowledged and re-enters via :meth:`force_wake` (an
+    O(1) dict insert — reply iteration order does not affect any
+    ``DESResult`` counter, because a unique responder is unique in any
+    order and a multi-responder poll is a collision that reverts every
+    replier symmetrically).
+    """
+
+    #: executor hint: per-object dispatch, not batched
+    vectorized = False
+
+    def __init__(self, machines: list[TagMachine], present: np.ndarray):
+        self.machines = machines
+        self.present = present
+        self._awake: dict[int, TagMachine] = {
+            m.tag_index: m for m in machines if present[m.tag_index]
+        }
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def dispatch(self, msg: Message) -> list[Reply]:
+        """Deliver ``msg`` to every awake machine; collect the replies."""
+        replies = []
+        for machine in self._awake.values():
+            reply = machine.on_message(msg)
+            if reply is not None:
+                replies.append(reply)
+        return replies
+
+    def acknowledge(self, tag_index: int) -> None:
+        self.machines[tag_index].acknowledge()
+        self._awake.pop(tag_index, None)
+
+    def revert_reply(self, tag_index: int) -> None:
+        self.machines[tag_index].revert_reply()
+
+    def force_wake(self, tag_index: int) -> None:
+        self.machines[tag_index].force_wake()
+        if tag_index not in self._awake:
+            self._awake[tag_index] = self.machines[tag_index]
+
+    def asleep_indices(self) -> list[int]:
+        """Tag indices that were read and acknowledged, ascending."""
+        return sorted(
+            m.tag_index for m in self.machines if m.state is TagState.ASLEEP
+        )
 
 
 class MICTagMachine(TagMachine):

@@ -1,0 +1,497 @@
+"""Vectorised tag-array simulation backend.
+
+The machines backend (:mod:`repro.sim.tag`) models every tag as a live
+Python object and delivers each broadcast with a Python loop over the
+awake set — O(n) interpreter work per poll, O(n·polls) per run, which
+caps the DES near n ≈ 10³.  This module models the *whole population*
+as numpy state arrays instead:
+
+- a round broadcast computes every tag's hash draw in one batched
+  :func:`~repro.hashing.universal.hash_u64` call and groups the results
+  into an index → tags lookup once per round;
+- each poll then resolves its responder set from that lookup — O(1)
+  Python work per poll (candidate lists are almost always singletons);
+- TPP's per-tag bit register collapses to one scalar: the register
+  update ``A := (A & keep) | segment`` does not depend on tag identity,
+  so every tag that heard the same segments since the last round
+  initiation holds the *same* register value.  Only tags woken mid-round
+  by the lossy retry path can diverge, and those are tracked in a small
+  per-tag "stale" set updated individually.
+
+State that the object machines keep per instance (sleep/ack state,
+circle membership, TPP registers, MIC claimed slots, CP ranks, eCPP
+Select flags) lives here in flat arrays, updated only for the tags that
+actually *hear* a broadcast (present and not asleep) so that woken tags
+retain exactly the stale state a real tag would — the property the
+lossy retry machinery depends on.
+
+The backend implements the same population interface as
+:class:`~repro.sim.tag.MachinePopulation` and must produce bit-identical
+``DESResult`` counters; ``tests/test_tagarray.py`` asserts that parity
+for every executable protocol on ideal and lossy channels.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan
+from repro.hashing.universal import derive_seed, hash_indices, hash_mod, splitmix64
+from repro.sim.tag import Reply
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["ArrayTagPopulation", "build_array_population"]
+
+Message = dict[str, Any]
+
+_READY = np.int8(0)
+_REPLIED = np.int8(1)
+_ASLEEP = np.int8(2)
+
+_M64 = (1 << 64) - 1
+
+
+class ArrayTagPopulation:
+    """Base array backend: state arrays, lifecycle, message dispatch.
+
+    Subclasses add protocol-specific arrays and register handlers in
+    ``self._handlers``; unknown message kinds are ignored, exactly as a
+    machine without the matching ``_on_<kind>`` method ignores them.
+    """
+
+    #: executor hint: batched dispatch, cheap at large n
+    vectorized = True
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray):
+        self.tags = tags
+        self.n = len(tags)
+        self.words = tags.id_words
+        self.payloads = np.asarray(payloads, dtype=np.int64)
+        self.present = present
+        self.state = np.full(self.n, _READY, dtype=np.int8)
+        #: tags woken by the reader since the last state-defining
+        #: broadcast — they missed broadcasts while asleep, so their
+        #: per-tag arrays are authoritative where the cohort's shared
+        #: (per-round) structures are not
+        self._stale: set[int] = set()
+        self._handlers: dict[str, Any] = {}
+
+    # -- population interface ------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def dispatch(self, msg: Message) -> list[Reply]:
+        handler = self._handlers.get(msg["kind"])
+        if handler is None:
+            return []
+        return handler(msg)
+
+    def acknowledge(self, tag_index: int) -> None:
+        if self.state[tag_index] != _REPLIED:
+            raise RuntimeError(
+                f"tag {tag_index} acked in state {self._state_name(tag_index)}"
+            )
+        self._freeze(tag_index)
+        self.state[tag_index] = _ASLEEP
+        self._stale.discard(tag_index)
+
+    def revert_reply(self, tag_index: int) -> None:
+        if self.state[tag_index] != _REPLIED:
+            raise RuntimeError(
+                f"tag {tag_index} reverted in state {self._state_name(tag_index)}"
+            )
+        self.state[tag_index] = _READY
+
+    def force_wake(self, tag_index: int) -> None:
+        # a woken tag slept through broadcasts, so its shared-state view
+        # is stale until the next state-defining broadcast re-syncs it
+        if self.state[tag_index] == _ASLEEP:
+            self._stale.add(tag_index)
+        self.state[tag_index] = _READY
+
+    def asleep_indices(self) -> list[int]:
+        return np.flatnonzero(self.state == _ASLEEP).tolist()
+
+    # -- shared helpers -------------------------------------------------
+    def _state_name(self, tag_index: int) -> str:
+        return {0: "TagState.READY", 1: "TagState.REPLIED", 2: "TagState.ASLEEP"}[
+            int(self.state[tag_index])
+        ]
+
+    def _freeze(self, tag_index: int) -> None:
+        """Protocol hook: materialise shared state before a tag sleeps."""
+
+    def _heard(self) -> np.ndarray:
+        """Indices of tags that hear a broadcast: present and not asleep."""
+        return np.flatnonzero(self.present & (self.state != _ASLEEP))
+
+    def _reply_all(self, responders: list[int]) -> list[Reply]:
+        out = []
+        for t in responders:
+            self.state[t] = _REPLIED
+            out.append(Reply(t, int(self.payloads[t])))
+        return out
+
+    def _ready(self, t: int) -> bool:
+        return bool(self.state[t] == _READY)
+
+
+# ----------------------------------------------------------------------
+class _HashArray(ArrayTagPopulation):
+    """HPP / EHPP: per-round hash indices resolved through a lookup."""
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray):
+        super().__init__(tags, payloads, present)
+        self.in_circle = np.ones(self.n, dtype=bool)
+        self.index = np.full(self.n, -1, dtype=np.int64)  # -1 == None
+        #: index value -> tags that drew it at the last round init
+        self._lookup: dict[int, list[int]] = {}
+        self._handlers.update(
+            circle_cmd=self._on_circle_cmd,
+            round_init=self._on_round_init,
+            poll_index=self._on_poll_index,
+        )
+
+    # -- broadcasts -----------------------------------------------------
+    def _on_circle_cmd(self, msg: Message) -> list[Reply]:
+        heard = self._heard()
+        draw = hash_mod(self.words[heard], msg["seed"], msg["F"])
+        self.in_circle[heard] = draw <= msg["f"]
+        self.index[heard] = -1
+        self._lookup = {}
+        self._stale.clear()  # every awake tag heard this and is in sync
+        return []
+
+    def _on_round_init(self, msg: Message) -> list[Reply]:
+        heard = self._heard()
+        if msg.get("global_scope", True):
+            eligible = heard
+            self.index[heard] = -1
+        else:
+            self.index[heard] = -1
+            eligible = heard[self.in_circle[heard]]
+        if eligible.size:
+            self.index[eligible] = hash_indices(
+                self.words[eligible], msg["seed"], msg["h"]
+            )
+        self._rebuild_lookup(eligible)
+        self._stale.clear()
+        self._round_reset(msg, heard)
+        return []
+
+    def _rebuild_lookup(self, eligible: np.ndarray) -> None:
+        lookup: dict[int, list[int]] = {}
+        for t, v in zip(eligible.tolist(), self.index[eligible].tolist()):
+            lookup.setdefault(v, []).append(t)
+        self._lookup = lookup
+
+    def _round_reset(self, msg: Message, heard: np.ndarray) -> None:
+        """TPP hook: reset the register state at round initiation."""
+
+    # -- polls ----------------------------------------------------------
+    def _on_poll_index(self, msg: Message) -> list[Reply]:
+        index = msg["index"]
+        responders = [
+            t
+            for t in self._lookup.get(index, ())
+            if self.state[t] == _READY and t not in self._stale
+        ]
+        # a woken tag answers with whatever index its register still
+        # holds from the round it was read in (the stale-register reply
+        # the lossy retry path must detect)
+        for t in self._stale:
+            if self.state[t] == _READY and self.index[t] == index:
+                responders.append(t)
+        responders.sort()
+        return self._reply_all(responders)
+
+
+class _TPPArray(_HashArray):
+    """TPP: the per-tag h-bit register collapses to one cohort scalar."""
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray):
+        super().__init__(tags, payloads, present)
+        self.a = np.zeros(self.n, dtype=np.int64)  # authoritative for stale tags
+        self.h = np.zeros(self.n, dtype=np.int64)
+        self._scalar_a = 0
+        self._scalar_h = 0
+        #: does any cohort tag hold an index?  A machine with ``_index is
+        #: None`` skips segments *before* validating them, so an empty
+        #: indexed cohort (e.g. the very first round_init was lost) must
+        #: ignore segments rather than length-check them.
+        self._cohort_indexed = False
+        self._handlers["tpp_segment"] = self._on_tpp_segment
+
+    def _on_circle_cmd(self, msg: Message) -> list[Reply]:
+        out = super()._on_circle_cmd(msg)
+        self._cohort_indexed = False
+        return out
+
+    def _round_reset(self, msg: Message, heard: np.ndarray) -> None:
+        self.h[heard] = msg["h"]
+        self.a[heard] = 0
+        self._scalar_a = 0
+        self._scalar_h = msg["h"]
+        self._cohort_indexed = bool(self._lookup)
+
+    def _freeze(self, tag_index: int) -> None:
+        # going to sleep freezes the register at its current (shared)
+        # value; a later force_wake resumes from exactly this snapshot
+        if tag_index not in self._stale:
+            self.a[tag_index] = self._scalar_a
+
+    def _on_tpp_segment(self, msg: Message) -> list[Reply]:
+        k = msg["length"]
+        value = msg["value"]
+        responders: list[int] = []
+        if self._cohort_indexed:
+            if not 0 <= k <= self._scalar_h:
+                raise ValueError(f"segment length {k} outside [0, {self._scalar_h}]")
+            keep = ((1 << self._scalar_h) - 1) ^ ((1 << k) - 1)
+            self._scalar_a = (self._scalar_a & keep) | value
+            responders = [
+                t
+                for t in self._lookup.get(self._scalar_a, ())
+                if self.state[t] == _READY and t not in self._stale
+            ]
+        for t in self._stale:
+            if self.state[t] == _ASLEEP or self.index[t] == -1:
+                continue
+            ht = int(self.h[t])
+            if not 0 <= k <= ht:
+                raise ValueError(f"segment length {k} outside [0, {ht}]")
+            keep_t = ((1 << ht) - 1) ^ ((1 << k) - 1)
+            self.a[t] = (int(self.a[t]) & keep_t) | value
+            if self.state[t] == _READY and self.a[t] == self.index[t]:
+                responders.append(t)
+        responders.sort()
+        return self._reply_all(responders)
+
+
+# ----------------------------------------------------------------------
+class _CPPArray(ArrayTagPopulation):
+    """CPP / eCPP: exact-ID and Select + suffix matching."""
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray,
+                 id_bits: int = 96):
+        super().__init__(tags, payloads, present)
+        self.id_bits = id_bits
+        self.selected = np.ones(self.n, dtype=bool)
+        self._epc_to_tag = {tags.epc(i): i for i in range(self.n)}
+        #: per suffix length: suffix value -> tags carrying it (static)
+        self._suffix_lookup: dict[int, dict[int, list[int]]] = {}
+        self._handlers.update(
+            select=self._on_select,
+            cpp_poll=self._on_cpp_poll,
+            suffix_poll=self._on_suffix_poll,
+        )
+
+    # -- broadcasts -----------------------------------------------------
+    def _on_select(self, msg: Message) -> list[Reply]:
+        heard = self._heard()
+        bits = msg["prefix_bits"]
+        prefix = msg["prefix"]
+        if self.id_bits != 96:  # exotic ID width: exact big-int fallback
+            shift = self.id_bits - bits
+            self.selected[heard] = [
+                (self.tags.epc(t) >> shift) == prefix for t in heard.tolist()
+            ]
+            return []
+        hi = self.tags.id_hi[heard]
+        lo = self.tags.id_lo[heard]
+        if bits == 0:
+            match = np.full(heard.size, prefix == 0)
+        elif bits <= 32:
+            match = (hi >> np.uint64(32 - bits)) == np.uint64(prefix)
+        else:
+            # prefix spans into the low word: compare (hi, lo >> drop)
+            drop = 96 - bits
+            match = (hi == np.uint64(prefix >> (bits - 32))) & (
+                (lo >> np.uint64(drop)) == np.uint64(prefix & ((1 << (bits - 32)) - 1))
+            )
+        self.selected[heard] = match
+        return []
+
+    # -- polls ----------------------------------------------------------
+    def _on_cpp_poll(self, msg: Message) -> list[Reply]:
+        t = self._epc_to_tag.get(msg["epc"])
+        if t is None or not self.present[t] or self.state[t] != _READY:
+            return []
+        return self._reply_all([t])
+
+    def _suffixes(self, bits: int) -> dict[int, list[int]]:
+        cached = self._suffix_lookup.get(bits)
+        if cached is None:
+            cached = {}
+            if bits <= 64:
+                vals = (self.tags.id_lo & np.uint64((1 << bits) - 1)).tolist() \
+                    if bits < 64 else self.tags.id_lo.tolist()
+                for t, v in enumerate(vals):
+                    cached.setdefault(int(v), []).append(t)
+            else:  # suffix reaches into the high word: exact big-int path
+                mask = (1 << bits) - 1
+                for t in range(self.n):
+                    cached.setdefault(self.tags.epc(t) & mask, []).append(t)
+            self._suffix_lookup[bits] = cached
+        return cached
+
+    def _on_suffix_poll(self, msg: Message) -> list[Reply]:
+        bits = msg["suffix_bits"]
+        responders = [
+            t
+            for t in self._suffixes(bits).get(msg["suffix"], ())
+            if self.present[t] and self.state[t] == _READY and self.selected[t]
+        ]
+        return self._reply_all(responders)
+
+
+# ----------------------------------------------------------------------
+class _CPArray(_CPPArray):
+    """Coded Polling: batched pair-frame validation via the hash unit.
+
+    The per-tag check of :func:`repro.core.coded_polling.validate_coded_partner`
+    — recover the candidate partner's 80-bit ID top by XOR, recompute
+    the 16 hash-unit check bits over the ordered pair — is evaluated for
+    every hearing tag at once on (hi16, lo64) limb arrays, reproducing
+    the 2⁻¹⁶ bystander false positives of the object machines exactly.
+    """
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray,
+                 id_bits: int = 96):
+        super().__init__(tags, payloads, present, id_bits=id_bits)
+        # 80-bit ID tops (epc >> 16) as two uint64 limbs
+        self._top_hi = tags.id_hi >> np.uint64(16)
+        self._top_lo = ((tags.id_hi & np.uint64(0xFFFF)) << np.uint64(48)) | (
+            tags.id_lo >> np.uint64(16)
+        )
+        self.rank = np.full(self.n, -1, dtype=np.int64)  # -1 == None
+        self._rank_tags: dict[int, list[int]] = {}
+        self._handlers.update(
+            cp_frame=self._on_cp_frame,
+            cp_slot=self._on_cp_slot,
+        )
+
+    def _on_cp_frame(self, msg: Message) -> list[Reply]:
+        heard = self._heard()
+        self.rank[heard] = -1
+        self._rank_tags = {}
+        self._stale.clear()  # every awake tag heard the frame
+        v80 = msg["frame"] >> 16
+        check = msg["frame"] & 0xFFFF
+        if v80 == 0 or heard.size == 0:  # no valid pair recoverable
+            return []
+        own_hi, own_lo = self._top_hi[heard], self._top_lo[heard]
+        cand_hi = own_hi ^ np.uint64((v80 >> 64) & 0xFFFF)
+        cand_lo = own_lo ^ np.uint64(v80 & _M64)
+        own_first = (own_hi < cand_hi) | ((own_hi == cand_hi) & (own_lo < cand_lo))
+        lo_hi = np.where(own_first, own_hi, cand_hi)
+        lo_lo = np.where(own_first, own_lo, cand_lo)
+        hi_hi = np.where(own_first, cand_hi, own_hi)
+        hi_lo = np.where(own_first, cand_lo, own_lo)
+        # derive_seed(lo & m, lo >> 64, hi & m, hi >> 64), vectorised
+        z = splitmix64(lo_lo ^ lo_hi)
+        z = splitmix64(z ^ hi_lo)
+        z = splitmix64(z ^ hi_hi)
+        valid = (z & np.uint64(0xFFFF)) == np.uint64(check)
+        valid &= self.state[heard] == _READY
+        winners = heard[valid]
+        ranks = np.where(own_first[valid], 0, 1)
+        self.rank[winners] = ranks
+        by_rank: dict[int, list[int]] = {}
+        for t, r in zip(winners.tolist(), ranks.tolist()):
+            by_rank.setdefault(r, []).append(t)
+        self._rank_tags = by_rank
+        return []
+
+    def _on_cp_slot(self, msg: Message) -> list[Reply]:
+        rank = msg["rank"]
+        responders = [
+            t
+            for t in self._rank_tags.get(rank, ())
+            if self.state[t] == _READY and t not in self._stale
+        ]
+        for t in self._stale:
+            if self.state[t] == _READY and self.rank[t] == rank:
+                responders.append(t)
+        responders.sort()
+        return self._reply_all(responders)
+
+
+# ----------------------------------------------------------------------
+class _MICArray(ArrayTagPopulation):
+    """MIC: batched indicator-vector decoding, slot lookup per frame."""
+
+    def __init__(self, tags: TagSet, payloads: np.ndarray, present: np.ndarray,
+                 k: int = 7):
+        super().__init__(tags, payloads, present)
+        self.k = k
+        self.claimed = np.full(self.n, -1, dtype=np.int64)
+        self._slot_tags: dict[int, list[int]] = {}
+        self._handlers.update(
+            mic_frame=self._on_mic_frame,
+            mic_slot=self._on_mic_slot,
+        )
+
+    def _on_mic_frame(self, msg: Message) -> list[Reply]:
+        heard = self._heard()
+        self.claimed[heard] = -1
+        vector = np.asarray(msg["vector"], dtype=np.int64)
+        f = int(vector.size)
+        seed = msg["seed"]
+        awake = heard[self.state[heard] == _READY]
+        unclaimed = np.ones(awake.size, dtype=bool)
+        claimed = np.full(awake.size, -1, dtype=np.int64)
+        # claim the first ascending hash number whose slot carries it
+        for j in range(1, self.k + 1):
+            if not unclaimed.any():
+                break
+            slots = hash_mod(self.words[awake], derive_seed(seed, j), f)
+            hit = unclaimed & (vector[slots] == j)
+            claimed[hit] = slots[hit]
+            unclaimed &= ~hit
+        self.claimed[awake] = claimed
+        by_slot: dict[int, list[int]] = {}
+        for t, s in zip(awake.tolist(), claimed.tolist()):
+            if s >= 0:
+                by_slot.setdefault(s, []).append(t)
+        self._slot_tags = by_slot
+        return []
+
+    def _on_mic_slot(self, msg: Message) -> list[Reply]:
+        responders = [
+            t
+            for t in self._slot_tags.get(msg["slot"], ())
+            if self.state[t] == _READY
+        ]
+        return self._reply_all(responders)
+
+
+# ----------------------------------------------------------------------
+def build_array_population(
+    plan: InterrogationPlan,
+    tags: TagSet,
+    payloads: np.ndarray | None,
+    present: np.ndarray,
+) -> ArrayTagPopulation:
+    """Instantiate the right array population for ``plan.protocol``."""
+    n = len(tags)
+    payloads = np.zeros(n, dtype=np.int64) if payloads is None else payloads
+    name = plan.protocol
+    if name in ("CPP", "eCPP"):
+        return _CPPArray(tags, payloads, present,
+                         id_bits=plan.meta.get("id_bits", 96))
+    if name == "CP":
+        return _CPArray(tags, payloads, present,
+                        id_bits=plan.meta.get("id_bits", 96))
+    if name in ("HPP", "EHPP"):
+        return _HashArray(tags, payloads, present)
+    if name == "TPP":
+        return _TPPArray(tags, payloads, present)
+    if name == "MIC":
+        return _MICArray(tags, payloads, present, k=plan.meta.get("k", 7))
+    raise NotImplementedError(
+        f"no tag state machine for protocol {name!r} "
+        "(the DES covers CPP/eCPP/CP/HPP/EHPP/TPP/MIC)"
+    )

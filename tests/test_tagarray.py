@@ -1,0 +1,177 @@
+"""Parity tests: the vectorised array backend vs the machines oracle.
+
+The array backend (:mod:`repro.sim.tagarray`) re-implements every tag
+state machine as numpy arrays plus per-poll lookups; these tests pin it
+to the object-machine oracle bit for bit — every ``DESResult`` counter
+(time_us, reader_bits, tag_bits, polled_order, n_retries, missing) must
+be identical on ideal and lossy channels, in plain interrogation and in
+missing-tag mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mic import MIC
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.channel import BitErrorChannel
+from repro.sim.engine import EventKind
+from repro.sim.executor import execute_plan, simulate
+from repro.workloads.tagsets import (
+    clustered_tagset,
+    crc_embedded_tagset,
+    uniform_tagset,
+)
+
+
+def _counters(result):
+    """Everything a DESResult reports except the trace object."""
+    return (
+        result.protocol,
+        result.n_tags,
+        result.time_us,
+        result.reader_bits,
+        result.tag_bits,
+        tuple(result.polled_order),
+        result.n_retries,
+        tuple(result.missing),
+    )
+
+
+def _tagset_for(proto, n, seed):
+    rng = np.random.default_rng(seed)
+    if proto.name == "CP":
+        return crc_embedded_tagset(n, rng)
+    if proto.name == "eCPP":
+        return clustered_tagset(n, rng, n_categories=3)
+    return uniform_tagset(n, rng)
+
+
+ALL_PROTOCOLS = [CPP(), EnhancedCPP(), CodedPolling(), HPP(),
+                 EHPP(subset_size=60), TPP(), MIC()]
+#: protocols whose executor supports the lossy retransmission extension
+LOSSY_PROTOCOLS = [CPP(), EnhancedCPP(), CodedPolling(), HPP(),
+                   EHPP(subset_size=60), TPP()]
+
+
+@pytest.mark.parametrize("proto", ALL_PROTOCOLS, ids=lambda p: p.name)
+def test_parity_ideal_channel(proto):
+    tags = _tagset_for(proto, 180, seed=1)
+    a = simulate(proto, tags, info_bits=8, seed=5, backend="machines")
+    b = simulate(proto, tags, info_bits=8, seed=5, backend="array")
+    assert _counters(a) == _counters(b)
+    assert b.all_read
+
+
+@pytest.mark.parametrize("proto", LOSSY_PROTOCOLS, ids=lambda p: p.name)
+@pytest.mark.parametrize("ber", [0.002, 0.01])
+def test_parity_lossy_channel(proto, ber):
+    tags = _tagset_for(proto, 180, seed=2)
+    a = simulate(proto, tags, info_bits=8, seed=5,
+                 channel=BitErrorChannel(ber), backend="machines")
+    b = simulate(proto, tags, info_bits=8, seed=5,
+                 channel=BitErrorChannel(ber), backend="array")
+    assert _counters(a) == _counters(b)
+    assert b.all_read
+
+
+def test_parity_lossy_exercises_retries():
+    """The lossy parity cases must actually walk the retry machinery."""
+    tags = uniform_tagset(400, np.random.default_rng(7))
+    a = simulate(TPP(), tags, seed=5, channel=BitErrorChannel(0.03),
+                 backend="machines")
+    b = simulate(TPP(), tags, seed=5, channel=BitErrorChannel(0.03),
+                 backend="array")
+    assert a.n_retries > 0
+    assert _counters(a) == _counters(b)
+
+
+@pytest.mark.parametrize("proto", [CPP(), HPP(), TPP(), MIC()],
+                         ids=lambda p: p.name)
+def test_parity_missing_tag_mode(proto):
+    tags = _tagset_for(proto, 200, seed=3)
+    rng = np.random.default_rng(9)
+    absent = rng.choice(200, size=12, replace=False)
+    present = np.setdiff1d(np.arange(200), absent)
+    a = simulate(proto, tags, seed=5, present=present, backend="machines")
+    b = simulate(proto, tags, seed=5, present=present, backend="array")
+    assert _counters(a) == _counters(b)
+    assert b.missing == sorted(absent.tolist())
+
+
+def test_parity_missing_tag_mode_lossy():
+    tags = uniform_tagset(200, np.random.default_rng(4))
+    present = np.setdiff1d(np.arange(200), [3, 77, 141])
+    kw = dict(seed=5, present=present, channel=BitErrorChannel(0.005),
+              missing_attempts=4)
+    a = simulate(HPP(), tags, backend="machines", **kw)
+    b = simulate(HPP(), tags, backend="array", **kw)
+    assert _counters(a) == _counters(b)
+    assert b.missing == [3, 77, 141]
+
+
+def test_parity_with_payloads():
+    tags = uniform_tagset(120, np.random.default_rng(6))
+    payloads = np.random.default_rng(8).integers(0, 1 << 16, size=120,
+                                                 dtype=np.int64)
+    plan = TPP().plan(tags, np.random.default_rng(5))
+    a = execute_plan(plan, tags, info_bits=16, payloads=payloads,
+                     backend="machines")
+    b = execute_plan(plan, tags, info_bits=16, payloads=payloads,
+                     backend="array")
+    assert _counters(a) == _counters(b)
+
+
+def test_unknown_backend_rejected():
+    tags = uniform_tagset(10, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="unknown backend"):
+        simulate(HPP(), tags, backend="quantum")
+
+
+# ----------------------------------------------------------------------
+# trace-free fast clock
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["machines", "array"])
+def test_fast_clock_matches_traced_run(backend):
+    """keep_trace=False must not change any counter, only skip events."""
+    tags = uniform_tagset(150, np.random.default_rng(1))
+    kw = dict(seed=5, channel=BitErrorChannel(0.005), backend=backend)
+    traced = simulate(TPP(), tags, keep_trace=True, **kw)
+    fast = simulate(TPP(), tags, keep_trace=False, **kw)
+    assert _counters(traced) == _counters(fast)
+    assert len(traced.trace) > 0
+    assert len(fast.trace.events) == 0
+
+
+@pytest.mark.parametrize("backend", ["machines", "array"])
+def test_fast_clock_still_counts_kinds(backend):
+    """Trace.count reports would-have-been events even when keep=False."""
+    tags = uniform_tagset(80, np.random.default_rng(2))
+    traced = simulate(HPP(), tags, seed=3, keep_trace=True, backend=backend)
+    fast = simulate(HPP(), tags, seed=3, keep_trace=False, backend=backend)
+    for kind in (EventKind.TAG_READ, EventKind.READER_TX_END,
+                 EventKind.REPLY_TIMEOUT, EventKind.COLLISION):
+        assert fast.trace.count(kind) == traced.trace.count(kind)
+    assert fast.trace.count(EventKind.TAG_READ) == 80
+
+
+# ----------------------------------------------------------------------
+# scale
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_tpp_100k_tags_array_backend():
+    """The tentpole claim: DES validation at the paper's full scale."""
+    tags = uniform_tagset(100_000, np.random.default_rng(11))
+    result = simulate(TPP(), tags, seed=2, keep_trace=False, backend="array")
+    assert result.all_read
+    assert result.trace.count(EventKind.TAG_READ) == 100_000
+
+
+def test_tpp_10k_tags_array_backend_fast():
+    """A CI-speed stand-in for the 10^5 smoke test (< a second)."""
+    tags = uniform_tagset(10_000, np.random.default_rng(11))
+    result = simulate(TPP(), tags, seed=2, keep_trace=False, backend="array")
+    assert result.all_read
