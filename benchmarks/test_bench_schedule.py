@@ -1,0 +1,79 @@
+"""Benchmarks for the wire-schedule coster (ISSUE 3).
+
+Compares the legacy per-round Python loop (``LinkBudget.plan_us_loop``)
+against the vectorised columnar path: compile once, then
+``LinkBudget.schedule_us`` over the structured arrays.  The acceptance
+bar is >= 5x at n = 100k; the gate lives in the n=100k case so a
+regression of the vectorised coster fails ``make bench``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.phy.link import LinkBudget
+from repro.phy.schedule import compile_plan
+from repro.workloads.tagsets import uniform_tagset
+
+INFO_BITS = 8
+SIZES = (1_000, 10_000, 100_000)
+
+
+@pytest.fixture(scope="module")
+def plans():
+    out = {}
+    for n in SIZES:
+        tags = uniform_tagset(n, np.random.default_rng(n))
+        out[n] = EHPP().plan(tags, np.random.default_rng(n + 1))
+    return out
+
+
+@pytest.fixture(scope="module")
+def schedules(plans):
+    return {n: compile_plan(plan, INFO_BITS) for n, plan in plans.items()}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_legacy_loop(benchmark, plans, n):
+    budget = LinkBudget()
+    total = benchmark(lambda: budget.plan_us_loop(plans[n], INFO_BITS))
+    assert total > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_schedule_coster(benchmark, schedules, n):
+    budget = LinkBudget()
+    total = benchmark(lambda: budget.schedule_us(schedules[n]))
+    assert total > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_compile_plus_cost(benchmark, plans, n):
+    budget = LinkBudget()
+    total = benchmark(
+        lambda: budget.schedule_us(compile_plan(plans[n], INFO_BITS))
+    )
+    assert total > 0
+
+
+def test_speedup_at_100k(benchmark, plans, schedules):
+    """Acceptance gate: vectorised coster >= 5x the loop at n = 100k."""
+    import time
+
+    budget = LinkBudget()
+    plan, sched = plans[100_000], schedules[100_000]
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    loop_s = best_of(lambda: budget.plan_us_loop(plan, INFO_BITS))
+    vec_s = best_of(lambda: budget.schedule_us(sched))
+    assert budget.plan_us_loop(plan, INFO_BITS) == benchmark(
+        lambda: budget.schedule_us(sched)
+    )
+    assert loop_s / vec_s >= 5.0, f"speedup only {loop_s / vec_s:.1f}x"

@@ -3,7 +3,8 @@
 The related work (Qiao et al., "Energy-efficient polling protocols in
 RFID systems") evaluates polling by *energy*, not only time: active tags
 spend battery while listening to the reader and while backscattering.
-This module prices an :class:`~repro.core.base.InterrogationPlan` under
+This module prices a :class:`~repro.phy.schedule.WireSchedule` (or an
+:class:`~repro.core.base.InterrogationPlan`, compiled on the fly) under
 a simple, configurable energy model:
 
 - the reader transmits at ``reader_tx_mw`` during downlink bits;
@@ -22,10 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.base import InterrogationPlan
 from repro.phy.link import LinkBudget
+from repro.phy.schedule import KIND_POLL, WireSchedule, compile_plan
 
-__all__ = ["EnergyModel", "EnergyReport", "plan_energy"]
+__all__ = ["EnergyModel", "EnergyReport", "plan_energy", "schedule_energy"]
 
 
 @dataclass(frozen=True)
@@ -65,48 +69,55 @@ class EnergyReport:
         return self.tag_listen_mj / self.n_tags if self.n_tags else 0.0
 
 
+def schedule_energy(
+    schedule: WireSchedule,
+    budget: LinkBudget | None = None,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Price a wire schedule's reader and tag-side energy.
+
+    The reader-TX / tag-listen / tag-TX splits come from the same
+    exchange rows the timing does: per-round durations from
+    :meth:`~repro.phy.link.LinkBudget.schedule_round_us`, downlink bits
+    from the ``downlink_bits`` column, reply bits from the poll rows'
+    ``uplink_bits`` (so per-exchange-varying replies, e.g. the query
+    tree's, are priced exactly rather than via a uniform approximation).
+
+    Tags polled within a round are assumed (on average) to listen to
+    half of that round before being read; tags deferred to later rounds
+    listen to all of it.
+    """
+    budget = budget if budget is not None else LinkBudget()
+    model = model if model is not None else EnergyModel()
+
+    n_rounds = schedule.n_rounds
+    round_us = budget.schedule_round_us(schedule)
+    rid = schedule.round_id
+    is_poll = schedule.kind == KIND_POLL
+    polled = np.bincount(rid[is_poll], minlength=n_rounds)
+    # tags that stay awake past a round hear all of it; tags read inside
+    # it hear half of it on average
+    survivors = schedule.n_tags - np.cumsum(polled)
+    listen_tag_us = float(np.sum(survivors * round_us + polled * (round_us / 2.0)))
+    reader_tx_us = budget.timing.reader_tx_us(schedule.reader_bits)
+
+    us_to_s = 1e-6
+    return EnergyReport(
+        protocol=schedule.protocol,
+        n_tags=schedule.n_tags,
+        reader_mj=model.reader_tx_mw * reader_tx_us * us_to_s,
+        tag_listen_mj=model.tag_rx_mw * listen_tag_us * us_to_s,
+        tag_tx_mj=(
+            model.tag_tx_mw * budget.timing.tag_tx_us(schedule.tag_bits) * us_to_s
+        ),
+    )
+
+
 def plan_energy(
     plan: InterrogationPlan,
     reply_bits: int,
     budget: LinkBudget | None = None,
     model: EnergyModel | None = None,
 ) -> EnergyReport:
-    """Price a plan's reader and tag-side energy.
-
-    Tags polled within a round are assumed (on average) to listen to
-    half of that round's polls before being read; tags deferred to later
-    rounds listen to all of it.
-    """
-    budget = budget if budget is not None else LinkBudget()
-    model = model if model is not None else EnergyModel()
-
-    reader_tx_us = 0.0
-    listen_tag_us = 0.0  # Σ over tags of listening time
-    awake = plan.n_tags
-    for rp in plan.rounds:
-        round_us = budget.round_us(rp, reply_bits)
-        tx_us = budget.timing.reader_tx_us(rp.reader_bits)
-        reader_tx_us += tx_us
-        polled = rp.n_polls
-        # tags that stay awake past this round hear all of it; tags read
-        # inside it hear half of it on average
-        survivors = awake - polled
-        listen_tag_us += survivors * round_us + polled * (round_us / 2.0)
-        awake = survivors
-
-    us_to_s = 1e-6
-    reader_mj = model.reader_tx_mw * reader_tx_us * us_to_s
-    tag_listen_mj = model.tag_rx_mw * listen_tag_us * us_to_s
-    tag_tx_mj = (
-        model.tag_tx_mw
-        * plan.n_polls
-        * budget.timing.tag_tx_us(reply_bits)
-        * us_to_s
-    )
-    return EnergyReport(
-        protocol=plan.protocol,
-        n_tags=plan.n_tags,
-        reader_mj=reader_mj,
-        tag_listen_mj=tag_listen_mj,
-        tag_tx_mj=tag_tx_mj,
-    )
+    """Price a plan's energy: compile to a wire schedule, then price that."""
+    return schedule_energy(compile_plan(plan, reply_bits), budget, model)

@@ -1,12 +1,13 @@
 """Execution-time model — paper §V-A and Fig. 1.
 
 Per-tag collection time with a ``w``-bit polling vector and ``l``-bit
-information under the C1G2 timing constants:
+information under the C1G2 timing constants (reader bit time ``t_R``,
+tag bit time ``t_T``, both from :data:`repro.phy.timing.PAPER_TIMING`):
 
-    ``t(w, l) = 37.45·(4 + w) + T1 + 25·l + T2``  µs,
+    ``t(w, l) = t_R·(4 + w) + T1 + t_T·l + T2``  µs,
 
 and CPP's variant without the 4-bit framing (the reader broadcasts the
-raw 96-bit ID): ``t_CPP(l) = 37.45·96 + T1 + 25·l + T2``.
+raw 96-bit ID): ``t_CPP(l) = t_R·96 + T1 + t_T·l + T2``.
 """
 
 from __future__ import annotations

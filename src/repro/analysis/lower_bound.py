@@ -4,7 +4,9 @@ Any C1G2-compliant information-collection protocol must, per tag, at
 least transmit a minimal 4-bit framing command, pay both turnarounds and
 carry the ``l``-bit reply:
 
-    ``LB(n, l) = (37.45·4 + T1 + 25·l + T2) · n``  µs.
+    ``LB(n, l) = (t_R·4 + T1 + t_T·l + T2) · n``  µs
+    (``t_R``/``t_T`` the reader/tag bit times of
+    :data:`repro.phy.timing.PAPER_TIMING`).
 
 Re-exported thinly around :func:`repro.phy.link.lower_bound_us` with the
 ratio helpers the tables use.

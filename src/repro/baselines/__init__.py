@@ -11,21 +11,38 @@
 
 from repro.baselines.aloha import DFSA, FramedSlottedAloha
 from repro.baselines.estimation import estimate_cardinality
-from repro.baselines.iip import IIPResult, simulate_iip
+from repro.baselines.iip import IIP, IIPResult, plan_iip, simulate_iip
 from repro.baselines.mic import MIC
-from repro.baselines.query_tree import QueryTreeResult, simulate_query_tree
-from repro.baselines.trp import TRPResult, simulate_trp, trp_required_rounds
+from repro.baselines.query_tree import (
+    QueryTree,
+    QueryTreeResult,
+    plan_query_tree,
+    simulate_query_tree,
+)
+from repro.baselines.trp import (
+    TRP,
+    TRPResult,
+    plan_trp,
+    simulate_trp,
+    trp_required_rounds,
+)
 
 __all__ = [
     "MIC",
     "DFSA",
     "FramedSlottedAloha",
+    "QueryTree",
     "QueryTreeResult",
+    "plan_query_tree",
     "simulate_query_tree",
+    "TRP",
     "TRPResult",
+    "plan_trp",
     "simulate_trp",
     "trp_required_rounds",
+    "IIP",
     "IIPResult",
+    "plan_iip",
     "simulate_iip",
     "estimate_cardinality",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
 from repro.workloads.tagsets import TagSet
 
 __all__ = ["FramedSlottedAloha", "DFSA"]
@@ -48,13 +49,15 @@ class FramedSlottedAloha(PollingProtocol):
 
     name = "FSA"
 
-    def __init__(self, frame_size: int, frame_init_bits: int = 32):
+    def __init__(self, frame_size: int, frame_init_bits: int = 32,
+                 commands: CommandSizes = DEFAULT_COMMAND_SIZES):
         if frame_size < 1:
             raise ValueError("frame_size must be positive")
         if frame_init_bits < 0:
             raise ValueError("frame_init_bits must be non-negative")
         self.frame_size = frame_size
         self.frame_init_bits = frame_init_bits
+        self.commands = commands
 
     def _frame_size(self, backlog: int) -> int:
         return self.frame_size
@@ -76,10 +79,10 @@ class FramedSlottedAloha(PollingProtocol):
                     init_bits=self.frame_init_bits,
                     poll_vector_bits=np.zeros(read.size, dtype=np.int64),
                     poll_tag_idx=read,
-                    poll_overhead_bits=4,
+                    poll_overhead_bits=self.commands.query_rep,
                     empty_slots=n_empty,
                     collision_slots=n_collision,
-                    slot_overhead_bits=4,
+                    slot_overhead_bits=self.commands.query_rep,
                     extra={"frame_size": f},
                 )
             )
@@ -91,10 +94,12 @@ class DFSA(FramedSlottedAloha):
 
     name = "DFSA"
 
-    def __init__(self, load: float = 1.0, frame_init_bits: int = 32):
+    def __init__(self, load: float = 1.0, frame_init_bits: int = 32,
+                 commands: CommandSizes = DEFAULT_COMMAND_SIZES):
         if load <= 0:
             raise ValueError("load must be positive")
-        super().__init__(frame_size=1, frame_init_bits=frame_init_bits)
+        super().__init__(frame_size=1, frame_init_bits=frame_init_bits,
+                         commands=commands)
         self.load = load
 
     def _frame_size(self, backlog: int) -> int:

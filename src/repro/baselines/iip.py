@@ -22,6 +22,11 @@ Two wire variants, matching the paper's §VI discussion:
 Either way each verification consumes a whole slot, which is what the
 paper's polling protocols compress: a TPP poll is a ~3-bit vector, and
 its reply doubles as the presence proof.
+
+:func:`plan_iip` emits the run as a :class:`~repro.phy.schedule.WireSchedule`
+(one round per frame: present verifications are identified 1-bit polls,
+missing-tag silences and expected-empty slots are empty slots, clashing
+slots are collisions), priced and swept like every other protocol.
 """
 
 from __future__ import annotations
@@ -32,10 +37,12 @@ import numpy as np
 
 from repro.core.rounds import fresh_seed
 from repro.hashing.universal import hash_mod
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
 from repro.phy.link import LinkBudget
+from repro.phy.schedule import ScheduleBuilder, ScheduleEmitter, WireSchedule
 from repro.workloads.tagsets import TagSet
 
-__all__ = ["IIPResult", "simulate_iip"]
+__all__ = ["IIPResult", "IIP", "plan_iip", "simulate_iip"]
 
 _MAX_ROUNDS = 100_000
 
@@ -58,6 +65,88 @@ class IIPResult:
         return self.wire_time_us / 1e6
 
 
+def plan_iip(
+    tags: TagSet,
+    present: np.ndarray,
+    rng: np.random.Generator,
+    load: float = 1.0,
+    bitmap: bool = True,
+    init_bits: int = 32,
+    commands: CommandSizes = DEFAULT_COMMAND_SIZES,
+) -> WireSchedule:
+    """Run IIP to completion and emit its wire schedule.
+
+    Slot → row mapping: a present tag's verification is a QueryRep-framed
+    1-bit poll carrying the tag's index; a missing tag's silent slot is
+    an empty slot (the reader charges the framing and turnarounds, no
+    reply window — that silence is the information); with
+    ``bitmap=False`` the walked useless slots add expected-empty rows and
+    1-bit collision rows.
+
+    The present/missing partition lands in ``meta`` (``missing``,
+    ``present``, ``rounds``, ``total_slots``, ``wasted_slots``).
+    """
+    if len(tags) == 0:
+        raise ValueError("population must be non-empty")
+    qr = commands.query_rep
+
+    present_mask = np.zeros(len(tags), dtype=bool)
+    present_mask[np.asarray(present, dtype=np.int64)] = True
+
+    unverified = np.arange(len(tags), dtype=np.int64)
+    missing: list[int] = []
+    found_present: list[int] = []
+    total_slots = wasted = 0
+
+    builder = ScheduleBuilder("IIP", len(tags),
+                              meta={"bitmap": bool(bitmap), "load": load})
+    for round_no in range(_MAX_ROUNDS):
+        if unverified.size == 0:
+            builder.meta.update(
+                rounds=round_no,
+                missing=sorted(missing),
+                present=sorted(found_present),
+                total_slots=total_slots,
+                wasted_slots=wasted,
+            )
+            return builder.build()
+        # frame floor: a 1-slot frame can never verify among 2+ tags
+        floor = 1 if unverified.size == 1 else 2
+        f = max(int(round(unverified.size / load)), floor)
+        seed = fresh_seed(rng)
+        slots = hash_mod(tags.id_words[unverified], seed, f)
+        counts = np.bincount(slots, minlength=f)
+        is_singleton = counts[slots] == 1
+        verify_tags = unverified[is_singleton]
+
+        builder.begin_round()
+        # frame announce (+ indicator vector when skipping is enabled)
+        builder.broadcast(init_bits + (f if bitmap else 0))
+
+        # verification slots: 1-bit reply or silence
+        replying = verify_tags[present_mask[verify_tags]]
+        silent = verify_tags[~present_mask[verify_tags]]
+        builder.polls(qr, 1, replying)
+        builder.empty_slot(qr, count=int(silent.size))
+        total_slots += int(verify_tags.size)
+
+        if not bitmap:
+            # the reader must also walk the useless slots
+            n_useless = f - int(np.count_nonzero(counts == 1))
+            n_empty_expected = int(np.count_nonzero(counts == 0))
+            n_collision = n_useless - n_empty_expected
+            builder.empty_slot(qr, count=n_empty_expected)
+            # collision slots: several tags reply concurrently (1 bit)
+            builder.collision_slot(qr, 1, count=n_collision)
+            total_slots += n_useless
+            wasted += n_useless
+
+        missing.extend(silent.tolist())
+        found_present.extend(replying.tolist())
+        unverified = unverified[~is_singleton]
+    raise RuntimeError("IIP did not converge")  # pragma: no cover
+
+
 def simulate_iip(
     tags: TagSet,
     present: np.ndarray,
@@ -69,75 +158,53 @@ def simulate_iip(
 ) -> IIPResult:
     """Identify every missing tag via iterative 1-bit verification slots.
 
-    Args:
-        tags: the known population.
-        present: indices of physically present tags.
-        load: frame load factor (``f = unverified / load``).
-        bitmap: broadcast an f-bit vector to skip useless slots.
-        init_bits: frame-announce command size.
-        budget: link costing (paper timing by default).
+    Thin wrapper over :func:`plan_iip`: the partition comes from the
+    schedule's ``meta``, the wire time from pricing the schedule.
     """
-    if len(tags) == 0:
-        raise ValueError("population must be non-empty")
     budget = budget if budget is not None else LinkBudget()
-    t = budget.timing
+    schedule = plan_iip(
+        tags, present, rng, load=load, bitmap=bitmap, init_bits=init_bits
+    )
+    meta = schedule.meta
+    return IIPResult(
+        n_known=len(tags),
+        rounds=meta["rounds"],
+        missing=meta["missing"],
+        present=meta["present"],
+        wire_time_us=budget.schedule_us(schedule),
+        total_slots=meta["total_slots"],
+        wasted_slots=meta["wasted_slots"],
+        reader_bits=schedule.reader_bits,
+    )
 
-    present_mask = np.zeros(len(tags), dtype=bool)
-    present_mask[np.asarray(present, dtype=np.int64)] = True
 
-    unverified = np.arange(len(tags), dtype=np.int64)
-    missing: list[int] = []
-    found_present: list[int] = []
-    time_us = 0.0
-    total_slots = wasted = reader_bits = 0
+class IIP(ScheduleEmitter):
+    """Sweepable IIP scenario: a random fraction of the tags goes missing."""
 
-    for round_no in range(_MAX_ROUNDS):
-        if unverified.size == 0:
-            return IIPResult(
-                n_known=len(tags),
-                rounds=round_no,
-                missing=sorted(missing),
-                present=sorted(found_present),
-                wire_time_us=time_us,
-                total_slots=total_slots,
-                wasted_slots=wasted,
-                reader_bits=reader_bits,
-            )
-        # frame floor: a 1-slot frame can never verify among 2+ tags
-        floor = 1 if unverified.size == 1 else 2
-        f = max(int(round(unverified.size / load)), floor)
-        seed = fresh_seed(rng)
-        slots = hash_mod(tags.id_words[unverified], seed, f)
-        counts = np.bincount(slots, minlength=f)
-        is_singleton = counts[slots] == 1
-        verify_tags = unverified[is_singleton]
+    name = "IIP"
 
-        # frame announce (+ indicator vector when skipping is enabled)
-        frame_bits = init_bits + (f if bitmap else 0)
-        reader_bits += frame_bits
-        time_us += budget.broadcast_us(frame_bits)
+    def __init__(
+        self,
+        missing_fraction: float = 0.01,
+        load: float = 1.0,
+        bitmap: bool = True,
+        init_bits: int = 32,
+    ):
+        if not 0.0 <= missing_fraction <= 1.0:
+            raise ValueError("missing_fraction must be in [0, 1]")
+        self.missing_fraction = missing_fraction
+        self.load = load
+        self.bitmap = bitmap
+        self.init_bits = init_bits
 
-        # verification slots: 1-bit reply or silence
-        n_replies = int(present_mask[verify_tags].sum())
-        n_silent = int(verify_tags.size - n_replies)
-        time_us += n_replies * budget.poll_us(0, 4, 1)
-        time_us += n_silent * budget.empty_slot_us(4)
-        total_slots += verify_tags.size
-        reader_bits += 4 * int(verify_tags.size)
-
-        if not bitmap:
-            # the reader must also walk the useless slots
-            n_useless = f - int(np.count_nonzero(counts == 1))
-            n_empty_expected = int(np.count_nonzero(counts == 0))
-            n_collision = n_useless - n_empty_expected
-            time_us += n_empty_expected * budget.empty_slot_us(4)
-            # collision slots: several tags reply concurrently (1 bit)
-            time_us += n_collision * budget.collision_slot_us(4, 1)
-            total_slots += n_useless
-            wasted += n_useless
-            reader_bits += 4 * n_useless
-
-        missing.extend(verify_tags[~present_mask[verify_tags]].tolist())
-        found_present.extend(verify_tags[present_mask[verify_tags]].tolist())
-        unverified = unverified[~is_singleton]
-    raise RuntimeError("IIP did not converge")  # pragma: no cover
+    def emit(self, tags: TagSet, rng: np.random.Generator, *,
+             info_bits: int = 0,
+             budget: LinkBudget | None = None) -> WireSchedule:
+        n = len(tags)
+        n_missing = min(n, max(1, int(round(self.missing_fraction * n))))
+        missing = rng.choice(n, size=n_missing, replace=False)
+        present = np.setdiff1d(np.arange(n, dtype=np.int64), missing)
+        return plan_iip(
+            tags, present, rng,
+            load=self.load, bitmap=self.bitmap, init_bits=self.init_bits,
+        )

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.core.rounds import fresh_seed
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
 from repro.hashing.universal import derive_seed, hash_mod
 from repro.workloads.tagsets import TagSet
 
@@ -50,6 +51,7 @@ class MIC(PollingProtocol):
         load: float = 1.0,
         frame_init_bits: int = 32,
         uniform_slot_cost: bool = True,
+        commands: CommandSizes = DEFAULT_COMMAND_SIZES,
     ):
         """
         Args:
@@ -59,6 +61,7 @@ class MIC(PollingProtocol):
             uniform_slot_cost: charge wasted slots a full slot (the
                 reproduced paper's convention) instead of an empty-slot
                 timeout.
+            commands: C1G2 command sizes (slot framing = QueryRep).
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -70,6 +73,7 @@ class MIC(PollingProtocol):
         self.load = load
         self.frame_init_bits = frame_init_bits
         self.uniform_slot_cost = uniform_slot_cost
+        self.commands = commands
 
     # ------------------------------------------------------------------
     @property
@@ -156,12 +160,12 @@ class MIC(PollingProtocol):
                     init_bits=self.frame_init_bits + f * self.indicator_bits_per_slot,
                     poll_vector_bits=np.zeros(slots.size, dtype=np.int64),
                     poll_tag_idx=owners,
-                    poll_overhead_bits=4,
+                    poll_overhead_bits=self.commands.query_rep,
                     # wasted slots: full slot length under the paper's
                     # uniform-slot convention, silent timeout otherwise
                     collision_slots=wasted if self.uniform_slot_cost else 0,
                     empty_slots=0 if self.uniform_slot_cost else wasted,
-                    slot_overhead_bits=4,
+                    slot_overhead_bits=self.commands.query_rep,
                     extra={
                         "seed": seed,
                         "frame_size": f,

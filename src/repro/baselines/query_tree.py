@@ -9,8 +9,9 @@ collision and empty queries plus long uplink replies.
 
 Queries have per-node variable costs (the prefix length grows down the
 tree, the reply shrinks), which doesn't fit the uniform-slot RoundPlan
-model, so this baseline ships with its own small simulator that costs
-each query directly through :class:`repro.phy.link.LinkBudget`.
+model — but it fits the wire-schedule IR directly: :func:`plan_query_tree`
+emits one :class:`~repro.phy.schedule.WireSchedule` round per query, and
+:class:`repro.phy.link.LinkBudget` prices it like every other protocol.
 """
 
 from __future__ import annotations
@@ -18,11 +19,19 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
-from repro.phy.commands import EPC_ID_BITS
+import numpy as np
+
+from repro.phy.commands import DEFAULT_COMMAND_SIZES, EPC_ID_BITS
 from repro.phy.link import LinkBudget
+from repro.phy.schedule import ScheduleBuilder, ScheduleEmitter, WireSchedule
 from repro.workloads.tagsets import TagSet
 
-__all__ = ["QueryTreeResult", "simulate_query_tree"]
+__all__ = [
+    "QueryTreeResult",
+    "QueryTree",
+    "plan_query_tree",
+    "simulate_query_tree",
+]
 
 
 @dataclass(frozen=True)
@@ -43,38 +52,40 @@ class QueryTreeResult:
         return self.wire_time_us / self.n_tags if self.n_tags else 0.0
 
 
-def simulate_query_tree(
+def plan_query_tree(
     tags: TagSet,
     info_bits: int = 0,
-    budget: LinkBudget | None = None,
-    command_overhead_bits: int = 4,
-) -> QueryTreeResult:
-    """Identify every tag with a binary query tree and cost the run.
+    command_overhead_bits: int | None = None,
+) -> WireSchedule:
+    """Run the query tree and emit its wire schedule (one round/query).
 
     Args:
         tags: the population (IDs *unknown* to the reader a priori —
             that is the regime query trees target).
         info_bits: payload bits appended to each identifying reply.
-        budget: link costing policy (paper timing by default).
-        command_overhead_bits: framing bits per query command.
-
-    Returns:
-        Aggregate counters and wire time.
+        command_overhead_bits: framing bits per query command; defaults
+            to the C1G2 QueryRep size.
     """
-    if budget is None:
-        budget = LinkBudget()
-    epcs = sorted(tags.epcs())
+    if command_overhead_bits is None:
+        command_overhead_bits = DEFAULT_COMMAND_SIZES.query_rep
+    order = sorted(range(len(tags)), key=tags.epc)
+    epcs = [tags.epc(i) for i in order]
     if len(set(epcs)) != len(epcs):
         raise ValueError("query tree requires unique tag IDs")
 
-    n_queries = n_singleton = n_collision = n_empty = 0
-    reader_bits = tag_bits = 0
-    time_us = 0.0
-
+    builder = ScheduleBuilder(
+        "QT",
+        len(tags),
+        meta={
+            "info_bits": int(info_bits),
+            "command_overhead_bits": int(command_overhead_bits),
+        },
+    )
     # stack of (prefix value, prefix length); matching resolved on the
     # sorted EPC list via binary search so each query is O(log n).
     # The root query is the empty prefix (a full-population query).
     stack: list[tuple[int, int]] = [(0, 0)]
+    n_singleton = 0
     while stack:
         prefix, length = stack.pop()
         lo = bisect.bisect_left(epcs, prefix << (EPC_ID_BITS - length)) if length else 0
@@ -85,20 +96,15 @@ def simulate_query_tree(
         )
         n_matching = hi - lo
         reply_bits = (EPC_ID_BITS - length) + info_bits
-        n_queries += 1
-        reader_bits += command_overhead_bits + length
+        downlink = command_overhead_bits + length
+        builder.begin_round()
         if n_matching == 0:
-            n_empty += 1
-            time_us += budget.empty_slot_us(command_overhead_bits + length)
+            builder.empty_slot(downlink)
         elif n_matching == 1:
             n_singleton += 1
-            tag_bits += reply_bits
-            time_us += budget.poll_us(length, command_overhead_bits, reply_bits)
+            builder.poll(downlink, reply_bits, order[lo])
         else:
-            n_collision += 1
-            time_us += budget.collision_slot_us(
-                command_overhead_bits + length, reply_bits
-            )
+            builder.collision_slot(downlink, reply_bits)
             if length >= EPC_ID_BITS:  # pragma: no cover - unique IDs forbid this
                 raise RuntimeError("collision at full ID depth: duplicate IDs?")
             stack.append(((prefix << 1) | 1, length + 1))
@@ -106,13 +112,44 @@ def simulate_query_tree(
 
     if n_singleton != len(epcs):  # pragma: no cover - invariant
         raise RuntimeError("query tree failed to identify every tag")
+    return builder.build()
+
+
+def simulate_query_tree(
+    tags: TagSet,
+    info_bits: int = 0,
+    budget: LinkBudget | None = None,
+    command_overhead_bits: int | None = None,
+) -> QueryTreeResult:
+    """Identify every tag with a binary query tree and cost the run.
+
+    Thin wrapper over :func:`plan_query_tree`: all counters and the wire
+    time are read off the emitted schedule.
+    """
+    if budget is None:
+        budget = LinkBudget()
+    schedule = plan_query_tree(tags, info_bits, command_overhead_bits)
     return QueryTreeResult(
-        n_tags=len(epcs),
-        n_queries=n_queries,
-        n_singleton=n_singleton,
-        n_collision=n_collision,
-        n_empty=n_empty,
-        reader_bits=reader_bits,
-        tag_bits=tag_bits,
-        wire_time_us=time_us,
+        n_tags=len(tags),
+        n_queries=schedule.n_rounds,
+        n_singleton=schedule.n_polls,
+        n_collision=schedule.n_collision_slots,
+        n_empty=schedule.n_empty_slots,
+        reader_bits=schedule.reader_bits,
+        tag_bits=schedule.tag_bits,
+        wire_time_us=budget.schedule_us(schedule),
     )
+
+
+class QueryTree(ScheduleEmitter):
+    """Sweepable query-tree baseline (deterministic; the rng is unused)."""
+
+    name = "QT"
+
+    def __init__(self, command_overhead_bits: int | None = None):
+        self.command_overhead_bits = command_overhead_bits
+
+    def emit(self, tags: TagSet, rng: np.random.Generator, *,
+             info_bits: int = 0,
+             budget: LinkBudget | None = None) -> WireSchedule:
+        return plan_query_tree(tags, info_bits, self.command_overhead_bits)

@@ -12,9 +12,15 @@ polling protocols fill (they identify every missing tag with
 certainty).
 
 Detection analysis: a particular missing tag is caught in one round iff
-its slot is an expected singleton, probability
+its slot is an expected-singleton, probability
 ``p₁ = (1 − 1/f)^(n−1) ≈ e^{−(n−1)/f}``; over ``k`` independent rounds
 ``P[detect] = 1 − (1 − p₁)^k``, so ``k = ⌈ln(1−α)/ln(1−p₁)⌉``.
+
+:func:`plan_trp` emits the run as a :class:`~repro.phy.schedule.WireSchedule`
+(one round per TRP frame; every slot is walked because silence *is* the
+signal — busy slots are anonymous 1-bit polls, silent slots wait out the
+same 1-bit reply window), so TRP is priced, serialised, and swept by the
+same machinery as every other protocol.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ import numpy as np
 
 from repro.core.rounds import fresh_seed
 from repro.hashing.universal import hash_mod
+from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
+from repro.phy.link import LinkBudget
+from repro.phy.schedule import ScheduleBuilder, ScheduleEmitter, WireSchedule
 from repro.phy.timing import C1G2Timing, PAPER_TIMING
 from repro.workloads.tagsets import TagSet
 
@@ -33,6 +42,8 @@ __all__ = [
     "trp_singleton_probability",
     "trp_required_rounds",
     "TRPResult",
+    "TRP",
+    "plan_trp",
     "simulate_trp",
 ]
 
@@ -70,14 +81,74 @@ class TRPResult:
         return self.wire_time_us / 1e6
 
 
-def _round_time_us(f: int, init_bits: int, timing: C1G2Timing) -> float:
-    """One TRP round: frame announce + f one-bit reply slots.
+def plan_trp(
+    tags: TagSet,
+    present: np.ndarray,
+    rng: np.random.Generator,
+    load: float = 1.0,
+    alpha: float = 0.99,
+    max_rounds: int | None = None,
+    init_bits: int = 32,
+    stop_on_detection: bool = True,
+    commands: CommandSizes = DEFAULT_COMMAND_SIZES,
+) -> WireSchedule:
+    """Run TRP monitoring rounds and emit the wire schedule.
 
-    Every slot is walked (the reader cannot skip: silence is the
-    signal); each costs a 4-bit QueryRep, T1, a 1-bit reply window, T2.
+    Every slot costs a QueryRep plus the 1-bit reply window (the reader
+    cannot skip or shorten slots: silence is the signal), so slots map to
+    schedule rows as: ≥2 repliers → collision, exactly 1 → an anonymous
+    poll (``tag_idx = -1``; TRP never learns *who* replied), 0 → an
+    empty slot with a 1-bit ``window_bits``.
+
+    Detection outcome lands in ``meta``: ``n_missing``, ``rounds_run``,
+    ``detected``, ``first_detection_round``.
     """
-    slot_us = timing.reader_tx_us(4) + timing.t1_us + timing.tag_tx_us(1) + timing.t2_us
-    return timing.reader_tx_us(init_bits) + f * slot_us
+    n = len(tags)
+    if n == 0:
+        raise ValueError("population must be non-empty")
+    f = max(int(round(n / load)), 1)
+    round_budget = (
+        max_rounds if max_rounds is not None else trp_required_rounds(n, f, alpha)
+    )
+    qr = commands.query_rep
+
+    present = np.asarray(present, dtype=np.int64)
+    present_mask = np.zeros(n, dtype=bool)
+    present_mask[present] = True
+
+    builder = ScheduleBuilder("TRP", n)
+    detected = False
+    first_round: int | None = None
+    rounds_run = 0
+    for round_no in range(round_budget):
+        seed = fresh_seed(rng)
+        slots = hash_mod(tags.id_words, seed, f)
+        expected = np.bincount(slots, minlength=f)
+        observed = np.bincount(slots[present_mask], minlength=f)
+        builder.begin_round()
+        builder.broadcast(init_bits)
+        builder.poll(qr, 1, -1, count=int(np.count_nonzero(observed == 1)))
+        builder.empty_slot(qr, window_bits=1,
+                           count=int(np.count_nonzero(observed == 0)))
+        builder.collision_slot(qr, 1, count=int(np.count_nonzero(observed >= 2)))
+        rounds_run = round_no + 1
+        # an expected singleton that stays silent is proof
+        if np.any((expected == 1) & (observed == 0)):
+            detected = True
+            if first_round is None:
+                first_round = round_no
+            if stop_on_detection:
+                break
+    builder.meta.update(
+        n_missing=int(n - present.size),
+        rounds_run=rounds_run,
+        detected=detected,
+        first_detection_round=first_round,
+        frame_size=f,
+        alpha=alpha,
+        load=load,
+    )
+    return builder.build()
 
 
 def simulate_trp(
@@ -93,6 +164,9 @@ def simulate_trp(
 ) -> TRPResult:
     """Run TRP monitoring rounds until detection (or the α-round budget).
 
+    Thin wrapper over :func:`plan_trp`: the detection outcome comes from
+    the schedule's ``meta``, the wire time from pricing the schedule.
+
     Args:
         tags: the known population (reader side).
         present: indices of tags physically in the field.
@@ -102,45 +176,55 @@ def simulate_trp(
         stop_on_detection: stop at the first missing-slot evidence (the
             monitoring use case); if False run the whole budget.
     """
-    n = len(tags)
-    if n == 0:
-        raise ValueError("population must be non-empty")
-    f = max(int(round(n / load)), 1)
-    budget = max_rounds if max_rounds is not None else trp_required_rounds(n, f, alpha)
-
-    present = np.asarray(present, dtype=np.int64)
-    present_mask = np.zeros(n, dtype=bool)
-    present_mask[present] = True
-    n_missing = int(n - present.size)
-
-    detected = False
-    first_round: int | None = None
-    time_us = 0.0
-    for round_no in range(budget):
-        seed = fresh_seed(rng)
-        slots = hash_mod(tags.id_words, seed, f)
-        expected = np.bincount(slots, minlength=f)
-        observed = np.bincount(slots[present_mask], minlength=f)
-        time_us += _round_time_us(f, init_bits, timing)
-        # an expected singleton that stays silent is proof
-        if np.any((expected == 1) & (observed == 0)):
-            detected = True
-            if first_round is None:
-                first_round = round_no
-            if stop_on_detection:
-                return TRPResult(
-                    n_known=n,
-                    n_missing=n_missing,
-                    rounds_run=round_no + 1,
-                    detected=True,
-                    first_detection_round=round_no,
-                    wire_time_us=time_us,
-                )
-    return TRPResult(
-        n_known=n,
-        n_missing=n_missing,
-        rounds_run=budget,
-        detected=detected,
-        first_detection_round=first_round,
-        wire_time_us=time_us,
+    schedule = plan_trp(
+        tags, present, rng,
+        load=load, alpha=alpha, max_rounds=max_rounds,
+        init_bits=init_bits, stop_on_detection=stop_on_detection,
     )
+    budget = LinkBudget(timing=timing)
+    meta = schedule.meta
+    return TRPResult(
+        n_known=len(tags),
+        n_missing=meta["n_missing"],
+        rounds_run=meta["rounds_run"],
+        detected=meta["detected"],
+        first_detection_round=meta["first_detection_round"],
+        wire_time_us=budget.schedule_us(schedule),
+    )
+
+
+class TRP(ScheduleEmitter):
+    """Sweepable TRP scenario: a random fraction of the tags goes missing."""
+
+    name = "TRP"
+
+    def __init__(
+        self,
+        missing_fraction: float = 0.01,
+        load: float = 1.0,
+        alpha: float = 0.99,
+        max_rounds: int | None = None,
+        init_bits: int = 32,
+        stop_on_detection: bool = True,
+    ):
+        if not 0.0 <= missing_fraction <= 1.0:
+            raise ValueError("missing_fraction must be in [0, 1]")
+        self.missing_fraction = missing_fraction
+        self.load = load
+        self.alpha = alpha
+        self.max_rounds = max_rounds
+        self.init_bits = init_bits
+        self.stop_on_detection = stop_on_detection
+
+    def emit(self, tags: TagSet, rng: np.random.Generator, *,
+             info_bits: int = 0,
+             budget: LinkBudget | None = None) -> WireSchedule:
+        n = len(tags)
+        n_missing = min(n, max(1, int(round(self.missing_fraction * n))))
+        missing = rng.choice(n, size=n_missing, replace=False)
+        present = np.setdiff1d(np.arange(n, dtype=np.int64), missing)
+        return plan_trp(
+            tags, present, rng,
+            load=self.load, alpha=self.alpha, max_rounds=self.max_rounds,
+            init_bits=self.init_bits, stop_on_detection=self.stop_on_detection,
+        )

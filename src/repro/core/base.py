@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
+from repro.phy.commands import DEFAULT_COMMAND_SIZES
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.workloads.tagsets import TagSet
 
@@ -63,10 +65,10 @@ class RoundPlan:
     init_bits: int
     poll_vector_bits: np.ndarray
     poll_tag_idx: np.ndarray
-    poll_overhead_bits: int = 4
+    poll_overhead_bits: int = DEFAULT_COMMAND_SIZES.query_rep
     empty_slots: int = 0
     collision_slots: int = 0
-    slot_overhead_bits: int = 4
+    slot_overhead_bits: int = DEFAULT_COMMAND_SIZES.query_rep
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

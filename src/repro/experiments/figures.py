@@ -22,6 +22,7 @@ from repro.core.hpp import HPP
 from repro.core.tpp import TPP
 from repro.experiments.common import ExperimentResult, Series, sweep_protocol
 from repro.phy.commands import CommandSizes
+from repro.phy.timing import PAPER_TIMING
 
 __all__ = ["fig1", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10"]
 
@@ -37,7 +38,7 @@ def fig1(max_vector_bits: int = 96, info_bits: int = 1) -> ExperimentResult:
         title="execution time vs length of the polling vector",
         series=[Series("exec_time_ms", w.tolist(), t_ms.tolist())],
         notes={
-            "slope_us_per_bit": 37.45,
+            "slope_us_per_bit": PAPER_TIMING.reader_bit_us,
             "info_bits": info_bits,
         },
     )

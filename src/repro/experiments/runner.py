@@ -27,7 +27,11 @@ The engine is metric-agnostic: a metric is either the name of an
 ``"time_us"`` (costed through the :class:`~repro.phy.link.LinkBudget`),
 or a picklable callable ``metric(protocol, tags, seed_seq, budget,
 info_bits) -> float | list[float]`` for trials that need more than a
-plan (DES execution, energy models, ...).
+plan (DES execution, energy models, ...).  Protocols are either
+:class:`~repro.core.base.PollingProtocol` planners or
+:class:`~repro.phy.schedule.ScheduleEmitter` baselines (query tree,
+TRP, IIP); the latter resolve attribute metrics against the emitted
+:class:`~repro.phy.schedule.WireSchedule` (falling back to its ``meta``).
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ import numpy as np
 
 from repro.core.base import PollingProtocol
 from repro.phy.link import LinkBudget
+from repro.phy.schedule import ScheduleEmitter
 from repro.workloads.tagsets import TagSet, uniform_tagset
 
 __all__ = [
@@ -79,7 +84,7 @@ def describe(obj: Any) -> str:
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return repr(obj)
-    if isinstance(obj, PollingProtocol):
+    if isinstance(obj, (PollingProtocol, ScheduleEmitter)):
         parts = []
         for attr in sorted(vars(obj)):
             # prefer the public property over a lazily-filled private
@@ -150,7 +155,7 @@ def _memoised_tagset(
 
 
 def evaluate_cell(
-    protocol: PollingProtocol,
+    protocol: PollingProtocol | ScheduleEmitter,
     n: int,
     run: int,
     seed: int,
@@ -164,6 +169,17 @@ def evaluate_cell(
     tags = _memoised_tagset(seed, n, run, tag_child, tagset_factory)
     if callable(metric):
         return metric(protocol, tags, plan_child, budget, info_bits)
+    if isinstance(protocol, ScheduleEmitter):
+        schedule = protocol.emit(
+            tags, np.random.default_rng(plan_child),
+            info_bits=info_bits, budget=budget,
+        )
+        if metric == "time_us":
+            return float(budget.schedule_us(schedule))
+        value = getattr(schedule, metric, None)
+        if value is None:
+            value = schedule.meta[metric]
+        return float(value)
     plan = protocol.plan(tags, np.random.default_rng(plan_child))
     if metric == "time_us":
         return float(budget.plan_us(plan, info_bits))
@@ -281,7 +297,7 @@ class SweepRunner:
 
     def _compute(
         self,
-        protocol: PollingProtocol,
+        protocol: PollingProtocol | ScheduleEmitter,
         cells: Sequence[tuple[int, int]],
         seed: int,
         metric: Metric,
@@ -319,7 +335,7 @@ class SweepRunner:
     # ------------------------------------------------------------------
     def sweep_values(
         self,
-        protocol: PollingProtocol,
+        protocol: PollingProtocol | ScheduleEmitter,
         n_values: Sequence[int],
         n_runs: int = 20,
         seed: int = 0,
@@ -363,7 +379,10 @@ class SweepRunner:
 
     def sweep(
         self,
-        protocol_or_factory: PollingProtocol | Callable[[], PollingProtocol],
+        protocol_or_factory: (
+            PollingProtocol | ScheduleEmitter
+            | Callable[[], PollingProtocol | ScheduleEmitter]
+        ),
         n_values: Sequence[int],
         n_runs: int = 20,
         seed: int = 0,
@@ -377,7 +396,7 @@ class SweepRunner:
 
         protocol = (
             protocol_or_factory
-            if isinstance(protocol_or_factory, PollingProtocol)
+            if isinstance(protocol_or_factory, (PollingProtocol, ScheduleEmitter))
             else protocol_or_factory()
         )
         means = self.sweep_values(

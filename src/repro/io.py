@@ -1,10 +1,15 @@
-"""JSON (de)serialisation of plans and experiment results.
+"""JSON (de)serialisation of plans, wire schedules, and results.
 
 Lets a deployment archive the exact interrogation schedule a reader
 executed (for audit/replay) and lets the experiment harness persist
 sweep outputs without pickling.  Numpy arrays are stored as lists;
 round ``extra`` payloads keep only JSON-compatible values (arrays are
 converted, everything else must already be plain data).
+
+Wire schedules use a versioned format (:data:`SCHEDULE_FORMAT`): the
+columns are stored verbatim, and a schedule document may instead embed
+the originating plan (``"plan"`` key), in which case loading recompiles
+it — a compact fallback for the plan-born protocols.
 """
 
 from __future__ import annotations
@@ -17,17 +22,27 @@ import numpy as np
 
 from repro.core.base import InterrogationPlan, RoundPlan
 from repro.experiments.common import ExperimentResult, Series
+from repro.phy.commands import DEFAULT_COMMAND_SIZES
+from repro.phy.schedule import WireSchedule, compile_plan
 
 __all__ = [
+    "SCHEDULE_FORMAT",
     "plan_to_dict",
     "plan_from_dict",
     "save_plan",
     "load_plan",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
     "result_to_dict",
     "result_from_dict",
     "save_result",
     "load_result",
 ]
+
+#: wire-schedule document format tag; bump on breaking column changes
+SCHEDULE_FORMAT = "wire-schedule/v1"
 
 
 def _jsonable(value: Any) -> Any:
@@ -85,10 +100,14 @@ def plan_from_dict(data: dict[str, Any]) -> InterrogationPlan:
                 init_bits=rd["init_bits"],
                 poll_vector_bits=np.asarray(rd["poll_vector_bits"], dtype=np.int64),
                 poll_tag_idx=np.asarray(rd["poll_tag_idx"], dtype=np.int64),
-                poll_overhead_bits=rd.get("poll_overhead_bits", 4),
+                poll_overhead_bits=rd.get(
+                    "poll_overhead_bits", DEFAULT_COMMAND_SIZES.query_rep
+                ),
                 empty_slots=rd.get("empty_slots", 0),
                 collision_slots=rd.get("collision_slots", 0),
-                slot_overhead_bits=rd.get("slot_overhead_bits", 4),
+                slot_overhead_bits=rd.get(
+                    "slot_overhead_bits", DEFAULT_COMMAND_SIZES.query_rep
+                ),
                 extra=extra,
             )
         )
@@ -108,6 +127,81 @@ def save_plan(plan: InterrogationPlan, path: str | Path) -> Path:
 
 def load_plan(path: str | Path) -> InterrogationPlan:
     return plan_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# wire schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(
+    schedule: WireSchedule, plan: InterrogationPlan | None = None
+) -> dict[str, Any]:
+    """Versioned dict form of a wire schedule.
+
+    When ``plan`` is given, the document stores the *plan* instead of
+    the columns; :func:`schedule_from_dict` recompiles it (bit-identical
+    by :func:`~repro.phy.schedule.compile_plan` determinism) — much
+    smaller for the plan-born protocols, whose schedules are pure
+    functions of the plan.
+    """
+    doc: dict[str, Any] = {
+        "format": SCHEDULE_FORMAT,
+        "protocol": schedule.protocol,
+        "n_tags": schedule.n_tags,
+        "meta": _jsonable(schedule.meta),
+    }
+    if plan is not None:
+        doc["plan"] = plan_to_dict(plan)
+        doc["reply_bits"] = int(schedule.meta.get("reply_bits", 1))
+    else:
+        doc["columns"] = {
+            "kind": schedule.kind.tolist(),
+            "downlink_bits": schedule.downlink_bits.tolist(),
+            "uplink_bits": schedule.uplink_bits.tolist(),
+            "tag_idx": schedule.tag_idx.tolist(),
+            "round_id": schedule.round_id.tolist(),
+        }
+    return doc
+
+
+def schedule_from_dict(data: dict[str, Any]) -> WireSchedule:
+    """Rebuild a wire schedule (or recompile one from an embedded plan)."""
+    fmt = data.get("format")
+    if fmt != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"unsupported schedule format {fmt!r}; expected {SCHEDULE_FORMAT!r}"
+        )
+    if "plan" in data:
+        plan = plan_from_dict(data["plan"])
+        schedule = compile_plan(plan, data.get("reply_bits", 1))
+        schedule.meta.update(data.get("meta", {}))
+        return schedule
+    cols = data["columns"]
+    schedule = WireSchedule(
+        protocol=data["protocol"],
+        n_tags=data["n_tags"],
+        kind=np.asarray(cols["kind"], dtype=np.int8),
+        downlink_bits=np.asarray(cols["downlink_bits"], dtype=np.int64),
+        uplink_bits=np.asarray(cols["uplink_bits"], dtype=np.int64),
+        tag_idx=np.asarray(cols["tag_idx"], dtype=np.int64),
+        round_id=np.asarray(cols["round_id"], dtype=np.int64),
+        meta=dict(data.get("meta", {})),
+    )
+    schedule.validate()
+    return schedule
+
+
+def save_schedule(
+    schedule: WireSchedule,
+    path: str | Path,
+    plan: InterrogationPlan | None = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(schedule_to_dict(schedule, plan)), encoding="utf-8")
+    return path
+
+
+def load_schedule(path: str | Path) -> WireSchedule:
+    return schedule_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
 # ----------------------------------------------------------------------

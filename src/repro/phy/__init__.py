@@ -9,15 +9,31 @@ interface:
 - :mod:`repro.phy.commands` — bit-accurate sizes of the C1G2 reader
   commands (Query, QueryRep, Select, ACK, ...) used to cost protocol
   messages.
-- :mod:`repro.phy.link` — wire-time accounting: converts an
-  :class:`~repro.core.base.InterrogationPlan` into microseconds on the air.
+- :mod:`repro.phy.schedule` — the columnar WireSchedule IR every costed
+  consumer (timing, DES, energy, serialisation) compiles plans into.
+- :mod:`repro.phy.link` — wire-time accounting: prices an
+  :class:`~repro.phy.schedule.WireSchedule` (or an
+  :class:`~repro.core.base.InterrogationPlan`, compiled on the fly) in
+  microseconds on the air.
 - :mod:`repro.phy.channel` — channel models (ideal and bit-error-injected)
   used by the discrete-event simulator.
 """
 
 from repro.phy.timing import C1G2Timing, PAPER_TIMING
 from repro.phy.commands import CommandSizes, DEFAULT_COMMAND_SIZES
-from repro.phy.link import LinkBudget, plan_wire_time, poll_time_us, lower_bound_us
+from repro.phy.schedule import (
+    ScheduleBuilder,
+    ScheduleEmitter,
+    WireSchedule,
+    compile_plan,
+)
+from repro.phy.link import (
+    LinkBudget,
+    plan_wire_time,
+    poll_time_us,
+    schedule_time_us,
+    lower_bound_us,
+)
 from repro.phy.channel import Channel, IdealChannel, BitErrorChannel
 from repro.phy.crc import crc5, crc16, crc16_check
 from repro.phy.encoding import LinkProfile, PAPER_PROFILE
@@ -27,9 +43,14 @@ __all__ = [
     "PAPER_TIMING",
     "CommandSizes",
     "DEFAULT_COMMAND_SIZES",
+    "WireSchedule",
+    "ScheduleBuilder",
+    "ScheduleEmitter",
+    "compile_plan",
     "LinkBudget",
     "plan_wire_time",
     "poll_time_us",
+    "schedule_time_us",
     "lower_bound_us",
     "Channel",
     "IdealChannel",

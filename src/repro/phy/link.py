@@ -22,12 +22,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.phy.schedule import (
+    KIND_BROADCAST,
+    KIND_COLLISION_SLOT,
+    KIND_EMPTY_SLOT,
+    KIND_POLL,
+    WireSchedule,
+    compile_plan,
+)
 from repro.phy.timing import C1G2Timing, PAPER_TIMING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import InterrogationPlan, RoundPlan
 
-__all__ = ["LinkBudget", "poll_time_us", "plan_wire_time", "lower_bound_us"]
+__all__ = [
+    "LinkBudget",
+    "poll_time_us",
+    "plan_wire_time",
+    "schedule_time_us",
+    "lower_bound_us",
+]
 
 
 @dataclass(frozen=True)
@@ -97,11 +113,90 @@ class LinkBudget:
             )
         return total
 
-    def plan_us(self, plan: "InterrogationPlan", reply_bits: int) -> float:
-        """Total wire time of a complete interrogation plan."""
+    def plan_us_loop(self, plan: "InterrogationPlan", reply_bits: int) -> float:
+        """Total plan wire time via the per-round Python loop.
+
+        The legible reference implementation: :meth:`plan_us` computes
+        the identical floats through the compiled wire schedule, and the
+        parity tests + benchmarks keep this loop honest (and measured).
+        """
         if reply_bits < 0:
             raise ValueError("reply_bits must be non-negative")
         return sum(self.round_us(r, reply_bits) for r in plan.rounds)
+
+    def plan_us(self, plan: "InterrogationPlan", reply_bits: int) -> float:
+        """Total wire time of a complete interrogation plan.
+
+        Compiles the plan to its :class:`~repro.phy.schedule.WireSchedule`
+        and prices that — bit-identical to :meth:`plan_us_loop`.
+        """
+        return self.schedule_us(compile_plan(plan, reply_bits))
+
+    # ------------------------------------------------------------------
+    # wire-schedule costing (vectorised)
+    # ------------------------------------------------------------------
+    def schedule_round_us(self, schedule: WireSchedule) -> np.ndarray:
+        """Per-round wire times of a schedule, shape ``(n_rounds,)``.
+
+        Replicates :meth:`round_us`'s operation chain on per-round
+        aggregates, in the same IEEE-754 order, so a schedule compiled
+        from a plan prices to exactly :meth:`round_us`'s floats:
+
+        - downlink payloads are summed per round as integers (exact
+          below 2^53) and multiplied by the bit time once;
+        - reply/slot chains are evaluated once per distinct
+          ``(round, bits)`` group and multiplied by the group count —
+          the count-times-scalar products of the legacy loop.
+        """
+        t = self.timing
+        rb = t.reader_bit_us
+        tb = t.tag_bit_us
+        n_rounds = schedule.n_rounds
+        if schedule.n_exchanges == 0:
+            return np.zeros(n_rounds)
+        idx = schedule.cost_index()
+        broadcast_us = idx.down_sums[:, KIND_BROADCAST] * rb
+        poll_tx_us = idx.down_sums[:, KIND_POLL] * rb
+
+        # per-exchange turnaround/reply chains, one product per run
+        # (see CostIndex for why this reproduces the loop's floats)
+        g_rid, g_kind = idx.run_rid, idx.run_kind
+        g_down, g_up, g_count = idx.run_down, idx.run_up, idx.run_count
+
+        def chain_sum(sel: np.ndarray, per_run_us: np.ndarray) -> np.ndarray:
+            return np.bincount(
+                g_rid[sel], weights=g_count[sel] * per_run_us,
+                minlength=n_rounds,
+            )
+
+        sel = g_kind == KIND_POLL
+        reply_us = chain_sum(sel, (t.t1_us + g_up[sel] * tb) + t.t2_us)
+        sel = g_kind == KIND_EMPTY_SLOT
+        if self.empty_slot_full_cost:
+            empty_us = chain_sum(
+                sel, ((g_down[sel] * rb + t.t1_us) + g_up[sel] * tb) + t.t2_us
+            )
+        else:
+            empty_us = chain_sum(sel, (g_down[sel] * rb + t.t1_us) + t.t3_us)
+        sel = g_kind == KIND_COLLISION_SLOT
+        factor = self.collision_reply_bits_factor
+        collision_us = chain_sum(
+            sel,
+            ((g_down[sel] * rb + t.t1_us) + (g_up[sel] * factor) * tb) + t.t2_us,
+        )
+        return (
+            ((broadcast_us + poll_tx_us) + reply_us) + empty_us
+        ) + collision_us
+
+    def schedule_us(self, schedule: WireSchedule) -> float:
+        """Total wire time (µs) of a :class:`WireSchedule`."""
+        total = 0.0
+        # sequential left-to-right reduction, matching plan_us_loop's
+        # Python sum over rounds (np.sum's pairwise order would drift
+        # in the last ulps)
+        for value in self.schedule_round_us(schedule).tolist():
+            total += value
+        return total
 
 
 # ----------------------------------------------------------------------
@@ -126,10 +221,26 @@ def plan_wire_time(
     timing: C1G2Timing = PAPER_TIMING,
     budget: LinkBudget | None = None,
 ) -> float:
-    """Wire time (µs) of ``plan`` when each tag replies ``reply_bits`` bits."""
+    """Wire time (µs) of ``plan`` when each tag replies ``reply_bits`` bits.
+
+    Thin wrapper: compiles the plan to a wire schedule and prices it
+    (bit-identical floats to the historical per-round loop, which
+    survives as :meth:`LinkBudget.plan_us_loop`).
+    """
     if budget is None:
         budget = _DEFAULT if timing is PAPER_TIMING else LinkBudget(timing=timing)
     return budget.plan_us(plan, reply_bits)
+
+
+def schedule_time_us(
+    schedule: WireSchedule,
+    timing: C1G2Timing = PAPER_TIMING,
+    budget: LinkBudget | None = None,
+) -> float:
+    """Wire time (µs) of a compiled :class:`WireSchedule`."""
+    if budget is None:
+        budget = _DEFAULT if timing is PAPER_TIMING else LinkBudget(timing=timing)
+    return budget.schedule_us(schedule)
 
 
 def lower_bound_us(n_tags: int, reply_bits: int, timing: C1G2Timing = PAPER_TIMING) -> float:

@@ -1,0 +1,486 @@
+"""The wire-schedule IR: one columnar exchange list every consumer prices.
+
+The paper's entire evaluation (§V) reduces every protocol to the same
+wire primitive — a framed downlink command, a turnaround, an (expected)
+uplink reply, a turnaround.  A :class:`WireSchedule` is the flat list of
+those exchanges, stored as parallel numpy columns so costing stays
+vectorised at 10^5 tags:
+
+==================  =====================================================
+column              meaning
+==================  =====================================================
+``kind``            :data:`KIND_BROADCAST` (back-to-back reader TX, no
+                    reply window), :data:`KIND_POLL` (one tag replies),
+                    :data:`KIND_EMPTY_SLOT` (reader transmits framing,
+                    nobody answers), :data:`KIND_COLLISION_SLOT` (≥2
+                    tags garble the reply window).
+``downlink_bits``   reader bits of the exchange, framing included.
+``uplink_bits``     polls: the expected reply length; collision slots:
+                    the garbled reply length (scaled by the budget's
+                    collision factor at costing time); empty slots: the
+                    reply *window* the reader waits out before declaring
+                    silence (0 = classic empty slot, the reader stops at
+                    the turnarounds; >0 = the synchronous-frame
+                    convention of TRP-style 1-bit slots); broadcasts: 0.
+``tag_idx``         polls: global index of the replying tag, or -1 when
+                    the protocol cannot identify the replier (TRP's
+                    anonymous busy-slots); -1 for every other kind.
+``round_id``        non-decreasing group id; one reader round / ALOHA
+                    frame / query-tree query per group.
+==================  =====================================================
+
+Producers:
+
+- :func:`compile_plan` lowers an
+  :class:`~repro.core.base.InterrogationPlan` (the uniform-reply model
+  of the seven core protocols and the ALOHA/MIC baselines);
+- :class:`ScheduleBuilder` appends rows directly, for baselines whose
+  per-exchange costs vary (query tree) or that never build a plan at
+  all (TRP, IIP).
+
+Consumers: :meth:`repro.phy.link.LinkBudget.schedule_us` (vectorised
+costing), the DES executors in :mod:`repro.sim` (both backends walk
+:meth:`WireSchedule.iter_rounds`), :func:`repro.analysis.energy.schedule_energy`,
+and :mod:`repro.io` (versioned JSON round-trip).  The cost *formula*
+itself lives only in :class:`~repro.phy.link.LinkBudget`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import InterrogationPlan
+    from repro.phy.link import LinkBudget
+    from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "KIND_BROADCAST",
+    "KIND_POLL",
+    "KIND_EMPTY_SLOT",
+    "KIND_COLLISION_SLOT",
+    "KIND_NAMES",
+    "CostIndex",
+    "WireSchedule",
+    "RoundView",
+    "ScheduleBuilder",
+    "ScheduleEmitter",
+    "compile_plan",
+]
+
+KIND_BROADCAST = 0
+KIND_POLL = 1
+KIND_EMPTY_SLOT = 2
+KIND_COLLISION_SLOT = 3
+
+KIND_NAMES = ("broadcast", "poll", "empty_slot", "collision_slot")
+
+
+def _segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without the loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+@dataclass(frozen=True)
+class CostIndex:
+    """Budget-independent aggregates a :class:`WireSchedule` is priced from.
+
+    Everything here depends only on the columns, never on the
+    :class:`~repro.phy.link.LinkBudget`, so it is computed once per
+    schedule (see :meth:`WireSchedule.cost_index`) and reused across
+    budgets and repeated costings — pricing a cached 10^5-row schedule
+    then touches only these run-length arrays.
+
+    ``down_sums[r, k]`` is the total downlink payload of kind ``k`` in
+    round ``r`` (float64 holding an exact integer: integer sums are
+    order-independent and stay exact below 2^53, matching the legacy
+    loop's sum-payload-then-multiply arithmetic).
+
+    The ``run_*`` columns group rows into runs of identical
+    ``(round, kind, chain inputs)``: a run boundary falls wherever the
+    round, the kind, the uplink width, or (for wasted slots) the slot
+    framing changes.  Poll downlink is excluded on purpose — a poll's
+    turnaround chain depends only on its reply width, and splitting a
+    round's polls by vector length would turn the legacy loop's single
+    ``n_polls * chain`` product into a sum of partial products with
+    different IEEE-754 roundings.  Compiled plans emit each round's rows
+    in contiguous per-kind blocks with uniform bits, so every
+    ``(round, kind)`` pair is exactly one run and ``count * chain``
+    reproduces the loop's floats — without the lexicographic sort
+    ``np.unique(axis=0)`` would pay.
+    """
+
+    down_sums: np.ndarray  # (n_rounds, 4) float64, integer-valued
+    run_rid: np.ndarray
+    run_kind: np.ndarray
+    run_down: np.ndarray  # slot framing bits; 0 on poll runs
+    run_up: np.ndarray
+    run_count: np.ndarray
+
+
+def _build_cost_index(schedule: "WireSchedule") -> CostIndex:
+    rid = schedule.round_id
+    kind = schedule.kind
+    down = schedule.downlink_bits
+    up = schedule.uplink_bits
+    n_rounds = schedule.n_rounds
+    down_sums = np.bincount(
+        rid * 4 + kind,
+        weights=down.astype(np.float64),
+        minlength=4 * n_rounds,
+    ).reshape(n_rounds, 4)
+    slot_down = np.where(kind == KIND_POLL, 0, down)
+    first = np.empty(rid.shape, dtype=bool)
+    first[0] = True
+    np.not_equal(rid[1:], rid[:-1], out=first[1:])
+    first[1:] |= kind[1:] != kind[:-1]
+    first[1:] |= up[1:] != up[:-1]
+    first[1:] |= slot_down[1:] != slot_down[:-1]
+    starts = np.flatnonzero(first)
+    return CostIndex(
+        down_sums=down_sums,
+        run_rid=rid[starts],
+        run_kind=kind[starts],
+        run_down=slot_down[starts],
+        run_up=up[starts],
+        run_count=np.diff(starts, append=rid.size),
+    )
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """One round's rows, split by kind (the executors' working unit)."""
+
+    round_id: int
+    broadcast_bits: np.ndarray
+    poll_downlink: np.ndarray
+    poll_uplink: np.ndarray
+    poll_tag: np.ndarray
+    empty_downlink: np.ndarray
+    empty_uplink: np.ndarray
+    collision_downlink: np.ndarray
+    collision_uplink: np.ndarray
+
+    @property
+    def init_bits(self) -> int:
+        """Total broadcast bits opening the round."""
+        return int(self.broadcast_bits.sum())
+
+    @property
+    def n_polls(self) -> int:
+        return int(self.poll_downlink.size)
+
+
+@dataclass
+class WireSchedule:
+    """Columnar list of wire exchanges (see the module docstring)."""
+
+    protocol: str
+    n_tags: int
+    kind: np.ndarray
+    downlink_bits: np.ndarray
+    uplink_bits: np.ndarray
+    tag_idx: np.ndarray
+    round_id: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+    _cost_index: CostIndex | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.kind = np.asarray(self.kind, dtype=np.int8)
+        self.downlink_bits = np.asarray(self.downlink_bits, dtype=np.int64)
+        self.uplink_bits = np.asarray(self.uplink_bits, dtype=np.int64)
+        self.tag_idx = np.asarray(self.tag_idx, dtype=np.int64)
+        self.round_id = np.asarray(self.round_id, dtype=np.int64)
+
+    def cost_index(self) -> CostIndex:
+        """Memoised costing aggregates; treat the columns as frozen
+        once a schedule has been priced."""
+        if self._cost_index is None:
+            self._cost_index = _build_cost_index(self)
+        return self._cost_index
+
+    # ------------------------------------------------------------------
+    # aggregate metrics (mirror InterrogationPlan's, from the columns)
+    # ------------------------------------------------------------------
+    @property
+    def n_exchanges(self) -> int:
+        return int(self.kind.size)
+
+    @property
+    def n_rounds(self) -> int:
+        return int(self.round_id[-1]) + 1 if self.round_id.size else 0
+
+    @property
+    def n_polls(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_POLL))
+
+    @property
+    def n_empty_slots(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_EMPTY_SLOT))
+
+    @property
+    def n_collision_slots(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_COLLISION_SLOT))
+
+    @property
+    def wasted_slots(self) -> int:
+        return self.n_empty_slots + self.n_collision_slots
+
+    @property
+    def reader_bits(self) -> int:
+        """Total downlink bits, framing included (= plan ``reader_bits``)."""
+        return int(self.downlink_bits.sum())
+
+    @property
+    def tag_bits(self) -> int:
+        """Total bits successfully delivered uplink (poll replies only)."""
+        return int(self.uplink_bits[self.kind == KIND_POLL].sum())
+
+    def polled_tags(self) -> np.ndarray:
+        """Global indices of polled tags, in wire order (-1 = anonymous)."""
+        return self.tag_idx[self.kind == KIND_POLL]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural invariants; raises ValueError on violation."""
+        n = self.kind.size
+        for name in ("downlink_bits", "uplink_bits", "tag_idx", "round_id"):
+            col = getattr(self, name)
+            if col.ndim != 1 or col.size != n:
+                raise ValueError(f"column {name} misaligned: {col.shape} vs ({n},)")
+        if n == 0:
+            return
+        if self.kind.min() < KIND_BROADCAST or self.kind.max() > KIND_COLLISION_SLOT:
+            raise ValueError("unknown exchange kind")
+        if self.downlink_bits.min() < 0 or self.uplink_bits.min() < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.round_id[0] < 0 or np.any(np.diff(self.round_id) < 0):
+            raise ValueError("round_id must be non-negative and non-decreasing")
+        if self.tag_idx.min() < -1 or self.tag_idx.max() >= max(self.n_tags, 1):
+            raise ValueError("tag_idx out of range")
+        if np.any(self.tag_idx[self.kind != KIND_POLL] != -1):
+            raise ValueError("only poll rows may carry a tag index")
+
+    # ------------------------------------------------------------------
+    def iter_rounds(self) -> Iterator[RoundView]:
+        """Yield per-round views (rows grouped by ``round_id``)."""
+        bounds = np.searchsorted(self.round_id, np.arange(self.n_rounds + 1))
+        for r in range(self.n_rounds):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            kind = self.kind[lo:hi]
+            down = self.downlink_bits[lo:hi]
+            up = self.uplink_bits[lo:hi]
+            tag = self.tag_idx[lo:hi]
+            is_p = kind == KIND_POLL
+            is_e = kind == KIND_EMPTY_SLOT
+            is_c = kind == KIND_COLLISION_SLOT
+            yield RoundView(
+                round_id=r,
+                broadcast_bits=down[kind == KIND_BROADCAST],
+                poll_downlink=down[is_p],
+                poll_uplink=up[is_p],
+                poll_tag=tag[is_p],
+                empty_downlink=down[is_e],
+                empty_uplink=up[is_e],
+                collision_downlink=down[is_c],
+                collision_uplink=up[is_c],
+            )
+
+
+# ----------------------------------------------------------------------
+# the compiler: InterrogationPlan -> WireSchedule
+# ----------------------------------------------------------------------
+def compile_plan(plan: "InterrogationPlan", reply_bits: int = 1) -> WireSchedule:
+    """Lower a plan to its wire schedule.
+
+    ``reply_bits`` fills the uplink column: it is a property of the
+    collection task (how much information each tag carries), not of the
+    plan, exactly as in :func:`repro.phy.link.plan_wire_time`.
+
+    Row order per round: the initiation broadcast, then the polls (plan
+    order), then the empty slots, then the collision slots.  Slot order
+    within an ALOHA/MIC frame is interleaved on the real wire; grouping
+    by kind is cost- and counter-preserving, and the DES executors
+    consume rows through per-kind pools (:class:`RoundView`).
+    """
+    if reply_bits < 0:
+        raise ValueError("reply_bits must be non-negative")
+    rounds = plan.rounds
+    n_rounds = len(rounds)
+    if n_rounds == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return WireSchedule(
+            protocol=plan.protocol, n_tags=plan.n_tags,
+            kind=empty, downlink_bits=empty, uplink_bits=empty,
+            tag_idx=empty, round_id=empty,
+            meta={**plan.meta, "reply_bits": int(reply_bits)},
+        )
+
+    init = np.fromiter((r.init_bits for r in rounds), np.int64, n_rounds)
+    n_polls = np.fromiter(
+        (r.poll_vector_bits.size for r in rounds), np.int64, n_rounds
+    )
+    n_empty = np.fromiter((r.empty_slots for r in rounds), np.int64, n_rounds)
+    n_coll = np.fromiter((r.collision_slots for r in rounds), np.int64, n_rounds)
+    poll_ov = np.fromiter(
+        (r.poll_overhead_bits for r in rounds), np.int64, n_rounds
+    )
+    slot_ov = np.fromiter(
+        (r.slot_overhead_bits for r in rounds), np.int64, n_rounds
+    )
+
+    rows_per_round = 1 + n_polls + n_empty + n_coll
+    total = int(rows_per_round.sum())
+    kind = np.empty(total, dtype=np.int8)
+    downlink = np.empty(total, dtype=np.int64)
+    uplink = np.zeros(total, dtype=np.int64)
+    tag_idx = np.full(total, -1, dtype=np.int64)
+    round_id = np.repeat(np.arange(n_rounds, dtype=np.int64), rows_per_round)
+
+    start = np.cumsum(rows_per_round) - rows_per_round
+    kind[start] = KIND_BROADCAST
+    downlink[start] = init
+
+    pos = np.repeat(start + 1, n_polls) + _segmented_arange(n_polls)
+    kind[pos] = KIND_POLL
+    downlink[pos] = np.concatenate(
+        [r.poll_vector_bits for r in rounds]
+    ) + np.repeat(poll_ov, n_polls)
+    uplink[pos] = reply_bits
+    tag_idx[pos] = np.concatenate([r.poll_tag_idx for r in rounds])
+
+    pos = np.repeat(start + 1 + n_polls, n_empty) + _segmented_arange(n_empty)
+    kind[pos] = KIND_EMPTY_SLOT
+    downlink[pos] = np.repeat(slot_ov, n_empty)
+
+    pos = (
+        np.repeat(start + 1 + n_polls + n_empty, n_coll)
+        + _segmented_arange(n_coll)
+    )
+    kind[pos] = KIND_COLLISION_SLOT
+    downlink[pos] = np.repeat(slot_ov, n_coll)
+    uplink[pos] = reply_bits
+
+    return WireSchedule(
+        protocol=plan.protocol,
+        n_tags=plan.n_tags,
+        kind=kind,
+        downlink_bits=downlink,
+        uplink_bits=uplink,
+        tag_idx=tag_idx,
+        round_id=round_id,
+        meta={**plan.meta, "reply_bits": int(reply_bits)},
+    )
+
+
+# ----------------------------------------------------------------------
+# incremental construction (query tree / TRP / IIP)
+# ----------------------------------------------------------------------
+class ScheduleBuilder:
+    """Append-style WireSchedule construction for irregular baselines."""
+
+    def __init__(self, protocol: str, n_tags: int,
+                 meta: dict[str, Any] | None = None) -> None:
+        self.protocol = protocol
+        self.n_tags = n_tags
+        self.meta: dict[str, Any] = dict(meta) if meta else {}
+        self._kind: list[int] = []
+        self._down: list[int] = []
+        self._up: list[int] = []
+        self._tag: list[int] = []
+        self._round: list[int] = []
+        self._current_round = -1
+
+    # ------------------------------------------------------------------
+    def begin_round(self) -> int:
+        """Open the next round; subsequent rows belong to it."""
+        self._current_round += 1
+        return self._current_round
+
+    def _append(self, kind: int, downlink: int, uplink: int, tag: int,
+                count: int) -> None:
+        if self._current_round < 0:
+            raise RuntimeError("begin_round() must be called before adding rows")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self._kind.extend([kind] * count)
+        self._down.extend([int(downlink)] * count)
+        self._up.extend([int(uplink)] * count)
+        self._tag.extend([int(tag)] * count)
+        self._round.extend([self._current_round] * count)
+
+    def broadcast(self, downlink_bits: int) -> None:
+        self._append(KIND_BROADCAST, downlink_bits, 0, -1, 1)
+
+    def poll(self, downlink_bits: int, uplink_bits: int,
+             tag_idx: int = -1, count: int = 1) -> None:
+        self._append(KIND_POLL, downlink_bits, uplink_bits, tag_idx, count)
+
+    def polls(self, downlink_bits: int, uplink_bits: int,
+              tag_indices: np.ndarray) -> None:
+        """Uniform-cost polls of identified tags (one row per tag)."""
+        for t in np.asarray(tag_indices, dtype=np.int64).tolist():
+            self._append(KIND_POLL, downlink_bits, uplink_bits, t, 1)
+
+    def empty_slot(self, downlink_bits: int, window_bits: int = 0,
+                   count: int = 1) -> None:
+        """Silent slots; ``window_bits`` is the reply window waited out."""
+        self._append(KIND_EMPTY_SLOT, downlink_bits, window_bits, -1, count)
+
+    def collision_slot(self, downlink_bits: int, uplink_bits: int,
+                       count: int = 1) -> None:
+        self._append(KIND_COLLISION_SLOT, downlink_bits, uplink_bits, -1, count)
+
+    # ------------------------------------------------------------------
+    def build(self) -> WireSchedule:
+        schedule = WireSchedule(
+            protocol=self.protocol,
+            n_tags=self.n_tags,
+            kind=np.asarray(self._kind, dtype=np.int8),
+            downlink_bits=np.asarray(self._down, dtype=np.int64),
+            uplink_bits=np.asarray(self._up, dtype=np.int64),
+            tag_idx=np.asarray(self._tag, dtype=np.int64),
+            round_id=np.asarray(self._round, dtype=np.int64),
+            meta=self.meta,
+        )
+        schedule.validate()
+        return schedule
+
+
+# ----------------------------------------------------------------------
+# sweepable interface for schedule-emitting baselines
+# ----------------------------------------------------------------------
+class ScheduleEmitter(ABC):
+    """A baseline that emits a :class:`WireSchedule` directly.
+
+    The counterpart of :class:`~repro.core.base.PollingProtocol` for
+    protocols whose wire behaviour doesn't fit the uniform-reply
+    ``InterrogationPlan`` model (query tree) or that interrogate a
+    *scenario* rather than a population (TRP/IIP missing-tag runs).
+    :class:`~repro.experiments.runner.SweepRunner` accepts either,
+    caching cells by the emitter's configuration.
+    """
+
+    #: short identifier used in reports and cache keys ("QT", "TRP", ...)
+    name: str = "abstract"
+
+    @abstractmethod
+    def emit(self, tags: "TagSet", rng: np.random.Generator, *,
+             info_bits: int = 0,
+             budget: "LinkBudget | None" = None) -> WireSchedule:
+        """Run the baseline on ``tags`` and return its wire schedule."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -28,6 +28,7 @@ from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.core.polling_tree import PollingTree, Segment, segment_values
 from repro.phy.channel import Channel, IdealChannel
 from repro.phy.link import LinkBudget
+from repro.phy.schedule import RoundView, compile_plan
 from repro.sim.engine import EventKind, EventQueue, Trace
 from repro.sim.tag import (
     CPPTagMachine,
@@ -302,7 +303,7 @@ def _poll_with_retry(
             bits, msg = recovery
 
 
-def _execute_cpp_round(air: _Air, rp: RoundPlan, tags: TagSet,
+def _execute_cpp_round(air: _Air, rp: RoundPlan, view: RoundView, tags: TagSet,
                        plan: InterrogationPlan) -> None:
     context: list[tuple[int, dict[str, Any]]] = []
     if plan.protocol == "eCPP":
@@ -312,20 +313,22 @@ def _execute_cpp_round(air: _Air, rp: RoundPlan, tags: TagSet,
             "prefix": rp.extra["category"],
             "prefix_bits": category_bits,
         }
-        air.broadcast(rp.init_bits, select_msg)
-        context = [(rp.init_bits, select_msg)]
-        for tag_idx, bits in zip(rp.poll_tag_idx, rp.poll_vector_bits):
-            suffix_bits = int(bits)
+        air.broadcast(view.init_bits, select_msg)
+        context = [(view.init_bits, select_msg)]
+        for tag_idx, down, vec in zip(
+            view.poll_tag, view.poll_downlink, rp.poll_vector_bits
+        ):
+            suffix_bits = int(vec)
             suffix = tags.epc(int(tag_idx)) & ((1 << suffix_bits) - 1)
             msg = {"kind": "suffix_poll", "suffix": suffix, "suffix_bits": suffix_bits}
-            _poll_with_retry(air, suffix_bits, msg, int(tag_idx), context)
+            _poll_with_retry(air, int(down), msg, int(tag_idx), context)
     else:
-        for tag_idx, bits in zip(rp.poll_tag_idx, rp.poll_vector_bits):
+        for tag_idx, down in zip(view.poll_tag, view.poll_downlink):
             msg = {"kind": "cpp_poll", "epc": tags.epc(int(tag_idx))}
-            _poll_with_retry(air, int(bits), msg, int(tag_idx), context)
+            _poll_with_retry(air, int(down), msg, int(tag_idx), context)
 
 
-def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
+def _execute_cp_round(air: _Air, rp: RoundPlan, view: RoundView, tags: TagSet,
                       plan: InterrogationPlan) -> None:
     """Coded Polling: one frame per pair, two ordered replies.
 
@@ -338,12 +341,15 @@ def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
     from repro.core.coded_polling import coded_frame
 
     id_bits = plan.meta.get("id_bits", 96)
-    idx = rp.poll_tag_idx
+    idx = view.poll_tag
+    down = view.poll_downlink
     for p in range(rp.extra["n_pairs"]):
         a, b = int(idx[2 * p]), int(idx[2 * p + 1])
+        # the frame's downlink cost is the pair's two schedule rows
+        frame_bits = int(down[2 * p] + down[2 * p + 1])
         frame_msg = {"kind": "cp_frame",
                      "frame": coded_frame(tags.epc(a), tags.epc(b), id_bits)}
-        air.broadcast(id_bits, frame_msg)
+        air.broadcast(frame_bits, frame_msg)
         for rank, expected in enumerate((a, b)):
             # the slot advance is implicit (rank derived tag-side), so the
             # poll itself carries no reader bits beyond the shared frame
@@ -362,11 +368,12 @@ def _execute_cp_round(air: _Air, rp: RoundPlan, tags: TagSet,
             )
     if rp.extra["tail_tag"]:
         tail = int(idx[-1])
-        _poll_with_retry(air, id_bits,
+        _poll_with_retry(air, int(down[-1]),
                          {"kind": "cpp_poll", "epc": tags.epc(tail)}, tail, [])
 
 
-def _execute_hash_round(air: _Air, rp: RoundPlan, circle_ctx: list) -> None:
+def _execute_hash_round(air: _Air, rp: RoundPlan, view: RoundView,
+                        circle_ctx: list) -> None:
     h, seed = rp.extra["h"], rp.extra["seed"]
     init_msg = {
         "kind": "round_init",
@@ -374,18 +381,20 @@ def _execute_hash_round(air: _Air, rp: RoundPlan, circle_ctx: list) -> None:
         "seed": seed,
         "global_scope": not circle_ctx,
     }
-    air.broadcast(rp.init_bits, init_msg)
-    context = circle_ctx + [(rp.init_bits, init_msg)]
-    for tag_idx, index in zip(rp.poll_tag_idx, rp.extra["singleton_indices"]):
+    air.broadcast(view.init_bits, init_msg)
+    context = circle_ctx + [(view.init_bits, init_msg)]
+    for tag_idx, down, index in zip(
+        view.poll_tag, view.poll_downlink, rp.extra["singleton_indices"]
+    ):
         msg = {"kind": "poll_index", "index": int(index)}
-        _poll_with_retry(air, h + rp.poll_overhead_bits, msg, int(tag_idx), context)
+        _poll_with_retry(air, int(down), msg, int(tag_idx), context)
 
 
-def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
+def _execute_tpp_round(air: _Air, rp: RoundPlan, view: RoundView) -> None:
     h, seed = rp.extra["h"], rp.extra["seed"]
     init_msg = {"kind": "round_init", "h": h, "seed": seed, "global_scope": True}
-    air.broadcast(rp.init_bits, init_msg)
-    context = [(rp.init_bits, init_msg)]
+    air.broadcast(view.init_bits, init_msg)
+    context = [(view.init_bits, init_msg)]
     if getattr(air.pop, "vectorized", False):
         # the array backend's whole point is scale, so use the planner's
         # closed-form segments directly; the machines backend keeps the
@@ -401,8 +410,8 @@ def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
         segments = tree.segments()
         if [s.length for s in segments] != rp.poll_vector_bits.tolist():
             raise RuntimeError("polling-tree segments disagree with the plan")
-    for seg, tag_idx, index in zip(
-        segments, rp.poll_tag_idx, rp.extra["singleton_indices"]
+    for seg, tag_idx, down, index in zip(
+        segments, view.poll_tag, view.poll_downlink, rp.extra["singleton_indices"]
     ):
         msg = {"kind": "tpp_segment", "value": seg.value, "length": seg.length}
         # recovery poll: a full-length segment rewriting the whole register
@@ -410,12 +419,11 @@ def _execute_tpp_round(air: _Air, rp: RoundPlan) -> None:
             h + rp.poll_overhead_bits,
             {"kind": "tpp_segment", "value": int(index), "length": h},
         )
-        _poll_with_retry(
-            air, seg.length + rp.poll_overhead_bits, msg, int(tag_idx), context, recovery
-        )
+        _poll_with_retry(air, int(down), msg, int(tag_idx), context, recovery)
 
 
-def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
+def _execute_mic_frame(air: _Air, rp: RoundPlan, view: RoundView,
+                       mic_uniform: bool) -> None:
     if not isinstance(air.channel, IdealChannel):
         raise NotImplementedError("MIC execution requires the ideal channel")
     f = rp.extra["frame_size"]
@@ -424,13 +432,22 @@ def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
     passes = np.asarray(rp.extra["assigned_passes"], dtype=np.int64)
     vector = np.zeros(f, dtype=np.int64)
     vector[slots] = passes
-    air.broadcast(rp.init_bits, {"kind": "mic_frame", "seed": seed, "vector": vector})
-    owner = dict(zip(slots.tolist(), rp.poll_tag_idx.tolist()))
+    air.broadcast(view.init_bits, {"kind": "mic_frame", "seed": seed, "vector": vector})
+    # the schedule groups rows by kind; the wire interleaves them per
+    # slot, so the executor draws each slot's bits from the matching pool
+    owner = dict(zip(slots.tolist(), view.poll_tag.tolist()))
+    poll_bits = dict(zip(slots.tolist(), view.poll_downlink.tolist()))
+    wasted_down = iter(
+        (view.collision_downlink if mic_uniform else view.empty_downlink).tolist()
+    )
+    wasted_up = iter(
+        (view.collision_uplink if mic_uniform else view.empty_uplink).tolist()
+    )
     t = air.budget.timing
     for slot in range(f):
         msg = {"kind": "mic_slot", "slot": slot}
         if slot in owner:
-            reply, _ = air.poll(rp.slot_overhead_bits, msg)
+            reply, _ = air.poll(int(poll_bits[slot]), msg)
             if reply is None:
                 if air.allow_missing:
                     air.missing_found.append(owner[slot])
@@ -440,16 +457,17 @@ def _execute_mic_frame(air: _Air, rp: RoundPlan, mic_uniform: bool) -> None:
                 raise RuntimeError(f"MIC slot {slot} answered unexpectedly")
         else:
             # wasted slot: reader transmits the slot command, nobody
-            # answers; charged per the plan's slot convention
-            replies = air.broadcast(rp.slot_overhead_bits, msg)
+            # answers; charged per the schedule's slot convention
+            replies = air.broadcast(int(next(wasted_down)), msg)
             if replies:
                 raise RuntimeError(f"silent MIC slot {slot} drew a reply")
             if mic_uniform:
                 air._advance(
-                    t.t1_us + t.tag_tx_us(air.info_bits) + t.t2_us,
+                    t.t1_us + t.tag_tx_us(int(next(wasted_up))) + t.t2_us,
                     EventKind.REPLY_TIMEOUT, slot=slot,
                 )
             else:
+                next(wasted_up)
                 air._advance(t.t1_us + t.t3_us, EventKind.REPLY_TIMEOUT, slot=slot)
 
 
@@ -501,12 +519,17 @@ def execute_plan(
         air.allow_missing = True
         air.missing_attempts = missing_attempts
 
+    # the reader's wire script: every bit count the event loop charges
+    # comes from the compiled schedule rows, not from re-deriving the
+    # RoundPlan arithmetic (the plan still supplies message *semantics* —
+    # seeds, prefixes, segment values — which never hit the wire budget)
+    schedule = compile_plan(plan, info_bits)
     circle_ctx: list[tuple[int, dict[str, Any]]] = []
-    for rp in plan.rounds:
+    for rp, view in zip(plan.rounds, schedule.iter_rounds()):
         if plan.protocol in ("CPP", "eCPP"):
-            _execute_cpp_round(air, rp, tags, plan)
+            _execute_cpp_round(air, rp, view, tags, plan)
         elif plan.protocol == "CP":
-            _execute_cp_round(air, rp, tags, plan)
+            _execute_cp_round(air, rp, view, tags, plan)
         elif plan.protocol in ("HPP", "EHPP"):
             if rp.label.startswith("ehpp-circle") and rp.n_polls == 0 and "F" in rp.extra:
                 msg = {
@@ -515,16 +538,17 @@ def execute_plan(
                     "f": rp.extra["f"],
                     "F": rp.extra["F"],
                 }
-                air.broadcast(rp.init_bits, msg)
-                circle_ctx = [(rp.init_bits, msg)]
+                air.broadcast(view.init_bits, msg)
+                circle_ctx = [(view.init_bits, msg)]
                 continue
             if rp.label.startswith("ehpp-tail"):
                 circle_ctx = []
-            _execute_hash_round(air, rp, circle_ctx)
+            _execute_hash_round(air, rp, view, circle_ctx)
         elif plan.protocol == "TPP":
-            _execute_tpp_round(air, rp)
+            _execute_tpp_round(air, rp, view)
         elif plan.protocol == "MIC":
-            _execute_mic_frame(air, rp, plan.meta.get("uniform_slot_cost", True))
+            _execute_mic_frame(air, rp, view,
+                               plan.meta.get("uniform_slot_cost", True))
         else:
             raise NotImplementedError(f"no executor for protocol {plan.protocol!r}")
 

@@ -1,0 +1,72 @@
+"""Grep-lint: the wire cost constants live in ``repro.phy`` ONLY.
+
+ISSUE 3's single-source-of-truth invariant, machine-enforced: the
+paper's per-bit timings (37.45 µs reader bit, 25 µs tag bit) and the
+4-bit QueryRep framing must come from :mod:`repro.phy.timing` /
+:mod:`repro.phy.commands`.  Any literal re-derivation elsewhere in
+``src/repro`` fails this test with the offending file:line.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: (name, regex) — matched per line against every non-phy source file
+FORBIDDEN = [
+    (
+        "reader bit time 37.45 hard-coded",
+        re.compile(r"37\.45"),
+    ),
+    (
+        "tag bit time 25 µs hard-coded",
+        # 25.0 as a float literal, or 25 multiplying/multiplied by a
+        # reply-length variable; lookarounds keep 0.25, 125, 25_000 etc.
+        # out of scope
+        re.compile(
+            r"(?<![\d._])25\.0(?![\d])"
+            r"|(?<![\d._])25\s*\*\s*(?:l\b|info_bits|reply_bits)"
+            r"|(?:\bl|info_bits|reply_bits)\s*\*\s*25(?![\d._])"
+        ),
+    ),
+    (
+        "QueryRep framing 4 hard-coded",
+        re.compile(
+            r"(?:poll_overhead_bits|slot_overhead_bits"
+            r"|command_overhead_bits|overhead_bits)\s*=\s*4\b"
+            r"|(?:empty_slot_us|collision_slot_us|reader_tx_us)\(\s*4\b"
+            r"|poll_us\(\s*[\w.]+\s*,\s*4\b"
+        ),
+    ),
+]
+
+
+def _scannable_files() -> list[Path]:
+    return sorted(
+        p for p in SRC.rglob("*.py") if "phy" not in p.relative_to(SRC).parts
+    )
+
+
+def test_the_scan_covers_the_tree():
+    files = _scannable_files()
+    assert len(files) > 20  # the glob is wired to the real source tree
+    assert not any("phy" in str(p.relative_to(SRC)) for p in files)
+
+
+@pytest.mark.parametrize("name,pattern", FORBIDDEN, ids=[n for n, _ in FORBIDDEN])
+def test_no_magic_wire_constants(name: str, pattern: re.Pattern):
+    offenders = []
+    for path in _scannable_files():
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if pattern.search(line):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        f"{name} outside repro/phy — use CommandSizes / C1G2Timing:\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,277 @@
+"""Unit tests for the wire-schedule IR (repro.phy.schedule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.iip import IIP, plan_iip
+from repro.baselines.query_tree import QueryTree, plan_query_tree
+from repro.baselines.trp import TRP, plan_trp
+from repro.core.hpp import HPP
+from repro.io import (
+    SCHEDULE_FORMAT,
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.phy.link import LinkBudget, schedule_time_us
+from repro.phy.schedule import (
+    KIND_BROADCAST,
+    KIND_COLLISION_SLOT,
+    KIND_EMPTY_SLOT,
+    KIND_POLL,
+    ScheduleBuilder,
+    WireSchedule,
+    compile_plan,
+)
+from repro.workloads.tagsets import uniform_tagset
+
+
+class TestCompilePlan:
+    def test_counters_match_plan(self, medium_tags, rng):
+        plan = HPP().plan(medium_tags, rng)
+        sched = compile_plan(plan, reply_bits=8)
+        sched.validate()
+        assert sched.protocol == plan.protocol
+        assert sched.n_rounds == len(plan.rounds)
+        assert sched.n_polls == plan.n_polls
+        assert sched.reader_bits == plan.reader_bits
+        assert sched.tag_bits == 8 * plan.n_polls
+        assert np.array_equal(sched.polled_tags(), plan.polled_tags())
+
+    def test_row_layout_per_round(self, small_tags, rng):
+        plan = HPP().plan(small_tags, rng)
+        sched = compile_plan(plan, reply_bits=1)
+        for rp, view in zip(plan.rounds, sched.iter_rounds()):
+            assert view.init_bits == rp.init_bits
+            assert view.n_polls == rp.n_polls
+            assert np.array_equal(view.poll_tag, rp.poll_tag_idx)
+            assert np.array_equal(
+                view.poll_downlink,
+                rp.poll_vector_bits + rp.poll_overhead_bits,
+            )
+            assert view.empty_downlink.size == rp.empty_slots
+            assert view.collision_downlink.size == rp.collision_slots
+
+    def test_reply_bits_recorded_in_meta(self, small_tags, rng):
+        sched = compile_plan(HPP().plan(small_tags, rng), reply_bits=32)
+        assert sched.meta["reply_bits"] == 32
+        assert np.all(sched.uplink_bits[sched.kind == KIND_POLL] == 32)
+
+    def test_negative_reply_bits_rejected(self, small_tags, rng):
+        plan = HPP().plan(small_tags, rng)
+        with pytest.raises(ValueError):
+            compile_plan(plan, reply_bits=-1)
+
+    def test_empty_plan(self):
+        from repro.core.base import InterrogationPlan
+
+        sched = compile_plan(
+            InterrogationPlan(protocol="HPP", n_tags=0, rounds=[])
+        )
+        assert sched.n_exchanges == 0
+        assert sched.n_rounds == 0
+        assert schedule_time_us(sched) == 0.0
+
+
+class TestScheduleBuilder:
+    def test_builds_rows_in_order(self):
+        b = ScheduleBuilder("X", 4)
+        b.begin_round()
+        b.broadcast(32)
+        b.poll(7, 1, 2)
+        b.empty_slot(4, window_bits=1, count=2)
+        b.collision_slot(4, 1)
+        b.begin_round()
+        b.poll(7, 1, 3)
+        s = b.build()
+        assert s.kind.tolist() == [
+            KIND_BROADCAST, KIND_POLL, KIND_EMPTY_SLOT, KIND_EMPTY_SLOT,
+            KIND_COLLISION_SLOT, KIND_POLL,
+        ]
+        assert s.round_id.tolist() == [0, 0, 0, 0, 0, 1]
+        assert s.polled_tags().tolist() == [2, 3]
+        assert s.n_rounds == 2
+        assert s.wasted_slots == 3
+
+    def test_rows_require_open_round(self):
+        b = ScheduleBuilder("X", 1)
+        with pytest.raises(RuntimeError):
+            b.broadcast(8)
+
+    def test_zero_count_is_noop(self):
+        b = ScheduleBuilder("X", 1)
+        b.begin_round()
+        b.poll(4, 1, -1, count=0)
+        b.broadcast(8)
+        assert b.build().n_exchanges == 1
+
+
+class TestValidate:
+    def _schedule(self, **overrides):
+        cols = dict(
+            protocol="X",
+            n_tags=2,
+            kind=[KIND_BROADCAST, KIND_POLL],
+            downlink_bits=[8, 4],
+            uplink_bits=[0, 1],
+            tag_idx=[-1, 1],
+            round_id=[0, 0],
+        )
+        cols.update(overrides)
+        return WireSchedule(**cols)
+
+    def test_accepts_well_formed(self):
+        self._schedule().validate()
+
+    def test_rejects_misaligned_columns(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            self._schedule(round_id=[0]).validate()
+
+    def test_rejects_decreasing_round_id(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            self._schedule(round_id=[1, 0]).validate()
+
+    def test_rejects_tag_on_non_poll(self):
+        with pytest.raises(ValueError, match="poll rows"):
+            self._schedule(tag_idx=[1, 1]).validate()
+
+    def test_rejects_out_of_range_tag(self):
+        with pytest.raises(ValueError, match="tag_idx"):
+            self._schedule(tag_idx=[-1, 2]).validate()
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self._schedule(downlink_bits=[-1, 4]).validate()
+
+
+class TestScheduleIO:
+    def test_column_round_trip(self, tmp_path, small_tags, rng):
+        sched = plan_query_tree(small_tags, info_bits=4)
+        path = save_schedule(sched, tmp_path / "qt.json")
+        back = load_schedule(path)
+        assert back.protocol == sched.protocol
+        assert back.n_tags == sched.n_tags
+        for col in ("kind", "downlink_bits", "uplink_bits", "tag_idx", "round_id"):
+            assert np.array_equal(getattr(back, col), getattr(sched, col))
+        b = LinkBudget()
+        assert b.schedule_us(back) == b.schedule_us(sched)
+
+    def test_plan_fallback_recompiles(self, tmp_path, small_tags, rng):
+        plan = HPP().plan(small_tags, rng)
+        sched = compile_plan(plan, reply_bits=8)
+        path = save_schedule(sched, tmp_path / "hpp.json", plan=plan)
+        doc = path.read_text(encoding="utf-8")
+        assert '"plan"' in doc and '"columns"' not in doc
+        back = load_schedule(path)
+        for col in ("kind", "downlink_bits", "uplink_bits", "tag_idx", "round_id"):
+            assert np.array_equal(getattr(back, col), getattr(sched, col))
+
+    def test_format_stability(self, small_tags, rng):
+        """The v1 document shape is frozen: exact top-level keys, int
+        columns, and a format tag loaders must refuse to misread."""
+        sched = compile_plan(HPP().plan(small_tags, rng), reply_bits=1)
+        doc = schedule_to_dict(sched)
+        assert doc["format"] == SCHEDULE_FORMAT == "wire-schedule/v1"
+        assert set(doc) == {"format", "protocol", "n_tags", "meta", "columns"}
+        assert set(doc["columns"]) == {
+            "kind", "downlink_bits", "uplink_bits", "tag_idx", "round_id",
+        }
+        assert all(
+            isinstance(v, int)
+            for col in doc["columns"].values() for v in col
+        )
+        bad = dict(doc, format="wire-schedule/v0")
+        with pytest.raises(ValueError, match="unsupported schedule format"):
+            schedule_from_dict(bad)
+
+
+class TestScheduleEmitterSweeps:
+    """QT/TRP/IIP run through SweepRunner with cell caching (ISSUE 3)."""
+
+    @pytest.mark.parametrize("emitter", [
+        QueryTree(),
+        TRP(missing_fraction=0.05, max_rounds=50),
+        IIP(missing_fraction=0.05),
+    ])
+    def test_sweeps_and_caches(self, emitter):
+        from repro.experiments.runner import ResultCache, SweepRunner
+
+        runner = SweepRunner(jobs=1, cache=ResultCache())
+        series = runner.sweep(
+            emitter, n_values=[20, 40], n_runs=3, metric="time_us",
+            tagset_factory=uniform_tagset,
+        )
+        assert series.label == emitter.name
+        assert all(y > 0 for y in series.y)
+        misses = runner.cache.misses
+        again = runner.sweep(
+            emitter, n_values=[20, 40], n_runs=3, metric="time_us",
+            tagset_factory=uniform_tagset,
+        )
+        assert again.y == series.y
+        assert runner.cache.misses == misses  # every cell came from cache
+
+    def test_schedule_attribute_and_meta_metrics(self):
+        from repro.experiments.runner import SweepRunner
+
+        runner = SweepRunner(jobs=1, cache=None)
+        wasted = runner.sweep(
+            IIP(missing_fraction=0.1, bitmap=False),
+            n_values=[50], n_runs=2, metric="wasted_slots",
+        )
+        assert wasted.y[0] > 0
+        rounds = runner.sweep(
+            TRP(missing_fraction=0.1, max_rounds=50),
+            n_values=[50], n_runs=2, metric="rounds_run",
+        )
+        assert rounds.y[0] >= 1
+
+
+class TestScheduleEnergy:
+    def test_plan_energy_equals_schedule_energy(self, medium_tags, rng):
+        from repro.analysis.energy import plan_energy, schedule_energy
+
+        plan = HPP().plan(medium_tags, rng)
+        via_plan = plan_energy(plan, reply_bits=8)
+        via_schedule = schedule_energy(compile_plan(plan, reply_bits=8))
+        assert via_plan == via_schedule
+        assert via_plan.total_mj > 0
+
+    def test_emitted_baseline_is_energy_priceable(self, small_tags, rng):
+        from repro.analysis.energy import schedule_energy
+
+        report = schedule_energy(plan_query_tree(small_tags))
+        assert report.protocol == "QT"
+        assert report.reader_mj > 0
+        assert report.tag_tx_mj > 0
+
+
+class TestBaselineSchedules:
+    def test_trp_slots_cover_frame(self, small_tags, rng):
+        present = np.arange(len(small_tags) - 2)
+        sched = plan_trp(small_tags, present, rng, max_rounds=5)
+        sched.validate()
+        f = sched.meta["frame_size"]
+        for view in sched.iter_rounds():
+            n_slots = (
+                view.n_polls + view.empty_downlink.size
+                + view.collision_downlink.size
+            )
+            assert n_slots == f
+            assert view.init_bits == 32
+        # anonymous busy slots: TRP never learns who replied
+        assert np.all(sched.polled_tags() == -1)
+
+    def test_iip_partition_lands_in_meta(self, small_tags, rng):
+        present = np.arange(0, len(small_tags), 2)
+        sched = plan_iip(small_tags, present, rng)
+        sched.validate()
+        missing = sorted(set(range(len(small_tags))) - set(present.tolist()))
+        assert sched.meta["missing"] == missing
+        assert sched.meta["present"] == present.tolist()
+        # every present verification is an identified 1-bit poll
+        assert sorted(sched.polled_tags().tolist()) == present.tolist()
+        assert np.all(sched.uplink_bits[sched.kind == KIND_POLL] == 1)

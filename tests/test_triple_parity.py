@@ -1,0 +1,99 @@
+"""Triple-parity matrix (ISSUE 3): for every protocol, the legacy
+per-round loop, the vectorised schedule coster, and the ideal-channel
+DES agree on wire time.
+
+- ``plan_wire_time(plan) == schedule_time_us(compile_plan(plan))`` must
+  hold with EXACT float equality (the schedule coster replicates the
+  loop's IEEE-754 operation order).
+- Both must match the discrete-event executor's clock on BOTH backends
+  (to 1e-9 relative: the DES advances turnarounds event by event, which
+  regroups the same terms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.aloha import DFSA, FramedSlottedAloha
+from repro.baselines.mic import MIC
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.link import LinkBudget, plan_wire_time, schedule_time_us
+from repro.phy.schedule import compile_plan
+from repro.sim.executor import execute_plan
+from repro.workloads.tagsets import uniform_tagset
+
+INFO_BITS = 8
+
+ALL_PROTOCOLS = [
+    CPP(),
+    EnhancedCPP(),
+    CodedPolling(),
+    HPP(),
+    EHPP(),
+    TPP(),
+    MIC(),
+    MIC(uniform_slot_cost=False),
+    FramedSlottedAloha(128),
+    DFSA(),
+]
+
+#: protocols with a DES executor (ALOHA plans are costed, not executed)
+EXECUTABLE = [p for p in ALL_PROTOCOLS
+              if not isinstance(p, FramedSlottedAloha)]
+
+
+def _plan(protocol, n=60, seed=7):
+    tags = uniform_tagset(n, np.random.default_rng(seed))
+    plan = protocol.plan(tags, np.random.default_rng(seed + 1))
+    return tags, plan
+
+
+@pytest.mark.parametrize(
+    "protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{id(p) % 97}"
+)
+class TestLoopVsSchedule:
+    def test_exact_equality_default_budget(self, protocol):
+        _, plan = _plan(protocol)
+        legacy = plan_wire_time(plan, INFO_BITS)
+        compiled = schedule_time_us(compile_plan(plan, INFO_BITS))
+        assert legacy == compiled  # bit-identical, not approx
+
+    @pytest.mark.parametrize("budget", [
+        LinkBudget(),
+        LinkBudget(empty_slot_full_cost=False),
+        LinkBudget(collision_reply_bits_factor=0.5),
+    ], ids=["default", "short-empty", "half-collision"])
+    @pytest.mark.parametrize("reply_bits", [0, 1, 32])
+    def test_exact_equality_all_budgets(self, protocol, budget, reply_bits):
+        _, plan = _plan(protocol)
+        legacy = budget.plan_us_loop(plan, reply_bits)
+        compiled = budget.schedule_us(compile_plan(plan, reply_bits))
+        assert legacy == compiled
+
+
+@pytest.mark.parametrize(
+    "protocol", EXECUTABLE, ids=lambda p: f"{p.name}-{id(p) % 97}"
+)
+@pytest.mark.parametrize("backend", ["machines", "array"])
+class TestDESAgreement:
+    def test_des_time_and_bits(self, protocol, backend):
+        tags, plan = _plan(protocol)
+        # MIC's non-uniform variant times out silent slots at T1+T3 on
+        # the wire, which is the budget's short-empty convention
+        budget = LinkBudget(
+            empty_slot_full_cost=getattr(protocol, "uniform_slot_cost", True)
+        )
+        wire = budget.plan_us(plan, INFO_BITS)
+        assert wire == budget.plan_us_loop(plan, INFO_BITS)
+        result = execute_plan(
+            tags=tags, plan=plan, info_bits=INFO_BITS, budget=budget,
+            keep_trace=False, backend=backend,
+        )
+        assert result.time_us == pytest.approx(wire, rel=1e-9)
+        assert result.reader_bits == plan.reader_bits
+        assert result.all_read
