@@ -1,0 +1,156 @@
+"""Replica-axis batching benchmarks and the batched-costing gate.
+
+A plan-metric sweep cell is R Monte-Carlo runs of one (protocol, n)
+point whose metrics come from the plan alone (no DES).  The batch path
+plans all R runs in one vectorized pass and prices them as a single
+:class:`~repro.phy.schedule.ScheduleBatch`; these benchmarks pin down
+what that buys at the paper's cell size (n = 10 000, R = 100).
+
+Two kinds of test live here:
+
+* ``test_batched_costing_gate`` — a hard ≥5x assertion on the costing
+  stage, measured with ``perf_counter`` so it also runs (and gates)
+  under ``--benchmark-disable`` in the CI smoke.
+* ``test_cell_*`` — informational pytest-benchmark timings of the full
+  planning+costing cell, sequential vs batched, so BENCH_engine.json
+  records both sides.  End-to-end the batch path is bounded by the
+  hashing work both paths share, so expect low single-digit ratios
+  there — the order-of-magnitude win is in the costing stage.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments.runner import cell_seed_children
+from repro.phy.link import LinkBudget
+from repro.phy.schedule import compile_plan
+from repro.workloads.tagsets import uniform_tagset
+
+N = 10_000
+R = 100
+BITS = 1
+SEED = 0
+BUDGET = LinkBudget()
+
+#: the informational cell benches run a quarter cell to keep the
+#: benchmark suite's wall time reasonable; the gate uses the full R.
+R_BENCH = 25
+
+
+@pytest.fixture(scope="module")
+def cell_tags():
+    """The R tag populations of the (n=10k) cell, seeded like the runner."""
+    tags = []
+    for run in range(R):
+        tag_child, _ = cell_seed_children(SEED, N, run)
+        tags.append(uniform_tagset(N, np.random.default_rng(tag_child)))
+    return tags
+
+
+def _plan_rngs(runs=R):
+    """Fresh plan-seed generators (planning consumes them)."""
+    return [
+        np.random.default_rng(cell_seed_children(SEED, N, run)[1])
+        for run in range(runs)
+    ]
+
+
+def _best_of(fn, reps=5):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_batched_costing_gate(cell_tags):
+    """Costing R planned runs as one batch is ≥5x faster than one at
+    a time (n=10k, R=100, EHPP).
+
+    What each side measures (best of 5):
+
+    * sequential — compile each run's ``InterrogationPlan`` to a
+      ``WireSchedule`` and price it (``compile_plan`` +
+      ``LinkBudget.schedule_us``), the per-run path the runner took
+      before the replica axis existed;
+    * batched — price the planner's ``ScheduleBatch`` in one
+      ``LinkBudget.schedule_batch_us`` call.  The batch's per-round
+      cost aggregates are assembled during joint planning without ever
+      materialising the per-exchange rows, which is where the win
+      comes from.
+
+    Both sides must produce identical wire times; measured headroom on
+    the gate is ~30x, asserted at 5x to absorb CI timing noise.
+    """
+    protocol = EHPP()
+    plans = [
+        protocol.plan(tags, rng)
+        for tags, rng in zip(cell_tags, _plan_rngs())
+    ]
+    batch = protocol.plan_schedule_batch(cell_tags, _plan_rngs(),
+                                         reply_bits=BITS)
+
+    seq_t, seq_times = _best_of(
+        lambda: [BUDGET.schedule_us(compile_plan(p, BITS)) for p in plans]
+    )
+    bat_t, bat_times = _best_of(lambda: BUDGET.schedule_batch_us(batch))
+
+    assert np.array_equal(np.asarray(seq_times), np.asarray(bat_times)), (
+        "batched costing diverged from sequential compile+cost"
+    )
+    speedup = seq_t / bat_t
+    assert speedup >= 5.0, (
+        f"batched costing gate: {speedup:.1f}x < 5x "
+        f"(sequential {seq_t * 1e3:.1f} ms, batched {bat_t * 1e3:.1f} ms)"
+    )
+
+
+PROTOCOLS = [
+    pytest.param(HPP, id="hpp"),
+    pytest.param(TPP, id="tpp"),
+    pytest.param(EHPP, id="ehpp"),
+]
+
+
+def _sequential_cell(protocol, tags):
+    rngs = _plan_rngs(R_BENCH)
+    return [
+        BUDGET.schedule_us(compile_plan(protocol.plan(t, rng), BITS))
+        for t, rng in zip(tags, rngs)
+    ]
+
+
+def _batched_cell(protocol, tags):
+    batch = protocol.plan_schedule_batch(tags, _plan_rngs(R_BENCH),
+                                         reply_bits=BITS)
+    return BUDGET.schedule_batch_us(batch)
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+def test_cell_sequential(benchmark, cell_tags, make_protocol):
+    """Informational: plan+compile+cost a quarter cell one run at a time."""
+    protocol = make_protocol()
+    tags = cell_tags[:R_BENCH]
+    times = benchmark(lambda: _sequential_cell(protocol, tags))
+    assert len(times) == R_BENCH
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+def test_cell_batched(benchmark, cell_tags, make_protocol):
+    """Informational: plan+cost the same quarter cell as one batch.
+
+    Also asserts value parity against the sequential path — the speedup
+    is only meaningful because the numbers are bit-identical.
+    """
+    protocol = make_protocol()
+    tags = cell_tags[:R_BENCH]
+    reference = _sequential_cell(protocol, tags)
+    times = benchmark(lambda: _batched_cell(protocol, tags))
+    assert np.array_equal(np.asarray(times), np.asarray(reference))

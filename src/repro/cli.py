@@ -82,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the per-cell sweep result cache")
     exp_p.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persist the sweep cache to DIR")
+    exp_p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="batch Monte-Carlo replicas through the "
+                            "replica-axis planners (--no-batch disables)")
     return parser
 
 
@@ -163,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
             forwarded.append("--no-cache")
         if args.cache_dir:
             forwarded.extend(["--cache-dir", args.cache_dir])
+        if not args.batch:
+            forwarded.append("--no-batch")
         return exp_main(forwarded)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -221,5 +221,26 @@ class PollingProtocol(ABC):
             A plan that polls every tag exactly once.
         """
 
+    def plan_schedule_batch(
+        self,
+        tags_list: "list[TagSet]",
+        rngs: "list[np.random.Generator]",
+        reply_bits: int = 1,
+    ):
+        """Plan R independent runs jointly and return a ``ScheduleBatch``.
+
+        The replica-axis fast path: run ``r`` uses its own tag population
+        ``tags_list[r]`` and its own generator ``rngs[r]``, and the result
+        must be **bit-identical** to R sequential ``compile_plan(plan(
+        tags_list[r], rngs[r]), reply_bits)`` calls — same seeds drawn in
+        the same per-replica order, same rounds, same wire columns.
+
+        The base implementation returns ``None``, meaning the protocol
+        has no batched planner and callers must fall back to sequential
+        :meth:`plan` calls.  Overrides (HPP, EHPP, TPP) return a
+        :class:`repro.phy.schedule.ScheduleBatch`.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -25,11 +25,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
-from repro.core.hpp import MAX_ROUNDS, hpp_rounds
+from repro.core.hpp import MAX_ROUNDS, batch_population, hpp_rounds
 from repro.core.planner import CoveringPolicy, IndexLengthPolicy
-from repro.core.rounds import fresh_seed
-from repro.hashing.universal import hash_mod
+from repro.core.rounds import SeedStream, draw_rounds_batch_flat, fresh_seed
+from repro.hashing.universal import hash_mod, hash_mod_ragged
 from repro.phy.commands import DEFAULT_COMMAND_SIZES, CommandSizes
+from repro.phy.schedule import ScheduleBatch, build_schedule_batch
 from repro.workloads.tagsets import TagSet
 
 __all__ = ["EHPP"]
@@ -96,7 +97,10 @@ class EHPP(PollingProtocol):
         while remaining.size:
             guard += 1
             if guard > MAX_ROUNDS:
-                raise RuntimeError("EHPP did not converge")
+                raise RuntimeError(
+                    f"ehpp: EHPP did not converge after {n_circles} circles "
+                    f"(MAX_ROUNDS={MAX_ROUNDS}, {remaining.size} tags remaining)"
+                )
             if remaining.size <= n_star:
                 # small remainder: plain HPP, no circle command (§V-C)
                 rounds.extend(
@@ -145,4 +149,178 @@ class EHPP(PollingProtocol):
             n_tags=n,
             rounds=rounds,
             meta={"subset_size": n_star, "n_circles": n_circles},
+        )
+
+    # ------------------------------------------------------------------
+    def plan_schedule_batch(
+        self,
+        tags_list: list[TagSet],
+        rngs: list[np.random.Generator],
+        reply_bits: int = 1,
+    ) -> ScheduleBatch:
+        """Plan R runs jointly; bit-identical to R ``plan`` calls.
+
+        A per-replica state machine interleaves the replicas in lockstep:
+        each joint iteration, every live replica takes exactly one step —
+        either a circle-selection hash (all such replicas share one
+        :func:`hash_mod_ragged` call) or one inner/tail HPP round (all
+        such replicas share one :func:`draw_rounds_batch` call).  Every
+        step consumes exactly one ``fresh_seed`` from that replica's own
+        generator, in the same order as the sequential planner (circle
+        seed, then that circle's round seeds, ...), so the per-replica
+        round sequences are unchanged; a replica that opens a circle in
+        iteration ``t`` draws its first inner round in iteration
+        ``t + 1``.
+        """
+        n_star = self.subset_size
+        big_f = self.selection_modulus
+        circle_bits = self.commands.circle_command
+        round_init = self.commands.round_init
+        policy = self.policy
+        id_words, run_n_tags, tag_bases = batch_population(tags_list)
+        n_runs = len(tags_list)
+        empty64 = np.empty(0, dtype=np.int64)
+
+        # per-replica state; a replica is in exactly one of: select_live
+        # (next step hashes a circle command or enters the tail),
+        # hpp_live (next step draws one inner HPP round), or done.
+        remaining = [
+            np.arange(b, b + n, dtype=np.int64)
+            for b, n in zip(tag_bases.tolist(), run_n_tags.tolist())
+        ]
+        active: list[np.ndarray] = [empty64] * n_runs  # inner-HPP set
+        streams = [SeedStream(rng) for rng in rngs]
+        tail = [False] * n_runs
+        guard = [0] * n_runs
+        inner_round = [0] * n_runs
+        n_circles = [0] * n_runs
+        sinks: list[list] = [[] for _ in range(n_runs)]
+        select_live = [i for i in range(n_runs) if remaining[i].size]
+        hpp_live: list[int] = []
+        iteration = 0
+
+        while select_live or hpp_live:
+            iteration += 1
+            circle_idx: list[int] = []
+            tail_entrants: list[int] = []
+            for i in select_live:
+                guard[i] += 1
+                if guard[i] > MAX_ROUNDS:
+                    raise RuntimeError(
+                        f"ehpp: EHPP did not converge after {n_circles[i]} "
+                        f"circles (MAX_ROUNDS={MAX_ROUNDS}, "
+                        f"{remaining[i].size} tags remaining)"
+                    )
+                if remaining[i].size <= n_star:
+                    # small remainder: plain HPP, no circle command (§V-C)
+                    tail[i] = True
+                    active[i] = remaining[i]
+                    inner_round[i] = 0
+                    tail_entrants.append(i)
+                else:
+                    circle_idx.append(i)
+            # tail entrants round this very iteration; circle entrants
+            # draw their first inner round only next iteration
+            hpp_idx = hpp_live + tail_entrants
+            next_select: list[int] = []
+            circle_entrants: list[int] = []
+
+            if circle_idx:
+                seeds = [streams[i]() for i in circle_idx]
+                counts = np.fromiter(
+                    (remaining[i].size for i in circle_idx),
+                    np.int64, len(circle_idx),
+                )
+                flat_rem = (
+                    remaining[circle_idx[0]]
+                    if len(circle_idx) == 1
+                    else np.concatenate([remaining[i] for i in circle_idx])
+                )
+                sel_flat = hash_mod_ragged(
+                    id_words[flat_rem], seeds, big_f, counts
+                )
+                # join iff H(r, ID) mod F <= f ; (f+1)/F ≈ n*/n_rem —
+                # np.rint rounds half to even exactly like Python round()
+                fs = np.maximum(
+                    np.rint((big_f * n_star) / counts).astype(np.int64) - 1,
+                    0,
+                )
+                jmask = sel_flat <= np.repeat(fs, counts)
+                joined_flat = flat_rem[jmask]
+                kept_flat = flat_rem[~jmask]
+                cb = np.concatenate(([0], np.cumsum(counts)))
+                jb = np.concatenate(
+                    ([0], np.cumsum(jmask, dtype=np.int64))
+                )[cb]
+                kb = (cb - jb).tolist()
+                jb = jb.tolist()
+                for k, i in enumerate(circle_idx):
+                    sinks[i].append((circle_bits, 0, empty64))
+                    n_circles[i] += 1
+                    jlo, jhi = jb[k], jb[k + 1]
+                    if jhi != jlo:
+                        active[i] = joined_flat[jlo:jhi]
+                        tail[i] = False
+                        inner_round[i] = 0
+                        remaining[i] = kept_flat[kb[k]:kb[k + 1]]
+                        circle_entrants.append(i)
+                    else:
+                        next_select.append(i)
+
+            next_hpp: list[int] = []
+            if hpp_idx:
+                if iteration > MAX_ROUNDS:
+                    # a replica's inner_round never exceeds the joint
+                    # iteration count, so the per-replica check only
+                    # needs to run once the cheap global bound trips
+                    for i in hpp_idx:
+                        if inner_round[i] >= MAX_ROUNDS:
+                            label = (
+                                "ehpp-tail" if tail[i]
+                                else f"ehpp-circle-{n_circles[i] - 1}"
+                            )
+                            raise RuntimeError(
+                                f"{label}: HPP did not converge after "
+                                f"{inner_round[i]} rounds "
+                                f"(MAX_ROUNDS={MAX_ROUNDS}, "
+                                f"{active[i].size} tags still active)"
+                            )
+                counts = np.fromiter(
+                    (active[i].size for i in hpp_idx), np.int64, len(hpp_idx)
+                )
+                hs = policy.batch(counts)
+                seeds = [streams[i]() for i in hpp_idx]
+                flat_active = (
+                    active[hpp_idx[0]]
+                    if len(hpp_idx) == 1
+                    else np.concatenate([active[i] for i in hpp_idx])
+                )
+                _, sing_bounds, _, sorted_tags, rem_bounds, remaining_flat = \
+                    draw_rounds_batch_flat(
+                        id_words, flat_active, counts, seeds, hs
+                    )
+                sb = sing_bounds.tolist()
+                rb = rem_bounds.tolist()
+                for i, h, lo, hi, r0, r1 in zip(
+                    hpp_idx, hs.tolist(), sb, sb[1:], rb, rb[1:]
+                ):
+                    inner_round[i] += 1
+                    sinks[i].append((round_init, h, sorted_tags[lo:hi]))
+                    if r1 != r0:
+                        active[i] = remaining_flat[r0:r1]
+                        next_hpp.append(i)
+                    elif not (tail[i] or remaining[i].size == 0):
+                        next_select.append(i)
+
+            hpp_live = next_hpp + circle_entrants
+            select_live = next_select
+
+        run_metas = [
+            {"subset_size": n_star, "n_circles": n_circles[i]}
+            if run_n_tags[i] else {}
+            for i in range(n_runs)
+        ]
+        return build_schedule_batch(
+            self.name, run_n_tags, sinks, tag_bases, reply_bits,
+            run_metas=run_metas,
         )

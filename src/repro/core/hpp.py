@@ -21,11 +21,22 @@ import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.core.planner import CoveringPolicy, IndexLengthPolicy
-from repro.core.rounds import draw_round, fresh_seed
+from repro.core.rounds import (
+    SeedStream,
+    draw_round,
+    draw_rounds_batch_flat,
+    fresh_seed,
+)
 from repro.phy.commands import DEFAULT_COMMAND_SIZES, CommandSizes
+from repro.phy.schedule import ScheduleBatch, build_schedule_batch
 from repro.workloads.tagsets import TagSet
 
-__all__ = ["HPP", "hpp_rounds"]
+__all__ = [
+    "HPP",
+    "hpp_rounds",
+    "run_hpp_rounds_batch",
+    "batch_population",
+]
 
 #: hard cap on rounds; reaching it means the hash family failed to make
 #: progress, which for a sound implementation is astronomically unlikely.
@@ -68,7 +79,103 @@ def hpp_rounds(
             )
         )
         active = draw.remaining_tags
-    raise RuntimeError(f"HPP did not converge within {MAX_ROUNDS} rounds")
+    raise RuntimeError(
+        f"{label_prefix}: HPP did not converge after {len(rounds)} rounds "
+        f"(MAX_ROUNDS={MAX_ROUNDS}, {active.size} tags still active)"
+    )
+
+
+# ----------------------------------------------------------------------
+# the replica axis: R runs planned jointly
+# ----------------------------------------------------------------------
+def batch_population(
+    tags_list: list[TagSet],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate R runs' populations for joint hashing.
+
+    Returns ``(id_words, run_n_tags, tag_bases)``: run ``r``'s tags sit
+    at global indices ``[tag_bases[r], tag_bases[r] + run_n_tags[r])`` of
+    the flattened identity-word array.
+    """
+    n_per = np.fromiter((len(t) for t in tags_list), np.int64, len(tags_list))
+    bases = np.concatenate(([0], np.cumsum(n_per)))[:-1]
+    words = [t.id_words for t in tags_list if len(t)]
+    id_words = (
+        np.concatenate(words) if words else np.empty(0, dtype=np.uint64)
+    )
+    return id_words, n_per, bases
+
+
+def run_hpp_rounds_batch(
+    id_words: np.ndarray,
+    actives: list[np.ndarray],
+    rngs: list[np.random.Generator],
+    policy: IndexLengthPolicy,
+    round_init_bits: int,
+    sinks: list[list],
+    poll_bits_fn=None,
+    label_prefix: str = "hpp",
+) -> None:
+    """Run the HPP shrink-until-empty loop jointly over R replicas.
+
+    Each joint iteration draws one round for every still-active replica
+    with a single :func:`draw_rounds_batch_flat` call; converged replicas
+    drop out of the ragged batch.  Per replica, seeds come from its own
+    ``rngs[i]`` in plan order (through a :class:`SeedStream`, which
+    yields the exact :func:`fresh_seed` values), so the rounds appended
+    to ``sinks[i]`` — tuples ``(init_bits, poll_bits, poll_tag_global)``
+    — are bit-identical to a sequential :func:`hpp_rounds` call for that
+    replica alone.  ``poll_bits`` is the *scalar* per-poll payload for
+    HPP's uniform ``h`` bits per singleton, or the per-poll array
+    ``poll_bits_fn(singleton_indices, h)`` (TPP's tree segments);
+    :func:`repro.phy.schedule.build_schedule_batch` expands scalars
+    vectorised at assembly.
+    """
+    id_words = np.asarray(id_words, dtype=np.uint64)
+    streams = [SeedStream(rng) for rng in rngs]
+    live = [i for i in range(len(actives)) if actives[i].size]
+    round_no = 0
+    while live:
+        if round_no >= MAX_ROUNDS:
+            raise RuntimeError(
+                f"{label_prefix}: HPP did not converge after {round_no} "
+                f"rounds (MAX_ROUNDS={MAX_ROUNDS}, {len(live)} replicas "
+                "still active)"
+            )
+        counts = np.fromiter((actives[i].size for i in live), np.int64,
+                             len(live))
+        hs = policy.batch(counts)
+        seeds = [streams[i]() for i in live]
+        flat_active = (
+            actives[live[0]] if len(live) == 1
+            else np.concatenate([actives[i] for i in live])
+        )
+        bases, sing_bounds, sorted_singletons, sorted_tags, rem_bounds, \
+            remaining_flat = draw_rounds_batch_flat(
+                id_words, flat_active, counts, seeds, hs
+            )
+        sb = sing_bounds.tolist()
+        rb = rem_bounds.tolist()
+        next_live = []
+        if poll_bits_fn is None:
+            for i, h, lo, hi, r0, r1 in zip(
+                live, hs.tolist(), sb, sb[1:], rb, rb[1:]
+            ):
+                sinks[i].append((round_init_bits, h, sorted_tags[lo:hi]))
+                if r1 != r0:
+                    actives[i] = remaining_flat[r0:r1]
+                    next_live.append(i)
+        else:
+            for i, h, b, lo, hi, r0, r1 in zip(
+                live, hs.tolist(), bases.tolist(), sb, sb[1:], rb, rb[1:]
+            ):
+                bits = poll_bits_fn(sorted_singletons[lo:hi] - b, h)
+                sinks[i].append((round_init_bits, bits, sorted_tags[lo:hi]))
+                if r1 != r0:
+                    actives[i] = remaining_flat[r0:r1]
+                    next_live.append(i)
+        live = next_live
+        round_no += 1
 
 
 class HPP(PollingProtocol):
@@ -98,3 +205,24 @@ class HPP(PollingProtocol):
             self.commands.round_init,
         )
         return InterrogationPlan(protocol=self.name, n_tags=n, rounds=rounds)
+
+    def plan_schedule_batch(
+        self,
+        tags_list: list[TagSet],
+        rngs: list[np.random.Generator],
+        reply_bits: int = 1,
+    ) -> ScheduleBatch:
+        """Plan R runs jointly; bit-identical to R ``plan`` calls."""
+        id_words, run_n_tags, tag_bases = batch_population(tags_list)
+        actives = [
+            np.arange(b, b + n, dtype=np.int64)
+            for b, n in zip(tag_bases.tolist(), run_n_tags.tolist())
+        ]
+        sinks: list[list] = [[] for _ in tags_list]
+        run_hpp_rounds_batch(
+            id_words, actives, rngs, self.policy,
+            self.commands.round_init, sinks,
+        )
+        return build_schedule_batch(
+            self.name, run_n_tags, sinks, tag_bases, reply_bits
+        )

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "hpp_index_length",
     "tpp_index_length",
@@ -67,6 +69,41 @@ def tpp_index_length(n_unread: int) -> int:
     return min(max(1, h), _MAX_H)
 
 
+_THRESHOLD_TABLES: dict = {}
+
+
+def _policy_thresholds(fn) -> np.ndarray:
+    """``t[h-2] = min{n : fn(n) >= h}`` for ``h`` in 2..62, by bisection.
+
+    Both paper policies are monotone non-decreasing in ``n`` (their load
+    factor bands are ordered disjoint intervals), so the vectorised
+    lookup ``1 + searchsorted(t, n, 'right')`` is *exactly* the scalar
+    policy — the table is built from the scalar function itself, no
+    float re-derivation involved.
+    """
+    thresholds = []
+    for h in range(2, _MAX_H + 1):
+        lo, hi = 1, 1 << 63
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if fn(mid) >= h:
+                hi = mid
+            else:
+                lo = mid + 1
+        thresholds.append(lo)
+    return np.asarray(thresholds, dtype=np.int64)
+
+
+def _batch_via_thresholds(fn, sizes: np.ndarray) -> np.ndarray:
+    table = _THRESHOLD_TABLES.get(fn)
+    if table is None:
+        table = _THRESHOLD_TABLES[fn] = _policy_thresholds(fn)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size and int(sizes.min()) < 1:
+        raise ValueError("n_unread must be positive")
+    return 1 + np.searchsorted(table, sizes, side="right")
+
+
 class IndexLengthPolicy:
     """Strategy interface: pick the round index length from ``n_unread``."""
 
@@ -74,6 +111,19 @@ class IndexLengthPolicy:
 
     def __call__(self, n_unread: int) -> int:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def batch(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorised ``[self(n) for n in sizes]`` (int64 in/out).
+
+        Subclass contract: element-for-element equal to the scalar call
+        — the replica-axis planners rely on this for bit-identical
+        plans.  The base implementation simply loops; the paper's two
+        policies override it with an exact table lookup.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        return np.fromiter(
+            (self(n) for n in sizes.tolist()), np.int64, sizes.size
+        )
 
 
 @dataclass(frozen=True)
@@ -85,6 +135,9 @@ class CoveringPolicy(IndexLengthPolicy):
     def __call__(self, n_unread: int) -> int:
         return hpp_index_length(n_unread)
 
+    def batch(self, sizes: np.ndarray) -> np.ndarray:
+        return _batch_via_thresholds(hpp_index_length, sizes)
+
 
 @dataclass(frozen=True)
 class SingletonMaxPolicy(IndexLengthPolicy):
@@ -94,6 +147,9 @@ class SingletonMaxPolicy(IndexLengthPolicy):
 
     def __call__(self, n_unread: int) -> int:
         return tpp_index_length(n_unread)
+
+    def batch(self, sizes: np.ndarray) -> np.ndarray:
+        return _batch_via_thresholds(tpp_index_length, sizes)
 
 
 @dataclass(frozen=True)

@@ -14,9 +14,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hashing.universal import hash_indices
+from repro.hashing.universal import hash_indices, hash_indices_ragged
 
-__all__ = ["RoundDraw", "draw_round", "fresh_seed"]
+__all__ = [
+    "RoundDraw",
+    "SeedStream",
+    "draw_round",
+    "draw_rounds_batch",
+    "draw_rounds_batch_flat",
+    "fresh_seed",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,42 @@ class RoundDraw:
 def fresh_seed(rng: np.random.Generator) -> int:
     """A 63-bit round seed drawn from the experiment RNG."""
     return int(rng.integers(0, 1 << 63))
+
+
+class SeedStream:
+    """Buffered :func:`fresh_seed` — identical values, amortised cost.
+
+    For a power-of-two bound, numpy's bounded generation consumes
+    exactly one raw 64-bit draw per value (masked rejection always
+    accepts), so ``rng.integers(0, 2**63, size=k)`` yields the very same
+    value sequence as ``k`` scalar :func:`fresh_seed` calls — which lets
+    the replica-axis planners draw their tens of thousands of per-step
+    seeds a chunk at a time instead of paying the per-call Generator
+    overhead.  The buffer over-fetches, advancing ``rng`` further than
+    the seeds actually consumed, so this is only for planners that own
+    their generator outright (the sweep runner's per-cell plan child is
+    created for one plan and discarded).
+    """
+
+    __slots__ = ("_rng", "_buf", "_pos")
+
+    _CHUNK = 256
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._buf: list[int] = []
+        self._pos = 0
+
+    def __call__(self) -> int:
+        pos = self._pos
+        buf = self._buf
+        if pos == len(buf):
+            buf = self._buf = self._rng.integers(
+                0, 1 << 63, size=self._CHUNK
+            ).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
 
 
 def draw_round(
@@ -85,3 +128,106 @@ def draw_round(
         singleton_tags=singleton_tags[order],
         remaining_tags=active[~is_singleton],
     )
+
+
+def draw_rounds_batch(
+    id_words: np.ndarray,
+    actives: list[np.ndarray],
+    seeds: list[int],
+    hs: list[int],
+) -> list[RoundDraw]:
+    """Hash R replicas' active sets in one pass — the replica-axis draw.
+
+    Each replica ``r`` is an independent Monte-Carlo run: its own active
+    set ``actives[r]`` (global indices into ``id_words``), its own round
+    seed ``seeds[r]`` and index length ``hs[r]``.  The whole ragged batch
+    is hashed with a single :func:`hash_u64` pass over the flattened
+    words, and singletons are classified with a single offset-``bincount``
+    in which replica ``r``'s indices are shifted into the disjoint range
+    ``[base_r, base_r + 2**hs[r])`` (``base_r`` = prefix sum of the
+    index-space sizes), so no two replicas can ever collide.
+
+    The per-replica results are **bit-identical** to R separate
+    :func:`draw_round` calls: the hash is elementwise, the offset
+    bucketing partitions the count space, and singleton indices (being
+    distinct) have a unique ascending order, which the batch recovers
+    directly from the count array instead of sorting.
+
+    Returns:
+        One :class:`RoundDraw` per replica, aligned with ``actives``.
+    """
+    n_replicas = len(actives)
+    if not (n_replicas == len(seeds) == len(hs)):
+        raise ValueError("actives, seeds and hs must be aligned")
+    actives = [np.asarray(a, dtype=np.int64) for a in actives]
+    counts = np.fromiter((a.size for a in actives), np.int64, n_replicas)
+    flat_active = actives[0] if n_replicas == 1 else np.concatenate(actives)
+    bases, sing_bounds, sorted_singletons, sorted_tags, rem_bounds, \
+        remaining_flat = draw_rounds_batch_flat(
+            np.asarray(id_words, dtype=np.uint64), flat_active, counts,
+            seeds, hs,
+        )
+    draws: list[RoundDraw] = []
+    for r in range(n_replicas):
+        lo, hi = int(sing_bounds[r]), int(sing_bounds[r + 1])
+        rlo, rhi = int(rem_bounds[r]), int(rem_bounds[r + 1])
+        draws.append(
+            RoundDraw(
+                h=int(hs[r]),
+                seed=int(seeds[r]),
+                singleton_indices=sorted_singletons[lo:hi] - bases[r],
+                singleton_tags=sorted_tags[lo:hi],
+                remaining_tags=remaining_flat[rlo:rhi],
+            )
+        )
+    return draws
+
+
+def draw_rounds_batch_flat(
+    id_words: np.ndarray,
+    flat_active: np.ndarray,
+    counts: np.ndarray,
+    seeds: list[int],
+    hs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+           np.ndarray]:
+    """:func:`draw_rounds_batch`'s core on pre-flattened inputs.
+
+    The planners' hot loop calls this directly: no per-replica
+    :class:`RoundDraw` objects are built, the caller slices what it
+    needs out of the flat result arrays.  Inputs are trusted (``id_words``
+    uint64, ``flat_active``/``counts`` int64, ``counts.sum() ==
+    flat_active.size``).
+
+    Returns ``(bases, sing_bounds, sorted_singletons, sorted_tags,
+    rem_bounds, remaining_flat)``; replica ``r``'s ascending singleton
+    indices are ``sorted_singletons[sing_bounds[r]:sing_bounds[r+1]] -
+    bases[r]``, its polled tags the matching ``sorted_tags`` slice, and
+    its still-active tags ``remaining_flat[rem_bounds[r]:rem_bounds[r+1]]``
+    — all bit-identical to per-replica :func:`draw_round` calls.
+    """
+    sizes = np.int64(1) << np.asarray(hs, dtype=np.int64)
+    bases = np.concatenate(([0], np.cumsum(sizes)))
+    if flat_active.size == 0:
+        zeros = np.zeros(len(seeds) + 1, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        return bases, zeros, empty, empty, zeros, empty
+    idx = hash_indices_ragged(id_words[flat_active], seeds, hs, counts)
+    shifted = idx
+    shifted += np.repeat(bases[:-1], counts)  # idx is a private temporary
+    space = int(bases[-1])
+    index_count = np.bincount(shifted, minlength=space)
+    is_singleton = index_count[shifted] == 1
+    # distinct singleton indices come out of the count array already
+    # sorted — no argsort; a scatter/gather recovers the aligned tags
+    sorted_singletons = np.flatnonzero(index_count == 1)
+    tag_of_index = np.empty(space, dtype=np.int64)
+    tag_of_index[shifted[is_singleton]] = flat_active[is_singleton]
+    sorted_tags = tag_of_index[sorted_singletons]
+
+    sing_bounds = np.searchsorted(sorted_singletons, bases)
+    remaining_flat = flat_active[~is_singleton]
+    rem_counts = counts - np.diff(sing_bounds)
+    rem_bounds = np.concatenate(([0], np.cumsum(rem_counts)))
+    return (bases, sing_bounds, sorted_singletons, sorted_tags, rem_bounds,
+            remaining_flat)

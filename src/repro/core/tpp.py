@@ -23,9 +23,10 @@ import numpy as np
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.core.planner import IndexLengthPolicy, SingletonMaxPolicy
 from repro.core.polling_tree import segment_lengths
-from repro.core.hpp import MAX_ROUNDS
+from repro.core.hpp import MAX_ROUNDS, batch_population, run_hpp_rounds_batch
 from repro.core.rounds import draw_round, fresh_seed
 from repro.phy.commands import DEFAULT_COMMAND_SIZES, CommandSizes
+from repro.phy.schedule import ScheduleBatch, build_schedule_batch
 from repro.workloads.tagsets import TagSet
 
 __all__ = ["TPP"]
@@ -75,4 +76,35 @@ class TPP(PollingProtocol):
                 )
             )
             active = draw.remaining_tags
-        raise RuntimeError(f"TPP did not converge within {MAX_ROUNDS} rounds")
+        raise RuntimeError(
+            f"tpp: TPP did not converge after {len(rounds)} rounds "
+            f"(MAX_ROUNDS={MAX_ROUNDS}, {active.size} tags still active)"
+        )
+
+    def plan_schedule_batch(
+        self,
+        tags_list: list[TagSet],
+        rngs: list[np.random.Generator],
+        reply_bits: int = 1,
+    ) -> ScheduleBatch:
+        """Plan R runs jointly; bit-identical to R ``plan`` calls.
+
+        Reuses HPP's joint shrink loop with TPP's tree encoding: each
+        singleton's payload is its pre-order tree segment, computed from
+        the batch draw's (identical) singleton indices.
+        """
+        id_words, run_n_tags, tag_bases = batch_population(tags_list)
+        actives = [
+            np.arange(b, b + n, dtype=np.int64)
+            for b, n in zip(tag_bases.tolist(), run_n_tags.tolist())
+        ]
+        sinks: list[list] = [[] for _ in tags_list]
+        run_hpp_rounds_batch(
+            id_words, actives, rngs, self.policy,
+            self.commands.round_init, sinks,
+            poll_bits_fn=segment_lengths,
+            label_prefix="tpp",
+        )
+        return build_schedule_batch(
+            self.name, run_n_tags, sinks, tag_bases, reply_bits
+        )

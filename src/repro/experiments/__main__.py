@@ -82,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persist the sweep cache to DIR (JSON lines), "
                              "so later runs skip already-computed cells")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="plan each cell's Monte-Carlo replicas jointly "
+                             "through the replica-axis batch path "
+                             "(bit-identical values; --no-batch forces the "
+                             "sequential per-cell path)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -92,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runner = configure_default_runner(
         jobs=args.jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        batch=args.batch,
     )
 
     names = args.names or list(_EXPERIMENTS)

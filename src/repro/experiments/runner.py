@@ -60,6 +60,7 @@ __all__ = [
     "cell_seed_children",
     "describe",
     "evaluate_cell",
+    "evaluate_cells_batch",
     "get_default_runner",
     "set_default_runner",
     "configure_default_runner",
@@ -197,6 +198,77 @@ def _evaluate_chunk(args: tuple) -> list[float | list[float]]:
 
 
 # ----------------------------------------------------------------------
+# the replica-axis fast path
+# ----------------------------------------------------------------------
+#: plan-derived metrics the batched planners can answer (every name a
+#: ScheduleBatch.per_run_metric resolves, plus the costed wire time)
+_BATCH_METRICS = frozenset({
+    "avg_vector_bits", "n_rounds", "n_polls", "reader_bits",
+    "wasted_slots", "time_us",
+})
+
+
+def _supports_batch(
+    protocol: PollingProtocol | ScheduleEmitter, metric: Metric
+) -> bool:
+    """True when ``(protocol, metric)`` can route through the batch path:
+    a string plan metric the batch IR can answer, on a protocol that
+    overrides :meth:`PollingProtocol.plan_schedule_batch`."""
+    return (
+        isinstance(metric, str)
+        and metric in _BATCH_METRICS
+        and isinstance(protocol, PollingProtocol)
+        and type(protocol).plan_schedule_batch
+        is not PollingProtocol.plan_schedule_batch
+    )
+
+
+def evaluate_cells_batch(
+    protocol: PollingProtocol,
+    cells: Sequence[tuple[int, int]],
+    seed: int,
+    metric: str,
+    info_bits: int,
+    budget: LinkBudget,
+    tagset_factory: Callable[[int, np.random.Generator], TagSet],
+) -> list[float]:
+    """Evaluate many cells as one replica batch.
+
+    Each cell is one replica: its tagset and plan generator derive from
+    the same :func:`cell_seed_children` as :func:`evaluate_cell`, the
+    batched planner consumes each replica's generator in plan order, and
+    the batch coster reduces per run in the sequential order — so entry
+    ``i`` is **bit-identical** to ``evaluate_cell(*cells[i], ...)`` and
+    cached values are unchanged.
+    """
+    if not cells:
+        return []
+    tags_list: list[TagSet] = []
+    rngs: list[np.random.Generator] = []
+    for n, run in cells:
+        tag_child, plan_child = cell_seed_children(seed, n, run)
+        tags_list.append(
+            _memoised_tagset(seed, n, run, tag_child, tagset_factory)
+        )
+        rngs.append(np.random.default_rng(plan_child))
+    batch = protocol.plan_schedule_batch(tags_list, rngs, reply_bits=info_bits)
+    if metric == "time_us":
+        return budget.schedule_batch_us(batch).tolist()
+    return [float(v) for v in batch.per_run_metric(metric).tolist()]
+
+
+def _evaluate_batch_shard(args: tuple) -> bytes:
+    """Worker entry point for the batch path.
+
+    Returns the shard's values as raw little-endian float64 bytes —
+    ``len(cells) * 8`` bytes instead of a pickled list of Python objects
+    — which the parent reassembles with a zero-copy ``np.frombuffer``.
+    """
+    values = evaluate_cells_batch(*args)
+    return np.asarray(values, dtype=np.float64).tobytes()
+
+
+# ----------------------------------------------------------------------
 # result cache
 # ----------------------------------------------------------------------
 class ResultCache:
@@ -213,6 +285,7 @@ class ResultCache:
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.directory = Path(directory) if directory is not None else None
         self._memory: dict[str, float | list[float]] = {}
+        self._needs_newline = False
         self.hits = 0
         self.misses = 0
         if self.directory is not None:
@@ -228,16 +301,20 @@ class ResultCache:
     def _load_disk(self) -> None:
         if self.path is None or not self.path.exists():
             return
-        with self.path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    self._memory[entry["key"]] = entry["value"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    continue  # a torn write never poisons the cache
+        raw = self.path.read_bytes()
+        # a crash mid-append leaves a torn final line with no newline;
+        # remember to terminate it before the next append, or the torn
+        # tail would fuse with (and destroy) the next entry
+        self._needs_newline = bool(raw) and not raw.endswith(b"\n")
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                self._memory[entry["key"]] = entry["value"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # a torn write never poisons the cache
 
     def get(self, key: str) -> float | list[float] | None:
         value = self._memory.get(key)
@@ -251,6 +328,9 @@ class ResultCache:
         self._memory[key] = value
         if self.path is not None:
             with self.path.open("a") as fh:
+                if self._needs_newline:
+                    fh.write("\n")
+                    self._needs_newline = False
                 fh.write(json.dumps({"key": key, "value": value}) + "\n")
 
     def __len__(self) -> int:
@@ -267,10 +347,15 @@ class SweepRunner:
     Attributes:
         jobs: worker processes; 1 executes in-process (no pool).
         cache: the cell cache, or ``None`` to recompute everything.
+        batch: route plan-derived metrics through the replica-axis
+            batched planners when the protocol supports them
+            (bit-identical values, much less Python overhead); ``False``
+            forces the sequential per-cell path everywhere.
     """
 
     jobs: int = 1
     cache: ResultCache | None = field(default_factory=ResultCache)
+    batch: bool = True
 
     # ------------------------------------------------------------------
     def _cell_key(
@@ -308,6 +393,11 @@ class SweepRunner:
         """Evaluate ``cells`` in order, using the process pool if asked."""
         if not cells:
             return []
+        if self.batch and _supports_batch(protocol, metric):
+            return self._compute_batch(
+                protocol, cells, seed, metric, info_bits, budget,
+                tagset_factory,
+            )
         payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
         use_pool = self.jobs > 1 and len(cells) > 1
         if use_pool:
@@ -331,6 +421,47 @@ class SweepRunner:
             for j, value in enumerate(chunk):
                 values[w + j * n_workers] = value
         return values
+
+    def _compute_batch(
+        self,
+        protocol: PollingProtocol,
+        cells: Sequence[tuple[int, int]],
+        seed: int,
+        metric: str,
+        info_bits: int,
+        budget: LinkBudget,
+        tagset_factory: Callable,
+    ) -> list[float]:
+        """Replica-axis evaluation: every cell is one replica of a batch.
+
+        The pool splits the *replica* axis into contiguous chunks — each
+        worker plans and costs its replicas as one joint batch, and ships
+        the length-``len(chunk)`` result vector back as raw float64
+        bytes instead of pickled objects.  Results are bit-identical to
+        the sequential path for any ``jobs``.
+        """
+        payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
+        use_pool = self.jobs > 1 and len(cells) > 1
+        if use_pool:
+            try:  # unpicklable configurations degrade to in-process
+                pickle.dumps(payload)
+            except Exception:
+                use_pool = False
+        if not use_pool:
+            return evaluate_cells_batch(
+                protocol, list(cells), seed, metric, info_bits, budget,
+                tagset_factory,
+            )
+        n_workers = min(self.jobs, len(cells))
+        bounds = [len(cells) * w // n_workers for w in range(n_workers + 1)]
+        args = [
+            (protocol, list(cells[bounds[w]:bounds[w + 1]]), seed, metric,
+             info_bits, budget, tagset_factory)
+            for w in range(n_workers)
+        ]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            chunks = list(pool.map(_evaluate_batch_shard, args))
+        return np.frombuffer(b"".join(chunks), dtype=np.float64).tolist()
 
     # ------------------------------------------------------------------
     def sweep_values(
@@ -431,9 +562,10 @@ def configure_default_runner(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
+    batch: bool = True,
 ) -> SweepRunner:
     """Build and install the default runner (the CLI's entry point)."""
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     cache = ResultCache(cache_dir) if use_cache else None
-    return set_default_runner(SweepRunner(jobs=jobs, cache=cache))
+    return set_default_runner(SweepRunner(jobs=jobs, cache=cache, batch=batch))

@@ -16,7 +16,16 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["splitmix64", "hash_u64", "hash_indices", "hash_mod", "derive_seed"]
+__all__ = [
+    "splitmix64",
+    "hash_u64",
+    "hash_u64_ragged",
+    "hash_indices",
+    "hash_indices_ragged",
+    "hash_mod",
+    "hash_mod_ragged",
+    "derive_seed",
+]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -46,10 +55,17 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray | np.uint64:
     if np.isscalar(x) or np.ndim(x) == 0:
         return np.uint64(_splitmix64_scalar(int(x)))
     z = np.asarray(x, dtype=np.uint64)
+    # first op copies (callers keep their array); the rest mutate the
+    # private copy in place — same wrap-around arithmetic, half the
+    # temporaries, which matters when the replica batch streams
+    # million-element arrays through here.
     z = z + _GOLDEN
-    z = (z ^ (z >> _SHIFT30)) * _MIX1
-    z = (z ^ (z >> _SHIFT27)) * _MIX2
-    return z ^ (z >> _SHIFT31)
+    z ^= z >> _SHIFT30
+    z *= _MIX1
+    z ^= z >> _SHIFT27
+    z *= _MIX2
+    z ^= z >> _SHIFT31
+    return z
 
 
 def derive_seed(seed: int, *salts: int) -> int:
@@ -81,6 +97,32 @@ def hash_u64(id_words: np.ndarray, seed: int) -> np.ndarray:
     return splitmix64(words ^ mixed_seed)
 
 
+def hash_u64_ragged(
+    id_words: np.ndarray, seeds: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Hash a flattened ragged batch of R segments in one vectorised pass.
+
+    Segment ``i`` is ``counts[i]`` consecutive identity words hashed
+    under ``seeds[i]``; bit-identical to R separate :func:`hash_u64`
+    calls (the seed mix and the word mix are both elementwise
+    splitmix64, so batching changes nothing but the call count).
+
+    Args:
+        id_words: uint64 array of ``counts.sum()`` identity words,
+            segment-major.
+        seeds: the R per-segment seeds ``r_i``.
+        counts: int64 array of the R segment lengths (zeros allowed).
+
+    Returns:
+        uint64 array aligned with ``id_words``.
+    """
+    seeds_u64 = np.asarray(seeds, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    words = np.asarray(id_words, dtype=np.uint64)
+    mixed = splitmix64(seeds_u64)
+    return splitmix64(words ^ np.repeat(mixed, counts))
+
+
 def hash_indices(id_words: np.ndarray, seed: int, h: int) -> np.ndarray:
     """``H(r, id) mod 2**h`` for every tag — the paper's index draw.
 
@@ -91,11 +133,57 @@ def hash_indices(id_words: np.ndarray, seed: int, h: int) -> np.ndarray:
 
     Returns:
         int64 array of indices in ``[0, 2**h)``.
+
+    Dtype contract: the result is always a fresh, writable int64 array
+    the caller owns.  Because ``h <= 63`` every index fits in the int63
+    value range, so the uint64 hash output is *reinterpreted* in place
+    (``.view``) rather than copied (``.astype``) — the masked hash is
+    already a private temporary, and skipping the second allocation is
+    what keeps the batched replica path allocation-lean.
     """
     if not 0 <= h <= 63:
         raise ValueError(f"index length h must be in [0, 63], got {h}")
     mask = np.uint64((1 << h) - 1)
-    return (hash_u64(id_words, seed) & mask).astype(np.int64)
+    return (hash_u64(id_words, seed) & mask).view(np.int64)
+
+
+def hash_indices_ragged(
+    id_words: np.ndarray, seeds: np.ndarray, hs: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Ragged-batch :func:`hash_indices`: segment ``i`` uses ``hs[i]``.
+
+    Bit-identical to per-segment :func:`hash_indices` calls; same int64
+    dtype contract (fresh array, reinterpreted not copied).
+    """
+    hs = np.asarray(hs, dtype=np.int64)
+    if hs.size and (int(hs.min()) < 0 or int(hs.max()) > 63):
+        raise ValueError("index lengths h must be in [0, 63]")
+    counts = np.asarray(counts, dtype=np.int64)
+    masks = ((np.int64(1) << hs) - 1).astype(np.uint64)
+    hashed = hash_u64_ragged(id_words, seeds, counts)
+    return (hashed & np.repeat(masks, counts)).view(np.int64)
+
+
+def _as_int64(values: np.ndarray, modulus: int) -> np.ndarray:
+    """Residues -> int64: a free reinterpretation when they fit int63."""
+    if modulus <= (1 << 63):
+        return values.view(np.int64)
+    return values.astype(np.int64)  # pragma: no cover - 2^63 < modulus
+
+
+def _residues(hashed: np.ndarray, modulus: int) -> np.ndarray:
+    """``hashed % modulus`` with a mask fast path for powers of two.
+
+    ``x mod 2^k`` is ``x & (2^k - 1)`` — same residues, no integer
+    division (uint64 ``%`` has no SIMD path and dominates e.g. EHPP's
+    circle-selection hash, whose default modulus ``F = 2^16`` is a power
+    of two).  ``hashed`` is the hash's own fresh temporary, so the mask
+    is applied in place.
+    """
+    if modulus & (modulus - 1) == 0:
+        hashed &= np.uint64(modulus - 1)
+        return hashed
+    return hashed % np.uint64(modulus)
 
 
 def hash_mod(id_words: np.ndarray, seed: int, modulus: int) -> np.ndarray:
@@ -103,7 +191,25 @@ def hash_mod(id_words: np.ndarray, seed: int, modulus: int) -> np.ndarray:
 
     Used by EHPP's circle command (``H(r, ID) mod F``) and by MIC's frame
     mapping.
+
+    Dtype contract: returns a fresh, writable int64 array.  For any
+    ``modulus <= 2**63`` the residues fit the int63 value range and the
+    uint64 remainder is reinterpreted in place instead of copied.
     """
     if modulus <= 0:
         raise ValueError(f"modulus must be positive, got {modulus}")
-    return (hash_u64(id_words, seed) % np.uint64(modulus)).astype(np.int64)
+    return _as_int64(_residues(hash_u64(id_words, seed), modulus), modulus)
+
+
+def hash_mod_ragged(
+    id_words: np.ndarray, seeds: np.ndarray, modulus: int, counts: np.ndarray
+) -> np.ndarray:
+    """Ragged-batch :func:`hash_mod` (one shared modulus, per-segment seeds).
+
+    Bit-identical to per-segment :func:`hash_mod` calls; same int64
+    dtype contract.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    residues = _residues(hash_u64_ragged(id_words, seeds, counts), modulus)
+    return _as_int64(residues, modulus)

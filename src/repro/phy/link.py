@@ -29,6 +29,7 @@ from repro.phy.schedule import (
     KIND_COLLISION_SLOT,
     KIND_EMPTY_SLOT,
     KIND_POLL,
+    ScheduleBatch,
     WireSchedule,
     compile_plan,
 )
@@ -197,6 +198,26 @@ class LinkBudget:
         for value in self.schedule_round_us(schedule).tolist():
             total += value
         return total
+
+    def schedule_batch_us(self, batch: ScheduleBatch) -> np.ndarray:
+        """Per-run wire times of a replica batch, shape ``(n_runs,)``.
+
+        One vectorised :meth:`schedule_round_us` pass prices every round
+        of every run (round ids are globally contiguous, so the cost
+        index groups exactly as it would per run), then each run's
+        rounds are reduced with the same sequential left-to-right Python
+        sum as :meth:`schedule_us` — entry ``r`` is bit-identical to
+        ``schedule_us(batch.schedule_for_run(r))``.
+        """
+        round_us = self.schedule_round_us(batch).tolist()
+        offsets = batch.run_round_offsets.tolist()
+        out = np.empty(batch.n_runs, dtype=np.float64)
+        for r in range(batch.n_runs):
+            total = 0.0
+            for value in round_us[offsets[r]:offsets[r + 1]]:
+                total += value
+            out[r] = total
+        return out
 
 
 # ----------------------------------------------------------------------

@@ -66,10 +66,12 @@ __all__ = [
     "KIND_NAMES",
     "CostIndex",
     "WireSchedule",
+    "ScheduleBatch",
     "RoundView",
     "ScheduleBuilder",
     "ScheduleEmitter",
     "compile_plan",
+    "build_schedule_batch",
 ]
 
 KIND_BROADCAST = 0
@@ -371,6 +373,11 @@ def compile_plan(plan: "InterrogationPlan", reply_bits: int = 1) -> WireSchedule
     downlink[pos] = np.repeat(slot_ov, n_coll)
     uplink[pos] = reply_bits
 
+    meta = {**plan.meta, "reply_bits": int(reply_bits)}
+    if int(poll_ov.min()) == int(poll_ov.max()):
+        # uniform poll framing: recorded so ScheduleBatch.from_schedules
+        # can recover the plan's vector-bits numerator from the columns
+        meta["poll_overhead_bits"] = int(poll_ov[0])
     return WireSchedule(
         protocol=plan.protocol,
         n_tags=plan.n_tags,
@@ -379,7 +386,443 @@ def compile_plan(plan: "InterrogationPlan", reply_bits: int = 1) -> WireSchedule
         uplink_bits=uplink,
         tag_idx=tag_idx,
         round_id=round_id,
-        meta={**plan.meta, "reply_bits": int(reply_bits)},
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# the replica axis: R runs' schedules as one columnar batch
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleBatch(WireSchedule):
+    """R independent runs' wire schedules stacked run-major in one IR.
+
+    A :class:`WireSchedule` plus a ``run_id`` column and per-run offset
+    tables.  Run ``r`` owns rows ``[run_offsets[r], run_offsets[r+1])``
+    and the *globally contiguous* round ids
+    ``[run_round_offsets[r], run_round_offsets[r+1])`` — because round
+    ids never straddle a run boundary, :meth:`WireSchedule.cost_index`
+    and :meth:`~repro.phy.link.LinkBudget.schedule_round_us` work on the
+    batch unchanged, and each per-round price is bit-identical to the
+    one the standalone per-run schedule would get.
+
+    ``tag_idx`` is *run-local* (0..run_n_tags[r]-1), exactly what
+    :func:`compile_plan` would emit for that run alone, so
+    :meth:`schedule_for_run` is a pure slice + round-id rebase.  The
+    inherited ``n_tags`` holds the total across runs.
+    """
+
+    run_id: np.ndarray = None  # type: ignore[assignment]
+    run_offsets: np.ndarray = None  # type: ignore[assignment]
+    run_round_offsets: np.ndarray = None  # type: ignore[assignment]
+    run_n_tags: np.ndarray = None  # type: ignore[assignment]
+    run_vector_bits: np.ndarray = None  # type: ignore[assignment]
+    run_metas: list[dict[str, Any]] | None = None
+
+    #: exchange columns a deferred batch materialises on first touch
+    _LAZY_COLUMNS = ("kind", "downlink_bits", "uplink_bits", "tag_idx",
+                     "round_id", "run_id")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._lazy = None
+        self._run_n_polls = None
+        self._run_reader_bits = None
+        for name in ("run_id", "run_offsets", "run_round_offsets",
+                     "run_n_tags", "run_vector_bits"):
+            col = getattr(self, name)
+            if col is None:
+                raise ValueError(f"ScheduleBatch requires {name}")
+            setattr(self, name, np.asarray(col, dtype=np.int64))
+        if self.run_id.shape != self.kind.shape:
+            raise ValueError("run_id must align with the exchange columns")
+        n_runs = self.run_n_tags.size
+        for name in ("run_offsets", "run_round_offsets"):
+            if getattr(self, name).size != n_runs + 1:
+                raise ValueError(f"{name} must have n_runs+1 entries")
+        if self.run_vector_bits.size != n_runs:
+            raise ValueError("run_vector_bits must have one entry per run")
+        if self.run_metas is not None and len(self.run_metas) != n_runs:
+            raise ValueError("run_metas must have one entry per run")
+
+    # ------------------------------------------------------------------
+    # deferred construction: aggregates now, exchange rows on demand
+    # ------------------------------------------------------------------
+    @classmethod
+    def _deferred(
+        cls,
+        *,
+        protocol: str,
+        n_tags: int,
+        meta: dict[str, Any],
+        run_offsets: np.ndarray,
+        run_round_offsets: np.ndarray,
+        run_n_tags: np.ndarray,
+        run_vector_bits: np.ndarray,
+        run_metas: list[dict[str, Any]] | None,
+        cost_index: CostIndex,
+        run_n_polls: np.ndarray,
+        run_reader_bits: np.ndarray,
+        materialise,
+    ) -> "ScheduleBatch":
+        """Build a batch whose exchange columns don't exist yet.
+
+        Planning a replica batch only to price it (``time_us``) or to
+        read plan aggregates never needs the per-exchange rows — the
+        cost index and the per-run metric vectors are computable from
+        per-round aggregates at a fraction of the cost.  ``materialise``
+        is called at most once, on first access to any exchange column
+        (``schedule_for_run``, the DES executors, ``validate`` ...), and
+        must return the full column dict; until then the batch carries
+        only O(n_rounds) state.
+        """
+        obj = object.__new__(cls)
+        obj.protocol = protocol
+        obj.n_tags = int(n_tags)
+        obj.meta = meta
+        obj.run_offsets = run_offsets
+        obj.run_round_offsets = run_round_offsets
+        obj.run_n_tags = run_n_tags
+        obj.run_vector_bits = run_vector_bits
+        obj.run_metas = run_metas
+        obj._cost_index = cost_index
+        obj._run_n_polls = run_n_polls
+        obj._run_reader_bits = run_reader_bits
+        obj._lazy = materialise
+        return obj
+
+    def __getattr__(self, name: str):
+        # only reached when ``name`` is genuinely absent: a deferred
+        # batch touching an exchange column materialises them all
+        d = self.__dict__
+        lazy = d.get("_lazy")
+        if lazy is not None and name in ScheduleBatch._LAZY_COLUMNS:
+            d["_lazy"] = None
+            d.update(lazy())
+            return d[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __getstate__(self):
+        if self.__dict__.get("_lazy") is not None:
+            _ = self.kind  # closures don't pickle; materialise first
+        return dict(self.__dict__)
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.run_n_tags.size)
+
+    @property
+    def n_exchanges(self) -> int:
+        # from the offset table, so pricing never forces the columns
+        return int(self.run_offsets[-1])
+
+    @property
+    def n_rounds(self) -> int:
+        # round ids are globally contiguous across runs
+        return int(self.run_round_offsets[-1])
+
+    # ------------------------------------------------------------------
+    def schedule_for_run(self, r: int) -> WireSchedule:
+        """Run ``r``'s rows as a standalone :class:`WireSchedule`.
+
+        Column-for-column identical to compiling that run's plan alone
+        (rounds rebased to start at 0).
+        """
+        lo, hi = int(self.run_offsets[r]), int(self.run_offsets[r + 1])
+        meta = dict(self.run_metas[r]) if self.run_metas is not None else {}
+        meta.setdefault("reply_bits", self.meta.get("reply_bits", 1))
+        return WireSchedule(
+            protocol=self.protocol,
+            n_tags=int(self.run_n_tags[r]),
+            kind=self.kind[lo:hi],
+            downlink_bits=self.downlink_bits[lo:hi],
+            uplink_bits=self.uplink_bits[lo:hi],
+            tag_idx=self.tag_idx[lo:hi],
+            round_id=self.round_id[lo:hi] - self.run_round_offsets[r],
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------
+    def _per_run_int_sum(self, values: np.ndarray) -> np.ndarray:
+        """Exact int64 per-run sums of a per-exchange column."""
+        csum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+        return csum[self.run_offsets[1:]] - csum[self.run_offsets[:-1]]
+
+    def per_run_metric(self, name: str) -> np.ndarray:
+        """Length-R vector of a plan/schedule aggregate metric.
+
+        Each entry is bit-identical to the same attribute computed on
+        run ``r``'s standalone plan/schedule (integer metrics are exact
+        int64 sums; ``avg_vector_bits`` is the same Python int/int
+        division the plan property performs).
+        """
+        n_runs = self.n_runs
+        if name == "n_rounds":
+            return np.diff(self.run_round_offsets)
+        if name == "n_polls":
+            if self._run_n_polls is not None:
+                return self._run_n_polls
+            return np.bincount(
+                self.run_id[self.kind == KIND_POLL], minlength=n_runs
+            )[:n_runs]
+        if name == "wasted_slots":
+            if self._run_n_polls is not None:
+                # deferred batches come from build_schedule_batch, which
+                # never emits empty/collision rows
+                return np.zeros(n_runs, dtype=np.int64)
+            wasted = (self.kind == KIND_EMPTY_SLOT) | (
+                self.kind == KIND_COLLISION_SLOT
+            )
+            return np.bincount(self.run_id[wasted], minlength=n_runs)[:n_runs]
+        if name == "reader_bits":
+            if self._run_reader_bits is not None:
+                return self._run_reader_bits
+            return self._per_run_int_sum(self.downlink_bits)
+        if name == "avg_vector_bits":
+            return np.array(
+                [
+                    vb / nt if nt else 0.0
+                    for vb, nt in zip(
+                        self.run_vector_bits.tolist(), self.run_n_tags.tolist()
+                    )
+                ],
+                dtype=np.float64,
+            )
+        raise KeyError(f"unknown per-run metric {name!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedules(cls, schedules: list[WireSchedule],
+                       protocol: str | None = None) -> "ScheduleBatch":
+        """Stack standalone per-run schedules into a batch (reference path)."""
+        if not schedules:
+            raise ValueError("from_schedules needs at least one schedule")
+        if protocol is None:
+            protocol = schedules[0].protocol
+        rows = np.fromiter((s.n_exchanges for s in schedules), np.int64,
+                           len(schedules))
+        rounds = np.fromiter((s.n_rounds for s in schedules), np.int64,
+                             len(schedules))
+        run_offsets = np.concatenate(([0], np.cumsum(rows)))
+        run_round_offsets = np.concatenate(([0], np.cumsum(rounds)))
+
+        def cat(cols: list[np.ndarray], dtype: type) -> np.ndarray:
+            if not cols:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(cols)
+
+        vector_bits = []
+        for s in schedules:
+            is_b = s.kind == KIND_BROADCAST
+            is_p = s.kind == KIND_POLL
+            ov = int(s.meta.get("poll_overhead_bits", 0))
+            payload = int(s.downlink_bits[is_p].sum()) - ov * int(is_p.sum())
+            vector_bits.append(int(s.downlink_bits[is_b].sum()) + payload)
+        return cls(
+            protocol=protocol,
+            n_tags=int(sum(s.n_tags for s in schedules)),
+            kind=cat([s.kind for s in schedules], np.int8),
+            downlink_bits=cat([s.downlink_bits for s in schedules], np.int64),
+            uplink_bits=cat([s.uplink_bits for s in schedules], np.int64),
+            tag_idx=cat([s.tag_idx for s in schedules], np.int64),
+            round_id=cat(
+                [
+                    s.round_id + off
+                    for s, off in zip(schedules, run_round_offsets[:-1])
+                ],
+                np.int64,
+            ),
+            meta={"reply_bits": schedules[0].meta.get("reply_bits", 1)},
+            run_id=np.repeat(
+                np.arange(len(schedules), dtype=np.int64), rows
+            ),
+            run_offsets=run_offsets,
+            run_round_offsets=run_round_offsets,
+            run_n_tags=np.fromiter((s.n_tags for s in schedules), np.int64,
+                                   len(schedules)),
+            run_vector_bits=np.asarray(vector_bits, dtype=np.int64),
+            run_metas=[dict(s.meta) for s in schedules],
+        )
+
+
+def build_schedule_batch(
+    protocol: str,
+    run_n_tags: np.ndarray,
+    run_rounds: list[list[tuple[int, np.ndarray, np.ndarray]]],
+    tag_bases: np.ndarray,
+    reply_bits: int = 1,
+    poll_overhead_bits: int | None = None,
+    run_metas: list[dict[str, Any]] | None = None,
+) -> ScheduleBatch:
+    """Assemble a :class:`ScheduleBatch` from per-run planner output.
+
+    ``run_rounds[r]`` is run ``r``'s round list in plan order; each round
+    is ``(init_bits, poll_bits, poll_tag_global)`` where the tag
+    indices are *global* into the concatenated batch population and
+    ``tag_bases[r]`` rebases them to run-local.  ``poll_bits`` is either
+    a per-poll int64 array or a plain scalar meaning every poll in the
+    round carries that payload (HPP/EHPP's uniform ``h``); scalars are
+    expanded here with one vectorised ``repeat`` instead of a per-round
+    allocation in the planner's hot loop.  Rows follow
+    :func:`compile_plan`'s order exactly — per round: the initiation
+    broadcast then the polls in plan order (the batched core planners
+    emit no wasted slots) — so run ``r``'s block is column-for-column
+    what ``compile_plan(plan_r, reply_bits)`` would produce.
+    """
+    if reply_bits < 0:
+        raise ValueError("reply_bits must be non-negative")
+    if poll_overhead_bits is None:
+        # the RoundPlan default: a QueryRep frames every poll
+        from repro.phy.commands import DEFAULT_COMMAND_SIZES
+
+        poll_overhead_bits = DEFAULT_COMMAND_SIZES.query_rep
+    n_runs = len(run_rounds)
+    run_n_tags = np.asarray(run_n_tags, dtype=np.int64)
+    tag_bases = np.asarray(tag_bases, dtype=np.int64)
+    rounds_per_run = np.fromiter(
+        (len(rr) for rr in run_rounds), np.int64, n_runs
+    )
+    flat = [rd for rr in run_rounds for rd in rr]
+    n_rounds = len(flat)
+    run_round_offsets = np.concatenate(([0], np.cumsum(rounds_per_run)))
+    meta = {"reply_bits": int(reply_bits),
+            "poll_overhead_bits": int(poll_overhead_bits)}
+    if n_rounds == 0:
+        empty = np.empty(0, dtype=np.int64)
+        zeros = np.zeros(n_runs + 1, dtype=np.int64)
+        return ScheduleBatch(
+            protocol=protocol, n_tags=int(run_n_tags.sum()),
+            kind=empty, downlink_bits=empty, uplink_bits=empty,
+            tag_idx=empty, round_id=empty, meta=meta,
+            run_id=empty, run_offsets=zeros, run_round_offsets=zeros,
+            run_n_tags=run_n_tags,
+            run_vector_bits=np.zeros(n_runs, dtype=np.int64),
+            run_metas=run_metas,
+        )
+
+    init = np.fromiter((rd[0] for rd in flat), np.int64, n_rounds)
+    n_polls = np.fromiter((rd[2].size for rd in flat), np.int64, n_rounds)
+    round_run = np.repeat(np.arange(n_runs, dtype=np.int64), rounds_per_run)
+
+    rows_per_round = 1 + n_polls
+    total = int(rows_per_round.sum())
+    uniform = all(isinstance(rd[1], (int, np.integer)) for rd in flat)
+    if uniform:
+        per_round_bits = np.fromiter((rd[1] for rd in flat), np.int64,
+                                     n_rounds)
+        payload_sums = per_round_bits * n_polls
+    else:
+        per_round_bits = None
+        poll_payload = (
+            np.concatenate([
+                rd[1] if isinstance(rd[1], np.ndarray)
+                else np.full(rd[2].size, rd[1], dtype=np.int64)
+                for rd in flat
+            ])
+            if total > n_rounds
+            else np.empty(0, dtype=np.int64)
+        )
+        # per-round payload sums via one cumsum, exact in int64
+        pp_csum = np.concatenate(([0], np.cumsum(poll_payload)))
+        poll_starts = np.cumsum(n_polls) - n_polls
+        payload_sums = pp_csum[poll_starts + n_polls] - pp_csum[poll_starts]
+    round_vec = init + payload_sums
+
+    row_csum = np.concatenate(([0], np.cumsum(rows_per_round)))
+    run_offsets = row_csum[run_round_offsets]
+
+    # per-run Fig.10 numerator: init bits + poll payload bits, exact ints
+    vec_csum = np.concatenate(([0], np.cumsum(round_vec)))
+    run_vector_bits = (
+        vec_csum[run_round_offsets[1:]] - vec_csum[run_round_offsets[:-1]]
+    )
+
+    # ------------------------------------------------------------------
+    # cost index straight from the per-round aggregates.  Compiled rows
+    # per round are [broadcast, polls...] with uniform poll uplink and
+    # zero poll slot framing, so _build_cost_index on the materialised
+    # columns would find exactly one broadcast run per round plus one
+    # poll run per round-with-polls, in round order — reproduced here
+    # without touching (or building) the rows.
+    # ------------------------------------------------------------------
+    down_sums = np.zeros((n_rounds, 4))
+    down_sums[:, KIND_BROADCAST] = init
+    down_sums[:, KIND_POLL] = payload_sums + poll_overhead_bits * n_polls
+    has_polls = n_polls > 0
+    width = 1 + has_polls.astype(np.int64)
+    bpos = np.cumsum(width) - width  # each round's broadcast-run slot
+    ppos = bpos[has_polls] + 1
+    rids = np.arange(n_rounds, dtype=np.int64)
+    total_runs = int(width.sum())
+    run_rid = np.empty(total_runs, dtype=np.int64)
+    run_rid[bpos] = rids
+    run_rid[ppos] = rids[has_polls]
+    run_kind = np.zeros(total_runs, dtype=np.int8)
+    run_kind[ppos] = KIND_POLL
+    run_down = np.zeros(total_runs, dtype=np.int64)
+    run_down[bpos] = init
+    run_up = np.zeros(total_runs, dtype=np.int64)
+    run_up[ppos] = reply_bits
+    run_count = np.ones(total_runs, dtype=np.int64)
+    run_count[ppos] = n_polls[has_polls]
+    cost = CostIndex(
+        down_sums=down_sums, run_rid=run_rid, run_kind=run_kind,
+        run_down=run_down, run_up=run_up, run_count=run_count,
+    )
+
+    def per_run_sums(per_round: np.ndarray) -> np.ndarray:
+        csum = np.concatenate(([0], np.cumsum(per_round)))
+        return csum[run_round_offsets[1:]] - csum[run_round_offsets[:-1]]
+
+    run_n_polls = per_run_sums(n_polls)
+    run_reader_bits = per_run_sums(
+        init + payload_sums + poll_overhead_bits * n_polls
+    )
+
+    def materialise() -> dict[str, np.ndarray]:
+        kind = np.empty(total, dtype=np.int8)
+        downlink = np.empty(total, dtype=np.int64)
+        uplink = np.zeros(total, dtype=np.int64)
+        tag_idx = np.full(total, -1, dtype=np.int64)
+        round_id = np.repeat(rids, rows_per_round)
+        run_id = np.repeat(round_run, rows_per_round)
+
+        start = row_csum[:-1]
+        kind[start] = KIND_BROADCAST
+        downlink[start] = init
+
+        pos = np.repeat(start + 1, n_polls) + _segmented_arange(n_polls)
+        kind[pos] = KIND_POLL
+        flat_payload = (
+            np.repeat(per_round_bits, n_polls)
+            if per_round_bits is not None
+            else poll_payload
+        )
+        downlink[pos] = flat_payload + poll_overhead_bits
+        uplink[pos] = reply_bits
+        tag_idx[pos] = np.concatenate(
+            [rd[2] for rd in flat]
+        ) - np.repeat(tag_bases[round_run], n_polls)
+        return {
+            "kind": kind, "downlink_bits": downlink, "uplink_bits": uplink,
+            "tag_idx": tag_idx, "round_id": round_id, "run_id": run_id,
+        }
+
+    return ScheduleBatch._deferred(
+        protocol=protocol,
+        n_tags=int(run_n_tags.sum()),
+        meta=meta,
+        run_offsets=run_offsets,
+        run_round_offsets=run_round_offsets,
+        run_n_tags=run_n_tags,
+        run_vector_bits=run_vector_bits,
+        run_metas=run_metas,
+        cost_index=cost,
+        run_n_polls=run_n_polls,
+        run_reader_bits=run_reader_bits,
+        materialise=materialise,
     )
 
 

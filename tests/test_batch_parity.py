@@ -1,0 +1,244 @@
+"""Replica-axis batched planning must be bit-identical to sequential.
+
+The contract under test (the whole point of the batch path): for every
+protocol that overrides ``plan_schedule_batch``, planning R runs jointly
+yields, run for run, *exactly* the schedule, wire times, and plan
+metrics that R independent ``plan()`` + ``compile_plan()`` calls
+produce — same seeds, same rounds, same floats — so cached sweep cells
+and paper numbers are unchanged by the fast path.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.planner import (
+    CoveringPolicy,
+    SingletonMaxPolicy,
+    hpp_index_length,
+    tpp_index_length,
+)
+from repro.core.rounds import SeedStream, draw_round, draw_rounds_batch, fresh_seed
+from repro.core.tpp import TPP
+from repro.experiments.runner import cell_seed_children
+from repro.hashing.universal import (
+    hash_indices,
+    hash_indices_ragged,
+    hash_mod,
+    hash_mod_ragged,
+)
+from repro.phy.link import LinkBudget
+from repro.phy.schedule import ScheduleBatch, _build_cost_index, compile_plan
+from repro.workloads.tagsets import uniform_tagset
+
+BUDGET = LinkBudget()
+COLUMNS = ("kind", "downlink_bits", "uplink_bits", "tag_idx", "round_id")
+METRICS = ("n_rounds", "n_polls", "wasted_slots", "reader_bits",
+           "avg_vector_bits")
+
+PROTOCOLS = [
+    pytest.param(lambda: HPP(), id="hpp"),
+    pytest.param(lambda: TPP(), id="tpp"),
+    pytest.param(lambda: EHPP(), id="ehpp"),
+    pytest.param(lambda: EHPP(subset_size=50), id="ehpp-small-circles"),
+]
+
+
+def _cell_inputs(seed, n, runs):
+    """Per-run tagsets, batch generators, and reference plans/schedules."""
+    tags_list, rngs, refs = [], [], []
+    proto_rngs = []
+    for run in range(runs):
+        tag_child, plan_child = cell_seed_children(seed, n, run)
+        tags_list.append(uniform_tagset(n, np.random.default_rng(tag_child)))
+        rngs.append(np.random.default_rng(plan_child))
+        proto_rngs.append(np.random.default_rng(plan_child))
+    return tags_list, rngs, proto_rngs
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", [0, 7])
+@pytest.mark.parametrize("n", [0, 1, 7, 1000])
+def test_batch_equals_sequential_compile(make_protocol, seed, n):
+    """Columns, wire times, and plan metrics, run for run, incl. the
+    empty-population and single-tag edges."""
+    runs = 5
+    protocol = make_protocol()
+    tags_list, rngs, proto_rngs = _cell_inputs(seed, n, runs)
+    plans = [
+        protocol.plan(tags, rng) for tags, rng in zip(tags_list, proto_rngs)
+    ]
+    batch = protocol.plan_schedule_batch(tags_list, rngs, reply_bits=3)
+
+    times = BUDGET.schedule_batch_us(batch)
+    per_metric = {m: batch.per_run_metric(m).tolist() for m in METRICS}
+    for r, plan in enumerate(plans):
+        ref = compile_plan(plan, 3)
+        sub = batch.schedule_for_run(r)
+        for col in COLUMNS:
+            assert np.array_equal(getattr(sub, col), getattr(ref, col)), (
+                f"run {r}: column {col} diverges from compile_plan"
+            )
+        assert times[r] == BUDGET.schedule_us(ref)
+        assert per_metric["n_rounds"][r] == len(plan.rounds)
+        assert per_metric["n_polls"][r] == plan.n_polls
+        assert per_metric["wasted_slots"][r] == plan.wasted_slots
+        assert per_metric["reader_bits"][r] == plan.reader_bits
+        assert per_metric["avg_vector_bits"][r] == plan.avg_vector_bits
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+def test_mixed_population_batch(make_protocol):
+    """One batch may mix replica sizes, including an empty run."""
+    protocol = make_protocol()
+    sizes = [13, 0, 200, 1, 64]
+    tags_list, rngs, proto_rngs = [], [], []
+    for run, n in enumerate(sizes):
+        tag_child, plan_child = cell_seed_children(3, n, run)
+        tags_list.append(uniform_tagset(n, np.random.default_rng(tag_child)))
+        rngs.append(np.random.default_rng(plan_child))
+        proto_rngs.append(np.random.default_rng(plan_child))
+    batch = protocol.plan_schedule_batch(tags_list, rngs, reply_bits=1)
+    assert batch.n_runs == len(sizes)
+    times = BUDGET.schedule_batch_us(batch)
+    for r, n in enumerate(sizes):
+        plan = protocol.plan(tags_list[r], proto_rngs[r])
+        ref = compile_plan(plan, 1)
+        sub = batch.schedule_for_run(r)
+        for col in COLUMNS:
+            assert np.array_equal(getattr(sub, col), getattr(ref, col))
+        assert times[r] == BUDGET.schedule_us(ref)
+
+
+def test_from_schedules_matches_planner_batch():
+    """The reference stacker and the planner's batch agree on every
+    aggregate (the eager and deferred code paths cross-check)."""
+    protocol = EHPP()
+    tags_list, rngs, proto_rngs = _cell_inputs(11, 300, 4)
+    batch = protocol.plan_schedule_batch(tags_list, rngs, reply_bits=2)
+    stacked = ScheduleBatch.from_schedules(
+        [
+            compile_plan(protocol.plan(tags, rng), 2)
+            for tags, rng in zip(tags_list, proto_rngs)
+        ]
+    )
+    for m in METRICS:
+        assert np.array_equal(
+            batch.per_run_metric(m), stacked.per_run_metric(m)
+        ), f"metric {m}"
+    assert np.array_equal(
+        BUDGET.schedule_batch_us(batch), BUDGET.schedule_batch_us(stacked)
+    )
+    for col in COLUMNS + ("run_id",):
+        assert np.array_equal(getattr(batch, col), getattr(stacked, col))
+
+
+class TestDeferredColumns:
+    """Pricing and plan metrics must not build the exchange rows."""
+
+    def _batch(self):
+        tags_list, rngs, _ = _cell_inputs(5, 400, 3)
+        return HPP().plan_schedule_batch(tags_list, rngs, reply_bits=1)
+
+    def test_pricing_and_metrics_stay_lazy(self):
+        batch = self._batch()
+        BUDGET.schedule_batch_us(batch)
+        for m in METRICS:
+            batch.per_run_metric(m)
+        assert batch.n_exchanges > 0 and batch.n_rounds > 0
+        assert batch.__dict__.get("_lazy") is not None, (
+            "pricing or metrics forced column materialisation"
+        )
+
+    def test_aggregate_cost_index_equals_column_built(self):
+        batch = self._batch()
+        from_aggregates = batch.cost_index()
+        from_columns = _build_cost_index(batch)  # forces the columns
+        for name in ("down_sums", "run_rid", "run_kind", "run_down",
+                     "run_up", "run_count"):
+            a = getattr(from_aggregates, name)
+            b = getattr(from_columns, name)
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b), f"cost index field {name}"
+
+    def test_column_access_materialises_once(self):
+        batch = self._batch()
+        kind = batch.kind
+        assert batch.__dict__.get("_lazy") is None
+        assert kind is batch.kind
+        assert batch.run_id.shape == kind.shape
+        batch.validate()
+
+    def test_pickle_round_trip(self):
+        batch = self._batch()
+        clone = pickle.loads(pickle.dumps(batch))
+        for col in COLUMNS + ("run_id",):
+            assert np.array_equal(getattr(clone, col), getattr(batch, col))
+        assert np.array_equal(
+            BUDGET.schedule_batch_us(clone), BUDGET.schedule_batch_us(batch)
+        )
+
+
+class TestBatchBuildingBlocks:
+    """The vectorised primitives the joint planners are built from."""
+
+    def test_seed_stream_matches_fresh_seed(self):
+        a = SeedStream(np.random.default_rng(42))
+        ref_rng = np.random.default_rng(42)
+        for _ in range(1000):  # spans several buffer refills
+            assert a() == fresh_seed(ref_rng)
+
+    def test_policy_batch_matches_scalar(self):
+        sizes = np.concatenate([
+            np.arange(1, 5000, dtype=np.int64),
+            np.random.default_rng(0).integers(1, 1 << 62, size=500),
+        ])
+        for policy, fn in ((CoveringPolicy(), hpp_index_length),
+                           (SingletonMaxPolicy(), tpp_index_length)):
+            got = policy.batch(sizes)
+            ref = np.fromiter((fn(int(s)) for s in sizes), np.int64,
+                              sizes.size)
+            assert np.array_equal(got, ref), policy.name
+
+    def test_policy_batch_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CoveringPolicy().batch(np.array([4, 0, 9]))
+
+    def test_draw_rounds_batch_matches_draw_round(self):
+        rng = np.random.default_rng(9)
+        id_words = rng.integers(0, 1 << 64, size=600, dtype=np.uint64)
+        actives = [
+            np.arange(0, 200, dtype=np.int64),
+            np.arange(200, 200, dtype=np.int64),  # empty replica
+            np.arange(200, 600, dtype=np.int64),
+        ]
+        seeds = [11, 22, 33]
+        hs = [8, 4, 9]
+        draws = draw_rounds_batch(id_words, actives, seeds, hs)
+        for active, seed, h, got in zip(actives, seeds, hs, draws):
+            ref = draw_round(id_words, active, seed, h)
+            assert got.seed == ref.seed and got.h == ref.h
+            assert np.array_equal(got.singleton_indices, ref.singleton_indices)
+            assert np.array_equal(got.singleton_tags, ref.singleton_tags)
+            assert np.array_equal(got.remaining_tags, ref.remaining_tags)
+
+    def test_ragged_hashing_matches_per_segment(self):
+        rng = np.random.default_rng(13)
+        words = rng.integers(0, 1 << 64, size=500, dtype=np.uint64)
+        counts = np.array([200, 0, 299, 1], dtype=np.int64)
+        seeds = [5, 6, 7, 8]
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        hs = [10, 3, 12, 1]
+        got_idx = hash_indices_ragged(words, seeds, hs, counts)
+        got_mod = hash_mod_ragged(words, seeds, 1000, counts)
+        for k in range(len(counts)):
+            lo, hi = bounds[k], bounds[k + 1]
+            assert np.array_equal(
+                got_idx[lo:hi], hash_indices(words[lo:hi], seeds[k], hs[k])
+            )
+            assert np.array_equal(
+                got_mod[lo:hi], hash_mod(words[lo:hi], seeds[k], 1000)
+            )

@@ -237,3 +237,105 @@ class TestDefaultRunnerPlumbing:
                                       runner=SweepRunner(jobs=1, cache=None))
         assert via_factory.y == via_instance.y
         assert via_factory.label == "HPP"
+
+
+class TestBatchPath:
+    """The replica-axis fast path must be an invisible optimisation:
+    same values, same cache entries, for every jobs count."""
+
+    GRID = (40, 130)
+
+    def _values(self, protocol, *, batch, jobs=1, metric="avg_vector_bits"):
+        runner = SweepRunner(jobs=jobs, cache=None, batch=batch)
+        return runner.sweep_values(
+            protocol, self.GRID, n_runs=4, seed=5, metric=metric
+        )
+
+    @pytest.mark.parametrize("metric", ["avg_vector_bits", "time_us",
+                                        "n_rounds", "reader_bits"])
+    def test_batch_matches_sequential(self, metric):
+        from repro.core.ehpp import EHPP
+
+        for protocol in (HPP(), TPP(), EHPP(subset_size=30)):
+            fast = self._values(protocol, batch=True, metric=metric)
+            slow = self._values(protocol, batch=False, metric=metric)
+            assert np.array_equal(fast, slow), (describe(protocol), metric)
+
+    def test_batch_parallel_matches_serial(self):
+        fast = self._values(HPP(), batch=True, jobs=2, metric="time_us")
+        slow = self._values(HPP(), batch=False, jobs=1, metric="time_us")
+        assert np.array_equal(fast, slow)
+
+    def test_batch_and_sequential_share_cache_entries(self):
+        cache = ResultCache()
+        batched = SweepRunner(jobs=1, cache=cache, batch=True)
+        batched.sweep_values(HPP(), self.GRID, n_runs=3, seed=1)
+        assert cache.misses == len(self.GRID) * 3
+        sequential = SweepRunner(jobs=1, cache=cache, batch=False)
+        again = sequential.sweep_values(HPP(), self.GRID, n_runs=3, seed=1)
+        assert cache.hits == len(self.GRID) * 3, (
+            "sequential runner must hit every batch-written cell"
+        )
+        assert np.array_equal(
+            again,
+            SweepRunner(jobs=1, cache=None, batch=False).sweep_values(
+                HPP(), self.GRID, n_runs=3, seed=1
+            ),
+        )
+
+    def test_unsupported_metric_falls_back(self):
+        def spread(protocol, tags, plan_seed, budget, info_bits):
+            plan = protocol.plan(tags, np.random.default_rng(plan_seed))
+            return [float(len(plan.rounds)), float(plan.n_polls)]
+
+        fast = self._values(HPP(), batch=True, metric=spread)
+        slow = self._values(HPP(), batch=False, metric=spread)
+        assert np.array_equal(fast, slow)
+
+    def test_unsupported_protocol_falls_back(self):
+        from repro.baselines.mic import MIC
+
+        fast = self._values(MIC(), batch=True)
+        slow = self._values(MIC(), batch=False)
+        assert np.array_equal(fast, slow)
+
+
+class TestCacheTornTail:
+    """A crash mid-append must cost at most the torn cell, never the file."""
+
+    def _sweep(self, cache):
+        runner = SweepRunner(jobs=1, cache=cache)
+        return runner.sweep_values(HPP(), (60,), n_runs=3, seed=2)
+
+    def test_truncated_final_line_recovers(self, tmp_path):
+        first = self._sweep(ResultCache(tmp_path))
+        path = tmp_path / "cells.jsonl"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])  # tear the last record
+
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == 2  # the torn cell is dropped, not the file
+        again = self._sweep(reloaded)
+        assert np.array_equal(again, first)
+        assert reloaded.misses == 1
+
+        # the repaired file must parse cleanly on the next load
+        final = ResultCache(tmp_path)
+        assert len(final) == 3
+        for line in path.read_bytes().splitlines():
+            assert line == b"" or line.lstrip().startswith(b"{")
+
+    def test_append_after_torn_tail_does_not_fuse_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", 1.0)
+        path = tmp_path / "cells.jsonl"
+        path.write_bytes(path.read_bytes()[:-3])  # no trailing newline
+
+        recovered = ResultCache(tmp_path)
+        recovered.put("b", 2.0)
+        entries = [
+            line for line in path.read_text().splitlines() if line.strip()
+        ]
+        reparsed = ResultCache(tmp_path)
+        assert reparsed.get("b") == 2.0
+        assert len(entries) >= 2  # the torn tail sits on its own line
