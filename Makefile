@@ -1,6 +1,6 @@
 # Convenience targets for the repro workflow.
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test bench bench-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -9,7 +9,12 @@ test:
 	PYTHONPATH=src python -m pytest tests/
 
 bench:
-	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_engine.json
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
+	python scripts/slim_bench.py .bench_raw.json -o BENCH_engine.json
+	rm -f .bench_raw.json
+
+bench-check:
+	PYTHONPATH=src python scripts/bench_regression.py
 
 experiments:
 	python -m repro.experiments

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: re-run smoke-size benchmark cases against the
+committed ``BENCH_engine.json`` baseline and fail on a >3x slowdown.
+
+Selection: only cases whose committed median falls in a smoke window
+(default 1 ms – 250 ms).  Below that, timer noise dominates and a "3x
+regression" is a rounding artifact; above it, the gate would make CI
+too slow (the machines-backend cases run for tens of seconds each).
+Cases whose node id no longer collects (renamed or removed benchmarks)
+are reported and skipped rather than failed — the baseline refresh
+happens via ``make bench``, not here.
+
+The 3x threshold is deliberately loose: shared CI runners are easily
+2x off the baseline machine.  The gate exists to catch order-of-
+magnitude accidents (a vectorized path silently falling back to the
+scalar one), not single-digit-percent drift.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_regression.py [--baseline FILE]
+        [--threshold 3.0] [--min-ms 1] [--max-ms 250]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _collected_ids() -> set[str]:
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--collect-only", "-q"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    return {line.strip() for line in proc.stdout.splitlines() if "::" in line}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO / "BENCH_engine.json")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="fail when new_median > threshold * baseline")
+    parser.add_argument("--min-ms", type=float, default=1.0)
+    parser.add_argument("--max-ms", type=float, default=250.0)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("format") != "slim-bench/1":
+        print(f"error: {args.baseline} is not a slim-bench/1 file; "
+              f"regenerate it with `make bench`", file=sys.stderr)
+        return 2
+
+    window = {
+        case["fullname"]: case["median"]
+        for case in baseline["cases"]
+        if args.min_ms / 1e3 <= case["median"] <= args.max_ms / 1e3
+    }
+    print(f"baseline: {len(baseline['cases'])} cases, "
+          f"{len(window)} in the [{args.min_ms:g}ms, {args.max_ms:g}ms] "
+          f"smoke window")
+    if not window:
+        print("nothing to gate")
+        return 0
+
+    collected = _collected_ids()
+    gated = sorted(name for name in window if name in collected)
+    for name in sorted(set(window) - set(gated)):
+        print(f"skip (no longer collects): {name}")
+    if not gated:
+        print("no gated case still collects; refresh the baseline "
+              "with `make bench`")
+        return 0
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_json = Path(tmp.name)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", *gated, "--benchmark-only",
+         f"--benchmark-json={out_json}", "-q", "--no-header", "-p",
+         "no:cacheprovider"],
+        cwd=REPO,
+    )
+    if proc.returncode != 0:
+        print("error: gated benchmark run failed", file=sys.stderr)
+        return proc.returncode
+
+    fresh = {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in json.loads(out_json.read_text())["benchmarks"]
+    }
+    out_json.unlink()
+
+    failures = []
+    for name in gated:
+        old = window[name]
+        new = fresh.get(name)
+        if new is None:  # collected but didn't produce stats (e.g. skipped)
+            print(f"skip (no fresh stats): {name}")
+            continue
+        ratio = new / old
+        flag = "FAIL" if ratio > args.threshold else "ok"
+        print(f"{flag:>4}  {ratio:5.2f}x  {old * 1e3:8.2f}ms -> "
+              f"{new * 1e3:8.2f}ms  {name}")
+        if ratio > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(f"\n{len(failures)} case(s) regressed by more than "
+              f"{args.threshold:g}x", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gated)} gated cases within {args.threshold:g}x "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

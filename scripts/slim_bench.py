@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Slim pytest-benchmark JSON into the committed aggregate format.
+
+``pytest --benchmark-json`` dumps every raw timing sample, which made
+the committed ``BENCH_engine.json`` tens of thousands of lines of
+mostly noise.  This tool keeps one line per case — the aggregates a
+regression check actually reads (median/min/max/mean/stddev plus
+sample counts) — so the committed artifact stays a few hundred lines
+and diffs stay reviewable.
+
+Usage::
+
+    python scripts/slim_bench.py INPUT [INPUT ...] -o BENCH_engine.json
+
+Inputs may be raw pytest-benchmark files *or* already-slim files (so
+the committed baseline can be merged with a fresh partial run); later
+inputs win on duplicate case names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+FORMAT = "slim-bench/1"
+
+#: per-case aggregates carried over from the raw stats block
+_STATS = ("median", "min", "max", "mean", "stddev")
+_MACHINE = ("node", "machine", "system", "release", "python_version",
+            "python_implementation")
+
+
+def _slim_machine(machine_info: dict) -> dict:
+    out = {k: machine_info[k] for k in _MACHINE if k in machine_info}
+    brand = (machine_info.get("cpu") or {}).get("brand_raw")
+    if brand:
+        out["cpu"] = brand
+    return out
+
+
+def _load_cases(path: Path) -> tuple[dict, dict]:
+    """Returns (header fields, {fullname: case dict}) for one input."""
+    data = json.loads(path.read_text())
+    if data.get("format") == FORMAT:
+        return (
+            {k: data[k] for k in ("datetime", "machine_info") if k in data},
+            {case["fullname"]: case for case in data["cases"]},
+        )
+    # raw pytest-benchmark layout
+    cases = {}
+    for bench in data["benchmarks"]:
+        stats = bench["stats"]
+        case = {"fullname": bench["fullname"]}
+        if bench.get("group"):
+            case["group"] = bench["group"]
+        case.update({k: stats[k] for k in _STATS})
+        case["samples"] = stats["rounds"]
+        case["iterations"] = stats["iterations"]
+        cases[case["fullname"]] = case
+    header = {"datetime": data.get("datetime")}
+    if "machine_info" in data:
+        header["machine_info"] = _slim_machine(data["machine_info"])
+    return header, cases
+
+
+def _render(header: dict, cases: dict) -> str:
+    """One line per case, stable order, so diffs read case by case."""
+    lines = ["{", f'    "format": {json.dumps(FORMAT)},']
+    for key in ("datetime", "machine_info"):
+        if header.get(key) is not None:
+            lines.append(f'    "{key}": {json.dumps(header[key], sort_keys=True)},')
+    lines.append('    "cases": [')
+    rows = [
+        "        " + json.dumps(cases[name])
+        for name in sorted(cases)
+    ]
+    lines.append(",\n".join(rows))
+    lines.append("    ]")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", type=Path,
+                        help="raw pytest-benchmark or slim JSON files; "
+                             "later inputs win on duplicate cases")
+    parser.add_argument("-o", "--output", type=Path, required=True)
+    args = parser.parse_args(argv)
+
+    header: dict = {}
+    cases: dict = {}
+    for path in args.inputs:
+        file_header, file_cases = _load_cases(path)
+        header.update({k: v for k, v in file_header.items() if v is not None})
+        cases.update(file_cases)
+    args.output.write_text(_render(header, cases))
+    print(f"{args.output}: {len(cases)} cases")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

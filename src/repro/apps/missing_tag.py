@@ -66,7 +66,8 @@ def detect_missing_tags(
     channel: Channel | None = None,
     missing_attempts: int = 3,
     backend: str = "machines",
-) -> MissingTagReport:
+    replicas: int | None = None,
+) -> MissingTagReport | list[MissingTagReport]:
     """Poll the known population for presence and flag the silent tags.
 
     Args:
@@ -78,6 +79,11 @@ def detect_missing_tags(
             on a lossy channel (1 poll suffices on the ideal channel).
         backend: DES population backend (``"machines"`` or ``"array"``;
             use ``"array"`` for large inventories).
+        replicas: run R Monte-Carlo sweeps of the same scenario in one
+            replica-batched DES pass and return ``list[MissingTagReport]``
+            — replica ``r`` bit-identical to a separate call with
+            ``seed=seed+r`` (useful for estimating the false-positive
+            rate of a lossy-channel watch).
     """
     result = simulate(
         protocol,
@@ -90,13 +96,20 @@ def detect_missing_tags(
         missing_attempts=missing_attempts,
         keep_trace=False,
         backend=backend,
+        replicas=replicas,
     )
-    return MissingTagReport(
-        protocol=protocol.name,
-        n_known=scenario.n_known,
-        n_present=scenario.n_present,
-        detected_missing=sorted(result.missing),
-        true_missing=np.asarray(scenario.missing).tolist(),
-        time_us=result.time_us,
-        n_retries=result.n_retries,
-    )
+
+    def report(res) -> MissingTagReport:
+        return MissingTagReport(
+            protocol=protocol.name,
+            n_known=scenario.n_known,
+            n_present=scenario.n_present,
+            detected_missing=sorted(res.missing),
+            true_missing=np.asarray(scenario.missing).tolist(),
+            time_us=res.time_us,
+            n_retries=res.n_retries,
+        )
+
+    if replicas is not None:
+        return [report(res) for res in result]
+    return report(result)

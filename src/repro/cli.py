@@ -66,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     miss_p.add_argument("--backend", choices=("machines", "array"),
                         default="machines",
                         help="DES population backend (array scales to 10^5 tags)")
+    miss_p.add_argument("--replicas", type=int, default=1, metavar="R",
+                        help="Monte-Carlo replicas of the sweep, executed "
+                             "as one replica-batched DES pass (replica r "
+                             "is bit-identical to a run with seed+r)")
 
     est_p = sub.add_parser("estimate", help="cardinality estimation demo")
     est_p.add_argument("-n", "--tags", type=int, default=5_000)
@@ -121,6 +125,27 @@ def _cmd_missing(args: argparse.Namespace) -> int:
         n=args.tags, missing_fraction=args.missing_fraction, seed=args.seed
     )
     channel = BitErrorChannel(args.ber) if args.ber > 0 else None
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.replicas > 1:
+        reports = detect_missing_tags(
+            _make_protocol(args.protocol), scenario, seed=args.seed,
+            channel=channel, missing_attempts=5, backend=args.backend,
+            replicas=args.replicas,
+        )
+        first = reports[0]
+        print(f"{first.protocol}: {first.n_known:,} known tags, "
+              f"{len(first.true_missing)} actually missing, "
+              f"{len(reports)} replicas")
+        mean_t = sum(r.time_s for r in reports) / len(reports)
+        exact = sum(r.exact for r in reports)
+        fp = sum(len(r.false_positives) for r in reports)
+        fn = sum(len(r.false_negatives) for r in reports)
+        print(f"mean sweep time {mean_t:.2f}s, "
+              f"{sum(r.n_retries for r in reports)} retransmissions total")
+        print(f"exact detections: {exact}/{len(reports)} "
+              f"(false positives: {fp}, false negatives: {fn})")
+        return 0 if exact == len(reports) else 1
     report = detect_missing_tags(
         _make_protocol(args.protocol), scenario, seed=args.seed,
         channel=channel, missing_attempts=5, backend=args.backend,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.phy.commands import DEFAULT_COMMAND_SIZES, EPC_ID_BITS, CommandSizes
+from repro.phy.schedule import ScheduleBatch, build_schedule_batch
 from repro.workloads.tagsets import TagSet
 
 __all__ = ["CPP", "EnhancedCPP"]
@@ -55,6 +56,39 @@ class CPP(PollingProtocol):
             n_tags=n,
             rounds=[round_plan],
             meta={"id_bits": self.id_bits},
+        )
+
+    def plan_schedule_batch(
+        self,
+        tags_list: list[TagSet],
+        rngs: list[np.random.Generator],
+        reply_bits: int = 1,
+    ) -> ScheduleBatch:
+        """Plan R runs jointly; bit-identical to R ``plan`` calls.
+
+        CPP's only randomness is the polling order, so each replica
+        draws its shuffle from its own generator and everything else —
+        the single round, the uniform ``id_bits`` payload — is assembled
+        once for the whole batch.
+        """
+        n_per = [len(t) for t in tags_list]
+        tag_bases = np.concatenate(
+            ([0], np.cumsum(np.asarray(n_per, dtype=np.int64)))
+        )[:-1]
+        sinks: list[list] = []
+        for n, base, rng in zip(n_per, tag_bases.tolist(), rngs):
+            order = np.arange(n, dtype=np.int64)
+            if self.shuffle and n > 1:
+                rng.shuffle(order)
+            sinks.append([(0, self.id_bits, order + base)])
+        return build_schedule_batch(
+            self.name,
+            np.asarray(n_per, dtype=np.int64),
+            sinks,
+            tag_bases,
+            reply_bits,
+            poll_overhead_bits=0,
+            run_metas=[{"id_bits": self.id_bits} for _ in tags_list],
         )
 
 

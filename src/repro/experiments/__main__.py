@@ -120,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
               f"{runner.cache.misses} misses"
               + (f" (persisted to {runner.cache.path})"
                  if runner.cache.path else ""))
+    cov = runner.batch_coverage
+    if cov["batched_cells"] or cov["fallback_cells"]:
+        print(f"# batch coverage: {cov['batched_cells']} cells batched, "
+              f"{cov['fallback_cells']} per-cell, {cov['cached_cells']} "
+              f"cache-served ({cov['batched_fraction']:.0%} of computed "
+              f"cells batched)")
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import functools
 from typing import Sequence
 
 import numpy as np
@@ -25,8 +24,6 @@ from repro.core.ehpp import EHPP
 from repro.core.hpp import HPP
 from repro.core.tpp import TPP
 from repro.experiments.common import ExperimentResult, Series
-from repro.phy.channel import BitErrorChannel, IdealChannel
-from repro.sim.executor import execute_plan
 from repro.workloads.tagsets import uniform_tagset
 
 __all__ = ["ext_lossy_channel", "ext_energy", "ext_multi_reader"]
@@ -36,21 +33,17 @@ def _lossy_trial(protocol, tags, seed_seq, budget, info_bits, ber=0.0,
                  backend="machines"):
     """Trial metric: DES run under bit errors → [time (s), retries].
 
-    The plan and the channel draw from independent seed streams, and
-    the trace is never kept — sweep-driven DES runs only need the
-    counters.
+    Kept as the historical entry point; the logic lives in
+    :class:`repro.experiments.runner.DESMetric`, which draws the plan
+    and the channel from the same independent seed streams (so the two
+    spellings are bit-identical) and additionally batch-routes when
+    passed to the runner directly.
     """
-    plan_ss, channel_ss = seed_seq.spawn(2)
-    plan = protocol.plan(tags, np.random.default_rng(plan_ss))
-    channel = BitErrorChannel(ber) if ber else IdealChannel()
-    res = execute_plan(
-        plan, tags, info_bits=info_bits, budget=budget, channel=channel,
-        rng=np.random.default_rng(channel_ss), keep_trace=False,
-        backend=backend,
+    from repro.experiments.runner import DESMetric
+
+    return DESMetric(ber=ber, backend=backend)(
+        protocol, tags, seed_seq, budget, info_bits
     )
-    if not res.all_read:  # pragma: no cover - invariant
-        raise RuntimeError("lossy run failed to read all tags")
-    return [res.time_us / 1e6, float(res.n_retries)]
 
 
 def _energy_trial(protocol, tags, seed_seq, budget, info_bits):
@@ -66,15 +59,17 @@ def ext_lossy_channel(
     bers: Sequence[float] = (0.0, 0.0005, 0.001, 0.002, 0.005),
     n_runs: int = 3,
     seed: int = 0,
-    backend: str = "machines",
+    backend: str = "array",
 ) -> ExperimentResult:
     """DES execution under bit errors: time (s) and retries per protocol.
 
     Args:
-        backend: DES population backend; ``"array"`` makes large-``n``
-            sweeps tractable with bit-identical counters.
+        backend: DES population backend; ``"array"`` (the default) makes
+            large-``n`` sweeps tractable with bit-identical counters and
+            lets the runner batch all of a sweep's Monte-Carlo replicas
+            through one :func:`repro.sim.batch.execute_plan_batch` pass.
     """
-    from repro.experiments.runner import get_default_runner
+    from repro.experiments.runner import DESMetric, get_default_runner
 
     runner = get_default_runner()
     protos = [CPP(), HPP(), EHPP(), TPP()]
@@ -84,8 +79,7 @@ def ext_lossy_channel(
         for proto in protos:
             means = runner.sweep_values(
                 proto, [n], n_runs=n_runs, seed=seed,
-                metric=functools.partial(_lossy_trial, ber=ber,
-                                         backend=backend),
+                metric=DESMetric(ber=ber, backend=backend),
                 info_bits=info_bits,
             )
             time_series[proto.name].append(float(means[0, 0]))

@@ -27,7 +27,11 @@ The engine is metric-agnostic: a metric is either the name of an
 ``"time_us"`` (costed through the :class:`~repro.phy.link.LinkBudget`),
 or a picklable callable ``metric(protocol, tags, seed_seq, budget,
 info_bits) -> float | list[float]`` for trials that need more than a
-plan (DES execution, energy models, ...).  Protocols are either
+plan (DES execution, energy models, ...).  :class:`DESMetric` is the
+structured form of the DES-execution callable: it additionally routes
+through the replica-batched DES executor (all of a sweep's Monte-Carlo
+cells replayed in one vectorized lockstep pass) when batching is on,
+with bit-identical counters and cache entries.  Protocols are either
 :class:`~repro.core.base.PollingProtocol` planners or
 :class:`~repro.phy.schedule.ScheduleEmitter` baselines (query tree,
 TRP, IIP); the latter resolve attribute metrics against the emitted
@@ -38,6 +42,7 @@ from __future__ import annotations
 
 import functools
 import json
+import logging
 import os
 import pickle
 from collections import OrderedDict
@@ -54,6 +59,7 @@ from repro.phy.schedule import ScheduleEmitter
 from repro.workloads.tagsets import TagSet, uniform_tagset
 
 __all__ = [
+    "DESMetric",
     "Metric",
     "ResultCache",
     "SweepRunner",
@@ -61,12 +67,15 @@ __all__ = [
     "describe",
     "evaluate_cell",
     "evaluate_cells_batch",
+    "evaluate_cells_batch_des",
     "get_default_runner",
     "set_default_runner",
     "configure_default_runner",
 ]
 
 Metric = str | Callable[..., Any]
+
+_log = logging.getLogger(__name__)
 
 #: streams spawned per cell: child 0 draws the tagset, child 1 feeds the
 #: protocol's plan (callable metrics may spawn further streams from it).
@@ -208,12 +217,56 @@ _BATCH_METRICS = frozenset({
 })
 
 
+@dataclass(frozen=True)
+class DESMetric:
+    """Callable sweep metric: a full DES execution per trial cell.
+
+    Each cell's plan stream spawns ``(plan_ss, channel_ss)``: the plan
+    draws from a generator over the first child, the channel from one
+    over the second — exactly the draw order of the historical
+    ``_lossy_trial`` helper — so per-cell and replica-batched evaluation
+    produce bit-identical floats, and the frozen field values give the
+    metric a stable cache-key description.
+
+    Returns ``[time_s, n_retries]`` per cell.
+    """
+
+    #: bit-error rate of the channel; 0 runs the ideal channel.
+    ber: float = 0.0
+    #: DES population backend (``"array"`` or the ``"machines"`` oracle).
+    backend: str = "array"
+
+    def channel(self):
+        from repro.phy.channel import BitErrorChannel, IdealChannel
+
+        return BitErrorChannel(self.ber) if self.ber else IdealChannel()
+
+    def __call__(self, protocol, tags, seed_seq, budget, info_bits):
+        from repro.sim.executor import execute_plan
+
+        plan_ss, channel_ss = seed_seq.spawn(2)
+        plan = protocol.plan(tags, np.random.default_rng(plan_ss))
+        res = execute_plan(
+            plan, tags, info_bits=info_bits, budget=budget,
+            channel=self.channel(), rng=np.random.default_rng(channel_ss),
+            keep_trace=False, backend=self.backend,
+        )
+        if not res.all_read:  # pragma: no cover - invariant
+            raise RuntimeError("lossy run failed to read all tags")
+        return [res.time_us / 1e6, float(res.n_retries)]
+
+
 def _supports_batch(
     protocol: PollingProtocol | ScheduleEmitter, metric: Metric
 ) -> bool:
     """True when ``(protocol, metric)`` can route through the batch path:
-    a string plan metric the batch IR can answer, on a protocol that
-    overrides :meth:`PollingProtocol.plan_schedule_batch`."""
+    a string plan metric the batch IR can answer on a protocol that
+    overrides :meth:`PollingProtocol.plan_schedule_batch`, or a
+    :class:`DESMetric` on any planner protocol (the batch executor
+    reproduces every cell draw-for-draw; protocols without a lockstep
+    driver fall back to per-replica execution inside it)."""
+    if isinstance(metric, DESMetric):
+        return isinstance(protocol, PollingProtocol)
     return (
         isinstance(metric, str)
         and metric in _BATCH_METRICS
@@ -223,15 +276,60 @@ def _supports_batch(
     )
 
 
+def evaluate_cells_batch_des(
+    protocol: PollingProtocol,
+    cells: Sequence[tuple[int, int]],
+    seed: int,
+    metric: DESMetric,
+    info_bits: int,
+    budget: LinkBudget,
+    tagset_factory: Callable[[int, np.random.Generator], TagSet],
+) -> list[list[float]]:
+    """Evaluate many DES-metric cells as one replica-batched execution.
+
+    Each cell becomes one replica: its tagset, plan generator, and
+    channel generator derive from the same seed children (and the same
+    ``spawn(2)`` split) as :meth:`DESMetric.__call__`, the plans are
+    built sequentially in cell order, and the batch executor replays
+    them in lockstep — so entry ``i`` is **bit-identical** to
+    ``metric(protocol, tags_i, plan_child_i, ...)`` and cached values
+    are unchanged.
+    """
+    if not cells:
+        return []
+    from repro.sim.batch import execute_plan_batch
+
+    tags_list: list[TagSet] = []
+    plans = []
+    rngs: list[np.random.Generator] = []
+    for n, run in cells:
+        tag_child, plan_child = cell_seed_children(seed, n, run)
+        tags = _memoised_tagset(seed, n, run, tag_child, tagset_factory)
+        plan_ss, channel_ss = plan_child.spawn(2)
+        tags_list.append(tags)
+        plans.append(protocol.plan(tags, np.random.default_rng(plan_ss)))
+        rngs.append(np.random.default_rng(channel_ss))
+    results = execute_plan_batch(
+        plans, tags_list, info_bits=info_bits, budget=budget,
+        channel=metric.channel(), rngs=rngs, backend=metric.backend,
+    )
+    values: list[list[float]] = []
+    for res in results:
+        if not res.all_read:  # pragma: no cover - invariant
+            raise RuntimeError("lossy run failed to read all tags")
+        values.append([res.time_us / 1e6, float(res.n_retries)])
+    return values
+
+
 def evaluate_cells_batch(
     protocol: PollingProtocol,
     cells: Sequence[tuple[int, int]],
     seed: int,
-    metric: str,
+    metric: Metric,
     info_bits: int,
     budget: LinkBudget,
     tagset_factory: Callable[[int, np.random.Generator], TagSet],
-) -> list[float]:
+) -> list[float] | list[list[float]]:
     """Evaluate many cells as one replica batch.
 
     Each cell is one replica: its tagset and plan generator derive from
@@ -239,10 +337,15 @@ def evaluate_cells_batch(
     batched planner consumes each replica's generator in plan order, and
     the batch coster reduces per run in the sequential order — so entry
     ``i`` is **bit-identical** to ``evaluate_cell(*cells[i], ...)`` and
-    cached values are unchanged.
+    cached values are unchanged.  :class:`DESMetric` cells route to the
+    replica-batched DES executor instead of the batched planners.
     """
     if not cells:
         return []
+    if isinstance(metric, DESMetric):
+        return evaluate_cells_batch_des(
+            protocol, cells, seed, metric, info_bits, budget, tagset_factory,
+        )
     tags_list: list[TagSet] = []
     rngs: list[np.random.Generator] = []
     for n, run in cells:
@@ -348,14 +451,36 @@ class SweepRunner:
         jobs: worker processes; 1 executes in-process (no pool).
         cache: the cell cache, or ``None`` to recompute everything.
         batch: route plan-derived metrics through the replica-axis
-            batched planners when the protocol supports them
-            (bit-identical values, much less Python overhead); ``False``
-            forces the sequential per-cell path everywhere.
+            batched planners — and :class:`DESMetric` cells through the
+            replica-batched DES executor — when the protocol supports
+            them (bit-identical values, much less Python overhead);
+            ``False`` forces the sequential per-cell path everywhere.
+        batched_cells / fallback_cells / cached_cells: running coverage
+            counters over every sweep this runner has executed (see
+            :attr:`batch_coverage`).
     """
 
     jobs: int = 1
     cache: ResultCache | None = field(default_factory=ResultCache)
     batch: bool = True
+    batched_cells: int = field(default=0, init=False)
+    fallback_cells: int = field(default=0, init=False)
+    cached_cells: int = field(default=0, init=False)
+
+    @property
+    def batch_coverage(self) -> dict[str, int | float]:
+        """Replica-batch routing stats across every sweep so far:
+        computed cells that took the batched path, computed cells that
+        fell back to sequential per-cell evaluation, cache-served cells,
+        and the batched fraction of the computed cells."""
+        computed = self.batched_cells + self.fallback_cells
+        return {
+            "batched_cells": self.batched_cells,
+            "fallback_cells": self.fallback_cells,
+            "cached_cells": self.cached_cells,
+            "batched_fraction":
+                self.batched_cells / computed if computed else 0.0,
+        }
 
     # ------------------------------------------------------------------
     def _cell_key(
@@ -427,11 +552,11 @@ class SweepRunner:
         protocol: PollingProtocol,
         cells: Sequence[tuple[int, int]],
         seed: int,
-        metric: str,
+        metric: Metric,
         info_bits: int,
         budget: LinkBudget,
         tagset_factory: Callable,
-    ) -> list[float]:
+    ) -> list[float] | list[list[float]]:
         """Replica-axis evaluation: every cell is one replica of a batch.
 
         The pool splits the *replica* axis into contiguous chunks — each
@@ -461,7 +586,10 @@ class SweepRunner:
         ]
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             chunks = list(pool.map(_evaluate_batch_shard, args))
-        return np.frombuffer(b"".join(chunks), dtype=np.float64).tolist()
+        flat = np.frombuffer(b"".join(chunks), dtype=np.float64)
+        if isinstance(metric, DESMetric):  # multi-component rows
+            return flat.reshape(len(cells), -1).tolist()
+        return flat.tolist()
 
     # ------------------------------------------------------------------
     def sweep_values(
@@ -503,6 +631,16 @@ class SweepRunner:
             values[i] = value
             if self.cache is not None:
                 self.cache.put(keys[i], value)
+        batched = bool(missing) and self.batch and _supports_batch(protocol, metric)
+        self.batched_cells += len(missing) if batched else 0
+        self.fallback_cells += 0 if batched else len(missing)
+        self.cached_cells += len(grid) - len(missing)
+        _log.info(
+            "sweep %s metric=%s: %d cells (%d cached, %d %s)",
+            getattr(protocol, "name", type(protocol).__name__),
+            describe(metric), len(grid), len(grid) - len(missing),
+            len(missing), "batched" if batched else "per-cell",
+        )
         table = np.asarray(
             [np.atleast_1d(np.asarray(v, dtype=float)) for v in values]
         ).reshape(len(n_values), n_runs, -1)

@@ -20,6 +20,9 @@ with ``backend="machines" | "array"`` on :func:`execute_plan` /
 :func:`simulate`): per-tag Python state machines (the legible oracle)
 and vectorised numpy state arrays (:mod:`repro.sim.tagarray`) with
 bit-identical counters at 10⁵-tag scale — see ``docs/SIMULATOR.md``.
+On top of the array backend, :func:`execute_plan_batch` (also reachable
+as ``execute_plan(..., replicas=R)``) replays R Monte-Carlo replicas in
+one lockstep pass, bit-identical to R separate runs.
 """
 
 from repro.sim.engine import Event, EventKind, EventQueue, Trace
@@ -35,6 +38,7 @@ from repro.sim.tag import (
 )
 from repro.sim.tagarray import ArrayTagPopulation, build_array_population
 from repro.sim.executor import BACKENDS, DESResult, execute_plan, simulate
+from repro.sim.batch import execute_plan_batch
 
 __all__ = [
     "Event",
@@ -54,5 +58,6 @@ __all__ = [
     "BACKENDS",
     "DESResult",
     "execute_plan",
+    "execute_plan_batch",
     "simulate",
 ]

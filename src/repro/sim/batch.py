@@ -1,0 +1,491 @@
+"""Replica-batched DES execution: R Monte-Carlo replicas in one pass.
+
+A sweep cell whose metric needs *execution* (lossy-channel time and
+retries, missing-tag verdicts, DES counters) is R independent runs of
+one ``(protocol, n)`` point.  Running them one at a time repeats the
+same per-poll Python work R times; this module runs them **lockstep**
+instead:
+
+- the R replica populations live on block-concatenated numpy state
+  buffers (:func:`~repro.sim.tagarray.build_batch_populations`), each
+  replica a contiguous slice with its own offset and round clock;
+- every delivered round initiation across replicas is hashed in a
+  single ragged batch (:func:`~repro.sim.tagarray.batch_round_inits`),
+  reusing the PR-4 ``hash_indices_ragged`` machinery;
+- each round's polls are resolved from a vectorised **verdict** (which
+  planned tags are present and guaranteed-unique responders) and then
+  committed as spans: one ``cumsum`` for the clock, one scatter for the
+  sleep states, bulk trace tallies — with lossy channels resolved by
+  RNG speculation (draw a window of loss variates at once, commit the
+  failure-free prefix, replay the failing poll through the sequential
+  retry machinery on the *same* restored stream).
+
+Every per-replica draw comes from that replica's own generator in the
+sequential order, every fallback runs the unmodified sequential code on
+the same population views, and every commit reproduces the sequential
+float/trace arithmetic — so results are **bit-identical** to R separate
+:func:`~repro.sim.executor.execute_plan` calls (the parity matrix in
+``tests/test_batch_des.py`` asserts it counter for counter).
+
+CP and MIC have no lockstep driver (pair frames and indicator frames
+carry no per-poll verdict structure); their replicas run the sequential
+rounds per replica within the same call, still on batched populations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.polling_tree import segment_values
+from repro.phy.channel import Channel, IdealChannel
+from repro.phy.link import LinkBudget
+from repro.phy.schedule import compile_plan
+from repro.sim.engine import EventKind, Trace
+from repro.sim.executor import (
+    DESResult,
+    _Air,
+    _finish,
+    _poll_with_retry,
+    _run_plan,
+    execute_plan,
+)
+from repro.sim.tagarray import batch_round_inits, build_batch_populations
+from repro.workloads.tagsets import TagSet
+
+__all__ = ["execute_plan_batch", "LOCKSTEP_PROTOCOLS"]
+
+#: protocols the lockstep driver vectorises across replicas; CP and MIC
+#: fall back to per-replica sequential rounds within the same call
+LOCKSTEP_PROTOCOLS = ("HPP", "EHPP", "TPP", "CPP", "eCPP")
+
+
+def execute_plan_batch(
+    plans: Sequence[Any],
+    tags_list: Sequence[TagSet],
+    info_bits: int = 1,
+    budget: LinkBudget | None = None,
+    channel: Channel | None = None,
+    rngs: Sequence[np.random.Generator] | None = None,
+    payloads_list: Sequence[np.ndarray | None] | None = None,
+    present_list: Sequence[np.ndarray | None] | None = None,
+    missing_attempts: int = 3,
+    backend: str = "array",
+) -> list[DESResult]:
+    """Execute R same-protocol plans as one replica batch.
+
+    Entry ``r`` of the result is bit-identical (counters, times, read
+    order, missing sets) to ``execute_plan(plans[r], tags_list[r], ...,
+    rng=rngs[r], keep_trace=False)``.  All plans must share one
+    protocol; ``backend="machines"`` degrades to the sequential oracle
+    loop (for parity tests and exotic configurations).
+    """
+    n_rep = len(plans)
+    if len(tags_list) != n_rep:
+        raise ValueError("plans and tags_list must have equal length")
+    budget = budget if budget is not None else LinkBudget()
+    channel = channel if channel is not None else IdealChannel()
+    rngs = (
+        [np.random.default_rng(0) for _ in range(n_rep)]
+        if rngs is None
+        else list(rngs)
+    )
+    if len(rngs) != n_rep:
+        raise ValueError("rngs must supply one generator per replica")
+    payloads_list = (
+        [None] * n_rep if payloads_list is None else list(payloads_list)
+    )
+    present_list = (
+        [None] * n_rep if present_list is None else list(present_list)
+    )
+    if not n_rep:
+        return []
+    if backend == "machines":
+        return [
+            execute_plan(
+                plan, tags, info_bits=info_bits, budget=budget,
+                channel=channel, rng=rng, payloads=payloads,
+                keep_trace=False, present=present,
+                missing_attempts=missing_attempts, backend="machines",
+            )
+            for plan, tags, rng, payloads, present in zip(
+                plans, tags_list, rngs, payloads_list, present_list
+            )
+        ]
+    protocols = {plan.protocol for plan in plans}
+    if len(protocols) > 1:
+        raise ValueError(
+            f"one protocol per batch, got {sorted(protocols)}"
+        )
+    present_masks = []
+    for tags, present in zip(tags_list, present_list):
+        mask = np.ones(len(tags), dtype=bool)
+        if present is not None:
+            mask = np.zeros(len(tags), dtype=bool)
+            mask[np.asarray(present, dtype=np.int64)] = True
+        present_masks.append(mask)
+    pops = build_batch_populations(
+        list(plans), list(tags_list), payloads_list, present_masks
+    )
+    traces = [Trace(keep=False) for _ in range(n_rep)]
+    airs = []
+    for pop, rng, present, trace in zip(pops, rngs, present_list, traces):
+        air = _Air(pop, budget, channel, rng, info_bits, trace)
+        if present is not None:
+            air.allow_missing = True
+            air.missing_attempts = missing_attempts
+        airs.append(air)
+    schedules = [compile_plan(plan, info_bits) for plan in plans]
+    if plans[0].protocol in LOCKSTEP_PROTOCOLS:
+        _run_lockstep(airs, list(plans), list(tags_list), schedules)
+    else:
+        for air, plan, tags, schedule in zip(airs, plans, tags_list, schedules):
+            _run_plan(air, plan, tags, schedule)
+    return [
+        _finish(air, plan, tags, trace)
+        for air, plan, tags, trace in zip(airs, plans, tags_list, traces)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the lockstep driver
+# ----------------------------------------------------------------------
+def _run_lockstep(airs, plans, tags_list, schedules) -> None:
+    """Advance all replicas round by round, batching the shared stages.
+
+    Per joint step, every live replica's round goes through three
+    phases: (A) its initiation broadcast (delivery drawn from that
+    replica's own stream, dispatch deferred), (B) one joint ragged hash
+    over every replica whose initiation was delivered, and (C) its poll
+    spans, resolved from the round verdict.  Replicas consume disjoint
+    generators, so phase interleaving cannot perturb any draw order.
+    """
+    proto = plans[0].protocol
+    n_rep = len(plans)
+    rounds = [
+        list(zip(plan.rounds, schedule.iter_rounds()))
+        for plan, schedule in zip(plans, schedules)
+    ]
+    pos = [0] * n_rep
+    circle_ctx: list[list] = [[] for _ in range(n_rep)]
+    hash_like = proto in ("HPP", "EHPP", "TPP")
+    live = [r for r in range(n_rep) if rounds[r]]
+    while live:
+        init_group: list[tuple[int, Any, dict]] = []
+        poll_group: list[tuple[int, Any, Any, list]] = []
+        verdicts: dict[int, np.ndarray] = {}
+        for r in live:
+            rp, view = rounds[r][pos[r]]
+            air = airs[r]
+            if hash_like:
+                if (rp.label.startswith("ehpp-circle") and rp.n_polls == 0
+                        and "F" in rp.extra):
+                    msg = {
+                        "kind": "circle_cmd",
+                        "seed": rp.extra["seed"],
+                        "f": rp.extra["f"],
+                        "F": rp.extra["F"],
+                    }
+                    air.broadcast(view.init_bits, msg)
+                    circle_ctx[r] = [(view.init_bits, msg)]
+                    continue
+                if rp.label.startswith("ehpp-tail"):
+                    circle_ctx[r] = []
+                init_msg = {
+                    "kind": "round_init",
+                    "h": rp.extra["h"],
+                    "seed": rp.extra["seed"],
+                    "global_scope": not circle_ctx[r],
+                }
+                if _broadcast_nodispatch(air, view.init_bits, init_msg):
+                    init_group.append((r, rp, init_msg))
+                poll_group.append(
+                    (r, rp, view, circle_ctx[r] + [(view.init_bits, init_msg)])
+                )
+            elif proto == "eCPP":
+                select_msg = {
+                    "kind": "select",
+                    "prefix": rp.extra["category"],
+                    "prefix_bits": plans[r].meta["category_bits"],
+                }
+                if _broadcast_nodispatch(air, view.init_bits, select_msg):
+                    air.pop.dispatch(select_msg)
+                    verdicts[r] = air.pop.present[view.poll_tag]
+                poll_group.append(
+                    (r, rp, view, [(view.init_bits, select_msg)])
+                )
+            else:  # CPP transmits no initiation at all (init_bits == 0)
+                verdicts[r] = air.pop.present[view.poll_tag]
+                poll_group.append((r, rp, view, []))
+        if init_group:
+            batch_round_inits(
+                [(airs[r].pop, msg) for r, _, msg in init_group]
+            )
+            for r, rp, _ in init_group:
+                verdicts[r] = _hash_round_verdict(airs[r].pop, rp)
+        for r, rp, view, context in poll_group:
+            _run_round_polls(
+                airs[r], proto, rp, view, tags_list[r], context,
+                verdicts.get(r),
+            )
+        next_live = []
+        for r in live:
+            pos[r] += 1
+            if pos[r] < len(rounds[r]):
+                next_live.append(r)
+        live = next_live
+
+
+def _broadcast_nodispatch(air: _Air, bits: int, msg: dict) -> bool:
+    """:meth:`_Air.broadcast` minus the dispatch: returns delivery.
+
+    Same bit charge, same clock advances, same single channel draw —
+    the caller decides how (and whether) to apply the message, e.g. by
+    folding it into a joint :func:`batch_round_inits` pass.
+    """
+    t = air.budget.timing
+    air.reader_bits += bits
+    air._advance(t.reader_tx_us(bits), EventKind.READER_TX_END,
+                 bits=bits, kind_str=msg["kind"])
+    if not air.channel.deliver(bits, air.rng):
+        air._advance(0.0, EventKind.FRAME_LOST, bits=bits)
+        return False
+    return True
+
+
+def _hash_round_verdict(pop, rp) -> np.ndarray:
+    """Per-poll verdict of a delivered hash round: will the planned tag
+    reply alone?
+
+    True iff the planned tag is present *and* is the unique tag of the
+    executing eligible set that drew the polled index.  A present
+    planned singleton always satisfies this (the execution-eligible set
+    is a subset of the planner's active set, which held no other drawer
+    of that index), and an absent tag never does (it is not eligible,
+    and any other drawer would have made the index a planner collision)
+    — so on the ideal channel ``~verdict`` is exactly the missing set.
+    """
+    tags_local = np.asarray(rp.poll_tag_idx, dtype=np.int64)
+    if tags_local.size == 0:
+        return np.zeros(0, dtype=bool)
+    si = np.asarray(rp.extra["singleton_indices"], dtype=np.int64)
+    counts, owner = pop._ensure_counts()
+    in_range = si < counts.size
+    cnt = np.zeros(si.size, dtype=np.int64)
+    own = np.full(si.size, -1, dtype=np.int64)
+    cnt[in_range] = counts[si[in_range]]
+    own[in_range] = owner[si[in_range]]
+    unique = (cnt == 1) & (own == tags_local)
+    return pop.present[tags_local] & unique
+
+
+def _loss_probs(channel: Channel, bits: np.ndarray) -> np.ndarray:
+    """Per-poll downlink loss probabilities, via the channel's own
+    scalar method per distinct bit count (bit-identical to per-call)."""
+    lo, hi = int(bits.min()), int(bits.max())
+    if lo == hi:  # almost every round polls a constant downlink width
+        return np.full(bits.size, channel.frame_loss_probability(lo))
+    out = np.empty(bits.size, dtype=np.float64)
+    for b in np.unique(bits).tolist():
+        out[bits == b] = channel.frame_loss_probability(int(b))
+    return out
+
+
+def _run_round_polls(air, proto, rp, view, tags, context, verdict) -> None:
+    """Execute one round's polls: committed spans + scalar fallbacks.
+
+    ``verdict is None`` means the round's initiation (or Select) was
+    lost before dispatch — the round starts on the sequential scalar
+    machinery, whose escalating retries re-send the initiation as
+    context.  The first clean read proves the round state is live on
+    the population again, so the verdict becomes computable and the
+    span machinery resumes for the rest of the round.
+    """
+    m = view.n_polls
+    if m == 0:
+        return
+    pop = air.pop
+    down = view.poll_downlink
+    tags_local = view.poll_tag
+    ideal = isinstance(air.channel, IdealChannel)
+
+    si = values = lengths = None
+    h = recovery_bits = 0
+    if proto in ("HPP", "EHPP", "TPP"):
+        si = np.asarray(rp.extra["singleton_indices"], dtype=np.int64)
+    if proto == "TPP":
+        h = int(rp.extra["h"])
+        values = segment_values(si, h)
+        lengths = rp.poll_vector_bits
+        recovery_bits = h + rp.poll_overhead_bits
+
+    def scalar_poll(j: int) -> bool:
+        tag = int(tags_local[j])
+        bits = int(down[j])
+        if proto == "TPP":
+            msg = {"kind": "tpp_segment", "value": int(values[j]),
+                   "length": int(lengths[j])}
+            recovery = (
+                recovery_bits,
+                {"kind": "tpp_segment", "value": int(si[j]), "length": h},
+            )
+            return _poll_with_retry(air, bits, msg, tag, context, recovery)
+        if proto in ("HPP", "EHPP"):
+            msg = {"kind": "poll_index", "index": int(si[j])}
+        elif proto == "eCPP":
+            suffix_bits = int(rp.poll_vector_bits[j])
+            msg = {
+                "kind": "suffix_poll",
+                "suffix": tags.epc(tag) & ((1 << suffix_bits) - 1),
+                "suffix_bits": suffix_bits,
+            }
+        else:
+            msg = {"kind": "cpp_poll", "epc": tags.epc(tag)}
+        return _poll_with_retry(air, bits, msg, tag, context)
+
+    if pop._stale:
+        for j in range(m):
+            scalar_poll(j)
+        return
+
+    j = 0
+    if verdict is None:
+        # lost initiation: scalar polls until one reads cleanly (its
+        # retry escalation re-delivered the initiation to the whole
+        # population), then derive the verdict from the now-live round
+        # state — identical, for the remaining polls, to the verdict a
+        # delivered initiation would have produced
+        recovered = False
+        while j < m:
+            read = scalar_poll(j)
+            j += 1
+            if read and not pop._stale:
+                recovered = True
+                break
+        if not recovered:
+            return
+        if si is not None:
+            verdict = _hash_round_verdict(pop, rp)
+        else:  # eCPP: the Select rode along on the same re-broadcast
+            verdict = pop.present[tags_local]
+
+    if not ideal:
+        up_p = air.channel.frame_loss_probability(air.info_bits)
+        pd = _loss_probs(air.channel, down)
+        # speculative window: large enough to amortise the bulk draw,
+        # small enough that a failure's discarded tail stays cheap
+        p_fail = float(pd.max()) + up_p
+        w_cap = m if p_fail <= 0.0 else int(min(m, max(64.0, 4.0 / p_fail)))
+
+    clean = True
+    while j < m:
+        if not clean:
+            scalar_poll(j)
+            j += 1
+            continue
+        if ideal:
+            v = verdict[j:]
+            if v.all():
+                _commit_span(air, proto, rp, view, j, m, None)
+            elif air.allow_missing:
+                # on the ideal channel ~verdict is exactly the missing
+                # set (see _hash_round_verdict), so the whole mixed tail
+                # commits in one span
+                _commit_span(air, proto, rp, view, j, m, v)
+            else:
+                # impossible for a sound plan; the scalar path raises
+                # the sequential executor's exact diagnostics
+                clean = False
+                continue
+            j = m
+            continue
+        w = min(m - j, w_cap)
+        state = air.rng.bit_generator.state
+        u = air.rng.random(2 * w)
+        ok = (u[0::2] >= pd[j:j + w]) & (u[1::2] >= up_p) & verdict[j:j + w]
+        if ok.all():
+            _commit_span(air, proto, rp, view, j, j + w, None)
+            j += w
+            continue
+        # rewind to the window start and advance exactly the prefix's
+        # draws; the failing poll then replays its own (identical)
+        # variates through the sequential retry machinery
+        bad = int(np.argmin(ok))
+        air.rng.bit_generator.state = state
+        if bad:
+            air.rng.random(2 * bad)
+            _commit_span(air, proto, rp, view, j, j + bad, None)
+            j += bad
+        read = scalar_poll(j)
+        j += 1
+        # a retry may wake a wrongly-read tag (stale state the verdict
+        # cannot see), and a TPP give-up leaves the cohort register off
+        # the planned track — both drop the round to the scalar path
+        clean = not pop._stale and (proto != "TPP" or read)
+
+
+def _commit_span(air, proto, rp, view, j0: int, j1: int,
+                 pattern: np.ndarray | None) -> None:
+    """Commit polls ``[j0, j1)`` wholesale: clock, states, counters.
+
+    ``pattern is None`` commits every poll as a clean read;
+    otherwise ``pattern[k]`` says whether poll ``j0+k`` reads its tag
+    (True) or times out into a missing verdict (False, ideal channel
+    only).  The clock folds the same per-event float delays in the same
+    order as the sequential ``_advance`` chain (one cumsum), so times
+    stay bit-identical.
+    """
+    if j1 <= j0:
+        return
+    t = air.budget.timing
+    pop = air.pop
+    down = view.poll_downlink[j0:j1]
+    span_tags = view.poll_tag[j0:j1]
+    count = j1 - j0
+    tx = down * t.reader_bit_us
+    reply_t = t.tag_tx_us(air.info_bits)
+    trace = air.trace
+    if pattern is None:
+        deltas = np.empty(5 * count + 1, dtype=np.float64)
+        deltas[0] = air.queue.now_us
+        deltas[1::5] = tx
+        deltas[2::5] = t.t1_us
+        deltas[3::5] = reply_t
+        deltas[4::5] = t.t2_us
+        deltas[5::5] = 0.0  # the TAG_READ zero-advance
+        read_tags = span_tags
+        n_read = count
+    else:
+        n_read = int(np.count_nonzero(pattern))
+        lens = np.where(pattern, 5, 2)
+        ends = np.cumsum(lens)
+        starts = ends - lens + 1
+        deltas = np.zeros(int(ends[-1]) + 1, dtype=np.float64)
+        deltas[0] = air.queue.now_us
+        hit = starts[pattern]
+        deltas[hit] = tx[pattern]
+        deltas[hit + 1] = t.t1_us
+        deltas[hit + 2] = reply_t
+        deltas[hit + 3] = t.t2_us
+        miss = starts[~pattern]
+        deltas[miss] = tx[~pattern]
+        deltas[miss + 1] = t.t1_us + t.t3_us + t.t2_us
+        read_tags = span_tags[pattern]
+        air.missing_found.extend(span_tags[~pattern].tolist())
+        trace.tally_many(EventKind.REPLY_TIMEOUT, count - n_read)
+    air.queue.now_us = float(np.cumsum(deltas)[-1])
+    trace.tally_many(EventKind.READER_TX_END, count)
+    trace.tally_many(EventKind.TAG_REPLY_START, n_read)
+    trace.tally_many(EventKind.TAG_REPLY_END, n_read)
+    trace.tally_many(EventKind.READER_TX_START, n_read)
+    trace.tally_many(EventKind.TAG_READ, n_read)
+    air.reader_bits += int(down.sum())
+    if n_read:
+        pop._commit_ack_bulk(read_tags)
+        air.read_order.extend(read_tags.tolist())
+        air.tag_bits += n_read * air.info_bits
+    if proto == "TPP":
+        # every committed segment landed, so the shared register sits at
+        # the last committed poll's drawn index (read or timed out)
+        pop._scalar_a = int(rp.extra["singleton_indices"][j1 - 1])

@@ -130,6 +130,11 @@ class Trace:
         """Count an event that is not materialised (trace-free fast clock)."""
         self._counts[kind] = self._counts.get(kind, 0) + 1
 
+    def tally_many(self, kind: EventKind, count: int) -> None:
+        """Bulk :meth:`tally`: ``count`` unmaterialised events of ``kind``."""
+        if count:
+            self._counts[kind] = self._counts.get(kind, 0) + int(count)
+
     def of_kind(self, kind: EventKind) -> list[Event]:
         return [e for e in self.events if e.kind is kind]
 

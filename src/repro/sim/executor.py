@@ -91,6 +91,11 @@ class _ReadOrder:
         self._pos[tag_index] = len(self._entries)
         self._entries.append(tag_index)
 
+    def extend(self, tag_indices: list[int]) -> None:
+        base = len(self._entries)
+        self._entries.extend(tag_indices)
+        self._pos.update(zip(tag_indices, range(base, len(self._entries))))
+
     def remove(self, tag_index: int) -> None:
         self._entries[self._pos.pop(tag_index)] = None
 
@@ -472,58 +477,9 @@ def _execute_mic_frame(air: _Air, rp: RoundPlan, view: RoundView,
 
 
 # ----------------------------------------------------------------------
-def execute_plan(
-    plan: InterrogationPlan,
-    tags: TagSet,
-    info_bits: int = 1,
-    budget: LinkBudget | None = None,
-    channel: Channel | None = None,
-    rng: np.random.Generator | None = None,
-    payloads: np.ndarray | None = None,
-    keep_trace: bool = True,
-    present: np.ndarray | None = None,
-    missing_attempts: int = 3,
-    backend: str = "machines",
-) -> DESResult:
-    """Execute ``plan`` over the air against a live tag population.
-
-    Args:
-        present: indices of tags physically in the field; ``None`` means
-            the whole known population.  When a subset is given, silent
-            polls *detect* missing tags instead of raising — the
-            missing-tag application of §I.
-        missing_attempts: silent polls before declaring a tag missing on
-            a lossy channel (1 is used on the ideal channel).
-        backend: ``"machines"`` runs one Python state machine per tag
-            (the legible oracle); ``"array"`` runs the vectorized
-            numpy-state-array population (:mod:`repro.sim.tagarray`),
-            bit-identical counters at a fraction of the Python work.
-    """
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    budget = budget if budget is not None else LinkBudget()
-    channel = channel if channel is not None else IdealChannel()
-    rng = rng if rng is not None else np.random.default_rng(0)
-    trace = Trace(keep=keep_trace)
-    present_mask = np.ones(len(tags), dtype=bool)
-    if present is not None:
-        present_mask = np.zeros(len(tags), dtype=bool)
-        present_mask[np.asarray(present, dtype=np.int64)] = True
-    if backend == "array":
-        pop = build_array_population(plan, tags, payloads, present_mask)
-    else:
-        machines = build_tag_machines(plan, tags, payloads)
-        pop = MachinePopulation(machines, present_mask)
-    air = _Air(pop, budget, channel, rng, info_bits, trace)
-    if present is not None:
-        air.allow_missing = True
-        air.missing_attempts = missing_attempts
-
-    # the reader's wire script: every bit count the event loop charges
-    # comes from the compiled schedule rows, not from re-deriving the
-    # RoundPlan arithmetic (the plan still supplies message *semantics* —
-    # seeds, prefixes, segment values — which never hit the wire budget)
-    schedule = compile_plan(plan, info_bits)
+def _run_plan(air: _Air, plan: InterrogationPlan, tags: TagSet,
+              schedule: Any) -> None:
+    """Replay every round of ``plan`` through ``air`` (sequential path)."""
     circle_ctx: list[tuple[int, dict[str, Any]]] = []
     for rp, view in zip(plan.rounds, schedule.iter_rounds()):
         if plan.protocol in ("CPP", "eCPP"):
@@ -552,8 +508,11 @@ def execute_plan(
         else:
             raise NotImplementedError(f"no executor for protocol {plan.protocol!r}")
 
-    # final invariant: every present tag read exactly once
-    asleep = pop.asleep_indices()
+
+def _finish(air: _Air, plan: InterrogationPlan, tags: TagSet,
+            trace: Trace) -> DESResult:
+    """Check the read-everyone invariant and assemble the result."""
+    asleep = air.pop.asleep_indices()
     expected = sorted(np.flatnonzero(air.present).tolist())
     if asleep != expected:
         raise RuntimeError(
@@ -572,6 +531,96 @@ def execute_plan(
     )
 
 
+def execute_plan(
+    plan: InterrogationPlan,
+    tags: TagSet,
+    info_bits: int = 1,
+    budget: LinkBudget | None = None,
+    channel: Channel | None = None,
+    rng: np.random.Generator | None = None,
+    payloads: np.ndarray | None = None,
+    keep_trace: bool = True,
+    present: np.ndarray | None = None,
+    missing_attempts: int = 3,
+    backend: str = "machines",
+    replicas: int | None = None,
+) -> DESResult | list["DESResult"]:
+    """Execute ``plan`` over the air against a live tag population.
+
+    Args:
+        present: indices of tags physically in the field; ``None`` means
+            the whole known population.  When a subset is given, silent
+            polls *detect* missing tags instead of raising — the
+            missing-tag application of §I.
+        missing_attempts: silent polls before declaring a tag missing on
+            a lossy channel (1 is used on the ideal channel).
+        backend: ``"machines"`` runs one Python state machine per tag
+            (the legible oracle); ``"array"`` runs the vectorized
+            numpy-state-array population (:mod:`repro.sim.tagarray`),
+            bit-identical counters at a fraction of the Python work.
+        replicas: run R independent Monte-Carlo replicas in one
+            replica-batched pass and return ``list[DESResult]``.  Each
+            of ``plan``/``tags``/``present``/``payloads`` may then be a
+            length-R sequence (or a single value shared by every
+            replica); ``rng`` must be a length-R sequence of generators
+            since replicas consume independent channel streams.  Results
+            are bit-identical to R separate ``execute_plan`` calls.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if replicas is not None:
+        from repro.sim.batch import execute_plan_batch
+
+        def spread(value: Any) -> list[Any]:
+            if isinstance(value, (list, tuple)):
+                if len(value) != replicas:
+                    raise ValueError(
+                        f"expected {replicas} per-replica values, got {len(value)}"
+                    )
+                return list(value)
+            return [value] * replicas
+
+        if isinstance(rng, np.random.Generator):
+            raise ValueError(
+                "replicas needs one generator per replica (a shared "
+                "generator would interleave the channel streams)"
+            )
+        return execute_plan_batch(
+            spread(plan), spread(tags),
+            info_bits=info_bits, budget=budget, channel=channel,
+            rngs=None if rng is None else list(rng),
+            payloads_list=spread(payloads),
+            present_list=spread(present),
+            missing_attempts=missing_attempts,
+            backend=backend,
+        )
+    budget = budget if budget is not None else LinkBudget()
+    channel = channel if channel is not None else IdealChannel()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    trace = Trace(keep=keep_trace)
+    present_mask = np.ones(len(tags), dtype=bool)
+    if present is not None:
+        present_mask = np.zeros(len(tags), dtype=bool)
+        present_mask[np.asarray(present, dtype=np.int64)] = True
+    if backend == "array":
+        pop = build_array_population(plan, tags, payloads, present_mask)
+    else:
+        machines = build_tag_machines(plan, tags, payloads)
+        pop = MachinePopulation(machines, present_mask)
+    air = _Air(pop, budget, channel, rng, info_bits, trace)
+    if present is not None:
+        air.allow_missing = True
+        air.missing_attempts = missing_attempts
+
+    # the reader's wire script: every bit count the event loop charges
+    # comes from the compiled schedule rows, not from re-deriving the
+    # RoundPlan arithmetic (the plan still supplies message *semantics* —
+    # seeds, prefixes, segment values — which never hit the wire budget)
+    schedule = compile_plan(plan, info_bits)
+    _run_plan(air, plan, tags, schedule)
+    return _finish(air, plan, tags, trace)
+
+
 def simulate(
     protocol: PollingProtocol,
     tags: TagSet,
@@ -584,8 +633,31 @@ def simulate(
     payloads: np.ndarray | None = None,
     missing_attempts: int = 3,
     backend: str = "machines",
-) -> DESResult:
-    """Plan + execute in one call (plan RNG and channel RNG split)."""
+    replicas: int | None = None,
+) -> DESResult | list[DESResult]:
+    """Plan + execute in one call (plan RNG and channel RNG split).
+
+    With ``replicas=R`` the call runs R independent Monte-Carlo
+    replicas — replica ``r`` seeded exactly like ``simulate(seed=seed+r)``
+    — in one replica-batched pass, returning ``list[DESResult]``
+    bit-identical to the R separate calls (the trace is never kept).
+    """
+    if replicas is not None:
+        plans = [
+            protocol.plan(tags, np.random.default_rng(seed + r))
+            for r in range(replicas)
+        ]
+        rngs = [
+            np.random.default_rng(seed + r + 0x9E3779B9)
+            for r in range(replicas)
+        ]
+        return execute_plan(
+            plans, [tags] * replicas,
+            info_bits=info_bits, budget=budget, channel=channel, rng=rngs,
+            present=present, payloads=payloads,
+            missing_attempts=missing_attempts, backend=backend,
+            replicas=replicas,
+        )
     plan_rng = np.random.default_rng(seed)
     channel_rng = np.random.default_rng(seed + 0x9E3779B9)
     plan = protocol.plan(tags, plan_rng)

@@ -38,11 +38,22 @@ from typing import Any
 import numpy as np
 
 from repro.core.base import InterrogationPlan
-from repro.hashing.universal import derive_seed, hash_indices, hash_mod, splitmix64
+from repro.hashing.universal import (
+    derive_seed,
+    hash_indices,
+    hash_indices_ragged,
+    hash_mod,
+    splitmix64,
+)
 from repro.sim.tag import Reply
 from repro.workloads.tagsets import TagSet
 
-__all__ = ["ArrayTagPopulation", "build_array_population"]
+__all__ = [
+    "ArrayTagPopulation",
+    "build_array_population",
+    "build_batch_populations",
+    "batch_round_inits",
+]
 
 Message = dict[str, Any]
 
@@ -97,6 +108,16 @@ class ArrayTagPopulation:
         self.state[tag_index] = _ASLEEP
         self._stale.discard(tag_index)
 
+    def _commit_ack_bulk(self, tags_local: np.ndarray) -> None:
+        """Batched poll commit: the given READY tags reply and are acked.
+
+        Semantically ``for t in tags_local: state REPLIED then
+        acknowledge(t)`` for tags the caller has *proved* reply alone and
+        in order (the replica-batched executor's speculation commit);
+        per-tag ``_freeze`` hooks are replaced by vectorised overrides.
+        """
+        self.state[tags_local] = _ASLEEP
+
     def revert_reply(self, tag_index: int) -> None:
         if self.state[tag_index] != _REPLIED:
             raise RuntimeError(
@@ -146,8 +167,22 @@ class _HashArray(ArrayTagPopulation):
         super().__init__(tags, payloads, present)
         self.in_circle = np.ones(self.n, dtype=bool)
         self.index = np.full(self.n, -1, dtype=np.int64)  # -1 == None
-        #: index value -> tags that drew it at the last round init
-        self._lookup: dict[int, list[int]] = {}
+        #: index value -> tags that drew it at the last round init; built
+        #: lazily from ``_lookup_eligible`` on the first poll that needs
+        #: it (the replica-batched fast path resolves polls without it)
+        self._lookup: dict[int, list[int]] | None = {}
+        self._lookup_eligible = np.empty(0, dtype=np.int64)
+        #: lazy (drawers-per-index, unique-drawer) arrays over the same
+        #: eligible set; resolves singleton candidates in O(1) without
+        #: materialising the dict (collisions fall back to the dict)
+        self._counts_cache: tuple[np.ndarray, np.ndarray] | None = None
+        #: ``(seed, h, global_scope)`` of the applied round initiation.
+        #: A re-delivered initiation of the *same* round (the lossy retry
+        #: path re-sending context) recomputes identical draws over a
+        #: subset of the original eligible set, so the index array and
+        #: the lookup stay valid — only register state and stale
+        #: tracking need re-syncing, which keeps retries O(1).
+        self._applied: tuple | None = None
         self._handlers.update(
             circle_cmd=self._on_circle_cmd,
             round_init=self._on_round_init,
@@ -161,31 +196,96 @@ class _HashArray(ArrayTagPopulation):
         self.in_circle[heard] = draw <= msg["f"]
         self.index[heard] = -1
         self._lookup = {}
+        self._lookup_eligible = np.empty(0, dtype=np.int64)
+        self._counts_cache = None
+        self._applied = None
         self._stale.clear()  # every awake tag heard this and is in sync
         return []
 
+    def _round_init_key(self, msg: Message) -> tuple:
+        return (msg["seed"], msg["h"], bool(msg.get("global_scope", True)))
+
     def _on_round_init(self, msg: Message) -> list[Reply]:
         heard = self._heard()
+        if self._applied == self._round_init_key(msg):
+            self._stale.clear()
+            self._round_reset(msg, heard)
+            return []
         if msg.get("global_scope", True):
             eligible = heard
-            self.index[heard] = -1
         else:
-            self.index[heard] = -1
             eligible = heard[self.in_circle[heard]]
-        if eligible.size:
-            self.index[eligible] = hash_indices(
-                self.words[eligible], msg["seed"], msg["h"]
-            )
-        self._rebuild_lookup(eligible)
-        self._stale.clear()
-        self._round_reset(msg, heard)
+        draws = (
+            hash_indices(self.words[eligible], msg["seed"], msg["h"])
+            if eligible.size
+            else np.empty(0, dtype=np.int64)
+        )
+        self._apply_round_state(msg, heard, eligible, draws)
         return []
 
-    def _rebuild_lookup(self, eligible: np.ndarray) -> None:
-        lookup: dict[int, list[int]] = {}
-        for t, v in zip(eligible.tolist(), self.index[eligible].tolist()):
-            lookup.setdefault(v, []).append(t)
-        self._lookup = lookup
+    def _apply_round_state(
+        self,
+        msg: Message,
+        heard: np.ndarray,
+        eligible: np.ndarray,
+        draws: np.ndarray,
+    ) -> None:
+        """Scatter one round initiation's draws into the state arrays.
+
+        Shared by the per-population dispatch path and by
+        :func:`batch_round_inits`, which computes ``draws`` for many
+        replicas in one ragged hash call.
+        """
+        self.index[heard] = -1
+        if eligible.size:
+            self.index[eligible] = draws
+        self._lookup = None
+        self._lookup_eligible = eligible
+        self._counts_cache = None
+        self._applied = self._round_init_key(msg)
+        self._stale.clear()
+        self._round_reset(msg, heard)
+
+    def _ensure_lookup(self) -> dict[int, list[int]]:
+        if self._lookup is None:
+            lookup: dict[int, list[int]] = {}
+            eligible = self._lookup_eligible
+            for t, v in zip(eligible.tolist(), self.index[eligible].tolist()):
+                lookup.setdefault(v, []).append(t)
+            self._lookup = lookup
+        return self._lookup
+
+    def _ensure_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drawers-per-index and unique-drawer arrays for the round.
+
+        ``counts[v]`` is how many eligible tags drew ``v`` and
+        ``owner[v]`` the drawer when unique — enough to resolve every
+        singleton index (the overwhelmingly common poll) in O(1) without
+        the dict, and reused by the batched verdict computation.
+        """
+        if self._counts_cache is None:
+            drawn = self.index[self._lookup_eligible]
+            counts = (
+                np.bincount(drawn) if drawn.size else np.zeros(0, dtype=np.int64)
+            )
+            owner = np.full(counts.size, -1, dtype=np.int64)
+            owner[drawn] = self._lookup_eligible
+            self._counts_cache = (counts, owner)
+        return self._counts_cache
+
+    def _candidates(self, value: int) -> tuple[int, ...] | list[int]:
+        """Eligible tags whose round index equals ``value``."""
+        if self._lookup is not None:
+            return self._lookup.get(value, ())
+        counts, owner = self._ensure_counts()
+        if value >= counts.size or value < 0:
+            return ()
+        n_drawers = counts[value]
+        if n_drawers == 0:
+            return ()
+        if n_drawers == 1:
+            return (int(owner[value]),)
+        return self._ensure_lookup().get(value, ())
 
     def _round_reset(self, msg: Message, heard: np.ndarray) -> None:
         """TPP hook: reset the register state at round initiation."""
@@ -195,7 +295,7 @@ class _HashArray(ArrayTagPopulation):
         index = msg["index"]
         responders = [
             t
-            for t in self._lookup.get(index, ())
+            for t in self._candidates(index)
             if self.state[t] == _READY and t not in self._stale
         ]
         # a woken tag answers with whatever index its register still
@@ -234,13 +334,20 @@ class _TPPArray(_HashArray):
         self.a[heard] = 0
         self._scalar_a = 0
         self._scalar_h = msg["h"]
-        self._cohort_indexed = bool(self._lookup)
+        self._cohort_indexed = self._lookup_eligible.size > 0
 
     def _freeze(self, tag_index: int) -> None:
         # going to sleep freezes the register at its current (shared)
         # value; a later force_wake resumes from exactly this snapshot
         if tag_index not in self._stale:
             self.a[tag_index] = self._scalar_a
+
+    def _commit_ack_bulk(self, tags_local: np.ndarray) -> None:
+        # a committed tag slept right after its own segment landed, when
+        # the shared register equalled its drawn index — the same value
+        # the per-tag ``_freeze`` would have snapshotted
+        self.a[tags_local] = self.index[tags_local]
+        super()._commit_ack_bulk(tags_local)
 
     def _on_tpp_segment(self, msg: Message) -> list[Reply]:
         k = msg["length"]
@@ -253,7 +360,7 @@ class _TPPArray(_HashArray):
             self._scalar_a = (self._scalar_a & keep) | value
             responders = [
                 t
-                for t in self._lookup.get(self._scalar_a, ())
+                for t in self._candidates(self._scalar_a)
                 if self.state[t] == _READY and t not in self._stale
             ]
         for t in self._stale:
@@ -495,3 +602,99 @@ def build_array_population(
         f"no tag state machine for protocol {name!r} "
         "(the DES covers CPP/eCPP/CP/HPP/EHPP/TPP/MIC)"
     )
+
+
+# ----------------------------------------------------------------------
+# the replica axis: R populations on block-concatenated state buffers
+# ----------------------------------------------------------------------
+#: mutable per-tag state arrays re-sliced into the shared batch buffers;
+#: attributes a population class lacks are simply skipped
+_BATCH_STATE_ATTRS = (
+    "state", "present", "payloads", "index", "in_circle",
+    "a", "h", "selected", "rank", "claimed",
+)
+
+
+def build_batch_populations(
+    plans: list[InterrogationPlan],
+    tags_list: list[TagSet],
+    payloads_list: list[np.ndarray | None],
+    present_masks: list[np.ndarray],
+) -> list[ArrayTagPopulation]:
+    """R replica populations whose state lives in one block per attribute.
+
+    Each replica gets a normal :func:`build_array_population` view, then
+    every mutable per-tag array is re-sliced out of a block-concatenated
+    buffer (replica ``r`` owns the contiguous segment at its offset).
+    Views stay drop-in populations — per-replica dispatch, acknowledge
+    and retry paths are untouched — while batched stages operate on the
+    shared buffers without gathering.
+    """
+    pops = [
+        build_array_population(plan, tags, payloads, present)
+        for plan, tags, payloads, present in zip(
+            plans, tags_list, payloads_list, present_masks
+        )
+    ]
+    for name in _BATCH_STATE_ATTRS:
+        owners = [p for p in pops if hasattr(p, name)]
+        parts = [getattr(p, name) for p in owners]
+        if not parts:
+            continue
+        block = (
+            np.concatenate(parts)
+            if len(parts) > 1
+            else np.asarray(parts[0])
+        )
+        offset = 0
+        for pop, part in zip(owners, parts):
+            pop_slice = block[offset:offset + part.size]
+            setattr(pop, name, pop_slice)
+            offset += part.size
+    return pops
+
+
+def batch_round_inits(
+    pop_msgs: list[tuple[ArrayTagPopulation, Message]],
+) -> None:
+    """Apply many replicas' delivered round initiations in one pass.
+
+    The eligible sets of all replicas are hashed with a single
+    :func:`~repro.hashing.universal.hash_indices_ragged` call, then each
+    replica's draws are scattered through its own
+    :meth:`_HashArray._apply_round_state` — bit-identical to dispatching
+    each ``round_init`` message separately.
+    """
+    heards: list[np.ndarray] = []
+    eligibles: list[np.ndarray] = []
+    for pop, msg in pop_msgs:
+        heard = pop._heard()
+        if msg.get("global_scope", True):
+            eligible = heard
+        else:
+            eligible = heard[pop.in_circle[heard]]
+        heards.append(heard)
+        eligibles.append(eligible)
+    counts = np.fromiter(
+        (e.size for e in eligibles), np.int64, len(eligibles)
+    )
+    words = [
+        pop.words[e]
+        for (pop, _), e in zip(pop_msgs, eligibles)
+        if e.size
+    ]
+    if words:
+        draws_flat = hash_indices_ragged(
+            np.concatenate(words) if len(words) > 1 else words[0],
+            [msg["seed"] for _, msg in pop_msgs],
+            [msg["h"] for _, msg in pop_msgs],
+            counts,
+        )
+    else:
+        draws_flat = np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    for i, (pop, msg) in enumerate(pop_msgs):
+        pop._apply_round_state(
+            msg, heards[i], eligibles[i],
+            draws_flat[offsets[i]:offsets[i + 1]],
+        )

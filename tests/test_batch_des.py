@@ -1,0 +1,332 @@
+"""Replica-batched DES execution must be bit-identical to sequential.
+
+The contract under test (the whole point of :mod:`repro.sim.batch`):
+``execute_plan_batch`` over R replicas produces, replica for replica,
+*exactly* the :class:`DESResult` that R separate ``execute_plan`` calls
+produce — same event clock, same counters, same polled order, same
+missing verdicts, same trace tallies — and when a lossy missing-tag
+watch falsely declares a present tag missing, the batch raises the same
+``RuntimeError`` the sequential executor raises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coded_polling import CodedPolling
+from repro.core.cpp import CPP, EnhancedCPP
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.phy.channel import BitErrorChannel, IdealChannel
+from repro.sim.batch import execute_plan_batch
+from repro.sim.executor import execute_plan, simulate
+from repro.workloads.tagsets import uniform_tagset
+
+PROTOCOLS = [
+    pytest.param(lambda: HPP(), id="hpp"),
+    pytest.param(lambda: EHPP(subset_size=50), id="ehpp"),
+    pytest.param(lambda: TPP(), id="tpp"),
+    pytest.param(lambda: CPP(), id="cpp"),
+    pytest.param(lambda: EnhancedCPP(), id="ecpp"),
+    pytest.param(lambda: CodedPolling(), id="cp-fallback"),
+]
+
+CHANNELS = [pytest.param(0.0, id="ideal"), pytest.param(0.001, id="lossy")]
+
+INFO_BITS = 4
+
+
+def _channel(ber):
+    return BitErrorChannel(ber) if ber else IdealChannel()
+
+
+def _outcome(fn):
+    """Run ``fn``; a missing-watch invariant trip becomes a comparable
+    string outcome instead of failing the test outright."""
+    try:
+        return fn()
+    except RuntimeError as exc:
+        return f"RuntimeError: {exc}"
+
+
+def _fingerprint(res):
+    if isinstance(res, str):
+        return res
+    return (
+        res.protocol, res.n_tags, res.time_us, res.reader_bits,
+        res.tag_bits, res.polled_order, res.n_retries, res.missing,
+        {kind.name: count for kind, count in res.trace._counts.items()},
+    )
+
+
+def _replicas(protocol, sizes, seed, missing_fraction=0.0):
+    """Per-replica plans, tagsets, present subsets, and channel seeds."""
+    plans, tags_list, present_list, rng_seeds = [], [], [], []
+    for r, n in enumerate(sizes):
+        tags = uniform_tagset(n, np.random.default_rng((seed, r)))
+        plans.append(protocol.plan(tags, np.random.default_rng((seed, r, 1))))
+        present = None
+        if missing_fraction and n:
+            k = int(round(n * missing_fraction))
+            present = np.sort(
+                np.random.default_rng((seed, r, 2)).permutation(n)[: n - k]
+            ).astype(np.int64)
+        tags_list.append(tags)
+        present_list.append(present)
+        rng_seeds.append((seed, r, 3))
+    return plans, tags_list, present_list, rng_seeds
+
+
+def _sequential(plans, tags_list, present_list, rng_seeds, ber,
+                backend="array", missing_attempts=3):
+    outs = []
+    for plan, tags, present, rs in zip(plans, tags_list, present_list,
+                                       rng_seeds):
+        outs.append(_outcome(lambda p=plan, t=tags, pr=present, s=rs:
+                             execute_plan(
+                                 p, t, info_bits=INFO_BITS,
+                                 channel=_channel(ber),
+                                 rng=np.random.default_rng(s),
+                                 keep_trace=False, present=pr,
+                                 missing_attempts=missing_attempts,
+                                 backend=backend)))
+    return outs
+
+
+def _batched(plans, tags_list, present_list, rng_seeds, ber,
+             missing_attempts=3):
+    return _outcome(lambda: execute_plan_batch(
+        plans, tags_list, info_bits=INFO_BITS, channel=_channel(ber),
+        rngs=[np.random.default_rng(s) for s in rng_seeds],
+        present_list=present_list, missing_attempts=missing_attempts,
+        backend="array"))
+
+
+def _assert_parity(batch_out, sequential_outs):
+    raising = [o for o in sequential_outs if isinstance(o, str)]
+    if raising:
+        # _finish walks replicas in order, so the batch surfaces the
+        # first replica's exception — identical text, same trip
+        assert isinstance(batch_out, str), (
+            "sequential raised but the batch did not"
+        )
+        assert batch_out == raising[0]
+        return
+    assert not isinstance(batch_out, str), batch_out
+    assert len(batch_out) == len(sequential_outs)
+    for r, (got, ref) in enumerate(zip(batch_out, sequential_outs)):
+        assert _fingerprint(got) == _fingerprint(ref), f"replica {r}"
+
+
+# ----------------------------------------------------------------------
+# the parity matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+@pytest.mark.parametrize("ber", CHANNELS)
+@pytest.mark.parametrize("n", [0, 1, 7])
+def test_small_population_parity_vs_both_oracles(make_protocol, ber, n):
+    """Tiny populations (incl. empty and singleton), R=2, checked
+    against the sequential array backend *and* the machine oracle."""
+    protocol = make_protocol()
+    inputs = _replicas(protocol, [n, n], seed=17)
+    batch = _batched(*inputs, ber)
+    _assert_parity(batch, _sequential(*inputs, ber, backend="array"))
+    _assert_parity(batch, _sequential(*inputs, ber, backend="machines"))
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+@pytest.mark.parametrize("ber", CHANNELS)
+def test_large_population_parity(make_protocol, ber):
+    """n=1000, R=2, against the sequential array backend."""
+    protocol = make_protocol()
+    inputs = _replicas(protocol, [1000, 1000], seed=23)
+    _assert_parity(_batched(*inputs, ber), _sequential(*inputs, ber))
+
+
+def test_large_population_parity_vs_machines():
+    """One n=1000 lossy case against the (slow) machine oracle."""
+    inputs = _replicas(HPP(), [1000], seed=29)
+    _assert_parity(_batched(*inputs, 0.001),
+                   _sequential(*inputs, 0.001, backend="machines"))
+
+
+@pytest.mark.parametrize("replicas", [1, 2, 33])
+def test_replica_count_axis(replicas):
+    """R ∈ {1, 2, 33} same-size replicas, lossy, exact parity."""
+    inputs = _replicas(HPP(), [41] * replicas, seed=31)
+    _assert_parity(_batched(*inputs, 0.002), _sequential(*inputs, 0.002))
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+def test_torn_replica_batch(make_protocol):
+    """Mixed replica sizes — one empty, one singleton — in one batch."""
+    protocol = make_protocol()
+    inputs = _replicas(protocol, [40, 0, 17, 1], seed=37)
+    _assert_parity(_batched(*inputs, 0.002), _sequential(*inputs, 0.002))
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOLS)
+@pytest.mark.parametrize("ber", CHANNELS)
+def test_missing_tag_mode_parity(make_protocol, ber):
+    """Presence polling with absent tags: detected-missing sets and
+    retry counters match replica for replica (machine oracle too)."""
+    protocol = make_protocol()
+    inputs = _replicas(protocol, [50, 30], seed=41, missing_fraction=0.1)
+    batch = _batched(*inputs, ber, missing_attempts=2)
+    _assert_parity(batch, _sequential(*inputs, ber, missing_attempts=2))
+    _assert_parity(
+        batch,
+        _sequential(*inputs, ber, backend="machines", missing_attempts=2),
+    )
+
+
+def test_missing_mode_false_positive_exception_parity():
+    """At high BER a present tag can stay silent ``missing_attempts``
+    times; the sequential ``_finish`` invariant then raises — the batch
+    must raise the identical error, not swallow or reorder it."""
+    inputs = _replicas(HPP(), [60] * 6, seed=2, missing_fraction=0.1)
+    ber = 0.02
+    sequential = _sequential(*inputs, ber, missing_attempts=1)
+    assert any(isinstance(o, str) for o in sequential), (
+        "fixture no longer trips the invariant; raise ber or replicas"
+    )
+    _assert_parity(_batched(*inputs, ber, missing_attempts=1), sequential)
+
+
+# ----------------------------------------------------------------------
+# the public replica APIs
+# ----------------------------------------------------------------------
+def test_execute_plan_replicas_argument():
+    tags = uniform_tagset(80, np.random.default_rng(1))
+    protocol = TPP()
+    plans = [protocol.plan(tags, np.random.default_rng(s)) for s in (1, 2, 3)]
+    rngs = [np.random.default_rng(s + 100) for s in (1, 2, 3)]
+    batch = execute_plan(plans, [tags] * 3, info_bits=INFO_BITS,
+                         channel=BitErrorChannel(0.001), rng=rngs,
+                         backend="array", replicas=3)
+    for r in range(3):
+        ref = execute_plan(plans[r], tags, info_bits=INFO_BITS,
+                           channel=BitErrorChannel(0.001),
+                           rng=np.random.default_rng(r + 1 + 100),
+                           keep_trace=False, backend="array")
+        assert _fingerprint(batch[r]) == _fingerprint(ref)
+
+
+def test_execute_plan_replicas_rejects_shared_generator():
+    tags = uniform_tagset(5, np.random.default_rng(0))
+    plan = CPP().plan(tags, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="one generator per replica"):
+        execute_plan([plan] * 2, [tags] * 2, rng=np.random.default_rng(0),
+                     backend="array", replicas=2)
+
+
+def test_simulate_replicas_matches_shifted_seeds():
+    tags = uniform_tagset(60, np.random.default_rng(4))
+    protocol = EHPP(subset_size=50)
+    batch = simulate(protocol, tags, info_bits=INFO_BITS, seed=9,
+                     channel=BitErrorChannel(0.001), backend="array",
+                     replicas=3)
+    for r in range(3):
+        solo = simulate(protocol, tags, info_bits=INFO_BITS, seed=9 + r,
+                        channel=BitErrorChannel(0.001), keep_trace=False,
+                        backend="array")
+        assert _fingerprint(batch[r]) == _fingerprint(solo)
+
+
+def test_batch_rejects_mixed_protocols():
+    tags = uniform_tagset(4, np.random.default_rng(0))
+    plan_a = CPP().plan(tags, np.random.default_rng(0))
+    plan_b = HPP().plan(tags, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="one protocol per batch"):
+        execute_plan_batch([plan_a, plan_b], [tags, tags])
+
+
+# ----------------------------------------------------------------------
+# seed-split regression (the lossy-sweep draw order)
+# ----------------------------------------------------------------------
+class TestLossySweepSeedSplit:
+    """The lossy-sweep metric must feed the channel a *fresh* seed
+    child, never the stream the planner already consumed — the
+    correlated-draw bug class the sweep engine was rebuilt to kill."""
+
+    def _setup(self):
+        tags = uniform_tagset(40, np.random.default_rng(0))
+        return HPP(), tags, np.random.SeedSequence(1234)
+
+    def test_metric_pins_spawn_order(self):
+        from repro.experiments.extensions import _lossy_trial
+        from repro.experiments.runner import DESMetric
+
+        protocol, tags, seed_seq = self._setup()
+        got = DESMetric(ber=0.01, backend="array")(
+            protocol, tags, np.random.SeedSequence(1234), None, INFO_BITS)
+        legacy = _lossy_trial(protocol, tags, np.random.SeedSequence(1234),
+                              None, INFO_BITS, ber=0.01, backend="array")
+        # the pinned derivation: child 0 plans, child 1 drives the loss
+        # draws, in exactly this spawn order
+        plan_ss, channel_ss = seed_seq.spawn(2)
+        plan = protocol.plan(tags, np.random.default_rng(plan_ss))
+        ref = execute_plan(plan, tags, info_bits=INFO_BITS,
+                           channel=BitErrorChannel(0.01),
+                           rng=np.random.default_rng(channel_ss),
+                           keep_trace=False, backend="array")
+        assert got == [ref.time_us / 1e6, float(ref.n_retries)]
+        assert legacy == got
+
+    def test_channel_stream_is_not_the_planner_stream(self):
+        from repro.experiments.runner import DESMetric
+
+        protocol, tags, seed_seq = self._setup()
+        got = DESMetric(ber=0.01, backend="array")(
+            protocol, tags, np.random.SeedSequence(1234), None, INFO_BITS)
+        plan_ss, channel_ss = seed_seq.spawn(2)
+        plan = protocol.plan(tags, np.random.default_rng(plan_ss))
+        for wrong_rng in (
+            np.random.default_rng(plan_ss),     # re-used planner child
+            np.random.default_rng(seed_seq),    # undivided root stream
+        ):
+            wrong = execute_plan(plan, tags, info_bits=INFO_BITS,
+                                 channel=BitErrorChannel(0.01),
+                                 rng=wrong_rng, keep_trace=False,
+                                 backend="array")
+            assert got != [wrong.time_us / 1e6, float(wrong.n_retries)]
+
+
+# ----------------------------------------------------------------------
+# runner integration
+# ----------------------------------------------------------------------
+class TestRunnerDESBatch:
+    """DESMetric cells route through the batch executor bit-identically
+    and the runner reports its routing coverage."""
+
+    def _sweep(self, **kwargs):
+        from repro.experiments.runner import DESMetric, SweepRunner
+
+        runner = SweepRunner(cache=None, **kwargs)
+        values = runner.sweep_values(
+            TPP(), [30, 90], n_runs=3, seed=6,
+            metric=DESMetric(ber=0.002, backend="array"),
+            info_bits=INFO_BITS,
+        )
+        return runner, values
+
+    def test_batched_equals_per_cell(self):
+        _, batched = self._sweep(batch=True)
+        _, sequential = self._sweep(batch=False)
+        assert np.array_equal(batched, sequential)
+        assert batched.shape == (2, 2)  # [time_s, n_retries] columns
+
+    def test_batched_equals_sharded(self):
+        _, serial = self._sweep(batch=True, jobs=1)
+        _, sharded = self._sweep(batch=True, jobs=2)
+        assert np.array_equal(serial, sharded)
+
+    def test_coverage_counters(self):
+        runner, _ = self._sweep(batch=True)
+        cov = runner.batch_coverage
+        assert cov["batched_cells"] == 6 and cov["fallback_cells"] == 0
+        assert cov["batched_fraction"] == 1.0
+        runner, _ = self._sweep(batch=False)
+        cov = runner.batch_coverage
+        assert cov["batched_cells"] == 0 and cov["fallback_cells"] == 6
+        assert cov["batched_fraction"] == 0.0
