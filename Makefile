@@ -1,6 +1,6 @@
 # Convenience targets for the repro workflow.
 
-.PHONY: install test bench bench-check experiments experiments-quick examples clean
+.PHONY: install test bench bench-check cache-smoke experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,9 @@ bench:
 
 bench-check:
 	PYTHONPATH=src python scripts/bench_regression.py
+
+cache-smoke:
+	PYTHONPATH=src python scripts/cache_smoke.py
 
 experiments:
 	python -m repro.experiments

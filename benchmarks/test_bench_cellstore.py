@@ -1,0 +1,108 @@
+"""Benchmarks for the columnar cell store (ISSUE 6).
+
+Compares loading a 100k-cell cache from the legacy line-per-cell JSON
+format (``cells.jsonl``, parsed by ``iter_jsonl_cells``) against the
+columnar segment store (``CellStore.load``).  Both fixtures replay the
+same write history — the initial render plus one re-render of every
+cell — and each format is measured in the steady state that history
+produces: the jsonl keeps every superseded line forever (the unbounded
+growth bug this store replaces), while the segment store auto-compacts
+on load.  The acceptance bar is >= 5x for load + lookup at >= 100k
+cached cells; the gate lives in ``test_speedup_at_100k`` so a codec
+regression fails ``make bench``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.cellstore import CellStore
+from repro.io import iter_jsonl_cells
+
+N_CELLS = 100_000
+N_GENERATIONS = 2  # initial render + one re-render of every cell
+_SALT = "v=bench0000000000|"
+
+
+def _cell_key(i: int) -> str:
+    return f"{_SALT}fig8|EHPP|n={i}|l=8|seed=0|run={i % 10}"
+
+
+@pytest.fixture(scope="module")
+def cell_values():
+    rng = np.random.default_rng(42)
+    return [
+        rng.standard_normal(N_CELLS).tolist() for _ in range(N_GENERATIONS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def jsonl_path(tmp_path_factory, cell_values):
+    directory = tmp_path_factory.mktemp("legacy")
+    path = directory / "cells.jsonl"
+    with path.open("w", encoding="utf-8") as fh:
+        for generation in cell_values:
+            for i, v in enumerate(generation):
+                fh.write(json.dumps({"key": _cell_key(i), "value": v}) + "\n")
+    return path
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, cell_values):
+    directory = tmp_path_factory.mktemp("columnar")
+    store = CellStore(directory, version_salt=_SALT,
+                      flush_threshold=N_CELLS + 1)
+    for generation in cell_values:
+        for i, v in enumerate(generation):
+            store.append(_cell_key(i), v)
+        store.flush()
+    # first post-history load crosses the garbage threshold (50% of the
+    # entries are superseded) and compacts to one segment — the steady
+    # state every later load sees
+    reader = CellStore(directory, version_salt=_SALT)
+    reader.load()
+    assert reader.stats.compacted
+    return directory
+
+
+def _load_jsonl(path):
+    cells = dict(iter_jsonl_cells(path))  # last line per key wins
+    # lookups: every 97th key, like a warm sweep re-run probing the cache
+    return sum(cells[_cell_key(i)] for i in range(0, N_CELLS, 97))
+
+
+def _load_store(directory):
+    cells = CellStore(directory, version_salt=_SALT).load()
+    return sum(cells[_cell_key(i)] for i in range(0, N_CELLS, 97))
+
+
+def test_legacy_jsonl_load(benchmark, jsonl_path):
+    assert benchmark(lambda: _load_jsonl(jsonl_path)) is not None
+
+
+def test_columnar_load(benchmark, store_dir):
+    assert benchmark(lambda: _load_store(store_dir)) is not None
+
+
+def test_speedup_at_100k(benchmark, jsonl_path, store_dir):
+    """Acceptance gate: columnar load+lookup >= 5x jsonl at 100k cells."""
+    import time
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    # interleave the measurements so transient machine load hits both
+    # sides alike; compare the minima
+    jsonl_ts, store_ts = [], []
+    for _ in range(5):
+        jsonl_ts.append(timed(lambda: _load_jsonl(jsonl_path)))
+        store_ts.append(timed(lambda: _load_store(store_dir)))
+    jsonl_s, store_s = min(jsonl_ts), min(store_ts)
+    # both paths resolve the exact same cells
+    assert _load_jsonl(jsonl_path) == pytest.approx(
+        benchmark(lambda: _load_store(store_dir))
+    )
+    assert jsonl_s / store_s >= 5.0, f"speedup only {jsonl_s / store_s:.1f}x"

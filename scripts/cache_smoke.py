@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Cross-process smoke test of the persistent sweep-cell cache.
+
+Runs the same small sweep in four *separate* Python processes sharing
+one ``--cache-dir``:
+
+1. cold run   — every cell computed (misses only), store written;
+2. warm run   — 100% hits, values bit-identical to the cold run;
+3. edited run — a comment is appended to a metric-path source file
+   (``src/repro/core/hpp.py``), so the code-version fingerprint changes
+   and every cell must MISS (the stale-cache bugfix this store exists
+   for).  The fingerprint is content-based: a bare ``touch`` would not
+   do it;
+4. restored run — the edit is reverted; the original entries are still
+   on disk (the sweep is below the compaction garbage threshold), so
+   the old version's cells hit again.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+Usage: ``python scripts/cache_smoke.py [CACHE_DIR]`` (defaults to a
+temporary directory; PYTHONPATH must include ``src``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+HPP_SOURCE = REPO / "src" / "repro" / "core" / "hpp.py"
+PROBE = "\n# cache-smoke fingerprint probe (auto-removed)\n"
+
+# the child sweep: 2 protocols x 3 populations x 2 runs = 12 cells,
+# planning-only metric, < 64 cells so no compaction drops old versions
+CHILD = """
+import json, sys
+from repro.experiments.runner import SweepRunner, ResultCache
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+
+runner = SweepRunner(cache=ResultCache(sys.argv[1]))
+values = {}
+for proto in (HPP(), TPP()):
+    v = runner.sweep_values(proto, n_values=(50, 80, 120), n_runs=2,
+                            metric="avg_vector_bits")
+    values[type(proto).__name__] = v.tolist()
+runner.cache.flush()
+print(json.dumps({"hits": runner.cache.hits,
+                  "misses": runner.cache.misses,
+                  "values": values}))
+"""
+
+
+def run_child(cache_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD, str(cache_dir)],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"child sweep failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        sys.exit(f"cache smoke FAILED: {message}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        cache_dir = Path(sys.argv[1])
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="cache-smoke-")
+        cache_dir = Path(cleanup.name)
+
+    original = HPP_SOURCE.read_text(encoding="utf-8")
+    try:
+        cold = run_child(cache_dir)
+        expect(cold["misses"] > 0 and cold["hits"] == 0,
+               f"cold run expected all misses, got {cold}")
+        n_cells = cold["misses"]
+
+        warm = run_child(cache_dir)
+        expect(warm["hits"] == n_cells and warm["misses"] == 0,
+               f"warm run expected {n_cells} hits / 0 misses, got {warm}")
+        expect(warm["values"] == cold["values"],
+               "warm values differ from cold values")
+
+        HPP_SOURCE.write_text(original + PROBE, encoding="utf-8")
+        edited = run_child(cache_dir)
+        expect(edited["misses"] == n_cells and edited["hits"] == 0,
+               f"edited-source run expected {n_cells} misses, got {edited}")
+
+        HPP_SOURCE.write_text(original, encoding="utf-8")
+        restored = run_child(cache_dir)
+        expect(restored["hits"] == n_cells and restored["misses"] == 0,
+               f"restored-source run expected {n_cells} hits, "
+               f"got {restored}")
+        expect(restored["values"] == cold["values"],
+               "restored values differ from cold values")
+    finally:
+        HPP_SOURCE.write_text(original, encoding="utf-8")
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    print(f"cache smoke OK: {n_cells} cells; cold miss -> warm hit -> "
+          "edit invalidates -> restore re-hits")
+
+
+if __name__ == "__main__":
+    main()

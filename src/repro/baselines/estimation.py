@@ -72,21 +72,36 @@ def observe_frame(n_tags: int, frame_size: int, rng: np.random.Generator) -> Fra
 
 
 def observe_lottery_frame(
-    n_tags: int, frame_size: int, rng: np.random.Generator
-) -> np.ndarray:
+    n_tags: int,
+    frame_size: int,
+    rng: np.random.Generator,
+    return_overflow: bool = False,
+) -> np.ndarray | tuple[np.ndarray, int]:
     """LoF frame: tag joins slot j with probability 2^-(j+1).
 
     Returns the boolean occupancy vector (True = at least one reply).
+    With ``return_overflow=True``, also returns the number of tags whose
+    geometric draw fell *beyond* the frame.
+
+    A draw past the last slot means the tag replied outside the observed
+    window — the reader hears nothing in-frame.  The old implementation
+    clamped those draws onto slot ``frame_size - 1``, spuriously marking
+    the last slot occupied: whenever that slot was the lowest truly
+    empty one, the estimate doubled (``2^R`` with R pushed one past the
+    truth), biasing :func:`lottery_frame_estimator` high for small
+    frames.  Truncated draws are now counted separately instead, which
+    also lets the estimator recover ``n`` when the whole frame saturates
+    (see :func:`lottery_frame_estimator`).
     """
     if frame_size < 1:
         raise ValueError("frame_size must be positive")
-    # geometric slot selection, truncated to the last slot
+    # geometric slot selection; draws beyond the frame are overflow, not
+    # occupancy (same RNG consumption as the clamped version)
     draws = rng.geometric(p=0.5, size=n_tags) - 1
-    draws = np.minimum(draws, frame_size - 1)
     occupied = np.zeros(frame_size, dtype=bool)
-    occupied[draws] = True
-    if n_tags == 0:
-        occupied[:] = False
+    occupied[draws[draws < frame_size]] = True
+    if return_overflow:
+        return occupied, int(np.count_nonzero(draws >= frame_size))
     return occupied
 
 
@@ -130,12 +145,25 @@ def vogt_estimator(obs: FrameObservation, n_max: int | None = None) -> float:
     return float(best_n)
 
 
-def lottery_frame_estimator(occupied: np.ndarray) -> float:
-    """LoF estimate from the lowest empty slot index R: ``n̂ = 2^R / φ``."""
+def lottery_frame_estimator(occupied: np.ndarray, overflow: int = 0) -> float:
+    """LoF estimate from the lowest empty slot index R: ``n̂ = 2^R / φ``.
+
+    ``overflow`` is the count of draws that fell beyond the frame (see
+    :func:`observe_lottery_frame`).  It matters only when every in-frame
+    slot is occupied: the lowest empty slot is then censored at the
+    frame boundary, and clamping would cap the estimate at
+    ``2^f / φ`` no matter how large ``n`` is.  Each tag overflows a
+    ``f``-slot frame with probability ``2^-f``, so ``overflow · 2^f``
+    is an unbiased moment estimate of ``n`` that de-censors the
+    saturated case.
+    """
     occupied = np.asarray(occupied, dtype=bool)
     empties = np.flatnonzero(~occupied)
-    r = int(empties[0]) if empties.size else int(occupied.size)
-    return (2.0**r) / _PHI
+    if empties.size:
+        return (2.0 ** int(empties[0])) / _PHI
+    if overflow > 0:
+        return float(overflow) * 2.0 ** occupied.size
+    return (2.0 ** occupied.size) / _PHI
 
 
 # ----------------------------------------------------------------------
@@ -161,7 +189,9 @@ def estimate_cardinality(
     if method == "lof":
         f = frame_size if frame_size is not None else 64
         estimates = [
-            lottery_frame_estimator(observe_lottery_frame(n_true, f, rng))
+            lottery_frame_estimator(
+                *observe_lottery_frame(n_true, f, rng, return_overflow=True)
+            )
             for _ in range(n_rounds)
         ]
         # LoF is log-domain: the geometric mean is the right average

@@ -7,6 +7,8 @@ Subcommands:
 - ``missing``  — theft-watch sweep: plant missing tags, detect them.
 - ``estimate`` — cardinality estimation demo (zero / vogt / lof).
 - ``experiments`` — forwards to ``python -m repro.experiments``.
+- ``cache`` — inspect (and optionally compact) a sweep-cell cache
+  directory written by ``experiments --cache-dir``.
 """
 
 from __future__ import annotations
@@ -90,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="batch Monte-Carlo replicas through the "
                             "replica-axis planners (--no-batch disables)")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or compact a sweep-cell cache directory")
+    cache_p.add_argument("directory", metavar="DIR",
+                         help="cache directory (from experiments --cache-dir)")
+    cache_p.add_argument("--compact", action="store_true",
+                         help="rewrite the store to a single segment, "
+                              "dropping stale and superseded entries")
     return parser
 
 
@@ -172,6 +182,37 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.cellstore import CellStore, cache_version
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    store = CellStore(directory, version_salt=f"v={cache_version()}|")
+    live = store.load()
+    if args.compact:
+        store.compact(live)
+    desc = store.describe()
+    print(f"cache directory : {desc['directory']}")
+    print(f"code version    : {cache_version()}")
+    print(f"segments        : {desc['segments']}"
+          + (f" ({desc['corrupt_segments']} corrupt, dropped)"
+             if desc["corrupt_segments"] else ""))
+    print(f"disk entries    : {desc['disk_entries']:,}"
+          f" ({desc['disk_bytes']:,} bytes)")
+    print(f"live entries    : {desc['live_entries']:,}")
+    print(f"stale version   : {desc['stale_entries']:,}")
+    print(f"superseded      : {desc['duplicate_entries']:,}")
+    if desc["migrated_entries"]:
+        print(f"migrated legacy : {desc['migrated_entries']:,}")
+    if desc["compacted"]:
+        print("compacted this run")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compare":
@@ -180,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_missing(args)
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as exp_main
 

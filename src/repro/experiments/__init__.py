@@ -13,7 +13,9 @@ from repro.experiments.ablations import (
     ablate_mic_hash_count,
     ablate_tpp_index_policy,
 )
+from repro.experiments.cellstore import CellStore, cache_version
 from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.costmodel import CostModel
 from repro.experiments.extensions import ext_energy, ext_lossy_channel, ext_multi_reader
 from repro.experiments.figures import fig1, fig3, fig4, fig5, fig8, fig9, fig10
 from repro.experiments.runner import (
@@ -32,11 +34,14 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "CellStore",
+    "CostModel",
     "ExperimentResult",
     "ResultCache",
     "Series",
     "SweepRunner",
     "TableResult",
+    "cache_version",
     "configure_default_runner",
     "get_default_runner",
     "set_default_runner",

@@ -80,8 +80,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-cell sweep result cache")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
-                        help="persist the sweep cache to DIR (JSON lines), "
-                             "so later runs skip already-computed cells")
+                        help="persist the sweep cache to DIR (columnar "
+                             "segment store, keyed on the code version), "
+                             "so later runs skip already-computed cells; "
+                             "inspect/compact it with `repro-rfid cache`")
     parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="plan each cell's Monte-Carlo replicas jointly "
@@ -118,8 +120,8 @@ def main(argv: list[str] | None = None) -> int:
     if runner.cache is not None and (runner.cache.hits or runner.cache.misses):
         print(f"# sweep cache: {runner.cache.hits} hits, "
               f"{runner.cache.misses} misses"
-              + (f" (persisted to {runner.cache.path})"
-                 if runner.cache.path else ""))
+              + (f" (persisted to {runner.cache.directory})"
+                 if runner.cache.directory else ""))
     cov = runner.batch_coverage
     if cov["batched_cells"] or cov["fallback_cells"]:
         print(f"# batch coverage: {cov['batched_cells']} cells batched, "

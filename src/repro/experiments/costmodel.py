@@ -1,0 +1,247 @@
+"""Predicted per-cell sweep cost: a small learned table, updated online.
+
+The sweep runner packs cells into worker shards.  Equal-*count* shards
+are badly balanced on heterogeneous grids: one EHPP cell costs roughly
+an order of magnitude more than an HPP cell at the same ``n``, so a
+chunk of mixed cells straggles on its slowest member while other
+workers idle.  :class:`CostModel` supplies the per-cell weight the
+packing needs:
+
+- **Table.** One predicted cost (arbitrary but mutually consistent
+  units — only ratios matter for packing) per ``(protocol, n-bucket)``,
+  with buckets at powers of two of the population size.
+- **Seeding.** On first use the model reads the committed
+  ``BENCH_engine.json`` aggregates: the ``test_cell_batched[<proto>]``
+  medians measure exactly one sweep column per protocol, which fixes the
+  protocol-to-protocol ratios.  Without a bench file a built-in ratio
+  table (EHPP ~ 10x HPP) applies, and unknown protocols fall back to a
+  cost linear in ``n``.
+- **Online updates.** After every computed shard the runner reports
+  ``(protocol, cells, elapsed)``; the model spreads the elapsed time
+  over the shard's cells proportionally to their current predictions and
+  updates each touched bucket by exponential moving average.  The table
+  therefore converges to the machine it is actually running on, and can
+  be persisted next to the cell cache (``costs.json``) so later
+  processes start warm.
+
+Predictions never affect *values* — cells are pure functions of their
+coordinates — only which worker computes which cell, so a wildly wrong
+cost model costs wall-clock time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["CostModel", "balanced_contiguous_bounds", "greedy_shards"]
+
+_log = logging.getLogger(__name__)
+
+#: fallback protocol weights relative to HPP (per cell, same n); the
+#: bench seeds override these with measured ratios when available
+_DEFAULT_RELATIVE_COST = {
+    "HPP": 1.0,
+    "TPP": 1.8,
+    "EHPP": 10.0,
+    "CPP": 1.2,
+    "CP": 1.2,
+    "eCPP": 1.5,
+    "MIC": 1.5,
+}
+#: bench cases whose medians seed the protocol ratios: one batched
+#: sweep column per protocol (see benchmarks/test_bench_batch.py)
+_BENCH_SEED_CASES = {
+    "HPP": "benchmarks/test_bench_batch.py::test_cell_batched[hpp]",
+    "TPP": "benchmarks/test_bench_batch.py::test_cell_batched[tpp]",
+    "EHPP": "benchmarks/test_bench_batch.py::test_cell_batched[ehpp]",
+}
+#: EMA weight of a fresh observation against the current estimate
+_EMA_ALPHA = 0.5
+
+
+def _bucket(n: int) -> int:
+    """Power-of-two population bucket; bucket 0 holds n <= 1."""
+    return max(int(n), 1).bit_length() - 1
+
+
+class CostModel:
+    """Learned table of per-cell evaluation cost, protocol x n-bucket."""
+
+    def __init__(self, bench_path: str | os.PathLike | None = None) -> None:
+        #: learned per-cell seconds, keyed "<protocol>|b<bucket>"
+        self.table: dict[str, float] = {}
+        #: protocol weight relative to HPP, seeded from the bench file
+        self.relative = dict(_DEFAULT_RELATIVE_COST)
+        self._seed_from_bench(bench_path)
+
+    # -- seeding --------------------------------------------------------
+    def _seed_from_bench(self, bench_path: str | os.PathLike | None) -> None:
+        path = Path(bench_path) if bench_path is not None else (
+            Path(__file__).resolve().parents[3] / "BENCH_engine.json"
+        )
+        try:
+            doc = json.loads(path.read_text())
+            medians = {
+                case["fullname"]: float(case["median"])
+                for case in doc.get("cases", [])
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return  # no bench aggregates: built-in ratios apply
+        base = medians.get(_BENCH_SEED_CASES["HPP"])
+        if not base:
+            return
+        for proto, fullname in _BENCH_SEED_CASES.items():
+            med = medians.get(fullname)
+            if med:
+                self.relative[proto] = med / base
+
+    # -- persistence ----------------------------------------------------
+    def load(self, path: str | os.PathLike) -> None:
+        """Merge a persisted table (missing/corrupt files are ignored)."""
+        try:
+            data = json.loads(Path(path).read_text())
+            table = data["table"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return
+        if isinstance(table, dict):
+            self.table.update({
+                str(k): float(v) for k, v in table.items()
+                if isinstance(v, (int, float)) and v > 0
+            })
+
+    def save(self, path: str | os.PathLike) -> None:
+        try:
+            Path(path).write_text(json.dumps({"table": self.table}))
+        except OSError:  # pragma: no cover - cache dir vanished
+            _log.warning("could not persist cost model to %s", path)
+
+    # -- prediction -----------------------------------------------------
+    def predict(self, protocol: str, n: int) -> float:
+        """Predicted cost of one ``(protocol, n)`` cell (seconds-ish)."""
+        b = _bucket(n)
+        learned = self.table.get(f"{protocol}|b{b}")
+        if learned is not None:
+            return learned
+        # nearest learned bucket for this protocol, scaled linearly in n
+        nearest = None
+        for key, cost in self.table.items():
+            proto, _, bstr = key.rpartition("|b")
+            if proto != protocol:
+                continue
+            ob = int(bstr)
+            if nearest is None or abs(ob - b) < abs(nearest[0] - b):
+                nearest = (ob, cost)
+        if nearest is not None:
+            return nearest[1] * 2.0 ** (b - nearest[0])
+        # cold start: bench-seeded protocol ratio, linear in n
+        return self.relative.get(protocol, 1.0) * max(int(n), 1) * 1e-6
+
+    def predict_cells(
+        self, protocol: str, cells: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        memo: dict[int, float] = {}
+        out = []
+        for n, _ in cells:
+            c = memo.get(n)
+            if c is None:
+                c = memo[n] = self.predict(protocol, n)
+            out.append(c)
+        return out
+
+    # -- online update --------------------------------------------------
+    def observe(
+        self,
+        protocol: str,
+        cells: Sequence[tuple[int, int]],
+        elapsed: float,
+    ) -> None:
+        """Fold one computed shard's wall time back into the table.
+
+        The shard's elapsed seconds are attributed to its cells in
+        proportion to their current predicted costs (a shard usually
+        mixes buckets), then each touched bucket's per-cell estimate
+        moves toward the observation by EMA.
+        """
+        if not cells or elapsed <= 0 or not math.isfinite(elapsed):
+            return
+        preds = self.predict_cells(protocol, cells)
+        total = sum(preds)
+        if total <= 0:
+            return
+        per_bucket: dict[int, tuple[float, int]] = {}
+        for (n, _), pred in zip(cells, preds):
+            b = _bucket(n)
+            share, count = per_bucket.get(b, (0.0, 0))
+            per_bucket[b] = (share + pred / total * elapsed, count + 1)
+        for b, (share, count) in per_bucket.items():
+            key = f"{protocol}|b{b}"
+            obs = share / count
+            old = self.table.get(key)
+            self.table[key] = (
+                obs if old is None
+                else (1 - _EMA_ALPHA) * old + _EMA_ALPHA * obs
+            )
+
+
+# ----------------------------------------------------------------------
+# cost-balanced sharding
+# ----------------------------------------------------------------------
+def balanced_contiguous_bounds(
+    costs: Sequence[float], n_shards: int
+) -> list[int]:
+    """Split ``range(len(costs))`` into contiguous runs of ~equal cost.
+
+    Returns ``n_shards + 1`` boundary indices (first 0, last
+    ``len(costs)``).  Used by the replica-batch pool, whose shards must
+    stay contiguous in cell order; each boundary is placed where the
+    cost prefix sum crosses the next ``total / n_shards`` multiple, and
+    every shard is kept non-empty so no worker is launched idle.
+    """
+    n = len(costs)
+    n_shards = max(1, min(int(n_shards), n))
+    total = float(sum(costs))
+    if total <= 0:  # degenerate: fall back to equal counts
+        return [n * w // n_shards for w in range(n_shards + 1)]
+    bounds = [0]
+    acc = 0.0
+    for i, c in enumerate(costs):
+        acc += c
+        # leave enough cells for the remaining shards to be non-empty
+        while (
+            len(bounds) < n_shards
+            and acc >= total * len(bounds) / n_shards
+            and i + 1 <= n - (n_shards - len(bounds))
+        ):
+            bounds.append(i + 1)
+    while len(bounds) < n_shards:
+        bounds.append(n - (n_shards - len(bounds)))
+    bounds.append(n)
+    return bounds
+
+
+def greedy_shards(
+    costs: Sequence[float], n_shards: int
+) -> list[list[int]]:
+    """LPT assignment: heaviest cell first, onto the lightest shard.
+
+    Returns per-shard index lists (indices into ``costs``); every index
+    appears exactly once.  Used by the per-cell pool, which has no
+    contiguity requirement — results are reassembled by index, so the
+    assignment affects wall-clock only, never values.
+    """
+    n = len(costs)
+    n_shards = max(1, min(int(n_shards), n))
+    loads = [0.0] * n_shards
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    for i in sorted(range(n), key=lambda i: -costs[i]):
+        w = min(range(n_shards), key=loads.__getitem__)
+        shards[w].append(i)
+        loads[w] += costs[i]
+    for shard in shards:
+        shard.sort()  # preserve cell order inside a shard
+    return shards

@@ -18,9 +18,20 @@ those sweeps:
   unpicklable silently falls back to in-process execution.
 - **Caching.** Finished cells are memoised under a structural key
   ``(protocol description, n, run, metric, info bits, link profile,
-  tagset factory, seed)`` — in memory always, and on disk
-  (JSON-lines) when a cache directory is configured — so re-rendering
-  a figure or table skips every already-computed cell.
+  tagset factory, seed)``, salted with the code-version fingerprint of
+  :func:`repro.experiments.cellstore.cache_version` — in memory always,
+  and on disk (the columnar segment store of
+  :mod:`repro.experiments.cellstore`) when a cache directory is
+  configured — so re-rendering a figure or table skips every
+  already-computed cell, and editing any metric-path source file
+  invalidates the affected entries instead of serving stale floats.
+- **Cost-aware scheduling.** Worker shards are packed by *predicted
+  cell cost* (:class:`repro.experiments.costmodel.CostModel`: a learned
+  protocol x n-bucket table, seeded from BENCH_engine.json aggregates
+  and updated online from measured shard times), not by cell count, so
+  one expensive EHPP cell no longer straggles a whole chunk of cheap
+  HPP cells.  Packing never changes values — cells are pure functions
+  of their coordinates.
 
 The engine is metric-agnostic: a metric is either the name of an
 :class:`~repro.core.base.InterrogationPlan` attribute, the string
@@ -41,10 +52,10 @@ TRP, IIP); the latter resolve attribute metrics against the emitted
 from __future__ import annotations
 
 import functools
-import json
 import logging
 import os
 import pickle
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, is_dataclass
@@ -54,6 +65,12 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.base import PollingProtocol
+from repro.experiments.cellstore import CellStore, cache_version
+from repro.experiments.costmodel import (
+    CostModel,
+    balanced_contiguous_bounds,
+    greedy_shards,
+)
 from repro.phy.link import LinkBudget
 from repro.phy.schedule import ScheduleEmitter
 from repro.workloads.tagsets import TagSet, uniform_tagset
@@ -196,14 +213,20 @@ def evaluate_cell(
     return float(getattr(plan, metric))
 
 
-def _evaluate_chunk(args: tuple) -> list[float | list[float]]:
-    """Worker entry point: evaluate a batch of cells, preserving order."""
+def _evaluate_chunk(args: tuple) -> tuple[list[float | list[float]], float]:
+    """Worker entry point: evaluate a batch of cells, preserving order.
+
+    Also returns the shard's wall-clock seconds, which the parent feeds
+    back into the cost model's online update.
+    """
     protocol, cells, seed, metric, info_bits, budget, tagset_factory = args
-    return [
+    t0 = time.perf_counter()
+    values = [
         evaluate_cell(protocol, n, run, seed, metric, info_bits, budget,
                       tagset_factory)
         for n, run in cells
     ]
+    return values, time.perf_counter() - t0
 
 
 # ----------------------------------------------------------------------
@@ -360,15 +383,20 @@ def evaluate_cells_batch(
     return [float(v) for v in batch.per_run_metric(metric).tolist()]
 
 
-def _evaluate_batch_shard(args: tuple) -> bytes:
+def _evaluate_batch_shard(args: tuple) -> tuple[bytes, float]:
     """Worker entry point for the batch path.
 
     Returns the shard's values as raw little-endian float64 bytes —
     ``len(cells) * 8`` bytes instead of a pickled list of Python objects
-    — which the parent reassembles with a zero-copy ``np.frombuffer``.
+    — which the parent reassembles with a zero-copy ``np.frombuffer``,
+    plus the shard's wall-clock seconds for the cost-model update.
     """
+    t0 = time.perf_counter()
     values = evaluate_cells_batch(*args)
-    return np.asarray(values, dtype=np.float64).tobytes()
+    return (
+        np.asarray(values, dtype=np.float64).tobytes(),
+        time.perf_counter() - t0,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -377,50 +405,41 @@ def _evaluate_batch_shard(args: tuple) -> bytes:
 class ResultCache:
     """Memoises per-cell metric values, optionally persisted to disk.
 
+    Every key is salted with the **code-version fingerprint**
+    (:func:`repro.experiments.cellstore.cache_version`, overridable via
+    ``version`` for tests): entries written by a different version of
+    the metric-path source can never be served, which fixes the v1
+    cache's silent-staleness bug.
+
     The in-memory map always participates; when ``directory`` is given,
-    entries are appended to ``cells.jsonl`` inside it and reloaded on
-    construction, so a re-render in a fresh process skips every cell it
-    has seen before.  Only the parent process writes — workers return
-    values and the runner stores them — so no cross-process locking is
-    needed.
+    entries persist in the columnar segment store of
+    :class:`repro.experiments.cellstore.CellStore` (a legacy
+    ``cells.jsonl`` found there is migrated on first load).  Writes are
+    buffered and sealed into append-only segments — the runner flushes
+    after every sweep — and loading compacts away duplicate and
+    stale-version garbage once it crosses a threshold.  Only the parent
+    process writes — workers return values and the runner stores them —
+    so no cross-process locking is needed.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        version: str | None = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else None
+        self.version = version if version is not None else cache_version()
+        self._salt = f"v={self.version}|"
         self._memory: dict[str, float | list[float]] = {}
-        self._needs_newline = False
         self.hits = 0
         self.misses = 0
+        self.store: CellStore | None = None
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            self._load_disk()
-
-    @property
-    def path(self) -> Path | None:
-        if self.directory is None:
-            return None
-        return self.directory / "cells.jsonl"
-
-    def _load_disk(self) -> None:
-        if self.path is None or not self.path.exists():
-            return
-        raw = self.path.read_bytes()
-        # a crash mid-append leaves a torn final line with no newline;
-        # remember to terminate it before the next append, or the torn
-        # tail would fuse with (and destroy) the next entry
-        self._needs_newline = bool(raw) and not raw.endswith(b"\n")
-        for line in raw.decode("utf-8", errors="replace").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-                self._memory[entry["key"]] = entry["value"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                continue  # a torn write never poisons the cache
+            self.store = CellStore(self.directory, version_salt=self._salt)
+            self._memory = self.store.load()
 
     def get(self, key: str) -> float | list[float] | None:
-        value = self._memory.get(key)
+        value = self._memory.get(self._salt + key)
         if value is None:
             self.misses += 1
         else:
@@ -428,13 +447,15 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: float | list[float]) -> None:
+        key = self._salt + key
         self._memory[key] = value
-        if self.path is not None:
-            with self.path.open("a") as fh:
-                if self._needs_newline:
-                    fh.write("\n")
-                    self._needs_newline = False
-                fh.write(json.dumps({"key": key, "value": value}) + "\n")
+        if self.store is not None:
+            self.store.append(key, value)
+
+    def flush(self) -> None:
+        """Seal buffered disk writes as a segment (no-op in memory)."""
+        if self.store is not None:
+            self.store.flush()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -455,6 +476,11 @@ class SweepRunner:
             replica-batched DES executor — when the protocol supports
             them (bit-identical values, much less Python overhead);
             ``False`` forces the sequential per-cell path everywhere.
+        cost_model: predicted per-cell cost table used to pack worker
+            shards by cost instead of count (see
+            :mod:`repro.experiments.costmodel`); persisted as
+            ``costs.json`` next to a disk cache and updated online from
+            measured shard times.
         batched_cells / fallback_cells / cached_cells: running coverage
             counters over every sweep this runner has executed (see
             :attr:`batch_coverage`).
@@ -463,9 +489,18 @@ class SweepRunner:
     jobs: int = 1
     cache: ResultCache | None = field(default_factory=ResultCache)
     batch: bool = True
+    cost_model: CostModel = field(default_factory=CostModel, repr=False)
     batched_cells: int = field(default=0, init=False)
     fallback_cells: int = field(default=0, init=False)
     cached_cells: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.cache is not None and self.cache.directory is not None:
+            self.cost_model.load(self.cache.directory / "costs.json")
+
+    @staticmethod
+    def _protocol_label(protocol: PollingProtocol | ScheduleEmitter) -> str:
+        return getattr(protocol, "name", type(protocol).__name__)
 
     @property
     def batch_coverage(self) -> dict[str, int | float]:
@@ -523,6 +558,7 @@ class SweepRunner:
                 protocol, cells, seed, metric, info_bits, budget,
                 tagset_factory,
             )
+        label = self._protocol_label(protocol)
         payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
         use_pool = self.jobs > 1 and len(cells) > 1
         if use_pool:
@@ -531,20 +567,30 @@ class SweepRunner:
             except Exception:
                 use_pool = False
         if not use_pool:
-            return _evaluate_chunk((protocol, list(cells), seed, metric,
-                                    info_bits, budget, tagset_factory))
+            values, elapsed = _evaluate_chunk(
+                (protocol, list(cells), seed, metric, info_bits, budget,
+                 tagset_factory)
+            )
+            self.cost_model.observe(label, cells, elapsed)
+            return values
         n_workers = min(self.jobs, len(cells))
-        # round-robin sharding balances small and large n across workers
-        shards = [list(cells[w::n_workers]) for w in range(n_workers)]
-        args = [(protocol, shard, seed, metric, info_bits, budget,
-                 tagset_factory) for shard in shards]
+        # pack shards by predicted cost (LPT), not by count, so a few
+        # expensive cells don't straggle one worker while others idle
+        costs = self.cost_model.predict_cells(label, cells)
+        shard_idx = greedy_shards(costs, n_workers)
+        args = [
+            (protocol, [cells[i] for i in shard], seed, metric, info_bits,
+             budget, tagset_factory)
+            for shard in shard_idx
+        ]
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            shard_values = list(pool.map(_evaluate_chunk, args))
-        # reassemble by original cell index (inverse of the round-robin)
+            shard_results = list(pool.map(_evaluate_chunk, args))
+        # reassemble by original cell index (inverse of the packing)
         values: list[Any] = [None] * len(cells)
-        for w, chunk in enumerate(shard_values):
-            for j, value in enumerate(chunk):
-                values[w + j * n_workers] = value
+        for shard, (chunk, elapsed) in zip(shard_idx, shard_results):
+            for i, value in zip(shard, chunk):
+                values[i] = value
+            self.cost_model.observe(label, [cells[i] for i in shard], elapsed)
         return values
 
     def _compute_batch(
@@ -559,12 +605,14 @@ class SweepRunner:
     ) -> list[float] | list[list[float]]:
         """Replica-axis evaluation: every cell is one replica of a batch.
 
-        The pool splits the *replica* axis into contiguous chunks — each
+        The pool splits the *replica* axis into contiguous chunks whose
+        boundaries balance *predicted cost*, not cell count — each
         worker plans and costs its replicas as one joint batch, and ships
         the length-``len(chunk)`` result vector back as raw float64
         bytes instead of pickled objects.  Results are bit-identical to
         the sequential path for any ``jobs``.
         """
+        label = self._protocol_label(protocol)
         payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
         use_pool = self.jobs > 1 and len(cells) > 1
         if use_pool:
@@ -573,20 +621,30 @@ class SweepRunner:
             except Exception:
                 use_pool = False
         if not use_pool:
-            return evaluate_cells_batch(
+            t0 = time.perf_counter()
+            values = evaluate_cells_batch(
                 protocol, list(cells), seed, metric, info_bits, budget,
                 tagset_factory,
             )
+            self.cost_model.observe(label, cells, time.perf_counter() - t0)
+            return values
         n_workers = min(self.jobs, len(cells))
-        bounds = [len(cells) * w // n_workers for w in range(n_workers + 1)]
+        costs = self.cost_model.predict_cells(label, cells)
+        bounds = balanced_contiguous_bounds(costs, n_workers)
         args = [
             (protocol, list(cells[bounds[w]:bounds[w + 1]]), seed, metric,
              info_bits, budget, tagset_factory)
-            for w in range(n_workers)
+            for w in range(len(bounds) - 1)
         ]
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            chunks = list(pool.map(_evaluate_batch_shard, args))
-        flat = np.frombuffer(b"".join(chunks), dtype=np.float64)
+            shard_results = list(pool.map(_evaluate_batch_shard, args))
+        for w, (_, elapsed) in enumerate(shard_results):
+            self.cost_model.observe(
+                label, cells[bounds[w]:bounds[w + 1]], elapsed
+            )
+        flat = np.frombuffer(
+            b"".join(blob for blob, _ in shard_results), dtype=np.float64
+        )
         if isinstance(metric, DESMetric):  # multi-component rows
             return flat.reshape(len(cells), -1).tolist()
         return flat.tolist()
@@ -631,6 +689,12 @@ class SweepRunner:
             values[i] = value
             if self.cache is not None:
                 self.cache.put(keys[i], value)
+        if self.cache is not None and missing:
+            # seal this sweep's cells as a segment: a crash later costs
+            # at most the next sweep's in-flight cells
+            self.cache.flush()
+            if self.cache.directory is not None:
+                self.cost_model.save(self.cache.directory / "costs.json")
         batched = bool(missing) and self.batch and _supports_batch(protocol, metric)
         self.batched_cells += len(missing) if batched else 0
         self.fallback_cells += 0 if batched else len(missing)

@@ -27,6 +27,7 @@ from repro.phy.schedule import WireSchedule, compile_plan
 
 __all__ = [
     "SCHEDULE_FORMAT",
+    "iter_jsonl_cells",
     "plan_to_dict",
     "plan_from_dict",
     "save_plan",
@@ -57,6 +58,36 @@ def _jsonable(value: Any) -> Any:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+# ----------------------------------------------------------------------
+# legacy sweep-cache cells (JSON lines)
+# ----------------------------------------------------------------------
+def iter_jsonl_cells(path: str | Path):
+    """Yield ``(key, value)`` pairs from a legacy ``cells.jsonl`` file.
+
+    The v1 sweep cache appended one ``{"key": ..., "value": ...}`` JSON
+    object per line.  Reading is tolerant by construction: blank lines,
+    torn final lines (a crash mid-append), and corrupt records are
+    skipped rather than poisoning the rest of the file.  Later
+    occurrences of a key supersede earlier ones (append order is write
+    order), which callers obtain for free by inserting into a dict.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    raw = path.read_bytes()
+    for line in raw.decode("utf-8", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            key, value = entry["key"], entry["value"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            continue
+        if isinstance(key, str) and isinstance(value, (int, float, list)):
+            yield key, value
 
 
 # ----------------------------------------------------------------------

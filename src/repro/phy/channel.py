@@ -14,10 +14,15 @@ uplink frame reaches the reader as garbage and must be re-collected.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 
 import numpy as np
 
 __all__ = ["Channel", "IdealChannel", "BitErrorChannel"]
+
+#: distinct frame lengths a schedule produces is tiny (a handful of
+#: command/reply widths), so a small per-channel memo covers everything
+_LOSS_MEMO_MAX = 256
 
 
 class Channel(ABC):
@@ -48,19 +53,36 @@ class IdealChannel(Channel):
 
 
 class BitErrorChannel(Channel):
-    """Independent bit errors at rate ``ber`` per transmitted bit."""
+    """Independent bit errors at rate ``ber`` per transmitted bit.
+
+    ``deliver`` runs once per simulated frame, so the loss probability
+    ``1 - (1 - ber)**bits`` is memoised per distinct ``bits`` (a tiny
+    LRU): the DES pays one float ``pow`` per frame *length*, not per
+    frame.  The memo is a pure cache of a deterministic formula —
+    counters are bit-identical with or without it.
+    """
 
     def __init__(self, ber: float):
         if not 0.0 <= ber < 1.0:
             raise ValueError(f"ber must be in [0, 1), got {ber}")
         self.ber = ber
+        self._loss_memo: OrderedDict[int, float] = OrderedDict()
 
     def frame_loss_probability(self, bits: int) -> float:
         if bits < 0:
             raise ValueError("bits must be non-negative")
         if bits == 0:
             return 0.0
-        return 1.0 - (1.0 - self.ber) ** bits
+        memo = self._loss_memo
+        p = memo.get(bits)
+        if p is None:
+            p = 1.0 - (1.0 - self.ber) ** bits
+            if len(memo) >= _LOSS_MEMO_MAX:
+                memo.popitem(last=False)
+            memo[bits] = p
+        else:
+            memo.move_to_end(bits)
+        return p
 
     def deliver(self, bits: int, rng: np.random.Generator) -> bool:
         return rng.random() >= self.frame_loss_probability(bits)

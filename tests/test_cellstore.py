@@ -1,0 +1,169 @@
+"""Unit tests for the columnar cell store and the code fingerprint.
+
+The runner-level behavior (cache hits, invalidation, crash recovery
+through ``ResultCache``) lives in ``tests/test_runner.py``; this module
+exercises the store layer directly: segment encode/decode, framing
+damage, flush batching, compaction accounting, and the version
+fingerprint's sensitivity to content (not mtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cellstore
+from repro.experiments.cellstore import (
+    CellStore,
+    _decode_segment,
+    _encode_segment,
+    cache_version,
+)
+
+
+class TestSegmentCodec:
+    def test_round_trip_scalars_and_vectors(self):
+        entries = [
+            ("k-scalar", 1.5),
+            ("k-vector", [0.25, -3.0, 1e300]),
+            ("k-one-element-list", [7.0]),
+            ("k-unicode-µs", 0.0),
+            ("", 42.0),
+        ]
+        assert _decode_segment(_encode_segment(entries)) == entries
+
+    def test_one_element_list_stays_a_list(self):
+        (_, vec), (_, scalar) = _decode_segment(
+            _encode_segment([("a", [7.0]), ("b", 7.0)])
+        )
+        assert vec == [7.0] and isinstance(vec, list)
+        assert scalar == 7.0 and isinstance(scalar, float)
+
+    def test_empty_segment(self):
+        assert _decode_segment(_encode_segment([])) == []
+
+    def test_values_bit_exact(self):
+        values = np.random.default_rng(0).standard_normal(64).tolist()
+        [(_, out)] = _decode_segment(_encode_segment([("k", values)]))
+        assert np.asarray(out).tobytes() == np.asarray(values).tobytes()
+
+    @pytest.mark.parametrize("damage", ["truncate", "magic", "flip", "tail"])
+    def test_framing_damage_raises(self, damage):
+        raw = bytearray(_encode_segment([("key", 1.0), ("other", [2.0])]))
+        if damage == "truncate":
+            raw = raw[:-7]
+        elif damage == "magic":
+            raw[0] ^= 0xFF
+        elif damage == "flip":
+            raw[len(raw) // 2] ^= 0x01
+        elif damage == "tail":
+            raw[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            _decode_segment(bytes(raw))
+
+
+class TestCellStore:
+    def test_flush_threshold_seals_segments(self, tmp_path):
+        store = CellStore(tmp_path, flush_threshold=3)
+        for i in range(7):
+            store.append(f"k{i}", float(i))
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 2  # 2 auto-seals
+        store.flush()
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 3
+        store.flush()  # empty buffer: no new segment
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 3
+        assert CellStore(tmp_path).load() == {
+            f"k{i}": float(i) for i in range(7)
+        }
+
+    def test_last_write_wins_across_segments(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.append("k", 1.0)
+        store.flush()
+        store.append("k", 2.0)
+        store.flush()
+        assert CellStore(tmp_path).load() == {"k": 2.0}
+
+    def test_garbage_below_threshold_is_kept(self, tmp_path):
+        store = CellStore(tmp_path, compact_min_garbage=64)
+        for v in (1.0, 2.0):
+            store.append("k", v)
+            store.flush()
+        fresh = CellStore(tmp_path, compact_min_garbage=64)
+        fresh.load()
+        assert not fresh.stats.compacted
+        assert fresh.stats.duplicate_entries == 1
+
+    def test_forced_compaction_consolidates(self, tmp_path):
+        store = CellStore(tmp_path)
+        for i in range(5):
+            store.append(f"k{i}", float(i))
+            store.flush()
+        live = CellStore(tmp_path).load()
+        reader = CellStore(tmp_path)
+        reader.load()
+        reader.compact(live)
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 1
+        assert CellStore(tmp_path).load() == live
+
+    def test_stale_version_counts_as_garbage_and_compacts(self, tmp_path):
+        old = CellStore(tmp_path, version_salt="v=old|",
+                        compact_min_garbage=4)
+        for i in range(8):
+            old.append(f"v=old|k{i}", float(i))
+        old.flush()
+        new = CellStore(tmp_path, version_salt="v=new|",
+                        compact_min_garbage=4)
+        assert new.load() == {}  # nothing servable under the new version
+        assert new.stats.compacted  # 8/8 garbage > 25%
+        # the stale entries are physically gone after compaction
+        assert CellStore(tmp_path, version_salt="v=old|").load() == {}
+
+    def test_describe_reports_counts(self, tmp_path):
+        store = CellStore(tmp_path, version_salt="v=x|",
+                          compact_min_garbage=1000)
+        store.append("v=x|a", 1.0)
+        store.append("v=x|a", 2.0)
+        store.append("v=y|b", 3.0)
+        store.flush()
+        fresh = CellStore(tmp_path, version_salt="v=x|",
+                          compact_min_garbage=1000)
+        fresh.load()
+        desc = fresh.describe()
+        assert desc["disk_entries"] == 3
+        assert desc["live_entries"] == 1
+        assert desc["stale_entries"] == 1
+        assert desc["duplicate_entries"] == 1
+        assert desc["segments"] == 1
+        assert desc["disk_bytes"] > 0
+
+
+class TestCacheVersion:
+    def test_stable_within_a_process(self):
+        assert cache_version() == cache_version()
+
+    def test_tracks_content_not_mtime(self, tmp_path, monkeypatch):
+        src = tmp_path / "metric.py"
+        src.write_text("X = 1\n")
+        monkeypatch.setattr(cellstore, "_metric_path_files",
+                            lambda: [src])
+        monkeypatch.setattr(cellstore, "_version_memo", None)
+        v1 = cache_version()
+        monkeypatch.setattr(cellstore, "_version_memo", None)
+        assert cache_version() == v1  # same content, same fingerprint
+
+        src.touch()  # mtime-only change
+        monkeypatch.setattr(cellstore, "_version_memo", None)
+        assert cache_version() == v1
+
+        src.write_text("X = 2\n")  # a real edit
+        monkeypatch.setattr(cellstore, "_version_memo", None)
+        assert cache_version() != v1
+
+    def test_metric_path_covers_the_value_producing_layers(self):
+        names = {str(p) for p in cellstore._metric_path_files()}
+        for fragment in ("core/hpp.py", "phy/link.py", "sim/batch.py",
+                         "baselines/estimation.py", "workloads/tagsets.py",
+                         "experiments/runner.py"):
+            assert any(n.endswith(fragment) for n in names), fragment
+        # presentation layers must NOT invalidate caches
+        assert not any(n.endswith("experiments/figures.py") for n in names)
+        assert not any(n.endswith("cli.py") for n in names)

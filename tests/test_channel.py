@@ -52,3 +52,60 @@ class TestBitErrorChannel:
     def test_negative_bits_rejected(self):
         with pytest.raises(ValueError):
             BitErrorChannel(0.1).frame_loss_probability(-5)
+
+
+class _UnmemoizedBitErrorChannel(BitErrorChannel):
+    """Reference channel computing the loss probability from scratch."""
+
+    def frame_loss_probability(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0.0
+        return 1.0 - (1.0 - self.ber) ** bits
+
+
+class TestLossMemo:
+    def test_memo_matches_formula(self):
+        ch = BitErrorChannel(0.003)
+        ref = _UnmemoizedBitErrorChannel(0.003)
+        for bits in (1, 7, 96, 96, 1024, 7, 1):  # repeats hit the memo
+            assert ch.frame_loss_probability(bits) == ref.frame_loss_probability(bits)
+        assert len(ch._loss_memo) == 4
+
+    def test_memo_is_bounded(self):
+        from repro.phy.channel import _LOSS_MEMO_MAX
+
+        ch = BitErrorChannel(0.01)
+        for bits in range(1, 2 * _LOSS_MEMO_MAX):
+            ch.frame_loss_probability(bits)
+        assert len(ch._loss_memo) == _LOSS_MEMO_MAX
+
+    def test_channel_survives_pickling(self):
+        # channels ride into worker processes with the sweep pool
+        import pickle
+
+        ch = BitErrorChannel(0.01)
+        ch.frame_loss_probability(96)
+        clone = pickle.loads(pickle.dumps(ch))
+        assert clone.frame_loss_probability(96) == ch.frame_loss_probability(96)
+
+    def test_lossy_des_counters_bit_identical(self):
+        """The memo is transparent: full DES runs match an unmemoized ref."""
+        from repro.core.hpp import HPP
+        from repro.sim.executor import simulate
+        from repro.workloads.tagsets import uniform_tagset
+
+        tags = uniform_tagset(200, np.random.default_rng(3))
+        kwargs = dict(info_bits=16, seed=7, keep_trace=False)
+        memo = simulate(HPP(), tags, channel=BitErrorChannel(1e-3), **kwargs)
+        ref = simulate(
+            HPP(), tags, channel=_UnmemoizedBitErrorChannel(1e-3), **kwargs
+        )
+        assert memo.time_us == ref.time_us
+        assert memo.reader_bits == ref.reader_bits
+        assert memo.tag_bits == ref.tag_bits
+        assert memo.n_retries == ref.n_retries
+        assert memo.polled_order == ref.polled_order
+        assert memo.missing == ref.missing
+        assert memo.n_retries > 0  # the channel actually dropped frames

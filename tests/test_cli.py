@@ -71,3 +71,44 @@ class TestExperimentsForwarding:
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["experiments", "fig999"])
+
+
+class TestCacheSubcommand:
+    def test_inspect_reports_counts(self, tmp_path, capsys):
+        from repro.experiments.cellstore import CellStore, cache_version
+
+        salt = f"v={cache_version()}|"
+        store = CellStore(tmp_path, version_salt=salt)
+        store.append(f"{salt}a", 1.0)
+        store.append(f"{salt}a", 2.0)  # superseded
+        store.append("v=old|b", 3.0)   # stale version
+        store.flush()
+        rc = main(["cache", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "disk entries    : 3" in out
+        assert "live entries    : 1" in out
+        assert "stale version   : 1" in out
+        assert "superseded      : 1" in out
+
+    def test_compact_flag_shrinks_store(self, tmp_path, capsys):
+        from repro.experiments.cellstore import CellStore, cache_version
+
+        salt = f"v={cache_version()}|"
+        store = CellStore(tmp_path, version_salt=salt, flush_threshold=1)
+        for i in range(6):
+            store.append(f"{salt}k", float(i))
+        store.flush()
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 6
+        rc = main(["cache", str(tmp_path), "--compact"])
+        assert rc == 0
+        assert "compacted this run" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("cells-*.seg"))) == 1
+        assert CellStore(tmp_path, version_salt=salt).load() == {
+            f"{salt}k": 5.0
+        }
+
+    def test_missing_directory_errors(self, tmp_path, capsys):
+        rc = main(["cache", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err

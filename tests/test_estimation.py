@@ -80,6 +80,41 @@ class TestLoF:
         est = lottery_frame_estimator(occ)
         assert est > 0
 
+    def test_truncated_draws_do_not_clamp_onto_last_slot(self):
+        """Draws past the frame are overflow, not last-slot occupancy."""
+
+        class _FixedDraws:
+            def geometric(self, p, size):
+                # slots after the -1 shift: 0, 2, 9, 30 (frame_size=8)
+                return np.array([1, 3, 10, 31])
+
+        occ, overflow = observe_lottery_frame(
+            4, 8, _FixedDraws(), return_overflow=True
+        )
+        assert occ.tolist() == [True, False, True, False,
+                                False, False, False, False]
+        assert not occ[-1]  # the clamp bug marked this slot
+        assert overflow == 2
+
+    def test_small_frame_bias_n10k_f8(self):
+        """n=10k into an f=8 frame: every slot saturates.
+
+        The old clamp-and-fallback path censored the estimate at
+        2^8/phi ~ 331 regardless of n; the overflow-count moment
+        estimator must recover the true order of magnitude.
+        """
+        rng = np.random.default_rng(21)
+        est = estimate_cardinality(
+            10_000, rng, method="lof", n_rounds=32, frame_size=8
+        )
+        assert 5_000 < est < 20_000
+
+    def test_overflow_de_censors_saturated_frame(self):
+        occ = np.ones(8, dtype=bool)
+        assert lottery_frame_estimator(occ, overflow=39) == 39 * 256.0
+        # no overflow info: the old conservative fallback survives
+        assert lottery_frame_estimator(occ) == pytest.approx(256.0 / 0.77351)
+
 
 class TestEstimateCardinality:
     @pytest.mark.parametrize("method", ["zero", "vogt"])
