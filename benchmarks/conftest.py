@@ -10,6 +10,14 @@ sanity-check their output shape, so ``pytest benchmarks/
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_bench: minute-scale baseline benchmark, excluded from "
+        "`make bench` (run with `make bench-full`)",
+    )
+
+
 @pytest.fixture
 def bench_ns() -> tuple[int, ...]:
     """Population sizes used by the sweep benchmarks."""

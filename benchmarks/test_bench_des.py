@@ -9,7 +9,10 @@ while the array backend resolves each poll from per-round lookups
 
 The machines backend at n = 10_000 takes tens of seconds per run, so
 those cases use ``pedantic`` with a single round; benchmark precision
-matters less than having the baseline on record.
+matters less than having the baseline on record.  They carry the
+``slow_bench`` marker: ``make bench`` excludes them (merging the
+committed aggregates forward instead) and ``make bench-full`` re-times
+everything.
 """
 
 import numpy as np
@@ -36,7 +39,11 @@ def _run(proto_name, tags, backend):
 
 
 @pytest.mark.parametrize("proto", list(PROTOCOLS), ids=str)
-@pytest.mark.parametrize("n", [1_000, 10_000], ids=lambda n: f"n{n}")
+@pytest.mark.parametrize("n", [
+    pytest.param(1_000, id="n1000"),
+    # ~30-60 s each: opt-in via `make bench-full` (or -m slow_bench)
+    pytest.param(10_000, marks=pytest.mark.slow_bench, id="n10000"),
+])
 def test_des_machines_backend(benchmark, tagsets, proto, n):
     if n >= 10_000:  # ~30 s per run: one round keeps `make bench` sane
         if benchmark.disabled:  # CI smoke runs skip the slow baseline

@@ -1,0 +1,132 @@
+"""Hot-path kernel benchmarks and the numba speedup gate.
+
+Two kinds of test live here, mirroring ``test_bench_batch.py``:
+
+* ``test_numba_ehpp_cell_gate`` — the compiled backend has to *earn*
+  its dispatch slot: the EHPP batched sweep cell (joint planning +
+  batched costing, the workload the kernel layer was built for) must
+  run ≥3x faster under ``REPRO_KERNELS=numba`` than under the numpy
+  oracle, with bit-identical wire times.  Measured with
+  ``perf_counter`` so it also gates under ``--benchmark-disable``;
+  skipped when numba is not installed (the CI numba matrix leg runs
+  it).
+* ``test_kernel_*`` — informational pytest-benchmark timings of each
+  registered kernel on its profiling workload under the *active*
+  backend, so ``BENCH_engine.json`` records per-kernel numbers for
+  whichever backend the bench host resolves.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.kernels import (
+    active_backend,
+    get_kernel,
+    numba_available,
+    use_backend,
+)
+from repro.experiments.runner import cell_seed_children
+from repro.kernels.profile import _workloads
+from repro.phy.link import LinkBudget
+from repro.workloads.tagsets import uniform_tagset
+
+# same cell geometry as test_bench_batch.py (a quarter of the paper's
+# n=10k, R=100 sweep cell)
+N = 10_000
+R_BENCH = 25
+BITS = 1
+SEED = 0
+BUDGET = LinkBudget()
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (fast extra)"
+)
+
+
+@pytest.fixture(scope="module")
+def cell_tags():
+    """The quarter-cell tag populations, seeded like the runner."""
+    tags = []
+    for run in range(R_BENCH):
+        tag_child, _ = cell_seed_children(SEED, N, run)
+        tags.append(uniform_tagset(N, np.random.default_rng(tag_child)))
+    return tags
+
+
+def _plan_rngs(runs=R_BENCH):
+    """Fresh plan-seed generators (planning consumes them)."""
+    return [
+        np.random.default_rng(cell_seed_children(SEED, N, run)[1])
+        for run in range(runs)
+    ]
+
+
+def _best_of(fn, reps=5):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _ehpp_cell(tags):
+    batch = EHPP().plan_schedule_batch(tags, _plan_rngs(R_BENCH),
+                                       reply_bits=BITS)
+    return BUDGET.schedule_batch_us(batch)
+
+
+@requires_numba
+def test_numba_ehpp_cell_gate(cell_tags):
+    """The tentpole acceptance gate: the EHPP batched sweep cell is
+    ≥3x faster under the numba backend (n=10k, R=25, best of 5), and
+    the wire times are bit-identical — the compiled round draw and
+    circle join must replace the numpy oracle without changing a single
+    planned schedule.
+    """
+    tags = cell_tags[:R_BENCH]
+    with use_backend("numpy"):
+        numpy_t, numpy_times = _best_of(lambda: _ehpp_cell(tags))
+    with use_backend("numba"):
+        _ehpp_cell(tags)  # warm-up: JIT compilation, untimed
+        numba_t, numba_times = _best_of(lambda: _ehpp_cell(tags))
+
+    assert np.array_equal(np.asarray(numpy_times), np.asarray(numba_times)), (
+        "numba backend diverged from the numpy oracle on the EHPP cell"
+    )
+    speedup = numpy_t / numba_t
+    assert speedup >= 3.0, (
+        f"numba EHPP cell gate: {speedup:.1f}x < 3x "
+        f"(numpy {numpy_t * 1e3:.1f} ms, numba {numba_t * 1e3:.1f} ms)"
+    )
+
+
+#: per-kernel informational benches on the profiler's representative
+#: workloads (one joint round of an n=10k, R=32 cell)
+_ARGS = _workloads(scale=1.0)
+
+KERNELS = [
+    pytest.param(name, id=f"{name}")
+    for name in sorted(_ARGS)
+]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel(benchmark, kernel):
+    """Informational: one kernel call under the active backend.
+
+    The backend is whatever the bench host resolves (recorded in
+    ``machine_info.kernel_backend`` by ``scripts/slim_bench.py``), so
+    committed baselines are only comparable backend-to-backend —
+    ``scripts/bench_regression.py`` skips cross-backend comparisons.
+    """
+    impl = get_kernel(kernel)
+    args = _ARGS[kernel]
+    impl(*args)  # warm-up (JIT compile under numba)
+    out = benchmark(lambda: impl(*args))
+    assert out is not None
+    assert active_backend() in ("numpy", "numba")

@@ -10,6 +10,13 @@ Cases whose node id no longer collects (renamed or removed benchmarks)
 are reported and skipped rather than failed — the baseline refresh
 happens via ``make bench``, not here.
 
+The baseline also records which kernel backend produced it
+(``machine_info.kernel_backend``, written by ``scripts/slim_bench.py``;
+missing in old baselines means the numpy oracle).  When the current
+environment resolves a *different* backend the whole gate is skipped
+with a loud note instead of comparing numpy timings against numba
+ones — that ratio measures the JIT, not a regression.
+
 The 3x threshold is deliberately loose: shared CI runners are easily
 2x off the baseline machine.  The gate exists to catch order-of-
 magnitude accidents (a vectorized path silently falling back to the
@@ -31,6 +38,13 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+
+def _current_backend() -> str:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.kernels import active_backend
+
+    return active_backend()
 
 
 def _collected_ids() -> set[str]:
@@ -56,6 +70,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {args.baseline} is not a slim-bench/1 file; "
               f"regenerate it with `make bench`", file=sys.stderr)
         return 2
+
+    base_backend = baseline.get("machine_info", {}).get(
+        "kernel_backend", "numpy")
+    cur_backend = _current_backend()
+    if base_backend != cur_backend:
+        print(f"SKIPPED: baseline was benched under the {base_backend!r} "
+              f"kernel backend but this environment resolves "
+              f"{cur_backend!r} — cross-backend medians measure the JIT, "
+              f"not a regression.  Re-bench under {base_backend!r} "
+              f"(REPRO_KERNELS={base_backend}) or refresh the baseline "
+              f"with `make bench`.")
+        return 0
 
     window = {
         case["fullname"]: case["median"]

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Profile the hot-path kernels across every available backend.
+
+Thin wrapper around :mod:`repro.kernels.profile` so the profiler runs
+from a checkout without installing the package::
+
+    python scripts/profile_kernels.py [--repeats N] [--scale F] [--no-bench]
+
+Prints the backend resolution (``REPRO_KERNELS``, numba availability),
+the kernel registry, and a best-of-N timing table with per-kernel
+speedups of each backend over the numpy oracle.  Also reachable as
+``repro-rfid kernels`` once installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernels.profile import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,11 +31,35 @@ _MACHINE = ("node", "machine", "system", "release", "python_version",
             "python_implementation")
 
 
+def _kernel_backend_info() -> dict:
+    """The kernel backend the bench host resolves, for ``machine_info``.
+
+    Timings taken under the numpy oracle and the numba JIT backend are
+    not comparable, so the committed baseline records which backend
+    produced it (``scripts/bench_regression.py`` refuses cross-backend
+    comparisons).  Import failure degrades to an empty dict: slimming a
+    bench file must work even without the package on the path.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    try:
+        from repro.kernels import active_backend, numba_version
+    except Exception:
+        return {}
+    out = {"kernel_backend": active_backend()}
+    nv = numba_version()
+    if nv is not None:
+        out["numba"] = nv
+    return out
+
+
 def _slim_machine(machine_info: dict) -> dict:
     out = {k: machine_info[k] for k in _MACHINE if k in machine_info}
     brand = (machine_info.get("cpu") or {}).get("brand_raw")
     if brand:
         out["cpu"] = brand
+    out.update(_kernel_backend_info())
     return out
 
 

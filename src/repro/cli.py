@@ -9,6 +9,9 @@ Subcommands:
 - ``experiments`` — forwards to ``python -m repro.experiments``.
 - ``cache`` — inspect (and optionally compact) a sweep-cell cache
   directory written by ``experiments --cache-dir``.
+- ``kernels`` — show the hot-path kernel backend dispatch (numpy
+  oracle vs numba JIT, selected via ``REPRO_KERNELS``) and run a quick
+  per-kernel micro-benchmark.
 """
 
 from __future__ import annotations
@@ -100,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("--compact", action="store_true",
                          help="rewrite the store to a single segment, "
                               "dropping stale and superseded entries")
+
+    kern_p = sub.add_parser(
+        "kernels",
+        help="show the kernel backend dispatch and micro-bench it")
+    kern_p.add_argument("--repeats", type=int, default=5, metavar="N",
+                        help="timed repetitions per backend (best-of)")
+    kern_p.add_argument("--scale", type=float, default=1.0, metavar="F",
+                        help="workload scale factor (0.1 = quick smoke)")
+    kern_p.add_argument("--no-bench", action="store_true",
+                        help="print backend resolution and the registry "
+                             "only, skip the micro-benchmark")
     return parser
 
 
@@ -213,6 +227,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.profile import print_report
+
+    print_report(repeats=args.repeats, scale=args.scale,
+                 bench=not args.no_bench)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compare":
@@ -223,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_estimate(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "kernels":
+        return _cmd_kernels(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as exp_main
 

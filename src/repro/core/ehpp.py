@@ -28,7 +28,8 @@ from repro.core.base import InterrogationPlan, PollingProtocol, RoundPlan
 from repro.core.hpp import MAX_ROUNDS, batch_population, hpp_rounds
 from repro.core.planner import CoveringPolicy, IndexLengthPolicy
 from repro.core.rounds import SeedStream, draw_rounds_batch_flat, fresh_seed
-from repro.hashing.universal import hash_mod, hash_mod_ragged
+from repro.hashing.universal import hash_mod
+from repro.kernels import get_kernel
 from repro.phy.commands import DEFAULT_COMMAND_SIZES, CommandSizes
 from repro.phy.schedule import ScheduleBatch, build_schedule_batch
 from repro.workloads.tagsets import TagSet
@@ -236,24 +237,21 @@ class EHPP(PollingProtocol):
                     if len(circle_idx) == 1
                     else np.concatenate([remaining[i] for i in circle_idx])
                 )
-                sel_flat = hash_mod_ragged(
-                    id_words[flat_rem], seeds, big_f, counts
-                )
                 # join iff H(r, ID) mod F <= f ; (f+1)/F ≈ n*/n_rem —
                 # np.rint rounds half to even exactly like Python round()
                 fs = np.maximum(
                     np.rint((big_f * n_star) / counts).astype(np.int64) - 1,
                     0,
                 )
-                jmask = sel_flat <= np.repeat(fs, counts)
-                joined_flat = flat_rem[jmask]
-                kept_flat = flat_rem[~jmask]
+                # fused circle-selection hash + threshold partition
+                # (numpy oracle or JIT, bit-identical; see repro.kernels)
+                joined_flat, kept_flat, jb_arr = get_kernel("circle_join")(
+                    id_words, flat_rem, counts,
+                    np.asarray(seeds, dtype=np.uint64), big_f, fs,
+                )
                 cb = np.concatenate(([0], np.cumsum(counts)))
-                jb = np.concatenate(
-                    ([0], np.cumsum(jmask, dtype=np.int64))
-                )[cb]
-                kb = (cb - jb).tolist()
-                jb = jb.tolist()
+                kb = (cb - jb_arr).tolist()
+                jb = jb_arr.tolist()
                 for k, i in enumerate(circle_idx):
                     sinks[i].append((circle_bits, 0, empty64))
                     n_circles[i] += 1

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hashing.universal import hash_indices, hash_indices_ragged
+from repro.kernels import get_kernel
 
 __all__ = [
     "RoundDraw",
@@ -115,18 +115,21 @@ def draw_round(
         empty = np.empty(0, dtype=np.int64)
         return RoundDraw(h=h, seed=seed, singleton_indices=empty,
                          singleton_tags=empty, remaining_tags=empty)
-    idx = hash_indices(id_words[active], seed, h)
-    counts = np.bincount(idx, minlength=1 << h)
-    is_singleton = counts[idx] == 1
-    singleton_tags = active[is_singleton]
-    singleton_idx = idx[is_singleton]
-    order = np.argsort(singleton_idx, kind="stable")
+    # the single-segment fused draw: distinct singleton indices come out
+    # of the count space already ascending, exactly the order the
+    # stable argsort of distinct values used to produce
+    _, _, sorted_singletons, sorted_tags, _, remaining = \
+        draw_rounds_batch_flat(
+            np.asarray(id_words, dtype=np.uint64), active,
+            np.array([active.size], dtype=np.int64), [seed],
+            np.array([h], dtype=np.int64),
+        )
     return RoundDraw(
         h=h,
         seed=seed,
-        singleton_indices=singleton_idx[order],
-        singleton_tags=singleton_tags[order],
-        remaining_tags=active[~is_singleton],
+        singleton_indices=sorted_singletons,
+        singleton_tags=sorted_tags,
+        remaining_tags=remaining,
     )
 
 
@@ -206,28 +209,20 @@ def draw_rounds_batch_flat(
     its still-active tags ``remaining_flat[rem_bounds[r]:rem_bounds[r+1]]``
     — all bit-identical to per-replica :func:`draw_round` calls.
     """
-    sizes = np.int64(1) << np.asarray(hs, dtype=np.int64)
+    hs = np.asarray(hs, dtype=np.int64)
+    sizes = np.int64(1) << hs
     bases = np.concatenate(([0], np.cumsum(sizes)))
     if flat_active.size == 0:
         zeros = np.zeros(len(seeds) + 1, dtype=np.int64)
         empty = np.empty(0, dtype=np.int64)
         return bases, zeros, empty, empty, zeros, empty
-    idx = hash_indices_ragged(id_words[flat_active], seeds, hs, counts)
-    shifted = idx
-    shifted += np.repeat(bases[:-1], counts)  # idx is a private temporary
-    space = int(bases[-1])
-    index_count = np.bincount(shifted, minlength=space)
-    is_singleton = index_count[shifted] == 1
-    # distinct singleton indices come out of the count array already
-    # sorted — no argsort; a scatter/gather recovers the aligned tags
-    sorted_singletons = np.flatnonzero(index_count == 1)
-    tag_of_index = np.empty(space, dtype=np.int64)
-    tag_of_index[shifted[is_singleton]] = flat_active[is_singleton]
-    sorted_tags = tag_of_index[sorted_singletons]
-
-    sing_bounds = np.searchsorted(sorted_singletons, bases)
-    remaining_flat = flat_active[~is_singleton]
-    rem_counts = counts - np.diff(sing_bounds)
-    rem_bounds = np.concatenate(([0], np.cumsum(rem_counts)))
+    # the fused hash + offset-bincount + singleton-sift kernel (numpy
+    # oracle or JIT, selected via REPRO_KERNELS — bit-identical either
+    # way; see repro.kernels)
+    sing_bounds, sorted_singletons, sorted_tags, rem_bounds, \
+        remaining_flat = get_kernel("round_draw")(
+            id_words, flat_active, counts,
+            np.asarray(seeds, dtype=np.uint64), hs, bases,
+        )
     return (bases, sing_bounds, sorted_singletons, sorted_tags, rem_bounds,
             remaining_flat)

@@ -127,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"# batch coverage: {cov['batched_cells']} cells batched, "
               f"{cov['fallback_cells']} per-cell, {cov['cached_cells']} "
               f"cache-served ({cov['batched_fraction']:.0%} of computed "
-              f"cells batched)")
+              f"cells batched, {cov['kernel_backend']} kernels)")
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 

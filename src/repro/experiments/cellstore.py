@@ -91,7 +91,7 @@ _LAYOUT_NL_KEYS = 0x0001
 #: million cached cells.
 _METRIC_PATH_DIRS = (
     "core", "phy", "sim", "hashing", "workloads", "baselines",
-    "analysis", "apps",
+    "analysis", "apps", "kernels",
 )
 #: individual modules on the metric path: the runner defines the seed
 #: derivation every cell value depends on.

@@ -484,6 +484,12 @@ class SweepRunner:
         batched_cells / fallback_cells / cached_cells: running coverage
             counters over every sweep this runner has executed (see
             :attr:`batch_coverage`).
+
+    The active kernel backend (:func:`repro.kernels.active_backend`) is
+    reported in :attr:`batch_coverage` and the per-sweep log line for
+    observability only — kernel backends are bit-identical by contract,
+    so it never enters a cell cache key (a numpy-written cache re-hits
+    under numba and vice versa).
     """
 
     jobs: int = 1
@@ -503,11 +509,20 @@ class SweepRunner:
         return getattr(protocol, "name", type(protocol).__name__)
 
     @property
-    def batch_coverage(self) -> dict[str, int | float]:
+    def kernel_backend(self) -> str:
+        """The hot-path kernel backend cells are computed with (numpy
+        oracle or numba JIT; see :mod:`repro.kernels`)."""
+        from repro.kernels import active_backend
+
+        return active_backend()
+
+    @property
+    def batch_coverage(self) -> dict[str, int | float | str]:
         """Replica-batch routing stats across every sweep so far:
         computed cells that took the batched path, computed cells that
         fell back to sequential per-cell evaluation, cache-served cells,
-        and the batched fraction of the computed cells."""
+        the batched fraction of the computed cells, and the kernel
+        backend the computed cells ran on."""
         computed = self.batched_cells + self.fallback_cells
         return {
             "batched_cells": self.batched_cells,
@@ -515,6 +530,7 @@ class SweepRunner:
             "cached_cells": self.cached_cells,
             "batched_fraction":
                 self.batched_cells / computed if computed else 0.0,
+            "kernel_backend": self.kernel_backend,
         }
 
     # ------------------------------------------------------------------
@@ -700,10 +716,11 @@ class SweepRunner:
         self.fallback_cells += 0 if batched else len(missing)
         self.cached_cells += len(grid) - len(missing)
         _log.info(
-            "sweep %s metric=%s: %d cells (%d cached, %d %s)",
+            "sweep %s metric=%s: %d cells (%d cached, %d %s, kernels=%s)",
             getattr(protocol, "name", type(protocol).__name__),
             describe(metric), len(grid), len(grid) - len(missing),
             len(missing), "batched" if batched else "per-cell",
+            self.kernel_backend,
         )
         table = np.asarray(
             [np.atleast_1d(np.asarray(v, dtype=float)) for v in values]

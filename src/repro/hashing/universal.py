@@ -10,11 +10,20 @@ with full avalanche) applied to ``id ⊕ f(r)``.
 All entry points operate on numpy ``uint64`` arrays and never allocate
 per-tag Python objects; uniformity is verified by chi-square tests in
 ``tests/test_hashing.py``.
+
+The array-sized work (the elementwise hash and every ragged batch
+variant) dispatches through :mod:`repro.kernels`: the numpy oracle
+implementations live in :mod:`repro.kernels.numpy_kernels` and a
+Numba-JIT backend can replace them bit-identically via
+``REPRO_KERNELS`` — this module keeps the public API, the argument
+normalisation, and the validation.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.kernels import get_kernel
 
 __all__ = [
     "splitmix64",
@@ -94,7 +103,7 @@ def hash_u64(id_words: np.ndarray, seed: int) -> np.ndarray:
     """
     words = np.asarray(id_words, dtype=np.uint64)
     mixed_seed = np.uint64(splitmix64(seed & _MASK64))
-    return splitmix64(words ^ mixed_seed)
+    return get_kernel("hash_u64")(words, mixed_seed)
 
 
 def hash_u64_ragged(
@@ -119,8 +128,7 @@ def hash_u64_ragged(
     seeds_u64 = np.asarray(seeds, dtype=np.uint64)
     counts = np.asarray(counts, dtype=np.int64)
     words = np.asarray(id_words, dtype=np.uint64)
-    mixed = splitmix64(seeds_u64)
-    return splitmix64(words ^ np.repeat(mixed, counts))
+    return get_kernel("hash_u64_ragged")(words, seeds_u64, counts)
 
 
 def hash_indices(id_words: np.ndarray, seed: int, h: int) -> np.ndarray:
@@ -159,9 +167,9 @@ def hash_indices_ragged(
     if hs.size and (int(hs.min()) < 0 or int(hs.max()) > 63):
         raise ValueError("index lengths h must be in [0, 63]")
     counts = np.asarray(counts, dtype=np.int64)
-    masks = ((np.int64(1) << hs) - 1).astype(np.uint64)
-    hashed = hash_u64_ragged(id_words, seeds, counts)
-    return (hashed & np.repeat(masks, counts)).view(np.int64)
+    seeds_u64 = np.asarray(seeds, dtype=np.uint64)
+    words = np.asarray(id_words, dtype=np.uint64)
+    return get_kernel("hash_indices_ragged")(words, seeds_u64, hs, counts)
 
 
 def _as_int64(values: np.ndarray, modulus: int) -> np.ndarray:
@@ -211,5 +219,7 @@ def hash_mod_ragged(
     """
     if modulus <= 0:
         raise ValueError(f"modulus must be positive, got {modulus}")
-    residues = _residues(hash_u64_ragged(id_words, seeds, counts), modulus)
-    return _as_int64(residues, modulus)
+    seeds_u64 = np.asarray(seeds, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    words = np.asarray(id_words, dtype=np.uint64)
+    return get_kernel("hash_mod_ragged")(words, seeds_u64, modulus, counts)

@@ -1,0 +1,205 @@
+"""Backend-dispatch registry for the hot-path kernels.
+
+The vectorization campaign put every layer on columnar numpy paths, and
+the bench now shows numpy itself as the ceiling: the fused ragged round
+draw, EHPP's circle join, and the DES span commit dominate batched
+planning and execution.  This package keeps the numpy implementations
+as the **bit-exactness oracle** and lets a Numba-JIT backend replace
+them behind one interface:
+
+- :func:`register` — backends register one callable per
+  ``(kernel name, backend name)``.  The numpy implementations live in
+  :mod:`repro.kernels.numpy_kernels`, the ``@njit`` ones in
+  :mod:`repro.kernels.numba_kernels` (imported only when selected, so
+  numba is never a hard dependency — it ships as the ``fast`` extra:
+  ``pip install .[fast]``).
+- :func:`get_kernel` — hot call sites fetch the active backend's
+  implementation; kernels without an implementation for the active
+  backend silently fall back to the numpy oracle.
+- ``REPRO_KERNELS=auto|numpy|numba`` selects the backend.  ``auto``
+  (the default) uses numba when it is importable and numpy otherwise;
+  ``numba`` fails loudly when numba is missing rather than silently
+  degrading a benchmark.
+
+Every backend must be **bit-identical** to the numpy oracle (uint64
+hashes, int64 indices, float64 DES clocks fold in the same order), so
+swapping backends can never change a planned schedule, a DES counter,
+or a sweep-cache key — ``tests/test_kernels.py`` pins that parity and
+``cache_version()`` stays backend-agnostic by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from importlib import import_module
+from importlib.util import find_spec
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "register",
+    "get_kernel",
+    "registered_kernels",
+    "available_backends",
+    "active_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+    "numba_available",
+    "numba_version",
+    "KernelBackendError",
+]
+
+#: backend load order; "numpy" is the oracle every kernel must provide
+BACKENDS = ("numpy", "numba")
+
+#: module that implements each backend's kernels
+_BACKEND_MODULES = {
+    "numpy": "repro.kernels.numpy_kernels",
+    "numba": "repro.kernels.numba_kernels",
+}
+
+#: kernel name -> backend name -> implementation
+_registry: dict[str, dict[str, Callable[..., Any]]] = {}
+#: resolved kernel name -> implementation for the active backend
+_table: dict[str, Callable[..., Any]] | None = None
+#: memoised env-var resolution (None = not resolved yet)
+_active: str | None = None
+#: programmatic override (tests, profiling); wins over the env var
+_override: str | None = None
+_loaded: set[str] = set()
+
+
+class KernelBackendError(RuntimeError):
+    """An explicitly requested kernel backend cannot be used."""
+
+
+def numba_available() -> bool:
+    """Is numba importable (without importing it)?"""
+    return find_spec("numba") is not None
+
+
+def numba_version() -> str | None:
+    """The installed numba version, or ``None`` when not installed."""
+    if not numba_available():
+        return None
+    import numba  # noqa: PLC0415 - deliberate lazy import
+
+    return getattr(numba, "__version__", "unknown")
+
+
+def register(name: str, backend: str) -> Callable[[Callable], Callable]:
+    """Class the decorated callable as kernel ``name`` on ``backend``."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {backend!r}")
+
+    def decorator(fn: Callable) -> Callable:
+        _registry.setdefault(name, {})[backend] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_backend(choice: str | None = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``choice=None`` reads ``REPRO_KERNELS`` (default ``auto``).  ``auto``
+    picks numba when importable, else numpy; an explicit ``numba``
+    raises :class:`KernelBackendError` when numba is missing.
+    """
+    if choice is None:
+        choice = os.environ.get("REPRO_KERNELS", "auto")
+    choice = choice.strip().lower() or "auto"
+    if choice == "auto":
+        return "numba" if numba_available() else "numpy"
+    if choice not in BACKENDS:
+        raise KernelBackendError(
+            f"REPRO_KERNELS={choice!r}: expected auto, numpy or numba"
+        )
+    if choice == "numba" and not numba_available():
+        raise KernelBackendError(
+            "REPRO_KERNELS=numba but numba is not installed "
+            "(pip install repro[fast] or unset REPRO_KERNELS)"
+        )
+    return choice
+
+
+def active_backend() -> str:
+    """The backend kernels dispatch to right now."""
+    global _active
+    if _override is not None:
+        return _override
+    if _active is None:
+        _active = resolve_backend()
+    return _active
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this environment (numpy always; numba if
+    importable)."""
+    return BACKENDS if numba_available() else ("numpy",)
+
+
+def set_backend(name: str | None) -> None:
+    """Override the env-var backend selection (``None`` removes the
+    override and re-reads ``REPRO_KERNELS`` on the next dispatch)."""
+    global _override, _active, _table
+    _override = None if name is None else resolve_backend(name)
+    _active = None
+    _table = None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily dispatch to ``name`` (tests and profiling)."""
+    global _override, _active, _table
+    previous = _override
+    set_backend(name)
+    try:
+        yield active_backend()
+    finally:
+        _override = previous
+        _active = None
+        _table = None
+
+
+def _load_backend(backend: str) -> None:
+    """Import a backend module so its kernels register (idempotent)."""
+    if backend in _loaded:
+        return
+    import_module(_BACKEND_MODULES[backend])
+    _loaded.add(backend)
+
+
+def _build_table() -> dict[str, Callable[..., Any]]:
+    backend = active_backend()
+    _load_backend("numpy")
+    if backend != "numpy":
+        _load_backend(backend)
+    table = {}
+    for name, impls in _registry.items():
+        # kernels are allowed to lack a compiled implementation; the
+        # numpy oracle is the mandatory fallback
+        table[name] = impls.get(backend, impls["numpy"])
+    return table
+
+
+def get_kernel(name: str) -> Callable[..., Any]:
+    """The active backend's implementation of kernel ``name``."""
+    global _table
+    table = _table
+    if table is None:
+        table = _table = _build_table()
+    return table[name]
+
+
+def registered_kernels() -> dict[str, tuple[str, ...]]:
+    """Kernel name -> backends that implement it (loads every available
+    backend so the listing is complete)."""
+    _load_backend("numpy")
+    if numba_available():
+        _load_backend("numba")
+    return {
+        name: tuple(b for b in BACKENDS if b in impls)
+        for name, impls in sorted(_registry.items())
+    }

@@ -1,0 +1,319 @@
+"""Numba-JIT implementations of the hot-path kernels.
+
+Imported only when the resolved backend is ``numba`` (see
+:mod:`repro.kernels`); the import fails fast when numba is missing, so
+this module must never be imported unconditionally.
+
+Every kernel here is pinned **bit-identical** to the numpy oracle in
+:mod:`repro.kernels.numpy_kernels`:
+
+- integer work is fixed-width uint64/int64 with the same wrap-around
+  arithmetic (every splitmix64 constant below is a ``np.uint64`` so no
+  operand ever promotes);
+- float work folds strictly left-to-right, reproducing ``np.cumsum``'s
+  sequential accumulation (no fastmath, no reassociation);
+- outputs carry the same dtypes as the oracle (uint64 hashes, int64
+  indices and bounds, float64 clocks).
+
+What the JIT buys over numpy is *fusion*: the ragged round draw runs
+gather + seed mix + word mix + mask + offset bincount in one pass with
+zero intermediate temporaries, and the singleton sift reads the count
+array once instead of four full-array passes.  The functions registered
+with the dispatcher are thin Python wrappers so argument normalisation
+(and the ``pattern is None`` split) stays out of compiled code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import register
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+_U1 = np.uint64(1)
+
+
+@njit(cache=True, inline="always")
+def _mix(z):
+    """splitmix64 finaliser on one uint64 (wraps mod 2^64)."""
+    z = z + _GOLDEN
+    z ^= z >> _S30
+    z *= _MIX1
+    z ^= z >> _S27
+    z *= _MIX2
+    z ^= z >> _S31
+    return z
+
+
+# ----------------------------------------------------------------------
+# elementwise and ragged hashing
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _hash_u64(words, mixed_seed, out):
+    for i in range(words.shape[0]):
+        out[i] = _mix(words[i] ^ mixed_seed)
+
+
+@register("hash_u64", "numba")
+def hash_u64(words: np.ndarray, mixed_seed: np.uint64) -> np.ndarray:
+    out = np.empty(words.shape[0], dtype=np.uint64)
+    _hash_u64(words, mixed_seed, out)
+    return out
+
+
+@njit(cache=True)
+def _hash_u64_ragged(words, seeds, counts, out):
+    pos = 0
+    for r in range(seeds.shape[0]):
+        mseed = _mix(seeds[r])
+        for _ in range(counts[r]):
+            out[pos] = _mix(words[pos] ^ mseed)
+            pos += 1
+
+
+@register("hash_u64_ragged", "numba")
+def hash_u64_ragged(
+    words: np.ndarray, seeds: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    out = np.empty(words.shape[0], dtype=np.uint64)
+    _hash_u64_ragged(words, seeds, counts, out)
+    return out
+
+
+@njit(cache=True)
+def _hash_indices_ragged(words, seeds, hs, counts, out):
+    pos = 0
+    for r in range(seeds.shape[0]):
+        mseed = _mix(seeds[r])
+        mask = (_U1 << np.uint64(hs[r])) - _U1
+        for _ in range(counts[r]):
+            out[pos] = np.int64(_mix(words[pos] ^ mseed) & mask)
+            pos += 1
+
+
+@register("hash_indices_ragged", "numba")
+def hash_indices_ragged(
+    words: np.ndarray, seeds: np.ndarray, hs: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    out = np.empty(words.shape[0], dtype=np.int64)
+    _hash_indices_ragged(words, seeds, hs, counts, out)
+    return out
+
+
+@njit(cache=True)
+def _hash_mod_ragged(words, seeds, modulus, pow2, mask, counts, out):
+    pos = 0
+    for r in range(seeds.shape[0]):
+        mseed = _mix(seeds[r])
+        if pow2:
+            for _ in range(counts[r]):
+                out[pos] = np.int64(_mix(words[pos] ^ mseed) & mask)
+                pos += 1
+        else:
+            for _ in range(counts[r]):
+                out[pos] = np.int64(_mix(words[pos] ^ mseed) % modulus)
+                pos += 1
+
+
+@register("hash_mod_ragged", "numba")
+def hash_mod_ragged(
+    words: np.ndarray, seeds: np.ndarray, modulus: int, counts: np.ndarray
+) -> np.ndarray:
+    out = np.empty(words.shape[0], dtype=np.int64)
+    pow2 = modulus & (modulus - 1) == 0
+    mask = np.uint64(modulus - 1) if pow2 else np.uint64(0)
+    _hash_mod_ragged(
+        words, seeds, np.uint64(modulus), pow2, mask, counts, out
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# the fused ragged round draw
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _round_draw(id_words, flat_active, counts, seeds, hs, bases):
+    n_rep = counts.shape[0]
+    total = flat_active.shape[0]
+    space = bases[n_rep]
+    shifted = np.empty(total, dtype=np.int64)
+    index_count = np.zeros(space, dtype=np.int64)
+    pos = 0
+    for r in range(n_rep):
+        mseed = _mix(seeds[r])
+        mask = (_U1 << np.uint64(hs[r])) - _U1
+        base = bases[r]
+        for _ in range(counts[r]):
+            v = np.int64(
+                _mix(id_words[flat_active[pos]] ^ mseed) & mask
+            ) + base
+            shifted[pos] = v
+            index_count[v] += 1
+            pos += 1
+
+    # owners of singleton indices (scatter; collision owners irrelevant)
+    owner = np.empty(space, dtype=np.int64)
+    n_sing = 0
+    for i in range(total):
+        v = shifted[i]
+        if index_count[v] == 1:
+            owner[v] = flat_active[i]
+            n_sing += 1
+
+    # ascending scan of the count space: distinct singleton indices come
+    # out already sorted, and the replica bounds fall out of the bases
+    sorted_singletons = np.empty(n_sing, dtype=np.int64)
+    sorted_tags = np.empty(n_sing, dtype=np.int64)
+    sing_bounds = np.empty(n_rep + 1, dtype=np.int64)
+    k = 0
+    r_ptr = 0
+    for v in range(space):
+        while r_ptr <= n_rep and bases[r_ptr] == v:
+            sing_bounds[r_ptr] = k
+            r_ptr += 1
+        if index_count[v] == 1:
+            sorted_singletons[k] = v
+            sorted_tags[k] = owner[v]
+            k += 1
+    while r_ptr <= n_rep:  # trailing bases at the end of the space
+        sing_bounds[r_ptr] = k
+        r_ptr += 1
+
+    remaining_flat = np.empty(total - n_sing, dtype=np.int64)
+    m = 0
+    for i in range(total):
+        if index_count[shifted[i]] != 1:
+            remaining_flat[m] = flat_active[i]
+            m += 1
+    rem_bounds = np.empty(n_rep + 1, dtype=np.int64)
+    rem_bounds[0] = 0
+    for r in range(n_rep):
+        seg_sing = sing_bounds[r + 1] - sing_bounds[r]
+        rem_bounds[r + 1] = rem_bounds[r] + counts[r] - seg_sing
+    return sing_bounds, sorted_singletons, sorted_tags, rem_bounds, \
+        remaining_flat
+
+
+@register("round_draw", "numba")
+def round_draw(
+    id_words: np.ndarray,
+    flat_active: np.ndarray,
+    counts: np.ndarray,
+    seeds: np.ndarray,
+    hs: np.ndarray,
+    bases: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    return _round_draw(id_words, flat_active, counts, seeds, hs, bases)
+
+
+# ----------------------------------------------------------------------
+# EHPP circle join
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _circle_join(id_words, flat_rem, counts, seeds, modulus, pow2, mask, fs):
+    n_rep = counts.shape[0]
+    total = flat_rem.shape[0]
+    joined = np.empty(total, dtype=np.int64)
+    kept = np.empty(total, dtype=np.int64)
+    join_bounds = np.empty(n_rep + 1, dtype=np.int64)
+    join_bounds[0] = 0
+    nj = 0
+    nk = 0
+    pos = 0
+    for r in range(n_rep):
+        mseed = _mix(seeds[r])
+        f = fs[r]
+        for _ in range(counts[r]):
+            w = _mix(id_words[flat_rem[pos]] ^ mseed)
+            sel = np.int64(w & mask) if pow2 else np.int64(w % modulus)
+            if sel <= f:
+                joined[nj] = flat_rem[pos]
+                nj += 1
+            else:
+                kept[nk] = flat_rem[pos]
+                nk += 1
+            pos += 1
+        join_bounds[r + 1] = nj
+    return joined[:nj], kept[:nk], join_bounds
+
+
+@register("circle_join", "numba")
+def circle_join(
+    id_words: np.ndarray,
+    flat_rem: np.ndarray,
+    counts: np.ndarray,
+    seeds: np.ndarray,
+    modulus: int,
+    fs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    pow2 = modulus & (modulus - 1) == 0
+    mask = np.uint64(modulus - 1) if pow2 else np.uint64(0)
+    return _circle_join(
+        id_words, flat_rem, counts, seeds, np.uint64(modulus), pow2, mask, fs
+    )
+
+
+# ----------------------------------------------------------------------
+# DES span commit
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _poll_commit_clean(now_us, down, bit_us, t1_us, reply_us, t2_us):
+    acc = now_us
+    bits = np.int64(0)
+    for j in range(down.shape[0]):
+        # same left-to-right fold as the oracle's cumsum over the
+        # interleaved delta array (the TAG_READ zero-advance adds
+        # +0.0 to a non-negative clock: bit-identical, skipped)
+        acc = acc + down[j] * bit_us
+        acc = acc + t1_us
+        acc = acc + reply_us
+        acc = acc + t2_us
+        bits += down[j]
+    return acc, bits
+
+
+@njit(cache=True)
+def _poll_commit_mixed(now_us, down, bit_us, t1_us, reply_us, t2_us,
+                       miss_us, pattern):
+    acc = now_us
+    bits = np.int64(0)
+    n_read = 0
+    for j in range(down.shape[0]):
+        acc = acc + down[j] * bit_us
+        if pattern[j]:
+            acc = acc + t1_us
+            acc = acc + reply_us
+            acc = acc + t2_us
+            n_read += 1
+        else:
+            acc = acc + miss_us
+        bits += down[j]
+    return acc, n_read, bits
+
+
+@register("poll_commit", "numba")
+def poll_commit(
+    now_us: float,
+    down: np.ndarray,
+    reader_bit_us: float,
+    t1_us: float,
+    reply_us: float,
+    t2_us: float,
+    miss_us: float,
+    pattern: np.ndarray | None,
+) -> tuple[float, int, int]:
+    if pattern is None:
+        acc, bits = _poll_commit_clean(
+            now_us, down, reader_bit_us, t1_us, reply_us, t2_us
+        )
+        return float(acc), int(down.size), int(bits)
+    acc, n_read, bits = _poll_commit_mixed(
+        now_us, down, reader_bit_us, t1_us, reply_us, t2_us, miss_us, pattern
+    )
+    return float(acc), int(n_read), int(bits)

@@ -1,0 +1,227 @@
+"""Numpy implementations of the hot-path kernels — the bit-exactness
+oracle.
+
+These are the bodies the pre-kernel code ran inline in
+``hashing/universal.py``, ``core/rounds.py``, ``core/ehpp.py`` and
+``sim/batch.py``, moved behind the registry unchanged: every other
+backend is tested bit-identical against *these* functions, so edits
+here are edits to the contract (and invalidate the sweep cache via
+``cache_version()``, which fingerprints this package).
+
+Input conventions (normalised by the dispatching call sites, trusted
+here): identity words are ``uint64``, tag indices / counts / index
+lengths are ``int64``, seeds arrive pre-converted as a ``uint64`` array,
+and ``counts.sum()`` equals the flat payload length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import register
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_SHIFT30 = np.uint64(30)
+_SHIFT27 = np.uint64(27)
+_SHIFT31 = np.uint64(31)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Elementwise splitmix64 over a *private* uint64 temporary.
+
+    First op copies (callers keep their array); the rest mutate the
+    copy in place — same wrap-around arithmetic, half the temporaries.
+    """
+    z = x + _GOLDEN
+    z ^= z >> _SHIFT30
+    z *= _MIX1
+    z ^= z >> _SHIFT27
+    z *= _MIX2
+    z ^= z >> _SHIFT31
+    return z
+
+
+def _residues(hashed: np.ndarray, modulus: int) -> np.ndarray:
+    """``hashed % modulus`` with a mask fast path for powers of two.
+
+    ``hashed`` is the hash's own fresh temporary, so the mask is applied
+    in place.
+    """
+    if modulus & (modulus - 1) == 0:
+        hashed &= np.uint64(modulus - 1)
+        return hashed
+    return hashed % np.uint64(modulus)
+
+
+def _as_int64(values: np.ndarray, modulus: int) -> np.ndarray:
+    """Residues -> int64: a free reinterpretation when they fit int63."""
+    if modulus <= (1 << 63):
+        return values.view(np.int64)
+    return values.astype(np.int64)  # pragma: no cover - 2^63 < modulus
+
+
+# ----------------------------------------------------------------------
+# elementwise and ragged hashing
+# ----------------------------------------------------------------------
+@register("hash_u64", "numpy")
+def hash_u64(words: np.ndarray, mixed_seed: np.uint64) -> np.ndarray:
+    """Full 64-bit hash of each identity word under a pre-mixed seed."""
+    return _splitmix64(words ^ mixed_seed)
+
+
+@register("hash_u64_ragged", "numpy")
+def hash_u64_ragged(
+    words: np.ndarray, seeds: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Hash a flattened ragged batch: segment ``i`` is ``counts[i]``
+    consecutive words hashed under ``seeds[i]``."""
+    mixed = _splitmix64(seeds)
+    return _splitmix64(words ^ np.repeat(mixed, counts))
+
+
+@register("hash_indices_ragged", "numpy")
+def hash_indices_ragged(
+    words: np.ndarray, seeds: np.ndarray, hs: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Ragged ``H(r, id) mod 2**h`` with per-segment ``h`` (int64 out)."""
+    masks = ((np.int64(1) << hs) - 1).astype(np.uint64)
+    hashed = hash_u64_ragged(words, seeds, counts)
+    hashed &= np.repeat(masks, counts)
+    return hashed.view(np.int64)
+
+
+@register("hash_mod_ragged", "numpy")
+def hash_mod_ragged(
+    words: np.ndarray, seeds: np.ndarray, modulus: int, counts: np.ndarray
+) -> np.ndarray:
+    """Ragged ``H(r, id) mod modulus`` (one shared modulus, int64 out)."""
+    residues = _residues(hash_u64_ragged(words, seeds, counts), modulus)
+    return _as_int64(residues, modulus)
+
+
+# ----------------------------------------------------------------------
+# the fused ragged round draw (hash + offset bincount + singleton sift)
+# ----------------------------------------------------------------------
+@register("round_draw", "numpy")
+def round_draw(
+    id_words: np.ndarray,
+    flat_active: np.ndarray,
+    counts: np.ndarray,
+    seeds: np.ndarray,
+    hs: np.ndarray,
+    bases: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Joint singleton/collision classification over R ragged segments.
+
+    Segment ``r``'s indices are shifted into the disjoint range
+    ``[bases[r], bases[r+1])`` so one ``bincount`` partitions the whole
+    count space; distinct singleton indices come out of the count array
+    already sorted — no argsort — and a scatter/gather recovers the
+    aligned tags.  Returns ``(sing_bounds, sorted_singletons,
+    sorted_tags, rem_bounds, remaining_flat)``; ``flat_active`` is
+    non-empty (the caller short-circuits the empty batch).
+    """
+    idx = hash_indices_ragged(id_words[flat_active], seeds, hs, counts)
+    shifted = idx
+    shifted += np.repeat(bases[:-1], counts)  # idx is a private temporary
+    space = int(bases[-1])
+    index_count = np.bincount(shifted, minlength=space)
+    is_singleton = index_count[shifted] == 1
+    sorted_singletons = np.flatnonzero(index_count == 1)
+    tag_of_index = np.empty(space, dtype=np.int64)
+    tag_of_index[shifted[is_singleton]] = flat_active[is_singleton]
+    sorted_tags = tag_of_index[sorted_singletons]
+
+    sing_bounds = np.searchsorted(sorted_singletons, bases)
+    remaining_flat = flat_active[~is_singleton]
+    rem_counts = counts - np.diff(sing_bounds)
+    rem_bounds = np.concatenate(([0], np.cumsum(rem_counts)))
+    return sing_bounds, sorted_singletons, sorted_tags, rem_bounds, \
+        remaining_flat
+
+
+# ----------------------------------------------------------------------
+# EHPP circle join (hash mod F + threshold partition)
+# ----------------------------------------------------------------------
+@register("circle_join", "numpy")
+def circle_join(
+    id_words: np.ndarray,
+    flat_rem: np.ndarray,
+    counts: np.ndarray,
+    seeds: np.ndarray,
+    modulus: int,
+    fs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partition R circles' remaining tags into joiners and keepers.
+
+    Segment ``r`` joins iff ``H(seeds[r], ID) mod modulus <= fs[r]``.
+    Returns ``(joined_flat, kept_flat, join_bounds)`` where
+    ``join_bounds[r]`` is the cumulative joiner count at segment ``r``'s
+    start (length R+1), all in stable flat order.
+    """
+    sel = hash_mod_ragged(id_words[flat_rem], seeds, modulus, counts)
+    jmask = sel <= np.repeat(fs, counts)
+    joined_flat = flat_rem[jmask]
+    kept_flat = flat_rem[~jmask]
+    cb = np.concatenate(([0], np.cumsum(counts)))
+    join_bounds = np.concatenate(
+        ([0], np.cumsum(jmask, dtype=np.int64))
+    )[cb]
+    return joined_flat, kept_flat, join_bounds
+
+
+# ----------------------------------------------------------------------
+# DES span commit (the poll clock fold)
+# ----------------------------------------------------------------------
+@register("poll_commit", "numpy")
+def poll_commit(
+    now_us: float,
+    down: np.ndarray,
+    reader_bit_us: float,
+    t1_us: float,
+    reply_us: float,
+    t2_us: float,
+    miss_us: float,
+    pattern: np.ndarray | None,
+) -> tuple[float, int, int]:
+    """Fold a committed poll span into the DES clock.
+
+    Per poll: downlink TX (``down[j] * reader_bit_us``), the T1
+    turnaround, the tag reply, the T2 turnaround — or, for a poll whose
+    tag times out into a missing verdict (``pattern[j]`` False), the
+    single ``miss_us`` wait.  The deltas fold strictly left-to-right
+    (one ``cumsum``), reproducing the sequential ``_advance`` chain's
+    float arithmetic exactly.  Returns ``(new_now_us, n_read,
+    downlink_bits)``.
+    """
+    count = down.size
+    tx = down * reader_bit_us
+    if pattern is None:
+        deltas = np.empty(5 * count + 1, dtype=np.float64)
+        deltas[0] = now_us
+        deltas[1::5] = tx
+        deltas[2::5] = t1_us
+        deltas[3::5] = reply_us
+        deltas[4::5] = t2_us
+        deltas[5::5] = 0.0  # the TAG_READ zero-advance
+        n_read = count
+    else:
+        n_read = int(np.count_nonzero(pattern))
+        lens = np.where(pattern, 5, 2)
+        ends = np.cumsum(lens)
+        starts = ends - lens + 1
+        total = int(ends[-1]) if count else 0
+        deltas = np.zeros(total + 1, dtype=np.float64)
+        deltas[0] = now_us
+        hit = starts[pattern]
+        deltas[hit] = tx[pattern]
+        deltas[hit + 1] = t1_us
+        deltas[hit + 2] = reply_us
+        deltas[hit + 3] = t2_us
+        miss = starts[~pattern]
+        deltas[miss] = tx[~pattern]
+        deltas[miss + 1] = miss_us
+    return float(np.cumsum(deltas)[-1]), n_read, int(down.sum())

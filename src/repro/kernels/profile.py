@@ -1,0 +1,209 @@
+"""Per-kernel backend profiler: time every registered backend, print
+the dispatch table.
+
+This is how a new kernel (or a new backend) earns its place: run
+
+    PYTHONPATH=src python scripts/profile_kernels.py
+
+(or ``repro-rfid kernels``) and compare the backends column by column.
+Each kernel is timed on a representative hot-path workload — sized like
+one joint round of the paper's n=10k, R-replica sweep cell — with a
+warm-up call first so numba's one-off JIT compilation never pollutes a
+measurement.  Backends are checked bit-identical on the profiling
+workload before timings are reported; a backend that diverges from the
+numpy oracle is a bug, not a speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.kernels import (
+    active_backend,
+    get_kernel,
+    numba_available,
+    numba_version,
+    registered_kernels,
+    use_backend,
+)
+from repro.phy.timing import PAPER_TIMING
+
+__all__ = ["KernelTiming", "profile_kernels", "format_table", "main"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """One (kernel, backend) measurement."""
+
+    kernel: str
+    backend: str
+    best_s: float
+    speedup: float  # vs the numpy oracle on the same workload
+    active: bool  # is this the implementation get_kernel dispatches to?
+
+
+def _ragged_words(rng: np.random.Generator, n_segments: int,
+                  mean_count: int) -> tuple[np.ndarray, ...]:
+    counts = rng.integers(0, 2 * mean_count, size=n_segments).astype(np.int64)
+    words = rng.integers(0, 1 << 63, size=int(counts.sum()), dtype=np.int64)
+    seeds = rng.integers(0, 1 << 63, size=n_segments).astype(np.uint64)
+    return words.astype(np.uint64), seeds, counts
+
+
+def _workloads(scale: float) -> dict[str, tuple[Any, ...]]:
+    """Kernel name -> positional args for one representative call."""
+    rng = np.random.default_rng(0xBEEF)
+    n = max(int(200_000 * scale), 1_000)
+    seg = max(int(64 * scale), 4)
+
+    words_flat = rng.integers(0, 1 << 63, size=n, dtype=np.int64)
+    words_flat = words_flat.astype(np.uint64)
+
+    rw, rs, rc = _ragged_words(rng, seg, max(n // seg, 1))
+    hs = rng.integers(4, 17, size=seg).astype(np.int64)
+
+    # round_draw / circle_join: R replicas of one n=10k population
+    pop = max(int(10_000 * scale), 500)
+    reps = max(int(32 * scale), 2)
+    id_words = rng.integers(0, 1 << 63, size=pop, dtype=np.int64)
+    id_words = id_words.astype(np.uint64)
+    actives = [
+        np.sort(rng.choice(pop, size=rng.integers(pop // 2, pop),
+                           replace=False)).astype(np.int64)
+        for _ in range(reps)
+    ]
+    counts = np.fromiter((a.size for a in actives), np.int64, reps)
+    flat_active = np.concatenate(actives)
+    seeds = rng.integers(0, 1 << 63, size=reps).astype(np.uint64)
+    draw_hs = np.fromiter(
+        (max(int(c).bit_length(), 1) for c in counts), np.int64, reps
+    )
+    bases = np.concatenate(([0], np.cumsum(np.int64(1) << draw_hs)))
+    fs = rng.integers(0, 1 << 16, size=reps).astype(np.int64)
+
+    m = max(int(20_000 * scale), 100)
+    down = np.full(m, 16, dtype=np.int64)
+    pattern = rng.random(m) < 0.98
+    t = PAPER_TIMING
+    reply_us = 16 * t.tag_bit_us
+    miss_us = t.t1_us + t.t3_us + t.t2_us
+
+    return {
+        "hash_u64": (words_flat, np.uint64(0x12345678)),
+        "hash_u64_ragged": (rw, rs, rc),
+        "hash_indices_ragged": (rw, rs, hs, rc),
+        "hash_mod_ragged": (rw, rs, 10_007, rc),
+        "round_draw": (id_words, flat_active, counts, seeds, draw_hs, bases),
+        "circle_join": (id_words, flat_active, counts, seeds, 1 << 16, fs),
+        "poll_commit": (0.0, down, t.reader_bit_us, t.t1_us, reply_us,
+                        t.t2_us, miss_us, pattern),
+    }
+
+
+def _equal(a: Any, b: Any) -> bool:
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    out = fn()  # warm-up: JIT compilation happens here, untimed
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def profile_kernels(repeats: int = 5,
+                    scale: float = 1.0) -> list[KernelTiming]:
+    """Time every registered (kernel, backend) pair; verify parity."""
+    table = registered_kernels()
+    workloads = _workloads(scale)
+    current = active_backend()
+    timings: list[KernelTiming] = []
+    for kernel, backends in table.items():
+        args = workloads.get(kernel)
+        if args is None:  # a kernel without a profiling workload yet
+            continue
+        results: dict[str, tuple[float, Any]] = {}
+        for backend in backends:
+            with use_backend(backend):
+                impl = get_kernel(kernel)
+                results[backend] = _best_of(lambda: impl(*args), repeats)
+        base_t, base_out = results["numpy"]
+        for backend, (best, out) in results.items():
+            if not _equal(out, base_out):
+                raise AssertionError(
+                    f"kernel {kernel!r} backend {backend!r} diverged from "
+                    "the numpy oracle on the profiling workload"
+                )
+            timings.append(KernelTiming(
+                kernel=kernel,
+                backend=backend,
+                best_s=best,
+                speedup=base_t / best if best else float("inf"),
+                active=backend == current
+                or (backend == "numpy" and current not in backends),
+            ))
+    return timings
+
+
+def format_table(timings: list[KernelTiming]) -> str:
+    lines = [
+        f"{'kernel':<22} {'backend':<8} {'best':>10} {'vs numpy':>9}  ",
+        "-" * 55,
+    ]
+    for t in timings:
+        mark = "*" if t.active else " "
+        lines.append(
+            f"{t.kernel:<22} {t.backend:<8} {t.best_s * 1e3:>8.3f}ms "
+            f"{t.speedup:>8.2f}x {mark}"
+        )
+    lines.append("-" * 55)
+    lines.append("* = dispatched by the active backend "
+                 f"({active_backend()})")
+    return "\n".join(lines)
+
+
+def print_report(repeats: int = 5, scale: float = 1.0,
+                 bench: bool = True) -> None:
+    """The ``repro-rfid kernels`` / ``scripts/profile_kernels.py`` body."""
+    import os
+
+    print(f"REPRO_KERNELS   : {os.environ.get('REPRO_KERNELS', '(unset)')}")
+    print(f"active backend  : {active_backend()}")
+    nv = numba_version() or ("not installed (numpy oracle only; "
+                             "pip install repro[fast])")
+    print(f"numba           : {nv}")
+    print("registered kernels:")
+    for kernel, backends in registered_kernels().items():
+        print(f"  {kernel:<22} {', '.join(backends)}")
+    if bench:
+        print()
+        print(format_table(profile_kernels(repeats=repeats, scale=scale)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time all registered kernel backends and print the "
+                    "dispatch table",
+    )
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per backend (best-of)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (0.1 = quick smoke)")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="print the dispatch table only, no timings")
+    args = parser.parse_args(argv)
+    print_report(repeats=args.repeats, scale=args.scale,
+                 bench=not args.no_bench)
+    return 0

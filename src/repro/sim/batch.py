@@ -39,6 +39,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.polling_tree import segment_values
+from repro.kernels import get_kernel
 from repro.phy.channel import Channel, IdealChannel
 from repro.phy.link import LinkBudget
 from repro.phy.schedule import compile_plan
@@ -432,9 +433,10 @@ def _commit_span(air, proto, rp, view, j0: int, j1: int,
     ``pattern is None`` commits every poll as a clean read;
     otherwise ``pattern[k]`` says whether poll ``j0+k`` reads its tag
     (True) or times out into a missing verdict (False, ideal channel
-    only).  The clock folds the same per-event float delays in the same
-    order as the sequential ``_advance`` chain (one cumsum), so times
-    stay bit-identical.
+    only).  The clock fold (the ``poll_commit`` kernel, numpy oracle or
+    JIT via REPRO_KERNELS) adds the same per-event float delays in the
+    same order as the sequential ``_advance`` chain, so times stay
+    bit-identical.
     """
     if j1 <= j0:
         return
@@ -443,44 +445,25 @@ def _commit_span(air, proto, rp, view, j0: int, j1: int,
     down = view.poll_downlink[j0:j1]
     span_tags = view.poll_tag[j0:j1]
     count = j1 - j0
-    tx = down * t.reader_bit_us
     reply_t = t.tag_tx_us(air.info_bits)
     trace = air.trace
+    new_now, n_read, down_bits = get_kernel("poll_commit")(
+        air.queue.now_us, down, t.reader_bit_us, t.t1_us, reply_t,
+        t.t2_us, t.t1_us + t.t3_us + t.t2_us, pattern,
+    )
     if pattern is None:
-        deltas = np.empty(5 * count + 1, dtype=np.float64)
-        deltas[0] = air.queue.now_us
-        deltas[1::5] = tx
-        deltas[2::5] = t.t1_us
-        deltas[3::5] = reply_t
-        deltas[4::5] = t.t2_us
-        deltas[5::5] = 0.0  # the TAG_READ zero-advance
         read_tags = span_tags
-        n_read = count
     else:
-        n_read = int(np.count_nonzero(pattern))
-        lens = np.where(pattern, 5, 2)
-        ends = np.cumsum(lens)
-        starts = ends - lens + 1
-        deltas = np.zeros(int(ends[-1]) + 1, dtype=np.float64)
-        deltas[0] = air.queue.now_us
-        hit = starts[pattern]
-        deltas[hit] = tx[pattern]
-        deltas[hit + 1] = t.t1_us
-        deltas[hit + 2] = reply_t
-        deltas[hit + 3] = t.t2_us
-        miss = starts[~pattern]
-        deltas[miss] = tx[~pattern]
-        deltas[miss + 1] = t.t1_us + t.t3_us + t.t2_us
         read_tags = span_tags[pattern]
         air.missing_found.extend(span_tags[~pattern].tolist())
         trace.tally_many(EventKind.REPLY_TIMEOUT, count - n_read)
-    air.queue.now_us = float(np.cumsum(deltas)[-1])
+    air.queue.now_us = new_now
     trace.tally_many(EventKind.READER_TX_END, count)
     trace.tally_many(EventKind.TAG_REPLY_START, n_read)
     trace.tally_many(EventKind.TAG_REPLY_END, n_read)
     trace.tally_many(EventKind.READER_TX_START, n_read)
     trace.tally_many(EventKind.TAG_READ, n_read)
-    air.reader_bits += int(down.sum())
+    air.reader_bits += down_bits
     if n_read:
         pop._commit_ack_bulk(read_tags)
         air.read_order.extend(read_tags.tolist())

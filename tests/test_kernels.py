@@ -1,0 +1,458 @@
+"""Backend dispatch, bit-exact parity, and cache-neutrality of the
+hot-path kernel layer (:mod:`repro.kernels`).
+
+Three guarantees are pinned here:
+
+- **dispatch** — ``REPRO_KERNELS`` resolution, the programmatic
+  overrides, the loud failure when numba is requested but missing, and
+  the silent numpy fallback for kernels a backend doesn't implement;
+- **parity** — every backend's output is bit-identical to the numpy
+  oracle, checked against *independent* scalar references (pure-int
+  splitmix64 loops, a sequential DES clock fold) on adversarial ragged
+  shapes: zero-length segments interleaved, single-segment batches,
+  batches whose counts sum to zero, ``h`` at both ends of [0, 63], and
+  non-power-of-two moduli;
+- **cache neutrality** — the sweep-cache version fingerprint and the
+  cached values themselves never depend on the active backend, so a
+  cache written under numpy re-hits under numba.
+
+The whole module runs per backend: with numba absent only the numpy
+parametrisation runs (the compiled leg is exercised by CI's numba
+matrix job via ``REPRO_KERNELS=numba``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.experiments.runner import ResultCache, SweepRunner
+from repro.hashing.universal import (
+    _splitmix64_scalar,
+    hash_indices,
+    hash_indices_ragged,
+    hash_mod,
+    hash_mod_ragged,
+    hash_u64,
+    hash_u64_ragged,
+)
+from repro.kernels import (
+    KernelBackendError,
+    active_backend,
+    available_backends,
+    get_kernel,
+    numba_available,
+    registered_kernels,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.kernels import numpy_kernels as oracle
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (fast extra)"
+)
+
+
+@pytest.fixture(params=available_backends())
+def backend(request) -> str:
+    """Run the test under every backend usable in this environment."""
+    with use_backend(request.param):
+        yield request.param
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def test_auto_resolution_matches_environment(self):
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_backend("auto") == expected
+
+    def test_explicit_numpy_always_resolves(self):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KernelBackendError, match="expected auto"):
+            resolve_backend("fortran")
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_explicit_numba_without_numba_fails_loudly(self):
+        with pytest.raises(KernelBackendError, match="not installed"):
+            resolve_backend("numba")
+
+    def test_env_var_drives_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        set_backend(None)  # drop the memoised resolution
+        try:
+            assert active_backend() == "numpy"
+        finally:
+            monkeypatch.delenv("REPRO_KERNELS")
+            set_backend(None)
+
+    def test_use_backend_restores_previous_override(self):
+        before = active_backend()
+        with use_backend("numpy") as name:
+            assert name == "numpy"
+            assert active_backend() == "numpy"
+        assert active_backend() == before
+
+    def test_every_kernel_has_a_numpy_oracle(self):
+        table = registered_kernels()
+        assert table, "no kernels registered"
+        for name, backends in table.items():
+            assert "numpy" in backends, f"{name} lacks the numpy oracle"
+
+    def test_expected_kernels_registered(self):
+        assert set(registered_kernels()) >= {
+            "hash_u64", "hash_u64_ragged", "hash_indices_ragged",
+            "hash_mod_ragged", "round_draw", "circle_join", "poll_commit",
+        }
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("no_such_kernel")
+
+    def test_missing_backend_impl_falls_back_to_numpy(self, backend):
+        """A kernel registered only for numpy dispatches to the oracle
+        under every backend."""
+        from repro.kernels import _registry
+
+        name = "_test_numpy_only_kernel"
+        _registry[name] = {"numpy": lambda: "oracle"}
+        set_backend(backend)  # force a table rebuild under this backend
+        try:
+            assert get_kernel(name)() == "oracle"
+        finally:
+            del _registry[name]
+            set_backend(None)
+
+    @requires_numba
+    def test_numba_backend_compiles_hot_kernels(self):
+        table = registered_kernels()
+        for name in ("hash_u64_ragged", "hash_indices_ragged",
+                     "hash_mod_ragged", "round_draw", "circle_join",
+                     "poll_commit"):
+            assert "numba" in table[name], f"{name} has no numba impl"
+
+
+# ----------------------------------------------------------------------
+# scalar references (independent of both backends)
+# ----------------------------------------------------------------------
+def _scalar_hash(word: int, seed: int) -> int:
+    """``H(r, id)`` via the pure-int splitmix64 — no numpy at all."""
+    return _splitmix64_scalar(word ^ _splitmix64_scalar(seed))
+
+
+def _ragged_case(rng, counts, seeds=None):
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    words = rng.integers(0, 1 << 63, size=total, dtype=np.uint64)
+    if seeds is None:
+        seeds = rng.integers(0, 1 << 62, size=counts.size, dtype=np.int64)
+    return words, np.asarray(seeds), counts
+
+
+# interleaved zeros, R=1, all-zero counts, and a plain dense batch
+ADVERSARIAL_COUNTS = [
+    [0, 5, 0, 0, 3, 0, 7, 0],
+    [11],
+    [0, 0, 0],
+    [0],
+    [4, 1, 9, 2],
+]
+
+
+class TestRaggedHashParity:
+    """Ragged kernels vs pure-int scalar loops, on every backend."""
+
+    @pytest.mark.parametrize("counts", ADVERSARIAL_COUNTS)
+    def test_hash_u64_ragged_matches_scalar(self, rng, backend, counts):
+        words, seeds, counts = _ragged_case(rng, counts)
+        got = hash_u64_ragged(words, seeds, counts)
+        expected = []
+        pos = 0
+        for r, c in enumerate(counts):
+            for w in words[pos:pos + c]:
+                expected.append(_scalar_hash(int(w), int(seeds[r])))
+            pos += c
+        assert got.dtype == np.uint64 and got.size == pos
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("counts", ADVERSARIAL_COUNTS)
+    def test_hash_indices_ragged_matches_scalar(self, rng, backend, counts):
+        words, seeds, counts = _ragged_case(rng, counts)
+        # force both extremes of the h range into every non-trivial case
+        hs = rng.integers(0, 64, size=counts.size)
+        if hs.size >= 2:
+            hs[0], hs[-1] = 0, 63
+        got = hash_indices_ragged(words, seeds, hs, counts)
+        expected = []
+        pos = 0
+        for r, c in enumerate(counts):
+            mask = (1 << int(hs[r])) - 1
+            for w in words[pos:pos + c]:
+                expected.append(_scalar_hash(int(w), int(seeds[r])) & mask)
+            pos += c
+        assert got.dtype == np.int64
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("counts", ADVERSARIAL_COUNTS)
+    @pytest.mark.parametrize("modulus", [1, 3, 10_007, 1 << 16, (1 << 16) + 1])
+    def test_hash_mod_ragged_matches_scalar(self, rng, backend, counts,
+                                            modulus):
+        words, seeds, counts = _ragged_case(rng, counts)
+        got = hash_mod_ragged(words, seeds, modulus, counts)
+        expected = []
+        pos = 0
+        for r, c in enumerate(counts):
+            for w in words[pos:pos + c]:
+                expected.append(_scalar_hash(int(w), int(seeds[r])) % modulus)
+            pos += c
+        assert got.dtype == np.int64
+        assert got.tolist() == expected
+
+    def test_ragged_matches_per_segment_public_calls(self, rng, backend):
+        """The ragged batch is bit-identical to R separate calls."""
+        words, seeds, counts = _ragged_case(rng, [0, 7, 1, 0, 12])
+        hs = np.array([0, 5, 63, 13, 9], dtype=np.int64)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        batched_u = hash_u64_ragged(words, seeds, counts)
+        batched_i = hash_indices_ragged(words, seeds, hs, counts)
+        batched_m = hash_mod_ragged(words, seeds, 10_007, counts)
+        for r in range(counts.size):
+            seg = words[bounds[r]:bounds[r + 1]]
+            assert np.array_equal(batched_u[bounds[r]:bounds[r + 1]],
+                                  hash_u64(seg, int(seeds[r])))
+            assert np.array_equal(batched_i[bounds[r]:bounds[r + 1]],
+                                  hash_indices(seg, int(seeds[r]), int(hs[r])))
+            assert np.array_equal(batched_m[bounds[r]:bounds[r + 1]],
+                                  hash_mod(seg, int(seeds[r]), 10_007))
+
+    def test_hash_u64_scalar_seed_path(self, rng, backend):
+        words = rng.integers(0, 1 << 63, size=257, dtype=np.uint64)
+        got = hash_u64(words, 0xDEADBEEF)
+        assert got.tolist() == [_scalar_hash(int(w), 0xDEADBEEF)
+                                for w in words]
+
+
+# ----------------------------------------------------------------------
+# fused round draw
+# ----------------------------------------------------------------------
+def _naive_round_draw(id_words, actives, seeds, hs):
+    """Set-logic reference for the fused singleton classification."""
+    sing_bounds, singles, tags, rem_bounds, remaining = [0], [], [], [0], []
+    base = 0
+    for active, seed, h in zip(actives, seeds, hs):
+        idx = hash_indices(id_words[active], int(seed), int(h))
+        count: dict[int, int] = {}
+        for i in idx.tolist():
+            count[i] = count.get(i, 0) + 1
+        seg = sorted((i for i, n in count.items() if n == 1))
+        owner = {int(i): int(t) for i, t in zip(idx, active) if count[int(i)] == 1}
+        singles.extend(base + i for i in seg)
+        tags.extend(owner[i] for i in seg)
+        remaining.extend(int(t) for i, t in zip(idx, active)
+                         if count[int(i)] != 1)
+        sing_bounds.append(len(singles))
+        rem_bounds.append(len(remaining))
+        base += 1 << int(h)
+    return sing_bounds, singles, tags, rem_bounds, remaining
+
+
+class TestRoundDrawParity:
+    @pytest.mark.parametrize("pops", [
+        [37, 0, 64, 5, 0, 120],   # zero-population rounds interleaved
+        [200],                    # R=1
+        [16, 16, 16],             # forced collisions (h chosen small)
+    ])
+    def test_matches_naive_reference(self, rng, backend, pops):
+        n = 256
+        id_words = rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
+        actives = [np.sort(rng.choice(n, size=p, replace=False)).astype(np.int64)
+                   for p in pops]
+        seeds = rng.integers(0, 1 << 62, size=len(pops)).astype(np.uint64)
+        hs = np.array([max(int(p).bit_length() - 1, 1) for p in pops],
+                      dtype=np.int64)
+        counts = np.fromiter((a.size for a in actives), np.int64, len(pops))
+        bases = np.concatenate(([0], np.cumsum(np.int64(1) << hs)))
+        flat = np.concatenate(actives) if counts.sum() else \
+            np.empty(0, dtype=np.int64)
+
+        got = get_kernel("round_draw")(id_words, flat, counts, seeds, hs,
+                                       bases)
+        exp = _naive_round_draw(id_words, actives, seeds, hs)
+        for g, e in zip(got, exp):
+            assert np.asarray(g).tolist() == list(e)
+
+    def test_matches_numpy_oracle(self, rng, backend):
+        n = 512
+        id_words = rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
+        counts = np.array([300, 0, 512, 1], dtype=np.int64)
+        flat = np.concatenate([
+            np.sort(rng.choice(n, size=int(c), replace=False))
+            for c in counts
+        ]).astype(np.int64)
+        seeds = rng.integers(0, 1 << 62, size=4).astype(np.uint64)
+        hs = np.array([9, 1, 10, 0], dtype=np.int64)
+        bases = np.concatenate(([0], np.cumsum(np.int64(1) << hs)))
+        got = get_kernel("round_draw")(id_words, flat, counts, seeds, hs, bases)
+        exp = oracle.round_draw(id_words, flat, counts, seeds, hs, bases)
+        for g, e in zip(got, exp):
+            assert np.array_equal(g, e), "backend diverged from numpy oracle"
+
+
+# ----------------------------------------------------------------------
+# EHPP circle join
+# ----------------------------------------------------------------------
+class TestCircleJoinParity:
+    @pytest.mark.parametrize("counts,modulus", [
+        ([40, 0, 25, 0, 0, 60], 1 << 16),   # pow2 modulus, zero circles
+        ([80], 10_007),                     # R=1, non-pow2 modulus
+        ([0, 0], 3),
+        ([10, 10, 10], 1),                  # everything joins (mod 1 == 0)
+    ])
+    def test_matches_naive_reference(self, rng, backend, counts, modulus):
+        n = 200
+        counts = np.asarray(counts, dtype=np.int64)
+        flat = np.concatenate([
+            np.sort(rng.choice(n, size=int(c), replace=False))
+            for c in counts
+        ]).astype(np.int64) if counts.sum() else np.empty(0, dtype=np.int64)
+        id_words = rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
+        seeds = rng.integers(0, 1 << 62, size=counts.size).astype(np.uint64)
+        fs = rng.integers(0, modulus, size=counts.size).astype(np.int64)
+
+        joined, kept, jb = get_kernel("circle_join")(
+            id_words, flat, counts, seeds, modulus, fs)
+
+        e_joined, e_kept, e_jb = [], [], [0]
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        for r in range(counts.size):
+            for t in flat[bounds[r]:bounds[r + 1]].tolist():
+                sel = _scalar_hash(int(id_words[t]), int(seeds[r])) % modulus
+                (e_joined if sel <= int(fs[r]) else e_kept).append(t)
+            e_jb.append(len(e_joined))
+        assert joined.tolist() == e_joined
+        assert kept.tolist() == e_kept
+        assert jb.tolist() == e_jb
+
+
+# ----------------------------------------------------------------------
+# DES poll span commit
+# ----------------------------------------------------------------------
+def _naive_poll_commit(now, down, bit_us, t1, reply, t2, miss, pattern):
+    """Sequential float fold — the pre-batch DES ``_advance`` chain."""
+    n_read = 0
+    for j, bits in enumerate(down.tolist()):
+        now += bits * bit_us
+        if pattern is None or pattern[j]:
+            now += t1
+            now += reply
+            now += t2
+            now += 0.0
+            n_read += 1
+        else:
+            now += miss
+    return now, n_read, int(down.sum())
+
+
+class TestPollCommitParity:
+    @pytest.mark.parametrize("pattern_kind", ["clean", "mixed", "all_miss",
+                                              "empty"])
+    def test_matches_sequential_fold(self, rng, backend, pattern_kind):
+        m = 0 if pattern_kind == "empty" else 400
+        down = rng.integers(1, 97, size=m).astype(np.int64)
+        if pattern_kind == "clean":
+            pattern = None
+        elif pattern_kind == "all_miss":
+            pattern = np.zeros(m, dtype=bool)
+        else:
+            pattern = rng.random(m) < 0.9
+        now, t1, reply, t2, bit = 1234.5, 100.0, 37.25, 50.0, 25.0
+        miss = t1 + 300.0 + t2
+        got = get_kernel("poll_commit")(now, down, bit, t1, reply, t2, miss,
+                                        pattern)
+        exp = _naive_poll_commit(now, down, bit, t1, reply, t2, miss, pattern)
+        # bit-identical clock, not approximately-equal: the kernel must
+        # reproduce the sequential float fold exactly
+        assert got == exp
+
+    def test_clock_bit_identity_is_strict(self, rng, backend):
+        down = rng.integers(1, 200, size=1000).astype(np.int64)
+        a = get_kernel("poll_commit")(
+            0.1, down, 37.45, 100.1, 25.3, 50.7, 300.9, None)
+        b = get_kernel("poll_commit")(
+            0.1, down, 37.45, 100.1, 25.3, 50.7, 300.9, None)
+        assert a[0] == b[0] and a == b
+
+
+# ----------------------------------------------------------------------
+# cross-backend equality of the full kernel surface
+# ----------------------------------------------------------------------
+@requires_numba
+class TestCrossBackendBitIdentity:
+    """With numba installed, compiled output == oracle output, bitwise."""
+
+    def test_all_kernels_match_oracle_on_profiling_workloads(self):
+        from repro.kernels.profile import _equal, _workloads
+
+        workloads = _workloads(scale=0.2)
+        for name in registered_kernels():
+            args = workloads[name]
+            with use_backend("numpy"):
+                expected = get_kernel(name)(*args)
+            with use_backend("numba"):
+                got = get_kernel(name)(*args)
+            assert _equal(got, expected), f"{name} diverged under numba"
+
+
+# ----------------------------------------------------------------------
+# the sweep cache is backend-agnostic
+# ----------------------------------------------------------------------
+class TestCacheBackendNeutrality:
+    def test_cache_version_ignores_backend_selection(self, monkeypatch):
+        from repro.experiments.cellstore import cache_version
+
+        with use_backend("numpy"):
+            v_numpy = cache_version()
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        set_backend(None)
+        try:
+            assert cache_version() == v_numpy
+        finally:
+            monkeypatch.delenv("REPRO_KERNELS")
+            set_backend(None)
+        if numba_available():
+            with use_backend("numba"):
+                assert cache_version() == v_numpy
+
+    def test_cache_version_fingerprints_kernel_sources(self):
+        """Editing a kernel must invalidate cached cells: the kernels
+        package is part of the metric-path fingerprint."""
+        from repro.experiments import cellstore
+
+        assert "kernels" in cellstore._METRIC_PATH_DIRS
+
+    @requires_numba
+    def test_numpy_warmed_cache_rehits_under_numba(self, tmp_path):
+        with use_backend("numpy"):
+            warm = ResultCache(tmp_path)
+            r1 = SweepRunner(jobs=1, cache=warm)
+            series_numpy = r1.sweep(HPP(), (100, 200), n_runs=2, seed=5)
+            warm.flush()
+            assert warm.misses > 0 and warm.hits == 0
+        with use_backend("numba"):
+            reloaded = ResultCache(tmp_path)
+            r2 = SweepRunner(jobs=1, cache=reloaded)
+            series_numba = r2.sweep(HPP(), (100, 200), n_runs=2, seed=5)
+            assert reloaded.misses == 0, \
+                "numpy-written cells missed under the numba backend"
+            assert reloaded.hits == warm.misses
+        assert series_numba.y == series_numpy.y
+
+    def test_runner_reports_kernel_backend(self):
+        r = SweepRunner(jobs=1, cache=None)
+        assert r.kernel_backend == active_backend()
+        assert r.batch_coverage["kernel_backend"] == active_backend()
