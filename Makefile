@@ -1,6 +1,6 @@
 # Convenience targets for the repro workflow.
 
-.PHONY: install test bench bench-full bench-check cache-smoke experiments experiments-quick examples clean
+.PHONY: install test bench bench-full bench-check cache-smoke inventory-smoke experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,9 @@ bench-check:
 
 cache-smoke:
 	PYTHONPATH=src python scripts/cache_smoke.py
+
+inventory-smoke:
+	PYTHONPATH=src python scripts/inventory_smoke.py
 
 experiments:
 	python -m repro.experiments

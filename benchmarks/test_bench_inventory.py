@@ -1,0 +1,119 @@
+"""Continuous-inventory engine benchmarks and the incremental-replan gate.
+
+Mirrors ``test_bench_kernels.py``'s structure:
+
+* ``test_incremental_replan_gate`` — the incremental engine has to
+  *earn* its complexity: absorbing 1% churn into an EHPP plan over
+  n=10k tags (splice + re-schedule) must run ≥5x faster per epoch than
+  rebuilding the plan state from scratch over the same populations.
+  Measured with ``perf_counter`` so it also gates under
+  ``--benchmark-disable`` (the CI benchmark smoke step).
+* ``test_bench_*`` — informational pytest-benchmark timings of the
+  replan hot path and one full monitoring epoch, recorded into
+  ``BENCH_engine.json`` by ``make bench``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.core.replan import PlanDiff
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+N = 10_000
+CHURN = 0.01
+EPOCHS = 8
+GATE = 5.0
+
+
+@pytest.fixture(scope="module")
+def pool():
+    extra = EPOCHS * int(N * CHURN) + 16
+    return uniform_tagset(N + extra, np.random.default_rng(42))
+
+
+def _churn_diffs(pool):
+    """EPOCHS diffs at 1% churn (half departures, half arrivals)."""
+    churn = np.random.default_rng(7)
+    live = set(range(N))
+    next_slot = N
+    k = max(1, int(N * CHURN / 2))
+    diffs = []
+    for _ in range(EPOCHS):
+        lv = np.asarray(sorted(live), dtype=np.int64)
+        dep = np.sort(churn.choice(lv, size=k, replace=False))
+        arr = np.arange(next_slot, next_slot + k, dtype=np.int64)
+        next_slot += k
+        live -= set(dep.tolist())
+        live |= set(arr.tolist())
+        diffs.append(PlanDiff(arr, pool.id_words[arr], dep))
+    return diffs
+
+
+def _incremental_s_per_epoch(pool, diffs) -> float:
+    tags = TagSet(id_hi=pool.id_hi[:N], id_lo=pool.id_lo[:N])
+    state = EHPP().plan_state(tags, np.random.default_rng(5))
+    t0 = time.perf_counter()
+    for d in diffs:
+        state.apply(d, np.random.default_rng(11))
+        state.schedule()
+    return (time.perf_counter() - t0) / len(diffs)
+
+
+def _full_rebuild_s_per_epoch(pool, diffs) -> float:
+    proto = EHPP()
+    rng = np.random.default_rng(5)
+    live = set(range(N))
+    total = 0.0
+    for d in diffs:
+        live -= set(d.departed_slots.tolist())
+        live |= set(d.arrived_slots.tolist())
+        lv = np.asarray(sorted(live), dtype=np.int64)
+        cur = TagSet(id_hi=pool.id_hi[lv], id_lo=pool.id_lo[lv])
+        t0 = time.perf_counter()
+        state = proto.plan_state(cur, rng, slots=lv)
+        state.schedule()
+        total += time.perf_counter() - t0
+    return total / len(diffs)
+
+
+def test_incremental_replan_gate(pool):
+    """Incremental EHPP replan ≥5x faster than full rebuild (n=10k, 1%)."""
+    diffs = _churn_diffs(pool)
+    inc = min(_incremental_s_per_epoch(pool, diffs) for _ in range(3))
+    full = min(_full_rebuild_s_per_epoch(pool, diffs) for _ in range(3))
+    ratio = full / inc
+    assert ratio >= GATE, (
+        f"incremental replan gate: {ratio:.1f}x < {GATE:.0f}x "
+        f"(incremental {inc * 1e3:.2f} ms/epoch, "
+        f"full rebuild {full * 1e3:.2f} ms/epoch)")
+
+
+def test_bench_incremental_replan(benchmark, pool):
+    diffs = _churn_diffs(pool)
+    benchmark(lambda: _incremental_s_per_epoch(pool, diffs))
+
+
+def test_bench_full_rebuild(benchmark, pool):
+    diffs = _churn_diffs(pool)
+    benchmark(lambda: _full_rebuild_s_per_epoch(pool, diffs))
+
+
+def test_bench_monitoring_epoch(benchmark):
+    """One full epoch: churn draw + replan + localized DES poll."""
+    from repro.apps.inventory import InventorySession
+    from repro.workloads.inventory import ChurnModel, PopulationDiff
+
+    session = InventorySession(
+        EHPP(), uniform_tagset(2_000, np.random.default_rng(9)), seed=1)
+    model = ChurnModel(arrival_rate=0.005, departure_rate=0.005,
+                       missing_rate=0.005, return_rate=0.2)
+    rng = np.random.default_rng(13)
+
+    def one_epoch():
+        return session.step(model.draw(session.store, rng))
+
+    report = benchmark(one_epoch)
+    assert report.n_known > 0

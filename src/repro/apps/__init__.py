@@ -7,6 +7,9 @@ The paper motivates polling with two system-level tasks (§I):
   tag: the task of the paper's Tables I–III.
 - :mod:`repro.apps.missing_tag` — 1-bit presence polling of a known
   population, flagging tags that fail to answer (theft detection).
+- :mod:`repro.apps.inventory` — the continuous version of the above:
+  a long-running monitoring loop over a churning population with
+  incremental re-planning and an asyncio session multiplexer.
 - :mod:`repro.apps.multi_reader` — interference-graph colouring that
   extends every protocol to multi-reader deployments (§II-A's remark).
 """
@@ -15,6 +18,13 @@ from repro.apps.information_collection import (
     CollectionReport,
     collect_information,
     compare_protocols,
+)
+from repro.apps.inventory import (
+    AsyncInventoryService,
+    EpochReport,
+    InventorySession,
+    run_concurrent_sessions,
+    run_inventory,
 )
 from repro.apps.missing_tag import MissingTagReport, detect_missing_tags
 from repro.apps.multi_reader import (
@@ -31,6 +41,11 @@ __all__ = [
     "compare_protocols",
     "MissingTagReport",
     "detect_missing_tags",
+    "EpochReport",
+    "InventorySession",
+    "AsyncInventoryService",
+    "run_inventory",
+    "run_concurrent_sessions",
     "Reader",
     "Deployment",
     "grid_deployment",

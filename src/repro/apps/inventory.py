@@ -1,0 +1,318 @@
+"""Continuous inventory: the long-running monitoring loop.
+
+The one-shot pipeline (build a :class:`TagSet`, plan, execute, report)
+becomes a loop here: every epoch the population churns
+(:class:`repro.workloads.inventory.InventoryStore` absorbs the diff),
+the interrogation plan is **incrementally re-planned** in O(changed)
+(:mod:`repro.core.replan`), the reader polls every known tag for a
+1-bit presence reply through the real DES machinery, and the silent
+polls become per-epoch missing-tag verdicts that update the session's
+belief.  An :class:`AsyncInventoryService` multiplexes many concurrent
+sessions (different zones, readers, or protocols) over the
+replica-batched DES backend so their per-epoch polls execute as one
+lockstep batch per protocol.
+
+Index discipline: the store speaks *slots* (stable global ids), the
+DES speaks *local* indices (positions in the epoch's compacted
+population).  Sessions localise plans on the way into the executor and
+lift missing verdicts back to slots on the way out, so every report is
+phrased in ids that remain valid across epochs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import PollingProtocol
+from repro.core.replan import PlanDiff, ReplanStats
+from repro.phy.channel import Channel
+from repro.phy.link import LinkBudget
+from repro.sim.batch import execute_plan_batch
+from repro.sim.executor import execute_plan
+from repro.workloads.inventory import ChurnModel, InventoryStore, PopulationDiff
+from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "EpochReport",
+    "InventorySession",
+    "AsyncInventoryService",
+    "run_inventory",
+    "run_concurrent_sessions",
+]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One epoch of one session: churn absorbed, poll flown, verdicts.
+
+    All tag references are **stable slot ids**.  ``detected_missing``
+    is every known tag that stayed silent this epoch;
+    ``newly_missing`` is the subset the session did not already
+    believe missing — the epoch's actionable alarm.
+    """
+
+    epoch: int
+    protocol: str
+    n_known: int
+    n_present: int
+    n_arrived: int
+    n_departed: int
+    detected_missing: list[int]
+    newly_missing: list[int]
+    time_us: float
+    n_retries: int
+    n_rounds: int
+    incremental: bool
+    replan: ReplanStats | None = None
+
+    def __post_init__(self) -> None:
+        # verdict order depends on the DES backend and replica
+        # interleaving; the *set* does not — normalise like
+        # MissingTagReport so reports compare stably across backends
+        object.__setattr__(
+            self, "detected_missing", sorted(self.detected_missing))
+        object.__setattr__(self, "newly_missing", sorted(self.newly_missing))
+
+    @property
+    def time_s(self) -> float:
+        return self.time_us / 1e6
+
+
+class InventorySession:
+    """One reader watching one population, epoch after epoch.
+
+    Each :meth:`step` absorbs a :class:`PopulationDiff`, maintains the
+    interrogation plan — incrementally via the protocol's
+    :meth:`~repro.core.base.PollingProtocol.plan_state` machinery when
+    available (``incremental=True``), rebuilding from scratch otherwise
+    — executes the presence poll on the DES, and folds the missing
+    verdicts into the session's belief.  Protocols without an
+    incremental planner (``plan_state() is None``) transparently fall
+    back to per-epoch :meth:`plan` calls.
+    """
+
+    def __init__(
+        self,
+        protocol: PollingProtocol,
+        tags: TagSet | None = None,
+        seed: int = 0,
+        reply_bits: int = 1,
+        incremental: bool = True,
+        budget: LinkBudget | None = None,
+        channel: Channel | None = None,
+        missing_attempts: int = 3,
+        backend: str = "array",
+    ):
+        self.protocol = protocol
+        self.store = InventoryStore(tags)
+        self.reply_bits = int(reply_bits)
+        self.budget = budget
+        self.channel = channel
+        self.missing_attempts = int(missing_attempts)
+        self.backend = backend
+        self._seed = int(seed)
+        self._plan_rng = np.random.default_rng(seed)
+        self.believed_missing: set[int] = set()
+        self.total_wire_us = 0.0
+        self.n_epochs = 0
+        self._state = protocol.plan_state(
+            self.store.tagset(), self._plan_rng, reply_bits=reply_bits,
+            slots=self.store.slots()) if incremental else None
+        self.incremental = incremental and self._state is not None
+
+    # ------------------------------------------------------------------
+    # plan maintenance (shared by the sync and async paths)
+    # ------------------------------------------------------------------
+    def _plan_epoch(self, diff: PopulationDiff):
+        view = self.store.apply(diff)
+        replan_stats = None
+        if self.incremental:
+            replan_stats = self.protocol.replan(
+                self._state, PlanDiff.from_epoch(view), self._plan_rng)
+            plan = self._state.plan(self.store.local_of())
+        else:
+            state = self.protocol.plan_state(
+                self.store.tagset(), self._plan_rng,
+                reply_bits=self.reply_bits, slots=self.store.slots())
+            if state is not None:
+                plan = state.plan(self.store.local_of())
+            else:  # protocol has no state machinery at all
+                plan = self.protocol.plan(self.store.tagset(),
+                                          self._plan_rng)
+        # the poll's own RNG is keyed by (session seed, epoch) so a
+        # session replays identically regardless of service batching
+        exec_rng = np.random.default_rng((self._seed, view.epoch))
+        return view, plan, replan_stats, exec_rng
+
+    def _absorb(self, view, plan, res, replan_stats) -> EpochReport:
+        slots = self.store.slots()
+        detected = slots[np.asarray(sorted(res.missing),
+                                    dtype=np.int64)].tolist() \
+            if res.missing else []
+        # departures and confirmed returns leave the belief set
+        self.believed_missing.difference_update(
+            view.departed_slots.tolist())
+        self.believed_missing.difference_update(
+            view.returned_slots.tolist())
+        newly = sorted(set(detected) - self.believed_missing)
+        self.believed_missing.update(detected)
+        self.total_wire_us += res.time_us
+        self.n_epochs += 1
+        return EpochReport(
+            epoch=view.epoch,
+            protocol=self.protocol.name,
+            n_known=view.n_known,
+            n_present=view.n_present,
+            n_arrived=int(view.arrived_slots.size),
+            n_departed=int(view.departed_slots.size),
+            detected_missing=detected,
+            newly_missing=newly,
+            time_us=res.time_us,
+            n_retries=res.n_retries,
+            n_rounds=len(plan.rounds),
+            incremental=self.incremental,
+            replan=replan_stats,
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, diff: PopulationDiff) -> EpochReport:
+        """Absorb one epoch's churn and fly its presence poll."""
+        view, plan, replan_stats, exec_rng = self._plan_epoch(diff)
+        res = execute_plan(
+            plan, self.store.tagset(), info_bits=self.reply_bits,
+            budget=self.budget, channel=self.channel, rng=exec_rng,
+            present=self.store.present_local(),
+            missing_attempts=self.missing_attempts, backend=self.backend)
+        return self._absorb(view, plan, res, replan_stats)
+
+    async def step_async(self, diff: PopulationDiff,
+                         service: "AsyncInventoryService") -> EpochReport:
+        """Like :meth:`step`, but the poll executes via ``service``
+        (batched with other sessions' concurrent epochs)."""
+        view, plan, replan_stats, exec_rng = self._plan_epoch(diff)
+        res = await service.execute(
+            plan, self.store.tagset(), self.store.present_local(), exec_rng,
+            info_bits=self.reply_bits,
+            missing_attempts=self.missing_attempts)
+        return self._absorb(view, plan, res, replan_stats)
+
+
+class AsyncInventoryService:
+    """Micro-batching dispatcher over the replica-batched DES backend.
+
+    Concurrent sessions awaiting :meth:`execute` within the same event
+    -loop window are drained together and grouped by compatibility key
+    (protocol × info_bits × missing_attempts); each group runs as ONE
+    :func:`repro.sim.batch.execute_plan_batch` call, so S sessions
+    polling in the same epoch cost one lockstep DES pass per protocol
+    instead of S sequential executions.  Results are bit-identical to
+    per-session :func:`execute_plan` calls because each request carries
+    its own RNG (the batch machinery's replica-parity guarantee).
+    """
+
+    def __init__(self, budget: LinkBudget | None = None,
+                 channel: Channel | None = None, backend: str = "array"):
+        self.budget = budget
+        self.channel = channel
+        self.backend = backend
+        self.executed_batches: list[tuple[str, int]] = []  # (key, size) log
+        self._pending: list[tuple[tuple, Any]] = []
+        self._drain_task: asyncio.Task | None = None
+
+    async def execute(self, plan, tags: TagSet, present: np.ndarray,
+                      rng: np.random.Generator, info_bits: int = 1,
+                      missing_attempts: int = 3):
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        key = (plan.protocol, int(info_bits), int(missing_attempts))
+        self._pending.append(
+            (key, (plan, tags, present, rng, fut)))
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = loop.create_task(self._drain())
+        return await fut
+
+    async def _drain(self) -> None:
+        # one cooperative yield lets every already-runnable session
+        # task enqueue its request before the batch cuts
+        await asyncio.sleep(0)
+        while self._pending:
+            batch, self._pending = self._pending, []
+            groups: dict[tuple, list] = {}
+            for key, item in batch:
+                groups.setdefault(key, []).append(item)
+            for key, items in groups.items():
+                plans = [it[0] for it in items]
+                tags_list = [it[1] for it in items]
+                present_list = [it[2] for it in items]
+                rngs = [it[3] for it in items]
+                self.executed_batches.append((key[0], len(items)))
+                try:
+                    results = execute_plan_batch(
+                        plans, tags_list, info_bits=key[1],
+                        budget=self.budget, channel=self.channel,
+                        rngs=rngs, present_list=present_list,
+                        missing_attempts=key[2], backend=self.backend)
+                except Exception as exc:  # propagate to every waiter
+                    for it in items:
+                        if not it[4].done():
+                            it[4].set_exception(exc)
+                    continue
+                for it, res in zip(items, results):
+                    it[4].set_result(res)
+            await asyncio.sleep(0)
+
+
+def run_inventory(
+    protocol: PollingProtocol,
+    tags: TagSet,
+    churn: ChurnModel,
+    n_epochs: int,
+    seed: int = 0,
+    incremental: bool = True,
+    **session_kw,
+) -> list[EpochReport]:
+    """The sync monitoring loop: churn → replan → poll, ``n_epochs`` times.
+
+    Churn diffs come from ``churn.draw`` on a generator seeded by
+    ``seed`` (separate from the session's planning/execution streams),
+    so incremental and full-replan runs see identical populations.
+    """
+    session = InventorySession(protocol, tags, seed=seed,
+                               incremental=incremental, **session_kw)
+    churn_rng = np.random.default_rng((seed, 0xC0FFEE))
+    return [session.step(churn.draw(session.store, churn_rng))
+            for _ in range(n_epochs)]
+
+
+async def run_concurrent_sessions(
+    sessions: list[InventorySession],
+    churns: list[ChurnModel],
+    n_epochs: int,
+    service: AsyncInventoryService,
+    seed: int = 0,
+) -> list[list[EpochReport]]:
+    """Drive many sessions concurrently through one batching service.
+
+    Every session advances epoch by epoch in its own task; the service
+    coalesces the per-epoch polls.  Returns each session's reports in
+    order.
+    """
+    if len(churns) != len(sessions):
+        raise ValueError("one churn model per session")
+
+    async def run_one(i: int, sess: InventorySession,
+                      churn: ChurnModel) -> list[EpochReport]:
+        churn_rng = np.random.default_rng((seed, i, 0xC0FFEE))
+        reports = []
+        for _ in range(n_epochs):
+            diff = churn.draw(sess.store, churn_rng)
+            reports.append(await sess.step_async(diff, service))
+        return reports
+
+    return list(await asyncio.gather(
+        *(run_one(i, s, c)
+          for i, (s, c) in enumerate(zip(sessions, churns)))))

@@ -39,6 +39,15 @@ class MissingTagReport:
     time_us: float
     n_retries: int
 
+    def __post_init__(self) -> None:
+        # Detection order depends on the DES backend and replica
+        # interleaving; the *set* of verdicts does not.  Normalise at
+        # construction so reports compare stably (== across backends).
+        object.__setattr__(
+            self, "detected_missing", sorted(self.detected_missing)
+        )
+        object.__setattr__(self, "true_missing", sorted(self.true_missing))
+
     @property
     def false_positives(self) -> list[int]:
         """Present tags wrongly declared missing."""

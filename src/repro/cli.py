@@ -5,6 +5,9 @@ Subcommands:
 - ``compare``  — run several protocols on one population and print the
   execution-time / vector-length comparison (the paper's Table view).
 - ``missing``  — theft-watch sweep: plant missing tags, detect them.
+- ``inventory`` — continuous-inventory monitoring loop: per-epoch
+  churn, incremental re-planning, missing-tag verdicts; ``--sessions``
+  multiplexes concurrent sessions over the batched DES backend.
 - ``estimate`` — cardinality estimation demo (zero / vogt / lof).
 - ``experiments`` — forwards to ``python -m repro.experiments``.
 - ``cache`` — inspect (and optionally compact) a sweep-cell cache
@@ -75,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Monte-Carlo replicas of the sweep, executed "
                              "as one replica-batched DES pass (replica r "
                              "is bit-identical to a run with seed+r)")
+
+    inv_p = sub.add_parser(
+        "inventory",
+        help="continuous-inventory monitoring loop under churn")
+    inv_p.add_argument("-n", "--tags", type=int, default=2_000)
+    inv_p.add_argument("-e", "--epochs", type=int, default=10)
+    inv_p.add_argument("-c", "--churn", type=float, default=0.01,
+                       help="per-epoch arrival+departure rate "
+                            "(split evenly)")
+    inv_p.add_argument("--missing-rate", type=float, default=0.005,
+                       help="per-epoch rate of tags going silent")
+    inv_p.add_argument("-p", "--protocol", choices=("HPP", "EHPP", "TPP"),
+                       default="EHPP")
+    inv_p.add_argument("-s", "--seed", type=int, default=0)
+    inv_p.add_argument("--full", action="store_true",
+                       help="rebuild the plan from scratch every epoch "
+                            "instead of incremental re-planning")
+    inv_p.add_argument("--sessions", type=int, default=1, metavar="S",
+                       help="run S concurrent sessions multiplexed over "
+                            "the batched DES backend (asyncio)")
+    inv_p.add_argument("--backend", choices=("machines", "array"),
+                       default="array")
 
     est_p = sub.add_parser("estimate", help="cardinality estimation demo")
     est_p.add_argument("-n", "--tags", type=int, default=5_000)
@@ -184,6 +209,63 @@ def _cmd_missing(args: argparse.Namespace) -> int:
     return 0 if report.exact else 1
 
 
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.apps.inventory import (
+        AsyncInventoryService, InventorySession, run_concurrent_sessions,
+        run_inventory)
+    from repro.workloads.inventory import ChurnModel
+    from repro.workloads.tagsets import uniform_tagset
+
+    churn = ChurnModel(
+        arrival_rate=args.churn / 2, departure_rate=args.churn / 2,
+        missing_rate=args.missing_rate, return_rate=0.0)
+    mode = "full replan" if args.full else "incremental replan"
+    if args.sessions > 1:
+        service = AsyncInventoryService(backend=args.backend)
+        sessions = [
+            InventorySession(
+                _make_protocol(args.protocol),
+                uniform_tagset(args.tags, np.random.default_rng(
+                    (args.seed, i))),
+                seed=args.seed + i, incremental=not args.full,
+                backend=args.backend)
+            for i in range(args.sessions)
+        ]
+        all_reports = asyncio.run(run_concurrent_sessions(
+            sessions, [churn] * args.sessions, args.epochs, service,
+            seed=args.seed))
+        wire = sum(r.time_us for reps in all_reports for r in reps) / 1e6
+        detected = sum(len(r.newly_missing)
+                       for reps in all_reports for r in reps)
+        batches = len(service.executed_batches)
+        execs = sum(s for _, s in service.executed_batches)
+        print(f"{args.protocol}: {args.sessions} concurrent sessions x "
+              f"{args.epochs} epochs ({mode}, {args.backend} backend)")
+        print(f"{execs} epoch polls multiplexed into {batches} "
+              f"lockstep DES batches")
+        print(f"total wire time {wire:.2f}s, "
+              f"{detected} missing-tag detections")
+        return 0
+    tags = uniform_tagset(args.tags, np.random.default_rng(args.seed))
+    reports = run_inventory(
+        _make_protocol(args.protocol), tags, churn, args.epochs,
+        seed=args.seed, incremental=not args.full, backend=args.backend)
+    print(f"{args.protocol}: {args.tags:,} tags, {args.epochs} epochs, "
+          f"churn {args.churn:.1%}/epoch ({mode})")
+    print(f"{'epoch':>5} {'known':>7} {'present':>8} {'+arr':>5} "
+          f"{'-dep':>5} {'missing':>8} {'new':>4} {'wire':>8}")
+    for r in reports:
+        print(f"{r.epoch:>5} {r.n_known:>7,} {r.n_present:>8,} "
+              f"{r.n_arrived:>5} {r.n_departed:>5} "
+              f"{len(r.detected_missing):>8} {len(r.newly_missing):>4} "
+              f"{r.time_s:>7.2f}s")
+    total = sum(r.time_us for r in reports) / 1e6
+    print(f"total wire time {total:.2f}s over {len(reports)} epochs")
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.baselines.estimation import estimate_cardinality
 
@@ -241,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "missing":
         return _cmd_missing(args)
+    if args.command == "inventory":
+        return _cmd_inventory(args)
     if args.command == "estimate":
         return _cmd_estimate(args)
     if args.command == "cache":

@@ -29,6 +29,7 @@ from repro.core.planner import (
     tpp_index_length,
 )
 from repro.core.polling_tree import PollingTree, Segment, decode_segments
+from repro.core.replan import PlanDiff, ReplanState, ReplanStats
 from repro.core.rounds import RoundDraw, draw_round
 from repro.core.tpp import TPP
 
@@ -54,4 +55,7 @@ __all__ = [
     "decode_segments",
     "RoundDraw",
     "draw_round",
+    "PlanDiff",
+    "ReplanState",
+    "ReplanStats",
 ]

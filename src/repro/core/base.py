@@ -242,5 +242,39 @@ class PollingProtocol(ABC):
         """
         return None
 
+    def plan_state(
+        self,
+        tags: "TagSet",
+        rng: np.random.Generator,
+        reply_bits: int = 1,
+        slots: np.ndarray | None = None,
+    ):
+        """Plan ``tags`` and return incremental re-planning state.
+
+        The state (:class:`repro.core.replan.ReplanState`) caches the
+        from-scratch plan plus its compiled wire schedule and absorbs
+        population churn in O(changed) via :meth:`replan`.  ``slots``
+        optionally assigns each tag a stable global slot id (default
+        ``0..n-1``); plans and schedules held by the state live in that
+        slot space.
+
+        The base implementation returns ``None`` — the protocol has no
+        incremental planner and callers must re-plan from scratch.
+        Overrides: HPP, TPP, EHPP.
+        """
+        return None
+
+    def replan(self, state, diff, rng: np.random.Generator):
+        """Absorb ``diff`` into ``state`` (made by :meth:`plan_state`).
+
+        Updates the held plan and spliced schedule in place —
+        bit-identical no-op for an empty diff — and returns the
+        :class:`repro.core.replan.ReplanStats` for the step.
+        """
+        if state is None:
+            raise NotImplementedError(
+                f"{self.name} has no incremental planner")
+        return state.apply(diff, rng)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

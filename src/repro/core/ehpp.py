@@ -152,6 +152,19 @@ class EHPP(PollingProtocol):
             meta={"subset_size": n_star, "n_circles": n_circles},
         )
 
+    def plan_state(self, tags, rng, reply_bits=1, slots=None):
+        """Incremental re-planning state (see :mod:`repro.core.replan`).
+
+        The circle partition is frozen at creation: arrivals join the
+        first circle whose selection hash accepts them (the same rule
+        the tag machines apply on the air) or the tail chain, created on
+        demand; the per-circle inner chains update incrementally.
+        """
+        from repro.core.replan import EHPPReplanState
+
+        return EHPPReplanState(self, tags, rng, reply_bits=reply_bits,
+                               slots=slots)
+
     # ------------------------------------------------------------------
     def plan_schedule_batch(
         self,

@@ -206,6 +206,13 @@ class HPP(PollingProtocol):
         )
         return InterrogationPlan(protocol=self.name, n_tags=n, rounds=rounds)
 
+    def plan_state(self, tags, rng, reply_bits=1, slots=None):
+        """Incremental re-planning state (see :mod:`repro.core.replan`)."""
+        from repro.core.replan import HashChainReplanState
+
+        return HashChainReplanState(self, tags, rng, reply_bits=reply_bits,
+                                    slots=slots, tree=False)
+
     def plan_schedule_batch(
         self,
         tags_list: list[TagSet],

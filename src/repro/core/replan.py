@@ -1,0 +1,954 @@
+"""Incremental re-planning: reuse the plan you have when the population churns.
+
+Re-planning HPP/TPP/EHPP from scratch on every small churn event throws
+away almost all prior work: a departure or arrival perturbs only the
+hash buckets the changed tag occupies, yet the one-shot planners redraw
+every round.  This module maintains enough per-round state to update an
+existing plan in O(changed) instead of O(n):
+
+**The chain sketch.**  Every protocol here is built from HPP *shrink
+chains* — a fixed sequence of rounds ``(seed_k, h_k)`` where a tag
+participates in rounds ``0..read_at[tag]`` and is polled at the round
+where it lands on a *singleton* bucket.  Per round we keep an
+invertible sketch of the participant multiset: ``counts[idx]`` (how
+many participants hashed to ``idx``) and ``sums[idx]`` (the sum of
+their slot ids).  When a count drops to 1 the sum *is* the surviving
+tag — no search needed:
+
+- **departure** — decrement the tag's buckets over its participation
+  prefix; any bucket dropping to one *promotes* its survivor (the
+  survivor's poll moves earlier, releasing its later buckets, which may
+  cascade — a worklist drains the transitive closure).
+- **arrival** — walk the chain from round 0: an empty bucket polls the
+  tag there; a singleton bucket *demotes* the previous occupant (it
+  re-walks from the next round); otherwise the tag collides and keeps
+  walking.  Tags that fall off the end of the chain *overflow* into
+  freshly-seeded rounds appended with the protocol's own policy.
+
+The maintained invariant is exactly what the DES tag machines verify:
+at every round, each polled index is hashed by precisely one
+still-unread participant.  An empty diff is a pure no-op — the cached
+plan and schedule are returned untouched, bit-identical to the
+from-scratch artifacts they were built from.
+
+**Index spaces.**  State, plans, and the maintained
+:class:`~repro.phy.schedule.WireSchedule` live in *slot space* (stable
+global ids from :class:`repro.workloads.inventory.InventoryStore`), so
+churn never renumbers unchanged rounds and the schedule updates by
+:meth:`~repro.phy.schedule.WireSchedule.splice` of the dirty round
+blocks only.  ``state.plan(local_of=...)`` gathers a compacted
+local-index plan for the DES / ``validate_complete``.
+
+Cost honesty: ``apply`` does O(changed · rounds-per-tag) sketch work
+plus O(dirty-round size) vectorised singleton-array patching; the
+splice itself is O(segments) concatenation of column slices.  Only the
+*planning* is incremental — localising a plan for execution is O(n)
+gathers, which the DES pass dwarfs anyway.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.base import InterrogationPlan, RoundPlan
+from repro.core.hpp import MAX_ROUNDS
+from repro.core.polling_tree import segment_lengths
+from repro.core.rounds import draw_round, fresh_seed
+from repro.hashing.universal import (
+    _splitmix64_scalar,
+    hash_indices,
+    hash_mod_ragged,
+    hash_u64_ragged,
+)
+from repro.phy.commands import DEFAULT_COMMAND_SIZES
+from repro.phy.schedule import (
+    KIND_BROADCAST,
+    KIND_POLL,
+    RoundPatch,
+    WireSchedule,
+    compile_plan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import PollingProtocol
+    from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "PlanDiff",
+    "ReplanStats",
+    "ReplanState",
+    "HashChainReplanState",
+    "EHPPReplanState",
+]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """Slot-space churn the planner must absorb.
+
+    ``arrived_slots``/``arrived_words`` are aligned; ``departed_slots``
+    name tags leaving the planning population.  Gone-missing/returned
+    changes don't appear here — they alter physical presence, not the
+    planned interrogation.
+    """
+
+    arrived_slots: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    arrived_words: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64))
+    departed_slots: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrived_slots",
+                           np.asarray(self.arrived_slots, dtype=np.int64))
+        object.__setattr__(self, "arrived_words",
+                           np.asarray(self.arrived_words, dtype=np.uint64))
+        object.__setattr__(self, "departed_slots",
+                           np.asarray(self.departed_slots, dtype=np.int64))
+        if self.arrived_slots.shape != self.arrived_words.shape:
+            raise ValueError("arrived_slots and arrived_words must align")
+
+    @classmethod
+    def from_epoch(cls, epoch) -> "PlanDiff":
+        """From an :class:`repro.workloads.inventory.EpochView` (duck-typed)."""
+        return cls(arrived_slots=epoch.arrived_slots,
+                   arrived_words=epoch.arrived_words,
+                   departed_slots=epoch.departed_slots)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.arrived_slots.size == 0 and self.departed_slots.size == 0
+
+
+@dataclass
+class ReplanStats:
+    """What one ``apply`` did (all counters are this-epoch only)."""
+
+    arrived: int = 0
+    departed: int = 0
+    promoted: int = 0
+    demoted: int = 0
+    overflowed: int = 0
+    dirty_rounds: int = 0
+    appended_rounds: int = 0
+    trimmed_rounds: int = 0
+    identity: bool = False
+
+
+class _Chain:
+    """One HPP shrink chain with its per-round invertible sketches."""
+
+    __slots__ = ("policy", "seeds", "hs", "counts", "sums", "n_active",
+                 "sing_idx", "sing_tag", "poll_bits", "tree", "read_at",
+                 "dirty", "_promoteq", "_insertq", "overflow",
+                 "_seeds_u64", "_masks", "_mix_memo")
+
+    def __init__(self, policy, tree: bool):
+        self.policy = policy
+        self.tree = tree  # TPP's pre-order tree segments vs HPP's flat h
+        self.seeds: list[int] = []
+        self.hs: list[int] = []
+        self.counts: list[np.ndarray] = []
+        self.sums: list[np.ndarray] = []
+        self.n_active: list[int] = []
+        # singleton sets live as *sorted python lists* — churn touches a
+        # handful of entries per round, and bisect beats the numpy
+        # delete/insert machinery by an order of magnitude at that scale;
+        # arrays are materialised only at patch/plan assembly
+        self.sing_idx: list[list[int]] = []
+        self.sing_tag: list[list[int]] = []
+        self.poll_bits: list[np.ndarray | None] = []  # tree mode only
+        self.read_at: dict[int, int] = {}
+        self.dirty: set[int] = set()
+        self._promoteq: list[tuple[int, int]] = []
+        self._insertq: list[tuple[int, int]] = []
+        self.overflow: list[int] = []
+        self._seeds_u64: np.ndarray | None = None  # memo for _index_lists
+        self._masks: np.ndarray | None = None
+        self._mix_memo: list[tuple[int, int]] | None = None
+
+    def _index_lists(self, words: np.ndarray) -> list[list[int]]:
+        """Per-tag hash-index vectors over this chain's rounds.
+
+        ``result[j][k]`` is tag ``j``'s index in round ``k`` —
+        bit-identical to :func:`repro.hashing.universal.hash_indices`
+        per round (same splitmix64 composition; the scalar fast path
+        below applies identical wrap-around arithmetic on plain ints).
+        Tiny batches (single promoted/demoted tags, EHPP's few-round
+        circle chains) skip numpy-call overhead entirely; larger ones
+        go through one ragged hash pass.
+        """
+        n_rounds, m = len(self.seeds), int(words.size)
+        if n_rounds == 0 or m == 0:
+            return [[] for _ in range(m)]
+        if m * n_rounds <= 48:
+            if self._mix_memo is None or len(self._mix_memo) != n_rounds:
+                self._mix_memo = [
+                    (_splitmix64_scalar(s), (1 << h) - 1)
+                    for s, h in zip(self.seeds, self.hs)
+                ]
+            memo = self._mix_memo
+            return [
+                [_splitmix64_scalar(w ^ ms) & mask for ms, mask in memo]
+                for w in words.tolist()
+            ]
+        if self._seeds_u64 is None or self._seeds_u64.size != n_rounds:
+            self._seeds_u64 = np.asarray(self.seeds, dtype=np.uint64)
+            self._masks = (np.uint64(1) << np.asarray(
+                self.hs, dtype=np.uint64)) - np.uint64(1)
+        hashed = hash_u64_ragged(
+            np.tile(words, n_rounds), self._seeds_u64,
+            np.full(n_rounds, m, dtype=np.int64),
+        )
+        idx = (hashed.reshape(n_rounds, m)
+               & self._masks[:, None]).astype(np.int64)
+        return idx.T.tolist()
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.read_at)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _push_round(self, seed: int, h: int, idx_all: np.ndarray,
+                    part: np.ndarray, sing_idx: np.ndarray,
+                    sing_tag: np.ndarray) -> None:
+        counts = np.bincount(idx_all, minlength=1 << h)
+        # float64 sums are exact here (slot-id totals stay far below 2^53)
+        sums = np.bincount(idx_all, weights=part,
+                           minlength=1 << h).astype(np.int64)
+        k = len(self.seeds)
+        self.seeds.append(int(seed))
+        self.hs.append(int(h))
+        self.counts.append(counts)
+        self.sums.append(sums)
+        self.n_active.append(int(part.size))
+        sidx = np.asarray(sing_idx, dtype=np.int64)
+        self.sing_idx.append(sidx.tolist())
+        self.sing_tag.append(np.asarray(sing_tag, dtype=np.int64).tolist())
+        self.poll_bits.append(segment_lengths(sidx, h) if self.tree else None)
+        for t in self.sing_tag[k]:
+            self.read_at[t] = k
+
+    @classmethod
+    def from_rounds(cls, rounds: list[RoundPlan], words: np.ndarray,
+                    policy, tree: bool) -> "_Chain":
+        """Derive the sketch state from a from-scratch plan's rounds.
+
+        ``rounds`` carry slot-space ``poll_tag_idx``.  Participants per
+        round are reconstructed backward (everyone polled at round >= k
+        participated in round k), then each round's buckets are rebuilt
+        with the very hash the planner used — the resulting singleton
+        sets are the plan's own, by construction.
+        """
+        chain = cls(policy, tree)
+        if not rounds:
+            return chain
+        parts: list[np.ndarray] = [None] * len(rounds)  # type: ignore[list-item]
+        acc = _EMPTY_I64
+        for k in range(len(rounds) - 1, -1, -1):
+            acc = np.concatenate([rounds[k].poll_tag_idx, acc]) \
+                if acc.size else np.asarray(rounds[k].poll_tag_idx)
+            parts[k] = acc
+        for k, rp in enumerate(rounds):
+            h, seed = rp.extra["h"], rp.extra["seed"]
+            part = np.asarray(parts[k], dtype=np.int64)
+            idx_all = hash_indices(words[part], seed, h)
+            chain._push_round(seed, h, idx_all, part,
+                              rp.extra["singleton_indices"], rp.poll_tag_idx)
+        return chain
+
+    # ------------------------------------------------------------------
+    # singleton-set edits (bisect on the sorted per-round lists)
+    # ------------------------------------------------------------------
+    def _sing_remove(self, k: int, idx: int) -> None:
+        si = self.sing_idx[k]
+        i = bisect_left(si, idx)
+        del si[i]
+        del self.sing_tag[k][i]
+        self.poll_bits[k] = None  # tree segments recompute lazily
+        self.dirty.add(k)
+
+    def _sing_add(self, k: int, idx: int, tag: int) -> None:
+        si = self.sing_idx[k]
+        i = bisect_left(si, idx)
+        si.insert(i, idx)
+        self.sing_tag[k].insert(i, tag)
+        self.poll_bits[k] = None
+        self.dirty.add(k)
+
+    def round_poll_bits(self, k: int) -> np.ndarray:
+        """Per-poll tree-segment bits of round ``k`` (tree chains only)."""
+        pb = self.poll_bits[k]
+        if pb is None:
+            pb = segment_lengths(
+                np.asarray(self.sing_idx[k], dtype=np.int64), self.hs[k])
+            self.poll_bits[k] = pb
+        return pb
+
+    # ------------------------------------------------------------------
+    # the three churn primitives
+    # ------------------------------------------------------------------
+    def remove_tags(self, slots: list[int], words: np.ndarray,
+                    stats: ReplanStats) -> None:
+        if not slots:
+            return
+        vecs = self._index_lists(words[np.asarray(slots, dtype=np.int64)])
+        for t, ivec in zip(slots, vecs):
+            k_read = self.read_at.pop(t)
+            self._sing_remove(k_read, ivec[k_read])
+            for k in range(k_read + 1):
+                idx = ivec[k]
+                c = self.counts[k]
+                c[idx] -= 1
+                self.sums[k][idx] -= t
+                self.n_active[k] -= 1
+                if c[idx] == 1:
+                    self._promoteq.append((k, idx))
+
+    def insert_tags(self, slots: list[int], words: np.ndarray,
+                    stats: ReplanStats) -> None:
+        if not slots:
+            return
+        vecs = self._index_lists(words[np.asarray(slots, dtype=np.int64)])
+        for t, ivec in zip(slots, vecs):
+            self._insert(t, ivec, 0, stats)
+        # demote cascades drain in waves so each wave is one hash pass
+        while self._insertq:
+            wave, self._insertq = self._insertq, []
+            tags = [s for s, _ in wave]
+            vecs = self._index_lists(
+                words[np.asarray(tags, dtype=np.int64)])
+            for (s, start), svec in zip(wave, vecs):
+                self._insert(s, svec, start, stats)
+
+    def _insert(self, t: int, ivec: list[int], start: int,
+                stats: ReplanStats) -> None:
+        for k in range(start, len(self.seeds)):
+            idx = ivec[k]
+            c = int(self.counts[k][idx])
+            if c == 0:
+                self.counts[k][idx] = 1
+                self.sums[k][idx] += t
+                self.n_active[k] += 1
+                self._sing_add(k, idx, t)
+                self.read_at[t] = k
+                return
+            if c == 1:
+                s = int(self.sums[k][idx])
+                if self.read_at.get(s) == k:
+                    # the previous singleton collides now: demote it and
+                    # let it re-walk from the next round
+                    del self.read_at[s]
+                    self._sing_remove(k, idx)
+                    self._insertq.append((s, k + 1))
+                    stats.demoted += 1
+            self.counts[k][idx] = c + 1
+            self.sums[k][idx] += t
+            self.n_active[k] += 1
+        self.overflow.append(t)
+
+    def drain_promotions(self, words: np.ndarray, stats: ReplanStats) -> None:
+        # Wave-batched: hash all of a wave's survivors in one pass, then
+        # promote sequentially with re-validation (an earlier promotion
+        # in the wave can change a bucket; if its survivor was not in
+        # this wave's hash batch, the candidate re-queues for the next).
+        while self._promoteq:
+            wave, self._promoteq = self._promoteq, []
+            survivors: list[int] = []
+            for k, idx in wave:
+                if int(self.counts[k][idx]) == 1:
+                    survivors.append(int(self.sums[k][idx]))
+            uniq = sorted(set(survivors))
+            vecs = dict(zip(uniq, self._index_lists(
+                words[np.asarray(uniq, dtype=np.int64)])))
+            for k, idx in wave:
+                if int(self.counts[k][idx]) != 1:
+                    continue  # re-collided or emptied since queued
+                s = int(self.sums[k][idx])
+                rr = self.read_at.get(s)
+                if rr is None or rr <= k:
+                    continue  # already reads at or before this round
+                svec = vecs.get(s)
+                if svec is None:
+                    self._promoteq.append((k, idx))
+                    continue
+                self._sing_remove(rr, svec[rr])
+                for j in range(k + 1, rr + 1):
+                    jdx = svec[j]
+                    c = self.counts[j]
+                    c[jdx] -= 1
+                    self.sums[j][jdx] -= s
+                    self.n_active[j] -= 1
+                    if c[jdx] == 1:
+                        self._promoteq.append((j, jdx))
+                self._sing_add(k, idx, s)
+                self.read_at[s] = k
+                stats.promoted += 1
+
+    # ------------------------------------------------------------------
+    # overflow extension and trailing trim
+    # ------------------------------------------------------------------
+    def extend(self, words: np.ndarray, rng: np.random.Generator,
+               stats: ReplanStats) -> int:
+        """Append freshly-seeded rounds until the overflow set is read."""
+        if not self.overflow:
+            return 0
+        stats.overflowed += len(self.overflow)
+        active = np.sort(np.asarray(self.overflow, dtype=np.int64))
+        self.overflow.clear()
+        appended = 0
+        while active.size:
+            if len(self.seeds) >= MAX_ROUNDS:
+                raise RuntimeError("replan: chain extension did not converge")
+            h = self.policy(int(active.size))
+            seed = fresh_seed(rng)
+            draw = draw_round(words, active, seed, h)
+            idx_all = hash_indices(words[active], seed, h)
+            self._push_round(seed, h, idx_all, active,
+                             draw.singleton_indices, draw.singleton_tags)
+            active = draw.remaining_tags
+            appended += 1
+        stats.appended_rounds += appended
+        return appended
+
+    def trim(self, stats: ReplanStats) -> int:
+        """Drop trailing rounds no tag participates in any more.
+
+        Participation prefixes make ``n_active`` non-increasing along
+        the chain, so dead rounds always form a suffix.
+        """
+        trimmed = 0
+        while self.seeds and self.n_active[-1] == 0:
+            k = len(self.seeds) - 1
+            for col in (self.seeds, self.hs, self.counts, self.sums,
+                        self.n_active, self.sing_idx, self.sing_tag,
+                        self.poll_bits):
+                col.pop()
+            self.dirty.discard(k)
+            trimmed += 1
+        stats.trimmed_rounds += trimmed
+        return trimmed
+
+    # ------------------------------------------------------------------
+    def check_invariants(self, words: np.ndarray) -> None:
+        """Recompute everything from scratch and compare (test helper)."""
+        if self._promoteq or self._insertq or self.overflow:
+            raise AssertionError("chain has undrained work queues")
+        members = np.asarray(sorted(self.read_at), dtype=np.int64)
+        read = np.asarray([self.read_at[t] for t in members.tolist()],
+                          dtype=np.int64)
+        for k in range(len(self.seeds)):
+            part = members[read >= k]
+            if part.size != self.n_active[k]:
+                raise AssertionError(f"round {k}: n_active mismatch")
+            idx = hash_indices(words[part], self.seeds[k], self.hs[k])
+            counts = np.bincount(idx, minlength=1 << self.hs[k])
+            if not np.array_equal(counts, self.counts[k]):
+                raise AssertionError(f"round {k}: counts diverged")
+            sums = np.bincount(idx, weights=part,
+                               minlength=1 << self.hs[k]).astype(np.int64)
+            if not np.array_equal(sums, self.sums[k]):
+                raise AssertionError(f"round {k}: sums diverged")
+            singles = np.flatnonzero(counts == 1)
+            sidx = np.asarray(self.sing_idx[k], dtype=np.int64)
+            stag = np.asarray(self.sing_tag[k], dtype=np.int64)
+            if not np.array_equal(singles, sidx):
+                raise AssertionError(f"round {k}: singleton indices diverged")
+            if not np.array_equal(sums[singles], stag):
+                raise AssertionError(f"round {k}: singleton tags diverged")
+            polled_here = members[read == k]
+            if not np.array_equal(np.sort(stag), polled_here):
+                raise AssertionError(f"round {k}: read positions diverged")
+            if self.tree and not np.array_equal(
+                    self.round_poll_bits(k),
+                    segment_lengths(sidx, self.hs[k])):
+                raise AssertionError(f"round {k}: tree segments diverged")
+        if self.seeds and self.n_active[-1] == 0:
+            raise AssertionError("untrimmed dead tail round")
+        if len(self.read_at) and not self.seeds:
+            raise AssertionError("members but no rounds")
+
+
+# ----------------------------------------------------------------------
+# protocol-facing state objects
+# ----------------------------------------------------------------------
+class ReplanState:
+    """Base class: slot-indexed identity words + the maintained schedule.
+
+    Subclasses implement ``_mutate(diff, rng, stats) -> list[PatchSpec]``
+    over their chain layout; this class owns the empty-diff fast path,
+    the words array, the schedule splice, and plan localisation.
+    """
+
+    def __init__(self, protocol: "PollingProtocol", tags: "TagSet",
+                 rng: np.random.Generator, reply_bits: int = 1,
+                 slots: np.ndarray | None = None):
+        self.protocol = protocol
+        self.reply_bits = int(reply_bits)
+        n = len(tags)
+        if slots is None:
+            slots = np.arange(n, dtype=np.int64)
+        else:
+            slots = np.asarray(slots, dtype=np.int64)
+            if slots.size != n:
+                raise ValueError("slots must align with tags")
+        self.n_slots = int(slots.max()) + 1 if n else 0
+        self._words = np.zeros(max(self.n_slots, 1), dtype=np.uint64)
+        self._words[slots] = tags.id_words
+        # the from-scratch plan IS the initial state: rounds are lifted
+        # to slot space and the sketches derived from their own extras,
+        # so the cached artifacts are bit-identical to plan+compile
+        plan = protocol.plan(tags, rng)
+        slot_rounds = [
+            RoundPlan(
+                label=rp.label, init_bits=rp.init_bits,
+                poll_vector_bits=rp.poll_vector_bits,
+                poll_tag_idx=slots[rp.poll_tag_idx],
+                poll_overhead_bits=rp.poll_overhead_bits,
+                extra=dict(rp.extra),
+            )
+            for rp in plan.rounds
+        ]
+        self._slot_plan = InterrogationPlan(
+            protocol=plan.protocol, n_tags=max(self.n_slots, plan.n_tags),
+            rounds=slot_rounds, meta=dict(plan.meta))
+        self._sched = compile_plan(self._slot_plan, reply_bits)
+        self._plan_dirty = False
+        self._ingest(slot_rounds)
+
+    # -- subclass hooks -------------------------------------------------
+    def _ingest(self, rounds: list[RoundPlan]) -> None:
+        raise NotImplementedError
+
+    def _mutate(self, diff: PlanDiff, rng: np.random.Generator,
+                stats: ReplanStats) -> "list[PatchSpec]":
+        raise NotImplementedError
+
+    def _assemble(self) -> list[RoundPlan]:
+        raise NotImplementedError
+
+    @property
+    def n_live(self) -> int:
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        raise NotImplementedError
+
+    # -- the replan contract --------------------------------------------
+    def apply(self, diff: PlanDiff, rng: np.random.Generator) -> ReplanStats:
+        """Absorb one epoch's churn; O(changed), not O(n).
+
+        An empty diff returns immediately with ``identity=True`` — the
+        cached plan and schedule objects are untouched.
+        """
+        if diff.is_empty:
+            return ReplanStats(identity=True)
+        stats = ReplanStats(arrived=int(diff.arrived_slots.size),
+                            departed=int(diff.departed_slots.size))
+        if diff.arrived_slots.size:
+            hi = int(diff.arrived_slots.max()) + 1
+            if hi > self._words.size:
+                grown = np.zeros(max(hi, self._words.size * 2),
+                                 dtype=np.uint64)
+                grown[:self._words.size] = self._words
+                self._words = grown
+            self._words[diff.arrived_slots] = diff.arrived_words
+            self.n_slots = max(self.n_slots, hi)
+        specs = self._mutate(diff, rng, stats)
+        self._sched = self._sched.splice(
+            _build_patches(specs, self.reply_bits))
+        self._sched.n_tags = max(self.n_slots, 1)
+        self._plan_dirty = True
+        return stats
+
+    def schedule(self) -> WireSchedule:
+        """The maintained slot-space wire schedule (cost it directly)."""
+        return self._sched
+
+    def plan(self, local_of: np.ndarray | None = None) -> InterrogationPlan:
+        """The current plan; slot space, or localised via ``local_of``.
+
+        ``local_of`` is the epoch's slot→local map
+        (:meth:`repro.workloads.inventory.InventoryStore.local_of`); the
+        localised plan has ``n_tags == n_live`` and passes
+        ``validate_complete`` — hand it to the DES executors.
+        """
+        if self._plan_dirty:
+            self._slot_plan = InterrogationPlan(
+                protocol=self.protocol.name,
+                n_tags=max(self.n_slots, 1) if self.n_live else 0,
+                rounds=self._assemble(), meta=self._meta())
+            self._plan_dirty = False
+        if local_of is None:
+            return self._slot_plan
+        plan = self._slot_plan
+        rounds = [
+            RoundPlan(
+                label=rp.label, init_bits=rp.init_bits,
+                poll_vector_bits=rp.poll_vector_bits,
+                poll_tag_idx=local_of[rp.poll_tag_idx],
+                poll_overhead_bits=rp.poll_overhead_bits,
+                extra=rp.extra,
+            )
+            for rp in plan.rounds
+        ]
+        return InterrogationPlan(protocol=plan.protocol, n_tags=self.n_live,
+                                 rounds=rounds, meta=dict(plan.meta))
+
+    def _meta(self) -> dict[str, Any]:
+        return {}
+
+
+class HashChainReplanState(ReplanState):
+    """HPP (flat ``h``-bit polls) and TPP (tree segments): one chain."""
+
+    def __init__(self, protocol, tags, rng, reply_bits: int = 1,
+                 slots: np.ndarray | None = None, tree: bool = False):
+        self._tree = tree
+        super().__init__(protocol, tags, rng, reply_bits, slots)
+
+    def _ingest(self, rounds: list[RoundPlan]) -> None:
+        self._chain = _Chain.from_rounds(rounds, self._words,
+                                         self.protocol.policy, self._tree)
+
+    @property
+    def n_live(self) -> int:
+        return self._chain.n_members
+
+    def _mutate(self, diff, rng, stats) -> list[RoundPatch]:
+        chain = self._chain
+        old_len = len(chain)
+        chain.remove_tags(diff.departed_slots.tolist(), self._words, stats)
+        chain.insert_tags(diff.arrived_slots.tolist(), self._words, stats)
+        # extend BEFORE draining promotions: a promotion's survivor may be
+        # an overflow tag that only gets its read round in the extension
+        chain.extend(self._words, rng, stats)
+        chain.drain_promotions(self._words, stats)
+        chain.trim(stats)
+        stats.dirty_rounds += len(chain.dirty)
+        return _chain_patch_specs(chain, 0, old_len, self._init_bits())
+
+    def _init_bits(self) -> int:
+        return self.protocol.commands.round_init
+
+    def _assemble(self) -> list[RoundPlan]:
+        prefix = "tpp" if self._tree else "hpp"
+        return _chain_round_plans(self._chain, self._init_bits(),
+                                  f"{prefix}-round-")
+
+    def check_invariants(self) -> None:
+        self._chain.check_invariants(self._words)
+
+
+#: one pending schedule rewrite: ``(start, stop, rounds)`` with
+#: planner-style tuples ``(init_bits, poll_bits, poll_tags)`` per round
+#: (``poll_bits`` a scalar or per-poll array, ``poll_tags`` a list)
+PatchSpec = tuple[int, int, list]
+
+
+def _chain_patch_specs(chain: _Chain, offset: int, old_len: int,
+                       init_bits: int) -> list[PatchSpec]:
+    """Specs rewriting a chain's dirty/appended/trimmed rounds.
+
+    ``offset`` is the chain's first round id in the *pre-apply* global
+    schedule, ``old_len`` its pre-apply length.
+    """
+    new_len = len(chain)
+    specs: list[PatchSpec] = []
+    kept_dirty = sorted(k for k in chain.dirty if k < min(old_len, new_len))
+    # consecutive dirty rounds merge into one patch — fewer, larger
+    # column blocks beat many single-round ones
+    i = 0
+    while i < len(kept_dirty):
+        j = i
+        while j + 1 < len(kept_dirty) and kept_dirty[j + 1] == kept_dirty[j] + 1:
+            j += 1
+        lo, hi = kept_dirty[i], kept_dirty[j] + 1
+        specs.append((offset + lo, offset + hi,
+                      [(init_bits,
+                        chain.round_poll_bits(k) if chain.tree
+                        else chain.hs[k],
+                        chain.sing_tag[k]) for k in range(lo, hi)]))
+        i = j + 1
+    if new_len > old_len:
+        specs.append((offset + old_len, offset + old_len,
+                      [(init_bits,
+                        chain.round_poll_bits(k) if chain.tree
+                        else chain.hs[k],
+                        chain.sing_tag[k]) for k in range(old_len, new_len)]))
+    elif new_len < old_len:
+        specs.append((offset + new_len, offset + old_len, []))
+    chain.dirty.clear()
+    return specs
+
+
+def _build_patches(specs: list[PatchSpec],
+                   reply_bits: int) -> list[RoundPatch]:
+    """Materialise every spec's :class:`RoundPatch` in one vector pass.
+
+    Churn rewrites many small round blocks per epoch (EHPP touches a
+    few rounds in each of dozens of circles); assembling their exchange
+    columns jointly costs a handful of numpy calls total instead of a
+    dozen per patch, then each patch takes zero-copy slices.
+    """
+    if not specs:
+        return []
+    poll_overhead = DEFAULT_COMMAND_SIZES.query_rep
+    flat: list[tuple] = []
+    spec_rounds = np.empty(len(specs), dtype=np.int64)
+    for i, (_, _, rounds) in enumerate(specs):
+        spec_rounds[i] = len(rounds)
+        flat.extend(rounds)
+    n_flat = len(flat)
+    n_polls = np.fromiter((len(rd[2]) for rd in flat), np.int64, n_flat)
+    rows_per_round = n_polls + 1
+    row_off = np.zeros(n_flat + 1, dtype=np.int64)
+    np.cumsum(rows_per_round, out=row_off[1:])
+    total = int(row_off[-1])
+    start_rows = row_off[:-1]
+    is_poll = np.ones(total, dtype=bool)
+    is_poll[start_rows] = False
+    kind = np.where(is_poll, KIND_POLL, KIND_BROADCAST).astype(np.int8)
+    down = np.empty(total, dtype=np.int64)
+    down[start_rows] = np.fromiter((rd[0] for rd in flat), np.int64, n_flat)
+    tag_idx = np.full(total, -1, dtype=np.int64)
+    if total > n_flat:
+        if any(isinstance(rd[1], np.ndarray) for rd in flat):
+            pb = np.concatenate([
+                np.asarray(rd[1], dtype=np.int64)
+                if isinstance(rd[1], np.ndarray)
+                else np.full(len(rd[2]), rd[1], dtype=np.int64)
+                for rd in flat])
+        else:
+            pb = np.repeat(
+                np.fromiter((rd[1] for rd in flat), np.int64, n_flat),
+                n_polls)
+        down[is_poll] = pb + poll_overhead
+        tag_idx[is_poll] = np.fromiter(
+            itertools.chain.from_iterable(rd[2] for rd in flat),
+            np.int64, total - n_flat)
+    uplink = np.zeros(total, dtype=np.int64)
+    uplink[is_poll] = reply_bits
+    # patch-local round ids restart at 0 within each spec
+    spec_bounds = np.zeros(len(specs) + 1, dtype=np.int64)
+    np.cumsum(spec_rounds, out=spec_bounds[1:])
+    local_round = (np.arange(n_flat, dtype=np.int64)
+                   - np.repeat(spec_bounds[:-1], spec_rounds))
+    round_id = np.repeat(local_round, rows_per_round)
+    patches: list[RoundPatch] = []
+    for i, (start, stop, rounds) in enumerate(specs):
+        a = int(row_off[spec_bounds[i]])
+        b = int(row_off[spec_bounds[i + 1]])
+        patches.append(RoundPatch(
+            start=start, stop=stop, n_rounds=len(rounds),
+            kind=kind[a:b], downlink_bits=down[a:b],
+            uplink_bits=uplink[a:b], tag_idx=tag_idx[a:b],
+            round_id=round_id[a:b]))
+    return patches
+
+
+def _chain_round_plans(chain: _Chain, init_bits: int,
+                       label_prefix: str) -> list[RoundPlan]:
+    rounds = []
+    for k in range(len(chain)):
+        h = chain.hs[k]
+        n_polls = len(chain.sing_tag[k])
+        bits = (chain.round_poll_bits(k) if chain.tree
+                else np.full(n_polls, h, dtype=np.int64))
+        extra = {
+            "h": h, "seed": chain.seeds[k],
+            "singleton_indices": np.asarray(chain.sing_idx[k],
+                                            dtype=np.int64),
+            "n_active": chain.n_active[k],
+        }
+        if chain.tree:
+            extra["tree_nodes"] = int(bits.sum())
+        rounds.append(RoundPlan(
+            label=f"{label_prefix}{k}", init_bits=init_bits,
+            poll_vector_bits=bits, poll_tag_idx=chain.sing_tag[k],
+            extra=extra,
+        ))
+    return rounds
+
+
+class EHPPReplanState(ReplanState):
+    """EHPP: an ordered list of circles (each a scoped chain) + a tail.
+
+    A tag's circle is the *first* whose selection hash accepts it —
+    exactly the semantics the DES tag machines apply to the broadcast
+    circle commands, so arrivals slot into the circle that will
+    actually capture them on the air.  Tags rejected by every circle
+    belong to the (global-scope) tail chain, created on demand.
+    """
+
+    def _ingest(self, rounds: list[RoundPlan]) -> None:
+        self._circles: list[dict[str, Any]] = []
+        self._tail: _Chain | None = None
+        policy = self.protocol.policy
+        current: list[RoundPlan] | None = None
+        tail_rounds: list[RoundPlan] = []
+        for rp in rounds:
+            if (rp.label.startswith("ehpp-circle") and rp.n_polls == 0
+                    and "F" in rp.extra):
+                if current is not None:
+                    self._circles[-1]["rounds"] = current
+                self._circles.append({
+                    "seed": rp.extra["seed"], "f": rp.extra["f"],
+                    "F": rp.extra["F"],
+                    "n_remaining": rp.extra.get("n_remaining", 0),
+                })
+                current = []
+            elif rp.label.startswith("ehpp-tail"):
+                tail_rounds.append(rp)
+            else:
+                assert current is not None, "inner round before any circle"
+                current.append(rp)
+        if current is not None:
+            self._circles[-1]["rounds"] = current
+        for c in self._circles:
+            c["chain"] = _Chain.from_rounds(c.pop("rounds"), self._words,
+                                            policy, tree=False)
+        if tail_rounds or not self._circles:
+            self._tail = _Chain.from_rounds(tail_rounds, self._words,
+                                            policy, tree=False)
+        self._home: dict[int, int] = {}  # slot -> circle ordinal (-1 tail)
+        for ci, c in enumerate(self._circles):
+            for t in c["chain"].read_at:
+                self._home[t] = ci
+        if self._tail is not None:
+            for t in self._tail.read_at:
+                self._home[t] = -1
+
+    @property
+    def n_live(self) -> int:
+        return len(self._home)
+
+    def _chains(self) -> list[tuple[int, _Chain]]:
+        out = [(ci, c["chain"]) for ci, c in enumerate(self._circles)]
+        if self._tail is not None:
+            out.append((-1, self._tail))
+        return out
+
+    def _membership(self, slots: np.ndarray) -> list[int]:
+        """First-accepting circle per slot (-1 = tail), vectorised."""
+        n_circ = len(self._circles)
+        if n_circ == 0 or slots.size == 0:
+            return [-1] * int(slots.size)
+        words = self._words[slots]
+        big_f = self._circles[0]["F"]
+        sel = hash_mod_ragged(
+            np.tile(words, n_circ),
+            np.asarray([c["seed"] for c in self._circles], dtype=np.uint64),
+            big_f,
+            np.full(n_circ, slots.size, dtype=np.int64),
+        ).reshape(n_circ, slots.size)
+        fs = np.asarray([c["f"] for c in self._circles],
+                        dtype=np.int64)[:, None]
+        accept = sel <= fs
+        hit = accept.any(axis=0)
+        first = np.argmax(accept, axis=0)
+        return np.where(hit, first, -1).tolist()
+
+    def _mutate(self, diff, rng, stats) -> list[RoundPatch]:
+        # pre-apply layout: each circle occupies 1 command round + chain
+        offsets: dict[int, int] = {}
+        off = 0
+        for ci, c in enumerate(self._circles):
+            offsets[ci] = off + 1  # the chain starts after the command
+            off += 1 + len(c["chain"])
+        tail_existed = self._tail is not None
+        if tail_existed:
+            offsets[-1] = off
+            off += len(self._tail)
+        old_total = off
+        old_lens = {ci: len(ch) for ci, ch in self._chains()}
+
+        by_chain_dep: dict[int, list[int]] = {}
+        for t in diff.departed_slots.tolist():
+            by_chain_dep.setdefault(self._home.pop(t), []).append(t)
+        by_chain_arr: dict[int, list[int]] = {}
+        for t, ci in zip(diff.arrived_slots.tolist(),
+                         self._membership(diff.arrived_slots)):
+            by_chain_arr.setdefault(ci, []).append(t)
+            self._home[t] = ci
+
+        new_tail = False
+        if -1 in by_chain_arr and self._tail is None:
+            self._tail = _Chain(self.protocol.policy, tree=False)
+            new_tail = True
+        specs: list[PatchSpec] = []
+        init_bits = self.protocol.commands.round_init
+        for ci, chain in self._chains():
+            dep = by_chain_dep.get(ci, [])
+            arr = by_chain_arr.get(ci, [])
+            if not dep and not arr:
+                continue
+            chain.remove_tags(dep, self._words, stats)
+            chain.insert_tags(arr, self._words, stats)
+            chain.extend(self._words, rng, stats)
+            chain.drain_promotions(self._words, stats)
+            chain.trim(stats)
+            stats.dirty_rounds += len(chain.dirty)
+            if ci == -1 and new_tail:
+                # brand-new tail block: all its rounds arrive in one
+                # insert patch at the end of the old schedule
+                specs.append((old_total, old_total,
+                              [(init_bits, chain.hs[k], chain.sing_tag[k])
+                               for k in range(len(chain))]))
+                chain.dirty.clear()
+            else:
+                specs.extend(_chain_patch_specs(
+                    chain, offsets[ci], old_lens[ci], init_bits))
+        return specs
+
+    def _assemble(self) -> list[RoundPlan]:
+        rounds: list[RoundPlan] = []
+        circle_bits = self.protocol.commands.circle_command
+        init_bits = self.protocol.commands.round_init
+        for ci, c in enumerate(self._circles):
+            chain = c["chain"]
+            rounds.append(RoundPlan(
+                label=f"ehpp-circle-{ci}", init_bits=circle_bits,
+                poll_vector_bits=_EMPTY_I64, poll_tag_idx=_EMPTY_I64,
+                extra={"seed": c["seed"], "f": c["f"], "F": c["F"],
+                       "n_joined": chain.n_members,
+                       "n_remaining": c["n_remaining"]},
+            ))
+            rounds.extend(_chain_round_plans(
+                chain, init_bits, f"ehpp-circle-{ci}-round-"))
+        if self._tail is not None:
+            rounds.extend(_chain_round_plans(
+                self._tail, init_bits, "ehpp-tail-round-"))
+        return rounds
+
+    def _meta(self) -> dict[str, Any]:
+        return {"subset_size": self.protocol.subset_size,
+                "n_circles": len(self._circles)}
+
+    def check_invariants(self) -> None:
+        homes: dict[int, int] = {}
+        for ci, chain in self._chains():
+            chain.check_invariants(self._words)
+            for t in chain.read_at:
+                if t in homes:
+                    raise AssertionError(f"slot {t} owned by two chains")
+                homes[t] = ci
+        if homes != self._home:
+            raise AssertionError("membership map diverged from chains")
+        # every member sits in the first circle whose hash accepts it
+        slots = np.asarray(sorted(homes), dtype=np.int64)
+        for t, ci in zip(slots.tolist(), self._membership(slots)):
+            if homes[t] != ci:
+                raise AssertionError(
+                    f"slot {t} in chain {homes[t]}, membership says {ci}")

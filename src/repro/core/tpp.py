@@ -81,6 +81,13 @@ class TPP(PollingProtocol):
             f"(MAX_ROUNDS={MAX_ROUNDS}, {active.size} tags still active)"
         )
 
+    def plan_state(self, tags, rng, reply_bits=1, slots=None):
+        """Incremental re-planning state (see :mod:`repro.core.replan`)."""
+        from repro.core.replan import HashChainReplanState
+
+        return HashChainReplanState(self, tags, rng, reply_bits=reply_bits,
+                                    slots=slots, tree=True)
+
     def plan_schedule_batch(
         self,
         tags_list: list[TagSet],

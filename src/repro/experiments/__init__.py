@@ -18,6 +18,7 @@ from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.costmodel import CostModel
 from repro.experiments.extensions import ext_energy, ext_lossy_channel, ext_multi_reader
 from repro.experiments.figures import fig1, fig3, fig4, fig5, fig8, fig9, fig10
+from repro.experiments.inventory import ChurnMetric, ext_churn
 from repro.experiments.runner import (
     ResultCache,
     SweepRunner,
@@ -62,5 +63,7 @@ __all__ = [
     "ablate_ecpp_clustering",
     "ext_lossy_channel",
     "ext_energy",
+    "ext_churn",
+    "ChurnMetric",
     "ext_multi_reader",
 ]

@@ -25,6 +25,7 @@ from repro.experiments import (
     ablate_ehpp_subset_size,
     ablate_mic_hash_count,
     ablate_tpp_index_policy,
+    ext_churn,
     ext_energy,
     ext_lossy_channel,
     ext_multi_reader,
@@ -58,6 +59,8 @@ _EXPERIMENTS = {
     "ablate_ehpp_subset": lambda quick: ablate_ehpp_subset_size(),
     "ablate_mic_k": lambda quick: ablate_mic_hash_count(),
     "ablate_ecpp": lambda quick: ablate_ecpp_clustering(),
+    "ext_churn": lambda quick: ext_churn(
+        n=500 if quick else 2_000, n_runs=1 if quick else 3),
     "ext_lossy": lambda quick: ext_lossy_channel(n_runs=1 if quick else 3),
     "ext_energy": lambda quick: ext_energy(n_runs=2 if quick else 5),
     "ext_multi_reader": lambda quick: ext_multi_reader(),

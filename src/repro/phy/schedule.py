@@ -65,6 +65,7 @@ __all__ = [
     "KIND_COLLISION_SLOT",
     "KIND_NAMES",
     "CostIndex",
+    "RoundPatch",
     "WireSchedule",
     "ScheduleBatch",
     "RoundView",
@@ -141,7 +142,8 @@ def _build_cost_index(schedule: "WireSchedule") -> CostIndex:
     ).reshape(n_rounds, 4)
     slot_down = np.where(kind == KIND_POLL, 0, down)
     first = np.empty(rid.shape, dtype=bool)
-    first[0] = True
+    if first.size:
+        first[0] = True
     np.not_equal(rid[1:], rid[:-1], out=first[1:])
     first[1:] |= kind[1:] != kind[:-1]
     first[1:] |= up[1:] != up[:-1]
@@ -274,6 +276,17 @@ class WireSchedule:
             raise ValueError("only poll rows may carry a tag index")
 
     # ------------------------------------------------------------------
+    def splice(self, patches: "list[RoundPatch]") -> "WireSchedule":
+        """Replace round blocks per ``patches``; a new schedule is returned.
+
+        The identity fast path (no patches) returns ``self`` unchanged.
+        Kept rows are sliced, not copied row-by-row, so a splice costs
+        O(changed rows) patch assembly plus O(segments) concatenation;
+        the result's cost index is rebuilt lazily on first pricing.
+        """
+        return _splice_schedule(self, patches)
+
+    # ------------------------------------------------------------------
     def iter_rounds(self) -> Iterator[RoundView]:
         """Yield per-round views (rows grouped by ``round_id``)."""
         bounds = np.searchsorted(self.round_id, np.arange(self.n_rounds + 1))
@@ -387,6 +400,154 @@ def compile_plan(plan: "InterrogationPlan", reply_bits: int = 1) -> WireSchedule
         tag_idx=tag_idx,
         round_id=round_id,
         meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# round-block splicing: the incremental replanner's patch primitive
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundPatch:
+    """Replacement rows for one contiguous block of rounds.
+
+    Applied by :meth:`WireSchedule.splice`: rounds ``[start, stop)`` of
+    the target schedule are replaced by this patch's rows.  ``stop ==
+    start`` inserts the block before round ``start`` (``start ==
+    n_rounds`` appends); a patch with ``n_rounds == 0`` (no rows)
+    deletes the block.  ``round_id`` is patch-local — contiguous ids
+    ``0..n_rounds-1`` — and is rebased during the splice, as are the
+    round ids of every row after the patch, so the result's round ids
+    stay contiguous.
+    """
+
+    start: int
+    stop: int
+    n_rounds: int
+    kind: np.ndarray
+    downlink_bits: np.ndarray
+    uplink_bits: np.ndarray
+    tag_idx: np.ndarray
+    round_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.stop:
+            raise ValueError("need 0 <= start <= stop")
+        object.__setattr__(self, "kind", np.asarray(self.kind, dtype=np.int8))
+        for name in ("downlink_bits", "uplink_bits", "tag_idx", "round_id"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.int64))
+            if getattr(self, name).shape != self.kind.shape:
+                raise ValueError(f"patch column {name} misaligned")
+        if self.round_id.size:
+            if int(self.round_id[0]) != 0 or np.any(np.diff(self.round_id) < 0):
+                raise ValueError("patch round ids must start at 0, non-decreasing")
+            if int(self.round_id[-1]) != self.n_rounds - 1:
+                raise ValueError("patch round ids must cover 0..n_rounds-1")
+        elif self.n_rounds:
+            raise ValueError("a patch with rows=0 must have n_rounds=0")
+
+    @classmethod
+    def from_rounds(
+        cls,
+        start: int,
+        stop: int,
+        rounds: list[tuple[int, Any, np.ndarray]],
+        reply_bits: int = 1,
+        poll_overhead_bits: int | None = None,
+    ) -> "RoundPatch":
+        """Build a patch from planner-style round tuples.
+
+        ``rounds`` entries are ``(init_bits, poll_bits, poll_tag_idx)``
+        exactly as :func:`build_schedule_batch` consumes them —
+        ``poll_bits`` a per-poll int64 array or a scalar applied to
+        every poll.  Rows follow :func:`compile_plan`'s order (the
+        initiation broadcast, then the polls in plan order).
+        """
+        if poll_overhead_bits is None:
+            from repro.phy.commands import DEFAULT_COMMAND_SIZES
+
+            poll_overhead_bits = DEFAULT_COMMAND_SIZES.query_rep
+        n_rounds = len(rounds)
+        n_polls = np.fromiter((np.size(rd[2]) for rd in rounds), np.int64,
+                              n_rounds)
+        rows_per_round = 1 + n_polls
+        total = int(rows_per_round.sum())
+        kind = np.empty(total, dtype=np.int8)
+        downlink = np.empty(total, dtype=np.int64)
+        uplink = np.zeros(total, dtype=np.int64)
+        tag_idx = np.full(total, -1, dtype=np.int64)
+        round_id = np.repeat(np.arange(n_rounds, dtype=np.int64),
+                             rows_per_round)
+        start_rows = np.cumsum(rows_per_round) - rows_per_round
+        kind[start_rows] = KIND_BROADCAST
+        downlink[start_rows] = np.fromiter(
+            (rd[0] for rd in rounds), np.int64, n_rounds)
+        pos = np.repeat(start_rows + 1, n_polls) + _segmented_arange(n_polls)
+        kind[pos] = KIND_POLL
+        if total > n_rounds:
+            downlink[pos] = np.concatenate([
+                rd[1] if isinstance(rd[1], np.ndarray)
+                else np.full(int(np.size(rd[2])), rd[1], dtype=np.int64)
+                for rd in rounds
+            ]) + poll_overhead_bits
+            tag_idx[pos] = np.concatenate(
+                [np.asarray(rd[2], dtype=np.int64) for rd in rounds])
+        uplink[pos] = reply_bits
+        return cls(start=start, stop=stop, n_rounds=n_rounds, kind=kind,
+                   downlink_bits=downlink, uplink_bits=uplink,
+                   tag_idx=tag_idx, round_id=round_id)
+
+
+def _splice_schedule(schedule: "WireSchedule",
+                     patches: list[RoundPatch]) -> "WireSchedule":
+    if not patches:
+        return schedule
+    # Stable sort: patches address *original* round ids, so an insertion
+    # (start == stop) consumes no rounds and may share its position with
+    # a replace/delete starting there — the insertion's rows land first.
+    # Several insertions at one position apply in the order given.
+    order = sorted(patches, key=lambda p: (p.start, p.stop))
+    n_rounds = schedule.n_rounds
+    prev_stop = 0
+    for p in order:
+        if p.start < prev_stop or p.stop > n_rounds:
+            raise ValueError("patches overlap or run past the schedule")
+        prev_stop = max(prev_stop, p.stop)
+    rid = schedule.round_id
+    cols = (schedule.kind, schedule.downlink_bits, schedule.uplink_bits,
+            schedule.tag_idx)
+    pieces: list[tuple] = []  # (kind, down, up, tag, round_id)
+    row = 0
+    delta = 0
+    for p in order:
+        lo = int(np.searchsorted(rid, p.start, side="left"))
+        hi = int(np.searchsorted(rid, p.stop, side="left"))
+        if lo > row:
+            pieces.append(tuple(c[row:lo] for c in cols)
+                          + (rid[row:lo] + delta if delta else rid[row:lo],))
+        if p.kind.size:
+            pieces.append((p.kind, p.downlink_bits, p.uplink_bits, p.tag_idx,
+                           p.round_id + (p.start + delta)))
+        delta += p.n_rounds - (p.stop - p.start)
+        row = hi
+    if row < rid.size:
+        pieces.append(tuple(c[row:] for c in cols)
+                      + (rid[row:] + delta if delta else rid[row:],))
+    if pieces:
+        kind, down, up, tag, new_rid = (
+            np.concatenate([pc[i] for pc in pieces]) for i in range(5))
+    else:
+        kind = np.empty(0, dtype=np.int8)
+        down = up = tag = new_rid = np.empty(0, dtype=np.int64)
+    return WireSchedule(
+        protocol=schedule.protocol,
+        n_tags=schedule.n_tags,
+        kind=kind,
+        downlink_bits=down,
+        uplink_bits=up,
+        tag_idx=tag,
+        round_id=new_rid,
+        meta=dict(schedule.meta),
     )
 
 

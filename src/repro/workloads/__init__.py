@@ -5,8 +5,17 @@
   category-clustered, sequential serial numbers, adversarial).
 - :mod:`repro.workloads.scenarios` — named application scenarios used
   by the examples (warehouse inventory, cold-chain sensing, theft watch).
+- :mod:`repro.workloads.inventory` — the epoch-versioned
+  :class:`InventoryStore`: a churning population as a diff log with
+  stable global slot ids, plus the :class:`ChurnModel` generator.
 """
 
+from repro.workloads.inventory import (
+    ChurnModel,
+    EpochView,
+    InventoryStore,
+    PopulationDiff,
+)
 from repro.workloads.tagsets import (
     TagSet,
     uniform_tagset,
@@ -29,6 +38,10 @@ __all__ = [
     "sequential_tagset",
     "adversarial_tagset",
     "crc_embedded_tagset",
+    "InventoryStore",
+    "PopulationDiff",
+    "EpochView",
+    "ChurnModel",
     "Scenario",
     "warehouse_scenario",
     "cold_chain_scenario",

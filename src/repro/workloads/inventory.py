@@ -1,0 +1,398 @@
+"""Epoch-versioned tag populations: the continuous-inventory substrate.
+
+Every entry point used to be one-shot: build a :class:`TagSet`, plan,
+execute.  Real deployments (the paper's own missing-tag use case, and
+the large-scale identification methodology of Chu et al.,
+arXiv:2205.10235) poll the *same* population continuously while tags
+arrive, depart, and go missing.  This module provides the population
+side of that loop:
+
+- :class:`PopulationDiff` — one epoch's churn (arrivals by EPC,
+  departures / gone-missing / returned by stable slot id).
+- :class:`InventoryStore` — an epoch/diff log over the population.
+  Every tag ever admitted owns a **stable slot id** that never changes
+  and is never reused; departures leave tombstones.  ``apply(diff)``
+  is O(|diff|) amortised — columnar identity arrays grow by doubling,
+  statuses flip in place — and bumps the epoch counter.  The compacted
+  :class:`TagSet` view (and the slot↔local index maps the DES needs)
+  are built lazily and memoised per epoch, so consumers that stay in
+  slot space — the incremental replanner — never pay O(n) per epoch.
+- :class:`ChurnModel` — a category-structured churn generator (Wang et
+  al., arXiv:2406.10347: same-SKU tags share an EPC category prefix),
+  driving arrivals/departures/missing events per epoch from one RNG.
+
+Index spaces, once and for all: a **slot** is a stable global id into
+the store's columns (dense over everything ever admitted, including
+tombstones).  A **local** index is a position in the current epoch's
+compacted ``TagSet`` (what planners and the DES consume).  ``slots()``
+and ``local_of()`` convert between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.tagsets import TagSet
+
+__all__ = [
+    "STATUS_PRESENT",
+    "STATUS_ABSENT",
+    "STATUS_DEPARTED",
+    "PopulationDiff",
+    "EpochView",
+    "InventoryStore",
+    "ChurnModel",
+]
+
+#: expected and believed physically present
+STATUS_PRESENT = 0
+#: still in the known population but physically absent (gone missing)
+STATUS_ABSENT = 1
+#: retired from the known population (tombstone; slot never reused)
+STATUS_DEPARTED = 2
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+_HI_BITS = 32  # EPC bits above the low 64-bit word (see tagsets)
+
+
+def _as_slots(values) -> np.ndarray:
+    arr = np.asarray(values if values is not None else _EMPTY_I64,
+                     dtype=np.int64).ravel()
+    return arr
+
+
+@dataclass(frozen=True)
+class PopulationDiff:
+    """One epoch's churn against an :class:`InventoryStore`.
+
+    Arrivals are identified by EPC halves (they have no slot yet — the
+    store assigns one); every other change names existing stable slots.
+    ``departed`` retires slots from the known population entirely;
+    ``gone_missing`` / ``returned`` flip the physical-presence status of
+    known slots without changing the planning population.
+    """
+
+    arrived_hi: np.ndarray = field(default_factory=lambda: _EMPTY_U64)
+    arrived_lo: np.ndarray = field(default_factory=lambda: _EMPTY_U64)
+    departed: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    gone_missing: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    returned: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "arrived_hi", np.asarray(self.arrived_hi, dtype=np.uint64))
+        object.__setattr__(
+            self, "arrived_lo", np.asarray(self.arrived_lo, dtype=np.uint64))
+        if self.arrived_hi.shape != self.arrived_lo.shape:
+            raise ValueError("arrived_hi and arrived_lo must be aligned")
+        for name in ("departed", "gone_missing", "returned"):
+            object.__setattr__(self, name, _as_slots(getattr(self, name)))
+
+    @classmethod
+    def from_tags(cls, tags: TagSet, **kw) -> "PopulationDiff":
+        """A diff admitting every tag of ``tags`` (plus keyword changes)."""
+        return cls(arrived_hi=tags.id_hi, arrived_lo=tags.id_lo, **kw)
+
+    @property
+    def n_arrived(self) -> int:
+        return int(self.arrived_hi.size)
+
+    @property
+    def n_changes(self) -> int:
+        return (self.n_arrived + self.departed.size + self.gone_missing.size
+                + self.returned.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_changes == 0
+
+
+@dataclass(frozen=True)
+class EpochView:
+    """What one ``apply`` did, in slot space (the replanner's input).
+
+    ``arrived_slots`` are the store-assigned slots of the diff's
+    arrivals (in diff order), ``arrived_words`` their identity words.
+    ``n_known`` / ``n_present`` describe the population *after* the
+    apply.
+    """
+
+    epoch: int
+    arrived_slots: np.ndarray
+    arrived_words: np.ndarray
+    departed_slots: np.ndarray
+    gone_missing_slots: np.ndarray
+    returned_slots: np.ndarray
+    n_slots: int
+    n_known: int
+    n_present: int
+
+
+class InventoryStore:
+    """The epoch/diff log over a live tag population.
+
+    Columns are indexed by stable slot id and grow by doubling; a
+    slot's identity never changes and tombstones are never reused, so
+    every artifact keyed by slot (plans, schedules, verdicts) stays
+    valid across epochs.  All reads of the compacted views are memoised
+    against the epoch counter.
+    """
+
+    def __init__(self, tags: TagSet | None = None, capacity: int = 64):
+        capacity = max(int(capacity), 1)
+        self._hi = np.empty(capacity, dtype=np.uint64)
+        self._lo = np.empty(capacity, dtype=np.uint64)
+        self._words = np.empty(capacity, dtype=np.uint64)
+        self._status = np.empty(capacity, dtype=np.int8)
+        self._n_slots = 0
+        self._n_known = 0
+        self._n_present = 0
+        self._epoch = 0
+        self._epc_slot: dict[tuple[int, int], int] = {}
+        self._view_epoch = -1
+        self._view: tuple[np.ndarray, TagSet, np.ndarray] | None = None
+        if tags is not None and len(tags):
+            self.apply(PopulationDiff.from_tags(tags))
+
+    # ------------------------------------------------------------------
+    # epoch construction: O(|diff|) amortised
+    # ------------------------------------------------------------------
+    def apply(self, diff: PopulationDiff) -> EpochView:
+        """Admit/retire/flip tags per ``diff`` and open the next epoch.
+
+        Raises:
+            ValueError: on duplicate arrivals, or status changes naming
+                slots whose current status does not admit them (e.g.
+                departing an already-departed slot).
+        """
+        n_arr = diff.n_arrived
+        base = self._n_slots
+        # validate everything up front so a bad diff mutates nothing
+        keys = list(zip(diff.arrived_hi.tolist(), diff.arrived_lo.tolist()))
+        if len(set(keys)) != len(keys):
+            raise ValueError("diff admits the same EPC twice")
+        for hi, lo in keys:
+            if (hi, lo) in self._epc_slot:
+                raise ValueError(
+                    f"arrival duplicates a live EPC: ({hi:#x}, {lo:#x})")
+        for slots, allowed in (
+            (diff.departed, (STATUS_PRESENT, STATUS_ABSENT)),
+            (diff.gone_missing, (STATUS_PRESENT,)),
+            (diff.returned, (STATUS_ABSENT,)),
+        ):
+            for s in slots.tolist():
+                if not 0 <= s < base:
+                    raise ValueError(f"unknown slot {s}")
+                if int(self._status[s]) not in allowed:
+                    raise ValueError(
+                        f"slot {s} has status {int(self._status[s])}, "
+                        "which the diff's change does not admit")
+        if (np.intersect1d(diff.departed, diff.gone_missing).size
+                or np.intersect1d(diff.departed, diff.returned).size
+                or np.intersect1d(diff.gone_missing, diff.returned).size):
+            raise ValueError("diff names a slot in two change sets")
+        if base + n_arr > self._hi.size:
+            grow = max(self._hi.size * 2, base + n_arr)
+            for name in ("_hi", "_lo", "_words", "_status"):
+                old = getattr(self, name)
+                new = np.empty(grow, dtype=old.dtype)
+                new[:base] = old[:base]
+                setattr(self, name, new)
+        arrived_slots = np.arange(base, base + n_arr, dtype=np.int64)
+        if n_arr:
+            self._hi[base:base + n_arr] = diff.arrived_hi
+            self._lo[base:base + n_arr] = diff.arrived_lo
+            # identity word: same injective mixing fold TagSet performs
+            from repro.hashing.universal import splitmix64
+
+            words = splitmix64(diff.arrived_hi) ^ diff.arrived_lo
+            self._words[base:base + n_arr] = words
+            self._status[base:base + n_arr] = STATUS_PRESENT
+            for i, key in enumerate(keys):
+                self._epc_slot[key] = base + i
+        self._n_slots = base + n_arr
+        self._n_known += n_arr
+        self._n_present += n_arr
+
+        status = self._status
+        for s in diff.departed.tolist():
+            if int(status[s]) == STATUS_PRESENT:
+                self._n_present -= 1
+            del self._epc_slot[(int(self._hi[s]), int(self._lo[s]))]
+            status[s] = STATUS_DEPARTED
+            self._n_known -= 1
+        if diff.gone_missing.size:
+            status[diff.gone_missing] = STATUS_ABSENT
+            self._n_present -= int(diff.gone_missing.size)
+        if diff.returned.size:
+            status[diff.returned] = STATUS_PRESENT
+            self._n_present += int(diff.returned.size)
+
+        self._epoch += 1
+        return EpochView(
+            epoch=self._epoch,
+            arrived_slots=arrived_slots,
+            arrived_words=self._words[base:base + n_arr].copy(),
+            departed_slots=diff.departed,
+            gone_missing_slots=diff.gone_missing,
+            returned_slots=diff.returned,
+            n_slots=self._n_slots,
+            n_known=self._n_known,
+            n_present=self._n_present,
+        )
+
+    # ------------------------------------------------------------------
+    # cheap accessors (no view materialisation)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def n_slots(self) -> int:
+        """High-water slot count (tombstones included)."""
+        return self._n_slots
+
+    @property
+    def n_known(self) -> int:
+        """Known population size (PRESENT + ABSENT)."""
+        return self._n_known
+
+    @property
+    def n_present(self) -> int:
+        return self._n_present
+
+    def status(self, slot: int) -> int:
+        if not 0 <= slot < self._n_slots:
+            raise ValueError(f"unknown slot {slot}")
+        return int(self._status[slot])
+
+    def id_words(self) -> np.ndarray:
+        """Identity words by slot (read-only view, tombstones included)."""
+        return self._words[:self._n_slots]
+
+    def slot_of(self, hi: int, lo: int) -> int | None:
+        """Stable slot of a live EPC, or ``None`` if not in the store."""
+        return self._epc_slot.get((hi, lo))
+
+    # ------------------------------------------------------------------
+    # memoised compacted views (lazy: only from-scratch planning and the
+    # DES localisation pay the O(n); the slot-space replan path doesn't)
+    # ------------------------------------------------------------------
+    def _compact(self) -> tuple[np.ndarray, TagSet, np.ndarray]:
+        if self._view_epoch != self._epoch:
+            slots = np.flatnonzero(
+                self._status[:self._n_slots] != STATUS_DEPARTED)
+            tags = TagSet(self._hi[slots], self._lo[slots])
+            local_of = np.full(self._n_slots, -1, dtype=np.int64)
+            local_of[slots] = np.arange(slots.size, dtype=np.int64)
+            self._view = (slots, tags, local_of)
+            self._view_epoch = self._epoch
+        assert self._view is not None
+        return self._view
+
+    def slots(self) -> np.ndarray:
+        """Stable slots of the known population, ascending (local order)."""
+        return self._compact()[0]
+
+    def tagset(self) -> TagSet:
+        """The compacted known population as a :class:`TagSet`."""
+        return self._compact()[1]
+
+    def local_of(self) -> np.ndarray:
+        """slot → local index map (-1 for tombstones), this epoch."""
+        return self._compact()[2]
+
+    def present_local(self) -> np.ndarray:
+        """Local indices (into :meth:`tagset`) of physically present tags."""
+        slots = self._compact()[0]
+        return np.flatnonzero(self._status[slots] == STATUS_PRESENT)
+
+
+# ----------------------------------------------------------------------
+# category-structured churn (Wang et al., arXiv:2406.10347)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnModel:
+    """Per-epoch churn rates over an :class:`InventoryStore`.
+
+    Rates are expected *fractions of the current known population* per
+    epoch; event counts are Poisson-drawn from the supplied RNG, so a
+    seeded generator yields a reproducible churn trace.  Arrivals carry
+    category-structured EPCs: a fixed palette of ``n_categories``
+    category ids occupies the top ``category_bits`` of the EPC (same
+    shape as :func:`repro.workloads.tagsets.clustered_tagset`), because
+    batches of same-SKU stock arrive together in real deployments.
+    """
+
+    arrival_rate: float = 0.01
+    departure_rate: float = 0.01
+    missing_rate: float = 0.0
+    return_rate: float = 0.0
+    n_categories: int = 8
+    category_bits: int = 24
+
+    def __post_init__(self) -> None:
+        for name in ("arrival_rate", "departure_rate", "missing_rate",
+                     "return_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 1 <= self.category_bits <= _HI_BITS:
+            raise ValueError(f"category_bits must be in [1, {_HI_BITS}]")
+        if self.n_categories < 1:
+            raise ValueError("n_categories must be positive")
+
+    def _arrivals(self, k: int, rng: np.random.Generator,
+                  store: InventoryStore) -> tuple[np.ndarray, np.ndarray]:
+        # the category palette is a pure function of the model config so
+        # successive epochs keep drawing from the same SKUs
+        palette = np.random.default_rng(
+            (self.n_categories, self.category_bits)
+        ).integers(0, 1 << self.category_bits, size=self.n_categories,
+                   dtype=np.uint64)
+        shift = np.uint64(_HI_BITS - self.category_bits)
+        low_hi = _HI_BITS - self.category_bits
+        assign = rng.integers(0, self.n_categories, size=k, dtype=np.int64)
+        hi = palette[assign] << shift
+        if low_hi:
+            hi = hi | rng.integers(0, 1 << low_hi, size=k, dtype=np.uint64)
+        lo = rng.integers(0, 1 << 62, size=k, dtype=np.uint64) * np.uint64(4) \
+            + rng.integers(0, 4, size=k, dtype=np.uint64)
+        # reject EPCs already live (vanishingly rare; keeps apply() clean)
+        fresh = np.fromiter(
+            (store.slot_of(h, l) is None
+             for h, l in zip(hi.tolist(), lo.tolist())),
+            dtype=bool, count=k,
+        )
+        return hi[fresh], lo[fresh]
+
+    def draw(self, store: InventoryStore,
+             rng: np.random.Generator) -> PopulationDiff:
+        """One epoch's churn diff against the store's current state."""
+        n = store.n_known
+        n_arr = int(rng.poisson(self.arrival_rate * n)) if n else 0
+        n_dep = int(rng.poisson(self.departure_rate * n)) if n else 0
+        n_mis = int(rng.poisson(self.missing_rate * n)) if n else 0
+        hi, lo = (self._arrivals(n_arr, rng, store) if n_arr
+                  else (_EMPTY_U64, _EMPTY_U64))
+        slots = store.slots()
+        status = store._status  # noqa: SLF001 - workload generator is a friend
+        present = slots[status[slots] == STATUS_PRESENT]
+        absent = slots[status[slots] == STATUS_ABSENT]
+        n_ret = int(rng.poisson(self.return_rate * absent.size)) \
+            if absent.size else 0
+        picked = rng.choice(
+            present, size=min(n_dep + n_mis, present.size), replace=False,
+        ) if present.size else _EMPTY_I64
+        departed = np.sort(picked[:min(n_dep, picked.size)])
+        gone = np.sort(picked[min(n_dep, picked.size):])
+        returned = np.sort(rng.choice(
+            absent, size=min(n_ret, absent.size), replace=False,
+        )) if absent.size else _EMPTY_I64
+        return PopulationDiff(
+            arrived_hi=hi, arrived_lo=lo, departed=departed,
+            gone_missing=gone, returned=returned,
+        )

@@ -1,0 +1,191 @@
+"""Incremental re-planning parity (:mod:`repro.core.replan`).
+
+The replan contract has two halves:
+
+- an **empty diff is a bit-identical no-op** — the cached plan and
+  spliced schedule objects survive untouched, and their columns and
+  cost index equal a from-scratch compile;
+- a **non-empty diff is counter-equivalent** — after arrivals,
+  departures, or both, the spliced schedule's columns still equal
+  compiling the maintained plan from scratch, and executing the
+  localized plan on the churned population reads every live tag with
+  zero retries and zero missing verdicts on the ideal DES channel.
+
+Both halves run for HPP, TPP, and EHPP at n ∈ {0, 1, 7, 1000} under
+every available kernel backend (the numba CI leg re-runs the module
+with ``REPRO_KERNELS=numba``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ehpp import EHPP
+from repro.core.hpp import HPP
+from repro.core.replan import PlanDiff
+from repro.core.tpp import TPP
+from repro.kernels import available_backends, use_backend
+from repro.phy.schedule import compile_plan
+from repro.sim.executor import execute_plan
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+_COLUMNS = ("kind", "downlink_bits", "uplink_bits", "tag_idx", "round_id")
+_SIZES = (0, 1, 7, 1000)
+
+
+def _protocols():
+    return [HPP(), TPP(), EHPP()]
+
+
+@pytest.fixture(params=available_backends())
+def backend(request) -> str:
+    with use_backend(request.param):
+        yield request.param
+
+
+def _assert_columns_equal(sched, ref, context: str) -> None:
+    for col in _COLUMNS:
+        assert np.array_equal(getattr(sched, col), getattr(ref, col)), (
+            f"{context}: column {col} diverged")
+
+
+def _assert_cost_index_equal(sched, ref, context: str) -> None:
+    a, b = sched.cost_index(), ref.cost_index()
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), f"{context}: cost index {f.name}"
+        else:
+            assert va == vb, f"{context}: cost index {f.name}"
+
+
+class _Population:
+    """Slot-space population bookkeeping for a churn scenario.
+
+    Tracks ``(id_hi, id_lo)`` per slot — identity *words* are an
+    injective fold of the pair and cannot be split back apart, so the
+    executed TagSet must be rebuilt from the originals.
+    """
+
+    def __init__(self, n: int, seed: int):
+        self.pool = uniform_tagset(n + 256, np.random.default_rng(seed))
+        self.live = {s: (int(self.pool.id_hi[s]), int(self.pool.id_lo[s]))
+                     for s in range(n)}
+        self.next_slot = n
+        self.pool_i = n
+
+    def tags(self) -> TagSet:
+        return TagSet(id_hi=self.pool.id_hi[:len(self.live)],
+                      id_lo=self.pool.id_lo[:len(self.live)])
+
+    def diff(self, n_dep: int, n_arr: int,
+             rng: np.random.Generator) -> PlanDiff:
+        lv = sorted(self.live)
+        n_dep = min(n_dep, len(lv))
+        dep = sorted(rng.choice(np.asarray(lv, dtype=np.int64), size=n_dep,
+                                replace=False).tolist()) if n_dep else []
+        arr = list(range(self.next_slot, self.next_slot + n_arr))
+        self.next_slot += n_arr
+        words = self.pool.id_words[self.pool_i:self.pool_i + n_arr]
+        for s in dep:
+            del self.live[s]
+        for s in arr:
+            self.live[s] = (int(self.pool.id_hi[self.pool_i]),
+                            int(self.pool.id_lo[self.pool_i]))
+            self.pool_i += 1
+        return PlanDiff(arrived_slots=np.asarray(arr, dtype=np.int64),
+                        arrived_words=np.asarray(words, dtype=np.uint64),
+                        departed_slots=np.asarray(dep, dtype=np.int64))
+
+    def local_of(self) -> np.ndarray:
+        lv = sorted(self.live)
+        local = np.full(max(lv) + 1 if lv else 1, -1, dtype=np.int64)
+        for i, s in enumerate(lv):
+            local[s] = i
+        return local
+
+    def current_tagset(self) -> TagSet:
+        lv = sorted(self.live)
+        return TagSet(
+            id_hi=np.asarray([self.live[s][0] for s in lv], dtype=np.uint64),
+            id_lo=np.asarray([self.live[s][1] for s in lv], dtype=np.uint64))
+
+
+# ----------------------------------------------------------------------
+# empty diff: bit-identical no-op
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("proto", _protocols(), ids=lambda p: p.name)
+@pytest.mark.parametrize("n", _SIZES)
+class TestEmptyDiffIdentity:
+    def test_noop_preserves_objects_and_columns(self, proto, n, backend):
+        rng = np.random.default_rng(100 + n)
+        tags = uniform_tagset(n, np.random.default_rng(n))
+        state = proto.plan_state(tags, rng)
+        plan_before = state.plan()
+        sched_before = state.schedule()
+        stats = proto.replan(state, PlanDiff(), rng)
+        assert stats.identity
+        # the cached objects survive — not equal copies, the SAME objects
+        assert state.plan() is plan_before
+        assert state.schedule() is sched_before
+        ctx = f"{proto.name} n={n} {backend}"
+        ref = compile_plan(state.plan(), 1)
+        _assert_columns_equal(state.schedule(), ref, ctx)
+        _assert_cost_index_equal(state.schedule(), ref, ctx)
+
+
+# ----------------------------------------------------------------------
+# non-empty diffs: counter equivalence with a from-scratch compile
+# ----------------------------------------------------------------------
+_CHURNS = {
+    "arrivals": (0, 3),
+    "departures": (3, 0),
+    "mixed": (3, 3),
+}
+
+
+@pytest.mark.parametrize("proto", _protocols(), ids=lambda p: p.name)
+@pytest.mark.parametrize("n", _SIZES)
+@pytest.mark.parametrize("churn", sorted(_CHURNS), ids=str)
+class TestChurnParity:
+    def test_replan_matches_from_scratch(self, proto, n, churn, backend):
+        n_dep, n_arr = _CHURNS[churn]
+        pop = _Population(n, seed=1000 + n)
+        rng = np.random.default_rng(200 + n)
+        churn_rng = np.random.default_rng(77)
+        state = proto.plan_state(pop.tags(), rng)
+        for ep in range(4):
+            diff = pop.diff(n_dep, n_arr, churn_rng)
+            stats = proto.replan(state, diff, rng)
+            assert not stats.identity or diff.is_empty
+            state.check_invariants()
+            ctx = f"{proto.name} n={n} {churn} ep={ep} {backend}"
+            ref = compile_plan(state.plan(), state.reply_bits)
+            _assert_columns_equal(state.schedule(), ref, ctx)
+            _assert_cost_index_equal(state.schedule(), ref, ctx)
+            # the localized plan polls exactly the live population
+            lp = state.plan(pop.local_of())
+            lp.validate_complete()
+
+    def test_executed_des_counters(self, proto, n, churn, backend):
+        n_dep, n_arr = _CHURNS[churn]
+        pop = _Population(n, seed=2000 + n)
+        rng = np.random.default_rng(300 + n)
+        churn_rng = np.random.default_rng(88)
+        state = proto.plan_state(pop.tags(), rng)
+        for _ in range(2):
+            proto.replan(state, pop.diff(n_dep, n_arr, churn_rng), rng)
+        lp = state.plan(pop.local_of())
+        cur = pop.current_tagset()
+        des_backends = ("machines", "array") if n <= 7 else ("array",)
+        for des in des_backends:
+            res = execute_plan(lp, cur, rng=np.random.default_rng(0),
+                               backend=des)
+            ctx = f"{proto.name} n={n} {churn} des={des} {backend}"
+            assert res.all_read, ctx
+            assert res.n_retries == 0, ctx
+            assert not res.missing, ctx
+            assert sorted(res.polled_order) == list(range(cur.n)), ctx
