@@ -1,6 +1,6 @@
 # Convenience targets for the repro workflow.
 
-.PHONY: install test bench bench-full bench-check cache-smoke inventory-smoke experiments experiments-quick examples clean
+.PHONY: install test bench bench-full bench-check cache-smoke inventory-smoke dataplane-smoke profile-dataplane experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,12 @@ cache-smoke:
 
 inventory-smoke:
 	PYTHONPATH=src python scripts/inventory_smoke.py
+
+dataplane-smoke:
+	PYTHONPATH=src python scripts/dataplane_smoke.py
+
+profile-dataplane:
+	python scripts/profile_dataplane.py
 
 experiments:
 	python -m repro.experiments

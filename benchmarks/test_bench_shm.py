@@ -1,0 +1,127 @@
+"""Shared-memory dataplane benchmarks and the warm-pool speedup gate.
+
+Two kinds of test, mirroring ``test_bench_kernels.py``:
+
+* ``test_dataplane_sweep_gate`` — the dataplane has to *earn* its
+  default-on slot: a cold-cache DES-metric ``SweepRunner`` grid at
+  n=10k with 8 cells per worker must run ≥3x faster through the warm
+  persistent pool + shared-memory populations than through the legacy
+  ``REPRO_SHM=off`` path, where every sweep pays a fresh
+  ``ProcessPoolExecutor`` spawn (interpreter boot, module re-import,
+  kernel re-warm under the ``spawn`` start method the gate pins) and
+  every worker regenerates every cell's population from seed.  Values
+  must be bit-identical.  Measured with ``perf_counter`` so it also
+  gates under ``--benchmark-disable``.
+* ``test_sweep_dataplane_{off,on}`` — informational pytest-benchmark
+  timings of one sweep under each transport at a reduced grid, so
+  ``BENCH_engine.json`` tracks the shipping-path trajectory.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.experiments import shm
+from repro.experiments.runner import DESMetric, SweepRunner
+
+N = 10_000
+RUNS = 16
+JOBS = 2  # 16 cells / 2 workers = 8 cells per worker (gate floor)
+SEED = 0
+METRIC = DESMetric()
+
+
+def _sweep(runner: SweepRunner, seed: int = SEED) -> np.ndarray:
+    """One cold-cache sweep of the gate grid (cache=None: every cell
+    is recomputed every call)."""
+    return runner.sweep_values(HPP(), [N], n_runs=RUNS, seed=seed,
+                               metric=METRIC)
+
+
+def _best_of(fn, reps=2):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.fixture
+def fresh_dataplane(monkeypatch):
+    """No inherited pool or arena, and ``spawn`` pinned — the portable
+    start method whose per-pool cost the persistent pool amortises
+    (the issue's baseline: fresh spawn + re-import + kernel re-warm
+    per sweep)."""
+    monkeypatch.setenv("REPRO_POOL_START", "spawn")
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+    yield
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+    shm.detach_all()
+
+
+def test_dataplane_sweep_gate(fresh_dataplane):
+    """The tentpole acceptance gate: ≥3x end-to-end SweepRunner speedup
+    with the dataplane on vs ``REPRO_SHM=off`` on a cold-cache
+    DES-metric grid (n=10k, 16 cells, 2 workers), fresh-pool spawn and
+    per-cell tagset regeneration included in the baseline — and
+    bit-identical values.
+    """
+    baseline = SweepRunner(jobs=JOBS, cache=None, shm=False)
+    base_t, base_vals = _best_of(lambda: _sweep(baseline))
+
+    warm = SweepRunner(jobs=JOBS, cache=None, shm=True)
+    _sweep(warm, seed=SEED + 1)  # untimed: pool birth + kernel warmup
+    warm_t, warm_vals = _best_of(lambda: _sweep(warm))
+
+    np.testing.assert_array_equal(np.asarray(base_vals),
+                                  np.asarray(warm_vals))
+    assert warm.pool_reused > 0, "gate never hit the warm pool"
+    speedup = base_t / warm_t
+    assert speedup >= 3.0, (
+        f"dataplane sweep gate: {speedup:.1f}x < 3x "
+        f"(off {base_t * 1e3:.0f} ms, on {warm_t * 1e3:.0f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# informational trajectory benches (reduced grid, auto start method)
+# ----------------------------------------------------------------------
+N_INFO = 5_000
+RUNS_INFO = 8
+
+
+def _info_sweep(runner: SweepRunner) -> np.ndarray:
+    return runner.sweep_values(HPP(), [N_INFO], n_runs=RUNS_INFO,
+                               seed=SEED, metric=METRIC)
+
+
+@pytest.fixture
+def clean_pool():
+    yield
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+    shm.detach_all()
+
+
+def test_sweep_dataplane_off(benchmark, clean_pool):
+    """Informational: one pooled DES sweep, legacy transport (a fresh
+    pool per sweep, workers regenerate populations)."""
+    runner = SweepRunner(jobs=JOBS, cache=None, shm=False)
+    out = benchmark(lambda: _info_sweep(runner))
+    assert np.asarray(out).shape == (1, 2)
+
+
+def test_sweep_dataplane_on(benchmark, clean_pool):
+    """Informational: the same sweep through the warm pool and the
+    shared-memory population columns."""
+    runner = SweepRunner(jobs=JOBS, cache=None, shm=True)
+    _info_sweep(runner)  # warm-up: pool birth, arena publish
+    out = benchmark(lambda: _info_sweep(runner))
+    assert np.asarray(out).shape == (1, 2)
+    assert runner.pool_reused > 0

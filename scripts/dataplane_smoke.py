@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Cross-process parity smoke test of the shared-memory dataplane.
+
+Runs the same cold-cache sweep in two *separate* Python processes —
+one with ``REPRO_SHM=off`` (legacy transport: fresh pool per sweep,
+workers regenerate populations from seed) and one with
+``REPRO_SHM=auto`` (warm persistent pool, populations attached from
+``/dev/shm`` segments) — each into its own ``--cache-dir``, then
+checks:
+
+1. the sweep values agree exactly between the two transports;
+2. the persisted ``cells-*.seg`` CellStore segments are byte-for-byte
+   identical, so the dataplane can never poison the cache;
+3. the ``auto`` leg actually used the dataplane (bytes shipped through
+   pickled blobs, shared-memory segments published, pool reused on the
+   second sweep) while the ``off`` leg provably never touched
+   ``multiprocessing.shared_memory``;
+4. a cache written by one transport re-hits 100% under the other;
+5. no ``repro-shm-*`` segment is left behind in ``/dev/shm``.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+Usage: ``python scripts/dataplane_smoke.py`` (PYTHONPATH must include
+``src``; skips cleanly when ``/dev/shm`` is unavailable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# the child sweep: DES + planning metrics over 2 populations x 4 runs,
+# 2 workers, run twice so the auto leg exercises warm-pool reuse
+CHILD = """
+import json, sys
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments import shm
+from repro.experiments.runner import DESMetric, ResultCache, SweepRunner
+
+runner = SweepRunner(jobs=2, cache=ResultCache(sys.argv[1]))
+values = {}
+for proto in (HPP(), TPP()):
+    des = runner.sweep_values(proto, n_values=(400, 700), n_runs=4,
+                              seed=11, metric=DESMetric(ber=1e-4))
+    plan = runner.sweep_values(proto, n_values=(400, 700), n_runs=4,
+                               seed=11, metric="time_us")
+    values[type(proto).__name__] = {"des": des.tolist(),
+                                    "plan": plan.tolist()}
+runner.cache.flush()
+cov = runner.batch_coverage
+shm.shutdown_worker_pool()
+shm.close_arena()
+print(json.dumps({"hits": runner.cache.hits,
+                  "misses": runner.cache.misses,
+                  "values": values,
+                  "bytes_shipped": cov["bytes_shipped"],
+                  "shm_segments": cov["shm_segments"],
+                  "pool_reused": cov["pool_reused"],
+                  "touches": shm.shared_memory_touches}))
+"""
+
+
+def run_child(cache_dir: Path, mode: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    env["REPRO_SHM"] = mode
+    env["REPRO_SHM_MIN_BYTES"] = "0"  # the smoke grid is tiny
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD, str(cache_dir)],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"child sweep (REPRO_SHM={mode}) failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def store_bytes(cache_dir: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes()
+            for p in sorted(cache_dir.glob("cells-*.seg"))}
+
+
+def shm_residue() -> list[str]:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob("repro-shm-*"))
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        sys.exit(f"dataplane smoke FAILED: {message}")
+
+
+def main() -> None:
+    if not Path("/dev/shm").is_dir():
+        print("dataplane smoke SKIPPED: no /dev/shm on this platform")
+        return
+
+    before = set(shm_residue())
+    with tempfile.TemporaryDirectory(prefix="dataplane-smoke-") as tmp:
+        off_dir = Path(tmp) / "off"
+        auto_dir = Path(tmp) / "auto"
+        off_dir.mkdir()
+        auto_dir.mkdir()
+
+        off = run_child(off_dir, "off")
+        auto = run_child(auto_dir, "auto")
+
+        expect(off["values"] == auto["values"],
+               "sweep values differ between REPRO_SHM=off and auto")
+        expect(off["misses"] > 0 and auto["misses"] == off["misses"],
+               f"cold runs disagree on cell count: {off['misses']} vs "
+               f"{auto['misses']}")
+
+        off_bytes = store_bytes(off_dir)
+        auto_bytes = store_bytes(auto_dir)
+        expect(off_bytes.keys() == auto_bytes.keys(),
+               f"CellStore segment names differ: "
+               f"{sorted(off_bytes)} vs {sorted(auto_bytes)}")
+        expect(off_bytes == auto_bytes,
+               "CellStore segments are not byte-identical across "
+               "transports")
+
+        expect(off["touches"] == 0 and off["shm_segments"] == 0
+               and off["pool_reused"] == 0,
+               f"REPRO_SHM=off touched the dataplane: {off}")
+        expect(auto["bytes_shipped"] > 0,
+               f"auto leg shipped no pickled blobs: {auto}")
+        expect(auto["shm_segments"] > 0,
+               f"auto leg published no shared-memory segments: {auto}")
+        expect(auto["pool_reused"] > 0,
+               f"auto leg never reused the warm pool: {auto}")
+
+        # a cache written with the dataplane ON must fully re-hit OFF
+        cross = run_child(auto_dir, "off")
+        expect(cross["hits"] == off["misses"] and cross["misses"] == 0,
+               f"off-transport re-read of auto-written cache expected "
+               f"{off['misses']} hits, got {cross}")
+        expect(cross["values"] == off["values"],
+               "cross-transport cached values differ")
+
+    leaked = sorted(set(shm_residue()) - before)
+    expect(not leaked, f"leaked /dev/shm segments: {leaked}")
+
+    n_cells = off["misses"]
+    print(f"dataplane smoke OK: {n_cells} cells bit-identical across "
+          f"transports; auto leg shipped {auto['bytes_shipped']} bytes "
+          f"over {auto['shm_segments']} segments with "
+          f"{auto['pool_reused']} warm-pool reuses; no /dev/shm residue")
+
+
+if __name__ == "__main__":
+    main()

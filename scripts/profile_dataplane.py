@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Profile the shared-memory dataplane against the legacy transport.
+
+Times the same cold-cache DES-metric sweep through both transports::
+
+    python scripts/profile_dataplane.py [--n N] [--runs R] [--jobs J]
+                                        [--reps K] [--start METHOD]
+
+* ``off``  — ``REPRO_SHM=off`` semantics: a fresh ``ProcessPoolExecutor``
+  per sweep, every worker regenerates every cell's tag population from
+  seed (the pre-dataplane shipping path);
+* ``warm`` — the persistent worker pool plus shared-memory population
+  columns, measured after one untimed warm-up sweep (pool birth, kernel
+  warm-up, arena publication).
+
+Reports best-of-K wall times, the pool spawn/warm-up cost the warm path
+amortises, per-sweep bytes shipped through pickled blobs, arena segment
+stats, and the end-to-end speedup — the number the
+``benchmarks/test_bench_shm.py`` gate holds at ≥3x.  Run via
+``make profile-dataplane`` or with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.hpp import HPP  # noqa: E402
+from repro.experiments import shm  # noqa: E402
+from repro.experiments.runner import DESMetric, SweepRunner  # noqa: E402
+
+
+def _best_of(fn, reps: int) -> tuple[float, object]:
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile the shared-memory dataplane")
+    parser.add_argument("--n", type=int, default=10_000,
+                        help="tags per cell (default 10000)")
+    parser.add_argument("--runs", type=int, default=16,
+                        help="Monte-Carlo runs, i.e. cells (default 16)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (default 2)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="best-of repetitions per transport (default 2)")
+    parser.add_argument("--start", default=None,
+                        choices=("auto", "fork", "spawn", "forkserver"),
+                        help="pool start method (default: REPRO_POOL_START)")
+    args = parser.parse_args(argv)
+
+    if args.start is not None:
+        import os
+        os.environ["REPRO_POOL_START"] = args.start
+    method = shm.resolve_start_method()
+    metric = DESMetric()
+
+    def sweep(runner: SweepRunner, seed: int = 0) -> np.ndarray:
+        return runner.sweep_values(HPP(), [args.n], n_runs=args.runs,
+                                   seed=seed, metric=metric)
+
+    print(f"# dataplane profile: n={args.n}, runs={args.runs}, "
+          f"jobs={args.jobs}, start={method}, best of {args.reps}")
+
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+
+    off_runner = SweepRunner(jobs=args.jobs, cache=None, shm=False)
+    off_t, off_vals = _best_of(lambda: sweep(off_runner), args.reps)
+    off_bytes = off_runner.bytes_shipped // max(args.reps, 1)
+
+    warm_runner = SweepRunner(jobs=args.jobs, cache=None, shm=True)
+    t0 = time.perf_counter()
+    sweep(warm_runner, seed=1)  # untimed: pool birth + publish + warm-up
+    first_sweep = time.perf_counter() - t0
+    pool, _ = shm.get_worker_pool(args.jobs)
+    spawn_s = pool.spawn_seconds
+    warm_runner.bytes_shipped = 0
+    warm_t, warm_vals = _best_of(lambda: sweep(warm_runner), args.reps)
+    warm_bytes = warm_runner.bytes_shipped // max(args.reps, 1)
+    segments, seg_bytes = shm.arena_stats()
+
+    identical = np.array_equal(np.asarray(off_vals), np.asarray(warm_vals))
+
+    print(f"{'transport':<10} {'wall ms':>10} {'bytes/sweep':>12}")
+    print(f"{'off':<10} {off_t * 1e3:>10.1f} {off_bytes:>12}")
+    print(f"{'warm':<10} {warm_t * 1e3:>10.1f} {warm_bytes:>12}")
+    print(f"pool spawn+warmup : {spawn_s * 1e3:.1f} ms "
+          f"(first warm sweep total {first_sweep * 1e3:.1f} ms)")
+    print(f"arena             : {segments} segments, {seg_bytes} bytes")
+    print(f"pool reuses       : {warm_runner.pool_reused}")
+    print(f"values identical  : {identical}")
+    print(f"speedup           : {off_t / warm_t:.2f}x "
+          f"(bench gate requires >= 3x)")
+
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

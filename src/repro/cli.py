@@ -120,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="batch Monte-Carlo replicas through the "
                             "replica-axis planners (--no-batch disables)")
+    exp_p.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="shared-memory dataplane + persistent warm "
+                            "worker pool for --jobs > 1 (default follows "
+                            "REPRO_SHM; --no-shm forces legacy per-sweep "
+                            "pools)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or compact a sweep-cell cache directory")
@@ -345,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
             forwarded.extend(["--cache-dir", args.cache_dir])
         if not args.batch:
             forwarded.append("--no-batch")
+        if args.shm is not None:
+            forwarded.append("--shm" if args.shm else "--no-shm")
         return exp_main(forwarded)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -93,6 +93,14 @@ def main(argv: list[str] | None = None) -> int:
                              "through the replica-axis batch path "
                              "(bit-identical values; --no-batch forces the "
                              "sequential per-cell path)")
+    parser.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="shared-memory dataplane for --jobs > 1: "
+                             "populations are published once to /dev/shm "
+                             "and a persistent warm worker pool is reused "
+                             "across sweeps (bit-identical values; default "
+                             "follows REPRO_SHM, which defaults to on; "
+                             "--no-shm forces the legacy per-sweep pools)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -103,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runner = configure_default_runner(
         jobs=args.jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
-        batch=args.batch,
+        batch=args.batch, shm=args.shm,
     )
 
     names = args.names or list(_EXPERIMENTS)
@@ -131,6 +139,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{cov['fallback_cells']} per-cell, {cov['cached_cells']} "
               f"cache-served ({cov['batched_fraction']:.0%} of computed "
               f"cells batched, {cov['kernel_backend']} kernels)")
+        print(f"# dataplane: {cov['bytes_shipped']} bytes shipped, "
+              f"{cov['shm_segments']} shm segments "
+              f"({cov['shm_bytes']} bytes), "
+              f"{cov['pool_reused']} warm-pool reuses")
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 

@@ -58,6 +58,7 @@ import pickle
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -227,6 +228,52 @@ def _evaluate_chunk(args: tuple) -> tuple[list[float | list[float]], float]:
         for n, run in cells
     ]
     return values, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# shared-memory dataplane glue (see repro.experiments.shm)
+# ----------------------------------------------------------------------
+def _install_arena_tagsets(manifests: dict[tuple, Any]) -> None:
+    """Pre-populate this worker's tagset memo from arena manifests.
+
+    ``manifests`` maps a tagset-memo key to the shared-memory manifest
+    of the population the parent already drew for that cell.  Attaching
+    installs a zero-copy :meth:`TagSet.from_columns` view under the
+    exact key :func:`_memoised_tagset` will look up, so every
+    evaluation path downstream is untouched — and bit-identical, since
+    the attached columns are the parent's draw exported verbatim.  A
+    manifest whose segment is gone (evicted) is simply skipped; the
+    memo miss regenerates from seed as before.
+    """
+    if not manifests:
+        return
+    from repro.experiments import shm as _shm
+
+    for memo_key, manifest in manifests.items():
+        if memo_key in _tagset_memo:
+            continue
+        tags = _shm.attach_tagset(manifest)
+        if tags is not None:
+            _tagset_memo[memo_key] = tags
+
+
+def _run_chunk_pickled(blob: bytes) -> tuple[list[float | list[float]], float]:
+    """Pool entry: unpickle ``(args, manifests)``, attach, evaluate.
+
+    Arena attachment happens *outside* the timed region of
+    :func:`_evaluate_chunk`, so shard wall times keep feeding the cost
+    model the pure compute cost.
+    """
+    args, manifests = pickle.loads(blob)
+    _install_arena_tagsets(manifests)
+    return _evaluate_chunk(args)
+
+
+def _run_batch_shard_pickled(blob: bytes) -> tuple[bytes, float]:
+    """Pool entry for the batch path (see :func:`_run_chunk_pickled`)."""
+    args, manifests = pickle.loads(blob)
+    _install_arena_tagsets(manifests)
+    return _evaluate_batch_shard(args)
 
 
 # ----------------------------------------------------------------------
@@ -481,24 +528,41 @@ class SweepRunner:
             :mod:`repro.experiments.costmodel`); persisted as
             ``costs.json`` next to a disk cache and updated online from
             measured shard times.
+        shm: route pool dispatch through the shared-memory dataplane
+            (:mod:`repro.experiments.shm`): populations are published
+            once into ``/dev/shm`` segments workers attach zero-copy,
+            and a persistent warm worker pool is reused across sweeps.
+            ``None`` (the default) reads ``REPRO_SHM`` (``auto`` = on,
+            ``off`` = legacy per-sweep pools + per-worker
+            regeneration).  Values are bit-identical either way.
         batched_cells / fallback_cells / cached_cells: running coverage
             counters over every sweep this runner has executed (see
             :attr:`batch_coverage`).
+        bytes_shipped: payload bytes explicitly serialized for worker
+            dispatch (shard args), plus the raw float64 result bytes of
+            batch shards — the shipping volume the dataplane exists to
+            keep flat as grids grow.
+        pool_reused: pool dispatches served by an already-warm
+            persistent pool (vs spawning one).
 
     The active kernel backend (:func:`repro.kernels.active_backend`) is
     reported in :attr:`batch_coverage` and the per-sweep log line for
     observability only — kernel backends are bit-identical by contract,
     so it never enters a cell cache key (a numpy-written cache re-hits
-    under numba and vice versa).
+    under numba and vice versa).  The dataplane is equally invisible to
+    keys and values by construction.
     """
 
     jobs: int = 1
     cache: ResultCache | None = field(default_factory=ResultCache)
     batch: bool = True
+    shm: bool | None = None
     cost_model: CostModel = field(default_factory=CostModel, repr=False)
     batched_cells: int = field(default=0, init=False)
     fallback_cells: int = field(default=0, init=False)
     cached_cells: int = field(default=0, init=False)
+    bytes_shipped: int = field(default=0, init=False)
+    pool_reused: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.cache is not None and self.cache.directory is not None:
@@ -517,13 +581,28 @@ class SweepRunner:
         return active_backend()
 
     @property
+    def shm_enabled(self) -> bool:
+        """Is the shared-memory dataplane active for this runner?
+        (the ``shm`` field when set, else the ``REPRO_SHM`` gate)."""
+        if self.shm is not None:
+            return self.shm
+        from repro.experiments.shm import dataplane_enabled
+
+        return dataplane_enabled()
+
+    @property
     def batch_coverage(self) -> dict[str, int | float | str]:
         """Replica-batch routing stats across every sweep so far:
         computed cells that took the batched path, computed cells that
         fell back to sequential per-cell evaluation, cache-served cells,
-        the batched fraction of the computed cells, and the kernel
-        backend the computed cells ran on."""
+        the batched fraction of the computed cells, the kernel backend
+        the computed cells ran on, and the dataplane counters (bytes
+        shipped to workers, live shared-memory segments/bytes, warm
+        pool reuses)."""
+        from repro.experiments.shm import arena_stats
+
         computed = self.batched_cells + self.fallback_cells
+        shm_segments, shm_bytes = arena_stats()
         return {
             "batched_cells": self.batched_cells,
             "fallback_cells": self.fallback_cells,
@@ -531,6 +610,10 @@ class SweepRunner:
             "batched_fraction":
                 self.batched_cells / computed if computed else 0.0,
             "kernel_backend": self.kernel_backend,
+            "bytes_shipped": self.bytes_shipped,
+            "shm_segments": shm_segments,
+            "shm_bytes": shm_bytes,
+            "pool_reused": self.pool_reused,
         }
 
     # ------------------------------------------------------------------
@@ -556,6 +639,92 @@ class SweepRunner:
             f"tagset={describe(tagset_factory)}",
         ])
 
+    def _publish_tagsets(
+        self,
+        cells: Sequence[tuple[int, int]],
+        seed: int,
+        tagset_factory: Callable,
+    ) -> dict[tuple, Any]:
+        """Publish each distinct cell population into the shared arena.
+
+        Returns ``{tagset-memo key -> SegmentManifest}`` for the cells
+        whose columns made it into shared memory (large enough, arena
+        healthy) — exactly what :func:`_install_arena_tagsets` consumes
+        worker-side.  Populations are drawn through the parent's own
+        :func:`_memoised_tagset`, so a population published for one
+        protocol's sweep is a memo hit (and a manifest hit) for the
+        next five protocols over the same grid.
+        """
+        if not self.shm_enabled:
+            return {}
+        from repro.experiments import shm as _shm
+
+        arena = _shm.get_arena()
+        if arena.failed:
+            return {}
+        factory_desc = describe(tagset_factory)
+        manifests: dict[tuple, Any] = {}
+        for n, run in dict.fromkeys((int(n), int(r)) for n, r in cells):
+            key_str = f"tags|seed={int(seed)}|n={n}|run={run}|{factory_desc}"
+            manifest = arena.manifest(key_str)
+            if manifest is None:
+                tag_child, _ = cell_seed_children(seed, n, run)
+                tags = _memoised_tagset(seed, n, run, tag_child,
+                                        tagset_factory)
+                manifest = arena.publish(key_str, tags.columns())
+            if manifest is not None:
+                manifests[(int(seed), n, run, factory_desc)] = manifest
+        return manifests
+
+    def _dispatch_shards(
+        self,
+        worker_fn: Callable[[bytes], Any],
+        shard_args: list[tuple],
+        manifests: dict[tuple, Any],
+    ) -> list[Any] | None:
+        """Ship pickled shard blobs to a worker pool; ``None`` = fall back.
+
+        The explicit ``pickle.dumps`` here *is* the shipment — the pool
+        would pickle the identical payload internally — so picklability
+        is validated by doing the real serialization once (an
+        unpicklable configuration returns ``None`` and the caller
+        degrades to in-process, as before) and ``bytes_shipped`` counts
+        exactly what crossed the process boundary.  With the dataplane
+        on, dispatch goes to the persistent warm pool; a broken pool
+        (worker died mid-shard) is disposed and the sweep falls back
+        in-process rather than failing.
+        """
+        try:
+            blobs = [pickle.dumps((args, manifests)) for args in shard_args]
+        except Exception:
+            return None
+        from repro.experiments import shm as _shm
+
+        if self.shm_enabled:
+            try:
+                pool, reused = _shm.get_worker_pool(self.jobs)
+            except Exception:
+                return None
+            self.pool_reused += 1 if reused else 0
+            try:
+                results = pool.map(worker_fn, blobs)
+            except BrokenProcessPool:
+                _shm.shutdown_worker_pool()
+                return None
+        else:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(_shm.resolve_start_method())
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(blobs)), mp_context=ctx,
+                ) as pool:
+                    results = list(pool.map(worker_fn, blobs))
+            except BrokenProcessPool:
+                return None
+        self.bytes_shipped += sum(len(b) for b in blobs)
+        return results
+
     def _compute(
         self,
         protocol: PollingProtocol | ScheduleEmitter,
@@ -575,38 +744,37 @@ class SweepRunner:
                 tagset_factory,
             )
         label = self._protocol_label(protocol)
-        payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
-        use_pool = self.jobs > 1 and len(cells) > 1
-        if use_pool:
-            try:  # unpicklable configurations degrade to in-process
-                pickle.dumps(payload)
-            except Exception:
-                use_pool = False
-        if not use_pool:
-            values, elapsed = _evaluate_chunk(
-                (protocol, list(cells), seed, metric, info_bits, budget,
-                 tagset_factory)
+        if self.jobs > 1 and len(cells) > 1:
+            n_workers = min(self.jobs, len(cells))
+            # pack shards by predicted cost (LPT), not by count, so a few
+            # expensive cells don't straggle one worker while others idle
+            costs = self.cost_model.predict_cells(label, cells)
+            shard_idx = greedy_shards(costs, n_workers)
+            manifests = self._publish_tagsets(cells, seed, tagset_factory)
+            shard_args = [
+                (protocol, [cells[i] for i in shard], seed, metric,
+                 info_bits, budget, tagset_factory)
+                for shard in shard_idx
+            ]
+            shard_results = self._dispatch_shards(
+                _run_chunk_pickled, shard_args, manifests,
             )
-            self.cost_model.observe(label, cells, elapsed)
-            return values
-        n_workers = min(self.jobs, len(cells))
-        # pack shards by predicted cost (LPT), not by count, so a few
-        # expensive cells don't straggle one worker while others idle
-        costs = self.cost_model.predict_cells(label, cells)
-        shard_idx = greedy_shards(costs, n_workers)
-        args = [
-            (protocol, [cells[i] for i in shard], seed, metric, info_bits,
-             budget, tagset_factory)
-            for shard in shard_idx
-        ]
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            shard_results = list(pool.map(_evaluate_chunk, args))
-        # reassemble by original cell index (inverse of the packing)
-        values: list[Any] = [None] * len(cells)
-        for shard, (chunk, elapsed) in zip(shard_idx, shard_results):
-            for i, value in zip(shard, chunk):
-                values[i] = value
-            self.cost_model.observe(label, [cells[i] for i in shard], elapsed)
+            if shard_results is not None:
+                # reassemble by original cell index (inverse of packing)
+                values: list[Any] = [None] * len(cells)
+                for shard, (chunk, elapsed) in zip(shard_idx, shard_results):
+                    for i, value in zip(shard, chunk):
+                        values[i] = value
+                    self.cost_model.observe(
+                        label, [cells[i] for i in shard], elapsed
+                    )
+                return values
+        # serial path, or pool dispatch declined/failed
+        values, elapsed = _evaluate_chunk(
+            (protocol, list(cells), seed, metric, info_bits, budget,
+             tagset_factory)
+        )
+        self.cost_model.observe(label, cells, elapsed)
         return values
 
     def _compute_batch(
@@ -629,41 +797,41 @@ class SweepRunner:
         the sequential path for any ``jobs``.
         """
         label = self._protocol_label(protocol)
-        payload = (protocol, seed, metric, info_bits, budget, tagset_factory)
-        use_pool = self.jobs > 1 and len(cells) > 1
-        if use_pool:
-            try:  # unpicklable configurations degrade to in-process
-                pickle.dumps(payload)
-            except Exception:
-                use_pool = False
-        if not use_pool:
-            t0 = time.perf_counter()
-            values = evaluate_cells_batch(
-                protocol, list(cells), seed, metric, info_bits, budget,
-                tagset_factory,
+        if self.jobs > 1 and len(cells) > 1:
+            n_workers = min(self.jobs, len(cells))
+            costs = self.cost_model.predict_cells(label, cells)
+            bounds = balanced_contiguous_bounds(costs, n_workers)
+            manifests = self._publish_tagsets(cells, seed, tagset_factory)
+            shard_args = [
+                (protocol, list(cells[bounds[w]:bounds[w + 1]]), seed,
+                 metric, info_bits, budget, tagset_factory)
+                for w in range(len(bounds) - 1)
+            ]
+            shard_results = self._dispatch_shards(
+                _run_batch_shard_pickled, shard_args, manifests,
             )
-            self.cost_model.observe(label, cells, time.perf_counter() - t0)
-            return values
-        n_workers = min(self.jobs, len(cells))
-        costs = self.cost_model.predict_cells(label, cells)
-        bounds = balanced_contiguous_bounds(costs, n_workers)
-        args = [
-            (protocol, list(cells[bounds[w]:bounds[w + 1]]), seed, metric,
-             info_bits, budget, tagset_factory)
-            for w in range(len(bounds) - 1)
-        ]
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            shard_results = list(pool.map(_evaluate_batch_shard, args))
-        for w, (_, elapsed) in enumerate(shard_results):
-            self.cost_model.observe(
-                label, cells[bounds[w]:bounds[w + 1]], elapsed
-            )
-        flat = np.frombuffer(
-            b"".join(blob for blob, _ in shard_results), dtype=np.float64
+            if shard_results is not None:
+                for w, (_, elapsed) in enumerate(shard_results):
+                    self.cost_model.observe(
+                        label, cells[bounds[w]:bounds[w + 1]], elapsed
+                    )
+                self.bytes_shipped += sum(
+                    len(blob) for blob, _ in shard_results
+                )
+                flat = np.frombuffer(
+                    b"".join(blob for blob, _ in shard_results),
+                    dtype=np.float64,
+                )
+                if isinstance(metric, DESMetric):  # multi-component rows
+                    return flat.reshape(len(cells), -1).tolist()
+                return flat.tolist()
+        t0 = time.perf_counter()
+        values = evaluate_cells_batch(
+            protocol, list(cells), seed, metric, info_bits, budget,
+            tagset_factory,
         )
-        if isinstance(metric, DESMetric):  # multi-component rows
-            return flat.reshape(len(cells), -1).tolist()
-        return flat.tolist()
+        self.cost_model.observe(label, cells, time.perf_counter() - t0)
+        return values
 
     # ------------------------------------------------------------------
     def sweep_values(
@@ -716,11 +884,12 @@ class SweepRunner:
         self.fallback_cells += 0 if batched else len(missing)
         self.cached_cells += len(grid) - len(missing)
         _log.info(
-            "sweep %s metric=%s: %d cells (%d cached, %d %s, kernels=%s)",
+            "sweep %s metric=%s: %d cells (%d cached, %d %s, kernels=%s, "
+            "shipped=%dB, pool_reused=%d)",
             getattr(protocol, "name", type(protocol).__name__),
             describe(metric), len(grid), len(grid) - len(missing),
             len(missing), "batched" if batched else "per-cell",
-            self.kernel_backend,
+            self.kernel_backend, self.bytes_shipped, self.pool_reused,
         )
         table = np.asarray(
             [np.atleast_1d(np.asarray(v, dtype=float)) for v in values]
@@ -782,9 +951,12 @@ def configure_default_runner(
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     batch: bool = True,
+    shm: bool | None = None,
 ) -> SweepRunner:
     """Build and install the default runner (the CLI's entry point)."""
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     cache = ResultCache(cache_dir) if use_cache else None
-    return set_default_runner(SweepRunner(jobs=jobs, cache=cache, batch=batch))
+    return set_default_runner(
+        SweepRunner(jobs=jobs, cache=cache, batch=batch, shm=shm)
+    )

@@ -1,0 +1,558 @@
+"""Zero-copy shared-memory dataplane for the sweep engine.
+
+``SweepRunner`` historically shipped *recipes* to its workers: every
+shard carried a pickled ``tagset_factory`` and each worker re-derived
+every population from seed, and every sweep call built (and tore down) a
+fresh ``ProcessPoolExecutor`` — a fresh interpreter under the portable
+``spawn`` start method, a full module re-import, and a cold numba JIT
+cache per worker, per sweep.  At paper-scale grids (n=10^5 x many
+protocols x many replicas) that overhead dominates the already
+vectorised compute.  This module removes both costs without changing a
+single computed bit:
+
+- :class:`ColumnArena` — the parent exports numpy columns (tagset
+  identity words, schedule exchange columns) into
+  ``multiprocessing.shared_memory`` segments and hands workers a tiny
+  picklable :class:`SegmentManifest` (segment name, per-column dtype /
+  shape / offset) instead of the data; workers :func:`attach` read-only
+  zero-copy views.  Lifecycle is crash-safe: segments are unlinked on
+  :meth:`ColumnArena.close` (registered ``atexit``), a startup
+  :func:`sweep_orphans` reclaims segments leaked by a SIGKILLed run
+  (names embed the owning PID), close is idempotent, and workers
+  unregister their attachments from the ``resource_tracker`` so a dying
+  worker can never unlink a segment the parent still owns.
+- :class:`WorkerPool` — a persistent, warm ``ProcessPoolExecutor`` the
+  runner reuses across sweep calls.  Workers are born once (start
+  method via ``REPRO_POOL_START=auto|fork|spawn|forkserver``), run the
+  kernel-backend warmup hook (:func:`repro.kernels.warmup`) at birth,
+  and keep their tagset memo and arena attachments across sweeps.
+
+Everything is gated by ``REPRO_SHM=auto|off`` (CLI: ``--no-shm``).
+``off`` restores the legacy behaviour exactly — per-sweep pools,
+per-worker regeneration — and never touches ``shared_memory`` at all.
+The dataplane is an *invisible* optimisation by contract: attached
+populations are bit-identical to regenerated ones (same seed-derived
+draw, exported verbatim), so cell values, cache keys, and
+``CellStore`` bytes are unchanged with the dataplane on or off.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "ColumnArena",
+    "ColumnSpec",
+    "SegmentManifest",
+    "WorkerPool",
+    "arena_stats",
+    "attach",
+    "attach_tagset",
+    "close_arena",
+    "dataplane_enabled",
+    "detach_all",
+    "get_arena",
+    "get_worker_pool",
+    "resolve_start_method",
+    "shutdown_worker_pool",
+    "sweep_orphans",
+    "SEGMENT_PREFIX",
+]
+
+#: ``/dev/shm`` name prefix; the second dash-separated field is the
+#: owning PID, which is what makes orphan reclamation possible.
+SEGMENT_PREFIX = "repro-shm"
+
+#: column start offsets are aligned so attached views stay SIMD-friendly
+_ALIGN = 64
+
+#: process-local count of ``SharedMemory`` constructions — the
+#: ``REPRO_SHM=off`` tests assert this stays zero.
+shared_memory_touches = 0
+
+
+def _shared_memory():
+    """The ``SharedMemory`` class, imported lazily so ``REPRO_SHM=off``
+    never even imports the module (and every construction is counted)."""
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory
+
+
+def _count_touch() -> None:
+    global shared_memory_touches
+    shared_memory_touches += 1
+
+
+@contextmanager
+def _untracked() -> Iterator[None]:
+    """Suppress resource-tracker registration for the enclosed attach.
+
+    CPython (< 3.13, where ``track=False`` landed) registers POSIX
+    segments with the tracker on *attach* as well as on create.  For a
+    non-owning attachment that is actively harmful: under ``spawn`` the
+    worker's tracker unlinks the parent's live segment when the worker
+    exits; under ``fork`` the worker shares the parent's tracker, so
+    any worker-side unregister erases the parent's own registration.
+    Only the creating process should track, so attaches are wrapped in
+    this registration no-op.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def dataplane_enabled() -> bool:
+    """Read the ``REPRO_SHM`` gate (default ``auto`` = on)."""
+    choice = os.environ.get("REPRO_SHM", "auto").strip().lower() or "auto"
+    if choice in ("auto", "on", "1", "yes"):
+        return True
+    if choice in ("off", "0", "no"):
+        return False
+    raise ValueError(f"REPRO_SHM={choice!r}: expected auto or off")
+
+
+def resolve_start_method(choice: str | None = None) -> str:
+    """Worker start method: ``REPRO_POOL_START=auto|fork|spawn|forkserver``.
+
+    ``auto`` prefers ``fork`` where the platform offers it (cheap, and
+    the historical Linux behaviour) and falls back to ``spawn``.  The
+    dataplane benchmarks pin ``spawn`` explicitly — the portable method,
+    and the one whose per-pool cost (interpreter boot, module re-import,
+    kernel re-warm) the persistent pool exists to amortise.
+    """
+    import multiprocessing
+
+    if choice is None:
+        choice = os.environ.get("REPRO_POOL_START", "auto")
+    choice = choice.strip().lower() or "auto"
+    available = multiprocessing.get_all_start_methods()
+    if choice == "auto":
+        return "fork" if "fork" in available else "spawn"
+    if choice not in available:
+        raise ValueError(
+            f"REPRO_POOL_START={choice!r}: available {available}"
+        )
+    return choice
+
+
+# ----------------------------------------------------------------------
+# manifests: how a segment's contents are described to a worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One numpy column inside a segment (dtype/shape/offset triple)."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentManifest:
+    """A picklable description of one published segment.
+
+    This is all that crosses the process boundary: workers rebuild
+    zero-copy views from ``(segment, columns)`` via :func:`attach`.
+    ``key`` is the arena's logical identity (e.g. the tagset memo key)
+    and ``refs`` counts how many dispatches have shipped this manifest —
+    observability for the eviction policy, not a correctness input.
+    """
+
+    key: str
+    segment: str
+    nbytes: int
+    columns: tuple[ColumnSpec, ...]
+    refs: int = 0
+
+
+def _layout(columns: dict[str, np.ndarray]) -> tuple[list[ColumnSpec], int]:
+    """Aligned packing of ``columns`` into one segment."""
+    specs: list[ColumnSpec] = []
+    offset = 0
+    for name, arr in columns.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(ColumnSpec(
+            name=name, dtype=arr.dtype.str, shape=tuple(arr.shape),
+            offset=offset,
+        ))
+        offset += int(arr.nbytes)
+    return specs, max(offset, 1)  # SharedMemory refuses size 0
+
+
+# ----------------------------------------------------------------------
+# the parent-side arena
+# ----------------------------------------------------------------------
+class ColumnArena:
+    """Parent-owned shared-memory segments of numpy columns.
+
+    One :meth:`publish` call packs a dict of columns into one segment
+    and memoises the manifest under a logical key, so re-publishing
+    (the same tagset wanted by six protocol sweeps, say) is a lookup.
+    A byte budget (``REPRO_SHM_MAX_BYTES``, default 256 MiB) bounds
+    residency: least-recently-used segments are unlinked first.
+    Columns smaller than ``REPRO_SHM_MIN_BYTES`` (default 64 KiB) are
+    not published at all — at that size a worker regenerates faster
+    than the kernel maps a page, and the caller's regeneration fallback
+    is bit-identical by construction.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int | None = None,
+        min_bytes: int | None = None,
+    ) -> None:
+        def _env_int(name: str, default: int) -> int:
+            raw = os.environ.get(name)
+            return int(raw) if raw else default
+
+        self.max_bytes = (
+            max_bytes if max_bytes is not None
+            else _env_int("REPRO_SHM_MAX_BYTES", 256 * 1024 * 1024)
+        )
+        self.min_bytes = (
+            min_bytes if min_bytes is not None
+            else _env_int("REPRO_SHM_MIN_BYTES", 64 * 1024)
+        )
+        self._segments: dict[str, Any] = {}  # segment name -> SharedMemory
+        self._manifests: OrderedDict[str, SegmentManifest] = OrderedDict()
+        self._seq = 0
+        self.total_bytes = 0
+        self.published_bytes = 0  # cumulative, for profiling
+        self.failed = False  # a segment-creation error disables the arena
+
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> int:
+        return len(self._segments)
+
+    def manifest(self, key: str) -> SegmentManifest | None:
+        """The manifest published under ``key``, refreshed as MRU."""
+        m = self._manifests.get(key)
+        if m is not None:
+            self._manifests.move_to_end(key)
+            self._manifests[key] = m = replace(m, refs=m.refs + 1)
+        return m
+
+    def publish(
+        self, key: str, columns: dict[str, np.ndarray]
+    ) -> SegmentManifest | None:
+        """Copy ``columns`` into a fresh segment published under ``key``.
+
+        Returns the manifest, or ``None`` when the columns are below the
+        publication threshold or shared memory is unusable (the caller
+        falls back to shipping the recipe, which is always correct).
+        """
+        existing = self.manifest(key)
+        if existing is not None:
+            return existing
+        if self.failed:
+            return None
+        specs, size = _layout(columns)
+        if size < self.min_bytes:
+            return None
+        self._evict(size)
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{self._seq:06d}"
+        self._seq += 1
+        try:
+            _count_touch()
+            shm = _shared_memory()(name=name, create=True, size=size)
+        except OSError:  # no /dev/shm, exhausted, permissions ...
+            self.failed = True
+            return None
+        for spec, arr in zip(specs, columns.values()):
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=shm.buf, offset=spec.offset,
+            )
+            view[...] = arr
+        self._segments[name] = shm
+        manifest = SegmentManifest(
+            key=key, segment=name, nbytes=size, columns=tuple(specs),
+        )
+        self._manifests[key] = manifest
+        self.total_bytes += size
+        self.published_bytes += size
+        return manifest
+
+    def _evict(self, incoming: int) -> None:
+        """Unlink LRU segments until ``incoming`` bytes fit the budget."""
+        while (
+            self._manifests
+            and self.total_bytes + incoming > self.max_bytes
+        ):
+            _, manifest = self._manifests.popitem(last=False)
+            self._unlink(manifest.segment)
+
+    def _unlink(self, segment: str) -> None:
+        shm = self._segments.pop(segment, None)
+        if shm is None:
+            return
+        self.total_bytes -= shm.size
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment; safe to call any number of times."""
+        for name in list(self._segments):
+            self._unlink(name)
+        self._manifests.clear()
+        self.total_bytes = 0
+
+
+# ----------------------------------------------------------------------
+# process-global arena (parent side)
+# ----------------------------------------------------------------------
+_arena: ColumnArena | None = None
+
+
+def get_arena() -> ColumnArena:
+    """The process-wide arena, created on first use.
+
+    Creation also sweeps orphan segments left by a previous, killed
+    run and registers the ``atexit`` unlink hook.
+    """
+    global _arena
+    if _arena is None:
+        sweep_orphans()
+        _arena = ColumnArena()
+        atexit.register(close_arena)
+    return _arena
+
+
+def arena_stats() -> tuple[int, int]:
+    """``(segments, bytes)`` of the live arena — ``(0, 0)`` when no
+    arena exists, without creating one."""
+    if _arena is None:
+        return (0, 0)
+    return (_arena.segments, _arena.total_bytes)
+
+
+def close_arena() -> None:
+    """Unlink the global arena's segments and forget it (idempotent)."""
+    global _arena
+    if _arena is not None:
+        _arena.close()
+        _arena = None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def sweep_orphans(root: str | os.PathLike = "/dev/shm") -> list[str]:
+    """Reclaim ``repro-shm-*`` segments whose owning PID is dead.
+
+    A SIGKILLed parent never runs its ``atexit`` unlink; its segments
+    survive in ``/dev/shm`` with the dead PID baked into their name.
+    Every new arena sweeps them on startup.  Unlinks go straight through
+    the filesystem — attaching just to unlink would map the orphan for
+    nothing.  Returns the reclaimed names.
+    """
+    directory = Path(root)
+    if not directory.is_dir():  # pragma: no cover - non-tmpfs platform
+        return []
+    reclaimed: list[str] = []
+    for path in directory.glob(f"{SEGMENT_PREFIX}-*-*"):
+        try:
+            pid = int(path.name.split("-")[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+            reclaimed.append(path.name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+    return reclaimed
+
+
+# ----------------------------------------------------------------------
+# worker-side attachment
+# ----------------------------------------------------------------------
+#: segment name -> (SharedMemory, {column name -> read-only view});
+#: segments are immutable once published, so caching by name is safe.
+_attached: OrderedDict[str, tuple[Any, dict[str, np.ndarray]]] = OrderedDict()
+_ATTACH_CACHE_MAX = 256
+
+
+def attach(manifest: SegmentManifest) -> dict[str, np.ndarray] | None:
+    """Zero-copy read-only views of a published segment's columns.
+
+    Returns ``None`` when the segment no longer exists (evicted or
+    unlinked between dispatch and attach) — callers fall back to
+    regeneration, which is bit-identical.  Attachments are cached per
+    segment and unregistered from the resource tracker so this process
+    exiting (or crashing) never unlinks the parent's segment.
+    """
+    cached = _attached.get(manifest.segment)
+    if cached is not None:
+        _attached.move_to_end(manifest.segment)
+        return cached[1]
+    try:
+        _count_touch()
+        with _untracked():
+            shm = _shared_memory()(name=manifest.segment, create=False)
+    except (FileNotFoundError, OSError):
+        return None
+    views: dict[str, np.ndarray] = {}
+    for spec in manifest.columns:
+        arr = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=shm.buf, offset=spec.offset,
+        )
+        arr.flags.writeable = False
+        views[spec.name] = arr
+    _attached[manifest.segment] = (shm, views)
+    while len(_attached) > _ATTACH_CACHE_MAX:
+        _, (old, _views) = _attached.popitem(last=False)
+        try:
+            old.close()
+        except (BufferError, OSError):  # pragma: no cover - view in flight
+            pass
+    return views
+
+
+def attach_tagset(manifest: SegmentManifest):
+    """Rebuild a :class:`~repro.workloads.tagsets.TagSet` over an
+    attached segment (or ``None`` when the segment is gone)."""
+    from repro.workloads.tagsets import TagSet
+
+    views = attach(manifest)
+    if views is None:
+        return None
+    return TagSet.from_columns(views)
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (tests and worker teardown)."""
+    while _attached:
+        _, (shm, _views) = _attached.popitem()
+        try:
+            shm.close()
+        except (BufferError, OSError):  # pragma: no cover - view in flight
+            pass
+
+
+# ----------------------------------------------------------------------
+# the persistent warm worker pool
+# ----------------------------------------------------------------------
+def _worker_init() -> None:
+    """Worker birth hook: warm the kernel backend and the hot modules.
+
+    Runs once per worker process, at pool creation — a spawned worker
+    pays interpreter boot + imports + (under numba) JIT cache load
+    *here*, so the first sweep shard it receives runs at steady-state
+    speed.  Everything imported is something every sweep shard needs.
+    """
+    import repro.experiments.runner  # noqa: F401 - preload the hot path
+    import repro.sim.batch  # noqa: F401
+    from repro.kernels import warmup
+
+    warmup()
+
+
+class WorkerPool:
+    """A persistent ``ProcessPoolExecutor`` with warm, arena-aware workers.
+
+    Unlike the per-sweep executors it replaces, a ``WorkerPool`` is
+    created once and reused across every ``_compute``/``_compute_batch``
+    call — pool spawn, module imports, and kernel warmup are paid at
+    birth (recorded in :attr:`spawn_seconds`) instead of per sweep.
+    ``broken`` flips when a worker dies mid-task; the runner disposes
+    the pool and falls back in-process for that sweep.
+    """
+
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self.jobs = int(jobs)
+        self.start_method = resolve_start_method(start_method)
+        self.broken = False
+        t0 = time.perf_counter()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_worker_init,
+        )
+        # force every worker to exist (and warm up) now, not lazily on
+        # first dispatch: one trivial task per worker slot
+        list(self._executor.map(_worker_ping, range(self.jobs)))
+        self.spawn_seconds = time.perf_counter() - t0
+
+    def map(self, fn: Callable, args: Iterable[Any]) -> list[Any]:
+        """Ordered map; marks the pool broken on worker death."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return list(self._executor.map(fn, args))
+        except BrokenProcessPool:
+            self.broken = True
+            raise
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _worker_ping(i: int) -> int:
+    return i
+
+
+_pool: WorkerPool | None = None
+
+
+def get_worker_pool(jobs: int) -> tuple[WorkerPool, bool]:
+    """The process-wide pool, (re)built to ``jobs`` workers.
+
+    Returns ``(pool, reused)`` — ``reused`` is False when this call had
+    to (re)spawn, i.e. first use, a changed ``jobs`` or start method,
+    or a previously broken pool.
+    """
+    global _pool
+    if (
+        _pool is not None
+        and _pool.jobs == jobs
+        and not _pool.broken
+        and _pool.start_method == resolve_start_method()
+    ):
+        return _pool, True
+    if _pool is None:
+        atexit.register(shutdown_worker_pool)
+    else:
+        _pool.shutdown()
+    _pool = WorkerPool(jobs)
+    return _pool, False
+
+
+def shutdown_worker_pool() -> None:
+    """Dispose the process-wide pool (idempotent)."""
+    global _pool
+    if _pool is not None:
+        pool, _pool = _pool, None
+        pool.shutdown()

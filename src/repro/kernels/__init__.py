@@ -45,6 +45,7 @@ __all__ = [
     "resolve_backend",
     "set_backend",
     "use_backend",
+    "warmup",
     "numba_available",
     "numba_version",
     "KernelBackendError",
@@ -191,6 +192,34 @@ def get_kernel(name: str) -> Callable[..., Any]:
     if table is None:
         table = _table = _build_table()
     return table[name]
+
+
+_warmed: set[str] = set()
+
+
+def warmup(scale: float = 0.005) -> str:
+    """Run every registered kernel once on a tiny workload.
+
+    The worker-pool birth hook: under the numba backend the first call
+    to each kernel pays JIT compilation (or ``cache=True`` disk load) —
+    paying it here, once per worker process, keeps it out of the first
+    sweep shard's measured wall time (which feeds the cost model).
+    Under numpy it is a sub-millisecond no-op.  Returns the backend
+    that was warmed; repeated calls for the same backend are free.
+    """
+    backend = active_backend()
+    if backend in _warmed:
+        return backend
+    from repro.kernels.profile import _workloads
+
+    for name, args in _workloads(scale).items():
+        try:
+            impl = get_kernel(name)
+        except KeyError:  # pragma: no cover - workload without a kernel
+            continue
+        impl(*args)
+    _warmed.add(backend)
+    return backend
 
 
 def registered_kernels() -> dict[str, tuple[str, ...]]:

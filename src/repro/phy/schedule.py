@@ -206,6 +206,41 @@ class WireSchedule:
         self.tag_idx = np.asarray(self.tag_idx, dtype=np.int64)
         self.round_id = np.asarray(self.round_id, dtype=np.int64)
 
+    #: exchange-column export order for :meth:`columns`
+    _COLUMN_NAMES = ("kind", "downlink_bits", "uplink_bits", "tag_idx",
+                     "round_id")
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The exchange columns, suitable for shared-memory export.
+
+        A deferred :class:`ScheduleBatch` materialises first (reading
+        any exchange column forces them all).
+        """
+        return {name: getattr(self, name) for name in self._COLUMN_NAMES}
+
+    @classmethod
+    def from_columns(
+        cls,
+        protocol: str,
+        n_tags: int,
+        columns: dict[str, np.ndarray],
+        meta: dict[str, Any] | None = None,
+    ) -> "WireSchedule":
+        """Rebuild a schedule over externally owned column buffers.
+
+        Zero-copy when the columns already carry the canonical dtypes
+        (``__post_init__``'s ``np.asarray`` passes them through) — e.g.
+        read-only views attached from a shared-memory segment.  All
+        downstream consumers (cost index, DES executors) read the
+        columns without mutating them, so read-only buffers are safe.
+        """
+        return cls(
+            protocol=protocol,
+            n_tags=n_tags,
+            meta=dict(meta or {}),
+            **{name: columns[name] for name in cls._COLUMN_NAMES},
+        )
+
     def cost_index(self) -> CostIndex:
         """Memoised costing aggregates; treat the columns as frozen
         once a schedule has been priced."""
@@ -583,6 +618,9 @@ class ScheduleBatch(WireSchedule):
     #: exchange columns a deferred batch materialises on first touch
     _LAZY_COLUMNS = ("kind", "downlink_bits", "uplink_bits", "tag_idx",
                      "round_id", "run_id")
+
+    #: a batch exports its run tag alongside the exchange columns
+    _COLUMN_NAMES = _LAZY_COLUMNS
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -60,6 +60,39 @@ class TagSet:
         """uint64 identity words consumed by the hash family."""
         return self._id_words  # type: ignore[attr-defined]
 
+    #: export order for :meth:`columns` / :meth:`from_columns`
+    _COLUMN_NAMES = ("id_hi", "id_lo", "id_words")
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The identity columns, suitable for shared-memory export.
+
+        ``id_words`` is included even though it is derivable: attaching
+        it costs nothing (zero-copy) while recomputing the splitmix64
+        fold per worker per cell is exactly the work the dataplane
+        removes.
+        """
+        return {
+            "id_hi": self.id_hi,
+            "id_lo": self.id_lo,
+            "id_words": self.id_words,
+        }
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, np.ndarray]) -> "TagSet":
+        """Rebuild a TagSet over externally owned buffers, zero-copy.
+
+        Trusted constructor for columns produced by :meth:`columns`
+        (e.g. attached from a shared-memory segment): skips validation
+        and the identity-word fold, and keeps the arrays as handed in —
+        including read-only views.  The result is bit-identical to the
+        TagSet that exported the columns.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "id_hi", columns["id_hi"])
+        object.__setattr__(self, "id_lo", columns["id_lo"])
+        object.__setattr__(self, "_id_words", columns["id_words"])
+        return self
+
     def __len__(self) -> int:
         return int(self.id_hi.size)
 

@@ -1,0 +1,387 @@
+"""Shared-memory dataplane: arena lifecycle, zero-copy attach,
+bit-identity with the dataplane on vs off, and the persistent pool.
+
+The dataplane (:mod:`repro.experiments.shm`) is an invisible transport
+optimisation by contract: every float, cache key, and CellStore byte
+must be identical with ``REPRO_SHM=auto`` and ``REPRO_SHM=off``, on
+every kernel backend, and a crashed worker must never leak a
+``/dev/shm`` segment.  These tests pin all of that.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments import shm
+from repro.experiments.cellstore import cache_version
+from repro.experiments.runner import (
+    DESMetric,
+    ResultCache,
+    SweepRunner,
+    _tagset_memo,
+    cell_seed_children,
+)
+from repro.kernels import available_backends, use_backend
+from repro.phy.schedule import WireSchedule, compile_plan
+from repro.workloads.tagsets import TagSet, uniform_tagset
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no POSIX shared memory"
+)
+
+
+def _live_segments() -> set[str]:
+    return {p for p in os.listdir("/dev/shm") if p.startswith(shm.SEGMENT_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def _clean_dataplane(monkeypatch):
+    """Every test runs against a fresh, unbounded-threshold arena and
+    leaves no segment or pool behind."""
+    monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "0")
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    shm.close_arena()
+    shm.detach_all()
+    before = _live_segments()
+    yield
+    shm.close_arena()
+    shm.detach_all()
+    shm.shutdown_worker_pool()
+    assert _live_segments() <= before, "test leaked /dev/shm segments"
+
+
+# ----------------------------------------------------------------------
+# arena mechanics
+# ----------------------------------------------------------------------
+class TestArena:
+    def test_publish_attach_round_trip_zero_copy(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            cols = {
+                "a": np.arange(100, dtype=np.uint64),
+                "b": np.linspace(0.0, 1.0, 33),
+                "c": np.array([1, -1, 7], dtype=np.int8),
+            }
+            manifest = arena.publish("k", cols)
+            assert manifest is not None
+            assert pickle.loads(pickle.dumps(manifest)) == manifest
+            views = shm.attach(manifest)
+            assert views is not None
+            for name, arr in cols.items():
+                np.testing.assert_array_equal(views[name], arr)
+                assert views[name].dtype == arr.dtype
+                assert not views[name].flags.writeable
+            # cached attach returns the same views, no second mapping
+            assert shm.attach(manifest) is views
+        finally:
+            shm.detach_all()
+            arena.close()
+
+    def test_publish_is_memoised_per_key(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            cols = {"a": np.arange(10, dtype=np.int64)}
+            m1 = arena.publish("k", cols)
+            m2 = arena.publish("k", cols)
+            assert m1.segment == m2.segment
+            assert arena.segments == 1
+        finally:
+            arena.close()
+
+    def test_min_bytes_threshold_skips_small_columns(self):
+        arena = shm.ColumnArena(min_bytes=1 << 20)
+        try:
+            assert arena.publish("k", {"a": np.arange(8)}) is None
+            assert arena.segments == 0
+        finally:
+            arena.close()
+
+    def test_byte_budget_evicts_lru(self):
+        one_mb = np.zeros(1 << 17, dtype=np.float64)  # 1 MiB
+        arena = shm.ColumnArena(max_bytes=int(2.5 * (1 << 20)), min_bytes=0)
+        try:
+            arena.publish("k0", {"a": one_mb})
+            arena.publish("k1", {"a": one_mb})
+            arena.manifest("k0")  # refresh k0: k1 becomes LRU
+            arena.publish("k2", {"a": one_mb})
+            assert arena.manifest("k1") is None, "LRU k1 should be evicted"
+            assert arena.manifest("k0") is not None
+            assert arena.manifest("k2") is not None
+            assert arena.total_bytes <= int(2.5 * (1 << 20))
+        finally:
+            arena.close()
+
+    def test_attach_gone_segment_returns_none(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        manifest = arena.publish("k", {"a": np.arange(10)})
+        arena.close()  # segment unlinked before the worker attaches
+        assert shm.attach(manifest) is None
+
+    def test_double_close_idempotent(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        arena.publish("k", {"a": np.arange(10)})
+        arena.close()
+        arena.close()  # must not raise
+        assert arena.segments == 0
+        shm.close_arena()
+        shm.close_arena()  # global variant, equally idempotent
+
+    def test_tagset_round_trip_bit_identical(self):
+        tags = uniform_tagset(257, np.random.default_rng(5))
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            manifest = arena.publish("tags", tags.columns())
+            rebuilt = shm.attach_tagset(manifest)
+            np.testing.assert_array_equal(rebuilt.id_hi, tags.id_hi)
+            np.testing.assert_array_equal(rebuilt.id_lo, tags.id_lo)
+            np.testing.assert_array_equal(rebuilt.id_words, tags.id_words)
+            assert len(rebuilt) == len(tags)
+            # zero-copy: the rebuilt columns are views over /dev/shm
+            assert not rebuilt.id_words.flags.owndata
+        finally:
+            shm.detach_all()
+            arena.close()
+
+    def test_schedule_columns_round_trip(self):
+        tags = uniform_tagset(64, np.random.default_rng(1))
+        plan = HPP().plan(tags, np.random.default_rng(2))
+        sched = compile_plan(plan, reply_bits=4)
+        rebuilt = WireSchedule.from_columns(
+            sched.protocol, sched.n_tags, sched.columns(), meta=sched.meta,
+        )
+        for name in WireSchedule._COLUMN_NAMES:
+            np.testing.assert_array_equal(
+                getattr(rebuilt, name), getattr(sched, name))
+        ci, ci2 = sched.cost_index(), rebuilt.cost_index()
+        np.testing.assert_array_equal(ci.down_sums, ci2.down_sums)
+        np.testing.assert_array_equal(ci.run_count, ci2.run_count)
+
+
+# ----------------------------------------------------------------------
+# crash-safety: orphan sweep and worker death
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_orphan_sweep_reclaims_dead_pid_segments(self):
+        # a PID that is certainly dead: a waited-out child
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        orphan = Path(f"/dev/shm/{shm.SEGMENT_PREFIX}-{child.pid}-000000")
+        orphan.write_bytes(b"\0" * 64)
+        live = Path(f"/dev/shm/{shm.SEGMENT_PREFIX}-{os.getpid()}-999999")
+        live.write_bytes(b"\0" * 64)
+        try:
+            reclaimed = shm.sweep_orphans()
+            assert orphan.name in reclaimed
+            assert not orphan.exists()
+            assert live.exists(), "own-PID segments must survive the sweep"
+        finally:
+            live.unlink(missing_ok=True)
+            orphan.unlink(missing_ok=True)
+
+    def test_worker_crash_falls_back_and_leaks_nothing(self):
+        """SIGKILLing a worker mid-shard breaks the pool; the sweep must
+        still complete (in-process fallback, correct values) and closing
+        the arena must leave /dev/shm clean."""
+        runner = SweepRunner(jobs=2, cache=None, shm=True)
+        crash = _CrashMetric(parent_pid=os.getpid())
+        values = runner.sweep_values(
+            HPP(), [64, 96], n_runs=3, seed=9, metric=crash)
+        ref = SweepRunner(jobs=1, cache=None, shm=False).sweep_values(
+            HPP(), [64, 96], n_runs=3, seed=9, metric=crash)
+        np.testing.assert_array_equal(values, ref)
+        shm.close_arena()
+        shm.shutdown_worker_pool()
+        assert not {
+            s for s in _live_segments() if f"-{os.getpid()}-" in s
+        }, "crashed-worker sweep left /dev/shm residue"
+
+    def test_broken_pool_is_respawned_next_sweep(self):
+        runner = SweepRunner(jobs=2, cache=None, shm=True)
+        runner.sweep_values(HPP(), [64, 96], n_runs=3, seed=9,
+                            metric=_CrashMetric(parent_pid=os.getpid()))
+        # next sweep gets a fresh pool and completes through it
+        out = runner.sweep_values(HPP(), [128], n_runs=4, seed=1,
+                                  metric="n_rounds")
+        ref = SweepRunner(jobs=1, cache=None, shm=False).sweep_values(
+            HPP(), [128], n_runs=4, seed=1, metric="n_rounds")
+        np.testing.assert_array_equal(out, ref)
+
+
+@dataclass(frozen=True)
+class _CrashMetric:
+    """A sweep metric that SIGKILLs any *worker* process it runs in
+    (the parent evaluates it normally), forcing BrokenProcessPool."""
+
+    parent_pid: int
+
+    def __call__(self, protocol, tags, seed_seq, budget, info_bits):
+        if os.getpid() != self.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        plan = protocol.plan(tags, np.random.default_rng(seed_seq))
+        return float(plan.n_rounds)
+
+
+# ----------------------------------------------------------------------
+# the REPRO_SHM=off contract
+# ----------------------------------------------------------------------
+class TestOffPath:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_off_never_touches_shared_memory(self, monkeypatch,
+                                             start_method):
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable")
+        monkeypatch.setenv("REPRO_SHM", "off")
+        monkeypatch.setenv("REPRO_POOL_START", start_method)
+        before_touches = shm.shared_memory_touches
+        before_segments = _live_segments()
+        runner = SweepRunner(jobs=2, cache=None)
+        runner.sweep_values(HPP(), [64, 96], n_runs=3, seed=2,
+                            metric="n_rounds")
+        assert runner.shm_enabled is False
+        assert shm.shared_memory_touches == before_touches
+        assert _live_segments() == before_segments
+        assert runner.batch_coverage["shm_segments"] == 0
+        assert runner.batch_coverage["pool_reused"] == 0
+
+    def test_env_gate_parsing(self, monkeypatch):
+        for raw, expected in [("auto", True), ("on", True), ("1", True),
+                              ("off", False), ("0", False), ("no", False)]:
+            monkeypatch.setenv("REPRO_SHM", raw)
+            assert shm.dataplane_enabled() is expected
+        monkeypatch.setenv("REPRO_SHM", "bogus")
+        with pytest.raises(ValueError):
+            shm.dataplane_enabled()
+
+
+# ----------------------------------------------------------------------
+# bit-identity: values, cache keys, CellStore bytes — on vs off
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_values_and_store_bytes_identical(self, tmp_path, backend):
+        """The acceptance contract: same floats, same cache keys, and
+        byte-for-byte identical CellStore segments with the dataplane
+        on vs off, per kernel backend."""
+        grids = {}
+        with use_backend(backend):
+            for mode in ("off", "on"):
+                cache_dir = tmp_path / f"cache-{backend}-{mode}"
+                runner = SweepRunner(
+                    jobs=2, cache=ResultCache(cache_dir),
+                    shm=(mode == "on"),
+                )
+                des = runner.sweep_values(
+                    TPP(), [200, 300], n_runs=4, seed=7,
+                    metric=DESMetric(ber=1e-4))
+                plan = runner.sweep_values(
+                    HPP(), [200, 300], n_runs=4, seed=7, metric="time_us")
+                grids[mode] = (des, plan, _store_bytes(cache_dir))
+        des_off, plan_off, bytes_off = grids["off"]
+        des_on, plan_on, bytes_on = grids["on"]
+        np.testing.assert_array_equal(des_on, des_off)
+        np.testing.assert_array_equal(plan_on, plan_off)
+        assert bytes_on == bytes_off, "CellStore segments diverged"
+
+    def test_on_cache_rehits_off_cache(self, tmp_path):
+        """An off-written disk cache is fully served to an on runner
+        (same keys), and vice versa — the dataplane never enters keys."""
+        cache_dir = tmp_path / "cache"
+        writer = SweepRunner(jobs=2, cache=ResultCache(cache_dir), shm=False)
+        writer.sweep_values(HPP(), [200], n_runs=4, seed=3, metric="time_us")
+        reader = SweepRunner(jobs=2, cache=ResultCache(cache_dir), shm=True)
+        reader.sweep_values(HPP(), [200], n_runs=4, seed=3, metric="time_us")
+        assert reader.cache.hits == 4 and reader.cache.misses == 0
+        assert reader.bytes_shipped == 0  # nothing left to compute
+
+    def test_attached_memo_entry_matches_regeneration(self):
+        """The worker-side memo pre-population installs populations
+        bit-identical to what the worker would regenerate."""
+        runner = SweepRunner(jobs=2, cache=None, shm=True)
+        factory = uniform_tagset
+        cells = [(300, 0), (300, 1)]
+        manifests = runner._publish_tagsets(cells, seed=11,
+                                            tagset_factory=factory)
+        assert manifests, "publication should succeed with min_bytes=0"
+        for (seed, n, run, _), manifest in manifests.items():
+            attached = shm.attach_tagset(manifest)
+            tag_child, _ = cell_seed_children(seed, n, run)
+            regenerated = factory(n, np.random.default_rng(tag_child))
+            np.testing.assert_array_equal(attached.id_hi, regenerated.id_hi)
+            np.testing.assert_array_equal(attached.id_lo, regenerated.id_lo)
+            np.testing.assert_array_equal(
+                attached.id_words, regenerated.id_words)
+
+
+def _store_bytes(cache_dir: Path) -> dict[str, bytes]:
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(cache_dir.glob("cells-*.seg"))
+    }
+
+
+# ----------------------------------------------------------------------
+# the persistent pool and the shipping counters
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_pool_reused_across_sweeps_and_respawned_on_jobs_change(self):
+        runner = SweepRunner(jobs=2, cache=None, shm=True)
+        runner.sweep_values(HPP(), [100, 150], n_runs=3, seed=0,
+                            metric="n_rounds")
+        assert runner.pool_reused == 0  # first dispatch spawned it
+        runner.sweep_values(HPP(), [100, 150], n_runs=3, seed=1,
+                            metric="n_rounds")
+        assert runner.pool_reused == 1
+        pool, reused = shm.get_worker_pool(2)
+        assert reused and pool.jobs == 2
+        pool3, reused3 = shm.get_worker_pool(3)
+        assert not reused3 and pool3.jobs == 3
+
+    def test_bytes_shipped_counts_pool_dispatch_only(self):
+        serial = SweepRunner(jobs=1, cache=None, shm=True)
+        serial.sweep_values(HPP(), [100], n_runs=3, seed=0,
+                            metric="n_rounds")
+        assert serial.bytes_shipped == 0
+        pooled = SweepRunner(jobs=2, cache=None, shm=True)
+        pooled.sweep_values(HPP(), [100, 150], n_runs=3, seed=0,
+                            metric="n_rounds")
+        assert pooled.bytes_shipped > 0
+        cov = pooled.batch_coverage
+        assert cov["bytes_shipped"] == pooled.bytes_shipped
+        assert cov["shm_segments"] > 0 and cov["shm_bytes"] > 0
+
+    def test_unpicklable_config_still_falls_back(self):
+        """The explicit-blob dispatch preserves the legacy contract:
+        a closure tagset factory degrades to in-process, same values."""
+        def factory(n, rng):
+            return uniform_tagset(n, rng)
+
+        runner = SweepRunner(jobs=2, cache=None, shm=True)
+        out = runner.sweep_values(HPP(), [64, 96], n_runs=3, seed=5,
+                                  metric="n_rounds",
+                                  tagset_factory=factory)
+        ref = SweepRunner(jobs=1, cache=None, shm=False).sweep_values(
+            HPP(), [64, 96], n_runs=3, seed=5, metric="n_rounds",
+            tagset_factory=factory)
+        np.testing.assert_array_equal(out, ref)
+        assert runner.bytes_shipped == 0
+
+    def test_cache_version_covers_dataplane_source(self):
+        """shm.py is on the metric path: editing it must invalidate
+        cached cells (the fingerprint hashes its source)."""
+        from repro.experiments import cellstore
+
+        assert "experiments/shm.py" in cellstore._METRIC_PATH_MODULES
+        assert len(cache_version()) == 16
