@@ -1,6 +1,6 @@
 # Convenience targets for the repro workflow.
 
-.PHONY: install test bench bench-full bench-check cache-smoke inventory-smoke dataplane-smoke profile-dataplane experiments experiments-quick examples clean
+.PHONY: install test bench bench-full bench-check cache-smoke inventory-smoke dataplane-smoke distributed-smoke profile-dataplane experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,9 @@ inventory-smoke:
 
 dataplane-smoke:
 	PYTHONPATH=src python scripts/dataplane_smoke.py
+
+distributed-smoke:
+	PYTHONPATH=src python scripts/distributed_smoke.py
 
 profile-dataplane:
 	python scripts/profile_dataplane.py

@@ -1,0 +1,160 @@
+"""Distributed dispatch benchmarks: the two-agent scaling gate, the
+transport-overhead trajectory, and the shard compression gate.
+
+Three kinds of test, mirroring ``test_bench_shm.py``:
+
+* ``test_two_agents_beat_one_gate`` — two localhost host agents must
+  run a cold-cache DES-metric ``SweepRunner`` grid at n=10k ≥1.5x
+  faster than a single agent with the same per-agent worker count, and
+  bit-identically.  The two-agent leg is timed *first* so the one-agent
+  leg benefits from every process-level warm-up (conservative gate).
+  Requires ≥2 usable CPUs: on a single core both legs serialize on the
+  same silicon and the gate would measure the scheduler, not the
+  dispatcher.  Measured with ``perf_counter`` so it also gates under
+  ``--benchmark-disable``.
+* ``test_shard_compression_gate`` — the zlib-over-threshold blob codec
+  must ship batch-path shards ≥3x smaller than the raw pickles
+  (``bytes_raw`` vs ``bytes_shipped`` in ``batch_coverage``).
+* ``test_sweep_{local_pool,one_agent}`` — informational
+  pytest-benchmark timings of the same reduced sweep through the local
+  warm pool vs one socket-attached agent, so ``BENCH_engine.json``
+  tracks the transport overhead trajectory.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.experiments import remote, shm
+from repro.experiments.runner import DESMetric, SweepRunner
+
+N = 10_000
+RUNS = 16
+AGENT_JOBS = 2
+SEED = 0
+METRIC = DESMetric()
+
+_CPUS = len(os.sched_getaffinity(0))
+
+
+def _sweep(runner: SweepRunner, seed: int = SEED) -> np.ndarray:
+    """One cold-cache sweep of the gate grid (cache=None: every cell
+    is recomputed every call)."""
+    return runner.sweep_values(HPP(), [N], n_runs=RUNS, seed=seed,
+                               metric=METRIC)
+
+
+def _best_of(fn, reps=2):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.fixture
+def clean_transport():
+    yield
+    remote.close_dispatchers()
+    shm.shutdown_worker_pool()
+    shm.close_arena()
+    shm.detach_all()
+
+
+def _spawn_agents(count: int):
+    procs, addresses = [], []
+    for _ in range(count):
+        proc, address = remote.spawn_local_agent(jobs=AGENT_JOBS)
+        procs.append(proc)
+        addresses.append(address)
+    return procs, addresses
+
+
+@pytest.mark.skipif(_CPUS < 2 * AGENT_JOBS, reason=(
+    f"{_CPUS} usable CPU(s): two {AGENT_JOBS}-worker agents cannot "
+    "outrun one on shared silicon"))
+def test_two_agents_beat_one_gate(clean_transport):
+    """The distributed acceptance gate: two localhost agents ≥1.5x one
+    agent on a cold-cache DES grid at n=10k, bit-identical values."""
+    procs, addresses = _spawn_agents(2)
+    try:
+        pair = SweepRunner(jobs=1, cache=None, hosts=addresses)
+        _sweep(pair, seed=SEED + 1)  # untimed: connect + remote warm-up
+        pair_t, pair_vals = _best_of(lambda: _sweep(pair))
+        assert pair.remote_shards > 0, "gate never dispatched remotely"
+
+        solo = SweepRunner(jobs=1, cache=None, hosts=addresses[:1])
+        _sweep(solo, seed=SEED + 1)
+        solo_t, solo_vals = _best_of(lambda: _sweep(solo))
+        assert solo.remote_shards > 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=10)
+
+    np.testing.assert_array_equal(np.asarray(pair_vals),
+                                  np.asarray(solo_vals))
+    speedup = solo_t / pair_t
+    assert speedup >= 1.5, (
+        f"two-agent scaling gate: {speedup:.2f}x < 1.5x "
+        f"(one agent {solo_t * 1e3:.0f} ms, two {pair_t * 1e3:.0f} ms)"
+    )
+
+
+def test_shard_compression_gate(clean_transport):
+    """Shipped batch shards must be ≥3x smaller than their raw pickles
+    — the threshold-gated zlib codec applies to the local pool too, so
+    no agents are needed to measure it."""
+    runner = SweepRunner(jobs=2, cache=None)
+    _sweep(runner)
+    cov = runner.batch_coverage
+    assert cov["batched_cells"] == RUNS
+    assert cov["bytes_raw"] > 0 and cov["bytes_shipped"] > 0
+    ratio = cov["bytes_raw"] / cov["bytes_shipped"]
+    assert ratio >= 3.0, (
+        f"shard compression gate: {ratio:.1f}x < 3x "
+        f"({cov['bytes_raw']} raw, {cov['bytes_shipped']} shipped)"
+    )
+
+
+# ----------------------------------------------------------------------
+# informational trajectory benches (reduced grid)
+# ----------------------------------------------------------------------
+N_INFO = 5_000
+RUNS_INFO = 8
+
+
+def _info_sweep(runner: SweepRunner) -> np.ndarray:
+    return runner.sweep_values(HPP(), [N_INFO], n_runs=RUNS_INFO,
+                               seed=SEED, metric=METRIC)
+
+
+def test_sweep_local_pool(benchmark, clean_transport):
+    """Informational: the reference leg — the same sweep the remote
+    bench runs, through the in-process warm pool."""
+    runner = SweepRunner(jobs=AGENT_JOBS, cache=None)
+    _info_sweep(runner)  # warm-up: pool birth, arena publish
+    out = benchmark(lambda: _info_sweep(runner))
+    assert np.asarray(out).shape == (1, 2)
+
+
+def test_sweep_one_agent(benchmark, clean_transport):
+    """Informational: one socket-attached agent serving the same sweep
+    — the difference to ``test_sweep_local_pool`` is the transport
+    overhead (framing, zlib, TCP on loopback)."""
+    proc, address = remote.spawn_local_agent(jobs=AGENT_JOBS)
+    try:
+        runner = SweepRunner(jobs=1, cache=None, hosts=address)
+        _info_sweep(runner)  # warm-up: connect + agent-side warm pool
+        out = benchmark(lambda: _info_sweep(runner))
+        assert np.asarray(out).shape == (1, 2)
+        assert runner.remote_shards > 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)

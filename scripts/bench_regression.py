@@ -17,6 +17,12 @@ environment resolves a *different* backend the whole gate is skipped
 with a loud note instead of comparing numpy timings against numba
 ones — that ratio measures the JIT, not a regression.
 
+It also records the host topology (``machine_info.host_topology``) —
+distributed-dispatch cases (``benchmarks/test_bench_remote.py``) scale
+with how many cores the dispatcher can reach, so when the current
+topology differs from the baseline's those cases are skipped with a
+loud note while everything machine-local still gates.
+
 The 3x threshold is deliberately loose: shared CI runners are easily
 2x off the baseline machine.  The gate exists to catch order-of-
 magnitude accidents (a vectorized path silently falling back to the
@@ -38,6 +44,10 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: benchmark files whose medians depend on the host topology (how many
+#: cores the remote dispatcher can reach), not just this machine
+_TOPOLOGY_CASES = "test_bench_remote.py"
 
 
 def _current_backend() -> str:
@@ -71,6 +81,23 @@ def main(argv: list[str] | None = None) -> int:
               f"regenerate it with `make bench`", file=sys.stderr)
         return 2
 
+    skip_topology_cases = False
+    base_topology = baseline.get("machine_info", {}).get("host_topology")
+    if base_topology is not None:
+        sys.path.insert(0, str(REPO / "scripts"))
+        from slim_bench import _host_topology
+
+        cur_topology = _host_topology()
+        if base_topology != cur_topology:
+            skip_topology_cases = True
+            print(f"NOTE: baseline was benched on host topology "
+                  f"{base_topology!r} but this environment is "
+                  f"{cur_topology!r} — distributed-dispatch medians "
+                  f"scale with reachable cores, so the "
+                  f"{_TOPOLOGY_CASES} cases are skipped, not compared "
+                  f"(re-bench on {base_topology!r} or refresh the "
+                  f"baseline with `make bench`).")
+
     base_backend = baseline.get("machine_info", {}).get(
         "kernel_backend", "numpy")
     cur_backend = _current_backend()
@@ -87,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
         case["fullname"]: case["median"]
         for case in baseline["cases"]
         if args.min_ms / 1e3 <= case["median"] <= args.max_ms / 1e3
+        and not (skip_topology_cases
+                 and case["fullname"].startswith(_TOPOLOGY_CASES))
     }
     print(f"baseline: {len(baseline['cases'])} cases, "
           f"{len(window)} in the [{args.min_ms:g}ms, {args.max_ms:g}ms] "

@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the distributed sweep dispatch path.
+
+Boots two real ``repro-rfid hostagent`` processes on ephemeral
+localhost ports, then checks the acceptance contract from three angles:
+
+1. a cold-cache sweep dispatched over ``REPRO_HOSTS`` produces values
+   *and* persisted ``cells-*.seg`` CellStore segments byte-for-byte
+   identical to the plain local-pool run, with every computed shard
+   actually served remotely;
+2. SIGKILLing one agent mid-sweep (after the dispatcher has connected
+   to it) never loses or duplicates a cell: the sweep completes with
+   identical values, identical store bytes, and a non-zero failover
+   count;
+3. teardown is clean — no agent port is left listening (a fork-started
+   pool worker inheriting the listener would keep it alive) and no
+   ``repro-shm-*`` segment is left in ``/dev/shm``.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+Usage: ``python scripts/distributed_smoke.py`` (PYTHONPATH must include
+``src``; skips cleanly when ``/dev/shm`` is unavailable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments import remote  # noqa: E402
+
+# the child sweep: DES + planning metrics over 2 populations x 4 runs.
+# argv: cache_dir [kill_pid] — with kill_pid the child connects the
+# dispatcher first (so the doomed agent is a live, shard-carrying
+# connection), SIGKILLs that agent, then sweeps through the wreckage.
+CHILD = """
+import json, os, signal, sys
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments import remote, shm
+from repro.experiments.runner import DESMetric, ResultCache, SweepRunner
+
+hosts = remote.parse_hosts(os.environ.get("REPRO_HOSTS"))
+if len(sys.argv) > 2:
+    dispatcher = remote.get_dispatcher(hosts)
+    assert dispatcher is not None and len(dispatcher.live()) == len(hosts)
+    os.kill(int(sys.argv[2]), signal.SIGKILL)
+
+runner = SweepRunner(jobs=2, cache=ResultCache(sys.argv[1]))
+values = {}
+for proto in (HPP(), TPP()):
+    des = runner.sweep_values(proto, n_values=(400, 700), n_runs=4,
+                              seed=11, metric=DESMetric(ber=1e-4))
+    plan = runner.sweep_values(proto, n_values=(400, 700), n_runs=4,
+                               seed=11, metric="time_us")
+    values[type(proto).__name__] = {"des": des.tolist(),
+                                    "plan": plan.tolist()}
+runner.cache.flush()
+cov = runner.batch_coverage
+remote.close_dispatchers()
+shm.shutdown_worker_pool()
+shm.close_arena()
+print(json.dumps({"hits": runner.cache.hits,
+                  "misses": runner.cache.misses,
+                  "values": values,
+                  "bytes_raw": cov["bytes_raw"],
+                  "bytes_shipped": cov["bytes_shipped"],
+                  "hosts_live": cov["hosts_live"],
+                  "remote_shards": cov["remote_shards"],
+                  "failovers": cov["failovers"]}))
+"""
+
+
+def run_child(cache_dir: Path, hosts: str = "",
+              kill_pid: int | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    env["REPRO_SHM_MIN_BYTES"] = "0"  # the smoke grid is tiny
+    if hosts:
+        env["REPRO_HOSTS"] = hosts
+    else:
+        env.pop("REPRO_HOSTS", None)
+    argv = [sys.executable, "-c", CHILD, str(cache_dir)]
+    if kill_pid is not None:
+        argv.append(str(kill_pid))
+    proc = subprocess.run(
+        argv, capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"child sweep (hosts={hosts or 'none'}) failed:\n"
+                 f"{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def store_bytes(cache_dir: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes()
+            for p in sorted(cache_dir.glob("cells-*.seg"))}
+
+
+def shm_residue() -> list[str]:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob("repro-shm-*"))
+
+
+def port_open(address: str) -> bool:
+    host, _, port = address.rpartition(":")
+    try:
+        socket.create_connection((host, int(port)), timeout=2.0).close()
+        return True
+    except OSError:
+        return False
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        sys.exit(f"distributed smoke FAILED: {message}")
+
+
+def main() -> None:
+    if not Path("/dev/shm").is_dir():
+        print("distributed smoke SKIPPED: no /dev/shm on this platform")
+        return
+
+    before = set(shm_residue())
+    agents = [remote.spawn_local_agent(jobs=1) for _ in range(2)]
+    procs = [proc for proc, _ in agents]
+    addresses = [address for _, address in agents]
+    hosts = ",".join(addresses)
+    try:
+        with tempfile.TemporaryDirectory(prefix="dist-smoke-") as tmp:
+            local_dir = Path(tmp) / "local"
+            remote_dir = Path(tmp) / "remote"
+            failover_dir = Path(tmp) / "failover"
+            for d in (local_dir, remote_dir, failover_dir):
+                d.mkdir()
+
+            local = run_child(local_dir)
+            dist = run_child(remote_dir, hosts=hosts)
+
+            expect(local["values"] == dist["values"],
+                   "sweep values differ between local pool and host "
+                   "agents")
+            expect(dist["hosts_live"] == 2,
+                   f"expected 2 live agents, saw {dist['hosts_live']}")
+            expect(dist["remote_shards"] > 0,
+                   f"no shard was served remotely: {dist}")
+            expect(dist["failovers"] == 0,
+                   f"healthy agents reported failovers: {dist}")
+            expect(dist["misses"] == local["misses"],
+                   f"cold runs disagree on cell count: {local['misses']}"
+                   f" vs {dist['misses']}")
+            expect(store_bytes(local_dir) == store_bytes(remote_dir),
+                   "CellStore segments are not byte-identical between "
+                   "local and distributed runs")
+
+            # SIGKILL the first agent mid-sweep: the child connects the
+            # dispatcher, murders it, then sweeps — the survivor (or
+            # the local lane) must absorb every orphaned shard
+            doomed = procs[0]
+            failover = run_child(failover_dir, hosts=hosts,
+                                 kill_pid=doomed.pid)
+            doomed.wait(timeout=10)
+            expect(failover["values"] == local["values"],
+                   "values diverged after killing an agent mid-sweep")
+            expect(failover["failovers"] > 0,
+                   f"agent kill produced no recorded failover: "
+                   f"{failover}")
+            expect(failover["misses"] == local["misses"],
+                   f"failover run lost or duplicated cells: "
+                   f"{failover['misses']} vs {local['misses']}")
+            expect(store_bytes(local_dir) == store_bytes(failover_dir),
+                   "CellStore segments are not byte-identical after "
+                   "failover")
+            expect(not port_open(addresses[0]),
+                   f"SIGKILLed agent's port {addresses[0]} is still "
+                   f"listening (orphaned socket)")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=10)
+
+    deadline = time.monotonic() + 5.0
+    while any(port_open(a) for a in addresses):
+        expect(time.monotonic() < deadline,
+               "an agent port is still listening after shutdown")
+        time.sleep(0.1)
+    leaked = sorted(set(shm_residue()) - before)
+    expect(not leaked, f"leaked /dev/shm segments: {leaked}")
+
+    print(f"distributed smoke OK: {local['misses']} cells bit-identical "
+          f"local vs 2 agents ({dist['remote_shards']} shards remote, "
+          f"{dist['bytes_shipped']} of {dist['bytes_raw']} raw bytes "
+          f"shipped); agent SIGKILL absorbed with "
+          f"{failover['failovers']} failover(s); no orphaned sockets or "
+          f"/dev/shm residue")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,12 +54,31 @@ def _kernel_backend_info() -> dict:
     return out
 
 
+def _host_topology() -> str:
+    """The host topology the bench ran under, for ``machine_info``.
+
+    Distributed benches (``test_bench_remote.py``) scale with how many
+    cores the dispatcher can reach, so a baseline taken on a different
+    topology is not comparable (``scripts/bench_regression.py`` skips
+    cross-topology comparisons).  Localhost-agent runs are described by
+    the core count; real multi-host rigs set ``REPRO_BENCH_TOPOLOGY``
+    to name theirs (e.g. ``3xhost-8cpu``).
+    """
+    import os
+
+    override = os.environ.get("REPRO_BENCH_TOPOLOGY")
+    if override:
+        return override
+    return f"local-{os.cpu_count() or 1}cpu"
+
+
 def _slim_machine(machine_info: dict) -> dict:
     out = {k: machine_info[k] for k in _MACHINE if k in machine_info}
     brand = (machine_info.get("cpu") or {}).get("brand_raw")
     if brand:
         out["cpu"] = brand
     out.update(_kernel_backend_info())
+    out["host_topology"] = _host_topology()
     return out
 
 

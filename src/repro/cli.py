@@ -15,6 +15,9 @@ Subcommands:
 - ``kernels`` — show the hot-path kernel backend dispatch (numpy
   oracle vs numba JIT, selected via ``REPRO_KERNELS``) and run a quick
   per-kernel micro-benchmark.
+- ``hostagent`` — serve this machine's cores to remote sweep runners:
+  a persistent warm worker pool behind a TCP shard protocol (point
+  runners at it with ``REPRO_HOSTS`` / ``experiments --hosts``).
 """
 
 from __future__ import annotations
@@ -126,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "worker pool for --jobs > 1 (default follows "
                             "REPRO_SHM; --no-shm forces legacy per-sweep "
                             "pools)")
+    exp_p.add_argument("--hosts", metavar="H:P,...", default=None,
+                       help="dispatch sweep shards to these repro-rfid "
+                            "hostagent daemons (host:port, comma-separated; "
+                            "default follows REPRO_HOSTS; results are "
+                            "bit-identical to local execution)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or compact a sweep-cell cache directory")
@@ -145,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
     kern_p.add_argument("--no-bench", action="store_true",
                         help="print backend resolution and the registry "
                              "only, skip the micro-benchmark")
+
+    host_p = sub.add_parser(
+        "hostagent",
+        help="serve this machine's cores to remote sweep runners")
+    host_p.add_argument("--bind", default="127.0.0.1", metavar="ADDR",
+                        help="address to listen on (default loopback; "
+                             "bind 0.0.0.0 to serve the network)")
+    host_p.add_argument("--port", type=int, default=7355, metavar="P",
+                        help="TCP port (0 picks an ephemeral port)")
+    host_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores)")
     return parser
 
 
@@ -337,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "kernels":
         return _cmd_kernels(args)
+    if args.command == "hostagent":
+        from repro.experiments.remote import main as agent_main
+
+        forwarded = ["--bind", args.bind, "--port", str(args.port)]
+        if args.jobs is not None:
+            forwarded.extend(["--jobs", str(args.jobs)])
+        return agent_main(forwarded)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as exp_main
 
@@ -353,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
             forwarded.append("--no-batch")
         if args.shm is not None:
             forwarded.append("--shm" if args.shm else "--no-shm")
+        if args.hosts:
+            forwarded.extend(["--hosts", args.hosts])
         return exp_main(forwarded)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

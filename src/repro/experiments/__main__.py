@@ -101,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
                              "across sweeps (bit-identical values; default "
                              "follows REPRO_SHM, which defaults to on; "
                              "--no-shm forces the legacy per-sweep pools)")
+    parser.add_argument("--hosts", metavar="H:P,...", default=None,
+                        help="dispatch sweep shards to these repro-rfid "
+                             "hostagent daemons over TCP (host:port, "
+                             "comma-separated; default follows REPRO_HOSTS; "
+                             "bit-identical values, clean local fallback "
+                             "when no agent answers)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -111,7 +117,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runner = configure_default_runner(
         jobs=args.jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
-        batch=args.batch, shm=args.shm,
+        batch=args.batch, shm=args.shm, hosts=args.hosts,
     )
 
     names = args.names or list(_EXPERIMENTS)
@@ -139,10 +145,15 @@ def main(argv: list[str] | None = None) -> int:
               f"{cov['fallback_cells']} per-cell, {cov['cached_cells']} "
               f"cache-served ({cov['batched_fraction']:.0%} of computed "
               f"cells batched, {cov['kernel_backend']} kernels)")
-        print(f"# dataplane: {cov['bytes_shipped']} bytes shipped, "
+        print(f"# dataplane: {cov['bytes_shipped']} bytes shipped "
+              f"({cov['bytes_raw']} raw), "
               f"{cov['shm_segments']} shm segments "
               f"({cov['shm_bytes']} bytes), "
               f"{cov['pool_reused']} warm-pool reuses")
+        if runner.hosts_tuple:
+            print(f"# remote: {cov['hosts_live']} live host(s), "
+                  f"{cov['remote_shards']} shards served remotely, "
+                  f"{cov['failovers']} failover(s)")
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 

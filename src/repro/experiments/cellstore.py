@@ -94,10 +94,11 @@ _METRIC_PATH_DIRS = (
     "analysis", "apps", "kernels",
 )
 #: individual modules on the metric path: the runner defines the seed
-#: derivation every cell value depends on, and the shm dataplane hands
-#: workers the population columns those values are computed from.
+#: derivation every cell value depends on, and the shm dataplane and
+#: the remote transport hand workers the population columns and shard
+#: payloads those values are computed from.
 _METRIC_PATH_MODULES = ("io.py", "experiments/runner.py",
-                        "experiments/shm.py")
+                        "experiments/shm.py", "experiments/remote.py")
 
 _version_memo: str | None = None
 

@@ -24,6 +24,14 @@ packing needs:
   be persisted next to the cell cache (``costs.json``) so later
   processes start warm.
 
+- **Hosts.** Distributed sweeps add a second learned dimension: a
+  relative *speed* per host agent (1.0 = this machine), seeded from the
+  throughput each agent advertises in its HELLO frame and refined by
+  EMA from observed shard wall times.  :func:`assign_to_hosts` runs the
+  same LPT packing across hosts weighted by capacity (cores x speed),
+  so a fast 32-core box gets proportionally more predicted cost than a
+  slow 4-core one.
+
 Predictions never affect *values* — cells are pure functions of their
 coordinates — only which worker computes which cell, so a wildly wrong
 cost model costs wall-clock time, never correctness.
@@ -38,7 +46,12 @@ import os
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["CostModel", "balanced_contiguous_bounds", "greedy_shards"]
+__all__ = [
+    "CostModel",
+    "assign_to_hosts",
+    "balanced_contiguous_bounds",
+    "greedy_shards",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -77,6 +90,8 @@ class CostModel:
         self.table: dict[str, float] = {}
         #: protocol weight relative to HPP, seeded from the bench file
         self.relative = dict(_DEFAULT_RELATIVE_COST)
+        #: learned relative speed per remote host ("host:port" -> x1.0)
+        self.hosts: dict[str, float] = {}
         self._seed_from_bench(bench_path)
 
     # -- seeding --------------------------------------------------------
@@ -101,24 +116,65 @@ class CostModel:
                 self.relative[proto] = med / base
 
     # -- persistence ----------------------------------------------------
+    @staticmethod
+    def _read_tables(path: Path) -> tuple[dict[str, float], dict[str, float]]:
+        """``(table, hosts)`` from a persisted file; empty on any damage."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}, {}
+
+        def _clean(obj) -> dict[str, float]:
+            if not isinstance(obj, dict):
+                return {}
+            return {
+                str(k): float(v) for k, v in obj.items()
+                if isinstance(v, (int, float)) and v > 0
+                and math.isfinite(v)
+            }
+
+        if not isinstance(data, dict):
+            return {}, {}
+        return _clean(data.get("table")), _clean(data.get("hosts"))
+
     def load(self, path: str | os.PathLike) -> None:
         """Merge a persisted table (missing/corrupt files are ignored)."""
-        try:
-            data = json.loads(Path(path).read_text())
-            table = data["table"]
-        except (OSError, ValueError, KeyError, TypeError):
-            return
-        if isinstance(table, dict):
-            self.table.update({
-                str(k): float(v) for k, v in table.items()
-                if isinstance(v, (int, float)) and v > 0
-            })
+        table, hosts = self._read_tables(Path(path))
+        self.table.update(table)
+        self.hosts.update(hosts)
 
     def save(self, path: str | os.PathLike) -> None:
+        """Persist atomically, merging with whatever is already on disk.
+
+        Concurrent runners share one ``costs.json``: a plain overwrite
+        is torn on crash and last-writer-wins across processes — a
+        runner that only swept HPP would erase another's learned EHPP
+        buckets.  Instead the on-disk tables are re-read and merged
+        under this process's values (our buckets are fresher *for the
+        buckets we touched*; everyone else's survive), then written
+        tmp + fsync + rename like ``cellstore.py``'s segments, so a
+        reader never sees a torn file.  The tmp name embeds the PID so
+        two savers can't collide on it.
+        """
+        target = Path(path)
+        disk_table, disk_hosts = self._read_tables(target)
+        merged_table = {**disk_table, **self.table}
+        merged_hosts = {**disk_hosts, **self.hosts}
+        tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
         try:
-            Path(path).write_text(json.dumps({"table": self.table}))
+            with open(tmp, "w") as fh:
+                json.dump(
+                    {"table": merged_table, "hosts": merged_hosts}, fh,
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
         except OSError:  # pragma: no cover - cache dir vanished
             _log.warning("could not persist cost model to %s", path)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     # -- prediction -----------------------------------------------------
     def predict(self, protocol: str, n: int) -> float:
@@ -187,6 +243,39 @@ class CostModel:
                 else (1 - _EMA_ALPHA) * old + _EMA_ALPHA * obs
             )
 
+    # -- the host dimension ---------------------------------------------
+    def host_speed(self, address: str) -> float:
+        """Relative speed of ``address`` (1.0 = unknown = this machine)."""
+        return self.hosts.get(address, 1.0)
+
+    def seed_host(self, address: str, speed: float) -> None:
+        """First estimate of a host's speed (from its advertised
+        throughput, normalised by the dispatcher) — never overwrites a
+        speed already *learned* from real shard wall times."""
+        if address not in self.hosts and speed > 0 and math.isfinite(speed):
+            self.hosts[address] = float(speed)
+
+    def observe_host(
+        self, address: str, predicted: float, elapsed: float
+    ) -> None:
+        """Fold one remote shard's wall time into the host's speed.
+
+        ``predicted`` is the shard's total predicted cost in *local*
+        per-cell seconds, so ``predicted / elapsed`` is directly the
+        host's speed relative to this machine; the estimate moves by
+        the same EMA the cost table uses.  Network time rides inside
+        ``elapsed`` on purpose — a fast host behind a slow link should
+        be packed like a slow host.
+        """
+        if predicted <= 0 or elapsed <= 0 or not math.isfinite(elapsed):
+            return
+        obs = predicted / elapsed
+        old = self.hosts.get(address)
+        self.hosts[address] = (
+            obs if old is None
+            else (1 - _EMA_ALPHA) * old + _EMA_ALPHA * obs
+        )
+
 
 # ----------------------------------------------------------------------
 # cost-balanced sharding
@@ -245,3 +334,28 @@ def greedy_shards(
     for shard in shards:
         shard.sort()  # preserve cell order inside a shard
     return shards
+
+
+def assign_to_hosts(
+    costs: Sequence[float], capacities: Sequence[float]
+) -> list[int]:
+    """LPT across *heterogeneous* hosts: returns one host index per cost.
+
+    The host dimension of the packing: ``capacities[h]`` is host ``h``'s
+    processing rate (cores x learned speed), and each shard goes to the
+    host whose *finish time* — accumulated cost divided by capacity —
+    stays lowest, heaviest shard first.  With equal capacities this
+    degenerates to :func:`greedy_shards`'s assignment.  Like every
+    packing here it moves work, never values.
+    """
+    n_hosts = len(capacities)
+    if n_hosts == 0:
+        raise ValueError("assign_to_hosts needs at least one host")
+    rates = [max(float(c), 1e-9) for c in capacities]
+    finish = [0.0] * n_hosts
+    owner = [0] * len(costs)
+    for i in sorted(range(len(costs)), key=lambda i: -costs[i]):
+        h = min(range(n_hosts), key=lambda h: finish[h] + costs[i] / rates[h])
+        owner[i] = h
+        finish[h] += costs[i] / rates[h]
+    return owner

@@ -1,0 +1,1004 @@
+"""Multi-host distributed sweep execution over a socket transport.
+
+The single-host dataplane (:mod:`repro.experiments.shm`) stops at the
+machine boundary: shard blobs reach workers through a fork/spawn pipe
+and populations ride ``/dev/shm``.  This module carries the *same*
+shard payloads across a TCP socket instead, so a ``SweepRunner`` can
+pack cells across every core of every machine that runs a host agent:
+
+- **Framing.** A length-prefixed binary protocol: a fixed
+  :data:`FRAME_HEADER` (magic, protocol version, flags, message type,
+  wire length, raw length, CRC-32 of the wire payload) followed by the
+  payload, zlib-compressed when it crosses
+  ``REPRO_SHIP_COMPRESS_MIN`` bytes.  A corrupt frame fails its CRC
+  and raises :class:`FrameError` instead of delivering garbage.  The
+  same threshold-gated codec (:func:`pack_blob` / :func:`unpack_blob`)
+  compresses the *local* pool's shard blobs, so one code path owns
+  shipment compression on every transport.
+- **The host agent.** ``repro-rfid hostagent`` (or ``python -m
+  repro.experiments.remote``) boots a persistent warm
+  :class:`~repro.experiments.shm.WorkerPool` (kernel warm-up at birth,
+  reused across sweeps and across client connections), measures its
+  shard throughput once, and then serves shards: each ``SHARD`` frame
+  is submitted to the pool and answered with a ``RESULT`` frame as it
+  completes, out of order and pipelined.  The entry points are the
+  runner's own ``_run_chunk_pickled`` / ``_run_batch_shard_pickled``
+  (selected by a whitelisted name, never an unpickled callable), so a
+  remote shard computes bit-identically to a local one.
+- **The dispatcher.** The runner-side :class:`RemoteDispatcher` keeps
+  one connection per configured host (``REPRO_HOSTS=host:port,...``),
+  packs shards across hosts by predicted cost weighted with each
+  host's core count and learned speed
+  (:meth:`repro.experiments.costmodel.CostModel` host dimension), and
+  survives failure: heartbeat pings on idle sockets, a per-shard
+  timeout, and dead-host detection that reassigns the lost host's
+  queued and in-flight shards to the surviving hosts — or to the local
+  fallback when none survive.  Results are deduplicated first-wins by
+  shard index, so a shard can never be lost or double-counted.
+
+Shards are pure functions of their cell coordinates, so everything
+here is an invisible transport by contract: values, cache keys, and
+``CellStore`` bytes are bit-identical to local execution, and an
+unreachable (or mid-sweep killed) agent degrades to the local pool
+rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import atexit
+import logging
+import os
+import pickle
+import queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "FrameError",
+    "HostAgent",
+    "HostClient",
+    "RemoteDispatcher",
+    "PROTOCOL_VERSION",
+    "close_dispatchers",
+    "compress_min_bytes",
+    "get_dispatcher",
+    "live_host_count",
+    "main",
+    "pack_blob",
+    "parse_hosts",
+    "recv_frame",
+    "send_frame",
+    "spawn_local_agent",
+    "unpack_blob",
+]
+
+_log = logging.getLogger(__name__)
+
+# ----------------------------------------------------------------------
+# frame layout
+# ----------------------------------------------------------------------
+#: header: magic, version, flags, message type, wire payload length,
+#: raw (uncompressed) payload length, CRC-32 of the wire payload
+FRAME_HEADER = struct.Struct("<4sBBHIII")
+MAGIC = b"RRFP"  # Repro Rfid Frame Protocol
+PROTOCOL_VERSION = 1
+
+#: frame flag bit: the wire payload is zlib-compressed
+FLAG_ZLIB = 0x01
+
+# message types
+MSG_HELLO = 1   # agent -> client, on connect: {version, cores, pid, ...}
+MSG_PING = 2    # either direction; answered with PONG
+MSG_PONG = 3
+MSG_SHARD = 4   # client -> agent: (shard_id, entry name, shard blob)
+MSG_RESULT = 5  # agent -> client: (shard_id, entry return value)
+MSG_ERROR = 6   # agent -> client: (shard_id, traceback string)
+MSG_BYE = 7     # client -> agent: clean connection teardown
+
+#: the only worker entry points a SHARD frame may name — the agent
+#: never unpickles a callable off the wire
+_ENTRY_NAMES = ("chunk", "batch")
+
+
+class FrameError(RuntimeError):
+    """A malformed, corrupt, or protocol-incompatible frame."""
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def compress_min_bytes() -> int:
+    """Payloads at or above this size ship zlib-compressed
+    (``REPRO_SHIP_COMPRESS_MIN``, default 4 KiB; 0 compresses all)."""
+    raw = os.environ.get("REPRO_SHIP_COMPRESS_MIN")
+    return int(raw) if raw else 4096
+
+
+def _maybe_compress(raw: bytes, threshold: int | None = None) -> tuple[bytes, int]:
+    """``(wire bytes, flags)`` — compressed iff it crosses the threshold
+    *and* compression actually shrinks it (incompressible column bytes
+    ship raw rather than paying deflate for nothing)."""
+    threshold = compress_min_bytes() if threshold is None else threshold
+    if len(raw) >= threshold:
+        packed = zlib.compress(raw)
+        if len(packed) < len(raw):
+            return packed, FLAG_ZLIB
+    return raw, 0
+
+
+# -- blob codec (shared by the socket frames and the local pool) -------
+_TAG_RAW = b"\x00"
+_TAG_ZLIB = b"\x01"
+
+
+def pack_blob(raw: bytes, threshold: int | None = None) -> bytes:
+    """Tag-prefixed, threshold-gated zlib packing of a shard blob.
+
+    This is the codec the *local* pool ships through as well: one byte
+    of tag (raw vs zlib) followed by the payload, so
+    ``bytes_shipped`` counts what actually crossed the boundary and
+    large shard blobs stop shipping as raw pickles.
+    """
+    wire, flags = _maybe_compress(raw, threshold)
+    return (_TAG_ZLIB if flags else _TAG_RAW) + wire
+
+
+def unpack_blob(blob: bytes) -> bytes:
+    """Inverse of :func:`pack_blob` (worker side, any transport)."""
+    tag, payload = blob[:1], blob[1:]
+    if tag == _TAG_RAW:
+        return payload
+    if tag == _TAG_ZLIB:
+        return zlib.decompress(payload)
+    raise FrameError(f"unknown shard blob tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# frame I/O
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, mtype: int, payload: bytes) -> int:
+    """Write one frame; returns the wire bytes sent (header + payload)."""
+    wire, flags = _maybe_compress(payload)
+    header = FRAME_HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, flags, mtype,
+        len(wire), len(payload), zlib.crc32(wire),
+    )
+    sock.sendall(header + wire)
+    return FRAME_HEADER.size + len(wire)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise (EOF -> :class:`FrameError`;
+    a socket timeout propagates so callers can heartbeat)."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, bytes, int]:
+    """Read one frame; returns ``(message type, payload, wire bytes)``.
+
+    Validates magic, protocol version, and the payload CRC — a flipped
+    bit or a foreign protocol on the port raises :class:`FrameError`
+    instead of handing pickled garbage downstream.
+    """
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    magic, version, flags, mtype, wire_len, raw_len, crc = (
+        FRAME_HEADER.unpack(header)
+    )
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    wire = _recv_exact(sock, wire_len)
+    if zlib.crc32(wire) != crc:
+        raise FrameError("frame payload failed its CRC check")
+    payload = zlib.decompress(wire) if flags & FLAG_ZLIB else wire
+    if len(payload) != raw_len:
+        raise FrameError(
+            f"frame decompressed to {len(payload)} bytes, header "
+            f"promised {raw_len}"
+        )
+    return mtype, payload, FRAME_HEADER.size + wire_len
+
+
+# ----------------------------------------------------------------------
+# host addresses
+# ----------------------------------------------------------------------
+def parse_hosts(hosts: str | Sequence[str] | None) -> tuple[str, ...]:
+    """Normalise ``REPRO_HOSTS``-style input to ``("host:port", ...)``.
+
+    Accepts a comma-separated string or a sequence; every entry must be
+    ``host:port`` with an integer port.  Empty input -> ``()``.
+    """
+    if hosts is None:
+        return ()
+    if isinstance(hosts, str):
+        entries: Iterable[str] = hosts.split(",")
+    else:
+        entries = hosts
+    out: list[str] = []
+    for entry in entries:
+        entry = entry.strip()
+        if not entry:
+            continue
+        host, sep, port = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"host entry {entry!r} is not host:port")
+        try:
+            port_no = int(port)
+        except ValueError:
+            raise ValueError(f"host entry {entry!r} has a non-integer port")
+        if not 0 < port_no < 65536:
+            raise ValueError(f"host entry {entry!r} port out of range")
+        out.append(f"{host}:{port_no}")
+    return tuple(out)
+
+
+def _split_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# worker entry points (shared with the local pool)
+# ----------------------------------------------------------------------
+def _entry(name: str) -> Callable[[bytes], Any]:
+    """Resolve a whitelisted shard entry point by name (lazily, so this
+    module never imports the runner at import time)."""
+    from repro.experiments import runner
+
+    table = {
+        "chunk": runner._run_chunk_pickled,
+        "batch": runner._run_batch_shard_pickled,
+    }
+    if name not in table:
+        raise FrameError(f"unknown shard entry {name!r}")
+    return table[name]
+
+
+def measure_throughput(reps: int = 3, n: int = 2048) -> float:
+    """Cells-per-second-ish throughput of this machine on a small
+    representative shard (an HPP plan), advertised in HELLO so a
+    dispatcher can seed the cost model's host-speed table before any
+    shard has run."""
+    import numpy as np
+
+    from repro.core.hpp import HPP
+    from repro.workloads.tagsets import uniform_tagset
+
+    tags = uniform_tagset(n, np.random.default_rng(0))
+    proto = HPP()
+    proto.plan(tags, np.random.default_rng(1))  # untimed warm-up
+    best = float("inf")
+    for rep in range(reps):
+        t0 = time.perf_counter()
+        proto.plan(tags, np.random.default_rng(2 + rep))
+        best = min(best, time.perf_counter() - t0)
+    return 1.0 / max(best, 1e-9)
+
+
+# ----------------------------------------------------------------------
+# the host agent (server side)
+# ----------------------------------------------------------------------
+class HostAgent:
+    """Serve this machine's cores to remote ``SweepRunner`` dispatchers.
+
+    Boots the persistent warm worker pool once (kernel warm-up at
+    birth; the same pool the local dataplane uses, reused across every
+    sweep and client connection), measures shard throughput, then
+    accepts connections: one daemon thread per client, shards pipelined
+    through the pool and answered as they complete.  A broken pool
+    (worker SIGKILLed mid-shard) re-runs the lost shard in-process and
+    respawns the pool for the next one, so one crashed worker never
+    fails a client's sweep.
+    """
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int | None = None,
+    ) -> None:
+        self.bind = bind
+        self.port = int(port)
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._conn_threads: list[threading.Thread] = []
+        self.throughput = 0.0
+        self.shards_served = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind the listener, warm the pool, measure throughput.
+
+        Returns ``(host, port)`` — with ``port=0`` the kernel picks an
+        ephemeral port, which is how tests and the smoke script run
+        several agents on one machine.
+        """
+        from repro.experiments import shm
+        from repro.kernels import warmup
+
+        # pool before listener: fork-start workers inherit every open
+        # fd, and a worker holding the listening socket would keep the
+        # port alive after the agent itself is SIGKILLed
+        warmup()  # agent-process kernels (the throughput probe runs here)
+        shm.get_worker_pool(self.jobs)  # warm pool born before first shard
+        self.throughput = measure_throughput()
+        self._listener = socket.create_server(
+            (self.bind, self.port), backlog=8,
+        )
+        self.port = self._listener.getsockname()[1]
+        return self.bind, self.port
+
+    def serve_forever(self) -> None:
+        """Accept-and-serve loop; returns after :meth:`shutdown`."""
+        if self._listener is None:
+            self.start()
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:  # listener closed by shutdown()
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, addr),
+                daemon=True, name=f"hostagent-{addr[0]}:{addr[1]}",
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener, dispose the pool."""
+        from repro.experiments import shm
+
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._listener = None
+        shm.shutdown_worker_pool()
+
+    # ------------------------------------------------------------------
+    def _hello_payload(self) -> bytes:
+        return pickle.dumps({
+            "version": PROTOCOL_VERSION,
+            "cores": self.jobs,
+            "pid": os.getpid(),
+            "throughput": self.throughput,
+        })
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        """One client: HELLO, then shards in / results out, pipelined.
+
+        A sender thread drains an outbound queue so slow result writes
+        never block shard intake; pool futures enqueue their result
+        frame from their completion callback.
+        """
+        out: queue.Queue = queue.Queue()
+        stop = object()
+
+        def _sender() -> None:
+            while True:
+                item = out.get()
+                if item is stop:
+                    return
+                mtype, payload = item
+                try:
+                    send_frame(conn, mtype, payload)
+                except OSError:
+                    return
+
+        sender = threading.Thread(target=_sender, daemon=True)
+        sender.start()
+        try:
+            send_frame(conn, MSG_HELLO, self._hello_payload())
+            conn.settimeout(None)
+            while not self._stop.is_set():
+                try:
+                    mtype, payload, _ = recv_frame(conn)
+                except (FrameError, OSError):
+                    break
+                if mtype == MSG_PING:
+                    out.put((MSG_PONG, payload))
+                elif mtype == MSG_SHARD:
+                    shard_id, entry_name, blob = pickle.loads(payload)
+                    self._submit_shard(out, shard_id, entry_name, blob)
+                elif mtype == MSG_BYE:
+                    break
+        finally:
+            out.put(stop)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _submit_shard(
+        self, out: queue.Queue, shard_id: int, entry_name: str, blob: bytes
+    ) -> None:
+        """Hand one shard to the warm pool; queue its RESULT on completion."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.experiments import shm
+
+        def _finish(result: Any) -> None:
+            self.shards_served += 1
+            out.put((MSG_RESULT, pickle.dumps((shard_id, result))))
+
+        def _fail(exc: BaseException) -> None:
+            out.put((MSG_ERROR, pickle.dumps((shard_id, repr(exc)))))
+
+        def _run_inline() -> None:
+            # pool died mid-shard: shards are pure, so re-run in-process
+            # (slow but correct) and let the next shard respawn the pool
+            try:
+                _finish(_entry(entry_name)(blob))
+            except Exception as exc:
+                _fail(exc)
+
+        def _done(future) -> None:
+            exc = future.exception()
+            if exc is None:
+                _finish(future.result())
+            elif isinstance(exc, BrokenProcessPool):
+                _run_inline()
+            else:
+                _fail(exc)
+
+        try:
+            pool, _ = shm.get_worker_pool(self.jobs)
+            pool.submit(_entry(entry_name), blob).add_done_callback(_done)
+        except Exception:  # pool unspawnable: degrade to inline execution
+            _run_inline()
+
+
+# ----------------------------------------------------------------------
+# the client side
+# ----------------------------------------------------------------------
+class HostClient:
+    """One live connection to a host agent (driven by one thread)."""
+
+    def __init__(self, address: str, connect_timeout: float | None = None):
+        self.address = address
+        host, port = _split_address(address)
+        timeout = (
+            connect_timeout if connect_timeout is not None
+            else _env_float("REPRO_REMOTE_CONNECT_TIMEOUT", 3.0)
+        )
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.dead = False
+        self.inflight: set[int] = set()
+        self.last_activity = time.monotonic()
+        try:
+            mtype, payload, wire = recv_frame(self.sock)
+        except (FrameError, OSError):
+            self.sock.close()
+            raise
+        self.bytes_received += wire
+        if mtype != MSG_HELLO:
+            self.sock.close()
+            raise FrameError(f"expected HELLO, got message type {mtype}")
+        hello = pickle.loads(payload)
+        if hello.get("version") != PROTOCOL_VERSION:  # pragma: no cover
+            self.sock.close()
+            raise FrameError(
+                f"agent {address} speaks protocol "
+                f"{hello.get('version')}, not {PROTOCOL_VERSION}"
+            )
+        self.cores = max(1, int(hello.get("cores", 1)))
+        self.throughput = float(hello.get("throughput", 0.0))
+        self.agent_pid = int(hello.get("pid", 0))
+
+    def send(self, mtype: int, payload: bytes) -> None:
+        self.bytes_sent += send_frame(self.sock, mtype, payload)
+
+    def recv(self, timeout: float) -> tuple[int, bytes]:
+        """One frame, or ``socket.timeout`` after ``timeout`` seconds."""
+        self.sock.settimeout(timeout)
+        mtype, payload, wire = recv_frame(self.sock)
+        self.bytes_received += wire
+        self.last_activity = time.monotonic()
+        return mtype, payload
+
+    def close(self, polite: bool = True) -> None:
+        self.dead = True
+        try:
+            if polite:
+                send_frame(self.sock, MSG_BYE, b"")
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class _HostDead(RuntimeError):
+    """Raised inside a host loop when its agent stops answering."""
+
+
+class RemoteDispatcher:
+    """Ships shard blobs to host agents, packed by cost, with failover.
+
+    One dispatcher per configured hosts tuple, kept for the life of the
+    process (connections persist across sweeps, like the warm pool).
+    ``run()`` is the whole contract: given blobs and predicted costs it
+    returns every shard's entry-point result in shard order — computed
+    remotely where possible, reassigned on host death, and degraded to
+    the ``local_fallback`` callable when every agent is gone.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        heartbeat: float | None = None,
+        shard_timeout: float | None = None,
+        retry_seconds: float | None = None,
+    ) -> None:
+        self.hosts = tuple(hosts)
+        self.heartbeat = (
+            heartbeat if heartbeat is not None
+            else _env_float("REPRO_REMOTE_HEARTBEAT", 5.0)
+        )
+        self.shard_timeout = (
+            shard_timeout if shard_timeout is not None
+            else _env_float("REPRO_REMOTE_TIMEOUT", 600.0)
+        )
+        self.retry_seconds = (
+            retry_seconds if retry_seconds is not None
+            else _env_float("REPRO_REMOTE_RETRY", 30.0)
+        )
+        self.clients: dict[str, HostClient] = {}
+        self._down_since: dict[str, float] = {}
+        self.failovers = 0
+        self.shards_dispatched = 0
+        self._run_lock = threading.Lock()
+
+    # -- connections ---------------------------------------------------
+    def connect(self) -> int:
+        """(Re)connect every host not already live; returns live count.
+
+        A host that refused is not retried for ``retry_seconds`` — the
+        dispatcher is consulted every sweep, and paying a connect
+        timeout per sweep for a machine that is down would ruin the
+        local fallback.
+        """
+        now = time.monotonic()
+        for address in self.hosts:
+            client = self.clients.get(address)
+            if client is not None and not client.dead:
+                continue
+            if now - self._down_since.get(address, -1e18) < self.retry_seconds:
+                continue
+            try:
+                self.clients[address] = HostClient(address)
+                self._down_since.pop(address, None)
+            except (OSError, FrameError) as exc:
+                self.clients.pop(address, None)
+                self._down_since[address] = now
+                _log.warning("host agent %s not answering: %s", address, exc)
+        return len(self.live())
+
+    def live(self) -> dict[str, HostClient]:
+        return {a: c for a, c in self.clients.items() if not c.dead}
+
+    def total_cores(self) -> int:
+        return sum(c.cores for c in self.live().values())
+
+    def wire_bytes(self) -> tuple[int, int]:
+        """Cumulative ``(sent, received)`` across all clients ever."""
+        sent = sum(c.bytes_sent for c in self.clients.values())
+        received = sum(c.bytes_received for c in self.clients.values())
+        return sent, received
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()
+        self.clients.clear()
+
+    # -- dispatch ------------------------------------------------------
+    def run(
+        self,
+        entry_name: str,
+        blobs: Sequence[bytes],
+        costs: Sequence[float],
+        capacities: dict[str, float],
+        local_fallback: Callable[[bytes], Any],
+    ) -> list[tuple[Any, str]] | None:
+        """Execute every blob through ``entry_name``; ``None`` = no hosts.
+
+        Returns ``[(entry result, host address or "local"), ...]`` in
+        shard order.  ``capacities`` weights the cost packing per host
+        (cores x learned speed).  Any shard whose host dies — or whose
+        agent reports an error — is reassigned to the surviving hosts,
+        or computed through ``local_fallback``; ``failovers`` counts
+        the reassignments.
+        """
+        if entry_name not in _ENTRY_NAMES:
+            raise ValueError(f"unknown entry {entry_name!r}")
+        with self._run_lock:
+            live = self.live()
+            if not live:
+                return None
+            state = _DispatchState(len(blobs))
+            addresses = [a for a in live if capacities.get(a, 0) > 0] or list(live)
+            assignment = _assign_by_capacity(
+                costs, addresses, {a: capacities.get(a, 1.0) for a in addresses},
+            )
+            for address, idxs in assignment.items():
+                state.queues[address] = deque(idxs)
+            threads = []
+            for address in addresses:
+                t = threading.Thread(
+                    target=self._host_loop,
+                    args=(live[address], state, entry_name, blobs, costs),
+                    daemon=True, name=f"dispatch-{address}",
+                )
+                t.start()
+                threads.append(t)
+            self.shards_dispatched += len(blobs)
+            # the main thread is the local fallback lane: it drains
+            # shards that lost their host when no agent could take them
+            while not state.finished():
+                idx = state.pop_local()
+                if idx is not None:
+                    state.complete(idx, local_fallback(blobs[idx]), "local")
+                    continue
+                if not any(t.is_alive() for t in threads):
+                    # every host thread exited; anything not completed
+                    # (all hosts died at once) falls back locally
+                    state.drain_unfinished_to_local()
+                    idx = state.pop_local()
+                    if idx is None and not state.finished():
+                        raise RuntimeError(  # pragma: no cover - invariant
+                            "dispatch stalled with unfinished shards")
+                    if idx is not None:
+                        state.complete(idx, local_fallback(blobs[idx]), "local")
+                    continue
+                state.wait(0.05)
+            for t in threads:
+                t.join(timeout=self.heartbeat + 1.0)
+            self.failovers += state.failovers
+            return [
+                (result, host)
+                for result, host in state.results  # type: ignore[misc]
+            ]
+
+    # ------------------------------------------------------------------
+    def _host_loop(
+        self,
+        client: HostClient,
+        state: "_DispatchState",
+        entry_name: str,
+        blobs: Sequence[bytes],
+        costs: Sequence[float],
+    ) -> None:
+        """Drive one host: send queued shards, read results, heartbeat.
+
+        Exits when every shard (globally) is done.  Any socket error or
+        an exceeded per-shard timeout declares the host dead and hands
+        its unfinished shards back for reassignment.
+        """
+        address = client.address
+        try:
+            while True:
+                idx = state.next_for(address)
+                while idx is not None:
+                    client.send(MSG_SHARD, pickle.dumps(
+                        (idx, entry_name, bytes(blobs[idx]))))
+                    client.inflight.add(idx)
+                    client.last_activity = time.monotonic()
+                    idx = state.next_for(address)
+                if not client.inflight:
+                    if state.finished():
+                        return
+                    state.wait(0.05)  # idle: await reassignment or the end
+                    continue
+                try:
+                    mtype, payload = client.recv(self.heartbeat)
+                except socket.timeout:
+                    idle = time.monotonic() - client.last_activity
+                    if idle > self.shard_timeout:
+                        raise _HostDead(
+                            f"no result from {address} in {idle:.0f}s "
+                            f"with {len(client.inflight)} shard(s) in flight"
+                        )
+                    client.send(MSG_PING, b"")
+                    continue
+                if mtype == MSG_RESULT:
+                    shard_id, result = pickle.loads(payload)
+                    client.inflight.discard(shard_id)
+                    state.complete(shard_id, result, address)
+                elif mtype == MSG_ERROR:
+                    shard_id, message = pickle.loads(payload)
+                    _log.warning("host %s failed shard %d: %s",
+                                 address, shard_id, message)
+                    client.inflight.discard(shard_id)
+                    state.push_local(shard_id)
+                elif mtype == MSG_PONG:
+                    pass
+        except (_HostDead, FrameError, OSError, EOFError) as exc:
+            pending = sorted(
+                set(client.inflight) | set(state.take_queue(address))
+            )
+            pending = [i for i in pending if not state.done(i)]
+            client.close(polite=False)
+            self._down_since[address] = time.monotonic()
+            _log.warning(
+                "host agent %s died mid-sweep (%s); reassigning %d shard(s)",
+                address, exc, len(pending),
+            )
+            self._reassign(pending, state, costs)
+
+    def _reassign(
+        self,
+        pending: Sequence[int],
+        state: "_DispatchState",
+        costs: Sequence[float],
+    ) -> None:
+        """Move a dead host's shards to the survivors (or the local lane)."""
+        if not pending:
+            return
+        state.failovers += len(pending)
+        survivors = {
+            a: c for a, c in self.live().items() if a in state.queues
+        }
+        if not survivors:
+            for idx in pending:
+                state.push_local(idx)
+            return
+        assignment = _assign_by_capacity(
+            [costs[i] for i in pending], list(survivors),
+            {a: float(c.cores) for a, c in survivors.items()},
+        )
+        remap = {i: idx for i, idx in enumerate(pending)}
+        for address, positions in assignment.items():
+            state.extend_queue(address, [remap[p] for p in positions])
+        state.notify()
+
+
+class _DispatchState:
+    """Shared bookkeeping of one ``RemoteDispatcher.run`` call."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.results: list[tuple[Any, str] | None] = [None] * n
+        self.completed = 0
+        self.failovers = 0
+        self.queues: dict[str, deque[int]] = {}
+        self.local: deque[int] = deque()
+        self._cond = threading.Condition()
+
+    def finished(self) -> bool:
+        with self._cond:
+            return self.completed >= self.n
+
+    def done(self, idx: int) -> bool:
+        with self._cond:
+            return self.results[idx] is not None
+
+    def next_for(self, address: str) -> int | None:
+        with self._cond:
+            q = self.queues.get(address)
+            while q:
+                idx = q.popleft()
+                if self.results[idx] is None:
+                    return idx
+            return None
+
+    def take_queue(self, address: str) -> list[int]:
+        with self._cond:
+            q = self.queues.pop(address, None)
+            return list(q) if q else []
+
+    def extend_queue(self, address: str, idxs: Sequence[int]) -> None:
+        with self._cond:
+            self.queues.setdefault(address, deque()).extend(idxs)
+
+    def push_local(self, idx: int) -> None:
+        with self._cond:
+            if self.results[idx] is None:
+                self.local.append(idx)
+            self._cond.notify_all()
+
+    def pop_local(self) -> int | None:
+        with self._cond:
+            while self.local:
+                idx = self.local.popleft()
+                if self.results[idx] is None:
+                    return idx
+            return None
+
+    def drain_unfinished_to_local(self) -> None:
+        with self._cond:
+            queued = {i for q in self.queues.values() for i in q}
+            for q in self.queues.values():
+                q.clear()
+            missing = {
+                i for i in range(self.n) if self.results[i] is None
+            }
+            self.local.extend(sorted((queued | missing) - set(self.local)))
+            self._cond.notify_all()
+
+    def complete(self, idx: int, result: Any, host: str) -> None:
+        """First result wins; duplicates (a slow host declared dead that
+        answered anyway) are dropped so no cell is ever double-counted."""
+        with self._cond:
+            if self.results[idx] is not None:
+                return
+            self.results[idx] = (result, host)
+            self.completed += 1
+            self._cond.notify_all()
+
+    def wait(self, timeout: float) -> None:
+        with self._cond:
+            self._cond.wait(timeout)
+
+    def notify(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+def _assign_by_capacity(
+    costs: Sequence[float],
+    addresses: Sequence[str],
+    capacities: dict[str, float],
+) -> dict[str, list[int]]:
+    """LPT across hosts: heaviest shard to the host whose *normalised*
+    finish time stays lowest (see
+    :func:`repro.experiments.costmodel.assign_to_hosts`)."""
+    from repro.experiments.costmodel import assign_to_hosts
+
+    owner = assign_to_hosts(
+        costs, [max(capacities.get(a, 1.0), 1e-9) for a in addresses]
+    )
+    out: dict[str, list[int]] = {a: [] for a in addresses}
+    for idx, host_no in enumerate(owner):
+        out[addresses[host_no]].append(idx)
+    return out
+
+
+# ----------------------------------------------------------------------
+# process-global dispatchers (runner side)
+# ----------------------------------------------------------------------
+_dispatchers: dict[tuple[str, ...], RemoteDispatcher] = {}
+_warned_unreachable: set[tuple[str, ...]] = set()
+
+
+def get_dispatcher(hosts: Sequence[str]) -> RemoteDispatcher | None:
+    """The process-wide dispatcher for ``hosts`` with >= 1 live agent,
+    or ``None`` (clean local fallback) when no agent answers."""
+    key = parse_hosts(tuple(hosts))
+    if not key:
+        return None
+    dispatcher = _dispatchers.get(key)
+    if dispatcher is None:
+        if not _dispatchers:
+            atexit.register(close_dispatchers)
+        dispatcher = _dispatchers[key] = RemoteDispatcher(key)
+    if dispatcher.connect() == 0:
+        if key not in _warned_unreachable:
+            _warned_unreachable.add(key)
+            _log.warning(
+                "no host agent answered on %s; sweeps fall back to the "
+                "local pool", ",".join(key),
+            )
+        return None
+    _warned_unreachable.discard(key)
+    return dispatcher
+
+
+def live_host_count(hosts: Sequence[str]) -> int:
+    """Live connections for ``hosts`` — observability only; never
+    connects (``0`` when the dispatcher was never consulted)."""
+    dispatcher = _dispatchers.get(parse_hosts(tuple(hosts)))
+    return len(dispatcher.live()) if dispatcher else 0
+
+
+def close_dispatchers() -> None:
+    """Close every cached dispatcher's connections (idempotent)."""
+    while _dispatchers:
+        _, dispatcher = _dispatchers.popitem()
+        dispatcher.close()
+
+
+# ----------------------------------------------------------------------
+# agent process helpers (tests, benches, smoke)
+# ----------------------------------------------------------------------
+_LISTENING = "hostagent listening on "
+
+
+def spawn_local_agent(
+    jobs: int = 1,
+    env: dict[str, str] | None = None,
+    boot_timeout: float = 60.0,
+) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m repro.experiments.remote`` on an ephemeral
+    localhost port; returns ``(process, "127.0.0.1:port")`` once the
+    agent prints its listening line.  The caller owns the process."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    child_env = dict(os.environ if env is None else env)
+    child_env["PYTHONPATH"] = src + os.pathsep + child_env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.remote",
+         "--port", "0", "--jobs", str(jobs)],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=child_env,
+    )
+    deadline = time.monotonic() + boot_timeout
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith(_LISTENING):
+            return proc, line[len(_LISTENING):].strip()
+    proc.kill()
+    raise RuntimeError("host agent failed to boot")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.remote`` / ``repro-rfid hostagent``."""
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="repro-rfid hostagent",
+        description="Serve this machine's cores to remote SweepRunners "
+                    "(REPRO_HOSTS=host:port,... on the runner side).",
+    )
+    parser.add_argument("--bind", default="127.0.0.1", metavar="ADDR",
+                        help="address to listen on (default loopback; "
+                             "bind 0.0.0.0 to serve the network)")
+    parser.add_argument("--port", type=int, default=7355, metavar="P",
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores)")
+    args = parser.parse_args(argv)
+
+    agent = HostAgent(bind=args.bind, port=args.port, jobs=args.jobs)
+    host, port = agent.start()
+    print(f"{_LISTENING}{host}:{port}", flush=True)
+    print(f"# {agent.jobs} warm worker(s), "
+          f"~{agent.throughput:.0f} probe-plans/s", flush=True)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        agent.shutdown()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        agent.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

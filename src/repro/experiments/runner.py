@@ -72,6 +72,9 @@ from repro.experiments.costmodel import (
     balanced_contiguous_bounds,
     greedy_shards,
 )
+# remote has stdlib-only top-level imports, so this cannot cycle even
+# though remote's worker entries lazily resolve back into this module
+from repro.experiments.remote import pack_blob, parse_hosts, unpack_blob
 from repro.phy.link import LinkBudget
 from repro.phy.schedule import ScheduleEmitter
 from repro.workloads.tagsets import TagSet, uniform_tagset
@@ -258,22 +261,33 @@ def _install_arena_tagsets(manifests: dict[tuple, Any]) -> None:
 
 
 def _run_chunk_pickled(blob: bytes) -> tuple[list[float | list[float]], float]:
-    """Pool entry: unpickle ``(args, manifests)``, attach, evaluate.
+    """Transport-agnostic shard entry: decode, attach, evaluate.
 
-    Arena attachment happens *outside* the timed region of
-    :func:`_evaluate_chunk`, so shard wall times keep feeding the cost
-    model the pure compute cost.
+    ``blob`` is a :func:`repro.experiments.remote.pack_blob` payload —
+    the identical bytes whether they arrived through the local pool's
+    pipe or a host agent's socket — holding the pickled
+    ``(args, manifests)``.  Arena attachment happens *outside* the
+    timed region of :func:`_evaluate_chunk`, so shard wall times keep
+    feeding the cost model the pure compute cost.
     """
-    args, manifests = pickle.loads(blob)
+    args, manifests = pickle.loads(unpack_blob(blob))
     _install_arena_tagsets(manifests)
     return _evaluate_chunk(args)
 
 
 def _run_batch_shard_pickled(blob: bytes) -> tuple[bytes, float]:
-    """Pool entry for the batch path (see :func:`_run_chunk_pickled`)."""
-    args, manifests = pickle.loads(blob)
+    """Shard entry for the batch path (see :func:`_run_chunk_pickled`)."""
+    args, manifests = pickle.loads(unpack_blob(blob))
     _install_arena_tagsets(manifests)
     return _evaluate_batch_shard(args)
+
+
+#: shard entry points by wire name — the vocabulary shared with the
+#: host agent's whitelist (repro.experiments.remote._ENTRY_NAMES)
+_WORKER_ENTRIES: dict[str, Callable[[bytes], Any]] = {
+    "chunk": _run_chunk_pickled,
+    "batch": _run_batch_shard_pickled,
+}
 
 
 # ----------------------------------------------------------------------
@@ -535,15 +549,29 @@ class SweepRunner:
             ``None`` (the default) reads ``REPRO_SHM`` (``auto`` = on,
             ``off`` = legacy per-sweep pools + per-worker
             regeneration).  Values are bit-identical either way.
+        hosts: remote host agents (``repro-rfid hostagent``) to dispatch
+            shards to over TCP (:mod:`repro.experiments.remote`) — a
+            ``"host:port,host:port"`` string or sequence; ``None`` (the
+            default) reads ``REPRO_HOSTS``.  When at least one agent
+            answers, shards go remote, packed across hosts by predicted
+            cost x learned host speed, with manifests degraded to
+            inline column bytes; when none answers (or the env is
+            unset) behaviour is exactly the local dataplane's.  Values
+            are bit-identical on every transport.
         batched_cells / fallback_cells / cached_cells: running coverage
             counters over every sweep this runner has executed (see
             :attr:`batch_coverage`).
-        bytes_shipped: payload bytes explicitly serialized for worker
-            dispatch (shard args), plus the raw float64 result bytes of
-            batch shards — the shipping volume the dataplane exists to
-            keep flat as grids grow.
+        bytes_shipped: payload bytes actually shipped for worker
+            dispatch (shard blobs after threshold-gated zlib packing),
+            plus the raw float64 result bytes of batch shards — the
+            shipping volume the dataplane exists to keep flat as grids
+            grow.  ``bytes_raw`` counts the same shard blobs before
+            compression; the gap is what the codec saved.
         pool_reused: pool dispatches served by an already-warm
             persistent pool (vs spawning one).
+        remote_shards / failovers: shards computed by remote host
+            agents, and shards reassigned after a host died mid-sweep
+            (every one recomputed exactly once, never lost).
 
     The active kernel backend (:func:`repro.kernels.active_backend`) is
     reported in :attr:`batch_coverage` and the per-sweep log line for
@@ -557,12 +585,16 @@ class SweepRunner:
     cache: ResultCache | None = field(default_factory=ResultCache)
     batch: bool = True
     shm: bool | None = None
+    hosts: str | Sequence[str] | None = None
     cost_model: CostModel = field(default_factory=CostModel, repr=False)
     batched_cells: int = field(default=0, init=False)
     fallback_cells: int = field(default=0, init=False)
     cached_cells: int = field(default=0, init=False)
     bytes_shipped: int = field(default=0, init=False)
+    bytes_raw: int = field(default=0, init=False)
     pool_reused: int = field(default=0, init=False)
+    remote_shards: int = field(default=0, init=False)
+    failovers: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.cache is not None and self.cache.directory is not None:
@@ -591,6 +623,34 @@ class SweepRunner:
         return dataplane_enabled()
 
     @property
+    def hosts_tuple(self) -> tuple[str, ...]:
+        """The configured remote hosts (the ``hosts`` field when set,
+        else ``REPRO_HOSTS``); empty means pure-local, exactly the
+        pre-distributed behaviour."""
+        if self.hosts is not None:
+            return parse_hosts(self.hosts)
+        return parse_hosts(os.environ.get("REPRO_HOSTS"))
+
+    def _remote_dispatcher(self):
+        """The live dispatcher for this runner's hosts, or ``None``
+        (no hosts configured, or no agent currently answering)."""
+        hosts = self.hosts_tuple
+        if not hosts:
+            return None
+        from repro.experiments.remote import get_dispatcher
+
+        return get_dispatcher(hosts)
+
+    def _dispatch_width(self) -> int:
+        """How many shards to pack a sweep into: the remote fleet's
+        summed advertised cores while agents are live (floor 2, so even
+        a one-core agent gets pipelined dispatch), else local ``jobs``."""
+        dispatcher = self._remote_dispatcher()
+        if dispatcher is not None:
+            return max(dispatcher.total_cores(), 2)
+        return self.jobs
+
+    @property
     def batch_coverage(self) -> dict[str, int | float | str]:
         """Replica-batch routing stats across every sweep so far:
         computed cells that took the batched path, computed cells that
@@ -603,6 +663,11 @@ class SweepRunner:
 
         computed = self.batched_cells + self.fallback_cells
         shm_segments, shm_bytes = arena_stats()
+        hosts_live = 0
+        if self.hosts_tuple:
+            from repro.experiments.remote import live_host_count
+
+            hosts_live = live_host_count(self.hosts_tuple)
         return {
             "batched_cells": self.batched_cells,
             "fallback_cells": self.fallback_cells,
@@ -611,9 +676,13 @@ class SweepRunner:
                 self.batched_cells / computed if computed else 0.0,
             "kernel_backend": self.kernel_backend,
             "bytes_shipped": self.bytes_shipped,
+            "bytes_raw": self.bytes_raw,
             "shm_segments": shm_segments,
             "shm_bytes": shm_bytes,
             "pool_reused": self.pool_reused,
+            "hosts_live": hosts_live,
+            "remote_shards": self.remote_shards,
+            "failovers": self.failovers,
         }
 
     # ------------------------------------------------------------------
@@ -678,26 +747,44 @@ class SweepRunner:
 
     def _dispatch_shards(
         self,
-        worker_fn: Callable[[bytes], Any],
+        kind: str,
         shard_args: list[tuple],
         manifests: dict[tuple, Any],
+        shard_costs: Sequence[float] | None = None,
     ) -> list[Any] | None:
-        """Ship pickled shard blobs to a worker pool; ``None`` = fall back.
+        """Ship shard blobs to workers; ``None`` = fall back in-process.
 
-        The explicit ``pickle.dumps`` here *is* the shipment — the pool
-        would pickle the identical payload internally — so picklability
-        is validated by doing the real serialization once (an
-        unpicklable configuration returns ``None`` and the caller
-        degrades to in-process, as before) and ``bytes_shipped`` counts
-        exactly what crossed the process boundary.  With the dataplane
-        on, dispatch goes to the persistent warm pool; a broken pool
-        (worker died mid-shard) is disposed and the sweep falls back
-        in-process rather than failing.
+        ``kind`` names the transport-agnostic entry point (``"chunk"``
+        or ``"batch"``).  The explicit ``pickle.dumps`` here *is* the
+        shipment, packed through the same threshold-gated zlib codec the
+        socket frames use — so picklability is validated by doing the
+        real serialization once (an unpicklable configuration returns
+        ``None`` and the caller degrades to in-process, as before),
+        ``bytes_raw`` counts the pickles and ``bytes_shipped`` what
+        actually crossed the boundary after compression.
+
+        When remote hosts are configured and at least one agent answers,
+        the blobs go over TCP instead (manifests degraded to inline
+        column bytes), packed across hosts by ``shard_costs``; a remote
+        dispatch that comes back empty-handed degrades to the local
+        pool.  Locally, dispatch goes to the persistent warm pool when
+        the dataplane is on; a broken pool (worker died mid-shard) is
+        disposed and the sweep falls back in-process rather than
+        failing.
         """
+        worker_fn = _WORKER_ENTRIES[kind]
         try:
-            blobs = [pickle.dumps((args, manifests)) for args in shard_args]
+            raw_blobs = [pickle.dumps((args, manifests)) for args in shard_args]
         except Exception:
             return None
+        dispatcher = self._remote_dispatcher()
+        if dispatcher is not None:
+            results = self._dispatch_remote(
+                dispatcher, kind, shard_args, manifests, shard_costs,
+            )
+            if results is not None:
+                return results
+        blobs = [pack_blob(raw) for raw in raw_blobs]
         from repro.experiments import shm as _shm
 
         if self.shm_enabled:
@@ -722,7 +809,80 @@ class SweepRunner:
                     results = list(pool.map(worker_fn, blobs))
             except BrokenProcessPool:
                 return None
+        self.bytes_raw += sum(len(b) for b in raw_blobs)
         self.bytes_shipped += sum(len(b) for b in blobs)
+        return results
+
+    def _dispatch_remote(
+        self,
+        dispatcher,
+        kind: str,
+        shard_args: list[tuple],
+        manifests: dict[tuple, Any],
+        shard_costs: Sequence[float] | None,
+    ) -> list[Any] | None:
+        """Ship the shards to host agents; ``None`` = use the local pool.
+
+        Manifests are re-issued with inline column bytes
+        (:meth:`ColumnArena.inline_manifest`) because a remote worker
+        cannot reach this machine's ``/dev/shm``; everything else about
+        the payload is identical to local dispatch, so so are the
+        computed bits.  Host speeds are seeded from each agent's
+        advertised throughput (normalised to the live mean) and updated
+        by EMA from each remote shard's measured compute seconds.
+        """
+        inline: dict[tuple, Any] = {}
+        if manifests:
+            from repro.experiments import shm as _shm
+
+            arena = _shm.get_arena()
+            for memo_key, manifest in manifests.items():
+                m = arena.inline_manifest(manifest.key)
+                if m is not None:
+                    inline[memo_key] = m
+        try:
+            raw_blobs = [pickle.dumps((args, inline)) for args in shard_args]
+        except Exception:
+            return None
+        blobs = [pack_blob(raw) for raw in raw_blobs]
+        live = dispatcher.live()
+        throughputs = {
+            a: c.throughput for a, c in live.items() if c.throughput > 0
+        }
+        if throughputs:
+            mean = sum(throughputs.values()) / len(throughputs)
+            for address, throughput in throughputs.items():
+                self.cost_model.seed_host(address, throughput / mean)
+        capacities = {
+            a: c.cores * self.cost_model.host_speed(a)
+            for a, c in live.items()
+        }
+        costs = (
+            list(shard_costs) if shard_costs is not None
+            else [1.0] * len(blobs)
+        )
+        failovers_before = dispatcher.failovers
+        try:
+            outcomes = dispatcher.run(
+                kind, blobs, costs, capacities, _WORKER_ENTRIES[kind],
+            )
+        except Exception:
+            _log.warning(
+                "remote dispatch failed; using the local pool", exc_info=True,
+            )
+            return None
+        if outcomes is None:
+            return None
+        self.bytes_raw += sum(len(b) for b in raw_blobs)
+        self.bytes_shipped += sum(len(b) for b in blobs)
+        self.failovers += dispatcher.failovers - failovers_before
+        results: list[Any] = []
+        for cost, (result, host) in zip(costs, outcomes):
+            results.append(result)
+            if host != "local":
+                self.remote_shards += 1
+                if isinstance(result, tuple) and len(result) == 2:
+                    self.cost_model.observe_host(host, cost, result[1])
         return results
 
     def _compute(
@@ -744,8 +904,9 @@ class SweepRunner:
                 tagset_factory,
             )
         label = self._protocol_label(protocol)
-        if self.jobs > 1 and len(cells) > 1:
-            n_workers = min(self.jobs, len(cells))
+        width = self._dispatch_width()
+        if width > 1 and len(cells) > 1:
+            n_workers = min(width, len(cells))
             # pack shards by predicted cost (LPT), not by count, so a few
             # expensive cells don't straggle one worker while others idle
             costs = self.cost_model.predict_cells(label, cells)
@@ -756,8 +917,11 @@ class SweepRunner:
                  info_bits, budget, tagset_factory)
                 for shard in shard_idx
             ]
+            shard_costs = [
+                sum(costs[i] for i in shard) for shard in shard_idx
+            ]
             shard_results = self._dispatch_shards(
-                _run_chunk_pickled, shard_args, manifests,
+                "chunk", shard_args, manifests, shard_costs,
             )
             if shard_results is not None:
                 # reassemble by original cell index (inverse of packing)
@@ -797,8 +961,9 @@ class SweepRunner:
         the sequential path for any ``jobs``.
         """
         label = self._protocol_label(protocol)
-        if self.jobs > 1 and len(cells) > 1:
-            n_workers = min(self.jobs, len(cells))
+        width = self._dispatch_width()
+        if width > 1 and len(cells) > 1:
+            n_workers = min(width, len(cells))
             costs = self.cost_model.predict_cells(label, cells)
             bounds = balanced_contiguous_bounds(costs, n_workers)
             manifests = self._publish_tagsets(cells, seed, tagset_factory)
@@ -807,8 +972,12 @@ class SweepRunner:
                  metric, info_bits, budget, tagset_factory)
                 for w in range(len(bounds) - 1)
             ]
+            shard_costs = [
+                sum(costs[bounds[w]:bounds[w + 1]])
+                for w in range(len(bounds) - 1)
+            ]
             shard_results = self._dispatch_shards(
-                _run_batch_shard_pickled, shard_args, manifests,
+                "batch", shard_args, manifests, shard_costs,
             )
             if shard_results is not None:
                 for w, (_, elapsed) in enumerate(shard_results):
@@ -952,11 +1121,12 @@ def configure_default_runner(
     cache_dir: str | os.PathLike | None = None,
     batch: bool = True,
     shm: bool | None = None,
+    hosts: str | Sequence[str] | None = None,
 ) -> SweepRunner:
     """Build and install the default runner (the CLI's entry point)."""
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     cache = ResultCache(cache_dir) if use_cache else None
     return set_default_runner(
-        SweepRunner(jobs=jobs, cache=cache, batch=batch, shm=shm)
+        SweepRunner(jobs=jobs, cache=cache, batch=batch, shm=shm, hosts=hosts)
     )

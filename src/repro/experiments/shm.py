@@ -172,6 +172,14 @@ class SegmentManifest:
     ``key`` is the arena's logical identity (e.g. the tagset memo key)
     and ``refs`` counts how many dispatches have shipped this manifest —
     observability for the eviction policy, not a correctness input.
+
+    ``inline`` is the off-host degrade path: a manifest dispatched to a
+    *remote* machine cannot name a ``/dev/shm`` segment the worker can
+    reach, so :meth:`ColumnArena.inline_manifest` ships the segment's
+    bytes verbatim inside the manifest instead (``segment=""``).
+    :func:`attach` rebuilds the same read-only column views over the
+    inline buffer — byte-for-byte the published segment, so populations
+    stay bit-identical whichever transport carried them.
     """
 
     key: str
@@ -179,6 +187,7 @@ class SegmentManifest:
     nbytes: int
     columns: tuple[ColumnSpec, ...]
     refs: int = 0
+    inline: bytes | None = None
 
 
 def _layout(columns: dict[str, np.ndarray]) -> tuple[list[ColumnSpec], int]:
@@ -290,6 +299,26 @@ class ColumnArena:
         self.published_bytes += size
         return manifest
 
+    def inline_manifest(self, key: str) -> SegmentManifest | None:
+        """An off-host copy of the manifest published under ``key``.
+
+        The returned manifest carries the live segment's bytes verbatim
+        (``inline``) and no segment name, so it attaches anywhere — a
+        remote host agent's workers rebuild identical column views with
+        no ``/dev/shm`` reachability assumption.  ``None`` when nothing
+        is published under ``key`` (the caller ships the recipe).
+        """
+        manifest = self.manifest(key)
+        if manifest is None:
+            return None
+        shm = self._segments.get(manifest.segment)
+        if shm is None:  # pragma: no cover - manifest/segment raced
+            return None
+        return replace(
+            manifest, segment="",
+            inline=bytes(shm.buf[:manifest.nbytes]),
+        )
+
     def _evict(self, incoming: int) -> None:
         """Unlink LRU segments until ``incoming`` bytes fit the budget."""
         while (
@@ -395,21 +424,92 @@ def sweep_orphans(root: str | os.PathLike = "/dev/shm") -> list[str]:
 # ----------------------------------------------------------------------
 # worker-side attachment
 # ----------------------------------------------------------------------
-#: segment name -> (SharedMemory, {column name -> read-only view});
+#: segment name -> (SharedMemory | None, {column name -> read-only view});
 #: segments are immutable once published, so caching by name is safe.
+#: Inline attachments cache under a ``"\x00inline:<key>"`` pseudo-name
+#: with a ``None`` handle (their buffer is the manifest's own bytes).
 _attached: OrderedDict[str, tuple[Any, dict[str, np.ndarray]]] = OrderedDict()
 _ATTACH_CACHE_MAX = 256
 
 
-def attach(manifest: SegmentManifest) -> dict[str, np.ndarray] | None:
-    """Zero-copy read-only views of a published segment's columns.
+def _spec_nbytes(spec: ColumnSpec) -> int:
+    count = 1
+    for dim in spec.shape:
+        count *= int(dim)
+    return count * np.dtype(spec.dtype).itemsize
 
-    Returns ``None`` when the segment no longer exists (evicted or
-    unlinked between dispatch and attach) — callers fall back to
-    regeneration, which is bit-identical.  Attachments are cached per
-    segment and unregistered from the resource tracker so this process
-    exiting (or crashing) never unlinks the parent's segment.
+
+def _views_over(
+    buffer, manifest: SegmentManifest, capacity: int
+) -> dict[str, np.ndarray]:
+    """Read-only column views over ``buffer``, bounds-checked first.
+
+    A manifest whose columns reach past ``capacity`` describes a
+    *different* segment than the one we attached (truncated file, stale
+    manifest, wrong name) — raising here is the garbage guard: without
+    it the views would silently alias unrelated or out-of-range memory.
     """
+    if capacity < manifest.nbytes:
+        raise ValueError(
+            f"segment {manifest.segment or '<inline>'} holds {capacity} "
+            f"bytes but manifest {manifest.key!r} describes "
+            f"{manifest.nbytes}: refusing to attach garbage"
+        )
+    views: dict[str, np.ndarray] = {}
+    for spec in manifest.columns:
+        if spec.offset + _spec_nbytes(spec) > capacity:
+            raise ValueError(
+                f"column {spec.name!r} of manifest {manifest.key!r} "
+                f"overruns its segment: refusing to attach garbage"
+            )
+        arr = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=buffer, offset=spec.offset,
+        )
+        arr.flags.writeable = False
+        views[spec.name] = arr
+    return views
+
+
+def attach(
+    manifest: SegmentManifest, missing_ok: bool = True
+) -> dict[str, np.ndarray] | None:
+    """Read-only views of a published segment's columns.
+
+    Three shapes of manifest arrive here:
+
+    - **inline** (``inline is not None``): the off-host degrade path —
+      views are built over the shipped bytes, zero shared-memory
+      touches, byte-identical to the published segment.
+    - **named** (``segment`` set): the zero-copy local path.  Returns
+      ``None`` when the segment no longer exists (evicted or unlinked
+      between dispatch and attach) and ``missing_ok`` is true — callers
+      fall back to regeneration, which is bit-identical; with
+      ``missing_ok=False`` a dangling name raises ``FileNotFoundError``
+      loudly instead.  A segment *smaller* than the manifest promises
+      raises ``ValueError`` rather than attaching garbage.
+    - **stripped** (no segment, no inline): always an error — the
+      manifest cannot possibly resolve to data.
+
+    Attachments are cached per segment and unregistered from the
+    resource tracker so this process exiting (or crashing) never
+    unlinks the parent's segment.
+    """
+    if manifest.inline is not None:
+        cache_key = f"\x00inline:{manifest.key}"
+        cached = _attached.get(cache_key)
+        if cached is not None:
+            _attached.move_to_end(cache_key)
+            return cached[1]
+        views = _views_over(manifest.inline, manifest, len(manifest.inline))
+        _attached[cache_key] = (None, views)
+        _trim_attach_cache()
+        return views
+    if not manifest.segment:
+        raise ValueError(
+            f"manifest {manifest.key!r} carries neither a segment name "
+            f"nor inline bytes: nothing to attach"
+        )
     cached = _attached.get(manifest.segment)
     if cached is not None:
         _attached.move_to_end(manifest.segment)
@@ -419,23 +519,31 @@ def attach(manifest: SegmentManifest) -> dict[str, np.ndarray] | None:
         with _untracked():
             shm = _shared_memory()(name=manifest.segment, create=False)
     except (FileNotFoundError, OSError):
-        return None
-    views: dict[str, np.ndarray] = {}
-    for spec in manifest.columns:
-        arr = np.ndarray(
-            spec.shape, dtype=np.dtype(spec.dtype),
-            buffer=shm.buf, offset=spec.offset,
+        if missing_ok:
+            return None
+        raise FileNotFoundError(
+            f"segment {manifest.segment!r} (manifest {manifest.key!r}) "
+            f"does not exist on this host"
         )
-        arr.flags.writeable = False
-        views[spec.name] = arr
+    try:
+        views = _views_over(shm.buf, manifest, shm.size)
+    except ValueError:
+        shm.close()
+        raise
     _attached[manifest.segment] = (shm, views)
+    _trim_attach_cache()
+    return views
+
+
+def _trim_attach_cache() -> None:
     while len(_attached) > _ATTACH_CACHE_MAX:
         _, (old, _views) = _attached.popitem(last=False)
+        if old is None:
+            continue
         try:
             old.close()
         except (BufferError, OSError):  # pragma: no cover - view in flight
             pass
-    return views
 
 
 def attach_tagset(manifest: SegmentManifest):
@@ -453,6 +561,8 @@ def detach_all() -> None:
     """Drop every cached attachment (tests and worker teardown)."""
     while _attached:
         _, (shm, _views) = _attached.popitem()
+        if shm is None:  # inline attachment: nothing to close
+            continue
         try:
             shm.close()
         except (BufferError, OSError):  # pragma: no cover - view in flight
@@ -515,6 +625,29 @@ class WorkerPool:
         except BrokenProcessPool:
             self.broken = True
             raise
+
+    def submit(self, fn: Callable, *args: Any):
+        """One task as a future (the host agent's pipelined dispatch).
+
+        A worker dying marks the pool broken — via the future when the
+        death is discovered asynchronously — so the next
+        :func:`get_worker_pool` call respawns instead of reusing a
+        corpse.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            future = self._executor.submit(fn, *args)
+        except BrokenProcessPool:
+            self.broken = True
+            raise
+
+        def _note_broken(done) -> None:
+            if isinstance(done.exception(), BrokenProcessPool):
+                self.broken = True
+
+        future.add_done_callback(_note_broken)
+        return future
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True, cancel_futures=True)

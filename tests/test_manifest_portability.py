@@ -1,0 +1,215 @@
+"""Manifest portability: the inline-columns degrade path and the
+attach guard rails.
+
+A :class:`~repro.experiments.shm.SegmentManifest` pickled across a
+*machine* boundary cannot assume its ``/dev/shm`` segment is reachable.
+These tests pin the off-host contract: inline manifests round-trip
+byte-identically under both ``spawn`` and ``fork`` start methods, a
+dangling segment name raises loudly when the caller demands resolution
+(``missing_ok=False``), and a manifest that disagrees with its
+segment's actual size refuses to attach garbage.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import shm
+from repro.workloads.tagsets import uniform_tagset
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no POSIX shared memory"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    shm.detach_all()
+    yield
+    shm.detach_all()
+
+
+def _columns() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(42)
+    return {
+        "a": rng.integers(0, 2**63, size=311, dtype=np.uint64),
+        "b": rng.standard_normal(97),
+        "c": rng.integers(-100, 100, size=13, dtype=np.int8),
+    }
+
+
+# ----------------------------------------------------------------------
+# the inline degrade path
+# ----------------------------------------------------------------------
+class TestInlineManifest:
+    def test_inline_round_trips_bit_identically(self):
+        cols = _columns()
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            arena.publish("k", cols)
+            inline = arena.inline_manifest("k")
+            assert inline is not None
+            assert inline.segment == "" and inline.inline is not None
+            # survives pickling (what the socket transport does to it)
+            inline = pickle.loads(pickle.dumps(inline))
+            views = shm.attach(inline)
+            for name, arr in cols.items():
+                np.testing.assert_array_equal(views[name], arr)
+                assert views[name].dtype == arr.dtype
+                assert not views[name].flags.writeable
+        finally:
+            shm.detach_all()
+            arena.close()
+
+    def test_inline_attach_never_touches_shared_memory(self):
+        cols = _columns()
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            arena.publish("k", cols)
+            inline = arena.inline_manifest("k")
+        finally:
+            arena.close()  # the segment is gone; only the bytes remain
+        shm.detach_all()
+        before = shm.shared_memory_touches
+        views = shm.attach(inline)
+        assert shm.shared_memory_touches == before
+        np.testing.assert_array_equal(views["a"], cols["a"])
+        # and the attachment is cached
+        assert shm.attach(inline) is views
+
+    def test_inline_bytes_equal_segment_bytes(self):
+        """The inline buffer is the published segment verbatim — the
+        strongest form of the bit-identity contract."""
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            named = arena.publish("k", _columns())
+            inline = arena.inline_manifest("k")
+            seg = arena._segments[named.segment]
+            assert inline.inline == bytes(seg.buf[:named.nbytes])
+            assert inline.columns == named.columns
+            assert inline.nbytes == named.nbytes
+        finally:
+            arena.close()
+
+    def test_inline_manifest_unknown_key_is_none(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            assert arena.inline_manifest("nope") is None
+        finally:
+            arena.close()
+
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_cross_process_round_trip(self, start_method):
+        """An inline manifest shipped to a *different* process (either
+        start method — what a remote host agent's pool does with it)
+        rebuilds byte-identical columns."""
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable")
+        tags = uniform_tagset(501, np.random.default_rng(7))
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            arena.publish("tags", tags.columns())
+            inline = arena.inline_manifest("tags")
+        finally:
+            arena.close()  # no live segment: the child sees bytes only
+        ctx = multiprocessing.get_context(start_method)
+        with ctx.Pool(1) as pool:
+            digests = pool.apply(
+                _attach_digests, (pickle.dumps(inline),))
+        expected = {
+            name: arr.tobytes() for name, arr in tags.columns().items()
+        }
+        assert digests == expected
+
+    def test_tagset_from_inline_manifest(self):
+        tags = uniform_tagset(260, np.random.default_rng(3))
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            arena.publish("tags", tags.columns())
+            inline = arena.inline_manifest("tags")
+        finally:
+            arena.close()
+        rebuilt = shm.attach_tagset(pickle.loads(pickle.dumps(inline)))
+        np.testing.assert_array_equal(rebuilt.id_hi, tags.id_hi)
+        np.testing.assert_array_equal(rebuilt.id_lo, tags.id_lo)
+        np.testing.assert_array_equal(rebuilt.id_words, tags.id_words)
+
+
+def _attach_digests(manifest_blob: bytes) -> dict[str, bytes]:
+    """Child-process worker: attach an inline manifest, return the raw
+    column bytes (module-level so ``spawn`` can pickle it)."""
+    from repro.experiments import shm as _shm
+
+    views = _shm.attach(pickle.loads(manifest_blob))
+    return {name: arr.tobytes() for name, arr in views.items()}
+
+
+# ----------------------------------------------------------------------
+# guard rails: dangling names, stripped manifests, size lies
+# ----------------------------------------------------------------------
+class TestAttachGuards:
+    def test_dangling_segment_raises_when_demanded(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        manifest = arena.publish("k", {"a": np.arange(10)})
+        arena.close()  # unlinked: the name now dangles
+        # the legacy contract: None by default (callers regenerate) ...
+        assert shm.attach(manifest) is None
+        # ... but a caller that *needs* the segment gets a loud error
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            shm.attach(manifest, missing_ok=False)
+
+    def test_stripped_manifest_always_raises(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            manifest = arena.publish("k", {"a": np.arange(10)})
+            stripped = replace(manifest, segment="", inline=None)
+            with pytest.raises(ValueError, match="nothing to attach"):
+                shm.attach(stripped)
+        finally:
+            arena.close()
+
+    def test_size_mismatch_refuses_garbage(self):
+        """A manifest promising more bytes than its segment holds must
+        raise, not silently alias out-of-range memory."""
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            manifest = arena.publish("k", {"a": np.arange(64)})
+            lying = replace(manifest, nbytes=manifest.nbytes + (1 << 20))
+            with pytest.raises(ValueError, match="refusing to attach"):
+                shm.attach(lying)
+        finally:
+            shm.detach_all()
+            arena.close()
+
+    def test_column_overrun_refuses_garbage(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            manifest = arena.publish("k", {"a": np.arange(64)})
+            spec = manifest.columns[0]
+            fat = replace(
+                manifest,
+                columns=(replace(spec, shape=(1 << 22,)),),
+            )
+            with pytest.raises(ValueError, match="overruns"):
+                shm.attach(fat)
+        finally:
+            shm.detach_all()
+            arena.close()
+
+    def test_inline_size_mismatch_refuses_garbage(self):
+        arena = shm.ColumnArena(min_bytes=0)
+        try:
+            arena.publish("k", {"a": np.arange(64)})
+            inline = arena.inline_manifest("k")
+        finally:
+            arena.close()
+        truncated = replace(inline, inline=inline.inline[:16])
+        with pytest.raises(ValueError, match="refusing to attach"):
+            shm.attach(truncated)

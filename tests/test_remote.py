@@ -1,0 +1,437 @@
+"""Distributed sweep execution: frame protocol, blob codec, cost-model
+host dimension, host agents, and the failover contract.
+
+The transport (:mod:`repro.experiments.remote`) is invisible by
+contract: a sweep dispatched to host agents must produce the same
+floats, the same cache keys, and byte-identical ``cells-*.seg``
+segments as local execution — and killing an agent mid-sweep must
+never lose or duplicate a cell.  These tests pin the protocol layer
+with socketpairs and the execution contract with real agent
+subprocesses on localhost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import socket
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.hpp import HPP
+from repro.core.tpp import TPP
+from repro.experiments import remote, shm
+from repro.experiments.costmodel import CostModel, assign_to_hosts
+from repro.experiments.runner import DESMetric, ResultCache, SweepRunner
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no POSIX shared memory"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_transport(monkeypatch):
+    """Every test starts with no cached dispatcher and a quiet env."""
+    monkeypatch.delenv("REPRO_HOSTS", raising=False)
+    monkeypatch.delenv("REPRO_SHIP_COMPRESS_MIN", raising=False)
+    remote.close_dispatchers()
+    remote._warned_unreachable.clear()
+    yield
+    remote.close_dispatchers()
+    shm.close_arena()
+    shm.detach_all()
+    shm.shutdown_worker_pool()
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    @pytest.mark.parametrize("payload", [
+        b"", b"x", b"hello world", os.urandom(100)])
+    def test_round_trip_small(self, payload):
+        a, b = self._pair()
+        try:
+            remote.send_frame(a, remote.MSG_SHARD, payload)
+            mtype, got, _ = remote.recv_frame(b)
+            assert mtype == remote.MSG_SHARD
+            assert got == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_compressible_payload_ships_compressed(self):
+        payload = b"A" * 100_000  # far over the threshold, compresses well
+        a, b = self._pair()
+        try:
+            wire = remote.send_frame(a, remote.MSG_RESULT, payload)
+            assert wire < len(payload) // 10
+            mtype, got, _ = remote.recv_frame(b)
+            assert mtype == remote.MSG_RESULT and got == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_corrupt_payload_fails_crc(self):
+        a, b = self._pair()
+        try:
+            payload = b"precious bits"
+            header = remote.FRAME_HEADER.pack(
+                remote.MAGIC, remote.PROTOCOL_VERSION, 0, remote.MSG_SHARD,
+                len(payload), len(payload), zlib.crc32(payload),
+            )
+            corrupted = bytearray(payload)
+            corrupted[3] ^= 0xFF  # one flipped byte on the wire
+            a.sendall(header + bytes(corrupted))
+            with pytest.raises(remote.FrameError, match="CRC"):
+                remote.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = self._pair()
+        try:
+            header = remote.FRAME_HEADER.pack(
+                b"HTTP", remote.PROTOCOL_VERSION, 0, 1, 0, 0, zlib.crc32(b""))
+            a.sendall(header)
+            with pytest.raises(remote.FrameError, match="magic"):
+                remote.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_rejected(self):
+        a, b = self._pair()
+        try:
+            header = remote.FRAME_HEADER.pack(
+                remote.MAGIC, remote.PROTOCOL_VERSION + 1, 0, 1,
+                0, 0, zlib.crc32(b""))
+            a.sendall(header)
+            with pytest.raises(remote.FrameError, match="version"):
+                remote.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_stream_is_a_frame_error(self):
+        a, b = self._pair()
+        try:
+            header = remote.FRAME_HEADER.pack(
+                remote.MAGIC, remote.PROTOCOL_VERSION, 0, 1,
+                1000, 1000, 0)
+            a.sendall(header + b"only a little")
+            a.close()
+            with pytest.raises(remote.FrameError, match="closed"):
+                remote.recv_frame(b)
+        finally:
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# the shard blob codec (shared by socket frames and the local pool)
+# ----------------------------------------------------------------------
+class TestBlobCodec:
+    def test_round_trip_below_threshold_is_raw(self):
+        raw = b"tiny shard"
+        blob = remote.pack_blob(raw)
+        assert blob[:1] == b"\x00" and blob[1:] == raw
+        assert remote.unpack_blob(blob) == raw
+
+    def test_round_trip_above_threshold_compresses(self):
+        raw = json.dumps([[i, i % 7] for i in range(5000)]).encode()
+        blob = remote.pack_blob(raw)
+        assert blob[:1] == b"\x01"
+        assert len(blob) < len(raw) // 3
+        assert remote.unpack_blob(blob) == raw
+
+    def test_incompressible_ships_raw_even_above_threshold(self):
+        raw = os.urandom(100_000)
+        blob = remote.pack_blob(raw)
+        assert blob[:1] == b"\x00"  # deflate would only grow it
+        assert remote.unpack_blob(blob) == raw
+
+    def test_threshold_env_gate(self, monkeypatch):
+        raw = b"z" * 2048
+        assert remote.pack_blob(raw)[:1] == b"\x00"  # default 4096
+        monkeypatch.setenv("REPRO_SHIP_COMPRESS_MIN", "1024")
+        assert remote.pack_blob(raw)[:1] == b"\x01"
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(remote.FrameError, match="tag"):
+            remote.unpack_blob(b"\x07garbage")
+
+    def test_parse_hosts(self):
+        assert remote.parse_hosts(None) == ()
+        assert remote.parse_hosts("") == ()
+        assert remote.parse_hosts("a:1, b:2 ,") == ("a:1", "b:2")
+        assert remote.parse_hosts(["x:7355"]) == ("x:7355",)
+        for bad in ("nohost", "h:notaport", "h:0", ":5"):
+            with pytest.raises(ValueError):
+                remote.parse_hosts(bad)
+
+
+# ----------------------------------------------------------------------
+# the cost model's host dimension + atomic merge save
+# ----------------------------------------------------------------------
+class TestCostModelHosts:
+    def test_assign_to_hosts_respects_capacity(self):
+        costs = [1.0] * 100
+        owner = assign_to_hosts(costs, [3.0, 1.0])
+        counts = [owner.count(0), owner.count(1)]
+        # the 3x host should carry ~3x the shards
+        assert 65 <= counts[0] <= 85
+        assert sorted(set(owner)) == [0, 1]
+        assert len(owner) == 100
+
+    def test_assign_to_hosts_single_host(self):
+        assert assign_to_hosts([5.0, 1.0], [2.0]) == [0, 0]
+        with pytest.raises(ValueError):
+            assign_to_hosts([1.0], [])
+
+    def test_host_speed_seed_and_ema(self):
+        model = CostModel(bench_path="/nonexistent")
+        assert model.host_speed("h:1") == 1.0
+        model.seed_host("h:1", 2.0)
+        assert model.host_speed("h:1") == 2.0
+        model.seed_host("h:1", 9.0)  # seed never overwrites
+        assert model.host_speed("h:1") == 2.0
+        model.observe_host("h:1", predicted=4.0, elapsed=1.0)  # obs 4.0
+        assert model.host_speed("h:1") == pytest.approx(3.0)  # EMA 0.5
+
+    def test_save_is_atomic_and_merges(self, tmp_path):
+        path = tmp_path / "costs.json"
+        first = CostModel(bench_path="/nonexistent")
+        first.table["HPP|b10"] = 1.5
+        first.hosts["h:1"] = 2.0
+        first.save(path)
+        # a second, concurrent-ish model that learned different buckets
+        second = CostModel(bench_path="/nonexistent")
+        second.table["EHPP|b12"] = 9.0
+        second.save(path)
+        data = json.loads(path.read_text())
+        assert data["table"] == {"HPP|b10": 1.5, "EHPP|b12": 9.0}
+        assert data["hosts"] == {"h:1": 2.0}
+        assert not list(tmp_path.glob("*.tmp.*")), "tmp file left behind"
+
+    def test_save_prefers_own_fresher_buckets(self, tmp_path):
+        path = tmp_path / "costs.json"
+        stale = CostModel(bench_path="/nonexistent")
+        stale.table["HPP|b10"] = 99.0
+        stale.save(path)
+        fresh = CostModel(bench_path="/nonexistent")
+        fresh.table["HPP|b10"] = 1.0
+        fresh.save(path)
+        assert json.loads(path.read_text())["table"]["HPP|b10"] == 1.0
+
+    def test_load_round_trips_hosts(self, tmp_path):
+        path = tmp_path / "costs.json"
+        model = CostModel(bench_path="/nonexistent")
+        model.hosts["agent:9"] = 1.7
+        model.save(path)
+        loaded = CostModel(bench_path="/nonexistent")
+        loaded.load(path)
+        assert loaded.host_speed("agent:9") == 1.7
+
+    def test_corrupt_file_survived(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("{definitely not json")
+        model = CostModel(bench_path="/nonexistent")
+        model.load(path)  # must not raise
+        model.table["HPP|b5"] = 0.5
+        model.save(path)  # merge with corrupt disk = just ours
+        assert json.loads(path.read_text())["table"] == {"HPP|b5": 0.5}
+
+
+# ----------------------------------------------------------------------
+# live agents on localhost
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def agent():
+    """One warm host agent on an ephemeral localhost port."""
+    proc, address = remote.spawn_local_agent(jobs=2)
+    yield address
+    proc.terminate()
+    proc.wait(timeout=10)
+
+
+class TestHostAgent:
+    def test_hello_advertises_cores_and_throughput(self, agent):
+        client = remote.HostClient(agent)
+        try:
+            assert client.cores == 2
+            assert client.agent_pid > 0
+            assert client.throughput > 0
+        finally:
+            client.close()
+
+    def test_ping_pong(self, agent):
+        client = remote.HostClient(agent)
+        try:
+            client.send(remote.MSG_PING, b"")
+            mtype, _ = client.recv(timeout=10.0)
+            assert mtype == remote.MSG_PONG
+        finally:
+            client.close()
+
+    def test_bad_entry_name_gets_error_frame(self, agent):
+        client = remote.HostClient(agent)
+        try:
+            client.send(remote.MSG_SHARD, pickle.dumps(
+                (0, "rm_rf", b"\x00whatever")))
+            mtype, payload = client.recv(timeout=30.0)
+            assert mtype == remote.MSG_ERROR
+            shard_id, message = pickle.loads(payload)
+            assert shard_id == 0 and "rm_rf" in message
+        finally:
+            client.close()
+
+    def test_remote_sweep_bit_identical_with_store_bytes(self, agent,
+                                                         tmp_path):
+        """The acceptance contract: same floats, same cache keys, and
+        byte-identical CellStore segments, local pool vs host agent."""
+        grids = {}
+        for mode, hosts in (("local", None), ("remote", agent)):
+            cache_dir = tmp_path / f"cache-{mode}"
+            runner = SweepRunner(
+                jobs=2, cache=ResultCache(cache_dir), hosts=hosts)
+            des = runner.sweep_values(
+                TPP(), [200, 300], n_runs=4, seed=7,
+                metric=DESMetric(ber=1e-4))
+            plan = runner.sweep_values(
+                HPP(), [200, 300], n_runs=4, seed=7, metric="time_us")
+            grids[mode] = (des, plan, _store_bytes(cache_dir), runner)
+        des_l, plan_l, bytes_l, _ = grids["local"]
+        des_r, plan_r, bytes_r, remote_runner = grids["remote"]
+        np.testing.assert_array_equal(des_r, des_l)
+        np.testing.assert_array_equal(plan_r, plan_l)
+        assert bytes_r == bytes_l, "CellStore segments diverged"
+        assert remote_runner.remote_shards > 0
+        assert remote_runner.batch_coverage["hosts_live"] == 1
+
+    def test_remote_rehits_local_cache(self, agent, tmp_path):
+        """The transport never enters cache keys: a locally-written
+        cache is fully served to a remote-dispatching runner."""
+        cache_dir = tmp_path / "cache"
+        writer = SweepRunner(jobs=2, cache=ResultCache(cache_dir))
+        writer.sweep_values(HPP(), [200], n_runs=4, seed=3,
+                            metric="time_us")
+        reader = SweepRunner(jobs=1, cache=ResultCache(cache_dir),
+                             hosts=agent)
+        reader.sweep_values(HPP(), [200], n_runs=4, seed=3,
+                            metric="time_us")
+        assert reader.cache.hits == 4 and reader.cache.misses == 0
+        assert reader.remote_shards == 0  # nothing left to compute
+
+    def test_inline_manifests_cross_the_socket(self, agent, monkeypatch):
+        """With publication forced on, remote shards carry inline column
+        bytes (no /dev/shm name) and still compute identical values."""
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "0")
+        ref = SweepRunner(jobs=1, cache=None).sweep_values(
+            HPP(), [300, 400], n_runs=3, seed=5, metric="n_rounds")
+        runner = SweepRunner(jobs=1, cache=None, hosts=agent)
+        out = runner.sweep_values(
+            HPP(), [300, 400], n_runs=3, seed=5, metric="n_rounds")
+        np.testing.assert_array_equal(out, ref)
+        assert runner.remote_shards > 0
+
+    def test_env_var_gates_hosts(self, agent, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTS", agent)
+        runner = SweepRunner(jobs=1, cache=None)
+        assert runner.hosts_tuple == (agent,)
+        runner.sweep_values(HPP(), [128, 192], n_runs=3, seed=1,
+                            metric="n_rounds")
+        assert runner.remote_shards > 0
+
+    def test_unset_hosts_is_pure_local(self):
+        runner = SweepRunner(jobs=2, cache=None)
+        assert runner.hosts_tuple == ()
+        runner.sweep_values(HPP(), [128], n_runs=3, seed=1,
+                            metric="n_rounds")
+        assert runner.remote_shards == 0
+        assert runner.batch_coverage["hosts_live"] == 0
+
+
+class TestFailover:
+    def test_unreachable_agent_falls_back_cleanly(self):
+        """Hosts configured but nobody answering: the sweep runs on the
+        local pool, values identical, no exception."""
+        runner = SweepRunner(jobs=2, cache=None, hosts="127.0.0.1:9")
+        out = runner.sweep_values(HPP(), [128, 192], n_runs=3, seed=2,
+                                  metric="n_rounds")
+        ref = SweepRunner(jobs=1, cache=None).sweep_values(
+            HPP(), [128, 192], n_runs=3, seed=2, metric="n_rounds")
+        np.testing.assert_array_equal(out, ref)
+        assert runner.remote_shards == 0
+
+    def test_killed_agent_never_loses_a_cell(self, tmp_path):
+        """SIGKILL the only agent after the dispatcher has connected:
+        every shard is reassigned (here: to the local lane), values are
+        bit-identical, and the failover is reported."""
+        proc, address = remote.spawn_local_agent(jobs=1)
+        try:
+            dispatcher = remote.get_dispatcher((address,))
+            assert dispatcher is not None and len(dispatcher.live()) == 1
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            runner = SweepRunner(jobs=1, cache=None, hosts=address)
+            out = runner.sweep_values(
+                TPP(), [200, 250], n_runs=3, seed=4, metric="n_rounds")
+            ref = SweepRunner(jobs=1, cache=None).sweep_values(
+                TPP(), [200, 250], n_runs=3, seed=4, metric="n_rounds")
+            np.testing.assert_array_equal(out, ref)
+            assert runner.failovers > 0
+            assert runner.batch_coverage["failovers"] == runner.failovers
+        finally:
+            if proc.poll() is None:  # pragma: no cover - kill raced
+                proc.kill()
+            proc.wait(timeout=10)
+
+    def test_dead_host_shards_move_to_survivor(self):
+        """Two agents, one SIGKILLed after connect: the survivor (or the
+        local lane) absorbs the dead host's shards with identical
+        values and no duplicates."""
+        proc_a, addr_a = remote.spawn_local_agent(jobs=1)
+        proc_b, addr_b = remote.spawn_local_agent(jobs=1)
+        hosts = f"{addr_a},{addr_b}"
+        try:
+            dispatcher = remote.get_dispatcher(remote.parse_hosts(hosts))
+            assert dispatcher is not None and len(dispatcher.live()) == 2
+            os.kill(proc_b.pid, signal.SIGKILL)
+            proc_b.wait(timeout=10)
+            runner = SweepRunner(jobs=1, cache=None, hosts=hosts)
+            out = runner.sweep_values(
+                TPP(), [200, 250], n_runs=4, seed=6, metric="n_rounds")
+            ref = SweepRunner(jobs=1, cache=None).sweep_values(
+                TPP(), [200, 250], n_runs=4, seed=6, metric="n_rounds")
+            np.testing.assert_array_equal(out, ref)
+        finally:
+            for proc in (proc_a, proc_b):
+                if proc.poll() is None:
+                    proc.terminate()
+                proc.wait(timeout=10)
+
+    def test_cache_version_covers_remote_source(self):
+        """remote.py is on the metric path: editing the transport must
+        invalidate cached cells."""
+        from repro.experiments import cellstore
+
+        assert "experiments/remote.py" in cellstore._METRIC_PATH_MODULES
+
+
+def _store_bytes(cache_dir: Path) -> dict[str, bytes]:
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(cache_dir.glob("cells-*.seg"))
+    }
