@@ -158,8 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
         "hostagent",
         help="serve this machine's cores to remote sweep runners")
     host_p.add_argument("--bind", default="127.0.0.1", metavar="ADDR",
-                        help="address to listen on (default loopback; "
-                             "bind 0.0.0.0 to serve the network)")
+                        help="address to listen on (default loopback; a "
+                             "non-loopback bind requires the same "
+                             "REPRO_REMOTE_KEY here and on the runner)")
     host_p.add_argument("--port", type=int, default=7355, metavar="P",
                         help="TCP port (0 picks an ephemeral port)")
     host_p.add_argument("--jobs", type=int, default=None, metavar="N",

@@ -258,14 +258,18 @@ class CostModel:
     def observe_host(
         self, address: str, predicted: float, elapsed: float
     ) -> None:
-        """Fold one remote shard's wall time into the host's speed.
+        """Fold one host's measured round-trip speed into its estimate.
 
-        ``predicted`` is the shard's total predicted cost in *local*
-        per-cell seconds, so ``predicted / elapsed`` is directly the
-        host's speed relative to this machine; the estimate moves by
-        the same EMA the cost table uses.  Network time rides inside
-        ``elapsed`` on purpose — a fast host behind a slow link should
-        be packed like a slow host.
+        ``predicted`` is the total predicted cost (in *local* per-cell
+        seconds) of the work the host completed, and ``elapsed`` is the
+        busy core-seconds the dispatcher clocked for it — wall time
+        while shards were in flight, weighted by how many were in
+        flight (capped at the host's cores).  ``predicted / elapsed``
+        is then the host's per-core speed relative to this machine;
+        the estimate moves by the same EMA the cost table uses.
+        Because the clock runs on the *dispatcher* side, serialization
+        and network time ride inside ``elapsed`` on purpose — a fast
+        host behind a slow link should be packed like a slow host.
         """
         if predicted <= 0 or elapsed <= 0 or not math.isfinite(elapsed):
             return

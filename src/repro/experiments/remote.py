@@ -11,8 +11,13 @@ pack cells across every core of every machine that runs a host agent:
   wire length, raw length, CRC-32 of the wire payload) followed by the
   payload, zlib-compressed when it crosses
   ``REPRO_SHIP_COMPRESS_MIN`` bytes.  A corrupt frame fails its CRC
-  and raises :class:`FrameError` instead of delivering garbage.  The
-  same threshold-gated codec (:func:`pack_blob` / :func:`unpack_blob`)
+  and raises :class:`FrameError` instead of delivering garbage.  With
+  ``REPRO_REMOTE_KEY`` set (same value on runner and agents), every
+  frame also carries an HMAC-SHA256 tag that is verified *before* any
+  payload byte is unpickled; because shard payloads are pickles —
+  i.e. code execution for whoever can write to the socket — an agent
+  refuses to bind a non-loopback address without a key.  The same
+  threshold-gated codec (:func:`pack_blob` / :func:`unpack_blob`)
   compresses the *local* pool's shard blobs, so one code path owns
   shipment compression on every transport.
 - **The host agent.** ``repro-rfid hostagent`` (or ``python -m
@@ -47,6 +52,8 @@ from __future__ import annotations
 
 import argparse
 import atexit
+import hashlib
+import hmac
 import logging
 import os
 import pickle
@@ -75,6 +82,7 @@ __all__ = [
     "pack_blob",
     "parse_hosts",
     "recv_frame",
+    "resolve_key",
     "send_frame",
     "spawn_local_agent",
     "unpack_blob",
@@ -93,6 +101,11 @@ PROTOCOL_VERSION = 1
 
 #: frame flag bit: the wire payload is zlib-compressed
 FLAG_ZLIB = 0x01
+#: frame flag bit: a 32-byte HMAC-SHA256 tag follows the payload
+FLAG_HMAC = 0x02
+
+#: length of the per-frame authentication tag (HMAC-SHA256 digest)
+AUTH_TAG_LEN = hashlib.sha256().digest_size
 
 # message types
 MSG_HELLO = 1   # agent -> client, on connect: {version, cores, pid, ...}
@@ -115,6 +128,34 @@ class FrameError(RuntimeError):
 def _env_float(name: str, default: float) -> float:
     raw = os.environ.get(name)
     return float(raw) if raw else default
+
+
+def resolve_key(key: str | bytes | None = None) -> bytes | None:
+    """The shared frame-authentication secret, as bytes.
+
+    ``None`` falls back to ``REPRO_REMOTE_KEY``; no key at all returns
+    ``None`` (frames unauthenticated — loopback only, see
+    :meth:`HostAgent.start`).  Shard payloads are pickles, and
+    unpickling attacker bytes is arbitrary code execution, so every
+    frame is HMAC-tagged with this key before either side will parse
+    it whenever a key is configured.
+    """
+    if key is None:
+        raw = os.environ.get("REPRO_REMOTE_KEY")
+        key = raw if raw else None
+    if key is None:
+        return None
+    return key.encode("utf-8") if isinstance(key, str) else bytes(key)
+
+
+def _frame_tag(key: bytes, header: bytes, wire: bytes) -> bytes:
+    """HMAC-SHA256 over the whole frame as sent (header + wire payload),
+    so neither the payload nor any header field can be forged."""
+    return hmac.new(key, header + wire, hashlib.sha256).digest()
+
+
+def _is_loopback(bind: str) -> bool:
+    return bind == "localhost" or bind == "::1" or bind.startswith("127.")
 
 
 def compress_min_bytes() -> int:
@@ -166,15 +207,28 @@ def unpack_blob(blob: bytes) -> bytes:
 # ----------------------------------------------------------------------
 # frame I/O
 # ----------------------------------------------------------------------
-def send_frame(sock: socket.socket, mtype: int, payload: bytes) -> int:
-    """Write one frame; returns the wire bytes sent (header + payload)."""
+def send_frame(
+    sock: socket.socket,
+    mtype: int,
+    payload: bytes,
+    key: bytes | None = None,
+) -> int:
+    """Write one frame; returns the wire bytes sent (header + payload).
+
+    With ``key`` the frame carries :data:`FLAG_HMAC` and a trailing
+    HMAC-SHA256 tag over header + payload; the receiver must hold the
+    same key or it rejects the frame (and vice versa).
+    """
     wire, flags = _maybe_compress(payload)
+    if key:
+        flags |= FLAG_HMAC
     header = FRAME_HEADER.pack(
         MAGIC, PROTOCOL_VERSION, flags, mtype,
         len(wire), len(payload), zlib.crc32(wire),
     )
-    sock.sendall(header + wire)
-    return FRAME_HEADER.size + len(wire)
+    tag = _frame_tag(key, header, wire) if key else b""
+    sock.sendall(header + wire + tag)
+    return FRAME_HEADER.size + len(wire) + len(tag)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -191,12 +245,18 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> tuple[int, bytes, int]:
+def recv_frame(
+    sock: socket.socket, key: bytes | None = None
+) -> tuple[int, bytes, int]:
     """Read one frame; returns ``(message type, payload, wire bytes)``.
 
-    Validates magic, protocol version, and the payload CRC — a flipped
-    bit or a foreign protocol on the port raises :class:`FrameError`
-    instead of handing pickled garbage downstream.
+    Validates magic, protocol version, the HMAC tag (when a ``key`` is
+    configured — *before* the payload is decompressed or handed to any
+    deserializer), and the payload CRC — a flipped bit, a forged frame,
+    or a foreign protocol on the port raises :class:`FrameError`
+    instead of handing pickled garbage downstream.  Key presence must
+    match on both sides: an authenticated frame without a local key, or
+    a bare frame when this side holds a key, is rejected.
     """
     header = _recv_exact(sock, FRAME_HEADER.size)
     magic, version, flags, mtype, wire_len, raw_len, crc = (
@@ -210,6 +270,22 @@ def recv_frame(sock: socket.socket) -> tuple[int, bytes, int]:
             f"this side speaks {PROTOCOL_VERSION}"
         )
     wire = _recv_exact(sock, wire_len)
+    tag = _recv_exact(sock, AUTH_TAG_LEN) if flags & FLAG_HMAC else b""
+    if key:
+        if not flags & FLAG_HMAC:
+            raise FrameError(
+                "peer sent an unauthenticated frame but this side has a "
+                "shared key (REPRO_REMOTE_KEY) configured"
+            )
+        if not hmac.compare_digest(tag, _frame_tag(key, header, wire)):
+            raise FrameError(
+                "frame failed HMAC authentication (shared key mismatch?)"
+            )
+    elif flags & FLAG_HMAC:
+        raise FrameError(
+            "peer requires frame authentication; set the same "
+            "REPRO_REMOTE_KEY on this side"
+        )
     if zlib.crc32(wire) != crc:
         raise FrameError("frame payload failed its CRC check")
     payload = zlib.decompress(wire) if flags & FLAG_ZLIB else wire
@@ -218,7 +294,7 @@ def recv_frame(sock: socket.socket) -> tuple[int, bytes, int]:
             f"frame decompressed to {len(payload)} bytes, header "
             f"promised {raw_len}"
         )
-    return mtype, payload, FRAME_HEADER.size + wire_len
+    return mtype, payload, FRAME_HEADER.size + wire_len + len(tag)
 
 
 # ----------------------------------------------------------------------
@@ -318,10 +394,12 @@ class HostAgent:
         bind: str = "127.0.0.1",
         port: int = 0,
         jobs: int | None = None,
+        key: str | bytes | None = None,
     ) -> None:
         self.bind = bind
         self.port = int(port)
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        self.key = resolve_key(key)
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
         self._conn_threads: list[threading.Thread] = []
@@ -335,7 +413,20 @@ class HostAgent:
         Returns ``(host, port)`` — with ``port=0`` the kernel picks an
         ephemeral port, which is how tests and the smoke script run
         several agents on one machine.
+
+        A non-loopback bind without a shared key is refused outright:
+        shard frames carry pickled payloads, and unpickling
+        unauthenticated network bytes is arbitrary code execution.
         """
+        if self.key is None and not _is_loopback(self.bind):
+            raise RuntimeError(
+                f"refusing to bind {self.bind!r} without a shared key: "
+                "shard frames carry pickled payloads, so an open "
+                "unauthenticated port is remote code execution for "
+                "anyone who can reach it. Set the same REPRO_REMOTE_KEY "
+                "on this agent and on the sweep runner, or bind "
+                "loopback."
+            )
         from repro.experiments import shm
         from repro.kernels import warmup
 
@@ -407,18 +498,21 @@ class HostAgent:
                     return
                 mtype, payload = item
                 try:
-                    send_frame(conn, mtype, payload)
+                    send_frame(conn, mtype, payload, self.key)
                 except OSError:
                     return
 
         sender = threading.Thread(target=_sender, daemon=True)
         sender.start()
         try:
-            send_frame(conn, MSG_HELLO, self._hello_payload())
+            send_frame(conn, MSG_HELLO, self._hello_payload(), self.key)
             conn.settimeout(None)
             while not self._stop.is_set():
                 try:
-                    mtype, payload, _ = recv_frame(conn)
+                    # the HMAC check inside recv_frame runs before any
+                    # pickle.loads below — an unauthenticated or forged
+                    # frame drops the connection here
+                    mtype, payload, _ = recv_frame(conn, self.key)
                 except (FrameError, OSError):
                     break
                 if mtype == MSG_PING:
@@ -480,13 +574,25 @@ class HostAgent:
 class HostClient:
     """One live connection to a host agent (driven by one thread)."""
 
-    def __init__(self, address: str, connect_timeout: float | None = None):
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float | None = None,
+        key: str | bytes | None = None,
+    ):
         self.address = address
         host, port = _split_address(address)
         timeout = (
             connect_timeout if connect_timeout is not None
             else _env_float("REPRO_REMOTE_CONNECT_TIMEOUT", 3.0)
         )
+        self.key = resolve_key(key)
+        #: sends get their own generous timeout: a multi-hundred-MB
+        #: inline-manifest blob on a slow link can legitimately take far
+        #: longer than the connect/heartbeat timeouts that otherwise
+        #: linger on the socket, and a timeout mid-send means a
+        #: spuriously declared-dead host
+        self.send_timeout = _env_float("REPRO_REMOTE_SEND_TIMEOUT", 120.0)
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -494,7 +600,7 @@ class HostClient:
         self.inflight: set[int] = set()
         self.last_activity = time.monotonic()
         try:
-            mtype, payload, wire = recv_frame(self.sock)
+            mtype, payload, wire = recv_frame(self.sock, self.key)
         except (FrameError, OSError):
             self.sock.close()
             raise
@@ -514,12 +620,13 @@ class HostClient:
         self.agent_pid = int(hello.get("pid", 0))
 
     def send(self, mtype: int, payload: bytes) -> None:
-        self.bytes_sent += send_frame(self.sock, mtype, payload)
+        self.sock.settimeout(self.send_timeout)
+        self.bytes_sent += send_frame(self.sock, mtype, payload, self.key)
 
     def recv(self, timeout: float) -> tuple[int, bytes]:
         """One frame, or ``socket.timeout`` after ``timeout`` seconds."""
         self.sock.settimeout(timeout)
-        mtype, payload, wire = recv_frame(self.sock)
+        mtype, payload, wire = recv_frame(self.sock, self.key)
         self.bytes_received += wire
         self.last_activity = time.monotonic()
         return mtype, payload
@@ -528,7 +635,7 @@ class HostClient:
         self.dead = True
         try:
             if polite:
-                send_frame(self.sock, MSG_BYE, b"")
+                send_frame(self.sock, MSG_BYE, b"", self.key)
         except OSError:
             pass
         try:
@@ -576,6 +683,11 @@ class RemoteDispatcher:
         self._down_since: dict[str, float] = {}
         self.failovers = 0
         self.shards_dispatched = 0
+        #: per-host ``(completed predicted cost, busy core-seconds)`` of
+        #: the most recent :meth:`run` — dispatcher-side wall clock, so
+        #: network and serialization time are inside (see
+        #: :meth:`CostModel.observe_host`)
+        self.last_host_stats: dict[str, tuple[float, float]] = {}
         self._run_lock = threading.Lock()
 
     # -- connections ---------------------------------------------------
@@ -645,6 +757,7 @@ class RemoteDispatcher:
             if not live:
                 return None
             state = _DispatchState(len(blobs))
+            state.capacities = dict(capacities)
             addresses = [a for a in live if capacities.get(a, 0) > 0] or list(live)
             assignment = _assign_by_capacity(
                 costs, addresses, {a: capacities.get(a, 1.0) for a in addresses},
@@ -683,6 +796,7 @@ class RemoteDispatcher:
             for t in threads:
                 t.join(timeout=self.heartbeat + 1.0)
             self.failovers += state.failovers
+            self.last_host_stats = dict(state.host_stats)
             return [
                 (result, host)
                 for result, host in state.results  # type: ignore[misc]
@@ -702,20 +816,50 @@ class RemoteDispatcher:
         Exits when every shard (globally) is done.  Any socket error or
         an exceeded per-shard timeout declares the host dead and hands
         its unfinished shards back for reassignment.
+
+        Every shard joins ``client.inflight`` *before* its SHARD frame
+        is written: a send that dies halfway (EPIPE, send timeout) must
+        leave the shard somewhere the dead-host handler's pending set
+        can see, or it would be lost and the run would never finish.
+
+        The loop also clocks the host from this side: busy core-seconds
+        (wall time weighted by in-flight shards, capped at the host's
+        cores) and the predicted cost it completed, recorded into
+        ``state.host_stats`` so the cost model learns *round-trip*
+        speed — serialization and network time included, which is the
+        point: a fast host behind a slow link should be packed like a
+        slow host.
         """
         address = client.address
+        cost_done = 0.0
+        core_seconds = 0.0
+        last_tick = time.monotonic()
+
+        def _accrue() -> None:
+            # charge the interval since the last event at the host's
+            # current occupancy (shards in flight, capped at its cores)
+            nonlocal core_seconds, last_tick
+            now = time.monotonic()
+            core_seconds += (
+                min(len(client.inflight), client.cores) * (now - last_tick)
+            )
+            last_tick = now
+
         try:
             while True:
                 idx = state.next_for(address)
                 while idx is not None:
+                    _accrue()
+                    client.inflight.add(idx)  # before send: see docstring
                     client.send(MSG_SHARD, pickle.dumps(
                         (idx, entry_name, bytes(blobs[idx]))))
-                    client.inflight.add(idx)
                     client.last_activity = time.monotonic()
                     idx = state.next_for(address)
                 if not client.inflight:
                     if state.finished():
+                        state.record_host(address, cost_done, core_seconds)
                         return
+                    _accrue()  # idle: the wait below accrues nothing
                     state.wait(0.05)  # idle: await reassignment or the end
                     continue
                 try:
@@ -731,12 +875,15 @@ class RemoteDispatcher:
                     continue
                 if mtype == MSG_RESULT:
                     shard_id, result = pickle.loads(payload)
+                    _accrue()
                     client.inflight.discard(shard_id)
-                    state.complete(shard_id, result, address)
+                    if state.complete(shard_id, result, address):
+                        cost_done += costs[shard_id]
                 elif mtype == MSG_ERROR:
                     shard_id, message = pickle.loads(payload)
                     _log.warning("host %s failed shard %d: %s",
                                  address, shard_id, message)
+                    _accrue()
                     client.inflight.discard(shard_id)
                     state.push_local(shard_id)
                 elif mtype == MSG_PONG:
@@ -760,7 +907,13 @@ class RemoteDispatcher:
         state: "_DispatchState",
         costs: Sequence[float],
     ) -> None:
-        """Move a dead host's shards to the survivors (or the local lane)."""
+        """Move a dead host's shards to the survivors (or the local lane).
+
+        Survivor capacities are the run's own (cores x learned speed),
+        so post-failover packing weighs a slow host exactly like the
+        initial assignment did; cores alone are the fallback for a host
+        the cost model has never seen.
+        """
         if not pending:
             return
         state.failovers += len(pending)
@@ -773,7 +926,8 @@ class RemoteDispatcher:
             return
         assignment = _assign_by_capacity(
             [costs[i] for i in pending], list(survivors),
-            {a: float(c.cores) for a, c in survivors.items()},
+            {a: state.capacities.get(a, float(c.cores))
+             for a, c in survivors.items()},
         )
         remap = {i: idx for i, idx in enumerate(pending)}
         for address, positions in assignment.items():
@@ -791,6 +945,12 @@ class _DispatchState:
         self.failovers = 0
         self.queues: dict[str, deque[int]] = {}
         self.local: deque[int] = deque()
+        #: the run's per-host capacities (cores x learned speed), kept
+        #: so failover reassignment packs with the same weights
+        self.capacities: dict[str, float] = {}
+        #: per-host (completed predicted cost, busy core-seconds),
+        #: recorded by each host loop on clean exit
+        self.host_stats: dict[str, tuple[float, float]] = {}
         self._cond = threading.Condition()
 
     def finished(self) -> bool:
@@ -844,15 +1004,23 @@ class _DispatchState:
             self.local.extend(sorted((queued | missing) - set(self.local)))
             self._cond.notify_all()
 
-    def complete(self, idx: int, result: Any, host: str) -> None:
+    def record_host(self, address: str, cost_done: float,
+                    core_seconds: float) -> None:
+        with self._cond:
+            if cost_done > 0 and core_seconds > 0:
+                self.host_stats[address] = (cost_done, core_seconds)
+
+    def complete(self, idx: int, result: Any, host: str) -> bool:
         """First result wins; duplicates (a slow host declared dead that
-        answered anyway) are dropped so no cell is ever double-counted."""
+        answered anyway) are dropped so no cell is ever double-counted.
+        Returns whether this call was the winner."""
         with self._cond:
             if self.results[idx] is not None:
-                return
+                return False
             self.results[idx] = (result, host)
             self.completed += 1
             self._cond.notify_all()
+            return True
 
     def wait(self, timeout: float) -> None:
         with self._cond:
@@ -973,8 +1141,9 @@ def main(argv: list[str] | None = None) -> int:
                     "(REPRO_HOSTS=host:port,... on the runner side).",
     )
     parser.add_argument("--bind", default="127.0.0.1", metavar="ADDR",
-                        help="address to listen on (default loopback; "
-                             "bind 0.0.0.0 to serve the network)")
+                        help="address to listen on (default loopback; a "
+                             "non-loopback bind requires the same "
+                             "REPRO_REMOTE_KEY here and on the runner)")
     parser.add_argument("--port", type=int, default=7355, metavar="P",
                         help="TCP port (0 picks an ephemeral port)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -982,10 +1151,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     agent = HostAgent(bind=args.bind, port=args.port, jobs=args.jobs)
-    host, port = agent.start()
+    try:
+        host, port = agent.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"{_LISTENING}{host}:{port}", flush=True)
     print(f"# {agent.jobs} warm worker(s), "
-          f"~{agent.throughput:.0f} probe-plans/s", flush=True)
+          f"~{agent.throughput:.0f} probe-plans/s, frame auth "
+          f"{'HMAC-SHA256' if agent.key else 'off (loopback only)'}",
+          flush=True)
 
     def _terminate(signum, frame):  # pragma: no cover - signal path
         agent.shutdown()

@@ -829,7 +829,10 @@ class SweepRunner:
         the payload is identical to local dispatch, so so are the
         computed bits.  Host speeds are seeded from each agent's
         advertised throughput (normalised to the live mean) and updated
-        by EMA from each remote shard's measured compute seconds.
+        by EMA from dispatcher-side round-trip clocks: each host's
+        completed predicted cost over its busy core-seconds, so
+        serialization and network time count against the host and a
+        fast box behind a slow link is packed like a slow box.
         """
         inline: dict[tuple, Any] = {}
         if manifests:
@@ -877,12 +880,14 @@ class SweepRunner:
         self.bytes_shipped += sum(len(b) for b in blobs)
         self.failovers += dispatcher.failovers - failovers_before
         results: list[Any] = []
-        for cost, (result, host) in zip(costs, outcomes):
+        for result, host in outcomes:
             results.append(result)
             if host != "local":
                 self.remote_shards += 1
-                if isinstance(result, tuple) and len(result) == 2:
-                    self.cost_model.observe_host(host, cost, result[1])
+        for address, (cost_done, core_seconds) in (
+            dispatcher.last_host_stats.items()
+        ):
+            self.cost_model.observe_host(address, cost_done, core_seconds)
         return results
 
     def _compute(

@@ -17,7 +17,9 @@ import os
 import pickle
 import signal
 import socket
+import time
 import zlib
+from collections import deque
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +41,7 @@ def _clean_transport(monkeypatch):
     """Every test starts with no cached dispatcher and a quiet env."""
     monkeypatch.delenv("REPRO_HOSTS", raising=False)
     monkeypatch.delenv("REPRO_SHIP_COMPRESS_MIN", raising=False)
+    monkeypatch.delenv("REPRO_REMOTE_KEY", raising=False)
     remote.close_dispatchers()
     remote._warned_unreachable.clear()
     yield
@@ -136,6 +139,90 @@ class TestFraming:
             with pytest.raises(remote.FrameError, match="closed"):
                 remote.recv_frame(b)
         finally:
+            b.close()
+
+
+class TestFrameAuth:
+    """Per-frame HMAC: frames are authenticated before anything is
+    unpickled, and key presence must match on both sides."""
+
+    KEY = b"unit-test-shared-secret"
+
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_resolve_key(self, monkeypatch):
+        assert remote.resolve_key(None) is None
+        assert remote.resolve_key("abc") == b"abc"
+        assert remote.resolve_key(b"abc") == b"abc"
+        monkeypatch.setenv("REPRO_REMOTE_KEY", "from-env")
+        assert remote.resolve_key(None) == b"from-env"
+        assert remote.resolve_key("explicit wins") == b"explicit wins"
+
+    def test_keyed_round_trip(self):
+        a, b = self._pair()
+        try:
+            wire = remote.send_frame(a, remote.MSG_SHARD, b"bits", self.KEY)
+            assert wire >= remote.FRAME_HEADER.size + 4 + remote.AUTH_TAG_LEN
+            mtype, got, counted = remote.recv_frame(b, self.KEY)
+            assert mtype == remote.MSG_SHARD and got == b"bits"
+            assert counted == wire  # tag bytes counted on both ends
+        finally:
+            a.close()
+            b.close()
+
+    def test_wrong_key_rejected(self):
+        a, b = self._pair()
+        try:
+            remote.send_frame(a, remote.MSG_SHARD, b"bits", self.KEY)
+            with pytest.raises(remote.FrameError, match="HMAC"):
+                remote.recv_frame(b, b"a different key")
+        finally:
+            a.close()
+            b.close()
+
+    def test_bare_frame_rejected_by_keyed_receiver(self):
+        a, b = self._pair()
+        try:
+            remote.send_frame(a, remote.MSG_SHARD, b"bits")
+            with pytest.raises(remote.FrameError, match="unauthenticated"):
+                remote.recv_frame(b, self.KEY)
+        finally:
+            a.close()
+            b.close()
+
+    def test_keyed_frame_rejected_by_keyless_receiver(self):
+        a, b = self._pair()
+        try:
+            remote.send_frame(a, remote.MSG_SHARD, b"bits", self.KEY)
+            with pytest.raises(remote.FrameError, match="REPRO_REMOTE_KEY"):
+                remote.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_tampered_payload_fails_authentication(self):
+        """A flipped payload byte under a valid-looking frame fails the
+        MAC (checked before CRC and before any deserialization)."""
+        a, b = self._pair()
+        try:
+            payload = b"precious bits"
+            header = remote.FRAME_HEADER.pack(
+                remote.MAGIC, remote.PROTOCOL_VERSION, remote.FLAG_HMAC,
+                remote.MSG_SHARD, len(payload), len(payload),
+                zlib.crc32(payload),
+            )
+            tag = remote._frame_tag(self.KEY, header, payload)
+            corrupted = bytearray(payload)
+            corrupted[0] ^= 0xFF
+            a.sendall(header + bytes(corrupted) + tag)
+            with pytest.raises(remote.FrameError, match="HMAC"):
+                remote.recv_frame(b, self.KEY)
+        finally:
+            a.close()
             b.close()
 
 
@@ -319,6 +406,13 @@ class TestHostAgent:
         assert bytes_r == bytes_l, "CellStore segments diverged"
         assert remote_runner.remote_shards > 0
         assert remote_runner.batch_coverage["hosts_live"] == 1
+        # the host-speed EMA learned from the dispatcher-side round-trip
+        # clock: completed predicted cost over busy core-seconds
+        dispatcher = remote.get_dispatcher((agent,))
+        assert dispatcher is not None
+        cost_done, core_seconds = dispatcher.last_host_stats[agent]
+        assert cost_done > 0 and core_seconds > 0
+        assert agent in remote_runner.cost_model.hosts
 
     def test_remote_rehits_local_cache(self, agent, tmp_path):
         """The transport never enters cache keys: a locally-written
@@ -361,6 +455,41 @@ class TestHostAgent:
                             metric="n_rounds")
         assert runner.remote_shards == 0
         assert runner.batch_coverage["hosts_live"] == 0
+
+    def test_nonloopback_bind_requires_key(self):
+        """Shard frames are pickles; an open unauthenticated port would
+        be remote code execution, so the agent refuses to serve one."""
+        with pytest.raises(RuntimeError, match="REPRO_REMOTE_KEY"):
+            remote.HostAgent(bind="0.0.0.0").start()
+
+    def test_keyed_agent_authenticates_clients(self, monkeypatch):
+        """A keyed agent rejects keyless and wrong-key clients, serves
+        same-key clients, and a keyed sweep stays bit-identical."""
+        env = dict(os.environ, REPRO_REMOTE_KEY="s3cret")
+        proc, address = remote.spawn_local_agent(jobs=1, env=env)
+        try:
+            with pytest.raises(remote.FrameError, match="REPRO_REMOTE_KEY"):
+                remote.HostClient(address)  # keyless: HELLO rejected
+            with pytest.raises(remote.FrameError, match="HMAC"):
+                remote.HostClient(address, key="wrong")
+            client = remote.HostClient(address, key="s3cret")
+            try:
+                client.send(remote.MSG_PING, b"")
+                mtype, _ = client.recv(timeout=10.0)
+                assert mtype == remote.MSG_PONG
+            finally:
+                client.close()
+            monkeypatch.setenv("REPRO_REMOTE_KEY", "s3cret")
+            runner = SweepRunner(jobs=1, cache=None, hosts=address)
+            out = runner.sweep_values(HPP(), [200, 300], n_runs=3,
+                                      seed=5, metric="n_rounds")
+            ref = SweepRunner(jobs=1, cache=None).sweep_values(
+                HPP(), [200, 300], n_runs=3, seed=5, metric="n_rounds")
+            np.testing.assert_array_equal(out, ref)
+            assert runner.remote_shards > 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
 
 
 class TestFailover:
@@ -421,6 +550,64 @@ class TestFailover:
                 if proc.poll() is None:
                     proc.terminate()
                 proc.wait(timeout=10)
+
+    def test_send_failure_never_loses_a_shard(self):
+        """A send that dies mid-frame (EPIPE, send timeout) must leave
+        the shard visible to the dead-host handler: it joins the
+        in-flight set before the frame is written, so the handler's
+        pending set reassigns it instead of hanging the run."""
+
+        class _ExplodingClient:
+            address = "boom:1"
+            cores = 1
+            dead = False
+
+            def __init__(self):
+                self.inflight: set[int] = set()
+                self.last_activity = time.monotonic()
+
+            def send(self, mtype, payload):
+                raise OSError("simulated EPIPE mid-send")
+
+            def close(self, polite=True):
+                self.dead = True
+
+        dispatcher = remote.RemoteDispatcher(("boom:1",))
+        state = remote._DispatchState(2)
+        state.queues["boom:1"] = deque([0, 1])
+        client = _ExplodingClient()
+        dispatcher._host_loop(client, state, "chunk", [b"a", b"b"],
+                              [1.0, 1.0])
+        # no survivors: both shards (the one that died in send() AND the
+        # still-queued one) must land on the local lane
+        drained = []
+        idx = state.pop_local()
+        while idx is not None:
+            drained.append(idx)
+            idx = state.pop_local()
+        assert sorted(drained) == [0, 1]
+        assert state.failovers == 2
+        assert client.dead
+
+    def test_reassign_weighs_learned_host_speed(self):
+        """Failover packing uses the run's capacities (cores x learned
+        speed), not raw core counts: with equal cores but a 3:1 learned
+        speed split, the fast host absorbs ~3x the dead host's shards."""
+
+        class _FakeClient:
+            dead = False
+            cores = 2
+
+        dispatcher = remote.RemoteDispatcher(("fast:1", "slow:1"))
+        dispatcher.clients = {"fast:1": _FakeClient(), "slow:1": _FakeClient()}
+        state = remote._DispatchState(40)
+        state.capacities = {"fast:1": 3.0, "slow:1": 1.0}
+        state.queues = {"fast:1": deque(), "slow:1": deque()}
+        dispatcher._reassign(list(range(40)), state, [1.0] * 40)
+        n_fast = len(state.queues["fast:1"])
+        n_slow = len(state.queues["slow:1"])
+        assert n_fast + n_slow == 40
+        assert n_fast > 2 * n_slow  # cores alone would split 20/20
 
     def test_cache_version_covers_remote_source(self):
         """remote.py is on the metric path: editing the transport must
